@@ -1,0 +1,366 @@
+//! Bit-level serialization for the avatar wire format.
+//!
+//! The blueprint's edge servers "package" avatar state for "real-time
+//! transmission" (§3.2); at 60 Hz per participant, every bit on the wire
+//! matters. [`BitWriter`] and [`BitReader`] provide MSB-first bit packing and
+//! LEB128 varints on top of a plain byte buffer.
+
+use std::fmt;
+
+/// Error returned when a [`BitReader`] runs past the end of its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOverrunError {
+    /// Bits requested by the failing read.
+    pub requested: u32,
+    /// Bits that remained in the stream.
+    pub remaining: u64,
+}
+
+impl fmt::Display for ReadOverrunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bitstream overrun: requested {} bits, {} remaining", self.requested, self.remaining)
+    }
+}
+
+impl std::error::Error for ReadOverrunError {}
+
+/// An MSB-first bit-level writer over a growable byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bool(true);
+/// w.write_varint(300);
+/// let bytes = w.into_bytes();
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert!(r.read_bool().unwrap());
+/// assert_eq!(r.read_varint().unwrap(), 300);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits used in the final byte of `buf` (0 means byte-aligned).
+    partial_bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `count` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64` or if `value` has bits set above `count`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        assert!(
+            count == 64 || value < (1u64 << count),
+            "value {value} does not fit in {count} bits"
+        );
+        let mut remaining = count;
+        while remaining > 0 {
+            if self.partial_bits == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.partial_bits;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let byte = self.buf.last_mut().expect("buffer non-empty");
+            *byte |= chunk << (free - take);
+            self.partial_bits = (self.partial_bits + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bool(&mut self, b: bool) {
+        self.write_bits(b as u64, 1);
+    }
+
+    /// Writes an unsigned LEB128 varint (1 byte for values < 128).
+    pub fn write_varint(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u64;
+            value >>= 7;
+            if value == 0 {
+                self.write_bits(byte, 8);
+                return;
+            }
+            self.write_bits(byte | 0x80, 8);
+        }
+    }
+
+    /// Writes a signed varint via zigzag encoding.
+    pub fn write_varint_signed(&mut self, value: i64) {
+        self.write_varint((value.wrapping_shl(1) ^ (value >> 63)) as u64);
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        self.partial_bits = 0;
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        let whole = self.buf.len() as u64 * 8;
+        if self.partial_bits == 0 {
+            whole
+        } else {
+            whole - (8 - self.partial_bits as u64)
+        }
+    }
+
+    /// Consumes the writer, returning the (zero-padded) byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in whole bytes (including a partially filled final byte).
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// An MSB-first bit-level reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Bits remaining in the stream.
+    pub fn remaining_bits(&self) -> u64 {
+        (self.buf.len() as u64 * 8).saturating_sub(self.pos)
+    }
+
+    /// Reads `count` bits, MSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadOverrunError`] if fewer than `count` bits remain.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, ReadOverrunError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.remaining_bits() < count as u64 {
+            return Err(ReadOverrunError { requested: count, remaining: self.remaining_bits() });
+        }
+        let mut out: u64 = 0;
+        let mut remaining = count;
+        while remaining > 0 {
+            let byte = self.buf[(self.pos / 8) as usize];
+            let offset = (self.pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos += take as u64;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadOverrunError`] at end of stream.
+    pub fn read_bool(&mut self) -> Result<bool, ReadOverrunError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadOverrunError`] if the stream ends mid-varint.
+    pub fn read_varint(&mut self) -> Result<u64, ReadOverrunError> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_bits(8)?;
+            out |= (byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadOverrunError`] if the stream ends mid-varint.
+    pub fn read_varint_signed(&mut self) -> Result<i64, ReadOverrunError> {
+        let raw = self.read_varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    /// Skips forward to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bool(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bool().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn cross_byte_fields_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3, 2);
+        w.write_bits(0x1234, 13);
+        w.write_bits(0x0fff_ffff, 28);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0x3);
+        assert_eq!(r.read_bits(13).unwrap(), 0x1234);
+        assert_eq!(r.read_bits(28).unwrap(), 0x0fff_ffff);
+    }
+
+    #[test]
+    fn sixty_four_bit_write() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn varint_sizes() {
+        for (v, expected_bytes) in [(0u64, 1usize), (127, 1), (128, 2), (16_383, 2), (16_384, 3)] {
+            let mut w = BitWriter::new();
+            w.write_varint(v);
+            assert_eq!(w.byte_len(), expected_bytes, "value {v}");
+        }
+    }
+
+    #[test]
+    fn overrun_is_an_error_not_a_panic() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        let err = r.read_bits(1).unwrap_err();
+        assert_eq!(err.requested, 1);
+        assert_eq!(err.remaining, 0);
+        assert!(err.to_string().contains("overrun"));
+    }
+
+    #[test]
+    fn align_pads_and_skips() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align();
+        w.write_bits(0xab, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        r.align();
+        assert_eq!(r.read_bits(8).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0, 1);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(8, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bits_roundtrip(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..50)) {
+            let mut w = BitWriter::new();
+            let masked: Vec<(u64, u32)> = fields
+                .iter()
+                .map(|&(v, n)| (if n == 64 { v } else { v & ((1u64 << n) - 1) }, n))
+                .collect();
+            for &(v, n) in &masked {
+                w.write_bits(v, n);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &masked {
+                prop_assert_eq!(r.read_bits(n).unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..50)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.write_varint(v);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                prop_assert_eq!(r.read_varint().unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_signed_varint_roundtrip(values in proptest::collection::vec(any::<i64>(), 0..50)) {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.write_varint_signed(v);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                prop_assert_eq!(r.read_varint_signed().unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_small_signed_varints_are_one_byte(v in -64i64..64) {
+            let mut w = BitWriter::new();
+            w.write_varint_signed(v);
+            prop_assert_eq!(w.byte_len(), 1);
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The avatar wire codec: quantized full snapshots and delta frames.
+//!
+//! The encoder works like a video codec: a *full* frame carries the complete
+//! quantized state; a *delta* frame carries only the fields whose quantized
+//! value changed against a reference state. The reference must be the last
+//! *reconstructed* state (see [`AvatarCodec::reconstruct`]), exactly as video
+//! codecs predict from decoded, not source, frames — this keeps encoder and
+//! decoder bit-identical with no drift.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitstream::{BitReader, BitWriter, ReadOverrunError};
+use crate::expression::{ExpressionFrame, CHANNELS};
+use crate::geom::Vec3;
+use crate::quant::{PositionQuantizer, QuantizedQuat, QuatQuantizer, SpaceBounds};
+use crate::state::AvatarState;
+
+/// Errors produced when decoding avatar frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the frame was complete.
+    Overrun(ReadOverrunError),
+    /// A delta frame arrived with no reference state to apply it to.
+    MissingReference,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Overrun(e) => write!(f, "truncated avatar frame: {e}"),
+            CodecError::MissingReference => write!(f, "delta frame without a reference state"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Overrun(e) => Some(e),
+            CodecError::MissingReference => None,
+        }
+    }
+}
+
+impl From<ReadOverrunError> for CodecError {
+    fn from(e: ReadOverrunError) -> Self {
+        CodecError::Overrun(e)
+    }
+}
+
+/// Bit-allocation configuration of the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecConfig {
+    /// Classroom (or virtual space) bounds for head positions.
+    pub bounds: SpaceBounds,
+    /// Bits per axis for head position (default 14: sub-2 mm in a classroom).
+    pub position_bits: u32,
+    /// Bits per stored quaternion component (default 10: ~0.3°).
+    pub orientation_bits: u32,
+    /// Bits per axis for hand offsets from the head (default 10 over ±1.5 m).
+    pub hand_bits: u32,
+    /// Bits per axis for velocity (default 12 over ±8 m/s).
+    pub velocity_bits: u32,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig {
+            bounds: SpaceBounds::classroom(),
+            position_bits: 14,
+            orientation_bits: 10,
+            hand_bits: 10,
+            velocity_bits: 12,
+        }
+    }
+}
+
+/// Reach of hands from the head, metres (each axis).
+const HAND_RANGE: f64 = 1.5;
+/// Velocity range, metres/second (each axis).
+const VEL_RANGE: f64 = 8.0;
+
+/// Encoder/decoder for [`AvatarState`] wire frames.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::{AvatarCodec, AvatarState, Vec3};
+///
+/// let codec = AvatarCodec::with_defaults();
+/// let state = AvatarState::at_position(Vec3::new(3.0, 1.6, 5.0));
+/// let bytes = codec.encode_full(&state);
+/// let decoded = codec.decode(None, &bytes)?;
+/// assert!(state.position_error(&decoded) < 0.01);
+/// # Ok::<(), metaclass_avatar::CodecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvatarCodec {
+    cfg: CodecConfig,
+    pos: PositionQuantizer,
+    quat: QuatQuantizer,
+    hand: PositionQuantizer,
+    vel: PositionQuantizer,
+}
+
+impl AvatarCodec {
+    /// Creates a codec from a configuration.
+    pub fn new(cfg: CodecConfig) -> Self {
+        let hand_bounds = SpaceBounds::new(
+            Vec3::new(-HAND_RANGE, -HAND_RANGE, -HAND_RANGE),
+            Vec3::new(HAND_RANGE, HAND_RANGE, HAND_RANGE),
+        );
+        let vel_bounds = SpaceBounds::new(
+            Vec3::new(-VEL_RANGE, -VEL_RANGE, -VEL_RANGE),
+            Vec3::new(VEL_RANGE, VEL_RANGE, VEL_RANGE),
+        );
+        AvatarCodec {
+            pos: PositionQuantizer::new(cfg.bounds, cfg.position_bits),
+            quat: QuatQuantizer::new(cfg.orientation_bits),
+            hand: PositionQuantizer::new(hand_bounds, cfg.hand_bits),
+            vel: PositionQuantizer::new(vel_bounds, cfg.velocity_bits),
+            cfg,
+        }
+    }
+
+    /// Creates a codec with [`CodecConfig::default`].
+    pub fn with_defaults() -> Self {
+        Self::new(CodecConfig::default())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CodecConfig {
+        &self.cfg
+    }
+
+    /// Worst-case head-position reconstruction error, metres.
+    pub fn position_error_bound(&self) -> f64 {
+        self.pos.max_error()
+    }
+
+    /// Projects a state onto the quantization grid: what a decoder would
+    /// reconstruct from a full frame of `state`. Use the returned state as
+    /// the reference for the next [`AvatarCodec::encode_delta`].
+    pub fn reconstruct(&self, state: &AvatarState) -> AvatarState {
+        let head_pos = self.pos.dequantize(self.pos.quantize(state.head.position));
+        let orientation = self.quat.dequantize(self.quat.quantize(state.head.orientation));
+        let lh = self.dequant_hand(self.quant_hand(state.left_hand, head_pos), head_pos);
+        let rh = self.dequant_hand(self.quant_hand(state.right_hand, head_pos), head_pos);
+        let vel = self.vel.dequantize(self.vel.quantize(state.velocity));
+        AvatarState {
+            head: crate::geom::Pose::new(head_pos, orientation),
+            left_hand: lh,
+            right_hand: rh,
+            velocity: vel,
+            expression: ExpressionFrame::from_quantized(&state.expression.quantize()),
+        }
+    }
+
+    fn quant_hand(&self, hand: Vec3, head_pos: Vec3) -> [u32; 3] {
+        self.hand.quantize(hand - head_pos)
+    }
+
+    fn dequant_hand(&self, g: [u32; 3], head_pos: Vec3) -> Vec3 {
+        head_pos + self.hand.dequantize(g)
+    }
+
+    /// Encodes a complete snapshot of `state`.
+    pub fn encode_full(&self, state: &AvatarState) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bool(true); // full frame
+        let pg = self.pos.quantize(state.head.position);
+        for g in pg {
+            w.write_bits(g as u64, self.cfg.position_bits);
+        }
+        let head_pos = self.pos.dequantize(pg);
+        self.write_quat(&mut w, self.quat.quantize(state.head.orientation));
+        for g in self.quant_hand(state.left_hand, head_pos) {
+            w.write_bits(g as u64, self.cfg.hand_bits);
+        }
+        for g in self.quant_hand(state.right_hand, head_pos) {
+            w.write_bits(g as u64, self.cfg.hand_bits);
+        }
+        for g in self.vel.quantize(state.velocity) {
+            w.write_bits(g as u64, self.cfg.velocity_bits);
+        }
+        for q in state.expression.quantize() {
+            w.write_bits(q as u64, 8);
+        }
+        w.into_bytes()
+    }
+
+    /// Encodes only the fields of `state` whose quantized value differs from
+    /// `reference` (which must be a reconstructed state — see
+    /// [`AvatarCodec::reconstruct`]). An unchanged state encodes to ~1 byte.
+    pub fn encode_delta(&self, reference: &AvatarState, state: &AvatarState) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bool(false); // delta frame
+
+        let prev_pg = self.pos.quantize(reference.head.position);
+        let cur_pg = self.pos.quantize(state.head.position);
+        let pos_changed = prev_pg != cur_pg;
+        let cur_head = self.pos.dequantize(cur_pg);
+        // Hand grids are head-relative, so recompute both against the
+        // *current* head so pure head translation doesn't dirty the hands.
+        let prev_q = self.quat.quantize(reference.head.orientation);
+        let cur_q = self.quat.quantize(state.head.orientation);
+        let quat_changed = prev_q != cur_q;
+        let ref_head = self.pos.dequantize(prev_pg);
+        let prev_lh = self.quant_hand(reference.left_hand, ref_head);
+        let cur_lh = self.quant_hand(state.left_hand, cur_head);
+        let lh_changed = prev_lh != cur_lh;
+        let prev_rh = self.quant_hand(reference.right_hand, ref_head);
+        let cur_rh = self.quant_hand(state.right_hand, cur_head);
+        let rh_changed = prev_rh != cur_rh;
+        let prev_v = self.vel.quantize(reference.velocity);
+        let cur_v = self.vel.quantize(state.velocity);
+        let vel_changed = prev_v != cur_v;
+        let prev_e = reference.expression.quantize();
+        let cur_e = state.expression.quantize();
+        let expr_changed = prev_e != cur_e;
+
+        w.write_bool(pos_changed);
+        w.write_bool(quat_changed);
+        w.write_bool(lh_changed);
+        w.write_bool(rh_changed);
+        w.write_bool(vel_changed);
+        w.write_bool(expr_changed);
+
+        if pos_changed {
+            for (c, p) in cur_pg.iter().zip(&prev_pg) {
+                w.write_varint_signed(*c as i64 - *p as i64);
+            }
+        }
+        if quat_changed {
+            self.write_quat(&mut w, cur_q);
+        }
+        if lh_changed {
+            for g in cur_lh {
+                w.write_bits(g as u64, self.cfg.hand_bits);
+            }
+        }
+        if rh_changed {
+            for g in cur_rh {
+                w.write_bits(g as u64, self.cfg.hand_bits);
+            }
+        }
+        if vel_changed {
+            for g in cur_v {
+                w.write_bits(g as u64, self.cfg.velocity_bits);
+            }
+        }
+        if expr_changed {
+            let mut mask: u64 = 0;
+            for (i, (c, p)) in cur_e.iter().zip(&prev_e).enumerate() {
+                if c != p {
+                    mask |= 1 << i;
+                }
+            }
+            w.write_bits(mask, CHANNELS as u32);
+            for (i, c) in cur_e.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    w.write_bits(*c as u64, 8);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn write_quat(&self, w: &mut BitWriter, q: QuantizedQuat) {
+        w.write_bits(q.largest as u64, 2);
+        for c in q.components {
+            w.write_bits(c as u64, self.cfg.orientation_bits);
+        }
+    }
+
+    fn read_quat(&self, r: &mut BitReader<'_>) -> Result<QuantizedQuat, CodecError> {
+        let largest = r.read_bits(2)? as u8;
+        let mut components = [0u32; 3];
+        for c in &mut components {
+            *c = r.read_bits(self.cfg.orientation_bits)? as u32;
+        }
+        Ok(QuantizedQuat { largest, components })
+    }
+
+    /// Decodes a frame, applying a delta against `reference` if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::MissingReference`] if `bytes` is a delta frame and
+    /// `reference` is `None`; [`CodecError::Overrun`] on truncated input.
+    pub fn decode(
+        &self,
+        reference: Option<&AvatarState>,
+        bytes: &[u8],
+    ) -> Result<AvatarState, CodecError> {
+        let mut r = BitReader::new(bytes);
+        let full = r.read_bool()?;
+        if full {
+            return self.decode_full_body(&mut r);
+        }
+        let reference = reference.ok_or(CodecError::MissingReference)?;
+
+        let pos_changed = r.read_bool()?;
+        let quat_changed = r.read_bool()?;
+        let lh_changed = r.read_bool()?;
+        let rh_changed = r.read_bool()?;
+        let vel_changed = r.read_bool()?;
+        let expr_changed = r.read_bool()?;
+
+        let prev_pg = self.pos.quantize(reference.head.position);
+        let cur_pg = if pos_changed {
+            let mut g = [0u32; 3];
+            for (o, p) in g.iter_mut().zip(&prev_pg) {
+                let d = r.read_varint_signed()?;
+                *o = (*p as i64 + d).clamp(0, (1 << self.cfg.position_bits) - 1) as u32;
+            }
+            g
+        } else {
+            prev_pg
+        };
+        let head_pos = self.pos.dequantize(cur_pg);
+
+        let orientation = if quat_changed {
+            self.quat.dequantize(self.read_quat(&mut r)?)
+        } else {
+            reference.head.orientation
+        };
+
+        let ref_head = self.pos.dequantize(prev_pg);
+        let left_hand = if lh_changed {
+            let mut g = [0u32; 3];
+            for o in &mut g {
+                *o = r.read_bits(self.cfg.hand_bits)? as u32;
+            }
+            self.dequant_hand(g, head_pos)
+        } else {
+            self.dequant_hand(self.quant_hand(reference.left_hand, ref_head), head_pos)
+        };
+        let right_hand = if rh_changed {
+            let mut g = [0u32; 3];
+            for o in &mut g {
+                *o = r.read_bits(self.cfg.hand_bits)? as u32;
+            }
+            self.dequant_hand(g, head_pos)
+        } else {
+            self.dequant_hand(self.quant_hand(reference.right_hand, ref_head), head_pos)
+        };
+
+        let velocity = if vel_changed {
+            let mut g = [0u32; 3];
+            for o in &mut g {
+                *o = r.read_bits(self.cfg.velocity_bits)? as u32;
+            }
+            self.vel.dequantize(g)
+        } else {
+            reference.velocity
+        };
+
+        let expression = if expr_changed {
+            let mask = r.read_bits(CHANNELS as u32)?;
+            let mut q = reference.expression.quantize();
+            for (i, o) in q.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *o = r.read_bits(8)? as u8;
+                }
+            }
+            ExpressionFrame::from_quantized(&q)
+        } else {
+            reference.expression
+        };
+
+        Ok(AvatarState {
+            head: crate::geom::Pose::new(head_pos, orientation),
+            left_hand,
+            right_hand,
+            velocity,
+            expression,
+        })
+    }
+
+    fn decode_full_body(&self, r: &mut BitReader<'_>) -> Result<AvatarState, CodecError> {
+        let mut pg = [0u32; 3];
+        for g in &mut pg {
+            *g = r.read_bits(self.cfg.position_bits)? as u32;
+        }
+        let head_pos = self.pos.dequantize(pg);
+        let orientation = self.quat.dequantize(self.read_quat(r)?);
+        let mut lh = [0u32; 3];
+        for g in &mut lh {
+            *g = r.read_bits(self.cfg.hand_bits)? as u32;
+        }
+        let mut rh = [0u32; 3];
+        for g in &mut rh {
+            *g = r.read_bits(self.cfg.hand_bits)? as u32;
+        }
+        let mut vg = [0u32; 3];
+        for g in &mut vg {
+            *g = r.read_bits(self.cfg.velocity_bits)? as u32;
+        }
+        let mut eq = [0u8; CHANNELS];
+        for e in &mut eq {
+            *e = r.read_bits(8)? as u8;
+        }
+        Ok(AvatarState {
+            head: crate::geom::Pose::new(head_pos, orientation),
+            left_hand: self.dequant_hand(lh, head_pos),
+            right_hand: self.dequant_hand(rh, head_pos),
+            velocity: self.vel.dequantize(vg),
+            expression: ExpressionFrame::from_quantized(&eq),
+        })
+    }
+}
+
+impl Default for AvatarCodec {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::BlendChannel;
+    use crate::geom::Quat;
+    use proptest::prelude::*;
+
+    fn sample_state() -> AvatarState {
+        let mut st = AvatarState::at_position(Vec3::new(4.2, 1.65, 7.7));
+        st.head.orientation = Quat::from_euler(0.8, -0.2, 0.05);
+        st.velocity = Vec3::new(0.4, 0.0, -0.7);
+        st.expression.set(BlendChannel::JawOpen, 0.35);
+        st.expression.set(BlendChannel::EyeBlinkLeft, 0.9);
+        st
+    }
+
+    #[test]
+    fn full_frame_roundtrip_within_bounds() {
+        let codec = AvatarCodec::with_defaults();
+        let st = sample_state();
+        let decoded = codec.decode(None, &codec.encode_full(&st)).unwrap();
+        assert!(st.position_error(&decoded) <= codec.position_error_bound());
+        assert!(st.orientation_error_deg(&decoded) < 0.5);
+        assert!(st.hand_error(&decoded) < 0.01);
+        assert!(st.expression.max_abs_diff(&decoded.expression) < 0.003);
+    }
+
+    #[test]
+    fn full_frame_size_is_compact() {
+        let codec = AvatarCodec::with_defaults();
+        let bytes = codec.encode_full(&sample_state());
+        // 1 + 42 + 32 + 60 + 36 + 128 bits = 299 bits = 38 bytes.
+        assert!(bytes.len() <= 40, "full frame is {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn unchanged_delta_is_one_byte() {
+        let codec = AvatarCodec::with_defaults();
+        let reference = codec.reconstruct(&sample_state());
+        let bytes = codec.encode_delta(&reference, &reference);
+        assert_eq!(bytes.len(), 1, "idle avatar delta should be 1 byte");
+        let decoded = codec.decode(Some(&reference), &bytes).unwrap();
+        assert!(reference.position_error(&decoded) < 1e-9);
+    }
+
+    #[test]
+    fn small_move_delta_is_much_smaller_than_full() {
+        let codec = AvatarCodec::with_defaults();
+        let st = sample_state();
+        let reference = codec.reconstruct(&st);
+        let mut moved = reference;
+        moved.head.position += Vec3::new(0.01, 0.0, 0.005);
+        let delta = codec.encode_delta(&reference, &moved);
+        let full = codec.encode_full(&moved);
+        assert!(delta.len() * 3 < full.len(), "delta {} full {}", delta.len(), full.len());
+    }
+
+    #[test]
+    fn delta_decode_matches_full_decode() {
+        let codec = AvatarCodec::with_defaults();
+        let st = sample_state();
+        let reference = codec.reconstruct(&st);
+        let mut next = st;
+        next.head.position += Vec3::new(0.3, 0.01, -0.2);
+        next.head.orientation = Quat::from_yaw(1.1);
+        next.left_hand += Vec3::new(0.2, 0.1, 0.0);
+        next.velocity = Vec3::new(1.0, 0.0, 0.0);
+        next.expression.set(BlendChannel::MouthSmileLeft, 0.7);
+
+        let via_delta = codec
+            .decode(Some(&reference), &codec.encode_delta(&reference, &next))
+            .unwrap();
+        let via_full = codec.decode(None, &codec.encode_full(&next)).unwrap();
+        assert!(via_delta.position_error(&via_full) < 1e-9);
+        assert!(via_delta.orientation_error_deg(&via_full) < 1e-6);
+        assert!(via_delta.hand_error(&via_full) < 1e-9);
+        assert!(via_delta.expression.max_abs_diff(&via_full.expression) < 1e-6);
+    }
+
+    #[test]
+    fn delta_without_reference_is_an_error() {
+        let codec = AvatarCodec::with_defaults();
+        let reference = codec.reconstruct(&sample_state());
+        let bytes = codec.encode_delta(&reference, &reference);
+        assert_eq!(codec.decode(None, &bytes), Err(CodecError::MissingReference));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let codec = AvatarCodec::with_defaults();
+        let bytes = codec.encode_full(&sample_state());
+        let err = codec.decode(None, &bytes[..10]).unwrap_err();
+        assert!(matches!(err, CodecError::Overrun(_)));
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn reconstruct_is_idempotent() {
+        let codec = AvatarCodec::with_defaults();
+        let once = codec.reconstruct(&sample_state());
+        let twice = codec.reconstruct(&once);
+        assert!(once.position_error(&twice) < 1e-12);
+        assert!(once.hand_error(&twice) < 1e-9);
+        assert_eq!(once.expression, twice.expression);
+    }
+
+    #[test]
+    fn chained_deltas_do_not_drift() {
+        let codec = AvatarCodec::with_defaults();
+        let mut truth = sample_state();
+        let mut reference = codec.reconstruct(&truth);
+        for step in 0..200 {
+            truth.head.position += Vec3::new(0.01, 0.0, 0.005);
+            truth.head.orientation = Quat::from_yaw(step as f64 * 0.01);
+            let bytes = codec.encode_delta(&reference, &truth);
+            reference = codec.decode(Some(&reference), &bytes).unwrap();
+            assert!(
+                truth.position_error(&reference) <= codec.position_error_bound() + 1e-9,
+                "drift at step {step}: {}",
+                truth.position_error(&reference)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_full_roundtrip_error_bounded(
+            x in 0.0..20.0f64, y in 0.0..5.0f64, z in 0.0..15.0f64,
+            yaw in -3.0f64..3.0, vx in -7.9f64..7.9
+        ) {
+            let codec = AvatarCodec::with_defaults();
+            let mut st = AvatarState::at_position(Vec3::new(x, y, z));
+            st.head.orientation = Quat::from_yaw(yaw);
+            st.velocity = Vec3::new(vx, 0.0, 0.0);
+            let decoded = codec.decode(None, &codec.encode_full(&st)).unwrap();
+            prop_assert!(st.position_error(&decoded) <= codec.position_error_bound() + 1e-12);
+            prop_assert!(st.orientation_error_deg(&decoded) < 0.5);
+            prop_assert!((st.velocity.x - decoded.velocity.x).abs() < 0.005);
+        }
+
+        #[test]
+        fn prop_delta_equals_full(
+            dx in -0.5f64..0.5, dz in -0.5f64..0.5, yaw in -3.0f64..3.0
+        ) {
+            let codec = AvatarCodec::with_defaults();
+            let base = codec.reconstruct(&AvatarState::at_position(Vec3::new(10.0, 1.6, 7.0)));
+            let mut next = base;
+            next.head.position += Vec3::new(dx, 0.0, dz);
+            next.head.orientation = Quat::from_yaw(yaw);
+            let via_delta = codec.decode(Some(&base), &codec.encode_delta(&base, &next)).unwrap();
+            let via_full = codec.decode(None, &codec.encode_full(&next)).unwrap();
+            prop_assert!(via_delta.position_error(&via_full) < 1e-9);
+            prop_assert!(via_delta.orientation_error_deg(&via_full) < 1e-6);
+        }
+    }
+}

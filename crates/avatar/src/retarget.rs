@@ -1,0 +1,168 @@
+//! Pose retargeting between classroom frames.
+//!
+//! When Classroom 2's edge server receives a remote participant, it
+//! "identifies the vacant seats … corrects the pose to match the new position
+//! of the avatar" (§3.2). Retargeting re-expresses an avatar's state in a
+//! destination anchor frame (a seat, a podium) and clamps it into the seat's
+//! allowed volume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geom::{Pose, Vec3};
+use crate::state::AvatarState;
+
+/// An anchor a remote avatar can be retargeted onto: a pose in the local
+/// classroom plus the half-extent of the volume the avatar may occupy
+/// around it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnchorFrame {
+    /// The anchor pose in the destination classroom frame.
+    pub pose: Pose,
+    /// Half-extent of the allowed volume around the anchor (metres per axis).
+    pub half_extent: Vec3,
+}
+
+impl AnchorFrame {
+    /// A seat anchor: tight lateral bounds, height allowing standing heads
+    /// (anchors sit at floor level).
+    pub fn seat(pose: Pose) -> Self {
+        AnchorFrame { pose, half_extent: Vec3::new(0.4, 2.0, 0.4) }
+    }
+
+    /// A podium anchor for presenters: a walkable 3 m x 2 m area.
+    pub fn podium(pose: Pose) -> Self {
+        AnchorFrame { pose, half_extent: Vec3::new(1.5, 2.0, 1.0) }
+    }
+}
+
+/// Metrics of a retargeting operation, for auditing distortion.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RetargetReport {
+    /// Metres the head had to be clamped to fit the anchor volume.
+    pub clamp_distance: f64,
+}
+
+/// Re-expresses `state` (given in the frame of `src_anchor`) in the frame of
+/// `dst_anchor`, clamping the head into the destination volume.
+///
+/// Local offsets (head relative to anchor, hands relative to head) are
+/// preserved; velocity is rotated into the destination frame. Returns the
+/// retargeted state and a distortion report.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::{retarget, AnchorFrame, AvatarState, Pose, Quat, Vec3};
+///
+/// let src = AnchorFrame::seat(Pose::new(Vec3::new(2.0, 0.0, 3.0), Quat::IDENTITY));
+/// let dst = AnchorFrame::seat(Pose::new(Vec3::new(8.0, 0.0, 1.0), Quat::from_yaw(1.0)));
+/// let st = AvatarState::at_position(Vec3::new(2.1, 1.2, 3.0));
+/// let (out, report) = retarget(&st, &src, &dst);
+/// assert!(report.clamp_distance < 1e-9);
+/// assert!(out.head.position.distance(dst.pose.position) < 2.0);
+/// ```
+pub fn retarget(
+    state: &AvatarState,
+    src_anchor: &AnchorFrame,
+    dst_anchor: &AnchorFrame,
+) -> (AvatarState, RetargetReport) {
+    let src = &src_anchor.pose;
+    let dst = &dst_anchor.pose;
+
+    // Head position in the source anchor's local frame, clamped to the
+    // destination volume.
+    let local_head = src.inverse_transform_point(state.head.position);
+    let clamped = local_head.clamp_box(-dst_anchor.half_extent, dst_anchor.half_extent);
+    let clamp_distance = local_head.distance(clamped);
+
+    // Relative rotation carrying source frame to destination frame.
+    let rel = (dst.orientation * src.orientation.conjugate()).normalized();
+
+    let new_head_pos = dst.transform_point(clamped);
+    let new_orientation = (rel * state.head.orientation).normalized();
+
+    // Hands follow as offsets from the head, rotated by the frame change.
+    let lh_off = state.left_hand - state.head.position;
+    let rh_off = state.right_hand - state.head.position;
+
+    let out = AvatarState {
+        head: Pose::new(new_head_pos, new_orientation),
+        left_hand: new_head_pos + rel.rotate(lh_off),
+        right_hand: new_head_pos + rel.rotate(rh_off),
+        velocity: rel.rotate(state.velocity),
+        expression: state.expression,
+    };
+    (out, RetargetReport { clamp_distance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Quat;
+
+    fn anchor_at(x: f64, z: f64, yaw: f64) -> AnchorFrame {
+        AnchorFrame::seat(Pose::new(Vec3::new(x, 0.0, z), Quat::from_yaw(yaw)))
+    }
+
+    #[test]
+    fn identity_retarget_is_a_noop() {
+        let a = anchor_at(3.0, 4.0, 0.5);
+        let st = AvatarState::at_position(Vec3::new(3.1, 1.3, 4.0));
+        let (out, report) = retarget(&st, &a, &a);
+        assert!(out.position_error(&st) < 1e-9);
+        assert!(out.orientation_error_deg(&st) < 1e-6);
+        assert!(out.hand_error(&st) < 1e-9);
+        assert_eq!(report.clamp_distance, 0.0);
+    }
+
+    #[test]
+    fn translation_moves_avatar_with_anchor() {
+        let src = anchor_at(0.0, 0.0, 0.0);
+        let dst = anchor_at(10.0, 5.0, 0.0);
+        let st = AvatarState::at_position(Vec3::new(0.2, 1.2, 0.1));
+        let (out, _) = retarget(&st, &src, &dst);
+        assert!(out.head.position.distance(Vec3::new(10.2, 1.2, 5.1)) < 1e-9);
+    }
+
+    #[test]
+    fn rotation_rotates_gaze_and_velocity() {
+        let src = anchor_at(0.0, 0.0, 0.0);
+        let dst = anchor_at(0.0, 0.0, std::f64::consts::FRAC_PI_2);
+        let mut st = AvatarState::at_position(Vec3::new(0.0, 1.2, 0.0));
+        st.velocity = Vec3::new(0.0, 0.0, 1.0);
+        let (out, _) = retarget(&st, &src, &dst);
+        // Forward (+z) velocity becomes +x after a 90° yaw.
+        assert!(out.velocity.distance(Vec3::new(1.0, 0.0, 0.0)) < 1e-9);
+        assert!((out.head.orientation.yaw() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_volume_heads_are_clamped_and_reported() {
+        let src = anchor_at(0.0, 0.0, 0.0);
+        let dst = anchor_at(5.0, 5.0, 0.0);
+        // 3 m from the seat: far outside the 0.4 m half-extent.
+        let st = AvatarState::at_position(Vec3::new(3.0, 1.2, 0.0));
+        let (out, report) = retarget(&st, &src, &dst);
+        assert!(report.clamp_distance > 2.0);
+        let local = dst.pose.inverse_transform_point(out.head.position);
+        assert!(local.x.abs() <= 0.4 + 1e-9);
+    }
+
+    #[test]
+    fn hand_offsets_are_rigid() {
+        let src = anchor_at(0.0, 0.0, 0.0);
+        let dst = anchor_at(2.0, 1.0, 1.1);
+        let st = AvatarState::at_position(Vec3::new(0.1, 1.2, 0.2));
+        let (out, _) = retarget(&st, &src, &dst);
+        let before = st.left_hand.distance(st.head.position);
+        let after = out.left_hand.distance(out.head.position);
+        assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn podium_volume_is_larger_than_seat() {
+        let p = AnchorFrame::podium(Pose::default());
+        let s = AnchorFrame::seat(Pose::default());
+        assert!(p.half_extent.x > s.half_extent.x);
+    }
+}

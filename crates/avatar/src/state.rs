@@ -1,0 +1,152 @@
+//! Avatar identity and kinematic state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expression::ExpressionFrame;
+use crate::geom::{Pose, Vec3};
+
+/// Globally unique identifier of an avatar (one per class participant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AvatarId(pub u32);
+
+impl std::fmt::Display for AvatarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "avatar{}", self.0)
+    }
+}
+
+/// The replicated state of one avatar: what the blueprint's edge server
+/// extracts from headset + room-sensor data and ships to the other
+/// classrooms (§3.2).
+///
+/// Positions are metres in the local classroom frame; hands are tracked as
+/// points (MR controllers / hand tracking), velocity supports dead reckoning.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::{AvatarState, Vec3};
+///
+/// let mut st = AvatarState::at_position(Vec3::new(1.0, 1.2, 3.0));
+/// st.velocity = Vec3::new(0.5, 0.0, 0.0);
+/// let predicted = st.extrapolate(0.2);
+/// assert!((predicted.head.position.x - 1.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AvatarState {
+    /// Head pose (position + orientation).
+    pub head: Pose,
+    /// Left-hand position.
+    pub left_hand: Vec3,
+    /// Right-hand position.
+    pub right_hand: Vec3,
+    /// Linear velocity of the head, metres per second.
+    pub velocity: Vec3,
+    /// Facial expression blendshapes.
+    pub expression: ExpressionFrame,
+}
+
+impl AvatarState {
+    /// A neutral avatar standing at `position`, hands at rest by the torso.
+    pub fn at_position(position: Vec3) -> Self {
+        AvatarState {
+            head: Pose::new(position, crate::geom::Quat::IDENTITY),
+            left_hand: position + Vec3::new(-0.25, -0.45, 0.1),
+            right_hand: position + Vec3::new(0.25, -0.45, 0.1),
+            velocity: Vec3::ZERO,
+            expression: ExpressionFrame::neutral(),
+        }
+    }
+
+    /// Linear extrapolation `dt_secs` into the future using the stored
+    /// velocity (dead reckoning's prediction step).
+    pub fn extrapolate(&self, dt_secs: f64) -> AvatarState {
+        let dp = self.velocity * dt_secs;
+        let mut out = *self;
+        out.head.position += dp;
+        out.left_hand += dp;
+        out.right_hand += dp;
+        out
+    }
+
+    /// Interpolates between two states (`self` at `t = 0`).
+    pub fn interpolate(&self, other: &AvatarState, t: f64) -> AvatarState {
+        let tc = t.clamp(0.0, 1.0);
+        AvatarState {
+            head: self.head.interpolate(&other.head, tc),
+            left_hand: self.left_hand.lerp(other.left_hand, tc),
+            right_hand: self.right_hand.lerp(other.right_hand, tc),
+            velocity: self.velocity.lerp(other.velocity, tc),
+            expression: self.expression.lerp(&other.expression, tc as f32),
+        }
+    }
+
+    /// Head-position error to another state, in metres.
+    pub fn position_error(&self, other: &AvatarState) -> f64 {
+        self.head.position.distance(other.head.position)
+    }
+
+    /// Head-orientation error to another state, in degrees.
+    pub fn orientation_error_deg(&self, other: &AvatarState) -> f64 {
+        self.head.orientation.angle_to(other.head.orientation).to_degrees()
+    }
+
+    /// Worst hand-position error to another state, in metres.
+    pub fn hand_error(&self, other: &AvatarState) -> f64 {
+        self.left_hand
+            .distance(other.left_hand)
+            .max(self.right_hand.distance(other.right_hand))
+    }
+
+    /// Whether all numeric fields are finite.
+    pub fn is_finite(&self) -> bool {
+        self.head.position.is_finite()
+            && self.head.orientation.is_finite()
+            && self.left_hand.is_finite()
+            && self.right_hand.is_finite()
+            && self.velocity.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Quat;
+
+    #[test]
+    fn extrapolation_moves_all_body_points() {
+        let mut st = AvatarState::at_position(Vec3::new(0.0, 1.6, 0.0));
+        st.velocity = Vec3::new(1.0, 0.0, 2.0);
+        let out = st.extrapolate(0.5);
+        assert!((out.head.position.x - 0.5).abs() < 1e-9);
+        assert!((out.head.position.z - 1.0).abs() < 1e-9);
+        assert!((out.left_hand.x - st.left_hand.x - 0.5).abs() < 1e-9);
+        assert!((out.right_hand.z - st.right_hand.z - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_is_clamped_and_exact_at_endpoints() {
+        let a = AvatarState::at_position(Vec3::ZERO);
+        let mut b = AvatarState::at_position(Vec3::new(2.0, 0.0, 0.0));
+        b.head.orientation = Quat::from_yaw(1.0);
+        assert_eq!(a.interpolate(&b, -1.0), a.interpolate(&b, 0.0));
+        assert!(a.interpolate(&b, 1.0).position_error(&b) < 1e-9);
+        assert!(a.interpolate(&b, 0.5).head.position.x - 1.0 < 1e-9);
+    }
+
+    #[test]
+    fn error_metrics_are_zero_on_self() {
+        let st = AvatarState::at_position(Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(st.position_error(&st), 0.0);
+        assert!(st.orientation_error_deg(&st) < 1e-6);
+        assert_eq!(st.hand_error(&st), 0.0);
+        assert!(st.is_finite());
+    }
+
+    #[test]
+    fn non_finite_is_detected() {
+        let mut st = AvatarState::at_position(Vec3::ZERO);
+        st.velocity = Vec3::new(f64::NAN, 0.0, 0.0);
+        assert!(!st.is_finite());
+    }
+}

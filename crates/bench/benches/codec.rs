@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks: the compute-bound codecs on the hot path
+//! (avatar wire codec, Reed–Solomon FEC) — the per-participant CPU costs
+//! behind every row of E3 and E6.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use metaclass_avatar::{AvatarCodec, AvatarState, Quat, Vec3};
+use metaclass_media::{shard_frame, FecConfig, FrameAssembler, ReedSolomon};
+use metaclass_netsim::DetRng;
+
+fn avatar_codec(c: &mut Criterion) {
+    let codec = AvatarCodec::with_defaults();
+    let mut st = AvatarState::at_position(Vec3::new(4.0, 1.6, 7.0));
+    st.head.orientation = Quat::from_euler(0.7, -0.1, 0.0);
+    st.velocity = Vec3::new(0.4, 0.0, -0.2);
+    let reference = codec.reconstruct(&st);
+    let mut moved = reference;
+    moved.head.position += Vec3::new(0.05, 0.0, 0.02);
+
+    let mut g = c.benchmark_group("avatar_codec");
+    g.bench_function("encode_full", |b| b.iter(|| codec.encode_full(std::hint::black_box(&st))));
+    g.bench_function("encode_delta", |b| {
+        b.iter(|| codec.encode_delta(std::hint::black_box(&reference), std::hint::black_box(&moved)))
+    });
+    let full = codec.encode_full(&st);
+    g.bench_function("decode_full", |b| b.iter(|| codec.decode(None, std::hint::black_box(&full))));
+    let delta = codec.encode_delta(&reference, &moved);
+    g.bench_function("decode_delta", |b| {
+        b.iter(|| codec.decode(Some(&reference), std::hint::black_box(&delta)))
+    });
+    g.finish();
+}
+
+fn reed_solomon(c: &mut Criterion) {
+    let mut rng = DetRng::new(7);
+    let rs = ReedSolomon::new(8, 4).unwrap();
+    let shard_len = 1200usize;
+    let data: Vec<Vec<u8>> = (0..8)
+        .map(|_| (0..shard_len).map(|_| rng.range_u64(0, 256) as u8).collect())
+        .collect();
+
+    let mut g = c.benchmark_group("reed_solomon_8_4");
+    g.throughput(Throughput::Bytes((8 * shard_len) as u64));
+    g.bench_function("encode", |b| b.iter(|| rs.encode(std::hint::black_box(&data)).unwrap()));
+
+    let parity = rs.encode(&data).unwrap();
+    let make_erased = || {
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.iter().cloned().map(Some)).collect();
+        shards[0] = None;
+        shards[3] = None;
+        shards[9] = None;
+        shards
+    };
+    g.bench_function("reconstruct_3_erasures", |b| {
+        b.iter_batched(
+            make_erased,
+            |mut shards| rs.reconstruct(std::hint::black_box(&mut shards)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn frame_pipeline(c: &mut Criterion) {
+    let cfg = FecConfig { data_shards: 8, parity_shards: 2 };
+    let frame: Vec<u8> = (0..16_000u32).map(|i| i as u8).collect();
+    let mut g = c.benchmark_group("video_frame_fec");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("shard_16kB", |b| {
+        b.iter(|| shard_frame(0, std::hint::black_box(&frame), cfg).unwrap())
+    });
+    let shards = shard_frame(0, &frame, cfg).unwrap();
+    g.bench_function("reassemble_with_loss", |b| {
+        b.iter_batched(
+            || shards.clone(),
+            |shards| {
+                let mut asm = FrameAssembler::new();
+                let mut out = None;
+                for (i, s) in shards.into_iter().enumerate() {
+                    if i == 1 || i == 4 {
+                        continue;
+                    }
+                    out = asm.ingest(s).unwrap().or(out);
+                }
+                out.expect("frame reassembles")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, avatar_codec, reed_solomon, frame_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e10_clock_sync.
+fn main() {
+    let out = metaclass_bench::experiments::e10_clock_sync::run(metaclass_bench::quick_requested());
+    println!("{}", out.table);
+}

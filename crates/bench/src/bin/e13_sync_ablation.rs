@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e13_sync_ablation.
+fn main() {
+    let out = metaclass_bench::experiments::e13_sync_ablation::run(metaclass_bench::quick_requested());
+    println!("{}", out.table);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e1_architecture.
+fn main() {
+    let out = metaclass_bench::experiments::e1_architecture::run(metaclass_bench::quick_requested());
+    for t in &out.tables { println!("{t}"); }
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e2_latency_threshold.
+fn main() {
+    let out = metaclass_bench::experiments::e2_latency_threshold::run(metaclass_bench::quick_requested());
+    for t in &out.tables { println!("{t}"); }
+}

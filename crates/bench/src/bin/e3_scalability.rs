@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e3_scalability.
+fn main() {
+    let out = metaclass_bench::experiments::e3_scalability::run(metaclass_bench::quick_requested());
+    println!("{}", out.table);
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e6_video_fec.
+fn main() {
+    let out = metaclass_bench::experiments::e6_video_fec::run(metaclass_bench::quick_requested());
+    println!("{}", out.table);
+}

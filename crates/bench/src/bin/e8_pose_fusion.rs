@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e8_pose_fusion.
+fn main() {
+    let out = metaclass_bench::experiments::e8_pose_fusion::run(metaclass_bench::quick_requested());
+    println!("{}", out.table);
+}

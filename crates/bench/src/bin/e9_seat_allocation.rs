@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment e9_seat_allocation.
+fn main() {
+    let out = metaclass_bench::experiments::e9_seat_allocation::run(metaclass_bench::quick_requested());
+    println!("{}", out.table);
+}

@@ -1,0 +1,152 @@
+//! E11 — Headset input throughput and multimodal feedback (§3.3).
+//!
+//! "The user inputs on mobile MR and VR headsets are far from satisfaction,
+//! resulting in low throughput rates … multi-modal feedback cues (e.g.,
+//! haptics) become necessary … current networking constraints create delayed
+//! feedback and damage user experiences."
+
+use metaclass_netsim::{DetRng, Region, SimDuration};
+use metaclass_xrinput::{presence_score, simulate_text_entry, FeedbackCue, InputChannel};
+
+use crate::Table;
+
+/// Per-channel measured throughput.
+#[derive(Debug, Clone)]
+pub struct ChannelRow {
+    /// The channel.
+    pub channel: InputChannel,
+    /// Mean achieved words per minute over the trials.
+    pub achieved_wpm: f64,
+    /// Mean seconds to enter a 12-word quiz answer.
+    pub answer_secs: f64,
+    /// Correction passes per 100 words.
+    pub corrections_per_100: f64,
+}
+
+/// Presence score of the full feedback bundle at one network distance.
+#[derive(Debug, Clone)]
+pub struct PresenceRow {
+    /// Condition label.
+    pub condition: String,
+    /// Feedback latency, ms.
+    pub latency_ms: u64,
+    /// Presence score in `[0, 1]`.
+    pub presence: f64,
+    /// Whether haptics still feel simultaneous.
+    pub haptics_coherent: bool,
+}
+
+/// Outcome of E11.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Channel throughput rows.
+    pub channels: Vec<ChannelRow>,
+    /// Presence rows.
+    pub presence: Vec<PresenceRow>,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Outcome {
+    let trials = if quick { 30 } else { 300 };
+    let mut rng = DetRng::new(0xE11);
+
+    let mut channels = Vec::new();
+    let mut t1 = Table::new(
+        "E11a: text-entry throughput per input channel (12-word answers)",
+        &["channel", "on headset", "raw wpm", "achieved wpm", "answer (s)", "corr/100w"],
+    );
+    for channel in InputChannel::ALL {
+        let mut wpm_sum = 0.0;
+        let mut secs_sum = 0.0;
+        let mut corrections = 0u32;
+        for _ in 0..trials {
+            let out = simulate_text_entry(channel, 12, &mut rng);
+            wpm_sum += out.achieved_wpm;
+            secs_sum += out.duration.as_secs_f64();
+            corrections += out.corrections;
+        }
+        let row = ChannelRow {
+            channel,
+            achieved_wpm: wpm_sum / trials as f64,
+            answer_secs: secs_sum / trials as f64,
+            corrections_per_100: corrections as f64 * 100.0 / (trials as f64 * 12.0),
+        };
+        t1.row_strings(vec![
+            channel.to_string(),
+            if channel.available_on_headset() { "yes".into() } else { "no".into() },
+            format!("{:.0}", channel.words_per_minute()),
+            format!("{:.1}", row.achieved_wpm),
+            format!("{:.1}", row.answer_secs),
+            format!("{:.1}", row.corrections_per_100),
+        ]);
+        channels.push(row);
+    }
+
+    // Feedback presence: local edge vs regional cloud vs transcontinental.
+    let conditions = [
+        ("local edge (same classroom)", 8u64),
+        ("regional cloud", 25),
+        (
+            "transcontinental peer",
+            2 * Region::EastAsia.one_way_ms(Region::Europe),
+        ),
+    ];
+    let mut presence = Vec::new();
+    let mut t2 = Table::new(
+        "E11b: multimodal feedback presence vs feedback latency",
+        &["condition", "latency (ms)", "presence", "haptics coherent"],
+    );
+    for (label, ms) in conditions {
+        let lat = SimDuration::from_millis(ms);
+        let score = presence_score(&[
+            (FeedbackCue::Visual, lat),
+            (FeedbackCue::Audio, lat),
+            (FeedbackCue::Haptic, lat),
+        ]);
+        let coherent = FeedbackCue::Haptic.is_coherent(lat);
+        t2.row_strings(vec![
+            label.to_string(),
+            ms.to_string(),
+            format!("{score:.2}"),
+            if coherent { "yes".into() } else { "no".into() },
+        ]);
+        presence.push(PresenceRow {
+            condition: label.to_string(),
+            latency_ms: ms,
+            presence: score,
+            haptics_coherent: coherent,
+        });
+    }
+
+    Outcome { channels, presence, tables: vec![t1, t2] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_ordering_matches_the_literature() {
+        let out = run(true);
+        let wpm = |c: InputChannel| {
+            out.channels.iter().find(|r| r.channel == c).unwrap().achieved_wpm
+        };
+        // Keyboard > speech > every other headset channel.
+        assert!(wpm(InputChannel::PhysicalKeyboard) > wpm(InputChannel::Speech));
+        for c in [InputChannel::MidAirGesture, InputChannel::GazeDwell, InputChannel::HandTracking] {
+            assert!(wpm(InputChannel::Speech) > wpm(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn presence_collapses_over_transcontinental_haptics() {
+        let out = run(true);
+        assert!(out.presence[0].presence > 0.95);
+        assert!(out.presence[0].haptics_coherent);
+        let far = out.presence.last().unwrap();
+        assert!(!far.haptics_coherent);
+        assert!(far.presence < 0.5, "presence {}", far.presence);
+    }
+}

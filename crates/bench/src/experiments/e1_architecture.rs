@@ -1,0 +1,116 @@
+//! E1 — The Figure-3 architecture, end to end (also reproduces Figure 2's
+//! unit case).
+//!
+//! Builds the paper's unit case — HKUST CWB + GZ classrooms and the cloud VR
+//! classroom with worldwide remote learners — runs a lecture, and reports the
+//! measured per-path latency distributions next to the analytic per-hop
+//! budgets.
+
+use metaclass_core::{
+    mr_to_mr_budget, mr_to_vr_budget, vr_to_mr_budget, Activity, SessionBuilder, SessionReport,
+};
+use metaclass_netsim::{LinkClass, Region, SimDuration};
+
+use crate::Table;
+
+/// Outcome of E1.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The session's measured report.
+    pub report: SessionReport,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+}
+
+/// Runs the experiment. `quick` shrinks the roster and duration for tests.
+pub fn run(quick: bool) -> Outcome {
+    let (students, secs) = if quick { (4, 5) } else { (16, 60) };
+    let mut session = SessionBuilder::new()
+        .seed(2022)
+        .activity(Activity::Lecture)
+        .cloud_region(Region::EastAsia)
+        .campus("HKUST-CWB", Region::EastAsia, students, true)
+        .campus("HKUST-GZ", Region::EastAsia, students, false)
+        .remote_cohort(Region::EastAsia, if quick { 2 } else { 6 }, LinkClass::ResidentialAccess)
+        .remote_cohort(Region::Europe, if quick { 1 } else { 4 }, LinkClass::ResidentialAccess)
+        .remote_cohort(Region::NorthAmerica, if quick { 1 } else { 4 }, LinkClass::ResidentialAccess)
+        .build();
+    session.run_for(SimDuration::from_secs(secs));
+    let report = session.report();
+
+    let tick = session.config().server.tick;
+    let mut analytic = Table::new(
+        "E1a: analytic per-path motion-to-photon budgets (Figure 3)",
+        &["path", "budget (ms)"],
+    );
+    let paths = [
+        mr_to_mr_budget(Region::EastAsia, Region::EastAsia, tick),
+        mr_to_vr_budget(Region::EastAsia, Region::EastAsia, Region::EastAsia, tick),
+        mr_to_vr_budget(Region::EastAsia, Region::EastAsia, Region::Europe, tick),
+        mr_to_vr_budget(Region::EastAsia, Region::EastAsia, Region::NorthAmerica, tick),
+        vr_to_mr_budget(Region::Europe, Region::EastAsia, Region::EastAsia),
+    ];
+    for p in &paths {
+        analytic.row_strings(vec![p.name.clone(), format!("{:.1}", p.total().as_millis_f64())]);
+    }
+
+    let mut measured = Table::new(
+        "E1b: measured latencies (unit case lecture)",
+        &["path", "n", "p50 (ms)", "p90 (ms)", "p99 (ms)"],
+    );
+    for (name, s) in [
+        ("sensor -> edge ingestion", &report.sensor_latency),
+        ("edge -> peer edge (inter-campus)", &report.inter_campus_latency),
+        ("capture -> MR display", &report.mr_display_latency),
+        ("capture -> VR client display", &report.vr_display_latency),
+    ] {
+        measured.row_strings(vec![
+            name.to_string(),
+            s.count.to_string(),
+            format!("{:.1}", s.p50 as f64 / 1e6),
+            format!("{:.1}", s.p90 as f64 / 1e6),
+            format!("{:.1}", s.p99 as f64 / 1e6),
+        ]);
+    }
+
+    let mut traffic = Table::new(
+        "E1c: replication traffic",
+        &["metric", "value"],
+    );
+    traffic.row_strings(vec![
+        "avatar updates sent".into(),
+        report.updates_sent.to_string(),
+    ]);
+    traffic.row_strings(vec![
+        "dead-reckoning suppression".into(),
+        format!("{:.0}%", report.suppression_ratio() * 100.0),
+    ]);
+    traffic.row_strings(vec![
+        "edge replication bandwidth".into(),
+        format!("{:.0} kbit/s", report.replication_bandwidth_bps() / 1e3),
+    ]);
+    traffic.row_strings(vec![
+        "cloud fan-out bandwidth".into(),
+        format!("{:.0} kbit/s", report.fanout_bandwidth_bps() / 1e3),
+    ]);
+    traffic.row_strings(vec![
+        "network delivery ratio".into(),
+        format!("{:.2}%", report.delivery_ratio() * 100.0),
+    ]);
+
+    Outcome { report, tables: vec![analytic, measured, traffic] }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_sane_numbers() {
+        let out = super::run(true);
+        assert!(out.report.updates_sent > 0);
+        assert!(out.report.mr_display_latency.count > 0);
+        assert!(out.report.vr_display_latency.count > 0);
+        // Intra-Asia MR path within the interactivity budget.
+        assert!(out.report.mr_display_latency.p50 < 100_000_000);
+        assert_eq!(out.tables.len(), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! E4 — Regional servers for a worldwide class (§3.3).
+//!
+//! "Most gaming platforms solve this issue by setting up regional servers."
+//! Distributes a worldwide learner population and compares a single central
+//! cloud against regional points of presence: each learner's RTT is measured
+//! with real probe exchanges over simulated access + backbone links.
+
+use metaclass_netsim::{
+    Context, DetRng, Histogram, LinkClass, LinkConfig, Node, NodeId, Region, SimDuration, SimTime,
+    Simulation,
+};
+
+use crate::Table;
+
+/// Server placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// One cloud in East Asia (next to the campuses).
+    Central,
+    /// A point of presence in every region; learners attach to the nearest.
+    Regional,
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Placement::Central => "central",
+            Placement::Regional => "regional",
+        })
+    }
+}
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Placement strategy.
+    pub placement: Placement,
+    /// Learner population.
+    pub learners: u32,
+    /// Median RTT to the serving node, ms.
+    pub p50_rtt_ms: f64,
+    /// 99th-percentile RTT, ms.
+    pub p99_rtt_ms: f64,
+    /// Fraction of learners with RTT under the 100 ms interactivity bar.
+    pub under_100ms: f64,
+}
+
+/// Outcome of E4.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Measured rows.
+    pub rows: Vec<Row>,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+}
+
+/// Worldwide enrolment mix (share per region) for an online course taught
+/// from Hong Kong.
+const ENROLMENT: [(Region, f64); 8] = [
+    (Region::EastAsia, 0.30),
+    (Region::SoutheastAsia, 0.15),
+    (Region::SouthAsia, 0.15),
+    (Region::Europe, 0.12),
+    (Region::NorthAmerica, 0.12),
+    (Region::SouthAmerica, 0.06),
+    (Region::Oceania, 0.05),
+    (Region::Africa, 0.05),
+];
+
+struct EchoServer;
+impl Node<u64> for EchoServer {
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+        ctx.send(from, msg, 64);
+    }
+}
+
+struct ProbeClient {
+    server: NodeId,
+    sent_at: SimTime,
+    probes_left: u32,
+    rtts: Vec<SimDuration>,
+}
+impl Node<u64> for ProbeClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        self.sent_at = ctx.now();
+        ctx.send(self.server, 0, 64);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, msg: u64) {
+        self.rtts.push(ctx.now().duration_since(self.sent_at));
+        if self.probes_left > 0 {
+            self.probes_left -= 1;
+            self.sent_at = ctx.now();
+            ctx.send(self.server, msg + 1, 64);
+        }
+    }
+}
+
+/// A learner's access link to a server in `server_region`: residential last
+/// mile plus the regional backbone.
+fn access_link(learner: Region, server_region: Region) -> LinkConfig {
+    let base = LinkClass::ResidentialAccess.config();
+    let backbone = learner.one_way_ms(server_region);
+    LinkConfig::new(base.delay() + SimDuration::from_millis(backbone))
+        .with_jitter(base.jitter_std() + SimDuration::from_millis_f64(backbone as f64 * 0.05))
+        .with_loss(base.loss())
+        .with_bandwidth_bps(100_000_000)
+}
+
+fn measure(placement: Placement, learners: u32, seed: u64) -> Row {
+    let mut rng = DetRng::new(seed);
+    let mut sim: Simulation<u64> = Simulation::new(seed);
+
+    // Servers.
+    let server_regions: Vec<Region> = match placement {
+        Placement::Central => vec![Region::EastAsia],
+        Placement::Regional => Region::ALL.to_vec(),
+    };
+    let servers: Vec<NodeId> = server_regions
+        .iter()
+        .map(|r| sim.add_node(format!("server-{r}"), EchoServer))
+        .collect();
+
+    // Learners, sampled from the enrolment mix.
+    let mut clients = Vec::new();
+    for _ in 0..learners {
+        let roll = rng.next_f64();
+        let mut acc = 0.0;
+        let mut region = Region::EastAsia;
+        for (r, share) in ENROLMENT {
+            acc += share;
+            if roll < acc {
+                region = r;
+                break;
+            }
+        }
+        let nearest = region.nearest_of(&server_regions).expect("non-empty");
+        let server = servers[server_regions.iter().position(|r| *r == nearest).expect("found")];
+        let client = sim.add_node(
+            format!("learner-{}", clients.len()),
+            ProbeClient { server, sent_at: SimTime::ZERO, probes_left: 8, rtts: Vec::new() },
+        );
+        sim.connect(client, server, access_link(region, nearest));
+        clients.push(client);
+    }
+
+    sim.run_until_idle();
+
+    let mut hist = Histogram::new();
+    let mut under = 0u32;
+    for &c in &clients {
+        let rtts = &sim.node_as::<ProbeClient>(c).unwrap().rtts;
+        let mean =
+            rtts.iter().map(|r| r.as_nanos()).sum::<u64>() / rtts.len().max(1) as u64;
+        hist.record(mean);
+        if mean < 100_000_000 {
+            under += 1;
+        }
+    }
+    Row {
+        placement,
+        learners,
+        p50_rtt_ms: hist.percentile(50.0) as f64 / 1e6,
+        p99_rtt_ms: hist.percentile(99.0) as f64 / 1e6,
+        under_100ms: under as f64 / learners as f64,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Outcome {
+    let learners = if quick { 200 } else { 2000 };
+    let rows = vec![
+        measure(Placement::Central, learners, 0xE4),
+        measure(Placement::Regional, learners, 0xE4),
+    ];
+    let mut table = Table::new(
+        "E4: worldwide learner RTT — central cloud vs regional servers",
+        &["placement", "learners", "p50 RTT (ms)", "p99 RTT (ms)", "< 100 ms"],
+    );
+    for r in &rows {
+        table.row_strings(vec![
+            r.placement.to_string(),
+            r.learners.to_string(),
+            format!("{:.1}", r.p50_rtt_ms),
+            format!("{:.1}", r.p99_rtt_ms),
+            format!("{:.0}%", r.under_100ms * 100.0),
+        ]);
+    }
+    Outcome { rows, tables: vec![table] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regional_placement_cuts_tail_latency() {
+        let out = run(true);
+        let central = &out.rows[0];
+        let regional = &out.rows[1];
+        assert!(regional.p99_rtt_ms < central.p99_rtt_ms / 2.0,
+            "regional p99 {} vs central {}", regional.p99_rtt_ms, central.p99_rtt_ms);
+        assert!(regional.p50_rtt_ms < central.p50_rtt_ms);
+        assert!(regional.under_100ms > central.under_100ms);
+        assert!(regional.under_100ms > 0.95, "regional serves {:.2} under 100 ms", regional.under_100ms);
+    }
+}

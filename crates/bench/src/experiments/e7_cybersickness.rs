@@ -1,0 +1,173 @@
+//! E7 — Navigation and cybersickness (§3.3).
+//!
+//! Reproduces the factor structure the blueprint cites: sickness grows with
+//! latency, low frame rate, and wide FOV; the speed protector (ref \[43\])
+//! mitigates; individual differences (ref \[44\]) spread outcomes widely.
+
+use metaclass_comfort::{
+    classroom_navigation_trace, run_study, ProtectorConfig, StudyOutcome, SystemConditions,
+    UserProfile,
+};
+use metaclass_netsim::SimDuration;
+
+use crate::Table;
+
+/// One study cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Condition label.
+    pub label: String,
+    /// Outcome without the speed protector.
+    pub raw: StudyOutcome,
+    /// Outcome with the speed protector.
+    pub protected: StudyOutcome,
+}
+
+/// Outcome of E7.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Latency sweep cells.
+    pub latency_cells: Vec<Cell>,
+    /// FPS sweep cells.
+    pub fps_cells: Vec<Cell>,
+    /// FOV sweep cells.
+    pub fov_cells: Vec<Cell>,
+    /// Per-profile cells at fixed conditions.
+    pub profile_cells: Vec<Cell>,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+}
+
+fn cell(
+    label: String,
+    profile: &UserProfile,
+    conditions: SystemConditions,
+    trace: &[metaclass_comfort::NavSample],
+    dt: f64,
+) -> Cell {
+    Cell {
+        label,
+        raw: run_study(profile, conditions, None, trace, dt),
+        protected: run_study(profile, conditions, Some(ProtectorConfig::default()), trace, dt),
+    }
+}
+
+fn push_rows(table: &mut Table, cells: &[Cell]) {
+    for c in cells {
+        table.row_strings(vec![
+            c.label.clone(),
+            format!("{:.1}", c.raw.final_score),
+            c.raw.severity.to_string(),
+            format!("{:.1}", c.protected.final_score),
+            c.protected.severity.to_string(),
+            format!(
+                "{:.0}%",
+                (1.0 - c.protected.final_score / c.raw.final_score.max(1e-9)) * 100.0
+            ),
+        ]);
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Outcome {
+    let (secs, dt) = if quick { (120.0, 0.1) } else { (900.0, 0.05) };
+    let trace = classroom_navigation_trace(secs, dt, 0xE7);
+    let avg = UserProfile::average();
+    let headers: &[&str] =
+        &["condition", "raw score", "raw severity", "protected", "severity", "reduction"];
+
+    let latency_sweep: &[u64] = if quick { &[20, 100, 300] } else { &[10, 20, 50, 100, 200, 400] };
+    let mut latency_cells = Vec::new();
+    for &ms in latency_sweep {
+        latency_cells.push(cell(
+            format!("latency {ms} ms"),
+            &avg,
+            SystemConditions { latency: SimDuration::from_millis(ms), ..Default::default() },
+            &trace,
+            dt,
+        ));
+    }
+    let mut t1 = Table::new("E7a: sickness vs motion-to-photon latency", headers);
+    push_rows(&mut t1, &latency_cells);
+
+    let fps_sweep: &[f64] = if quick { &[30.0, 72.0] } else { &[24.0, 30.0, 45.0, 60.0, 72.0, 90.0, 120.0] };
+    let mut fps_cells = Vec::new();
+    for &fps in fps_sweep {
+        fps_cells.push(cell(
+            format!("fps {fps:.0}"),
+            &avg,
+            SystemConditions { fps, ..Default::default() },
+            &trace,
+            dt,
+        ));
+    }
+    let mut t2 = Table::new("E7b: sickness vs frame rate", headers);
+    push_rows(&mut t2, &fps_cells);
+
+    let fov_sweep: &[f64] = if quick { &[60.0, 120.0] } else { &[60.0, 80.0, 90.0, 110.0, 140.0] };
+    let mut fov_cells = Vec::new();
+    for &fov in fov_sweep {
+        fov_cells.push(cell(
+            format!("fov {fov:.0} deg"),
+            &avg,
+            SystemConditions { fov_deg: fov, ..Default::default() },
+            &trace,
+            dt,
+        ));
+    }
+    let mut t3 = Table::new("E7c: sickness vs field of view", headers);
+    push_rows(&mut t3, &fov_cells);
+
+    let profiles = [
+        ("young gamer", UserProfile { age: 21.0, gaming_hours_per_week: 20.0, prior_vr_exposure: 0.9 }),
+        ("average adult", avg),
+        ("older novice", UserProfile { age: 58.0, gaming_hours_per_week: 0.0, prior_vr_exposure: 0.0 }),
+    ];
+    let mut profile_cells = Vec::new();
+    for (name, p) in &profiles {
+        profile_cells.push(cell(name.to_string(), p, SystemConditions::default(), &trace, dt));
+    }
+    let mut t4 = Table::new("E7d: individual differences (fuzzy susceptibility)", headers);
+    push_rows(&mut t4, &profile_cells);
+
+    Outcome {
+        latency_cells,
+        fps_cells,
+        fov_cells,
+        profile_cells,
+        tables: vec![t1, t2, t3, t4],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn factor_directions_match_the_literature() {
+        let out = super::run(true);
+        // Latency increases sickness.
+        assert!(out.latency_cells[0].raw.final_score < out.latency_cells[2].raw.final_score);
+        // Low frame rate increases sickness.
+        assert!(out.fps_cells[0].raw.final_score > out.fps_cells[1].raw.final_score);
+        // Wide FOV increases sickness.
+        assert!(out.fov_cells[0].raw.final_score < out.fov_cells[1].raw.final_score);
+        // The protector always helps.
+        for c in out
+            .latency_cells
+            .iter()
+            .chain(&out.fps_cells)
+            .chain(&out.fov_cells)
+            .chain(&out.profile_cells)
+        {
+            // Strictly better unless both ends saturated the 100-point clamp.
+            assert!(
+                c.protected.final_score < c.raw.final_score || c.raw.final_score >= 99.0,
+                "{}: protected {} raw {}",
+                c.label,
+                c.protected.final_score,
+                c.raw.final_score
+            );
+        }
+        // Individual spread: novice worse than gamer.
+        assert!(out.profile_cells[2].raw.final_score > out.profile_cells[0].raw.final_score);
+    }
+}

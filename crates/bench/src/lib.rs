@@ -1,0 +1,174 @@
+//! # metaclass-bench
+//!
+//! The experiment harness of the `metaclassroom` reproduction: one module per
+//! experiment in DESIGN.md's index (E1–E12), each regenerating a table the
+//! blueprint's claims predict. Binaries under `src/bin/` are thin wrappers;
+//! every experiment also runs in a reduced "quick" configuration inside
+//! `cargo test` so the harness can never rot.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! for e in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12; do
+//!     cargo run --release -p metaclass-bench --bin ${e}_* ; done
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use std::fmt::Display;
+
+/// A printable results table with aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a row of pre-rendered cells.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "\n== {} ==", self.title)?;
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether the current invocation asked for the reduced configuration
+/// (`--quick` argument or `METACLASS_QUICK=1`).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("METACLASS_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Runs independent seeded trials on worker threads (deterministic: results
+/// come back ordered by trial index regardless of scheduling).
+pub fn parallel_trials<T, F>(seeds: &[u64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(seeds.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = seeds.len().div_ceil(threads).max(1);
+        for (slot_chunk, seed_chunk) in out.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
+                    *slot = Some(f(seed));
+                }
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    out.into_iter().map(|o| o.expect("all trials filled")).collect()
+}
+
+/// Writes a JSON record for an experiment under `results/` (best effort; the
+/// experiment's stdout table is the primary artifact).
+pub fn emit_json(experiment: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    let _ = std::fs::write(path, serde_json::to_string_pretty(value).unwrap_or_default());
+}
+
+/// Formats a nanosecond quantity as milliseconds.
+pub fn ms(nanos: u64) -> String {
+    format!("{:.1}", nanos as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&[&"alpha", &42]);
+        t.row(&[&"b", &7]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("alpha"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn parallel_trials_preserve_order() {
+        let seeds: Vec<u64> = (0..37).collect();
+        let out = parallel_trials(&seeds, |s| s * 2);
+        assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(1_500_000), "1.5");
+    }
+}

@@ -1,0 +1,261 @@
+//! Fuzzy-logic individual susceptibility.
+//!
+//! §3.3: "the user susceptibility to cybersickness is individually different,
+//! the Metaverse classroom would consider … individual factors such as
+//! gender, gaming experience, age, ethnic origin" — and the authors' own
+//! prior work (ref \[44\]) does this with fuzzy logic. This is a genuine
+//! Mamdani inference system: triangular membership functions over age,
+//! gaming experience, and prior VR exposure; a nine-rule base; max–min
+//! composition; centroid defuzzification.
+
+use serde::{Deserialize, Serialize};
+
+/// A triangular membership function over `[a, c]` peaking at `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriangularMf {
+    /// Left foot.
+    pub a: f64,
+    /// Peak.
+    pub b: f64,
+    /// Right foot.
+    pub c: f64,
+}
+
+impl TriangularMf {
+    /// Creates a triangle; feet may coincide with the peak for shoulder MFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a <= b <= c`.
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        assert!(a <= b && b <= c, "triangle must satisfy a <= b <= c");
+        TriangularMf { a, b, c }
+    }
+
+    /// Membership degree of `x` in `[0, 1]`. Values at or beyond a foot that
+    /// coincides with the peak get full membership on that side (shoulder).
+    pub fn degree(&self, x: f64) -> f64 {
+        if x < self.a || x > self.c {
+            0.0
+        } else if x < self.b {
+            if self.b == self.a {
+                1.0
+            } else {
+                (x - self.a) / (self.b - self.a)
+            }
+        } else if self.c == self.b {
+            1.0
+        } else {
+            (self.c - x) / (self.c - self.b)
+        }
+    }
+}
+
+/// Who the user is, for susceptibility prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Age in years.
+    pub age: f64,
+    /// Gaming hours per week.
+    pub gaming_hours_per_week: f64,
+    /// Prior VR exposure, `0.0` (never) to `1.0` (daily user).
+    pub prior_vr_exposure: f64,
+}
+
+impl UserProfile {
+    /// A population-average adult: ~28 years, casual gamer, some VR.
+    pub fn average() -> Self {
+        UserProfile { age: 28.0, gaming_hours_per_week: 4.0, prior_vr_exposure: 0.3 }
+    }
+}
+
+/// Linguistic output terms of the rule base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutTerm {
+    Low,
+    Medium,
+    MediumHigh,
+    High,
+}
+
+fn out_mf(term: OutTerm) -> TriangularMf {
+    // Susceptibility multiplier universe: [0.4, 2.2].
+    match term {
+        OutTerm::Low => TriangularMf::new(0.4, 0.6, 1.0),
+        OutTerm::Medium => TriangularMf::new(0.8, 1.0, 1.4),
+        OutTerm::MediumHigh => TriangularMf::new(1.0, 1.4, 1.8),
+        OutTerm::High => TriangularMf::new(1.4, 1.9, 2.2),
+    }
+}
+
+/// Predicts an individual susceptibility multiplier (≈ 0.5–2.0, population
+/// average ≈ 1.0) from a user profile, by Mamdani fuzzy inference.
+///
+/// Young, experienced users come out hardened; older novices come out
+/// sensitive — the factor directions reported by ref \[44\].
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_comfort::{susceptibility, UserProfile};
+///
+/// let gamer = susceptibility(&UserProfile {
+///     age: 21.0,
+///     gaming_hours_per_week: 20.0,
+///     prior_vr_exposure: 0.9,
+/// });
+/// let novice = susceptibility(&UserProfile {
+///     age: 58.0,
+///     gaming_hours_per_week: 0.0,
+///     prior_vr_exposure: 0.0,
+/// });
+/// assert!(gamer < 0.9 && novice > 1.4);
+/// ```
+pub fn susceptibility(profile: &UserProfile) -> f64 {
+    // Input fuzzification.
+    let age_young = TriangularMf::new(0.0, 0.0, 32.0).degree(profile.age);
+    let age_middle = TriangularMf::new(18.0, 40.0, 60.0).degree(profile.age);
+    let age_older = TriangularMf::new(45.0, 70.0, 70.0).degree(profile.age.min(70.0));
+
+    let h = profile.gaming_hours_per_week.clamp(0.0, 40.0);
+    let gaming_low = TriangularMf::new(0.0, 0.0, 4.0).degree(h);
+    let gaming_mid = TriangularMf::new(3.0, 8.0, 15.0).degree(h);
+    let gaming_high = TriangularMf::new(10.0, 40.0, 40.0).degree(h);
+
+    let v = profile.prior_vr_exposure.clamp(0.0, 1.0);
+    let vr_none = TriangularMf::new(0.0, 0.0, 0.4).degree(v);
+    let vr_some = TriangularMf::new(0.2, 0.5, 0.8).degree(v);
+    let vr_lots = TriangularMf::new(0.6, 1.0, 1.0).degree(v);
+
+    // Rule base (min for AND, max aggregation per output term).
+    let experience_high = gaming_high.max(vr_lots);
+    let experience_some = gaming_mid.max(vr_some);
+    let experience_low = gaming_low.min(vr_none);
+    let rules: [(f64, OutTerm); 9] = [
+        (age_young.min(experience_high), OutTerm::Low),
+        (age_young.min(experience_some), OutTerm::Low),
+        (age_young.min(experience_low), OutTerm::Medium),
+        (age_middle.min(experience_high), OutTerm::Low),
+        (age_middle.min(experience_some), OutTerm::Medium),
+        (age_middle.min(experience_low), OutTerm::MediumHigh),
+        (age_older.min(experience_high), OutTerm::Medium),
+        (age_older.min(experience_some), OutTerm::MediumHigh),
+        (age_older.min(experience_low), OutTerm::High),
+    ];
+
+    // Mamdani aggregation: clip each output MF at its rule strength, take the
+    // pointwise max, defuzzify by centroid over a sampled universe.
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let samples = 200;
+    for i in 0..=samples {
+        let x = 0.4 + (2.2 - 0.4) * i as f64 / samples as f64;
+        let mut mu: f64 = 0.0;
+        for (strength, term) in &rules {
+            mu = mu.max(strength.min(out_mf(*term).degree(x)));
+        }
+        num += x * mu;
+        den += mu;
+    }
+    if den == 0.0 {
+        1.0 // no rule fired (degenerate input): population average
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_degrees() {
+        let t = TriangularMf::new(0.0, 5.0, 10.0);
+        assert_eq!(t.degree(-1.0), 0.0);
+        assert_eq!(t.degree(0.0), 0.0);
+        assert_eq!(t.degree(5.0), 1.0);
+        assert_eq!(t.degree(2.5), 0.5);
+        assert_eq!(t.degree(7.5), 0.5);
+        assert_eq!(t.degree(11.0), 0.0);
+    }
+
+    #[test]
+    fn shoulder_triangles_saturate() {
+        let left = TriangularMf::new(0.0, 0.0, 10.0);
+        assert_eq!(left.degree(0.0), 1.0);
+        assert_eq!(left.degree(5.0), 0.5);
+        let right = TriangularMf::new(0.0, 10.0, 10.0);
+        assert_eq!(right.degree(10.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a <= b <= c")]
+    fn malformed_triangle_panics() {
+        TriangularMf::new(5.0, 1.0, 10.0);
+    }
+
+    #[test]
+    fn output_is_always_in_the_universe() {
+        for age in [16.0, 25.0, 40.0, 60.0, 80.0] {
+            for hours in [0.0, 5.0, 20.0, 60.0] {
+                for vr in [0.0, 0.5, 1.0] {
+                    let s = susceptibility(&UserProfile {
+                        age,
+                        gaming_hours_per_week: hours,
+                        prior_vr_exposure: vr,
+                    });
+                    assert!((0.4..=2.2).contains(&s), "{age}/{hours}/{vr} -> {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn experience_hardens_every_age_group() {
+        for age in [20.0, 40.0, 60.0] {
+            let hardened = susceptibility(&UserProfile {
+                age,
+                gaming_hours_per_week: 25.0,
+                prior_vr_exposure: 0.9,
+            });
+            let novice = susceptibility(&UserProfile {
+                age,
+                gaming_hours_per_week: 0.0,
+                prior_vr_exposure: 0.0,
+            });
+            assert!(hardened < novice, "age {age}: {hardened} !< {novice}");
+        }
+    }
+
+    #[test]
+    fn age_increases_susceptibility_for_novices() {
+        let at = |age| {
+            susceptibility(&UserProfile { age, gaming_hours_per_week: 1.0, prior_vr_exposure: 0.0 })
+        };
+        assert!(at(20.0) < at(45.0));
+        assert!(at(45.0) < at(65.0));
+    }
+
+    #[test]
+    fn average_profile_is_near_one() {
+        let s = susceptibility(&UserProfile::average());
+        assert!((0.7..=1.3).contains(&s), "average profile scored {s}");
+    }
+
+    #[test]
+    fn inference_is_continuous_in_inputs() {
+        // No cliff bigger than 0.1 for a one-year age step.
+        let mut prev = None;
+        for age in 18..70 {
+            let s = susceptibility(&UserProfile {
+                age: age as f64,
+                gaming_hours_per_week: 5.0,
+                prior_vr_exposure: 0.3,
+            });
+            if let Some(p) = prev {
+                assert!((s - p as f64).abs() < 0.1, "jump at age {age}");
+            }
+            prev = Some(s);
+        }
+    }
+}

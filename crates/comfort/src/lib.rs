@@ -1,0 +1,46 @@
+//! # metaclass-comfort
+//!
+//! Cybersickness modelling for the blueprint's "Navigation and Cybersickness"
+//! challenge (§3.3): a sensory-conflict dose model whose gains are the
+//! technical settings the paper names (latency, FOV, frame rate, navigation
+//! parameters), a Mamdani fuzzy-logic predictor for individual differences
+//! (the approach of the authors' ref \[44\]), and the speed protector of their
+//! ref \[43\].
+//!
+//! - [`SicknessAccumulator`] / [`Stimulus`] — conflict dose accumulation with
+//!   decay, severity bands, and latency/FPS/FOV gain factors;
+//! - [`susceptibility`] / [`UserProfile`] — a real Mamdani inference system
+//!   (triangular MFs, nine rules, centroid defuzzification);
+//! - [`SpeedProtector`] — speed/acceleration/turn-rate limiting between user
+//!   input and displayed motion;
+//! - [`run_study`] — the experiment harness: a navigation trace through the
+//!   (optional) protector into the dose model, per user profile.
+//!
+//! # Examples
+//!
+//! ```
+//! use metaclass_comfort::{run_study, classroom_navigation_trace, SystemConditions, UserProfile};
+//! use metaclass_netsim::SimDuration;
+//!
+//! let trace = classroom_navigation_trace(300.0, 0.1, 1);
+//! let good = SystemConditions { latency: SimDuration::from_millis(20), ..Default::default() };
+//! let bad = SystemConditions { latency: SimDuration::from_millis(250), ..Default::default() };
+//! let comfy = run_study(&UserProfile::average(), good, None, &trace, 0.1);
+//! let sick = run_study(&UserProfile::average(), bad, None, &trace, 0.1);
+//! assert!(sick.final_score > comfy.final_score);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fuzzy;
+mod protector;
+mod sensory;
+mod study;
+
+pub use fuzzy::{susceptibility, TriangularMf, UserProfile};
+pub use protector::{ProtectorConfig, SpeedProtector};
+pub use sensory::{ComfortConfig, SicknessAccumulator, SicknessSeverity, Stimulus};
+pub use study::{
+    classroom_navigation_trace, run_study, NavSample, StudyOutcome, SystemConditions,
+};

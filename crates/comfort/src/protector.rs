@@ -1,0 +1,167 @@
+//! The speed protector: navigation-parameter smoothing.
+//!
+//! The blueprint's authors previously built "a speed protector to optimize
+//! user experience in 3D virtual environments" (ref [43]): a filter between
+//! the user's locomotion input and the displayed camera motion that caps
+//! speed, caps acceleration (jerky onsets are the worst vection offenders),
+//! and eases transitions. The displayed motion then feeds the
+//! sensory-conflict model with a strictly smaller dose.
+
+use serde::{Deserialize, Serialize};
+
+/// Protector limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtectorConfig {
+    /// Maximum displayed speed, m/s.
+    pub max_speed: f64,
+    /// Maximum displayed acceleration magnitude, m/s².
+    pub max_accel: f64,
+    /// Maximum displayed angular speed, rad/s.
+    pub max_angular_speed: f64,
+}
+
+impl Default for ProtectorConfig {
+    fn default() -> Self {
+        ProtectorConfig { max_speed: 3.0, max_accel: 4.0, max_angular_speed: 0.9 }
+    }
+}
+
+/// Rate-limiting filter over requested locomotion.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_comfort::{ProtectorConfig, SpeedProtector};
+///
+/// let mut sp = SpeedProtector::new(ProtectorConfig::default());
+/// // The user slams the stick: requests 10 m/s instantly.
+/// let displayed = sp.filter_speed(0.1, 10.0);
+/// assert!(displayed <= 0.4 + 1e-9); // accel-capped: 4 m/s² x 0.1 s
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpeedProtector {
+    cfg: ProtectorConfig,
+    current_speed: f64,
+    current_angular: f64,
+    interventions: u64,
+}
+
+impl SpeedProtector {
+    /// Creates a protector at rest.
+    pub fn new(cfg: ProtectorConfig) -> Self {
+        SpeedProtector { cfg, current_speed: 0.0, current_angular: 0.0, interventions: 0 }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ProtectorConfig {
+        &self.cfg
+    }
+
+    /// Filters a requested linear speed over a `dt_secs` step, returning the
+    /// displayed speed.
+    pub fn filter_speed(&mut self, dt_secs: f64, requested: f64) -> f64 {
+        let dt = dt_secs.max(0.0);
+        let target = requested.clamp(-self.cfg.max_speed, self.cfg.max_speed);
+        let max_delta = self.cfg.max_accel * dt;
+        let delta = (target - self.current_speed).clamp(-max_delta, max_delta);
+        let displayed = self.current_speed + delta;
+        if (displayed - requested).abs() > 1e-9 {
+            self.interventions += 1;
+        }
+        self.current_speed = displayed;
+        displayed
+    }
+
+    /// Filters a requested angular speed (simple clamp; turning is the
+    /// sharpest sickness trigger, so no smoothing grace is given).
+    pub fn filter_angular(&mut self, requested: f64) -> f64 {
+        let displayed =
+            requested.clamp(-self.cfg.max_angular_speed, self.cfg.max_angular_speed);
+        if (displayed - requested).abs() > 1e-9 {
+            self.interventions += 1;
+        }
+        self.current_angular = displayed;
+        displayed
+    }
+
+    /// Times the protector altered the requested motion.
+    pub fn intervention_count(&self) -> u64 {
+        self.interventions
+    }
+
+    /// Currently displayed linear speed.
+    pub fn current_speed(&self) -> f64 {
+        self.current_speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> SpeedProtector {
+        SpeedProtector::new(ProtectorConfig::default())
+    }
+
+    #[test]
+    fn gentle_motion_passes_through_unchanged() {
+        let mut p = sp();
+        // Ramp up at 1 m/s² to 1.5 m/s: well within limits.
+        let mut speed: f64 = 0.0;
+        for _ in 0..15 {
+            speed += 0.1;
+            let out = p.filter_speed(0.1, speed.min(1.5));
+            assert!((out - speed.min(1.5)).abs() < 1e-9);
+        }
+        assert_eq!(p.intervention_count(), 0);
+    }
+
+    #[test]
+    fn speed_cap_is_enforced() {
+        let mut p = sp();
+        let mut out = 0.0;
+        for _ in 0..100 {
+            out = p.filter_speed(0.1, 50.0);
+        }
+        assert!((out - 3.0).abs() < 1e-9, "terminal speed {out}");
+        assert!(p.intervention_count() > 0);
+    }
+
+    #[test]
+    fn acceleration_is_rate_limited_both_ways() {
+        let mut p = sp();
+        let up = p.filter_speed(0.1, 10.0);
+        assert!((up - 0.4).abs() < 1e-9);
+        // Emergency stop request: decel also capped.
+        let down = p.filter_speed(0.1, 0.0);
+        assert!((down - 0.0).abs() < 1e-9 || down > 0.0 - 1e-9);
+        assert!(up - down <= 0.4 + 1e-9);
+    }
+
+    #[test]
+    fn angular_speed_is_clamped() {
+        let mut p = sp();
+        assert!((p.filter_angular(5.0) - 0.9).abs() < 1e-9);
+        assert!((p.filter_angular(-5.0) + 0.9).abs() < 1e-9);
+        assert_eq!(p.filter_angular(0.5), 0.5);
+    }
+
+    #[test]
+    fn reverse_speeds_are_symmetric() {
+        let mut p = sp();
+        let mut out = 0.0;
+        for _ in 0..100 {
+            out = p.filter_speed(0.1, -50.0);
+        }
+        assert!((out + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dt_changes_nothing() {
+        let mut p = sp();
+        p.filter_speed(0.5, 2.0);
+        let before = p.current_speed();
+        p.filter_speed(0.0, 3.0);
+        assert_eq!(p.current_speed(), before);
+    }
+}

@@ -1,0 +1,311 @@
+//! Sensory-conflict cybersickness accumulation.
+//!
+//! §3.3: "the mismatched visual and vestibular information will lead users to
+//! experience cybersickness … Several technical settings are responsible for
+//! the occurrence of cybersickness, such as latency, FOV, low frame rates,
+//! inappropriate adjustment of navigation parameters." This module implements
+//! a sensory-conflict dose model (Oman, ref \[35\]): conflict — visual motion
+//! the vestibular system does not confirm — accumulates into a sickness
+//! score; rest decays it. Latency, low FPS, and wide FOV act as gain factors
+//! on the conflict, matching the factor structure reported in the VR
+//! literature (refs \[8\], \[24\], \[39\]).
+
+use metaclass_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous stimulus presented to a user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stimulus {
+    /// Visually displayed locomotion speed, m/s.
+    pub virtual_speed: f64,
+    /// Actual physical walking speed, m/s (0 for seated/standing VR).
+    pub physical_speed: f64,
+    /// Visual angular speed, rad/s (smooth virtual turning).
+    pub angular_speed: f64,
+    /// End-to-end motion-to-photon latency.
+    pub latency: SimDuration,
+    /// Displayed frame rate.
+    pub fps: f64,
+    /// Display field of view, degrees.
+    pub fov_deg: f64,
+}
+
+impl Stimulus {
+    /// A user at rest with a healthy system (no conflict).
+    pub fn at_rest() -> Self {
+        Stimulus {
+            virtual_speed: 0.0,
+            physical_speed: 0.0,
+            angular_speed: 0.0,
+            latency: SimDuration::from_millis(20),
+            fps: 72.0,
+            fov_deg: 90.0,
+        }
+    }
+}
+
+/// Model gains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComfortConfig {
+    /// Score units accumulated per second per unit of conflict.
+    pub accumulation_rate: f64,
+    /// Fraction of the score decaying per second at rest.
+    pub decay_rate: f64,
+    /// Weight of angular conflict relative to linear (rad/s vs m/s).
+    pub angular_weight: f64,
+    /// Latency at which the latency gain doubles.
+    pub latency_gain_ms: f64,
+    /// Frame rate below which low-FPS judder adds conflict gain.
+    pub comfortable_fps: f64,
+    /// Reference FOV (deg) for vection gain normalization.
+    pub reference_fov_deg: f64,
+}
+
+impl Default for ComfortConfig {
+    fn default() -> Self {
+        ComfortConfig {
+            accumulation_rate: 0.12,
+            decay_rate: 0.015,
+            angular_weight: 1.6,
+            latency_gain_ms: 60.0,
+            comfortable_fps: 72.0,
+            reference_fov_deg: 90.0,
+        }
+    }
+}
+
+/// Severity bands, in the spirit of SSQ reporting (Kennedy et al., ref \[24\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SicknessSeverity {
+    /// No symptoms.
+    None,
+    /// Slight discomfort; session can continue.
+    Slight,
+    /// Clear symptoms; breaks recommended.
+    Moderate,
+    /// Session should stop.
+    Severe,
+}
+
+impl std::fmt::Display for SicknessSeverity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SicknessSeverity::None => "none",
+            SicknessSeverity::Slight => "slight",
+            SicknessSeverity::Moderate => "moderate",
+            SicknessSeverity::Severe => "severe",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulates a 0–100 sickness score over an exposure.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_comfort::{ComfortConfig, SicknessAccumulator, Stimulus};
+/// use metaclass_netsim::SimDuration;
+///
+/// let mut acc = SicknessAccumulator::new(ComfortConfig::default(), 1.0);
+/// let cruise = Stimulus {
+///     virtual_speed: 3.0, // flying through the virtual campus
+///     ..Stimulus::at_rest()
+/// };
+/// for _ in 0..600 {
+///     acc.step(1.0, &cruise); // ten minutes
+/// }
+/// assert!(acc.score() > 10.0, "sustained vection must accumulate symptoms");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SicknessAccumulator {
+    cfg: ComfortConfig,
+    /// Individual susceptibility multiplier (1.0 = population average; see
+    /// [`crate::susceptibility`]).
+    susceptibility: f64,
+    score: f64,
+    peak: f64,
+    exposure_secs: f64,
+}
+
+impl SicknessAccumulator {
+    /// Creates an accumulator for a user with the given susceptibility
+    /// multiplier (clamped to `[0.1, 5.0]`).
+    pub fn new(cfg: ComfortConfig, susceptibility: f64) -> Self {
+        SicknessAccumulator {
+            cfg,
+            susceptibility: susceptibility.clamp(0.1, 5.0),
+            score: 0.0,
+            peak: 0.0,
+            exposure_secs: 0.0,
+        }
+    }
+
+    /// Instantaneous conflict magnitude for `stimulus` (before
+    /// susceptibility), exposed for analysis.
+    pub fn conflict(&self, s: &Stimulus) -> f64 {
+        let linear = (s.virtual_speed - s.physical_speed).abs();
+        let angular = self.cfg.angular_weight * s.angular_speed.abs();
+        let base = linear + angular;
+        // Latency gain: 1 at zero latency, 2 at latency_gain_ms, linear on.
+        let latency_gain = 1.0 + s.latency.as_millis_f64() / self.cfg.latency_gain_ms;
+        // Judder gain: grows as fps falls below the comfortable rate.
+        let fps_gain = 1.0 + (self.cfg.comfortable_fps / s.fps.max(1.0) - 1.0).max(0.0);
+        // Vection gain: wider FOV = stronger illusion of self-motion.
+        let fov_gain = (s.fov_deg / self.cfg.reference_fov_deg).clamp(0.3, 2.0);
+        base * latency_gain * fps_gain * fov_gain
+    }
+
+    /// Advances the model by `dt_secs` under `stimulus`.
+    pub fn step(&mut self, dt_secs: f64, stimulus: &Stimulus) {
+        let dt = dt_secs.max(0.0);
+        self.exposure_secs += dt;
+        let inflow = self.cfg.accumulation_rate * self.susceptibility * self.conflict(stimulus);
+        let outflow = self.cfg.decay_rate * self.score;
+        self.score = (self.score + (inflow - outflow) * dt).clamp(0.0, 100.0);
+        self.peak = self.peak.max(self.score);
+    }
+
+    /// Current sickness score, 0–100.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Highest score reached during the exposure.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Total exposure time, seconds.
+    pub fn exposure_secs(&self) -> f64 {
+        self.exposure_secs
+    }
+
+    /// Severity band of the current score.
+    pub fn severity(&self) -> SicknessSeverity {
+        match self.score {
+            s if s < 5.0 => SicknessSeverity::None,
+            s if s < 15.0 => SicknessSeverity::Slight,
+            s if s < 35.0 => SicknessSeverity::Moderate,
+            _ => SicknessSeverity::Severe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc() -> SicknessAccumulator {
+        SicknessAccumulator::new(ComfortConfig::default(), 1.0)
+    }
+
+    #[test]
+    fn rest_accumulates_nothing() {
+        let mut a = acc();
+        for _ in 0..3600 {
+            a.step(1.0, &Stimulus::at_rest());
+        }
+        assert_eq!(a.score(), 0.0);
+        assert_eq!(a.severity(), SicknessSeverity::None);
+    }
+
+    #[test]
+    fn physical_walking_matched_to_visuals_is_comfortable() {
+        let mut a = acc();
+        let walking = Stimulus { virtual_speed: 1.4, physical_speed: 1.4, ..Stimulus::at_rest() };
+        for _ in 0..1800 {
+            a.step(1.0, &walking);
+        }
+        assert!(a.score() < 1.0, "matched motion scored {}", a.score());
+    }
+
+    #[test]
+    fn virtual_locomotion_accumulates_and_rest_decays() {
+        let mut a = acc();
+        let vection = Stimulus { virtual_speed: 3.0, ..Stimulus::at_rest() };
+        for _ in 0..300 {
+            a.step(1.0, &vection);
+        }
+        let after_ride = a.score();
+        assert!(after_ride > 5.0);
+        for _ in 0..600 {
+            a.step(1.0, &Stimulus::at_rest());
+        }
+        assert!(a.score() < after_ride * 0.6, "decay too slow: {} -> {}", after_ride, a.score());
+        assert!((a.peak() - after_ride).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_low_fps_and_wide_fov_all_worsen_conflict() {
+        let a = acc();
+        let base = Stimulus { virtual_speed: 2.0, ..Stimulus::at_rest() };
+        let c0 = a.conflict(&base);
+        let high_latency =
+            Stimulus { latency: SimDuration::from_millis(150), ..base };
+        assert!(a.conflict(&high_latency) > 2.0 * c0);
+        let low_fps = Stimulus { fps: 30.0, ..base };
+        assert!(a.conflict(&low_fps) > 1.5 * c0);
+        let wide_fov = Stimulus { fov_deg: 140.0, ..base };
+        assert!(a.conflict(&wide_fov) > 1.3 * c0);
+        let narrow_fov = Stimulus { fov_deg: 60.0, ..base };
+        assert!(a.conflict(&narrow_fov) < c0);
+    }
+
+    #[test]
+    fn susceptibility_scales_accumulation() {
+        let stim = Stimulus { virtual_speed: 0.5, ..Stimulus::at_rest() };
+        let mut tough = SicknessAccumulator::new(ComfortConfig::default(), 0.5);
+        let mut fragile = SicknessAccumulator::new(ComfortConfig::default(), 2.0);
+        for _ in 0..60 {
+            tough.step(0.1, &stim);
+            fragile.step(0.1, &stim);
+        }
+        assert!(fragile.score() < 100.0, "exposure must stay unclamped for the ratio test");
+        assert!(fragile.score() > 3.0 * tough.score());
+    }
+
+    #[test]
+    fn score_saturates_at_100() {
+        let mut a = SicknessAccumulator::new(ComfortConfig::default(), 5.0);
+        let brutal = Stimulus {
+            virtual_speed: 10.0,
+            angular_speed: 3.0,
+            latency: SimDuration::from_millis(300),
+            fps: 15.0,
+            ..Stimulus::at_rest()
+        };
+        for _ in 0..3600 {
+            a.step(1.0, &brutal);
+        }
+        assert_eq!(a.score(), 100.0);
+        assert_eq!(a.severity(), SicknessSeverity::Severe);
+    }
+
+    #[test]
+    fn severity_bands_are_ordered() {
+        let mut a = acc();
+        let stim = Stimulus {
+            virtual_speed: 3.0,
+            latency: SimDuration::from_millis(150),
+            ..Stimulus::at_rest()
+        };
+        let mut severities = vec![a.severity()];
+        for _ in 0..2400 {
+            a.step(1.0, &stim);
+            severities.push(a.severity());
+        }
+        for w in severities.windows(2) {
+            assert!(w[1] >= w[0], "severity regressed during constant exposure");
+        }
+        assert_eq!(*severities.last().unwrap(), SicknessSeverity::Severe);
+    }
+
+    #[test]
+    fn negative_dt_is_ignored() {
+        let mut a = acc();
+        a.step(-5.0, &Stimulus { virtual_speed: 3.0, ..Stimulus::at_rest() });
+        assert_eq!(a.score(), 0.0);
+        assert_eq!(a.exposure_secs(), 0.0);
+    }
+}

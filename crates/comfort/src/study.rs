@@ -1,0 +1,211 @@
+//! End-to-end comfort studies: navigation traces through the protector into
+//! the sensory-conflict model, per user profile — the harness behind
+//! experiment E7.
+
+use metaclass_netsim::{DetRng, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::fuzzy::{susceptibility, UserProfile};
+use crate::protector::{ProtectorConfig, SpeedProtector};
+use crate::sensory::{ComfortConfig, SicknessAccumulator, SicknessSeverity, Stimulus};
+
+/// The system-side conditions of a study (what the platform controls).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConditions {
+    /// Motion-to-photon latency.
+    pub latency: SimDuration,
+    /// Displayed frame rate.
+    pub fps: f64,
+    /// Display field of view, degrees.
+    pub fov_deg: f64,
+}
+
+impl Default for SystemConditions {
+    fn default() -> Self {
+        SystemConditions { latency: SimDuration::from_millis(30), fps: 72.0, fov_deg: 90.0 }
+    }
+}
+
+/// One requested locomotion sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NavSample {
+    /// Requested linear speed, m/s.
+    pub speed: f64,
+    /// Requested angular speed, rad/s.
+    pub angular: f64,
+}
+
+/// A VR-classroom navigation trace: bursts of joystick locomotion (moving to
+/// a breakout table, turning to face a speaker) separated by stationary
+/// attention phases.
+pub fn classroom_navigation_trace(duration_secs: f64, dt: f64, seed: u64) -> Vec<NavSample> {
+    let mut rng = DetRng::new(seed).derive(0x6e61_76);
+    let steps = (duration_secs / dt).ceil() as usize;
+    let mut out = Vec::with_capacity(steps);
+    let mut remaining_phase = 0.0;
+    let mut current = NavSample { speed: 0.0, angular: 0.0 };
+    for _ in 0..steps {
+        if remaining_phase <= 0.0 {
+            // New phase: 70% stationary, 20% locomotion burst, 10% turning.
+            let roll = rng.next_f64();
+            current = if roll < 0.7 {
+                NavSample { speed: 0.0, angular: 0.0 }
+            } else if roll < 0.9 {
+                NavSample { speed: rng.range_f64(1.0, 6.0), angular: 0.0 }
+            } else {
+                NavSample { speed: 0.0, angular: rng.range_f64(0.5, 2.5) }
+            };
+            remaining_phase = rng.range_f64(2.0, 12.0);
+        }
+        out.push(current);
+        remaining_phase -= dt;
+    }
+    out
+}
+
+/// Result of one study run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyOutcome {
+    /// Sickness score at the end of the exposure.
+    pub final_score: f64,
+    /// Peak score during the exposure.
+    pub peak_score: f64,
+    /// Severity band at the end.
+    pub severity: SicknessSeverity,
+    /// The individual susceptibility multiplier used.
+    pub susceptibility: f64,
+    /// Times the speed protector intervened (zero when disabled).
+    pub protector_interventions: u64,
+}
+
+/// Runs one navigation exposure for one user.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_comfort::{
+///     classroom_navigation_trace, run_study, ProtectorConfig, SystemConditions, UserProfile,
+/// };
+///
+/// let trace = classroom_navigation_trace(600.0, 0.1, 42);
+/// let raw = run_study(&UserProfile::average(), SystemConditions::default(), None, &trace, 0.1);
+/// let protected = run_study(
+///     &UserProfile::average(),
+///     SystemConditions::default(),
+///     Some(ProtectorConfig::default()),
+///     &trace,
+///     0.1,
+/// );
+/// assert!(protected.final_score < raw.final_score);
+/// ```
+pub fn run_study(
+    profile: &UserProfile,
+    conditions: SystemConditions,
+    protector: Option<ProtectorConfig>,
+    trace: &[NavSample],
+    dt_secs: f64,
+) -> StudyOutcome {
+    let susc = susceptibility(profile);
+    let mut acc = SicknessAccumulator::new(ComfortConfig::default(), susc);
+    let mut prot = protector.map(SpeedProtector::new);
+    for sample in trace {
+        let (speed, angular) = match &mut prot {
+            Some(p) => (p.filter_speed(dt_secs, sample.speed), p.filter_angular(sample.angular)),
+            None => (sample.speed, sample.angular),
+        };
+        let stim = Stimulus {
+            virtual_speed: speed,
+            physical_speed: 0.0,
+            angular_speed: angular,
+            latency: conditions.latency,
+            fps: conditions.fps,
+            fov_deg: conditions.fov_deg,
+        };
+        acc.step(dt_secs, &stim);
+    }
+    StudyOutcome {
+        final_score: acc.score(),
+        peak_score: acc.peak(),
+        severity: acc.severity(),
+        susceptibility: susc,
+        protector_interventions: prot.map_or(0, |p| p.intervention_count()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Short exposure so scores stay below the 100-point clamp and remain
+    // comparable across conditions.
+    fn trace() -> Vec<NavSample> {
+        classroom_navigation_trace(60.0, 0.1, 7)
+    }
+
+    #[test]
+    fn trace_has_the_right_shape() {
+        let t = classroom_navigation_trace(600.0, 0.1, 7);
+        assert_eq!(t.len(), 6000);
+        let moving = t.iter().filter(|s| s.speed > 0.0).count() as f64 / t.len() as f64;
+        assert!((0.05..0.5).contains(&moving), "moving fraction {moving}");
+        let turning = t.iter().filter(|s| s.angular > 0.0).count();
+        assert!(turning > 0);
+    }
+
+    #[test]
+    fn protector_reduces_sickness() {
+        let t = trace();
+        let raw = run_study(&UserProfile::average(), SystemConditions::default(), None, &t, 0.1);
+        let protected = run_study(
+            &UserProfile::average(),
+            SystemConditions::default(),
+            Some(ProtectorConfig::default()),
+            &t,
+            0.1,
+        );
+        assert!(protected.final_score < raw.final_score * 0.9, "{protected:?} vs {raw:?}");
+        assert!(protected.protector_interventions > 0);
+        assert_eq!(raw.protector_interventions, 0);
+    }
+
+    #[test]
+    fn latency_sweep_is_monotone() {
+        let t = trace();
+        let mut prev = -1.0;
+        for ms in [10u64, 50, 100, 200, 400] {
+            let out = run_study(
+                &UserProfile::average(),
+                SystemConditions { latency: SimDuration::from_millis(ms), ..Default::default() },
+                None,
+                &t,
+                0.1,
+            );
+            // Strictly increasing until the 100-point clamp.
+            assert!(
+                out.final_score > prev || out.final_score == 100.0,
+                "latency {ms} ms: {} after {prev}",
+                out.final_score
+            );
+            prev = out.final_score;
+        }
+    }
+
+    #[test]
+    fn fragile_users_fare_worse() {
+        let t = trace();
+        let gamer = UserProfile { age: 21.0, gaming_hours_per_week: 20.0, prior_vr_exposure: 0.9 };
+        let novice = UserProfile { age: 60.0, gaming_hours_per_week: 0.0, prior_vr_exposure: 0.0 };
+        let g = run_study(&gamer, SystemConditions::default(), None, &t, 0.1);
+        let n = run_study(&novice, SystemConditions::default(), None, &t, 0.1);
+        assert!(n.final_score > g.final_score);
+        assert!(n.susceptibility > g.susceptibility);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let t = trace();
+        let a = run_study(&UserProfile::average(), SystemConditions::default(), None, &t, 0.1);
+        let b = run_study(&UserProfile::average(), SystemConditions::default(), None, &t, 0.1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,140 @@
+//! The teaching-modality taxonomy of the paper's survey (Figure 1 / §2).
+//!
+//! The paper's Figure 1 is a collage of prior teaching approaches, from
+//! multi-touch tables through video conferencing to VR labs; its argument is
+//! that only the virtual-physical blended classroom combines remote access
+//! with immersion and physical co-presence. This module encodes that
+//! taxonomy so examples and docs can reproduce the comparison table.
+
+use serde::{Deserialize, Serialize};
+
+/// A teaching/learning modality from the paper's landscape survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TeachingModality {
+    /// The traditional co-located physical classroom.
+    TraditionalClassroom,
+    /// Multi-touch/multi-user tabletops (the Durham "Star Trek" room).
+    MultiTouchTable,
+    /// Video-conferencing remote education (Zoom/Teams, §1).
+    VideoConferencing,
+    /// AR overlays on handheld devices (ARQuest, sports training).
+    ArOverlay,
+    /// Fully virtual VR learning (virtual labs, VR field trips).
+    VrImmersive,
+    /// The paper's proposal: virtual-physical blended Metaverse classroom.
+    MetaverseClassroom,
+}
+
+impl TeachingModality {
+    /// Every modality in the survey, in rough historical order.
+    pub const ALL: [TeachingModality; 6] = [
+        TeachingModality::TraditionalClassroom,
+        TeachingModality::MultiTouchTable,
+        TeachingModality::VideoConferencing,
+        TeachingModality::ArOverlay,
+        TeachingModality::VrImmersive,
+        TeachingModality::MetaverseClassroom,
+    ];
+
+    /// Whether remote participants can attend.
+    pub fn remote_access(self) -> bool {
+        matches!(
+            self,
+            TeachingModality::VideoConferencing
+                | TeachingModality::VrImmersive
+                | TeachingModality::MetaverseClassroom
+        )
+    }
+
+    /// Whether 3D/immersive content is native to the modality.
+    pub fn immersive_3d(self) -> bool {
+        matches!(
+            self,
+            TeachingModality::ArOverlay
+                | TeachingModality::VrImmersive
+                | TeachingModality::MetaverseClassroom
+        )
+    }
+
+    /// Whether physically present and remote participants share one space.
+    pub fn blends_physical_and_virtual(self) -> bool {
+        self == TeachingModality::MetaverseClassroom
+    }
+
+    /// Qualitative engagement score used in the survey discussion (0–1):
+    /// co-presence, interactivity, and immersion combined.
+    pub fn engagement_score(self) -> f64 {
+        match self {
+            TeachingModality::TraditionalClassroom => 0.7,
+            TeachingModality::MultiTouchTable => 0.75,
+            TeachingModality::VideoConferencing => 0.35,
+            TeachingModality::ArOverlay => 0.65,
+            TeachingModality::VrImmersive => 0.7,
+            TeachingModality::MetaverseClassroom => 0.9,
+        }
+    }
+}
+
+impl std::fmt::Display for TeachingModality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TeachingModality::TraditionalClassroom => "traditional classroom",
+            TeachingModality::MultiTouchTable => "multi-touch table",
+            TeachingModality::VideoConferencing => "video conferencing",
+            TeachingModality::ArOverlay => "AR overlay",
+            TeachingModality::VrImmersive => "VR immersive",
+            TeachingModality::MetaverseClassroom => "Metaverse classroom",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_metaverse_classroom_blends() {
+        let blended: Vec<_> = TeachingModality::ALL
+            .into_iter()
+            .filter(|m| m.blends_physical_and_virtual())
+            .collect();
+        assert_eq!(blended, vec![TeachingModality::MetaverseClassroom]);
+    }
+
+    #[test]
+    fn the_papers_gap_exists_in_the_taxonomy() {
+        // §3: "current VR/AR education allows 3D visualization but fails to
+        // provide remote access" — and video conferencing is the reverse.
+        assert!(TeachingModality::ArOverlay.immersive_3d());
+        assert!(!TeachingModality::ArOverlay.remote_access());
+        assert!(TeachingModality::VideoConferencing.remote_access());
+        assert!(!TeachingModality::VideoConferencing.immersive_3d());
+        // The proposal closes the gap.
+        let m = TeachingModality::MetaverseClassroom;
+        assert!(m.remote_access() && m.immersive_3d());
+    }
+
+    #[test]
+    fn engagement_ranks_the_proposal_highest_and_zoom_lowest() {
+        let best = TeachingModality::ALL
+            .into_iter()
+            .max_by(|a, b| a.engagement_score().total_cmp(&b.engagement_score()))
+            .unwrap();
+        let worst = TeachingModality::ALL
+            .into_iter()
+            .min_by(|a, b| a.engagement_score().total_cmp(&b.engagement_score()))
+            .unwrap();
+        assert_eq!(best, TeachingModality::MetaverseClassroom);
+        assert_eq!(worst, TeachingModality::VideoConferencing);
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let mut names: Vec<String> =
+            TeachingModality::ALL.iter().map(|m| m.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

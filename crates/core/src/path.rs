@@ -1,0 +1,164 @@
+//! Analytic motion-to-photon budgets along the Figure-3 data paths.
+//!
+//! Experiment E1 prints, for each path in the architecture, the analytic
+//! per-hop budget next to the measured distribution, so the composition of
+//! the pipeline is auditable hop by hop.
+
+use metaclass_netsim::{LinkClass, Region, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// One hop of a latency budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopLatency {
+    /// Human-readable hop name.
+    pub name: String,
+    /// Expected latency contribution.
+    pub latency: SimDuration,
+}
+
+/// A named end-to-end path with its per-hop budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathBudget {
+    /// Path name (e.g. "CWB student → GZ display").
+    pub name: String,
+    /// Hops, source first.
+    pub hops: Vec<HopLatency>,
+}
+
+impl PathBudget {
+    /// Total expected latency.
+    pub fn total(&self) -> SimDuration {
+        self.hops.iter().fold(SimDuration::ZERO, |acc, h| acc + h.latency)
+    }
+}
+
+impl std::fmt::Display for PathBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} (total {}):", self.name, self.total())?;
+        for hop in &self.hops {
+            writeln!(f, "  {:<28} {}", hop.name, hop.latency)?;
+        }
+        Ok(())
+    }
+}
+
+fn hop(name: &str, latency: SimDuration) -> HopLatency {
+    HopLatency { name: name.to_owned(), latency }
+}
+
+/// Expected one-way latency of a link class (propagation + mean jitter,
+/// ignoring queueing).
+fn link_latency(class: LinkClass) -> SimDuration {
+    let cfg = class.config();
+    // Mean of a truncated half-normal jitter is ~0.8 sigma.
+    cfg.delay() + cfg.jitter_std().mul_f64(0.8)
+}
+
+/// The intra-campus path: a student's motion to a classmate's MR display in
+/// the *same* room, through the other campus loop (sensor → edge → peer edge
+/// → display).
+pub fn mr_to_mr_budget(campus_a: Region, campus_b: Region, tick: SimDuration) -> PathBudget {
+    PathBudget {
+        name: format!("MR {campus_a} student → MR {campus_b} display"),
+        hops: vec![
+            hop("headset sampling (half period)", SimDuration::from_rate_hz(72.0) / 2),
+            hop("WiFi uplink to edge", link_latency(LinkClass::Wifi)),
+            hop("fusion + replication tick (half)", tick / 2),
+            hop(
+                "inter-campus backbone",
+                SimDuration::from_millis(campus_a.one_way_ms(campus_b)),
+            ),
+            hop("seat retarget + scene gen", SimDuration::from_millis(2)),
+            hop("WiFi downlink to headset", link_latency(LinkClass::Wifi)),
+            hop("display refresh (half frame)", SimDuration::from_rate_hz(72.0) / 2),
+        ],
+    }
+}
+
+/// The path from a physical student to a remote VR learner's display.
+pub fn mr_to_vr_budget(
+    campus: Region,
+    cloud: Region,
+    learner: Region,
+    tick: SimDuration,
+) -> PathBudget {
+    PathBudget {
+        name: format!("MR {campus} student → VR learner in {learner}"),
+        hops: vec![
+            hop("headset sampling (half period)", SimDuration::from_rate_hz(72.0) / 2),
+            hop("WiFi uplink to edge", link_latency(LinkClass::Wifi)),
+            hop("fusion + replication tick (half)", tick / 2),
+            hop("edge → cloud backbone", SimDuration::from_millis(campus.one_way_ms(cloud))),
+            hop("cloud fan-out tick (half)", tick / 2),
+            hop(
+                "cloud → learner backbone",
+                SimDuration::from_millis(cloud.one_way_ms(learner)),
+            ),
+            hop("residential access", link_latency(LinkClass::ResidentialAccess)),
+            hop("display refresh (half frame)", SimDuration::from_rate_hz(72.0) / 2),
+        ],
+    }
+}
+
+/// The reverse path: a remote learner's motion appearing in a physical room.
+pub fn vr_to_mr_budget(learner: Region, cloud: Region, campus: Region) -> PathBudget {
+    PathBudget {
+        name: format!("VR learner in {learner} → MR {campus} display"),
+        hops: vec![
+            hop("client sampling (half period)", SimDuration::from_rate_hz(30.0) / 2),
+            hop("residential access", link_latency(LinkClass::ResidentialAccess)),
+            hop(
+                "learner → cloud backbone",
+                SimDuration::from_millis(learner.one_way_ms(cloud)),
+            ),
+            hop("cloud re-encode + forward", SimDuration::from_millis(1)),
+            hop("cloud → edge backbone", SimDuration::from_millis(cloud.one_way_ms(campus))),
+            hop("seat retarget + scene gen", SimDuration::from_millis(2)),
+            hop("WiFi downlink to headset", link_latency(LinkClass::Wifi)),
+            hop("display refresh (half frame)", SimDuration::from_rate_hz(72.0) / 2),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick() -> SimDuration {
+        SimDuration::from_rate_hz(60.0)
+    }
+
+    #[test]
+    fn intra_asia_mr_paths_fit_the_100ms_budget() {
+        let b = mr_to_mr_budget(Region::EastAsia, Region::EastAsia, tick());
+        assert!(
+            b.total() < SimDuration::from_millis(100),
+            "MR→MR total {} blows the budget",
+            b.total()
+        );
+    }
+
+    #[test]
+    fn transcontinental_learners_exceed_the_budget() {
+        // §3.3: "users located either far away … present a round-trip latency
+        // in the order of the hundreds of milliseconds".
+        let b = mr_to_vr_budget(Region::EastAsia, Region::EastAsia, Region::SouthAmerica, tick());
+        assert!(b.total() > SimDuration::from_millis(100), "total {}", b.total());
+    }
+
+    #[test]
+    fn totals_equal_hop_sums() {
+        let b = vr_to_mr_budget(Region::Europe, Region::EastAsia, Region::EastAsia);
+        let manual: SimDuration =
+            b.hops.iter().fold(SimDuration::ZERO, |acc, h| acc + h.latency);
+        assert_eq!(b.total(), manual);
+        assert!(b.to_string().contains("backbone"));
+    }
+
+    #[test]
+    fn nearer_clouds_give_lower_budgets() {
+        let near = mr_to_vr_budget(Region::EastAsia, Region::EastAsia, Region::Europe, tick());
+        let far = mr_to_vr_budget(Region::EastAsia, Region::NorthAmerica, Region::Europe, tick());
+        assert!(near.total() < far.total());
+    }
+}

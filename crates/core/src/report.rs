@@ -1,0 +1,173 @@
+//! Session reports: the measured counterpart of the Figure-3 architecture.
+
+use metaclass_netsim::Summary;
+use serde::{Deserialize, Serialize};
+
+use crate::session::{ClassroomSession, Role};
+
+/// Aggregated measurements of a session run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Simulated seconds covered.
+    pub duration_secs: f64,
+    /// Participants physically present on a campus.
+    pub physical_participants: u32,
+    /// Remote VR learners.
+    pub remote_participants: u32,
+    /// Sensor → edge ingestion latency (nanoseconds).
+    pub sensor_latency: Summary,
+    /// Edge → peer-edge replication latency (nanoseconds).
+    pub inter_campus_latency: Summary,
+    /// Capture → MR-headset display latency (nanoseconds).
+    pub mr_display_latency: Summary,
+    /// Capture → remote-VR-client display latency (nanoseconds).
+    pub vr_display_latency: Summary,
+    /// Avatar updates actually sent by edge servers.
+    pub updates_sent: u64,
+    /// Updates suppressed by dead reckoning.
+    pub updates_suppressed: u64,
+    /// Bytes of avatar replication leaving edge servers.
+    pub replication_bytes: u64,
+    /// Bytes fanned out by the cloud to VR clients.
+    pub fanout_bytes: u64,
+    /// Packets the network delivered.
+    pub net_delivered: u64,
+    /// Packets the network dropped (loss + queues + outages).
+    pub net_dropped: u64,
+}
+
+impl SessionReport {
+    /// Extracts a report from a session's metrics.
+    pub fn from_session(session: &ClassroomSession) -> Self {
+        let m = session.sim().metrics();
+        let summary = |name: &str| {
+            m.histogram_if_present(name).map(|h| h.summary()).unwrap_or_default()
+        };
+        let physical = session
+            .participants()
+            .iter()
+            .filter(|p| !matches!(p.role, Role::RemoteLearner { .. }))
+            .count() as u32;
+        let remote = session.participants().len() as u32 - physical;
+        SessionReport {
+            duration_secs: session.time().as_secs_f64(),
+            physical_participants: physical,
+            remote_participants: remote,
+            sensor_latency: summary("edge.sensor_latency_ns"),
+            inter_campus_latency: summary("edge.remote_update_latency_ns"),
+            mr_display_latency: summary("display.latency_ns"),
+            vr_display_latency: summary("client.display_latency_ns"),
+            updates_sent: m.counter_value("edge.updates_sent"),
+            updates_suppressed: m.counter_value("edge.updates_suppressed"),
+            replication_bytes: m.counter_value("edge.update_bytes"),
+            fanout_bytes: m.counter_value("cloud.fanout_bytes"),
+            net_delivered: m.counter_value("net.delivered"),
+            net_dropped: m.counter_value("net.dropped.loss")
+                + m.counter_value("net.dropped.queue")
+                + m.counter_value("net.dropped.down"),
+        }
+    }
+
+    /// Fraction of evaluated avatar samples suppressed by dead reckoning.
+    pub fn suppression_ratio(&self) -> f64 {
+        let total = self.updates_sent + self.updates_suppressed;
+        if total == 0 {
+            0.0
+        } else {
+            self.updates_suppressed as f64 / total as f64
+        }
+    }
+
+    /// Mean replication bandwidth leaving edge servers, bits per second.
+    pub fn replication_bandwidth_bps(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.replication_bytes as f64 * 8.0 / self.duration_secs
+        }
+    }
+
+    /// Mean cloud fan-out bandwidth, bits per second.
+    pub fn fanout_bandwidth_bps(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.fanout_bytes as f64 * 8.0 / self.duration_secs
+        }
+    }
+
+    /// Network delivery ratio.
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.net_delivered + self.net_dropped;
+        if total == 0 {
+            1.0
+        } else {
+            self.net_delivered as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "session: {:.1}s, {} physical + {} remote participants",
+            self.duration_secs, self.physical_participants, self.remote_participants
+        )?;
+        writeln!(f, "  sensor->edge     {}", self.sensor_latency.display_as_millis())?;
+        writeln!(f, "  edge->peer edge  {}", self.inter_campus_latency.display_as_millis())?;
+        writeln!(f, "  ->MR display     {}", self.mr_display_latency.display_as_millis())?;
+        writeln!(f, "  ->VR display     {}", self.vr_display_latency.display_as_millis())?;
+        writeln!(
+            f,
+            "  replication: {} updates ({:.0}% suppressed), {:.1} kbit/s",
+            self.updates_sent,
+            self.suppression_ratio() * 100.0,
+            self.replication_bandwidth_bps() / 1e3
+        )?;
+        writeln!(
+            f,
+            "  cloud fan-out: {:.1} kbit/s; network delivery {:.2}%",
+            self.fanout_bandwidth_bps() / 1e3,
+            self.delivery_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::session::SessionBuilder;
+    use metaclass_netsim::{LinkClass, Region, SimDuration};
+
+    #[test]
+    fn report_reflects_a_short_run() {
+        let mut s = SessionBuilder::new()
+            .seed(5)
+            .campus("CWB", Region::EastAsia, 4, true)
+            .remote_cohort(Region::SoutheastAsia, 2, LinkClass::ResidentialAccess)
+            .build();
+        s.run_for(SimDuration::from_secs(3));
+        let r = s.report();
+        assert_eq!(r.physical_participants, 5);
+        assert_eq!(r.remote_participants, 2);
+        assert!((r.duration_secs - 3.0).abs() < 1e-9);
+        assert!(r.updates_sent > 0);
+        assert!(r.sensor_latency.count > 100);
+        assert!(r.vr_display_latency.count > 0);
+        assert!(r.replication_bandwidth_bps() > 0.0);
+        assert!(r.delivery_ratio() > 0.95);
+        let text = r.to_string();
+        assert!(text.contains("5 physical + 2 remote"), "{text}");
+    }
+
+    #[test]
+    fn empty_run_report_is_benign() {
+        let s = SessionBuilder::new()
+            .campus("X", Region::Europe, 2, false)
+            .build();
+        let r = s.report();
+        assert_eq!(r.suppression_ratio(), 0.0);
+        assert_eq!(r.replication_bandwidth_bps(), 0.0);
+        assert_eq!(r.delivery_ratio(), 1.0);
+    }
+}

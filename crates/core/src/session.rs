@@ -1,0 +1,631 @@
+//! Assembling and running a blended-classroom session.
+//!
+//! [`SessionBuilder`] constructs the full Figure-3 deployment — any number of
+//! physical campuses, the cloud VR classroom, and remote learner cohorts
+//! around the world — wires it over calibrated links, and returns a runnable
+//! [`ClassroomSession`].
+
+use std::collections::BTreeMap;
+
+use metaclass_avatar::{AvatarId, CodecConfig, SpaceBounds, Vec3};
+use metaclass_edge::{
+    ClassMsg, ClassroomLayout, ClientConfig, CloudServerNode, EdgeServerNode, FanoutConfig,
+    HeadsetNode, RemoteClientNode, RoomArrayNode, ServerConfig,
+};
+use metaclass_netsim::{
+    LinkClass, LinkConfig, NodeId, Region, SimDuration, SimTime, Simulation,
+};
+use metaclass_sensors::MotionScript;
+use serde::{Deserialize, Serialize};
+
+use crate::report::SessionReport;
+
+/// The classroom activity being run (§3.1's interaction scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// A lecture: presenter at the podium, students seated.
+    Lecture,
+    /// A seminar: seated discussion (same kinematics, more speech).
+    Seminar,
+    /// Group work: students walk between tables.
+    GroupWork,
+}
+
+/// One physical campus classroom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampusSpec {
+    /// Campus name (e.g. "HKUST-CWB").
+    pub name: String,
+    /// Where the campus sits (sets backbone latencies).
+    pub region: Region,
+    /// Seated students in the room.
+    pub students: u32,
+    /// Whether a presenter teaches from this campus's podium.
+    pub has_presenter: bool,
+}
+
+/// A cohort of remote VR learners in one region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CohortSpec {
+    /// The learners' region.
+    pub region: Region,
+    /// Cohort size.
+    pub learners: u32,
+    /// Their last-mile access class.
+    pub access: LinkClass,
+}
+
+/// Who a participant is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Role {
+    /// A seated student at campus `campus`.
+    Student {
+        /// Campus index (order of [`SessionBuilder::campus`] calls).
+        campus: usize,
+    },
+    /// The presenter at campus `campus`.
+    Presenter {
+        /// Campus index.
+        campus: usize,
+    },
+    /// A remote VR learner.
+    RemoteLearner {
+        /// The learner's region.
+        region: Region,
+    },
+}
+
+/// One member of the session roster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Participant {
+    /// The participant's avatar.
+    pub avatar: AvatarId,
+    /// Their role.
+    pub role: Role,
+    /// The simulation node embodying them (headset or VR client).
+    pub node: NodeId,
+}
+
+/// Session-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// The activity everyone performs.
+    pub activity: Activity,
+    /// Region hosting the cloud VR classroom.
+    pub cloud_region: Region,
+    /// Server tuning (tick, dead reckoning, codec).
+    pub server: ServerConfig,
+    /// Cloud fan-out tuning.
+    pub fanout: FanoutConfig,
+    /// Remote-client tuning.
+    pub client: ClientConfig,
+}
+
+/// The codec agreement used across the whole session: auditorium-sized
+/// bounds at 15 bits (≈ 3 mm grid), so both classroom and VR-auditorium
+/// coordinates encode cleanly.
+pub fn protocol_codec() -> CodecConfig {
+    CodecConfig {
+        bounds: SpaceBounds::auditorium(),
+        position_bits: 15,
+        ..CodecConfig::default()
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        let codec = protocol_codec();
+        SessionConfig {
+            seed: 42,
+            activity: Activity::Lecture,
+            cloud_region: Region::EastAsia,
+            server: ServerConfig { codec, ..ServerConfig::default() },
+            fanout: FanoutConfig::default(),
+            client: ClientConfig { codec, ..ClientConfig::default() },
+        }
+    }
+}
+
+/// Builder for a [`ClassroomSession`].
+///
+/// # Examples
+///
+/// The paper's unit case: two HKUST campuses plus remote learners.
+///
+/// ```
+/// use metaclass_core::SessionBuilder;
+/// use metaclass_netsim::{LinkClass, Region, SimDuration};
+///
+/// let mut session = SessionBuilder::new()
+///     .seed(7)
+///     .campus("HKUST-CWB", Region::EastAsia, 8, true)
+///     .campus("HKUST-GZ", Region::EastAsia, 6, false)
+///     .remote_cohort(Region::Europe, 3, LinkClass::ResidentialAccess)
+///     .build();
+/// session.run_for(SimDuration::from_secs(2));
+/// let report = session.report();
+/// assert_eq!(report.physical_participants, 15);
+/// assert_eq!(report.remote_participants, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    cfg: SessionConfig,
+    campuses: Vec<CampusSpec>,
+    cohorts: Vec<CohortSpec>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    /// Creates a builder with default configuration and no rooms.
+    pub fn new() -> Self {
+        SessionBuilder { cfg: SessionConfig::default(), campuses: Vec::new(), cohorts: Vec::new() }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the activity.
+    pub fn activity(mut self, activity: Activity) -> Self {
+        self.cfg.activity = activity;
+        self
+    }
+
+    /// Places the cloud VR classroom.
+    pub fn cloud_region(mut self, region: Region) -> Self {
+        self.cfg.cloud_region = region;
+        self
+    }
+
+    /// Overrides the server configuration (tick, dead reckoning, codec).
+    pub fn server_config(mut self, server: ServerConfig) -> Self {
+        self.cfg.server = server;
+        self
+    }
+
+    /// Overrides the cloud fan-out configuration.
+    pub fn fanout_config(mut self, fanout: FanoutConfig) -> Self {
+        self.cfg.fanout = fanout;
+        self
+    }
+
+    /// Overrides the remote-client configuration (upload cadence, dead
+    /// reckoning, jitter buffering). The codec must match the server's.
+    pub fn client_config(mut self, client: ClientConfig) -> Self {
+        self.cfg.client = client;
+        self
+    }
+
+    /// Adds a physical campus classroom.
+    pub fn campus(
+        mut self,
+        name: impl Into<String>,
+        region: Region,
+        students: u32,
+        has_presenter: bool,
+    ) -> Self {
+        self.campuses.push(CampusSpec {
+            name: name.into(),
+            region,
+            students,
+            has_presenter,
+        });
+        self
+    }
+
+    /// Adds a cohort of remote VR learners.
+    pub fn remote_cohort(mut self, region: Region, learners: u32, access: LinkClass) -> Self {
+        self.cohorts.push(CohortSpec { region, learners, access });
+        self
+    }
+
+    /// A last-mile access link extended by the backbone distance to the
+    /// cloud's region.
+    fn compose_access(access: LinkClass, from: Region, to: Region) -> LinkConfig {
+        let base = access.config();
+        let backbone_ms = from.one_way_ms(to);
+        LinkConfig::new(base.delay() + SimDuration::from_millis(backbone_ms))
+            .with_jitter(base.jitter_std() + SimDuration::from_millis_f64(backbone_ms as f64 * 0.05))
+            .with_loss(base.loss())
+            .with_bandwidth_bps(base.bandwidth_bps().unwrap_or(100_000_000))
+            .with_queue_capacity_bytes(base.queue_capacity_bytes().unwrap_or(512 * 1024))
+    }
+
+    /// Assembles the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no campus and no cohort was added (an empty session), or if
+    /// a campus has more participants than its room has seats.
+    pub fn build(self) -> ClassroomSession {
+        assert!(
+            !self.campuses.is_empty() || !self.cohorts.is_empty(),
+            "a session needs at least one campus or cohort"
+        );
+        let cfg = self.cfg;
+        let mut sim: Simulation<ClassMsg> = Simulation::new(cfg.seed);
+
+        // ---- Precompute node indices (nodes are added in this order). ----
+        let cloud_id = NodeId::from_index(0);
+        let mut next = 1usize;
+        struct CampusIds {
+            edge: NodeId,
+            array: NodeId,
+            headsets: Vec<NodeId>,
+        }
+        let mut campus_ids = Vec::new();
+        for spec in &self.campuses {
+            let participants = spec.students + u32::from(spec.has_presenter);
+            let edge = NodeId::from_index(next);
+            let array = NodeId::from_index(next + 1);
+            let headsets = (0..participants)
+                .map(|i| NodeId::from_index(next + 2 + i as usize))
+                .collect();
+            campus_ids.push(CampusIds { edge, array, headsets });
+            next += 2 + participants as usize;
+        }
+        let mut client_ids = Vec::new();
+        for cohort in &self.cohorts {
+            for _ in 0..cohort.learners {
+                client_ids.push(NodeId::from_index(next));
+                next += 1;
+            }
+        }
+
+        // ---- Rosters, scripts, anchors. ----
+        let mut participants = Vec::new();
+        let mut campus_rosters: Vec<Vec<(AvatarId, NodeId, metaclass_avatar::AnchorFrame)>> =
+            Vec::new();
+        let mut campus_scripts: Vec<Vec<(AvatarId, MotionScript, u64)>> = Vec::new();
+        let layout = ClassroomLayout::lecture(6, 8); // 48 seats per room
+
+        for (k, spec) in self.campuses.iter().enumerate() {
+            let mut roster = Vec::new();
+            let mut scripts = Vec::new();
+            let count = spec.students + u32::from(spec.has_presenter);
+            assert!(
+                (count as usize) <= layout.capacity(),
+                "campus {} has {count} participants but the room seats {}",
+                spec.name,
+                layout.capacity()
+            );
+            for i in 0..count {
+                let avatar = AvatarId(k as u32 * 1000 + i);
+                let headset = campus_ids[k].headsets[i as usize];
+                let is_presenter = spec.has_presenter && i == spec.students;
+                let (anchor, script) = if is_presenter {
+                    let podium = layout.podium;
+                    (
+                        podium,
+                        MotionScript::Presenter {
+                            center: podium.pose.position,
+                            area_half: Vec3::new(1.4, 0.0, 0.9),
+                        },
+                    )
+                } else {
+                    let seat = layout.seats[i as usize];
+                    let floor = Vec3::new(seat.pose.position.x, 0.0, seat.pose.position.z);
+                    let script = match cfg.activity {
+                        Activity::Lecture | Activity::Seminar => {
+                            MotionScript::SeatedLecture { seat: floor }
+                        }
+                        Activity::GroupWork => {
+                            // Four tables; students cycle starting at theirs.
+                            let tables = [
+                                Vec3::new(8.0, 0.0, 5.0),
+                                Vec3::new(12.0, 0.0, 5.0),
+                                Vec3::new(8.0, 0.0, 9.0),
+                                Vec3::new(12.0, 0.0, 9.0),
+                            ];
+                            let mut order: Vec<Vec3> = (0..4)
+                                .map(|t| tables[(t + i as usize) % 4])
+                                .collect();
+                            order.dedup();
+                            MotionScript::GroupWork { tables: order, dwell_secs: 10.0 }
+                        }
+                    };
+                    (seat, script)
+                };
+                let role = if is_presenter {
+                    Role::Presenter { campus: k }
+                } else {
+                    Role::Student { campus: k }
+                };
+                participants.push(Participant { avatar, role, node: headset });
+                roster.push((avatar, headset, anchor));
+                scripts.push((avatar, script, cfg.seed ^ (avatar.0 as u64) << 8));
+            }
+            campus_rosters.push(roster);
+            campus_scripts.push(scripts);
+        }
+
+        let mut client_map = BTreeMap::new();
+        {
+            let mut j = 0usize;
+            for cohort in &self.cohorts {
+                for _ in 0..cohort.learners {
+                    let avatar = AvatarId(10_000 + j as u32);
+                    client_map.insert(avatar, client_ids[j]);
+                    participants.push(Participant {
+                        avatar,
+                        role: Role::RemoteLearner { region: cohort.region },
+                        node: client_ids[j],
+                    });
+                    j += 1;
+                }
+            }
+        }
+
+        // ---- Instantiate nodes in the precomputed order. ----
+        let all_edges: Vec<NodeId> = campus_ids.iter().map(|c| c.edge).collect();
+        let cloud = sim.add_node(
+            "cloud",
+            CloudServerNode::new(
+                cfg.server,
+                cfg.fanout,
+                client_map.clone(),
+                all_edges.clone(),
+                2048,
+            ),
+        );
+        debug_assert_eq!(cloud, cloud_id);
+
+        for (k, spec) in self.campuses.iter().enumerate() {
+            let peers: Vec<NodeId> = all_edges
+                .iter()
+                .copied()
+                .filter(|&e| e != campus_ids[k].edge)
+                .chain(std::iter::once(cloud_id))
+                .collect();
+            let edge = sim.add_node(
+                format!("edge-{}", spec.name),
+                EdgeServerNode::new(cfg.server, layout.clone(), campus_rosters[k].clone(), peers),
+            );
+            debug_assert_eq!(edge, campus_ids[k].edge);
+            let array = sim.add_node(
+                format!("array-{}", spec.name),
+                RoomArrayNode::new(edge, campus_scripts[k].clone()),
+            );
+            debug_assert_eq!(array, campus_ids[k].array);
+            sim.connect(array, edge, LinkClass::WiredLan.config());
+            for (avatar, script, seed) in campus_scripts[k].clone() {
+                let hs = sim.add_node(
+                    format!("headset-{avatar}"),
+                    HeadsetNode::new(avatar, edge, script, seed),
+                );
+                sim.connect(hs, edge, LinkClass::Wifi.config());
+            }
+        }
+
+        {
+            let mut j = 0usize;
+            for cohort in &self.cohorts {
+                for _ in 0..cohort.learners {
+                    let avatar = AvatarId(10_000 + j as u32);
+                    // Remote learners "sit" near the origin of their own
+                    // home space; the cloud reseats them in the auditorium.
+                    let script = MotionScript::SeatedLecture {
+                        seat: Vec3::new(1.0 + (j % 5) as f64 * 0.8, 0.0, 1.0 + (j / 5 % 8) as f64),
+                    };
+                    let node = sim.add_node(
+                        format!("client-{avatar}"),
+                        RemoteClientNode::new(
+                            avatar,
+                            cloud_id,
+                            cfg.client,
+                            script,
+                            cfg.seed ^ ((avatar.0 as u64) << 16),
+                        ),
+                    );
+                    debug_assert_eq!(node, client_ids[j]);
+                    sim.connect(
+                        node,
+                        cloud_id,
+                        Self::compose_access(cohort.access, cohort.region, cfg.cloud_region),
+                    );
+                    j += 1;
+                }
+            }
+        }
+
+        // ---- Inter-server links. ----
+        for (k, spec) in self.campuses.iter().enumerate() {
+            sim.connect(
+                campus_ids[k].edge,
+                cloud_id,
+                spec.region.backbone_to(cfg.cloud_region),
+            );
+            for (m, other) in self.campuses.iter().enumerate().skip(k + 1) {
+                sim.connect(
+                    campus_ids[k].edge,
+                    campus_ids[m].edge,
+                    spec.region.backbone_to(other.region),
+                );
+            }
+        }
+
+        // The presenter of campus 0 (if any) is the session's speaker.
+        let speaker = participants.iter().find_map(|p| match p.role {
+            Role::Presenter { campus: 0 } => Some(p.avatar),
+            _ => None,
+        });
+        if let Some(s) = speaker {
+            sim.node_as_mut::<CloudServerNode>(cloud_id)
+                .expect("cloud node")
+                .set_speaker(Some(s));
+        }
+
+        ClassroomSession {
+            sim,
+            cfg,
+            cloud: cloud_id,
+            edges: all_edges,
+            campuses: self.campuses,
+            participants,
+        }
+    }
+}
+
+/// A running virtual-physical blended classroom.
+pub struct ClassroomSession {
+    sim: Simulation<ClassMsg>,
+    cfg: SessionConfig,
+    cloud: NodeId,
+    edges: Vec<NodeId>,
+    campuses: Vec<CampusSpec>,
+    participants: Vec<Participant>,
+}
+
+impl ClassroomSession {
+    /// Advances the session by `duration`.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let until = self.sim.time() + duration;
+        self.sim.run_until(until);
+    }
+
+    /// Current session time.
+    pub fn time(&self) -> SimTime {
+        self.sim.time()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The underlying simulation (metrics, nodes, links).
+    pub fn sim(&self) -> &Simulation<ClassMsg> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulation (failure injection,
+    /// node inspection).
+    pub fn sim_mut(&mut self) -> &mut Simulation<ClassMsg> {
+        &mut self.sim
+    }
+
+    /// The cloud server's node id.
+    pub fn cloud(&self) -> NodeId {
+        self.cloud
+    }
+
+    /// Edge-server node ids, in campus order.
+    pub fn edges(&self) -> &[NodeId] {
+        &self.edges
+    }
+
+    /// The session roster.
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
+    }
+
+    /// Campus specifications, in campus order.
+    pub fn campuses(&self) -> &[CampusSpec] {
+        &self.campuses
+    }
+
+    /// Builds a report from the metrics accumulated so far.
+    pub fn report(&self) -> SessionReport {
+        SessionReport::from_session(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_case() -> ClassroomSession {
+        SessionBuilder::new()
+            .seed(11)
+            .campus("CWB", Region::EastAsia, 5, true)
+            .campus("GZ", Region::EastAsia, 4, false)
+            .remote_cohort(Region::Europe, 2, LinkClass::ResidentialAccess)
+            .remote_cohort(Region::NorthAmerica, 1, LinkClass::CellularAccess)
+            .build()
+    }
+
+    #[test]
+    fn roster_matches_specs() {
+        let s = unit_case();
+        let students = s
+            .participants()
+            .iter()
+            .filter(|p| matches!(p.role, Role::Student { .. }))
+            .count();
+        let presenters = s
+            .participants()
+            .iter()
+            .filter(|p| matches!(p.role, Role::Presenter { .. }))
+            .count();
+        let remote = s
+            .participants()
+            .iter()
+            .filter(|p| matches!(p.role, Role::RemoteLearner { .. }))
+            .count();
+        assert_eq!((students, presenters, remote), (9, 1, 3));
+        assert_eq!(s.edges().len(), 2);
+    }
+
+    #[test]
+    fn avatars_replicate_across_all_three_rooms() {
+        let mut s = unit_case();
+        s.run_for(SimDuration::from_secs(4));
+        // Cloud sees everyone.
+        let cloud = s.cloud();
+        let population = s
+            .sim()
+            .node_as::<CloudServerNode>(cloud)
+            .unwrap()
+            .population();
+        assert_eq!(population, 13);
+        // Each edge displays the other campus + remote learners.
+        for &edge in s.edges() {
+            let remote_count =
+                s.sim().node_as::<EdgeServerNode>(edge).unwrap().remote_count();
+            assert!(remote_count >= 5, "edge shows {remote_count}");
+        }
+    }
+
+    #[test]
+    fn group_work_sessions_generate_more_traffic_than_lectures() {
+        let run = |activity| {
+            let mut s = SessionBuilder::new()
+                .seed(3)
+                .activity(activity)
+                .campus("CWB", Region::EastAsia, 6, false)
+                .campus("GZ", Region::EastAsia, 6, false)
+                .build();
+            s.run_for(SimDuration::from_secs(20));
+            s.sim().metrics().counter_value("edge.update_bytes")
+        };
+        let lecture = run(Activity::Lecture);
+        let group = run(Activity::GroupWork);
+        // Expression replication (speech-driven jaw motion) dominates both
+        // activities; walking between tables adds measurably on top.
+        assert!(
+            group as f64 > lecture as f64 * 1.02,
+            "group work {group} B vs lecture {lecture} B"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one campus")]
+    fn empty_sessions_are_rejected() {
+        let _ = SessionBuilder::new().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "seats")]
+    fn overfull_campus_is_rejected() {
+        let _ = SessionBuilder::new().campus("X", Region::Europe, 500, false).build();
+    }
+}

@@ -1,0 +1,200 @@
+//! The remote VR client ("Digital Metaverse Classroom Online in VR", §3.2):
+//! a learner joining from home through a VR headset or computer.
+
+use std::collections::BTreeMap;
+
+use metaclass_avatar::{AvatarCodec, AvatarId, AvatarState, CodecConfig};
+use metaclass_netsim::{Context, Node, NodeId, SimDuration, SimTime, Timer};
+use metaclass_sensors::{MotionScript, Trajectory};
+use metaclass_sync::{
+    DeadReckoningConfig, DeadReckoningSender, InteractionEvent, JitterBuffer, JitterBufferConfig,
+    OffsetEstimator, ReliableSender, SnapshotSender,
+};
+
+use crate::messages::ClassMsg;
+
+const TAG_POSE: u64 = 30;
+const TAG_CLOCK: u64 = 31;
+const TAG_INTERACT: u64 = 32;
+
+/// Retransmission timeout for the reliable interaction stream.
+const INTERACTION_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Tuning of a remote client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientConfig {
+    /// Own-pose upload cadence.
+    pub pose_rate: SimDuration,
+    /// Clock-probe cadence.
+    pub clock_probe_interval: SimDuration,
+    /// Dead-reckoning thresholds for uploads.
+    pub dead_reckoning: DeadReckoningConfig,
+    /// Playout buffering for displayed remote avatars.
+    pub jitter: JitterBufferConfig,
+    /// Avatar codec configuration — must match the serving cloud's.
+    pub codec: CodecConfig,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            pose_rate: SimDuration::from_rate_hz(30.0),
+            clock_probe_interval: SimDuration::from_millis(500),
+            dead_reckoning: DeadReckoningConfig::default(),
+            jitter: JitterBufferConfig::default(),
+            codec: CodecConfig::default(),
+        }
+    }
+}
+
+/// A remote learner's VR client.
+pub struct RemoteClientNode {
+    avatar: AvatarId,
+    server: NodeId,
+    cfg: ClientConfig,
+    trajectory: Trajectory,
+    uplink: SnapshotSender,
+    dead_reckoner: DeadReckoningSender,
+    displayed: BTreeMap<AvatarId, JitterBuffer>,
+    clock: OffsetEstimator,
+    next_nonce: u64,
+    interactions: ReliableSender<InteractionEvent>,
+    interact_rng: metaclass_netsim::DetRng,
+    hand_raised: bool,
+}
+
+impl RemoteClientNode {
+    /// Creates a client for `avatar`, connected to `server`, moving through
+    /// the virtual classroom along `script`.
+    pub fn new(
+        avatar: AvatarId,
+        server: NodeId,
+        cfg: ClientConfig,
+        script: MotionScript,
+        seed: u64,
+    ) -> Self {
+        RemoteClientNode {
+            avatar,
+            server,
+            cfg,
+            trajectory: Trajectory::new(script, seed),
+            uplink: SnapshotSender::new(AvatarCodec::new(cfg.codec), 60),
+            dead_reckoner: DeadReckoningSender::new(cfg.dead_reckoning),
+            displayed: BTreeMap::new(),
+            clock: OffsetEstimator::new(16),
+            next_nonce: 0,
+            interactions: ReliableSender::new(INTERACTION_RTO),
+            interact_rng: metaclass_netsim::DetRng::new(seed).derive(0x4942),
+            hand_raised: false,
+        }
+    }
+
+    /// This client's avatar id.
+    pub fn avatar(&self) -> AvatarId {
+        self.avatar
+    }
+
+    /// Number of remote avatars this client currently displays.
+    pub fn displayed_count(&self) -> usize {
+        self.displayed.len()
+    }
+
+    /// The displayed (buffered/interpolated) state of a remote avatar.
+    pub fn displayed_state(&mut self, avatar: AvatarId, now: SimTime) -> Option<AvatarState> {
+        self.displayed.get_mut(&avatar)?.sample(now)
+    }
+
+    /// The client's clock-offset estimator (populated by probe replies).
+    pub fn clock(&self) -> &OffsetEstimator {
+        &self.clock
+    }
+}
+
+impl Node<ClassMsg> for RemoteClientNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        ctx.set_timer(self.cfg.pose_rate, TAG_POSE);
+        ctx.set_timer(SimDuration::from_millis(1), TAG_CLOCK);
+        let first = SimDuration::from_secs_f64(self.interact_rng.range_f64(5.0, 30.0));
+        ctx.set_timer(first, TAG_INTERACT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ClassMsg>, timer: Timer) {
+        let now = ctx.now();
+        match timer.tag {
+            TAG_POSE => {
+                let truth = self.trajectory.state_at(now.as_secs_f64());
+                if self.dead_reckoner.should_send(now, &truth) {
+                    self.dead_reckoner.mark_sent(now, truth);
+                    let frame = self.uplink.encode(&truth);
+                    let msg = ClassMsg::ClientPose { avatar: self.avatar, frame, captured_at: now };
+                    let size = msg.wire_bytes();
+                    ctx.metrics().inc("client.poses_sent");
+                    ctx.metrics().add("client.pose_bytes", size as u64);
+                    ctx.send(self.server, msg, size);
+                } else {
+                    self.dead_reckoner.mark_suppressed();
+                }
+                for (seq, event) in self.interactions.due_retransmits(now) {
+                    let msg = ClassMsg::Interaction {
+                        avatar: self.avatar,
+                        seq,
+                        event,
+                        captured_at: now,
+                    };
+                    let size = msg.wire_bytes();
+                    ctx.send(self.server, msg, size);
+                }
+                ctx.set_timer(self.cfg.pose_rate, TAG_POSE);
+            }
+            TAG_CLOCK => {
+                self.next_nonce += 1;
+                let msg = ClassMsg::ClockProbe { nonce: self.next_nonce, client_send: now };
+                let size = msg.wire_bytes();
+                ctx.send(self.server, msg, size);
+                ctx.set_timer(self.cfg.clock_probe_interval, TAG_CLOCK);
+            }
+            TAG_INTERACT => {
+                self.hand_raised = !self.hand_raised;
+                let (seq, event) = self
+                    .interactions
+                    .send(InteractionEvent::RaiseHand { raised: self.hand_raised }, now);
+                let msg =
+                    ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
+                let size = msg.wire_bytes();
+                ctx.send(self.server, msg, size);
+                ctx.metrics().inc("client.interactions_sent");
+                let next = SimDuration::from_secs_f64(self.interact_rng.range_f64(15.0, 60.0));
+                ctx.set_timer(next, TAG_INTERACT);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ClassMsg>, _from: NodeId, msg: ClassMsg) {
+        let now = ctx.now();
+        match msg {
+            ClassMsg::DisplayUpdate { avatar, state, captured_at } => {
+                ctx.metrics()
+                    .histogram("client.display_latency_ns")
+                    .record(now.duration_since(captured_at).as_nanos());
+                self.displayed
+                    .entry(avatar)
+                    .or_insert_with(|| JitterBuffer::new(self.cfg.jitter))
+                    .push(captured_at, now, state);
+            }
+            ClassMsg::AvatarAck { seq, .. } => {
+                self.uplink.on_ack(seq);
+            }
+            ClassMsg::KeyframeRequest { .. } => {
+                self.uplink.request_keyframe();
+            }
+            ClassMsg::InteractionAck { seq, .. } => {
+                self.interactions.on_ack(seq);
+            }
+            ClassMsg::ClockReply { client_send, server_time, .. } => {
+                self.clock.record(client_send, server_time, now);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The cloud server hosting the fully virtual VR classroom.
+//!
+//! §3.2: "the cloud server arranges the avatars of all users within an
+//! entirely virtual VR classroom and transmits the results back to the remote
+//! users." It ingests avatar streams from both physical classrooms and from
+//! every remote client, seats them in a virtual auditorium, and fans out
+//! per-client updates under an interest-managed budget — the mechanism that
+//! keeps "thousands of remote users" (§3.3) affordable.
+
+use std::collections::BTreeMap;
+
+use metaclass_avatar::{retarget, AnchorFrame, AvatarCodec, AvatarId, AvatarState};
+use metaclass_netsim::{Context, Node, NodeId, SimTime, Timer};
+use metaclass_netsim::SimDuration;
+use metaclass_sync::{
+    DeadReckoningSender, InteractionEvent, InterestConfig, InterestManager, PoseFrame,
+    ReliableReceiver, ReliableSender, SnapshotReceiver, SnapshotSender, SubscriberId, Viewpoint,
+};
+
+/// Retransmission timeout for relayed interaction streams.
+const INTERACTION_RTO: SimDuration = SimDuration::from_millis(150);
+
+use crate::edge_server::ServerConfig;
+use crate::messages::ClassMsg;
+use crate::seat::{ClassroomLayout, SeatAllocator};
+
+const TAG_FANOUT: u64 = 20;
+
+/// Fan-out policy of the cloud classroom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FanoutConfig {
+    /// Avatar updates each client may receive per fan-out tick.
+    pub budget_per_client: usize,
+    /// Interest-management tuning.
+    pub interest: InterestConfig,
+}
+
+impl Default for FanoutConfig {
+    fn default() -> Self {
+        FanoutConfig { budget_per_client: 16, interest: InterestConfig::default() }
+    }
+}
+
+/// The cloud VR classroom server.
+pub struct CloudServerNode {
+    cfg: ServerConfig,
+    fanout: FanoutConfig,
+    /// Remote VR clients: avatar → client node.
+    clients: BTreeMap<AvatarId, NodeId>,
+    /// Physical-classroom edge servers feeding this cloud.
+    edges: Vec<NodeId>,
+    /// Inbound streams (from clients and edges alike).
+    receivers: BTreeMap<AvatarId, SnapshotReceiver>,
+    /// Outbound re-encoded client-avatar streams toward the edges.
+    senders: BTreeMap<(NodeId, AvatarId), SnapshotSender>,
+    dead_reckoners: BTreeMap<AvatarId, DeadReckoningSender>,
+    /// Latest VR-space state of every avatar in the virtual classroom.
+    latest: BTreeMap<AvatarId, (AvatarState, SimTime)>,
+    seats: SeatAllocator,
+    interest: InterestManager,
+    /// The avatar currently speaking (gets interest priority everywhere).
+    speaker: Option<AvatarId>,
+    /// Capture time of the newest state already sent per (client, entity) —
+    /// unchanged states are not re-sent.
+    sent_marks: BTreeMap<(AvatarId, AvatarId), SimTime>,
+    /// Inbound reliable interaction streams.
+    interaction_rx: BTreeMap<AvatarId, ReliableReceiver<InteractionEvent>>,
+    /// Outbound relays of client interactions toward the edges.
+    interaction_tx: BTreeMap<(NodeId, AvatarId), ReliableSender<InteractionEvent>>,
+    /// Every interaction observed in the VR classroom, in delivery order.
+    interaction_log: Vec<(AvatarId, InteractionEvent)>,
+}
+
+impl CloudServerNode {
+    /// Creates the cloud server. `clients` maps each remote avatar to its
+    /// client node; `edges` are the physical classrooms' edge servers;
+    /// `capacity` sizes the virtual auditorium.
+    pub fn new(
+        cfg: ServerConfig,
+        fanout: FanoutConfig,
+        clients: BTreeMap<AvatarId, NodeId>,
+        edges: Vec<NodeId>,
+        capacity: u32,
+    ) -> Self {
+        CloudServerNode {
+            interest: InterestManager::new(fanout.interest),
+            cfg,
+            fanout,
+            clients,
+            edges,
+            receivers: BTreeMap::new(),
+            senders: BTreeMap::new(),
+            dead_reckoners: BTreeMap::new(),
+            latest: BTreeMap::new(),
+            seats: SeatAllocator::new(ClassroomLayout::auditorium(capacity)),
+            speaker: None,
+            sent_marks: BTreeMap::new(),
+            interaction_rx: BTreeMap::new(),
+            interaction_tx: BTreeMap::new(),
+            interaction_log: Vec::new(),
+        }
+    }
+
+    /// Declares `avatar` the active speaker (or clears with `None`).
+    pub fn set_speaker(&mut self, avatar: Option<AvatarId>) {
+        self.speaker = avatar;
+    }
+
+    /// Number of avatars present in the virtual classroom.
+    pub fn population(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Latest VR-space state of an avatar, if known.
+    pub fn state_of(&self, avatar: AvatarId) -> Option<&AvatarState> {
+        self.latest.get(&avatar).map(|(s, _)| s)
+    }
+
+    /// Every interaction event observed in the VR classroom.
+    pub fn interaction_log(&self) -> &[(AvatarId, InteractionEvent)] {
+        &self.interaction_log
+    }
+
+    fn on_interaction(
+        &mut self,
+        ctx: &mut Context<'_, ClassMsg>,
+        from: NodeId,
+        avatar: AvatarId,
+        seq: u64,
+        event: InteractionEvent,
+        captured_at: SimTime,
+    ) {
+        let rx = self.interaction_rx.entry(avatar).or_default();
+        let ready = rx.on_packet(seq, event);
+        if let Some(ack) = rx.cumulative_ack() {
+            let msg = ClassMsg::InteractionAck { avatar, seq: ack };
+            let size = msg.wire_bytes();
+            ctx.send(from, msg, size);
+        }
+        // Client-originated events are relayed onward to the physical
+        // classrooms; edge-originated ones were already fanned out by their
+        // home edge.
+        let relay = self.clients.contains_key(&avatar);
+        for ev in ready {
+            ctx.metrics().inc("cloud.interactions_delivered");
+            if relay {
+                for peer in self.edges.clone() {
+                    if peer == from {
+                        continue;
+                    }
+                    let tx = self
+                        .interaction_tx
+                        .entry((peer, avatar))
+                        .or_insert_with(|| ReliableSender::new(INTERACTION_RTO));
+                    let (relay_seq, relay_ev) = tx.send(ev.clone(), ctx.now());
+                    let msg = ClassMsg::Interaction {
+                        avatar,
+                        seq: relay_seq,
+                        event: relay_ev,
+                        captured_at,
+                    };
+                    let size = msg.wire_bytes();
+                    ctx.send(peer, msg, size);
+                }
+            }
+            self.interaction_log.push((avatar, ev));
+        }
+    }
+
+    fn importance_of(&self, avatar: AvatarId) -> f64 {
+        if self.speaker == Some(avatar) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Ingests a decoded avatar state arriving from `from` with `anchor` as
+    /// its home frame, retargeting it into the auditorium.
+    fn place_avatar(
+        &mut self,
+        ctx: &mut Context<'_, ClassMsg>,
+        avatar: AvatarId,
+        state: AvatarState,
+        anchor: AnchorFrame,
+        captured_at: SimTime,
+        forward_to_edges: bool,
+        from: NodeId,
+    ) {
+        let seat = match self.seats.assign(avatar) {
+            Ok(_) => *self.seats.anchor_of(avatar).expect("just assigned"),
+            Err(_) => {
+                ctx.metrics().inc("cloud.seat_rejects");
+                return;
+            }
+        };
+        let (vr_state, _) = retarget(&state, &anchor, &seat);
+        self.latest.insert(avatar, (vr_state, captured_at));
+        let importance = self.importance_of(avatar);
+        self.interest.update_entity(avatar, vr_state.head.position, importance);
+
+        if forward_to_edges {
+            // Re-encode toward each physical classroom so their students see
+            // the remote participant; its home frame is now the VR seat.
+            let dr = self
+                .dead_reckoners
+                .entry(avatar)
+                .or_insert_with(|| DeadReckoningSender::new(self.cfg.dead_reckoning));
+            let now = ctx.now();
+            if !dr.should_send(now, &vr_state) {
+                dr.mark_suppressed();
+                return;
+            }
+            dr.mark_sent(now, vr_state);
+            for peer in self.edges.clone() {
+                if peer == from {
+                    continue;
+                }
+                let sender = self.senders.entry((peer, avatar)).or_insert_with(|| {
+                    SnapshotSender::new(
+                        AvatarCodec::new(self.cfg.codec),
+                        self.cfg.keyframe_interval,
+                    )
+                });
+                let frame = sender.encode(&vr_state);
+                let msg = ClassMsg::AvatarUpdate { avatar, frame, captured_at, anchor: seat };
+                let size = msg.wire_bytes();
+                ctx.metrics().inc("cloud.forwards_to_edges");
+                ctx.send(peer, msg, size);
+            }
+        }
+    }
+
+    fn fan_out(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        let clients: Vec<(AvatarId, NodeId)> =
+            self.clients.iter().map(|(a, n)| (*a, *n)).collect();
+        for (client_avatar, client_node) in clients {
+            let viewpoint = match self.latest.get(&client_avatar) {
+                Some((st, _)) => Viewpoint {
+                    position: st.head.position,
+                    yaw: st.head.orientation.yaw(),
+                },
+                None => continue, // client has not joined with a pose yet
+            };
+            let selected = self.interest.select(
+                SubscriberId(client_avatar.0),
+                viewpoint,
+                self.fanout.budget_per_client + 1, // the client itself may be selected
+            );
+            for avatar in selected {
+                if avatar == client_avatar {
+                    continue;
+                }
+                if let Some((state, captured_at)) = self.latest.get(&avatar) {
+                    // Skip states the client already has.
+                    let mark = self.sent_marks.entry((client_avatar, avatar)).or_insert(SimTime::ZERO);
+                    if *captured_at <= *mark {
+                        continue;
+                    }
+                    *mark = *captured_at;
+                    let msg = ClassMsg::DisplayUpdate {
+                        avatar,
+                        state: *state,
+                        captured_at: *captured_at,
+                    };
+                    let size = msg.wire_bytes();
+                    ctx.metrics().inc("cloud.fanout_updates");
+                    ctx.metrics().add("cloud.fanout_bytes", size as u64);
+                    ctx.send(client_node, msg, size);
+                }
+            }
+        }
+    }
+}
+
+impl Node<ClassMsg> for CloudServerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        ctx.set_timer(self.cfg.tick, TAG_FANOUT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ClassMsg>, timer: Timer) {
+        if timer.tag == TAG_FANOUT {
+            self.fan_out(ctx);
+            let now = ctx.now();
+            for ((peer, avatar), tx) in self.interaction_tx.iter_mut() {
+                for (seq, event) in tx.due_retransmits(now) {
+                    let msg = ClassMsg::Interaction {
+                        avatar: *avatar,
+                        seq,
+                        event,
+                        captured_at: now,
+                    };
+                    let size = msg.wire_bytes();
+                    ctx.send(*peer, msg, size);
+                }
+            }
+            ctx.set_timer(self.cfg.tick, TAG_FANOUT);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ClassMsg>, from: NodeId, msg: ClassMsg) {
+        match msg {
+            ClassMsg::ClientPose { avatar, frame, captured_at } => {
+                self.handle_stream(ctx, from, avatar, frame, captured_at, None);
+            }
+            ClassMsg::AvatarUpdate { avatar, frame, captured_at, anchor } => {
+                self.handle_stream(ctx, from, avatar, frame, captured_at, Some(anchor));
+            }
+            ClassMsg::AvatarAck { avatar, seq } => {
+                if let Some(sender) = self.senders.get_mut(&(from, avatar)) {
+                    sender.on_ack(seq);
+                }
+            }
+            ClassMsg::KeyframeRequest { avatar } => {
+                if let Some(sender) = self.senders.get_mut(&(from, avatar)) {
+                    sender.request_keyframe();
+                }
+            }
+            ClassMsg::ClockProbe { nonce, client_send } => {
+                let reply = ClassMsg::ClockReply { nonce, client_send, server_time: ctx.now() };
+                let size = reply.wire_bytes();
+                ctx.send(from, reply, size);
+            }
+            ClassMsg::Interaction { avatar, seq, event, captured_at } => {
+                self.on_interaction(ctx, from, avatar, seq, event, captured_at);
+            }
+            ClassMsg::InteractionAck { avatar, seq } => {
+                if let Some(tx) = self.interaction_tx.get_mut(&(from, avatar)) {
+                    tx.on_ack(seq);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl CloudServerNode {
+    fn handle_stream(
+        &mut self,
+        ctx: &mut Context<'_, ClassMsg>,
+        from: NodeId,
+        avatar: AvatarId,
+        frame: PoseFrame,
+        captured_at: SimTime,
+        anchor: Option<AnchorFrame>,
+    ) {
+        let receiver = self
+            .receivers
+            .entry(avatar)
+            .or_insert_with(|| SnapshotReceiver::new(AvatarCodec::new(self.cfg.codec)));
+        match receiver.decode(&frame) {
+            Err(_) => {
+                ctx.metrics().inc("cloud.decode_errors");
+            }
+            Ok(None) => {
+                if receiver.take_keyframe_request() {
+                    let msg = ClassMsg::KeyframeRequest { avatar };
+                    let size = msg.wire_bytes();
+                    ctx.send(from, msg, size);
+                }
+            }
+            Ok(Some(state)) => {
+                if let Some(seq) = receiver.ack_seq() {
+                    let ack = ClassMsg::AvatarAck { avatar, seq };
+                    let size = ack.wire_bytes();
+                    ctx.send(from, ack, size);
+                }
+                let inbound = ctx.now().duration_since(captured_at);
+                ctx.metrics()
+                    .histogram("cloud.inbound_latency_ns")
+                    .record(inbound.as_nanos());
+                // Clients stream in their own home frame (origin anchor);
+                // edges supply the avatar's classroom anchor.
+                let from_clients = anchor.is_none();
+                let src_anchor =
+                    anchor.unwrap_or_else(|| AnchorFrame::seat(Default::default()));
+                self.place_avatar(
+                    ctx,
+                    avatar,
+                    state,
+                    src_anchor,
+                    captured_at,
+                    from_clients,
+                    from,
+                );
+            }
+        }
+    }
+}

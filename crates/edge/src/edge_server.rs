@@ -1,0 +1,363 @@
+//! The per-classroom edge server of Figure 3.
+//!
+//! §3.2: the edge server "aggregates the data to estimate the pose and facial
+//! expression of the participants … generates the avatar and their
+//! interaction traces accordingly, and packages them via the real-time
+//! transmission link to both the edge server of Classroom 2 and the cloud
+//! server of the VR classroom"; on reception it "identifies the vacant seats
+//! … corrects the pose to match the new position of the avatar and generates
+//! the scene to display."
+
+use std::collections::BTreeMap;
+
+use metaclass_avatar::{retarget, AnchorFrame, AvatarCodec, AvatarId, AvatarState, CodecConfig};
+use metaclass_netsim::{Context, Node, NodeId, SimDuration, SimTime, Timer};
+use metaclass_sensors::PoseFusion;
+use metaclass_sync::{
+    DeadReckoningConfig, DeadReckoningSender, InteractionEvent, ReliableReceiver, ReliableSender,
+    SnapshotReceiver, SnapshotSender,
+};
+
+/// Retransmission timeout for relayed interaction streams.
+const INTERACTION_RTO: SimDuration = SimDuration::from_millis(150);
+
+use crate::messages::ClassMsg;
+use crate::seat::{ClassroomLayout, SeatAllocator};
+
+const TAG_TICK: u64 = 10;
+
+/// Tuning of a classroom/cloud server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Replication tick (evaluation + fan-out cadence).
+    pub tick: SimDuration,
+    /// Dead-reckoning thresholds for outbound replication.
+    pub dead_reckoning: DeadReckoningConfig,
+    /// Keyframe cadence of the snapshot streams.
+    pub keyframe_interval: u64,
+    /// Avatar codec configuration (bounds must contain the classroom).
+    pub codec: CodecConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tick: SimDuration::from_rate_hz(60.0),
+            dead_reckoning: DeadReckoningConfig::default(),
+            keyframe_interval: 60,
+            codec: CodecConfig::default(),
+        }
+    }
+}
+
+/// The edge server of one physical MR classroom.
+pub struct EdgeServerNode {
+    cfg: ServerConfig,
+    /// Peer servers receiving this classroom's avatars (other edge + cloud).
+    peers: Vec<NodeId>,
+    /// Local participants and the headset node displaying to each.
+    headsets: BTreeMap<AvatarId, NodeId>,
+    /// Anchors of local participants in this classroom (their own seats).
+    local_anchors: BTreeMap<AvatarId, AnchorFrame>,
+    fusion: BTreeMap<AvatarId, PoseFusion>,
+    dead_reckoners: BTreeMap<AvatarId, DeadReckoningSender>,
+    senders: BTreeMap<(NodeId, AvatarId), SnapshotSender>,
+    receivers: BTreeMap<AvatarId, (NodeId, SnapshotReceiver)>,
+    seats: SeatAllocator,
+    /// Latest retargeted state of each remote avatar.
+    remote_latest: BTreeMap<AvatarId, (AvatarState, SimTime)>,
+    /// Inbound reliable interaction streams, one per avatar.
+    interaction_rx: BTreeMap<AvatarId, ReliableReceiver<InteractionEvent>>,
+    /// Outbound relays of local avatars' interactions, per (peer, avatar).
+    interaction_tx: BTreeMap<(NodeId, AvatarId), ReliableSender<InteractionEvent>>,
+    /// Every interaction observed by this classroom, in arrival order.
+    interaction_log: Vec<(AvatarId, InteractionEvent)>,
+}
+
+impl EdgeServerNode {
+    /// Creates an edge server for a classroom with the given `layout`.
+    ///
+    /// `participants` maps each local avatar to its headset node and its
+    /// anchor (seat/podium) in this classroom; `peers` are the other servers
+    /// of the session.
+    pub fn new(
+        cfg: ServerConfig,
+        layout: ClassroomLayout,
+        participants: Vec<(AvatarId, NodeId, AnchorFrame)>,
+        peers: Vec<NodeId>,
+    ) -> Self {
+        let mut headsets = BTreeMap::new();
+        let mut local_anchors = BTreeMap::new();
+        for (avatar, headset, anchor) in participants {
+            headsets.insert(avatar, headset);
+            local_anchors.insert(avatar, anchor);
+        }
+        EdgeServerNode {
+            cfg,
+            peers,
+            headsets,
+            local_anchors,
+            fusion: BTreeMap::new(),
+            dead_reckoners: BTreeMap::new(),
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
+            seats: SeatAllocator::new(layout),
+            remote_latest: BTreeMap::new(),
+            interaction_rx: BTreeMap::new(),
+            interaction_tx: BTreeMap::new(),
+            interaction_log: Vec::new(),
+        }
+    }
+
+    /// Latest retargeted state of a remote avatar, if any.
+    pub fn remote_state(&self, avatar: AvatarId) -> Option<&AvatarState> {
+        self.remote_latest.get(&avatar).map(|(s, _)| s)
+    }
+
+    /// Number of remote avatars this classroom currently displays.
+    pub fn remote_count(&self) -> usize {
+        self.remote_latest.len()
+    }
+
+    /// The current fused estimate for a local avatar, if initialized.
+    pub fn local_estimate(&self, avatar: AvatarId) -> Option<AvatarState> {
+        let f = self.fusion.get(&avatar)?;
+        f.is_initialized().then(|| f.estimate())
+    }
+
+    /// The seat allocator (for inspection).
+    pub fn seats(&self) -> &SeatAllocator {
+        &self.seats
+    }
+
+    /// Every interaction event observed in this classroom, in order of
+    /// in-sequence delivery.
+    pub fn interaction_log(&self) -> &[(AvatarId, InteractionEvent)] {
+        &self.interaction_log
+    }
+
+    fn on_interaction(
+        &mut self,
+        ctx: &mut Context<'_, ClassMsg>,
+        from: NodeId,
+        avatar: AvatarId,
+        seq: u64,
+        event: InteractionEvent,
+        captured_at: SimTime,
+    ) {
+        let rx = self.interaction_rx.entry(avatar).or_default();
+        let ready = rx.on_packet(seq, event);
+        if let Some(ack) = rx.cumulative_ack() {
+            let msg = ClassMsg::InteractionAck { avatar, seq: ack };
+            let size = msg.wire_bytes();
+            ctx.send(from, msg, size);
+        }
+        if ready.is_empty() {
+            return;
+        }
+        let delay = ctx.now().duration_since(captured_at);
+        let relay = self.local_anchors.contains_key(&avatar);
+        for ev in ready {
+            ctx.metrics().inc("edge.interactions_delivered");
+            ctx.metrics()
+                .histogram("interaction.latency_ns")
+                .record(delay.as_nanos());
+            if relay {
+                // Local participants' events fan out to every peer server.
+                for peer in self.peers.clone() {
+                    let tx = self
+                        .interaction_tx
+                        .entry((peer, avatar))
+                        .or_insert_with(|| ReliableSender::new(INTERACTION_RTO));
+                    let (relay_seq, relay_ev) = tx.send(ev.clone(), ctx.now());
+                    let msg = ClassMsg::Interaction {
+                        avatar,
+                        seq: relay_seq,
+                        event: relay_ev,
+                        captured_at,
+                    };
+                    let size = msg.wire_bytes();
+                    ctx.send(peer, msg, size);
+                }
+            }
+            self.interaction_log.push((avatar, ev));
+        }
+    }
+
+    fn replicate_local(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        let now = ctx.now();
+        let avatars: Vec<AvatarId> = self.fusion.keys().copied().collect();
+        for avatar in avatars {
+            let fusion = self.fusion.get_mut(&avatar).expect("present");
+            if !fusion.is_initialized() {
+                continue;
+            }
+            let estimate = fusion.estimate_at(now);
+            let dr = self
+                .dead_reckoners
+                .entry(avatar)
+                .or_insert_with(|| DeadReckoningSender::new(self.cfg.dead_reckoning));
+            if !dr.should_send(now, &estimate) {
+                dr.mark_suppressed();
+                ctx.metrics().inc("edge.updates_suppressed");
+                continue;
+            }
+            dr.mark_sent(now, estimate);
+            let anchor = self
+                .local_anchors
+                .get(&avatar)
+                .copied()
+                .unwrap_or_else(|| AnchorFrame::seat(Default::default()));
+            for peer in self.peers.clone() {
+                let sender = self
+                    .senders
+                    .entry((peer, avatar))
+                    .or_insert_with(|| {
+                        SnapshotSender::new(
+                            AvatarCodec::new(self.cfg.codec),
+                            self.cfg.keyframe_interval,
+                        )
+                    });
+                let frame = sender.encode(&estimate);
+                let msg = ClassMsg::AvatarUpdate { avatar, frame, captured_at: now, anchor };
+                let size = msg.wire_bytes();
+                ctx.metrics().inc("edge.updates_sent");
+                ctx.metrics().add("edge.update_bytes", size as u64);
+                ctx.send(peer, msg, size);
+            }
+        }
+    }
+
+    fn on_remote_update(
+        &mut self,
+        ctx: &mut Context<'_, ClassMsg>,
+        from: NodeId,
+        avatar: AvatarId,
+        frame: metaclass_sync::PoseFrame,
+        captured_at: SimTime,
+        anchor: AnchorFrame,
+    ) {
+        let (_, receiver) = self
+            .receivers
+            .entry(avatar)
+            .or_insert_with(|| (from, SnapshotReceiver::new(AvatarCodec::new(self.cfg.codec))));
+        match receiver.decode(&frame) {
+            Err(_) => {
+                ctx.metrics().inc("edge.decode_errors");
+            }
+            Ok(None) => {
+                if receiver.take_keyframe_request() {
+                    let msg = ClassMsg::KeyframeRequest { avatar };
+                    let size = msg.wire_bytes();
+                    ctx.send(from, msg, size);
+                    ctx.metrics().inc("edge.keyframe_requests");
+                }
+            }
+            Ok(Some(state)) => {
+                if let Some(seq) = receiver.ack_seq() {
+                    let msg = ClassMsg::AvatarAck { avatar, seq };
+                    let size = msg.wire_bytes();
+                    ctx.send(from, msg, size);
+                }
+                let inbound = ctx.now().duration_since(captured_at);
+                ctx.metrics()
+                    .histogram("edge.remote_update_latency_ns")
+                    .record(inbound.as_nanos());
+                match self.seats.assign(avatar) {
+                    Ok(_) => {
+                        let seat = *self.seats.anchor_of(avatar).expect("just assigned");
+                        let (retargeted, report) = retarget(&state, &anchor, &seat);
+                        if report.clamp_distance > 0.0 {
+                            ctx.metrics().inc("edge.retarget_clamps");
+                        }
+                        self.remote_latest.insert(avatar, (retargeted, captured_at));
+                        for headset in self.headsets.values() {
+                            let msg = ClassMsg::DisplayUpdate {
+                                avatar,
+                                state: retargeted,
+                                captured_at,
+                            };
+                            let size = msg.wire_bytes();
+                            ctx.send(*headset, msg, size);
+                        }
+                    }
+                    Err(_) => {
+                        ctx.metrics().inc("edge.seat_rejects");
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Node<ClassMsg> for EdgeServerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        ctx.set_timer(self.cfg.tick, TAG_TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ClassMsg>, timer: Timer) {
+        if timer.tag == TAG_TICK {
+            self.replicate_local(ctx);
+            // Pump reliable retransmissions of relayed interactions.
+            let now = ctx.now();
+            for ((peer, avatar), tx) in self.interaction_tx.iter_mut() {
+                for (seq, event) in tx.due_retransmits(now) {
+                    let msg = ClassMsg::Interaction {
+                        avatar: *avatar,
+                        seq,
+                        event,
+                        captured_at: now,
+                    };
+                    let size = msg.wire_bytes();
+                    ctx.send(*peer, msg, size);
+                }
+            }
+            ctx.set_timer(self.cfg.tick, TAG_TICK);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ClassMsg>, from: NodeId, msg: ClassMsg) {
+        match msg {
+            ClassMsg::HeadsetPose { avatar, measurement, captured_at } => {
+                self.fusion.entry(avatar).or_default().ingest(captured_at, &measurement);
+                let sensor_delay = ctx.now().duration_since(captured_at);
+                ctx.metrics()
+                    .histogram("edge.sensor_latency_ns")
+                    .record(sensor_delay.as_nanos());
+            }
+            ClassMsg::RoomPose { avatar, measurement, captured_at } => {
+                self.fusion.entry(avatar).or_default().ingest(captured_at, &measurement);
+            }
+            ClassMsg::HeadsetExpression { avatar, frame } => {
+                self.fusion.entry(avatar).or_default().ingest_expression(frame);
+            }
+            ClassMsg::AvatarUpdate { avatar, frame, captured_at, anchor } => {
+                self.on_remote_update(ctx, from, avatar, frame, captured_at, anchor);
+            }
+            ClassMsg::AvatarAck { avatar, seq } => {
+                if let Some(sender) = self.senders.get_mut(&(from, avatar)) {
+                    sender.on_ack(seq);
+                }
+            }
+            ClassMsg::KeyframeRequest { avatar } => {
+                if let Some(sender) = self.senders.get_mut(&(from, avatar)) {
+                    sender.request_keyframe();
+                }
+            }
+            ClassMsg::ClockProbe { nonce, client_send } => {
+                let msg = ClassMsg::ClockReply { nonce, client_send, server_time: ctx.now() };
+                let size = msg.wire_bytes();
+                ctx.send(from, msg, size);
+            }
+            ClassMsg::Interaction { avatar, seq, event, captured_at } => {
+                self.on_interaction(ctx, from, avatar, seq, event, captured_at);
+            }
+            ClassMsg::InteractionAck { avatar, seq } => {
+                if let Some(tx) = self.interaction_tx.get_mut(&(from, avatar)) {
+                    tx.on_ack(seq);
+                }
+            }
+            _ => {}
+        }
+    }
+}

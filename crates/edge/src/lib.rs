@@ -1,0 +1,40 @@
+//! # metaclass-edge
+//!
+//! The server tier of the blueprint's Figure 3, as network actors: MR
+//! headsets and room arrays streaming to a per-classroom **edge server**
+//! (sensor fusion → avatar replication → seat retargeting → local display),
+//! a **cloud server** hosting the fully virtual VR classroom with
+//! interest-managed fan-out, and the **remote clients** connecting from
+//! anywhere in the world.
+//!
+//! - [`ClassMsg`] — the classroom wire protocol with explicit sizes;
+//! - [`HeadsetNode`] / [`RoomArrayNode`] — the sensing leaves;
+//! - [`EdgeServerNode`] — fusion, dead-reckoned delta replication to peers,
+//!   vacant-seat assignment and pose correction for arrivals;
+//! - [`CloudServerNode`] — the VR auditorium: ingest from edges and clients,
+//!   budgeted interest-managed fan-out, re-encoding toward the classrooms;
+//! - [`RemoteClientNode`] — pose upload, jitter-buffered display, NTP-style
+//!   clock probing;
+//! - [`SeatAllocator`] / [`ClassroomLayout`] — the "identify the vacant
+//!   seats" mechanic of §3.2.
+//!
+//! The full unit case (two campuses + cloud) is assembled by
+//! `metaclass-core`; this crate's integration tests exercise each pairing in
+//! isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod cloud;
+mod devices;
+mod edge_server;
+mod messages;
+mod seat;
+
+pub use client::{ClientConfig, RemoteClientNode};
+pub use cloud::{CloudServerNode, FanoutConfig};
+pub use devices::{HeadsetNode, RoomArrayNode};
+pub use edge_server::{EdgeServerNode, ServerConfig};
+pub use messages::ClassMsg;
+pub use seat::{ClassroomFullError, ClassroomLayout, SeatAllocator};

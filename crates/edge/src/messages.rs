@@ -1,0 +1,188 @@
+//! The classroom wire protocol.
+//!
+//! Every message that crosses a link in the Figure-3 deployment is a
+//! [`ClassMsg`]. Payload sizes are accounted explicitly so the network
+//! simulator can charge realistic serialization and queueing costs.
+
+use metaclass_avatar::{AnchorFrame, AvatarId, AvatarState, ExpressionFrame};
+use metaclass_media::FrameShard;
+use metaclass_netsim::SimTime;
+use metaclass_sensors::PoseMeasurement;
+use metaclass_sync::{InteractionEvent, PoseFrame};
+
+/// A message of the classroom protocol.
+#[derive(Debug, Clone)]
+pub enum ClassMsg {
+    /// Headset → local edge: a pose sample.
+    HeadsetPose {
+        /// Tracked participant.
+        avatar: AvatarId,
+        /// The measurement.
+        measurement: PoseMeasurement,
+        /// Capture instant.
+        captured_at: SimTime,
+    },
+    /// Headset → local edge: an expression sample.
+    HeadsetExpression {
+        /// Tracked participant.
+        avatar: AvatarId,
+        /// The blendshape frame.
+        frame: ExpressionFrame,
+    },
+    /// Room sensor array → local edge: a pose sample.
+    RoomPose {
+        /// Tracked participant.
+        avatar: AvatarId,
+        /// The measurement (position only).
+        measurement: PoseMeasurement,
+        /// Capture instant.
+        captured_at: SimTime,
+    },
+    /// Edge/cloud → peer server: a replicated avatar frame.
+    AvatarUpdate {
+        /// The avatar being replicated.
+        avatar: AvatarId,
+        /// Encoded snapshot/delta frame.
+        frame: PoseFrame,
+        /// When the underlying state was estimated at the origin.
+        captured_at: SimTime,
+        /// The avatar's anchor in its home space (for retargeting).
+        anchor: AnchorFrame,
+    },
+    /// Receiver → sender: cumulative acknowledgement for an avatar stream.
+    AvatarAck {
+        /// The avatar stream being acknowledged.
+        avatar: AvatarId,
+        /// Highest applied sequence.
+        seq: u64,
+    },
+    /// Receiver → sender: a delta could not be applied; send a keyframe.
+    KeyframeRequest {
+        /// The affected avatar stream.
+        avatar: AvatarId,
+    },
+    /// Server → local display (headset / VR client): show this avatar state.
+    DisplayUpdate {
+        /// The remote avatar.
+        avatar: AvatarId,
+        /// Retargeted state in the display's local space.
+        state: AvatarState,
+        /// When the state was captured at its origin (for latency metrics
+        /// and playout buffering).
+        captured_at: SimTime,
+    },
+    /// VR client → cloud: the client's own avatar frame.
+    ClientPose {
+        /// The client's avatar.
+        avatar: AvatarId,
+        /// Encoded snapshot/delta frame.
+        frame: PoseFrame,
+        /// Capture instant.
+        captured_at: SimTime,
+    },
+    /// Client → server: clock-sync probe.
+    ClockProbe {
+        /// Correlates probe and reply.
+        nonce: u64,
+        /// Client transmit timestamp (client clock).
+        client_send: SimTime,
+    },
+    /// Server → client: clock-sync reply.
+    ClockReply {
+        /// Echoed from the probe.
+        nonce: u64,
+        /// Echoed client transmit timestamp.
+        client_send: SimTime,
+        /// Server receive/transmit timestamp (server clock).
+        server_time: SimTime,
+    },
+    /// A reliable, ordered interaction event ("interaction traces", §3.2).
+    Interaction {
+        /// The acting participant.
+        avatar: AvatarId,
+        /// Per-avatar reliable sequence number.
+        seq: u64,
+        /// The interaction.
+        event: InteractionEvent,
+        /// When the interaction happened at its origin.
+        captured_at: SimTime,
+    },
+    /// Cumulative acknowledgement for an interaction stream.
+    InteractionAck {
+        /// The acting participant's stream.
+        avatar: AvatarId,
+        /// Highest in-order sequence received.
+        seq: u64,
+    },
+    /// A video shard (instructor camera, slides) on its way to viewers.
+    VideoShard {
+        /// The shard.
+        shard: FrameShard,
+        /// Capture instant of the underlying frame.
+        captured_at: SimTime,
+    },
+}
+
+impl ClassMsg {
+    /// Wire size in bytes, including a nominal transport header.
+    pub fn wire_bytes(&self) -> u32 {
+        const HEADER: u32 = 28; // IP + UDP + session header
+        let payload = match self {
+            // id(4) + position(12) + quat(8) + hands(12) + noise(2) + t(8)
+            ClassMsg::HeadsetPose { .. } => 46,
+            // id(4) + 16 channels x 1
+            ClassMsg::HeadsetExpression { .. } => 20,
+            // id(4) + position(12) + noise(2) + t(8)
+            ClassMsg::RoomPose { .. } => 26,
+            ClassMsg::AvatarUpdate { frame, .. } => frame.wire_bytes() as u32 + 8 + 14,
+            ClassMsg::AvatarAck { .. } => 12,
+            ClassMsg::KeyframeRequest { .. } => 4,
+            // id(4) + full quantized state(38) + t(8)
+            ClassMsg::DisplayUpdate { .. } => 50,
+            ClassMsg::ClientPose { frame, .. } => frame.wire_bytes() as u32 + 8,
+            ClassMsg::ClockProbe { .. } => 16,
+            ClassMsg::ClockReply { .. } => 24,
+            ClassMsg::Interaction { event, .. } => 20 + event.wire_bytes(),
+            ClassMsg::InteractionAck { .. } => 12,
+            ClassMsg::VideoShard { shard, .. } => shard.wire_bytes() as u32 + 8,
+        };
+        HEADER + payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaclass_avatar::Vec3;
+
+    #[test]
+    fn wire_sizes_are_plausible() {
+        let ack = ClassMsg::AvatarAck { avatar: AvatarId(1), seq: 42 };
+        assert_eq!(ack.wire_bytes(), 40);
+        let probe = ClassMsg::ClockProbe { nonce: 1, client_send: SimTime::ZERO };
+        assert!(probe.wire_bytes() < 50);
+        let disp = ClassMsg::DisplayUpdate {
+            avatar: AvatarId(1),
+            state: AvatarState::at_position(Vec3::ZERO),
+            captured_at: SimTime::ZERO,
+        };
+        assert_eq!(disp.wire_bytes(), 78);
+    }
+
+    #[test]
+    fn avatar_update_size_tracks_its_frame() {
+        let small = ClassMsg::AvatarUpdate {
+            avatar: AvatarId(0),
+            frame: metaclass_sync::PoseFrame { seq: 0, ref_seq: None, payload: vec![0; 5] },
+            captured_at: SimTime::ZERO,
+            anchor: AnchorFrame::seat(Default::default()),
+        };
+        let big = ClassMsg::AvatarUpdate {
+            avatar: AvatarId(0),
+            frame: metaclass_sync::PoseFrame { seq: 0, ref_seq: None, payload: vec![0; 50] },
+            captured_at: SimTime::ZERO,
+            anchor: AnchorFrame::seat(Default::default()),
+        };
+        assert_eq!(big.wire_bytes() - small.wire_bytes(), 45);
+    }
+}

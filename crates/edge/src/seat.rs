@@ -1,0 +1,231 @@
+//! Classroom seat layout and vacant-seat allocation.
+//!
+//! §3.2: "The edge server in Classroom 2 identifies the vacant seats to
+//! display virtual avatars in the MR classroom." The allocator owns the seat
+//! grid, assigns arriving remote avatars to vacant seats (stably — an avatar
+//! keeps its seat across updates), and releases seats on departure.
+
+use std::collections::BTreeMap;
+
+use metaclass_avatar::{AnchorFrame, AvatarId, Pose, Quat, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A physical or virtual classroom's seat geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassroomLayout {
+    /// Seat anchors, front row first.
+    pub seats: Vec<AnchorFrame>,
+    /// The presenter's podium anchor.
+    pub podium: AnchorFrame,
+}
+
+impl ClassroomLayout {
+    /// A rows x cols lecture room: seats face the podium at z = 0, rows
+    /// recede toward +z with 1.2 m pitch and 0.8 m seat spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn lecture(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "layout must have seats");
+        let mut seats = Vec::with_capacity((rows * cols) as usize);
+        let width = (cols - 1) as f64 * 0.8;
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = 2.0 + c as f64 * 0.8 - width / 2.0 + 8.0; // centre ~x=10
+                let z = 3.0 + r as f64 * 1.2;
+                // Seats face the podium (toward -z): yaw = π.
+                seats.push(AnchorFrame::seat(Pose::new(
+                    Vec3::new(x, 0.0, z),
+                    Quat::from_yaw(std::f64::consts::PI),
+                )));
+            }
+        }
+        let podium = AnchorFrame::podium(Pose::new(Vec3::new(10.0, 0.0, 1.0), Quat::IDENTITY));
+        ClassroomLayout { seats, podium }
+    }
+
+    /// A large virtual auditorium for the cloud VR classroom.
+    pub fn auditorium(capacity: u32) -> Self {
+        let cols = 20u32;
+        let rows = capacity.div_ceil(cols).max(1);
+        let mut layout = Self::lecture(rows, cols);
+        layout.seats.truncate(capacity as usize);
+        layout
+    }
+
+    /// Number of seats.
+    pub fn capacity(&self) -> usize {
+        self.seats.len()
+    }
+}
+
+/// Why a seat could not be assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassroomFullError {
+    /// Seats in the room, all occupied.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for ClassroomFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all {} seats are occupied", self.capacity)
+    }
+}
+
+impl std::error::Error for ClassroomFullError {}
+
+/// Stable vacant-seat allocator over a [`ClassroomLayout`].
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::AvatarId;
+/// use metaclass_edge::{ClassroomLayout, SeatAllocator};
+///
+/// let mut alloc = SeatAllocator::new(ClassroomLayout::lecture(2, 3));
+/// let seat_a = alloc.assign(AvatarId(1))?;
+/// let again = alloc.assign(AvatarId(1))?;
+/// assert_eq!(seat_a, again, "assignment is stable");
+/// # Ok::<(), metaclass_edge::ClassroomFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeatAllocator {
+    layout: ClassroomLayout,
+    occupied: Vec<Option<AvatarId>>,
+    by_avatar: BTreeMap<AvatarId, usize>,
+}
+
+impl SeatAllocator {
+    /// Creates an allocator with every seat vacant.
+    pub fn new(layout: ClassroomLayout) -> Self {
+        let n = layout.capacity();
+        SeatAllocator { layout, occupied: vec![None; n], by_avatar: BTreeMap::new() }
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> &ClassroomLayout {
+        &self.layout
+    }
+
+    /// Assigns (or returns the existing) seat index for `avatar`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClassroomFullError`] when no vacant seat remains.
+    pub fn assign(&mut self, avatar: AvatarId) -> Result<usize, ClassroomFullError> {
+        if let Some(&seat) = self.by_avatar.get(&avatar) {
+            return Ok(seat);
+        }
+        match self.occupied.iter().position(|s| s.is_none()) {
+            Some(seat) => {
+                self.occupied[seat] = Some(avatar);
+                self.by_avatar.insert(avatar, seat);
+                Ok(seat)
+            }
+            None => Err(ClassroomFullError { capacity: self.layout.capacity() }),
+        }
+    }
+
+    /// The anchor of `avatar`'s seat, if assigned.
+    pub fn anchor_of(&self, avatar: AvatarId) -> Option<&AnchorFrame> {
+        self.by_avatar.get(&avatar).map(|&i| &self.layout.seats[i])
+    }
+
+    /// Releases `avatar`'s seat (no-op if unassigned).
+    pub fn release(&mut self, avatar: AvatarId) {
+        if let Some(seat) = self.by_avatar.remove(&avatar) {
+            self.occupied[seat] = None;
+        }
+    }
+
+    /// Occupied seat count.
+    pub fn occupancy(&self) -> usize {
+        self.by_avatar.len()
+    }
+
+    /// Checks the structural invariant (each seat ↔ at most one avatar,
+    /// both indices agree). Used by tests and debug assertions.
+    pub fn is_consistent(&self) -> bool {
+        let forward_ok = self
+            .by_avatar
+            .iter()
+            .all(|(&a, &s)| self.occupied.get(s).is_some_and(|o| *o == Some(a)));
+        let back_count = self.occupied.iter().filter(|s| s.is_some()).count();
+        forward_ok && back_count == self.by_avatar.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_has_expected_geometry() {
+        let l = ClassroomLayout::lecture(3, 4);
+        assert_eq!(l.capacity(), 12);
+        // All seats face the podium (yaw pi) and rows recede in z.
+        assert!(l.seats[0].pose.position.z < l.seats[11].pose.position.z);
+        assert!((l.seats[0].pose.orientation.yaw().abs() - std::f64::consts::PI).abs() < 1e-9);
+        // Seats are far enough apart to not overlap.
+        for (i, a) in l.seats.iter().enumerate() {
+            for b in l.seats.iter().skip(i + 1) {
+                assert!(a.pose.position.distance(b.pose.position) >= 0.8 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn auditorium_truncates_to_capacity() {
+        let l = ClassroomLayout::auditorium(137);
+        assert_eq!(l.capacity(), 137);
+    }
+
+    #[test]
+    fn assignment_is_stable_and_conflict_free() {
+        let mut alloc = SeatAllocator::new(ClassroomLayout::lecture(2, 2));
+        let s1 = alloc.assign(AvatarId(1)).unwrap();
+        let s2 = alloc.assign(AvatarId(2)).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(alloc.assign(AvatarId(1)).unwrap(), s1);
+        assert!(alloc.is_consistent());
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_and_release_recovers() {
+        let mut alloc = SeatAllocator::new(ClassroomLayout::lecture(1, 2));
+        alloc.assign(AvatarId(1)).unwrap();
+        alloc.assign(AvatarId(2)).unwrap();
+        let err = alloc.assign(AvatarId(3)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert!(err.to_string().contains("occupied"));
+        alloc.release(AvatarId(1));
+        assert!(alloc.assign(AvatarId(3)).is_ok());
+        assert_eq!(alloc.occupancy(), 2);
+    }
+
+    #[test]
+    fn release_of_unknown_avatar_is_a_noop() {
+        let mut alloc = SeatAllocator::new(ClassroomLayout::lecture(1, 1));
+        alloc.release(AvatarId(99));
+        assert_eq!(alloc.occupancy(), 0);
+        assert!(alloc.is_consistent());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_allocator_invariants_hold_under_churn(ops in proptest::collection::vec((0u32..20, any::<bool>()), 0..200)) {
+            let mut alloc = SeatAllocator::new(ClassroomLayout::lecture(3, 3));
+            for (id, join) in ops {
+                if join {
+                    let _ = alloc.assign(AvatarId(id));
+                } else {
+                    alloc.release(AvatarId(id));
+                }
+                prop_assert!(alloc.is_consistent());
+                prop_assert!(alloc.occupancy() <= 9);
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Classroom audio: voice streams and spatial mixing.
+//!
+//! §3.3: video and avatar motion must "match … the related audio
+//! transmission". Voice is the classroom's most latency-critical medium
+//! after head tracking; this module models per-speaker voice streams
+//! (Opus-class bitrates), distance attenuation in the shared space, and the
+//! server-side mixing policy that keeps per-listener audio bandwidth bounded
+//! no matter how many people are in the room.
+
+use metaclass_avatar::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An Opus-class voice encoding rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VoiceQuality {
+    /// 16 kbit/s narrowband (intelligible, phone-like).
+    Narrowband,
+    /// 24 kbit/s wideband (the conferencing default).
+    Wideband,
+    /// 48 kbit/s fullband (music/room tone survives).
+    Fullband,
+}
+
+impl VoiceQuality {
+    /// Encoded bitrate, bits per second.
+    pub fn bitrate_bps(self) -> u64 {
+        match self {
+            VoiceQuality::Narrowband => 16_000,
+            VoiceQuality::Wideband => 24_000,
+            VoiceQuality::Fullband => 48_000,
+        }
+    }
+
+    /// Subjective quality (MOS-like, 1–5).
+    pub fn mos(self) -> f64 {
+        match self {
+            VoiceQuality::Narrowband => 3.6,
+            VoiceQuality::Wideband => 4.2,
+            VoiceQuality::Fullband => 4.5,
+        }
+    }
+}
+
+/// A speaking participant, as input to the mixer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoiceSource {
+    /// Position of the speaker in the shared space.
+    pub position: Vec3,
+    /// Whether voice activity detection currently hears speech.
+    pub speaking: bool,
+    /// Capture loudness, `0.0..=1.0` (1 = presenting voice).
+    pub loudness: f64,
+}
+
+/// Perceived loudness of `source` at `listener`: inverse-square distance
+/// attenuation with a 1 m reference and a silence floor at 30 m.
+pub fn perceived_loudness(source: &VoiceSource, listener: Vec3) -> f64 {
+    if !source.speaking || source.loudness <= 0.0 {
+        return 0.0;
+    }
+    let d = source.position.distance(listener).max(1.0);
+    if d > 30.0 {
+        return 0.0;
+    }
+    source.loudness / (d * d)
+}
+
+/// How the server delivers audio to one listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MixPolicy {
+    /// Forward the `k` loudest streams; the client spatializes them.
+    /// Preserves spatial audio at `k x bitrate` per listener.
+    ForwardTopK {
+        /// Streams forwarded.
+        k: usize,
+    },
+    /// Server mixes everything into a single mono stream. Cheapest, loses
+    /// spatialization (the video-conference experience).
+    ServerMix,
+}
+
+/// What one listener receives this mixing interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListenerMix {
+    /// Indices (into the source slice) of forwarded streams, loudest first.
+    pub forwarded: Vec<usize>,
+    /// Downstream audio bandwidth, bits per second.
+    pub bandwidth_bps: u64,
+    /// Whether the mix preserves spatial positions.
+    pub spatial: bool,
+}
+
+/// Computes the mix for a listener at `position`.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::Vec3;
+/// use metaclass_media::{mix_for_listener, MixPolicy, VoiceQuality, VoiceSource};
+///
+/// let sources = vec![
+///     VoiceSource { position: Vec3::new(1.0, 0.0, 0.0), speaking: true, loudness: 1.0 },
+///     VoiceSource { position: Vec3::new(25.0, 0.0, 0.0), speaking: true, loudness: 0.4 },
+///     VoiceSource { position: Vec3::new(2.0, 0.0, 0.0), speaking: false, loudness: 0.8 },
+/// ];
+/// let mix = mix_for_listener(
+///     Vec3::ZERO,
+///     &sources,
+///     MixPolicy::ForwardTopK { k: 2 },
+///     VoiceQuality::Wideband,
+/// );
+/// assert_eq!(mix.forwarded, vec![0, 1]); // silent source excluded
+/// assert!(mix.spatial);
+/// ```
+pub fn mix_for_listener(
+    position: Vec3,
+    sources: &[VoiceSource],
+    policy: MixPolicy,
+    quality: VoiceQuality,
+) -> ListenerMix {
+    let mut audible: Vec<(usize, f64)> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, perceived_loudness(s, position)))
+        .filter(|(_, l)| *l > 0.0)
+        .collect();
+    audible.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    match policy {
+        MixPolicy::ForwardTopK { k } => {
+            let forwarded: Vec<usize> = audible.iter().take(k).map(|(i, _)| *i).collect();
+            ListenerMix {
+                bandwidth_bps: forwarded.len() as u64 * quality.bitrate_bps(),
+                forwarded,
+                spatial: true,
+            }
+        }
+        MixPolicy::ServerMix => ListenerMix {
+            forwarded: audible.iter().map(|(i, _)| *i).collect(),
+            bandwidth_bps: if audible.is_empty() { 0 } else { quality.bitrate_bps() },
+            spatial: false,
+        },
+    }
+}
+
+/// Per-listener audio bandwidth for a whole classroom under a policy:
+/// the bound that makes spatial audio affordable at scale.
+pub fn per_listener_bandwidth_bound(policy: MixPolicy, quality: VoiceQuality) -> u64 {
+    match policy {
+        MixPolicy::ForwardTopK { k } => k as u64 * quality.bitrate_bps(),
+        MixPolicy::ServerMix => quality.bitrate_bps(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(x: f64, speaking: bool, loudness: f64) -> VoiceSource {
+        VoiceSource { position: Vec3::new(x, 0.0, 0.0), speaking, loudness }
+    }
+
+    #[test]
+    fn attenuation_is_inverse_square_with_floor() {
+        let s = src(2.0, true, 1.0);
+        let near = perceived_loudness(&s, Vec3::ZERO);
+        assert!((near - 0.25).abs() < 1e-12);
+        // Inside 1 m, loudness saturates.
+        let s_close = src(0.2, true, 1.0);
+        assert_eq!(perceived_loudness(&s_close, Vec3::ZERO), 1.0);
+        // Beyond 30 m: silence.
+        let s_far = src(31.0, true, 1.0);
+        assert_eq!(perceived_loudness(&s_far, Vec3::ZERO), 0.0);
+    }
+
+    #[test]
+    fn silent_sources_are_never_forwarded() {
+        let sources = vec![src(1.0, false, 1.0), src(2.0, true, 0.0)];
+        let mix = mix_for_listener(
+            Vec3::ZERO,
+            &sources,
+            MixPolicy::ForwardTopK { k: 4 },
+            VoiceQuality::Wideband,
+        );
+        assert!(mix.forwarded.is_empty());
+        assert_eq!(mix.bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn top_k_keeps_the_loudest_and_bounds_bandwidth() {
+        let sources: Vec<VoiceSource> =
+            (1..=10).map(|i| src(i as f64, true, 1.0)).collect();
+        let mix = mix_for_listener(
+            Vec3::ZERO,
+            &sources,
+            MixPolicy::ForwardTopK { k: 3 },
+            VoiceQuality::Wideband,
+        );
+        assert_eq!(mix.forwarded, vec![0, 1, 2], "nearest three win");
+        assert_eq!(mix.bandwidth_bps, 3 * 24_000);
+        assert_eq!(
+            mix.bandwidth_bps,
+            per_listener_bandwidth_bound(MixPolicy::ForwardTopK { k: 3 }, VoiceQuality::Wideband)
+        );
+    }
+
+    #[test]
+    fn server_mix_is_one_stream_regardless_of_class_size() {
+        let sources: Vec<VoiceSource> =
+            (1..=50).map(|i| src((i % 20) as f64 + 1.0, true, 0.5)).collect();
+        let mix =
+            mix_for_listener(Vec3::ZERO, &sources, MixPolicy::ServerMix, VoiceQuality::Fullband);
+        assert!(!mix.spatial);
+        assert_eq!(mix.bandwidth_bps, 48_000);
+        assert!(mix.forwarded.len() > 10, "the mix still contains everyone audible");
+    }
+
+    #[test]
+    fn quality_rungs_are_ordered() {
+        assert!(VoiceQuality::Narrowband.bitrate_bps() < VoiceQuality::Wideband.bitrate_bps());
+        assert!(VoiceQuality::Wideband.mos() < VoiceQuality::Fullband.mos());
+        assert!(VoiceQuality::Narrowband.mos() >= 3.5, "still intelligible");
+    }
+
+    #[test]
+    fn mixing_is_deterministic_under_ties() {
+        let sources = vec![src(3.0, true, 1.0), src(3.0, true, 1.0), src(3.0, true, 1.0)];
+        let a = mix_for_listener(Vec3::ZERO, &sources, MixPolicy::ForwardTopK { k: 2 }, VoiceQuality::Wideband);
+        let b = mix_for_listener(Vec3::ZERO, &sources, MixPolicy::ForwardTopK { k: 2 }, VoiceQuality::Wideband);
+        assert_eq!(a, b);
+        assert_eq!(a.forwarded, vec![0, 1], "ties break by index");
+    }
+}

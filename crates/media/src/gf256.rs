@@ -1,0 +1,210 @@
+//! Arithmetic in GF(2⁸), the field underlying the Reed–Solomon code.
+//!
+//! Uses the AES/QR-standard reduction polynomial x⁸+x⁴+x³+x²+1 (0x11d) with
+//! compile-time log/antilog tables; multiplication and inversion are table
+//! lookups.
+
+/// The reduction polynomial (without the x⁸ term): 0x11d & 0xff.
+const POLY: u16 = 0x11d;
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8; // duplicated so mul never reduces mod 255
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // exp[510], exp[511] are never indexed (max log sum is 254+254=508).
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    exp
+}
+
+const fn build_log(exp: &[u8; 512]) -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+static EXP: [u8; 512] = build_exp();
+static LOG: [u8; 256] = build_log(&EXP);
+
+/// Addition in GF(2⁸) (carry-less: XOR). Subtraction is identical.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics if `a == 0` (zero has no inverse).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no multiplicative inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Division `a / b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Exponentiation `a^n`.
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = (LOG[a as usize] as u64 * n as u64) % 255;
+    EXP[l as usize]
+}
+
+/// Multiply-accumulate over byte slices: `dst[i] ^= c * src[i]`.
+///
+/// The hot loop of Reed–Solomon encoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axioms_hold_exhaustively() {
+        // Associativity and commutativity of mul over a sample grid; full
+        // 256^3 is wasteful, use strided coverage.
+        for a in (0u16..256).step_by(7) {
+            for b in (0u16..256).step_by(5) {
+                let (a, b) = (a as u8, b as u8);
+                assert_eq!(mul(a, b), mul(b, a));
+                assert_eq!(add(a, b), add(b, a));
+                for c in (0u16..256).step_by(31) {
+                    let c = c as u8;
+                    assert_eq!(mul(a, mul(b, c)), mul(mul(a, b), c));
+                    // Distributivity.
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identities() {
+        for a in 0u16..256 {
+            let a = a as u8;
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(add(a, 0), a);
+            assert_eq!(add(a, a), 0, "characteristic 2");
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1u16..256 {
+            let a = a as u8;
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn exp_log_are_inverse_bijections() {
+        let mut seen = [false; 256];
+        for i in 0..255usize {
+            assert!(!seen[EXP[i] as usize], "exp not injective at {i}");
+            seen[EXP[i] as usize] = true;
+        }
+        assert!(!seen[0], "zero is not a power of the generator");
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 29, 142, 255] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1, "0^0 = 1 by convention");
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 generates the multiplicative group: 2^255 = 1 and 2^n != 1 before.
+        assert_eq!(pow(2, 255), 1);
+        for n in 1..255 {
+            assert_ne!(pow(2, n), 1, "order divides {n}");
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_path() {
+        let src = [1u8, 0, 255, 73, 9, 128];
+        for c in [0u8, 1, 2, 77, 255] {
+            let mut dst = [7u8, 7, 7, 7, 7, 7];
+            let mut expected = dst;
+            mul_acc(&mut dst, &src, c);
+            for (e, s) in expected.iter_mut().zip(&src) {
+                *e = add(*e, mul(c, *s));
+            }
+            assert_eq!(dst, expected, "c = {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        inv(0);
+    }
+}

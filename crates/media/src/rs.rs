@@ -1,0 +1,441 @@
+//! Systematic Reed–Solomon erasure coding over GF(2⁸).
+//!
+//! §3.3 points to "joint source coding and forward error correction at the
+//! application level" (the Nebula approach, ref [4]) as the way to ship video
+//! at low latency over lossy paths. This is a real erasure code: `k` data
+//! shards are extended with `m` parity shards built from a Cauchy matrix, and
+//! the original data is recoverable from *any* `k` of the `k + m` shards.
+//! (Every square submatrix of a Cauchy matrix is nonsingular, which makes the
+//! systematic generator MDS.)
+
+use std::fmt;
+
+use crate::gf256;
+
+/// Errors from Reed–Solomon construction, encoding, or reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    /// `k` was zero, or `k + m` exceeded the field size (256).
+    InvalidShardCounts {
+        /// Requested data shards.
+        data: usize,
+        /// Requested parity shards.
+        parity: usize,
+    },
+    /// Shards passed to encode/reconstruct differ in length (or are empty).
+    ShardSizeMismatch,
+    /// The number of shards passed does not equal `k + m`.
+    WrongShardCount {
+        /// Shards provided.
+        got: usize,
+        /// Shards expected.
+        expected: usize,
+    },
+    /// Fewer than `k` shards survive: the data is unrecoverable.
+    NotEnoughShards {
+        /// Surviving shards.
+        have: usize,
+        /// Shards needed.
+        need: usize,
+    },
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::InvalidShardCounts { data, parity } => {
+                write!(f, "invalid shard counts: {data} data + {parity} parity (need 1 <= k, k+m <= 256)")
+            }
+            RsError::ShardSizeMismatch => write!(f, "shards must be non-empty and equal-sized"),
+            RsError::WrongShardCount { got, expected } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            RsError::NotEnoughShards { have, need } => {
+                write!(f, "only {have} shards survive, {need} needed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic Reed–Solomon erasure code with `k` data and `m` parity shards.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_media::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(4, 2)?;
+/// let data: Vec<Vec<u8>> = vec![vec![1, 2], vec![3, 4], vec![5, 6], vec![7, 8]];
+/// let parity = rs.encode(&data)?;
+///
+/// // Lose two arbitrary shards (one data, one parity) ...
+/// let mut shards: Vec<Option<Vec<u8>>> =
+///     data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+/// shards[1] = None;
+/// shards[5] = None;
+///
+/// // ... and recover everything.
+/// rs.reconstruct(&mut shards)?;
+/// assert_eq!(shards[1].as_deref(), Some(&[3u8, 4][..]));
+/// # Ok::<(), metaclass_media::RsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// `m x k` Cauchy parity matrix.
+    parity: Vec<Vec<u8>>,
+}
+
+impl ReedSolomon {
+    /// Creates a code with `data_shards` (k) and `parity_shards` (m).
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::InvalidShardCounts`] unless `1 <= k` and `k + m <= 256`.
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, RsError> {
+        let (k, m) = (data_shards, parity_shards);
+        if k == 0 || k + m > 256 {
+            return Err(RsError::InvalidShardCounts { data: k, parity: m });
+        }
+        // Cauchy matrix: rows indexed by x_i = k + i, columns by y_j = j.
+        // x_i != y_j always, so x_i ^ y_j != 0 and every entry is invertible.
+        let mut parity = Vec::with_capacity(m);
+        for i in 0..m {
+            let x = (k + i) as u8;
+            let mut row = Vec::with_capacity(k);
+            for j in 0..k {
+                row.push(gf256::inv(x ^ j as u8));
+            }
+            parity.push(row);
+        }
+        Ok(ReedSolomon { k, m, parity })
+    }
+
+    /// Number of data shards (k).
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity shards (m).
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Total shards (k + m).
+    pub fn total_shards(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Computes the `m` parity shards for `data` (exactly `k` equal-length,
+    /// non-empty shards).
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::WrongShardCount`] / [`RsError::ShardSizeMismatch`] on
+    /// malformed input.
+    pub fn encode<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data.len() != self.k {
+            return Err(RsError::WrongShardCount { got: data.len(), expected: self.k });
+        }
+        let len = data[0].as_ref().len();
+        if len == 0 || data.iter().any(|s| s.as_ref().len() != len) {
+            return Err(RsError::ShardSizeMismatch);
+        }
+        let mut parity = vec![vec![0u8; len]; self.m];
+        for (i, p) in parity.iter_mut().enumerate() {
+            for (j, d) in data.iter().enumerate() {
+                gf256::mul_acc(p, d.as_ref(), self.parity[i][j]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Restores every missing shard in place. `shards` must hold `k + m`
+    /// entries in index order (`None` = erased).
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::NotEnoughShards`] if fewer than `k` shards survive, plus
+    /// the input-shape errors of [`ReedSolomon::encode`].
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::WrongShardCount {
+                got: shards.len(),
+                expected: self.total_shards(),
+            });
+        }
+        let present: Vec<usize> =
+            shards.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| i)).collect();
+        if present.len() < self.k {
+            return Err(RsError::NotEnoughShards { have: present.len(), need: self.k });
+        }
+        let len = shards[present[0]].as_ref().expect("present").len();
+        if len == 0
+            || present.iter().any(|&i| shards[i].as_ref().expect("present").len() != len)
+        {
+            return Err(RsError::ShardSizeMismatch);
+        }
+        if present.iter().take(self.k).eq((0..self.k).collect::<Vec<_>>().iter())
+            && shards[..self.k].iter().all(|s| s.is_some())
+        {
+            // All data shards survive: just re-derive any missing parity.
+            return self.refill_parity(shards, len);
+        }
+
+        // Build the k x k system from the first k surviving rows of the
+        // generator [I; C].
+        let rows: Vec<usize> = present.iter().copied().take(self.k).collect();
+        let mut a = vec![vec![0u8; self.k]; self.k];
+        for (r, &idx) in rows.iter().enumerate() {
+            if idx < self.k {
+                a[r][idx] = 1;
+            } else {
+                a[r].copy_from_slice(&self.parity[idx - self.k]);
+            }
+        }
+        let a_inv = invert_matrix(a).expect("generator submatrix is nonsingular (Cauchy)");
+
+        // data_j = sum_r a_inv[j][r] * shard(rows[r])
+        let mut data = vec![vec![0u8; len]; self.k];
+        for (j, out) in data.iter_mut().enumerate() {
+            for (r, &idx) in rows.iter().enumerate() {
+                let src = shards[idx].as_ref().expect("present");
+                gf256::mul_acc(out, src, a_inv[j][r]);
+            }
+        }
+        for (j, d) in data.into_iter().enumerate() {
+            shards[j] = Some(d);
+        }
+        self.refill_parity(shards, len)
+    }
+
+    fn refill_parity(&self, shards: &mut [Option<Vec<u8>>], len: usize) -> Result<(), RsError> {
+        for i in 0..self.m {
+            if shards[self.k + i].is_none() {
+                let mut p = vec![0u8; len];
+                for j in 0..self.k {
+                    let d = shards[j].as_ref().expect("data filled");
+                    gf256::mul_acc(&mut p, d, self.parity[i][j]);
+                }
+                shards[self.k + i] = Some(p);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Gauss–Jordan inversion in GF(256). Returns `None` for singular matrices.
+fn invert_matrix(mut a: Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>> {
+    let n = a.len();
+    let mut inv: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            let mut row = vec![0u8; n];
+            row[i] = 1;
+            row
+        })
+        .collect();
+    for col in 0..n {
+        // Find a pivot.
+        let pivot = (col..n).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        // Normalize the pivot row.
+        let p = gf256::inv(a[col][col]);
+        for v in a[col].iter_mut() {
+            *v = gf256::mul(*v, p);
+        }
+        for v in inv[col].iter_mut() {
+            *v = gf256::mul(*v, p);
+        }
+        // Eliminate the column elsewhere.
+        for r in 0..n {
+            if r != col && a[r][col] != 0 {
+                let f = a[r][col];
+                for c in 0..n {
+                    let (av, iv) = (a[col][c], inv[col][c]);
+                    a[r][c] ^= gf256::mul(f, av);
+                    inv[r][c] ^= gf256::mul(f, iv);
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaclass_netsim::DetRng;
+    use proptest::prelude::*;
+
+    fn random_data(rng: &mut DetRng, k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.range_u64(0, 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_with_no_erasures() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let mut rng = DetRng::new(1);
+        let data = random_data(&mut rng, 5, 64);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        rs.reconstruct(&mut shards).unwrap();
+        for (j, d) in data.iter().enumerate() {
+            assert_eq!(shards[j].as_ref().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn recovers_from_any_m_erasures() {
+        let (k, m) = (6, 3);
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let mut rng = DetRng::new(2);
+        let data = random_data(&mut rng, k, 32);
+        let parity = rs.encode(&data).unwrap();
+
+        // Try every combination of exactly m erasures.
+        let total = k + m;
+        fn combos(n: usize, k: usize) -> Vec<Vec<usize>> {
+            fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+                if cur.len() == k {
+                    out.push(cur.clone());
+                    return;
+                }
+                for i in start..n {
+                    cur.push(i);
+                    rec(i + 1, n, k, cur, out);
+                    cur.pop();
+                }
+            }
+            let mut out = Vec::new();
+            rec(0, n, k, &mut Vec::new(), &mut out);
+            out
+        }
+        for erasure_set in combos(total, m) {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            for &e in &erasure_set {
+                shards[e] = None;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (j, d) in data.iter().enumerate() {
+                assert_eq!(shards[j].as_ref().unwrap(), d, "erasures {erasure_set:?}");
+            }
+            for (i, p) in parity.iter().enumerate() {
+                assert_eq!(shards[k + i].as_ref().unwrap(), p, "erasures {erasure_set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_too_many_erasures_fails_cleanly() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let mut rng = DetRng::new(3);
+        let data = random_data(&mut rng, 4, 16);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        shards[0] = None;
+        shards[2] = None;
+        shards[4] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(RsError::NotEnoughShards { have: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn zero_parity_code_is_valid_but_fragile() {
+        let rs = ReedSolomon::new(3, 0).unwrap();
+        let data = vec![vec![1u8], vec![2], vec![3]];
+        assert!(rs.encode(&data).unwrap().is_empty());
+        let mut shards: Vec<Option<Vec<u8>>> = data.into_iter().map(Some).collect();
+        rs.reconstruct(&mut shards).unwrap();
+        let mut broken = vec![Some(vec![1u8]), None, Some(vec![3])];
+        assert!(rs.reconstruct(&mut broken).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ReedSolomon::new(0, 2).is_err());
+        assert!(ReedSolomon::new(200, 57).is_err());
+        assert!(ReedSolomon::new(200, 56).is_ok());
+        let err = ReedSolomon::new(0, 1).unwrap_err();
+        assert!(err.to_string().contains("invalid shard counts"));
+    }
+
+    #[test]
+    fn malformed_shards_are_rejected() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        assert_eq!(
+            rs.encode(&[vec![1u8, 2]]).unwrap_err(),
+            RsError::WrongShardCount { got: 1, expected: 2 }
+        );
+        assert_eq!(
+            rs.encode(&[vec![1u8, 2], vec![3]]).unwrap_err(),
+            RsError::ShardSizeMismatch
+        );
+        assert_eq!(
+            rs.encode(&[vec![], vec![]]).unwrap_err(),
+            RsError::ShardSizeMismatch
+        );
+        let mut wrong_count = vec![Some(vec![1u8])];
+        assert_eq!(
+            rs.reconstruct(&mut wrong_count).unwrap_err(),
+            RsError::WrongShardCount { got: 1, expected: 3 }
+        );
+    }
+
+    #[test]
+    fn matrix_inversion_identities() {
+        // I^-1 = I
+        let i3 = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        assert_eq!(invert_matrix(i3.clone()), Some(i3));
+        // Singular matrix returns None.
+        let sing = vec![vec![1, 1], vec![1, 1]];
+        assert_eq!(invert_matrix(sing), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_recovers_from_up_to_m_random_erasures(
+            k in 1usize..10,
+            m in 0usize..6,
+            len in 1usize..80,
+            seed in any::<u64>(),
+        ) {
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let mut rng = DetRng::new(seed);
+            let data = random_data(&mut rng, k, len);
+            let parity = rs.encode(&data).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.into_iter().map(Some))
+                .collect();
+            // Erase a random subset of size <= m.
+            let erasures = if m == 0 { 0 } else { rng.range_u64(0, m as u64 + 1) as usize };
+            let mut idx: Vec<usize> = (0..k + m).collect();
+            rng.shuffle(&mut idx);
+            for &e in idx.iter().take(erasures) {
+                shards[e] = None;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (j, d) in data.iter().enumerate() {
+                prop_assert_eq!(shards[j].as_ref().unwrap(), d);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The actor interface: [`Node`], [`Context`], and timers.
+//!
+//! Simulation participants implement [`Node`] and interact with the engine
+//! exclusively through the [`Context`] handed to each callback. Side effects
+//! (sends, timers) are buffered by the context and applied by the engine after
+//! the callback returns, which keeps callbacks pure with respect to engine
+//! state and guarantees a deterministic application order.
+
+use std::any::Any;
+
+use crate::metrics::MetricsRegistry;
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a node within a [`Simulation`](crate::Simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `NodeId` from a raw index previously obtained with
+    /// [`NodeId::index`]. Using an index from a different simulation is not
+    /// memory-unsafe but will address the wrong node.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A fired timer, delivered to [`Node::on_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timer {
+    /// Unique id returned by [`Context::set_timer`].
+    pub id: u64,
+    /// Caller-chosen tag distinguishing timer purposes.
+    pub tag: u64,
+}
+
+/// A message in flight, with routing metadata.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Application payload.
+    pub payload: M,
+    /// Wire size used for serialization/queueing, in bytes.
+    pub size_bytes: u32,
+    /// Time the message was first offered to the network.
+    pub sent_at: SimTime,
+}
+
+pub(crate) enum Op<M> {
+    Send { dst: NodeId, payload: M, size_bytes: u32 },
+    SetTimer { id: u64, after: SimDuration, tag: u64 },
+    CancelTimer { id: u64 },
+}
+
+/// The engine handle passed to every [`Node`] callback.
+///
+/// All interaction with the simulated world — reading the clock, sending
+/// messages, arming timers, drawing randomness, recording metrics — goes
+/// through this type.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) id: NodeId,
+    pub(crate) ops: &'a mut Vec<Op<M>>,
+    pub(crate) rng: &'a mut DetRng,
+    pub(crate) metrics: &'a mut MetricsRegistry,
+    pub(crate) timer_counter: &'a mut u64,
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node receiving this callback.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `payload` to `dst` with the given wire size.
+    ///
+    /// The message is routed over configured links (multi-hop if needed) and
+    /// subject to their delay, loss, and queueing. Delivery is not guaranteed.
+    pub fn send(&mut self, dst: NodeId, payload: M, size_bytes: u32) {
+        self.ops.push(Op::Send { dst, payload, size_bytes });
+    }
+
+    /// Arms a one-shot timer that fires `after` from now, carrying `tag`.
+    ///
+    /// Returns the timer id, usable with [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> u64 {
+        *self.timer_counter += 1;
+        let id = *self.timer_counter;
+        self.ops.push(Op::SetTimer { id, after, tag });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: u64) {
+        self.ops.push(Op::CancelTimer { id });
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// The simulation-wide metrics registry.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.metrics
+    }
+}
+
+/// A simulation actor.
+///
+/// Implementors receive messages and timer callbacks and react by emitting
+/// operations through the [`Context`]. The `Any` supertrait allows tests and
+/// harnesses to downcast nodes back to their concrete type after a run via
+/// [`Simulation::node_as`](crate::Simulation::node_as).
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::{Context, Node, NodeId, Timer};
+///
+/// struct Echo;
+/// impl Node<String> for Echo {
+///     fn on_message(&mut self, ctx: &mut Context<'_, String>, from: NodeId, msg: String) {
+///         ctx.send(from, msg, 32);
+///     }
+/// }
+/// ```
+pub trait Node<M>: Any {
+    /// Called once, at simulation start, in node-id order.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer armed by this node fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _timer: Timer) {}
+}

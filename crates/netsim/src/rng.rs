@@ -1,0 +1,349 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component in the simulator draws from a [`DetRng`] that is
+//! seeded explicitly, so that a simulation run is a pure function of its
+//! configuration and seed. Independent sub-streams are derived with
+//! [`DetRng::derive`] so that adding a consumer never perturbs the draws seen
+//! by existing consumers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, explicitly-seeded random number generator.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds the distribution samplers the
+/// simulator needs (normal, truncated normal, exponential, Pareto, Zipf)
+/// without pulling in additional dependencies.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: StdRng,
+    spare_normal: Option<f64>,
+}
+
+/// SplitMix64 step, used to derive independent stream seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng { seed, inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator for sub-stream `stream`.
+    ///
+    /// Derivation depends only on the original seed and `stream`, never on how
+    /// many values have been drawn, so component RNGs stay decoupled.
+    pub fn derive(&self, stream: u64) -> DetRng {
+        DetRng::new(splitmix64(self.seed ^ splitmix64(stream)))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range");
+        if lo == hi {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "invalid range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform index in `[0, len)`, for choosing an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot choose from an empty collection");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Standard normal draw (Box–Muller with caching of the spare value).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller transform.
+        let u1: f64 = loop {
+            let u = self.next_f64();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Normal draw rejected-and-resampled into `[lo, hi]`.
+    ///
+    /// Falls back to clamping after 64 rejections so the call always
+    /// terminates, even for intervals far in the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn truncated_normal(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid truncation interval");
+        for _ in 0..64 {
+            let x = self.normal(mean, std_dev);
+            if (lo..=hi).contains(&x) {
+                return x;
+            }
+        }
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        let u: f64 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / rate
+    }
+
+    /// Pareto draw with minimum `scale` and tail index `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` or `shape` is not strictly positive.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(scale > 0.0 && shape > 0.0, "scale and shape must be positive");
+        let u: f64 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        scale / u.powf(1.0 / shape)
+    }
+
+    /// Zipf draw over ranks `1..=n` with exponent `s`, by rejection sampling
+    /// (Devroye's method); O(1) expected time, no table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        if n == 1 {
+            return 1;
+        }
+        if s == 0.0 {
+            return 1 + self.range_u64(0, n);
+        }
+        // Rejection sampling against the integral envelope of x^-s.
+        let nf = n as f64;
+        loop {
+            let u = self.next_f64();
+            // Inverse of H(x) = (x^(1-s) - 1)/(1-s) for s != 1, ln(x) for s = 1.
+            let x = if (s - 1.0).abs() < 1e-12 {
+                nf.powf(u)
+            } else {
+                let h_n = (nf.powf(1.0 - s) - 1.0) / (1.0 - s);
+                (1.0 + h_n * u * (1.0 - s)).powf(1.0 / (1.0 - s))
+            };
+            let k = x.floor().max(1.0).min(nf) as u64;
+            // Accept with probability (k/x)^s.
+            let accept = (k as f64 / x).powf(s);
+            if self.next_f64() < accept {
+                return k;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle of `slice`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_are_independent_of_consumption() {
+        let a = DetRng::new(7);
+        let mut a_used = DetRng::new(7);
+        for _ in 0..10 {
+            a_used.next_u64();
+        }
+        let mut d1 = a.derive(3);
+        let mut d2 = a_used.derive(3);
+        assert_eq!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn derived_streams_differ_between_ids() {
+        let a = DetRng::new(7);
+        assert_ne!(a.derive(1).next_u64(), a.derive(2).next_u64());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = DetRng::new(99);
+        let n = 20_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.normal(5.0, 2.0);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = DetRng::new(1);
+        for _ in 0..5_000 {
+            let x = rng.truncated_normal(0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = DetRng::new(5);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = DetRng::new(11);
+        let mut counts = [0u64; 10];
+        for _ in 0..20_000 {
+            let k = rng.zipf(10, 1.2);
+            assert!((1..=10).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        assert!(counts[0] > counts[4] && counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut rng = DetRng::new(13);
+        let mut counts = [0u64; 4];
+        for _ in 0..8_000 {
+            counts[(rng.zipf(4, 0.0) - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..2_400).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn pareto_never_below_scale() {
+        let mut rng = DetRng::new(17);
+        for _ in 0..5_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,756 @@
+//! The discrete-event simulation engine.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::link::{Link, LinkConfig, LinkId, Transmit};
+use crate::metrics::MetricsRegistry;
+use crate::node::{Context, Envelope, Node, NodeId, Op, Timer};
+use crate::rng::DetRng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+
+enum EventKind<M> {
+    /// Arrival of a message at `hop` (which may forward it further).
+    Deliver { hop: NodeId, env: Envelope<M> },
+    /// A timer firing at `node`.
+    Timer { node: NodeId, id: u64, tag: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation of nodes connected by links.
+///
+/// The engine owns all nodes, links, the event queue, per-node RNG streams,
+/// and a metrics registry. Event order is total — (time, insertion sequence)
+/// — so a run is a pure function of configuration and seed.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::{Context, LinkConfig, Node, NodeId, SimDuration, SimTime, Simulation};
+///
+/// struct Ping;
+/// struct Pong(u32);
+/// impl Node<u32> for Ping {
+///     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+///         ctx.send(NodeId::from_index(1), 7, 64);
+///     }
+///     fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
+/// }
+/// impl Node<u32> for Pong {
+///     fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, msg: u32) {
+///         self.0 = msg;
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(42);
+/// let a = sim.add_node("ping", Ping);
+/// let b = sim.add_node("pong", Pong(0));
+/// sim.connect(a, b, LinkConfig::new(SimDuration::from_millis(1)));
+/// sim.run_until_idle();
+/// assert_eq!(sim.node_as::<Pong>(b).unwrap().0, 7);
+/// assert_eq!(sim.time(), SimTime::from_millis(1));
+/// ```
+pub struct Simulation<M> {
+    time: SimTime,
+    seq: u64,
+    timer_counter: u64,
+    nodes: Vec<Option<Box<dyn Node<M> + Send>>>,
+    names: Vec<String>,
+    rngs: Vec<DetRng>,
+    links: Vec<Link>,
+    link_ends: Vec<(NodeId, NodeId)>,
+    /// adjacency[src] -> (dst -> link), deterministic order.
+    adjacency: Vec<std::collections::BTreeMap<u32, LinkId>>,
+    /// Per-source next-hop tables, computed lazily, cleared on topology change.
+    route_cache: HashMap<u32, Vec<Option<(u32, LinkId)>>>,
+    heap: BinaryHeap<Reverse<Event<M>>>,
+    cancelled_timers: HashSet<u64>,
+    net_rng: DetRng,
+    master_rng: DetRng,
+    metrics: MetricsRegistry,
+    trace: Option<Trace>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        let master_rng = DetRng::new(seed);
+        let net_rng = master_rng.derive(u64::MAX);
+        Simulation {
+            time: SimTime::ZERO,
+            seq: 0,
+            timer_counter: 0,
+            nodes: Vec::new(),
+            names: Vec::new(),
+            rngs: Vec::new(),
+            links: Vec::new(),
+            link_ends: Vec::new(),
+            adjacency: Vec::new(),
+            route_cache: HashMap::new(),
+            heap: BinaryHeap::new(),
+            cancelled_timers: HashSet::new(),
+            net_rng,
+            master_rng,
+            metrics: MetricsRegistry::new(),
+            trace: None,
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a node and returns its id. Nodes receive `on_start` in id
+    /// order when the simulation first runs.
+    pub fn add_node(&mut self, name: impl Into<String>, node: impl Node<M> + Send) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(node)));
+        self.names.push(name.into());
+        self.rngs.push(self.master_rng.derive(id.0 as u64));
+        self.adjacency.push(std::collections::BTreeMap::new());
+        id
+    }
+
+    /// Connects `a` and `b` with symmetric directed links of configuration
+    /// `cfg`, returning `(a→b, b→a)` link ids.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        (self.connect_directed(a, b, cfg), self.connect_directed(b, a, cfg))
+    }
+
+    /// Adds a single directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown or a `from → to` link already exists.
+    pub fn connect_directed(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
+        assert!(from.index() < self.nodes.len(), "unknown source node");
+        assert!(to.index() < self.nodes.len(), "unknown destination node");
+        assert!(
+            !self.adjacency[from.index()].contains_key(&to.0),
+            "link {from} -> {to} already exists"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(cfg));
+        self.link_ends.push((from, to));
+        self.adjacency[from.index()].insert(to.0, id);
+        self.route_cache.clear();
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Name given to `id` at registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Borrows a node, downcast to its concrete type; `None` if the type does
+    /// not match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the node is currently being dispatched.
+    pub fn node_as<T: Node<M>>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes[id.index()].as_ref().expect("node is being dispatched");
+        (node.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the node is currently being dispatched.
+    pub fn node_as_mut<T: Node<M>>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes[id.index()].as_mut().expect("node is being dispatched");
+        (node.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Borrows a link's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Mutably borrows a link (e.g. for failure injection via
+    /// [`Link::set_up`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
+    /// The directed link `from → to`, if one exists.
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.adjacency.get(from.index())?.get(&to.0).copied()
+    }
+
+    /// Brings both directions between `a` and `b` up or down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either directed link does not exist.
+    pub fn set_connection_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        let ab = self.link_between(a, b).expect("no a->b link");
+        let ba = self.link_between(b, a).expect("no b->a link");
+        self.links[ab.index()].set_up(up);
+        self.links[ba.index()].set_up(up);
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The simulation-wide metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Enables event tracing, keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Schedules a message to arrive at `dst` at absolute time `at`,
+    /// bypassing the network. Intended for tests and workload injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject(&mut self, at: SimTime, src: NodeId, dst: NodeId, payload: M, size_bytes: u32) {
+        assert!(at >= self.time, "cannot inject into the past");
+        let env = Envelope { src, dst, payload, size_bytes, sent_at: self.time };
+        self.push_event(at, EventKind::Deliver { hop: dst, env });
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at, seq: self.seq, kind }));
+    }
+
+    fn record_trace(&mut self, kind: TraceKind, src: NodeId, dst: NodeId, size_bytes: u32) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent { at: self.time, kind, src, dst, size_bytes });
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId(i as u32), Dispatch::Start);
+        }
+    }
+
+    /// Runs until the event queue is empty or `limit` events were processed
+    /// in this call. Returns the number of events processed.
+    pub fn run_until_idle_capped(&mut self, limit: u64) -> u64 {
+        self.ensure_started();
+        let mut n = 0;
+        while n < limit && self.step_inner() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_until_idle(&mut self) {
+        self.run_until_idle_capped(u64::MAX);
+    }
+
+    /// Runs until simulated time reaches `until` (events at exactly `until`
+    /// are processed) or the queue empties. The clock is left at `until` if
+    /// the queue emptied earlier than that.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.ensure_started();
+        loop {
+            let next = match self.heap.peek() {
+                Some(Reverse(ev)) => ev.at,
+                None => break,
+            };
+            if next > until {
+                break;
+            }
+            self.step_inner();
+        }
+        if self.time < until {
+            self.time = until;
+        }
+    }
+
+    /// Processes a single event; returns its time, or `None` if idle.
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        if self.step_inner() {
+            Some(self.time)
+        } else {
+            None
+        }
+    }
+
+    fn step_inner(&mut self) -> bool {
+        let Reverse(ev) = match self.heap.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(ev.at >= self.time, "time went backwards");
+        self.time = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Timer { node, id, tag } => {
+                if self.cancelled_timers.remove(&id) {
+                    return true;
+                }
+                self.record_trace(TraceKind::TimerFired { tag }, node, node, 0);
+                self.dispatch(node, Dispatch::Timer(Timer { id, tag }));
+            }
+            EventKind::Deliver { hop, env } => {
+                if hop == env.dst {
+                    self.metrics.inc("net.delivered");
+                    self.metrics
+                        .histogram("net.delivery_latency_ns")
+                        .record(self.time.duration_since(env.sent_at).as_nanos());
+                    self.record_trace(TraceKind::Delivered, env.src, env.dst, env.size_bytes);
+                    let from = env.src;
+                    self.dispatch(env.dst, Dispatch::Message(from, env.payload));
+                } else {
+                    // Transparent forwarding at an intermediate hop.
+                    self.route_and_transmit(hop, env);
+                }
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, node_id: NodeId, what: Dispatch<M>) {
+        let idx = node_id.index();
+        let mut node = self.nodes[idx].take().expect("re-entrant dispatch");
+        let mut ops: Vec<Op<M>> = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.time,
+                id: node_id,
+                ops: &mut ops,
+                rng: &mut self.rngs[idx],
+                metrics: &mut self.metrics,
+                timer_counter: &mut self.timer_counter,
+            };
+            match what {
+                Dispatch::Start => node.on_start(&mut ctx),
+                Dispatch::Message(from, msg) => node.on_message(&mut ctx, from, msg),
+                Dispatch::Timer(t) => node.on_timer(&mut ctx, t),
+            }
+        }
+        self.nodes[idx] = Some(node);
+        for op in ops {
+            match op {
+                Op::Send { dst, payload, size_bytes } => {
+                    self.metrics.inc("net.sent");
+                    let env = Envelope {
+                        src: node_id,
+                        dst,
+                        payload,
+                        size_bytes,
+                        sent_at: self.time,
+                    };
+                    self.record_trace(TraceKind::Sent, node_id, dst, size_bytes);
+                    if dst == node_id {
+                        // Loopback: deliver immediately (next event).
+                        self.push_event(self.time, EventKind::Deliver { hop: dst, env });
+                    } else {
+                        self.route_and_transmit(node_id, env);
+                    }
+                }
+                Op::SetTimer { id, after, tag } => {
+                    let at = self.time.saturating_add(after);
+                    self.push_event(at, EventKind::Timer { node: node_id, id, tag });
+                }
+                Op::CancelTimer { id } => {
+                    self.cancelled_timers.insert(id);
+                }
+            }
+        }
+    }
+
+    fn route_and_transmit(&mut self, at_node: NodeId, env: Envelope<M>) {
+        // Prefer a direct link; otherwise consult the routing table.
+        let hop = if let Some(&link) = self.adjacency[at_node.index()].get(&env.dst.0) {
+            Some((env.dst.0, link))
+        } else {
+            self.next_hop(at_node, env.dst)
+        };
+        let (next_node, link_id) = match hop {
+            Some(h) => h,
+            None => {
+                self.metrics.inc("net.dropped.no_route");
+                self.record_trace(TraceKind::NoRoute, env.src, env.dst, env.size_bytes);
+                return;
+            }
+        };
+        let link = &mut self.links[link_id.index()];
+        match link.transmit(self.time, env.size_bytes, &mut self.net_rng) {
+            Transmit::Deliver { at } => {
+                self.push_event(at, EventKind::Deliver { hop: NodeId(next_node), env });
+            }
+            Transmit::Drop(reason) => {
+                let metric = match reason {
+                    crate::link::DropReason::QueueFull => "net.dropped.queue",
+                    crate::link::DropReason::Loss => "net.dropped.loss",
+                    crate::link::DropReason::LinkDown => "net.dropped.down",
+                };
+                self.metrics.inc(metric);
+                self.record_trace(TraceKind::Dropped(reason), env.src, env.dst, env.size_bytes);
+            }
+        }
+    }
+
+    /// Computes (and caches) the next hop from `src` toward `dst` by
+    /// Dijkstra over link propagation delays.
+    fn next_hop(&mut self, src: NodeId, dst: NodeId) -> Option<(u32, LinkId)> {
+        if !self.route_cache.contains_key(&src.0) {
+            let table = self.dijkstra_from(src);
+            self.route_cache.insert(src.0, table);
+        }
+        self.route_cache[&src.0].get(dst.index()).copied().flatten()
+    }
+
+    fn dijkstra_from(&self, src: NodeId) -> Vec<Option<(u32, LinkId)>> {
+        let n = self.nodes.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut first_hop: Vec<Option<(u32, LinkId)>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[src.index()] = 0;
+        heap.push(Reverse((0, src.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for (&v, &link) in &self.adjacency[u as usize] {
+                let w = self.links[link.index()].config().delay().as_nanos().max(1);
+                let nd = d.saturating_add(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    first_hop[v as usize] = if u == src.0 {
+                        Some((v, link))
+                    } else {
+                        first_hop[u as usize]
+                    };
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        first_hop
+    }
+}
+
+enum Dispatch<M> {
+    Start,
+    Message(NodeId, M),
+    Timer(Timer),
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending_events", &self.heap.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    struct Pinger {
+        peer: Option<NodeId>,
+        sent: u64,
+        rtts: Vec<SimDuration>,
+        last_sent: SimTime,
+        max_pings: u64,
+    }
+
+    impl Pinger {
+        fn new(max_pings: u64) -> Self {
+            Pinger { peer: None, sent: 0, rtts: Vec::new(), last_sent: SimTime::ZERO, max_pings }
+        }
+    }
+
+    impl Node<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if let Some(peer) = self.peer {
+                self.sent += 1;
+                self.last_sent = ctx.now();
+                ctx.send(peer, Msg::Ping(self.sent), 64);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(n) => ctx.send(from, Msg::Pong(n), 64),
+                Msg::Pong(_) => {
+                    self.rtts.push(ctx.now().duration_since(self.last_sent));
+                    if self.sent < self.max_pings {
+                        self.sent += 1;
+                        self.last_sent = ctx.now();
+                        ctx.send(from, Msg::Ping(self.sent), 64);
+                    }
+                }
+            }
+        }
+    }
+
+    fn two_node_sim(delay_ms: u64) -> (Simulation<Msg>, NodeId, NodeId) {
+        let mut sim = Simulation::new(7);
+        let a = sim.add_node("a", Pinger::new(10));
+        let b = sim.add_node("b", Pinger::new(0));
+        sim.node_as_mut::<Pinger>(a).unwrap().peer = Some(b);
+        sim.connect(a, b, LinkConfig::new(SimDuration::from_millis(delay_ms)));
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_rtt_is_twice_one_way() {
+        let (mut sim, a, _b) = two_node_sim(5);
+        sim.run_until_idle();
+        let pinger = sim.node_as::<Pinger>(a).unwrap();
+        assert_eq!(pinger.rtts.len(), 10);
+        for rtt in &pinger.rtts {
+            assert_eq!(*rtt, SimDuration::from_millis(10));
+        }
+        assert_eq!(sim.metrics().counter_value("net.delivered"), 20);
+    }
+
+    #[test]
+    fn run_until_respects_the_clock() {
+        let (mut sim, _a, _b) = two_node_sim(5);
+        sim.run_until(SimTime::from_millis(24));
+        // RTT = 10 ms; pongs at 10 and 20 ms have been received.
+        assert_eq!(sim.time(), SimTime::from_millis(24));
+        sim.run_until_idle();
+        assert_eq!(sim.time(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed);
+            let a = sim.add_node("a", Pinger::new(20));
+            let b = sim.add_node("b", Pinger::new(0));
+            sim.node_as_mut::<Pinger>(a).unwrap().peer = Some(b);
+            let cfg = LinkConfig::new(SimDuration::from_millis(3))
+                .with_jitter(SimDuration::from_millis(1))
+                .with_loss(crate::link::LossModel::Iid { p: 0.05 });
+            sim.connect(a, b, cfg);
+            sim.enable_trace(10_000);
+            sim.run_until_idle();
+            sim.trace().unwrap().fingerprint()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    struct Ticker {
+        fired: Vec<(SimTime, u64)>,
+        cancel_second: bool,
+    }
+
+    impl Node<Msg> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(SimDuration::from_millis(1), 1);
+            let id = ctx.set_timer(SimDuration::from_millis(2), 2);
+            ctx.set_timer(SimDuration::from_millis(3), 3);
+            if self.cancel_second {
+                ctx.cancel_timer(id);
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, timer: Timer) {
+            self.fired.push((ctx.now(), timer.tag));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let t = sim.add_node("t", Ticker { fired: vec![], cancel_second: true });
+        sim.run_until_idle();
+        let fired = &sim.node_as::<Ticker>(t).unwrap().fired;
+        assert_eq!(
+            fired,
+            &vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(3), 3)]
+        );
+    }
+
+    struct Forwarder;
+    impl Node<Msg> for Forwarder {
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+            panic!("intermediate hops must not receive forwarded messages");
+        }
+    }
+
+    struct Sink {
+        got: Vec<(SimTime, NodeId)>,
+    }
+    impl Node<Msg> for Sink {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, _: Msg) {
+            self.got.push((ctx.now(), from));
+        }
+    }
+
+    struct Source {
+        dst: NodeId,
+    }
+    impl Node<Msg> for Source {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.dst, Msg::Ping(1), 128);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+    }
+
+    #[test]
+    fn multi_hop_routing_is_transparent_and_latency_adds_up() {
+        let mut sim: Simulation<Msg> = Simulation::new(5);
+        let sink = sim.add_node("sink", Sink { got: vec![] });
+        let relay = sim.add_node("relay", Forwarder);
+        let src = sim.add_node("src", Source { dst: sink });
+        sim.connect(src, relay, LinkConfig::new(SimDuration::from_millis(2)));
+        sim.connect(relay, sink, LinkConfig::new(SimDuration::from_millis(3)));
+        sim.run_until_idle();
+        let got = &sim.node_as::<Sink>(sink).unwrap().got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, SimTime::from_millis(5));
+        assert_eq!(got[0].1, src, "sender identity is preserved across hops");
+    }
+
+    #[test]
+    fn routing_prefers_the_shorter_path() {
+        let mut sim: Simulation<Msg> = Simulation::new(5);
+        let sink = sim.add_node("sink", Sink { got: vec![] });
+        let slow_relay = sim.add_node("slow", Forwarder);
+        let fast_relay = sim.add_node("fast", Forwarder);
+        let src = sim.add_node("src", Source { dst: sink });
+        sim.connect(src, slow_relay, LinkConfig::new(SimDuration::from_millis(50)));
+        sim.connect(slow_relay, sink, LinkConfig::new(SimDuration::from_millis(50)));
+        sim.connect(src, fast_relay, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.connect(fast_relay, sink, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.run_until_idle();
+        let got = &sim.node_as::<Sink>(sink).unwrap().got;
+        assert_eq!(got[0].0, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn unroutable_messages_are_counted_not_fatal() {
+        let mut sim: Simulation<Msg> = Simulation::new(5);
+        let sink = sim.add_node("sink", Sink { got: vec![] });
+        let _iso = sim.add_node("isolated", Source { dst: sink });
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter_value("net.dropped.no_route"), 1);
+        assert!(sim.node_as::<Sink>(sink).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn inject_delivers_without_network() {
+        let mut sim: Simulation<Msg> = Simulation::new(5);
+        let sink = sim.add_node("sink", Sink { got: vec![] });
+        let other = sim.add_node("other", Forwarder);
+        sim.inject(SimTime::from_millis(7), other, sink, Msg::Ping(9), 10);
+        sim.run_until_idle();
+        let got = &sim.node_as::<Sink>(sink).unwrap().got;
+        assert_eq!(got, &vec![(SimTime::from_millis(7), other)]);
+    }
+
+    #[test]
+    fn link_down_blackholes_traffic() {
+        let mut sim: Simulation<Msg> = Simulation::new(5);
+        let sink = sim.add_node("sink", Sink { got: vec![] });
+        let src = sim.add_node("src", Source { dst: sink });
+        sim.connect(src, sink, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.set_connection_up(src, sink, false);
+        sim.run_until_idle();
+        assert!(sim.node_as::<Sink>(sink).unwrap().got.is_empty());
+        assert_eq!(sim.metrics().counter_value("net.dropped.down"), 1);
+    }
+
+    #[test]
+    fn loopback_send_is_delivered() {
+        struct SelfSender {
+            got: u32,
+        }
+        impl Node<Msg> for SelfSender {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                let id = ctx.id();
+                ctx.send(id, Msg::Ping(0), 8);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+                self.got += 1;
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(5);
+        let n = sim.add_node("self", SelfSender { got: 0 });
+        sim.run_until_idle();
+        assert_eq!(sim.node_as::<SelfSender>(n).unwrap().got, 1);
+    }
+}

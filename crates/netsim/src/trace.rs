@@ -1,0 +1,174 @@
+//! Event tracing for audits and determinism tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::DropReason;
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// What happened at a traced instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message was offered to the network by its source.
+    Sent,
+    /// A message reached its final destination.
+    Delivered,
+    /// A message was dropped en route.
+    Dropped(DropReason),
+    /// No route existed from the forwarding node to the destination.
+    NoRoute,
+    /// A timer fired at a node.
+    TimerFired {
+        /// The timer's tag.
+        tag: u64,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Message source (or the timer's node).
+    pub src: NodeId,
+    /// Message destination (or the timer's node).
+    pub dst: NodeId,
+    /// Message wire size in bytes (zero for timers).
+    pub size_bytes: u32,
+}
+
+/// A bounded in-memory event trace.
+///
+/// Recording stops silently once `capacity` events have been stored; the
+/// [`Trace::truncated`] flag reports whether that happened.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    truncated: bool,
+}
+
+impl Trace {
+    /// Creates a trace storing at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, truncated: false }
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// The recorded events, in order of occurrence.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether events were discarded because capacity was reached.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// An order-sensitive 64-bit digest of the trace (FNV-1a over the fields),
+    /// for cheap determinism assertions: two runs with the same seed must
+    /// produce identical fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for ev in &self.events {
+            mix(ev.at.as_nanos());
+            let kind_code: u64 = match ev.kind {
+                TraceKind::Sent => 1,
+                TraceKind::Delivered => 2,
+                TraceKind::Dropped(DropReason::QueueFull) => 3,
+                TraceKind::Dropped(DropReason::Loss) => 4,
+                TraceKind::Dropped(DropReason::LinkDown) => 5,
+                TraceKind::NoRoute => 6,
+                TraceKind::TimerFired { tag } => 7 ^ (tag << 8),
+            };
+            mix(kind_code);
+            mix(ev.src.index() as u64);
+            mix(ev.dst.index() as u64);
+            mix(ev.size_bytes as u64);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(nanos: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(nanos),
+            kind,
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 10,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = Trace::new(2);
+        t.push(ev(1, TraceKind::Sent));
+        t.push(ev(2, TraceKind::Delivered));
+        t.push(ev(3, TraceKind::Sent));
+        assert_eq!(t.len(), 2);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Trace::new(10);
+        a.push(ev(1, TraceKind::Sent));
+        a.push(ev(2, TraceKind::Delivered));
+        let mut b = Trace::new(10);
+        b.push(ev(2, TraceKind::Delivered));
+        b.push(ev(1, TraceKind::Sent));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_timer_tags() {
+        let mut a = Trace::new(10);
+        a.push(ev(1, TraceKind::TimerFired { tag: 1 }));
+        let mut b = Trace::new(10);
+        b.push(ev(1, TraceKind::TimerFired { tag: 2 }));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn identical_traces_match() {
+        let mut a = Trace::new(10);
+        let mut b = Trace::new(10);
+        for t in [a.events.len() as u64, 5, 9] {
+            a.push(ev(t, TraceKind::Sent));
+            b.push(ev(t, TraceKind::Sent));
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

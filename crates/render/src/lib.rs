@@ -1,0 +1,40 @@
+//! # metaclass-render
+//!
+//! The rendering cost layer of the blueprint: analytic device budgets,
+//! budget-constrained LOD assignment, and split device/cloud rendering — the
+//! answer to §3.3's warning that sensed avatars "may be too complex to render
+//! with WebGL and lightweight VR headsets".
+//!
+//! - [`DeviceProfile`] — triangle budgets and vsync-quantized frame times
+//!   for headsets, WebGL laptops, desktops, and cloud GPUs;
+//! - [`assign_lods`] — greedy fidelity degradation that protects frame rate
+//!   (low FPS is a cybersickness driver);
+//! - [`evaluate_mode`] — device-only vs cloud-only vs split rendering, with
+//!   the latency and bandwidth each mode pays (experiment E5).
+//!
+//! # Examples
+//!
+//! ```
+//! use metaclass_avatar::AvatarId;
+//! use metaclass_render::{assign_lods, DeviceProfile, RenderRequest};
+//!
+//! // A packed classroom seen from the back row.
+//! let crowd: Vec<RenderRequest> = (0..60)
+//!     .map(|i| RenderRequest { id: AvatarId(i), distance: 1.0 + i as f64 * 0.3, importance: 0.0 })
+//!     .collect();
+//! let headset = DeviceProfile::mr_headset();
+//! let plan = assign_lods(&crowd, &headset, 250_000);
+//! assert!(plan.total_triangles <= headset.triangle_budget);
+//! assert_eq!(plan.achieved_fps, 72.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod lodselect;
+mod split;
+
+pub use device::DeviceProfile;
+pub use lodselect::{assign_lods, fidelity, LodPlan, RenderRequest};
+pub use split::{evaluate_mode, RenderMode, RenderOutcome, SplitConfig};

@@ -1,0 +1,211 @@
+//! Budget-constrained LOD assignment.
+//!
+//! Given the avatars in view and a device budget, pick a level of detail per
+//! avatar: start from the distance/importance-appropriate level and degrade
+//! the least valuable avatars until the scene fits the budget (so the frame
+//! rate, not the fidelity, is what the policy protects — low FPS is a
+//! cybersickness driver, §3.3).
+
+use metaclass_avatar::{AvatarId, LodLevel};
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceProfile;
+
+/// One avatar competing for render budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderRequest {
+    /// The avatar.
+    pub id: AvatarId,
+    /// Distance from the viewer, metres.
+    pub distance: f64,
+    /// Importance (`0.0` background … `1.0` active speaker).
+    pub importance: f64,
+}
+
+/// Perceptual fidelity score of each LOD (relative to volumetric = 1).
+pub fn fidelity(lod: LodLevel) -> f64 {
+    match lod {
+        LodLevel::Impostor => 0.2,
+        LodLevel::Low => 0.5,
+        LodLevel::Medium => 0.75,
+        LodLevel::High => 0.9,
+        LodLevel::Volumetric => 1.0,
+    }
+}
+
+/// The outcome of LOD assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LodPlan {
+    /// Chosen level per avatar, in input order.
+    pub assignments: Vec<(AvatarId, LodLevel)>,
+    /// Total scene triangles (avatars + static scene).
+    pub total_triangles: u64,
+    /// Frame rate the device achieves on this plan.
+    pub achieved_fps: f64,
+    /// Mean importance-weighted fidelity in `[0, 1]` (zero for no avatars).
+    pub mean_fidelity: f64,
+}
+
+/// Assigns LODs to `requests` on `device`, with `scene_triangles` of static
+/// classroom geometry already in the frame.
+///
+/// Starts each avatar at [`LodLevel::for_distance`] and greedily degrades the
+/// cheapest-to-sacrifice avatar (lowest importance, then farthest) until the
+/// scene fits the budget or everything is an impostor.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::AvatarId;
+/// use metaclass_render::{assign_lods, DeviceProfile, RenderRequest};
+///
+/// let requests: Vec<RenderRequest> = (0..40)
+///     .map(|i| RenderRequest { id: AvatarId(i), distance: 2.0 + i as f64, importance: 0.0 })
+///     .collect();
+/// let plan = assign_lods(&requests, &DeviceProfile::mr_headset(), 200_000);
+/// assert!(plan.achieved_fps >= 72.0 - 1e-9, "budget protects the frame rate");
+/// ```
+pub fn assign_lods(
+    requests: &[RenderRequest],
+    device: &DeviceProfile,
+    scene_triangles: u64,
+) -> LodPlan {
+    let mut lods: Vec<LodLevel> = requests
+        .iter()
+        .map(|r| LodLevel::for_distance(r.distance, r.importance))
+        .collect();
+
+    let total = |lods: &[LodLevel]| -> u64 {
+        scene_triangles + lods.iter().map(|l| l.triangles()).sum::<u64>()
+    };
+
+    // Degrade until within budget. Victim order: lowest importance first,
+    // then farthest, then highest id (determinism).
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        requests[a]
+            .importance
+            .partial_cmp(&requests[b].importance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                requests[b]
+                    .distance
+                    .partial_cmp(&requests[a].distance)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(requests[b].id.cmp(&requests[a].id))
+    });
+
+    'outer: while total(&lods) > device.triangle_budget {
+        // One full pass of single-step degradations in victim order.
+        let mut degraded_any = false;
+        for &i in &order {
+            if let Some(cheaper) = lods[i].cheaper() {
+                lods[i] = cheaper;
+                degraded_any = true;
+                if total(&lods) <= device.triangle_budget {
+                    break 'outer;
+                }
+            }
+        }
+        if !degraded_any {
+            break; // everything is an impostor already
+        }
+    }
+
+    let total_triangles = total(&lods);
+    let weight_sum: f64 = requests.iter().map(|r| 1.0 + r.importance).sum();
+    let mean_fidelity = if requests.is_empty() {
+        0.0
+    } else {
+        requests
+            .iter()
+            .zip(&lods)
+            .map(|(r, &l)| fidelity(l) * (1.0 + r.importance))
+            .sum::<f64>()
+            / weight_sum
+    };
+    LodPlan {
+        assignments: requests.iter().map(|r| r.id).zip(lods).collect(),
+        total_triangles,
+        achieved_fps: device.achieved_fps(total_triangles),
+        mean_fidelity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u32, distance: f64, importance: f64) -> RenderRequest {
+        RenderRequest { id: AvatarId(id), distance, importance }
+    }
+
+    #[test]
+    fn small_scenes_keep_full_desired_lods() {
+        let requests = vec![req(0, 1.0, 1.0), req(1, 8.0, 0.0)];
+        let plan = assign_lods(&requests, &DeviceProfile::desktop(), 100_000);
+        assert_eq!(plan.assignments[0].1, LodLevel::Volumetric);
+        // 8 m at zero importance maps to an effective 16 m: Low.
+        assert_eq!(plan.assignments[1].1, LodLevel::Low);
+        assert_eq!(plan.achieved_fps, 90.0);
+    }
+
+    #[test]
+    fn headset_degrades_crowds_to_protect_fps() {
+        // 30 close-by avatars would desire high LODs: far beyond a headset.
+        let requests: Vec<RenderRequest> = (0..30).map(|i| req(i, 3.0, 0.0)).collect();
+        let device = DeviceProfile::mr_headset();
+        let plan = assign_lods(&requests, &device, 200_000);
+        assert!(plan.total_triangles <= device.triangle_budget);
+        assert!(plan.achieved_fps >= device.target_fps - 1e-9);
+        assert!(plan.mean_fidelity < 0.9, "crowd must have been degraded");
+    }
+
+    #[test]
+    fn speaker_keeps_fidelity_longest() {
+        let mut requests: Vec<RenderRequest> = (0..25).map(|i| req(i, 4.0, 0.0)).collect();
+        requests.push(req(99, 4.0, 1.0)); // the speaker
+        let plan = assign_lods(&requests, &DeviceProfile::mr_headset(), 0);
+        let speaker_lod = plan.assignments.last().unwrap().1;
+        let max_other = plan.assignments[..25].iter().map(|(_, l)| *l).max().unwrap();
+        assert!(speaker_lod >= max_other, "speaker {speaker_lod} vs crowd {max_other}");
+    }
+
+    #[test]
+    fn impossible_budgets_degrade_to_impostors_not_livelock() {
+        let requests: Vec<RenderRequest> = (0..500).map(|i| req(i, 1.0, 1.0)).collect();
+        let tiny = DeviceProfile {
+            triangle_budget: 10,
+            ..DeviceProfile::mr_headset()
+        };
+        let plan = assign_lods(&requests, &tiny, 0);
+        assert!(plan.assignments.iter().all(|(_, l)| *l == LodLevel::Impostor));
+        assert!(plan.achieved_fps < tiny.target_fps);
+    }
+
+    #[test]
+    fn empty_request_list_is_benign() {
+        let plan = assign_lods(&[], &DeviceProfile::laptop_webgl(), 500_000);
+        assert_eq!(plan.mean_fidelity, 0.0);
+        assert_eq!(plan.total_triangles, 500_000);
+    }
+
+    #[test]
+    fn fidelity_is_monotone_in_lod() {
+        let mut prev = 0.0;
+        for l in LodLevel::ALL {
+            assert!(fidelity(l) > prev);
+            prev = fidelity(l);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let requests: Vec<RenderRequest> =
+            (0..50).map(|i| req(i, 2.0 + (i % 7) as f64, (i % 3) as f64 / 2.0)).collect();
+        let a = assign_lods(&requests, &DeviceProfile::mr_headset(), 100_000);
+        let b = assign_lods(&requests, &DeviceProfile::mr_headset(), 100_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,278 @@
+//! Split device/cloud rendering.
+//!
+//! §3.3: "it may be necessary to leverage remote servers (cloud and edge) to
+//! pre-render some elements of the digital scene. One solution would be to
+//! render a low-quality version of the models on-device and merge the
+//! rendered frame with high-quality frames rendered in the cloud" (the
+//! Outatime approach, ref [26]). This module plans which avatars render
+//! where and accounts for the latency and bandwidth the cloud path adds.
+
+use metaclass_avatar::LodLevel;
+use metaclass_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceProfile;
+use crate::lodselect::{assign_lods, fidelity, LodPlan, RenderRequest};
+
+/// Where the scene is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RenderMode {
+    /// Everything on the local device.
+    DeviceOnly,
+    /// Everything rendered in the cloud and streamed as video.
+    CloudOnly,
+    /// Low LOD on device; complex/important avatars overlaid from the cloud.
+    Split,
+}
+
+impl std::fmt::Display for RenderMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RenderMode::DeviceOnly => "device-only",
+            RenderMode::CloudOnly => "cloud-only",
+            RenderMode::Split => "split",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parameters of the cloud rendering path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitConfig {
+    /// Cloud-side encode time per frame.
+    pub encode: SimDuration,
+    /// Device-side decode + composite time per frame.
+    pub decode: SimDuration,
+    /// One-way network latency device ↔ cloud.
+    pub network_one_way: SimDuration,
+    /// Video bitrate per cloud-rendered avatar overlay, bits/second.
+    pub overlay_bitrate_per_avatar: u64,
+    /// Bitrate of a full cloud-rendered frame stream, bits/second.
+    pub full_stream_bitrate: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            encode: SimDuration::from_millis(8),
+            decode: SimDuration::from_millis(4),
+            network_one_way: SimDuration::from_millis(15),
+            overlay_bitrate_per_avatar: 2_000_000,
+            full_stream_bitrate: 40_000_000,
+        }
+    }
+}
+
+/// Evaluation of one rendering mode for one frame's worth of avatars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderOutcome {
+    /// The mode evaluated.
+    pub mode: RenderMode,
+    /// Frame rate presented to the user's display.
+    pub fps: f64,
+    /// Mean importance-weighted avatar fidelity in `[0, 1]`.
+    pub mean_fidelity: f64,
+    /// Extra latency the cloud path adds to the affected content
+    /// (zero for device-only).
+    pub added_latency: SimDuration,
+    /// Downstream bandwidth the mode consumes, bits/second.
+    pub bandwidth_bps: u64,
+    /// Avatars rendered in the cloud.
+    pub cloud_avatar_count: usize,
+}
+
+/// Evaluates `mode` for the given avatars on `device`.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::AvatarId;
+/// use metaclass_render::{evaluate_mode, DeviceProfile, RenderMode, RenderRequest, SplitConfig};
+///
+/// let crowd: Vec<RenderRequest> = (0..40)
+///     .map(|i| RenderRequest { id: AvatarId(i), distance: 2.5, importance: 0.2 })
+///     .collect();
+/// let device = DeviceProfile::mr_headset();
+/// let cfg = SplitConfig::default();
+/// let solo = evaluate_mode(RenderMode::DeviceOnly, &crowd, &device, 200_000, &cfg);
+/// let split = evaluate_mode(RenderMode::Split, &crowd, &device, 200_000, &cfg);
+/// assert!(split.mean_fidelity > solo.mean_fidelity);
+/// ```
+pub fn evaluate_mode(
+    mode: RenderMode,
+    requests: &[RenderRequest],
+    device: &DeviceProfile,
+    scene_triangles: u64,
+    cfg: &SplitConfig,
+) -> RenderOutcome {
+    match mode {
+        RenderMode::DeviceOnly => {
+            let plan = assign_lods(requests, device, scene_triangles);
+            RenderOutcome {
+                mode,
+                fps: plan.achieved_fps,
+                mean_fidelity: plan.mean_fidelity,
+                added_latency: SimDuration::ZERO,
+                bandwidth_bps: 0,
+                cloud_avatar_count: 0,
+            }
+        }
+        RenderMode::CloudOnly => {
+            // The cloud GPU renders everything at desired LOD; the device
+            // only decodes video, so it always hits its refresh rate — but
+            // *all* content (including the viewer's own head motion response)
+            // pays the round trip.
+            let cloud = DeviceProfile::cloud_gpu();
+            let plan = assign_lods(requests, &cloud, scene_triangles);
+            RenderOutcome {
+                mode,
+                fps: device.refresh_hz.min(cloud.achieved_fps(plan.total_triangles)),
+                mean_fidelity: plan.mean_fidelity,
+                added_latency: cfg.network_one_way * 2 + cfg.encode + cfg.decode,
+                bandwidth_bps: cfg.full_stream_bitrate,
+                cloud_avatar_count: requests.len(),
+            }
+        }
+        RenderMode::Split => {
+            // Device renders everything capped at Low; avatars whose desired
+            // LOD exceeds Medium become cloud overlays at full fidelity.
+            let mut device_reqs = Vec::new();
+            let mut cloud_ids = Vec::new();
+            let mut fid_sum = 0.0;
+            let mut weight_sum = 0.0;
+            for r in requests {
+                let desired = LodLevel::for_distance(r.distance, r.importance);
+                let w = 1.0 + r.importance;
+                weight_sum += w;
+                if desired > LodLevel::Medium {
+                    cloud_ids.push(r.id);
+                    fid_sum += fidelity(desired) * w;
+                } else {
+                    device_reqs.push(*r);
+                }
+            }
+            // Device side renders at most Low LOD ("a low-quality version of
+            // the models on-device"), degrading to impostors if even that
+            // overflows the budget. Overlay composition (a textured quad per
+            // cloud avatar plus blending) costs ~2k triangle-equivalents.
+            let overlay_triangles = cloud_ids.len() as u64 * 2_000;
+            let mut device_lods: Vec<LodLevel> = device_reqs
+                .iter()
+                .map(|r| LodLevel::for_distance(r.distance, r.importance).min(LodLevel::Low))
+                .collect();
+            let total = |lods: &[LodLevel]| {
+                scene_triangles + overlay_triangles + lods.iter().map(|l| l.triangles()).sum::<u64>()
+            };
+            let mut i = 0;
+            while total(&device_lods) > device.triangle_budget && i < device_lods.len() {
+                device_lods[i] = LodLevel::Impostor;
+                i += 1;
+            }
+            let device_plan = LodPlan {
+                assignments: device_reqs.iter().map(|r| r.id).zip(device_lods.clone()).collect(),
+                total_triangles: total(&device_lods),
+                achieved_fps: device.achieved_fps(total(&device_lods)),
+                mean_fidelity: 0.0, // unused; blended fidelity computed below
+            };
+            for (r, lod) in device_reqs.iter().zip(&device_lods) {
+                fid_sum += fidelity(*lod) * (1.0 + r.importance);
+            }
+            let mean_fidelity = if requests.is_empty() { 0.0 } else { fid_sum / weight_sum };
+            RenderOutcome {
+                mode,
+                fps: device_plan.achieved_fps,
+                mean_fidelity,
+                added_latency: cfg.network_one_way * 2 + cfg.encode + cfg.decode,
+                bandwidth_bps: cloud_ids.len() as u64 * cfg.overlay_bitrate_per_avatar,
+                cloud_avatar_count: cloud_ids.len(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaclass_avatar::AvatarId;
+
+    fn crowd(n: u32, distance: f64, importance: f64) -> Vec<RenderRequest> {
+        (0..n).map(|i| RenderRequest { id: AvatarId(i), distance, importance }).collect()
+    }
+
+    fn cfg() -> SplitConfig {
+        SplitConfig::default()
+    }
+
+    #[test]
+    fn device_only_has_no_added_latency_or_bandwidth() {
+        let out = evaluate_mode(
+            RenderMode::DeviceOnly,
+            &crowd(10, 5.0, 0.0),
+            &DeviceProfile::mr_headset(),
+            100_000,
+            &cfg(),
+        );
+        assert_eq!(out.added_latency, SimDuration::ZERO);
+        assert_eq!(out.bandwidth_bps, 0);
+        assert_eq!(out.cloud_avatar_count, 0);
+    }
+
+    #[test]
+    fn cloud_only_pays_round_trip_on_everything() {
+        let out = evaluate_mode(
+            RenderMode::CloudOnly,
+            &crowd(10, 5.0, 0.0),
+            &DeviceProfile::mr_headset(),
+            100_000,
+            &cfg(),
+        );
+        // 2x15 + 8 + 4 = 42 ms.
+        assert_eq!(out.added_latency, SimDuration::from_millis(42));
+        assert_eq!(out.cloud_avatar_count, 10);
+        assert!(out.bandwidth_bps >= 40_000_000);
+    }
+
+    #[test]
+    fn split_beats_device_fidelity_on_dense_close_crowds() {
+        let requests = crowd(40, 2.5, 0.2);
+        let device = DeviceProfile::mr_headset();
+        let solo = evaluate_mode(RenderMode::DeviceOnly, &requests, &device, 200_000, &cfg());
+        let split = evaluate_mode(RenderMode::Split, &requests, &device, 200_000, &cfg());
+        assert!(split.mean_fidelity > solo.mean_fidelity);
+        assert!(split.fps >= device.target_fps - 1e-9, "split fps {}", split.fps);
+        assert!(split.cloud_avatar_count > 0);
+        // Overlay bandwidth is far below a full cloud stream.
+        let cloud = evaluate_mode(RenderMode::CloudOnly, &requests, &device, 200_000, &cfg());
+        assert!(split.bandwidth_bps > 0);
+        assert!(split.bandwidth_bps > cloud.bandwidth_bps, "40 close avatars stream more than one frame");
+    }
+
+    #[test]
+    fn split_sends_nothing_to_cloud_for_far_crowds() {
+        // Far avatars desire Low/Impostor: the device handles them alone.
+        let out = evaluate_mode(
+            RenderMode::Split,
+            &crowd(30, 25.0, 0.0),
+            &DeviceProfile::mr_headset(),
+            100_000,
+            &cfg(),
+        );
+        assert_eq!(out.cloud_avatar_count, 0);
+        assert_eq!(out.bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn empty_scene_is_benign_in_all_modes() {
+        for mode in [RenderMode::DeviceOnly, RenderMode::CloudOnly, RenderMode::Split] {
+            let out = evaluate_mode(mode, &[], &DeviceProfile::laptop_webgl(), 0, &cfg());
+            assert_eq!(out.mean_fidelity, 0.0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn modes_display_names() {
+        assert_eq!(RenderMode::Split.to_string(), "split");
+        assert_eq!(RenderMode::DeviceOnly.to_string(), "device-only");
+        assert_eq!(RenderMode::CloudOnly.to_string(), "cloud-only");
+    }
+}

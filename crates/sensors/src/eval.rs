@@ -1,0 +1,155 @@
+//! Tracking-accuracy evaluation helpers.
+
+use metaclass_avatar::AvatarState;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates pose-estimation error statistics against ground truth.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::{AvatarState, Vec3};
+/// use metaclass_sensors::TrackingError;
+///
+/// let mut e = TrackingError::new();
+/// let truth = AvatarState::at_position(Vec3::ZERO);
+/// let est = AvatarState::at_position(Vec3::new(0.03, 0.0, 0.04));
+/// e.record(&truth, &est);
+/// assert!((e.position_rmse() - 0.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrackingError {
+    samples: u64,
+    pos_sq_sum: f64,
+    pos_max: f64,
+    orient_sq_sum_deg: f64,
+    hand_sq_sum: f64,
+}
+
+impl TrackingError {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (truth, estimate) pair.
+    pub fn record(&mut self, truth: &AvatarState, estimate: &AvatarState) {
+        let pe = truth.position_error(estimate);
+        let oe = truth.orientation_error_deg(estimate);
+        let he = truth.hand_error(estimate);
+        self.samples += 1;
+        self.pos_sq_sum += pe * pe;
+        self.pos_max = self.pos_max.max(pe);
+        self.orient_sq_sum_deg += oe * oe;
+        self.hand_sq_sum += he * he;
+    }
+
+    /// Number of recorded pairs.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Root-mean-square head-position error, metres (0 when empty).
+    pub fn position_rmse(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.pos_sq_sum / self.samples as f64).sqrt()
+        }
+    }
+
+    /// Worst head-position error, metres.
+    pub fn position_max(&self) -> f64 {
+        self.pos_max
+    }
+
+    /// Root-mean-square orientation error, degrees (0 when empty).
+    pub fn orientation_rmse_deg(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.orient_sq_sum_deg / self.samples as f64).sqrt()
+        }
+    }
+
+    /// Root-mean-square worst-hand error, metres (0 when empty).
+    pub fn hand_rmse(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.hand_sq_sum / self.samples as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &TrackingError) {
+        self.samples += other.samples;
+        self.pos_sq_sum += other.pos_sq_sum;
+        self.pos_max = self.pos_max.max(other.pos_max);
+        self.orient_sq_sum_deg += other.orient_sq_sum_deg;
+        self.hand_sq_sum += other.hand_sq_sum;
+    }
+}
+
+impl std::fmt::Display for TrackingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} pos_rmse={:.1}mm pos_max={:.1}mm orient_rmse={:.2}deg hand_rmse={:.1}mm",
+            self.samples,
+            self.position_rmse() * 1000.0,
+            self.position_max() * 1000.0,
+            self.orientation_rmse_deg(),
+            self.hand_rmse() * 1000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaclass_avatar::Vec3;
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let e = TrackingError::new();
+        assert_eq!(e.samples(), 0);
+        assert_eq!(e.position_rmse(), 0.0);
+        assert_eq!(e.orientation_rmse_deg(), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_error_is_that_error() {
+        let mut e = TrackingError::new();
+        let truth = AvatarState::at_position(Vec3::ZERO);
+        let est = AvatarState::at_position(Vec3::new(0.1, 0.0, 0.0));
+        for _ in 0..10 {
+            e.record(&truth, &est);
+        }
+        assert!((e.position_rmse() - 0.1).abs() < 1e-9);
+        assert!((e.position_max() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let truth = AvatarState::at_position(Vec3::ZERO);
+        let mut a = TrackingError::new();
+        a.record(&truth, &AvatarState::at_position(Vec3::new(0.1, 0.0, 0.0)));
+        let mut b = TrackingError::new();
+        b.record(&truth, &AvatarState::at_position(Vec3::new(0.3, 0.0, 0.0)));
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert!((a.position_max() - 0.3).abs() < 1e-9);
+        let expected = ((0.01 + 0.09) / 2.0f64).sqrt();
+        assert!((a.position_rmse() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut e = TrackingError::new();
+        let truth = AvatarState::at_position(Vec3::ZERO);
+        e.record(&truth, &AvatarState::at_position(Vec3::new(0.05, 0.0, 0.0)));
+        let s = e.to_string();
+        assert!(s.contains("n=1") && s.contains("pos_rmse=50.0mm"), "{s}");
+    }
+}

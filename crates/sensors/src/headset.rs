@@ -1,0 +1,298 @@
+//! The MR headset sensor model.
+//!
+//! Blueprint §3.2: participants "wear MR headsets that can track their
+//! locations and other features, such as facial expressions". The model adds
+//! the error sources that make fusion with room sensors worthwhile: white
+//! measurement noise, a slow random-walk drift bias (inside-out tracking
+//! drifts), and occasional tracking-loss gaps.
+
+use metaclass_avatar::{AvatarState, ExpressionFrame, Quat, Vec3};
+use metaclass_netsim::{DetRng, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Which device produced a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorSource {
+    /// The participant's MR/VR headset.
+    Headset,
+    /// The classroom's non-intrusive sensor array.
+    RoomArray,
+}
+
+/// A position (and optionally orientation) measurement from one source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoseMeasurement {
+    /// Producing device.
+    pub source: SensorSource,
+    /// Measured head position.
+    pub position: Vec3,
+    /// Measured head orientation, if the source tracks it.
+    pub orientation: Option<Quat>,
+    /// Measured hand positions, if the source tracks them.
+    pub hands: Option<(Vec3, Vec3)>,
+    /// The 1-sigma position noise the producer believes it has (fed to the
+    /// fusion filter as measurement variance).
+    pub noise_std: f64,
+}
+
+/// Configuration of the headset model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadsetConfig {
+    /// Pose sampling rate (Hz). Quest-class headsets track at 72–120 Hz.
+    pub rate_hz: f64,
+    /// White position noise, 1-sigma metres.
+    pub position_noise_std: f64,
+    /// White orientation noise, 1-sigma degrees.
+    pub orientation_noise_deg: f64,
+    /// Random-walk drift rate, metres per sqrt(second).
+    pub drift_rate: f64,
+    /// Maximum drift magnitude before the headset relocalizes, metres.
+    pub drift_limit: f64,
+    /// Probability per sample of entering a tracking-loss gap.
+    pub loss_probability: f64,
+    /// Samples a tracking-loss gap lasts.
+    pub loss_duration_samples: u32,
+    /// Expression sampling rate (Hz).
+    pub expression_rate_hz: f64,
+    /// White noise added to each blendshape weight, 1-sigma.
+    pub expression_noise_std: f64,
+}
+
+impl Default for HeadsetConfig {
+    fn default() -> Self {
+        HeadsetConfig {
+            rate_hz: 72.0,
+            position_noise_std: 0.004,
+            orientation_noise_deg: 0.5,
+            drift_rate: 0.002,
+            drift_limit: 0.06,
+            loss_probability: 0.0005,
+            loss_duration_samples: 20,
+            expression_rate_hz: 30.0,
+            expression_noise_std: 0.03,
+        }
+    }
+}
+
+/// A simulated MR headset tracking one participant.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::{AvatarState, Vec3};
+/// use metaclass_sensors::{HeadsetConfig, HeadsetModel};
+///
+/// let mut hs = HeadsetModel::new(HeadsetConfig::default(), 42);
+/// let truth = AvatarState::at_position(Vec3::new(1.0, 1.6, 2.0));
+/// if let Some(m) = hs.measure_pose(&truth) {
+///     assert!(m.position.distance(truth.head.position) < 0.1);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeadsetModel {
+    cfg: HeadsetConfig,
+    rng: DetRng,
+    drift: Vec3,
+    loss_remaining: u32,
+}
+
+impl HeadsetModel {
+    /// Creates a headset with its own noise stream.
+    pub fn new(cfg: HeadsetConfig, seed: u64) -> Self {
+        HeadsetModel {
+            cfg,
+            rng: DetRng::new(seed).derive(0x6865_6164_7365_74),
+            drift: Vec3::ZERO,
+            loss_remaining: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HeadsetConfig {
+        &self.cfg
+    }
+
+    /// Interval between pose samples.
+    pub fn sample_period(&self) -> SimDuration {
+        SimDuration::from_rate_hz(self.cfg.rate_hz)
+    }
+
+    /// Interval between expression samples.
+    pub fn expression_period(&self) -> SimDuration {
+        SimDuration::from_rate_hz(self.cfg.expression_rate_hz)
+    }
+
+    /// Takes one pose sample of `truth`. Returns `None` during a
+    /// tracking-loss gap.
+    pub fn measure_pose(&mut self, truth: &AvatarState) -> Option<PoseMeasurement> {
+        if self.loss_remaining > 0 {
+            self.loss_remaining -= 1;
+            return None;
+        }
+        if self.rng.chance(self.cfg.loss_probability) {
+            self.loss_remaining = self.cfg.loss_duration_samples;
+            return None;
+        }
+
+        // Random-walk drift with relocalization snap at the limit.
+        let dt = 1.0 / self.cfg.rate_hz;
+        let step = self.cfg.drift_rate * dt.sqrt();
+        self.drift += Vec3::new(
+            self.rng.normal(0.0, step),
+            self.rng.normal(0.0, step * 0.3),
+            self.rng.normal(0.0, step),
+        );
+        if self.drift.norm() > self.cfg.drift_limit {
+            self.drift = Vec3::ZERO; // relocalization against the map
+        }
+
+        let n = self.cfg.position_noise_std;
+        let noise = Vec3::new(
+            self.rng.normal(0.0, n),
+            self.rng.normal(0.0, n),
+            self.rng.normal(0.0, n),
+        );
+        let position = truth.head.position + self.drift + noise;
+
+        let angle = self.rng.normal(0.0, self.cfg.orientation_noise_deg.to_radians());
+        let axis = Vec3::new(
+            self.rng.normal(0.0, 1.0),
+            self.rng.normal(0.0, 1.0),
+            self.rng.normal(0.0, 1.0),
+        );
+        let orientation = (Quat::from_axis_angle(axis, angle) * truth.head.orientation).normalized();
+
+        let hand_noise = |rng: &mut DetRng, h: Vec3| {
+            h + Vec3::new(rng.normal(0.0, 2.0 * n), rng.normal(0.0, 2.0 * n), rng.normal(0.0, 2.0 * n))
+        };
+        let hands = (
+            hand_noise(&mut self.rng, truth.left_hand),
+            hand_noise(&mut self.rng, truth.right_hand),
+        );
+
+        Some(PoseMeasurement {
+            source: SensorSource::Headset,
+            position,
+            orientation: Some(orientation),
+            hands: Some(hands),
+            // The filter sees noise + typical drift as its variance budget.
+            noise_std: (n * n + (self.cfg.drift_limit / 2.0).powi(2)).sqrt(),
+        })
+    }
+
+    /// Takes one expression sample of `truth` (noisy blendshapes).
+    pub fn measure_expression(&mut self, truth: &AvatarState) -> ExpressionFrame {
+        let mut weights = *truth.expression.weights();
+        for w in &mut weights {
+            *w += self.rng.normal(0.0, self.cfg.expression_noise_std as f64) as f32;
+        }
+        ExpressionFrame::from_weights(weights)
+    }
+
+    /// Whether the headset is currently in a tracking-loss gap.
+    pub fn is_tracking_lost(&self) -> bool {
+        self.loss_remaining > 0
+    }
+
+    /// Current drift bias (for tests and diagnostics).
+    pub fn drift(&self) -> Vec3 {
+        self.drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> AvatarState {
+        AvatarState::at_position(Vec3::new(5.0, 1.6, 5.0))
+    }
+
+    #[test]
+    fn measurements_are_near_truth() {
+        let mut hs = HeadsetModel::new(HeadsetConfig::default(), 1);
+        let t = truth();
+        let mut count = 0;
+        for _ in 0..1000 {
+            if let Some(m) = hs.measure_pose(&t) {
+                assert!(m.position.distance(t.head.position) < 0.1);
+                assert!(m.orientation.unwrap().angle_to(t.head.orientation).to_degrees() < 5.0);
+                count += 1;
+            }
+        }
+        assert!(count > 900, "too many tracking losses: {count}");
+    }
+
+    #[test]
+    fn noise_statistics_match_config() {
+        let cfg = HeadsetConfig { drift_rate: 0.0, loss_probability: 0.0, ..Default::default() };
+        let mut hs = HeadsetModel::new(cfg, 2);
+        let t = truth();
+        let n = 5000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let m = hs.measure_pose(&t).unwrap();
+            sum_sq += (m.position.x - t.head.position.x).powi(2);
+        }
+        let std = (sum_sq / n as f64).sqrt();
+        assert!((std - cfg.position_noise_std).abs() < 0.001, "std {std}");
+    }
+
+    #[test]
+    fn drift_is_bounded_by_relocalization() {
+        let cfg = HeadsetConfig {
+            drift_rate: 0.05, // exaggerated
+            loss_probability: 0.0,
+            ..Default::default()
+        };
+        let mut hs = HeadsetModel::new(cfg, 3);
+        let t = truth();
+        for _ in 0..20_000 {
+            hs.measure_pose(&t);
+            assert!(hs.drift().norm() <= cfg.drift_limit + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tracking_loss_creates_gaps_of_configured_length() {
+        let cfg = HeadsetConfig {
+            loss_probability: 0.05,
+            loss_duration_samples: 7,
+            ..Default::default()
+        };
+        let mut hs = HeadsetModel::new(cfg, 4);
+        let t = truth();
+        let mut gap = 0u32;
+        let mut gaps = Vec::new();
+        for _ in 0..20_000 {
+            if hs.measure_pose(&t).is_none() {
+                gap += 1;
+            } else if gap > 0 {
+                gaps.push(gap);
+                gap = 0;
+            }
+        }
+        assert!(!gaps.is_empty());
+        // A new loss can chain onto an ongoing gap, so gaps are multiples ≥ 7.
+        assert!(gaps.iter().all(|&g| g >= 7), "gaps {gaps:?}");
+    }
+
+    #[test]
+    fn expression_noise_is_clamped_to_valid_weights() {
+        let mut hs = HeadsetModel::new(HeadsetConfig::default(), 5);
+        let t = truth();
+        for _ in 0..500 {
+            let e = hs.measure_expression(&t);
+            for &w in e.weights() {
+                assert!((0.0..=1.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_periods_follow_rates() {
+        let hs = HeadsetModel::new(HeadsetConfig::default(), 6);
+        assert_eq!(hs.sample_period().as_nanos(), 13_888_889);
+        assert_eq!(hs.expression_period(), SimDuration::from_rate_hz(30.0));
+    }
+}

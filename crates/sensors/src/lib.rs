@@ -1,0 +1,75 @@
+//! # metaclass-sensors
+//!
+//! The sensing layer of the blueprint's physical classrooms: synthetic MR
+//! headsets, non-intrusive room sensor arrays, and the edge-side fusion that
+//! "aggregates the data to estimate the pose and facial expression of the
+//! participants" (ICDCS 2022 blueprint, §3.2).
+//!
+//! Real headsets and camera rigs are replaced by statistical models with the
+//! same rates, noise, drift, and dropout behaviour (see DESIGN.md for the
+//! substitution argument):
+//!
+//! - [`Trajectory`] / [`MotionScript`] — deterministic ground-truth
+//!   participant motion (lecture, presenter, group work, VR navigation);
+//! - [`HeadsetModel`] — 72 Hz pose + 30 Hz expression samples with white
+//!   noise, random-walk drift, and tracking-loss gaps;
+//! - [`RoomSensorArray`] — 30 Hz drift-free position samples with Markov
+//!   occlusion;
+//! - [`PoseFusion`] — per-axis constant-velocity Kalman filtering plus
+//!   complementary orientation filtering;
+//! - [`TrackingError`] — RMSE evaluation against ground truth.
+//!
+//! # Examples
+//!
+//! Fuse both sources while a presenter walks the podium:
+//!
+//! ```
+//! use metaclass_avatar::Vec3;
+//! use metaclass_netsim::SimTime;
+//! use metaclass_sensors::{
+//!     FusionConfig, HeadsetConfig, HeadsetModel, MotionScript, PoseFusion, RoomSensorArray,
+//!     RoomSensorConfig, Trajectory, TrackingError,
+//! };
+//!
+//! let traj = Trajectory::new(
+//!     MotionScript::Presenter { center: Vec3::new(10.0, 0.0, 2.0), area_half: Vec3::new(1.5, 0.0, 1.0) },
+//!     42,
+//! );
+//! let mut headset = HeadsetModel::new(HeadsetConfig::default(), 1);
+//! let mut room = RoomSensorArray::new(RoomSensorConfig::default(), 2);
+//! let mut fusion = PoseFusion::new(FusionConfig::default());
+//! let mut err = TrackingError::new();
+//!
+//! for i in 0..300 {
+//!     let secs = i as f64 / 72.0;
+//!     let t = SimTime::from_nanos((secs * 1e9) as u64);
+//!     let truth = traj.state_at(secs);
+//!     if let Some(m) = headset.measure_pose(&truth) {
+//!         fusion.ingest(t, &m);
+//!     }
+//!     if i % 2 == 0 {
+//!         if let Some(m) = room.measure(&truth) {
+//!             fusion.ingest(t, &m);
+//!         }
+//!     }
+//!     if i > 72 {
+//!         err.record(&truth, &fusion.estimate_at(t));
+//!     }
+//! }
+//! assert!(err.position_rmse() < 0.05, "rmse {}", err.position_rmse());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod fusion;
+mod headset;
+mod motion;
+mod room;
+
+pub use eval::TrackingError;
+pub use fusion::{FusionConfig, PoseFusion};
+pub use headset::{HeadsetConfig, HeadsetModel, PoseMeasurement, SensorSource};
+pub use motion::{MotionScript, Trajectory, SEATED_HEIGHT, STANDING_HEIGHT};
+pub use room::{RoomSensorArray, RoomSensorConfig};

@@ -1,0 +1,200 @@
+//! Latency → interaction-quality model.
+//!
+//! §3.3: "In highly interactive applications, users start to notice latency
+//! above 100 ms. Besides, a latency below 100 ms still affects user
+//! performance despite less noticeable" (citing Claypool & Claypool). This
+//! module turns end-to-end latency into a user-performance score per action
+//! class, following that paper's precision/deadline taxonomy: performance
+//! degrades sigmoidally with latency, faster for precise, tight-deadline
+//! actions.
+
+use metaclass_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Latency above which users consciously notice lag (§3.3).
+pub const NOTICEABILITY_THRESHOLD: SimDuration = SimDuration::from_millis(100);
+
+/// Classes of classroom interaction, ordered by latency sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionClass {
+    /// Seeing one's own head motion reflected (motion-to-photon): the
+    /// tightest budget — high precision, immediate deadline.
+    HeadTracking,
+    /// Pointing at / manipulating a shared 3D object (lab equipment,
+    /// breakout puzzle pieces).
+    ObjectManipulation,
+    /// Conversational turn-taking with other participants (avatar gesture
+    /// and expression timing).
+    Conversation,
+    /// Moving through the virtual classroom.
+    Navigation,
+    /// Non-real-time acts: answering a quiz, raising a hand.
+    Deliberate,
+}
+
+impl ActionClass {
+    /// All classes, most latency-sensitive first.
+    pub const ALL: [ActionClass; 5] = [
+        ActionClass::HeadTracking,
+        ActionClass::ObjectManipulation,
+        ActionClass::Conversation,
+        ActionClass::Navigation,
+        ActionClass::Deliberate,
+    ];
+
+    /// The latency at which performance has dropped to 50%, per the
+    /// precision/deadline taxonomy of Claypool & Claypool.
+    fn half_performance_ms(self) -> f64 {
+        match self {
+            ActionClass::HeadTracking => 75.0,
+            ActionClass::ObjectManipulation => 150.0,
+            ActionClass::Conversation => 300.0,
+            ActionClass::Navigation => 500.0,
+            ActionClass::Deliberate => 2_000.0,
+        }
+    }
+
+    /// Sigmoid steepness (ms): smaller = sharper cliff.
+    fn slope_ms(self) -> f64 {
+        self.half_performance_ms() / 4.0
+    }
+
+    /// User performance on this action at end-to-end latency `latency`,
+    /// in `[0, 1]` (1 = unimpaired).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use metaclass_netsim::SimDuration;
+    /// use metaclass_sync::ActionClass;
+    ///
+    /// let fast = ActionClass::HeadTracking.performance(SimDuration::from_millis(20));
+    /// let slow = ActionClass::HeadTracking.performance(SimDuration::from_millis(200));
+    /// assert!(fast > 0.9 && slow < 0.1);
+    /// ```
+    pub fn performance(self, latency: SimDuration) -> f64 {
+        let l = latency.as_millis_f64();
+        let p = 1.0 / (1.0 + ((l - self.half_performance_ms()) / self.slope_ms()).exp());
+        // Normalize so zero latency scores exactly 1.
+        let p0 = 1.0 / (1.0 + (-self.half_performance_ms() / self.slope_ms()).exp());
+        (p / p0).clamp(0.0, 1.0)
+    }
+}
+
+impl std::fmt::Display for ActionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ActionClass::HeadTracking => "head-tracking",
+            ActionClass::ObjectManipulation => "object-manipulation",
+            ActionClass::Conversation => "conversation",
+            ActionClass::Navigation => "navigation",
+            ActionClass::Deliberate => "deliberate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether users would consciously notice this latency (the 100 ms rule).
+pub fn is_noticeable(latency: SimDuration) -> bool {
+    latency > NOTICEABILITY_THRESHOLD
+}
+
+/// Mean performance across a mixed classroom activity: a weighted blend of
+/// action classes (weights need not be normalized).
+///
+/// Returns 1.0 for an empty mix.
+pub fn blended_performance(latency: SimDuration, mix: &[(ActionClass, f64)]) -> f64 {
+    let total: f64 = mix.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    mix.iter().map(|(a, w)| a.performance(latency) * w).sum::<f64>() / total
+}
+
+/// The standard activity mixes used by the experiments.
+pub mod activity {
+    use super::ActionClass;
+
+    /// A lecture: mostly listening, some head tracking.
+    pub const LECTURE: [(ActionClass, f64); 3] = [
+        (ActionClass::HeadTracking, 0.5),
+        (ActionClass::Conversation, 0.3),
+        (ActionClass::Deliberate, 0.2),
+    ];
+
+    /// An interactive lab: manipulation-heavy.
+    pub const LAB: [(ActionClass, f64); 3] = [
+        (ActionClass::HeadTracking, 0.3),
+        (ActionClass::ObjectManipulation, 0.5),
+        (ActionClass::Navigation, 0.2),
+    ];
+
+    /// A seminar discussion: conversation-heavy.
+    pub const SEMINAR: [(ActionClass, f64); 3] = [
+        (ActionClass::HeadTracking, 0.3),
+        (ActionClass::Conversation, 0.6),
+        (ActionClass::Deliberate, 0.1),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_is_monotone_decreasing_in_latency() {
+        for class in ActionClass::ALL {
+            let mut prev = 1.1;
+            for ms in (0..1000).step_by(25) {
+                let p = class.performance(SimDuration::from_millis(ms));
+                assert!(p <= prev + 1e-12, "{class} not monotone at {ms} ms");
+                assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_latency_is_unimpaired() {
+        for class in ActionClass::ALL {
+            assert!((class.performance(SimDuration::ZERO) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sensitivity_ordering_matches_the_taxonomy() {
+        let l = SimDuration::from_millis(150);
+        let perf: Vec<f64> = ActionClass::ALL.iter().map(|c| c.performance(l)).collect();
+        for w in perf.windows(2) {
+            assert!(w[0] < w[1], "ordering violated: {perf:?}");
+        }
+    }
+
+    #[test]
+    fn hundred_ms_is_the_noticeability_knee() {
+        assert!(!is_noticeable(SimDuration::from_millis(100)));
+        assert!(is_noticeable(SimDuration::from_millis(101)));
+        // Below 100 ms performance is already measurably affected
+        // ("a latency below 100 ms still affects user performance").
+        let p = ActionClass::HeadTracking.performance(SimDuration::from_millis(80));
+        assert!(p < 0.95 && p > 0.2, "p = {p}");
+    }
+
+    #[test]
+    fn blended_performance_interpolates_between_classes() {
+        let l = SimDuration::from_millis(200);
+        let blend = blended_performance(l, &activity::LAB);
+        let best = ActionClass::Navigation.performance(l);
+        let worst = ActionClass::HeadTracking.performance(l);
+        assert!(blend > worst && blend < best);
+        assert_eq!(blended_performance(l, &[]), 1.0);
+    }
+
+    #[test]
+    fn lecture_tolerates_more_latency_than_lab() {
+        let l = SimDuration::from_millis(250);
+        assert!(
+            blended_performance(l, &activity::LECTURE) > blended_performance(l, &activity::LAB) - 1e-9
+        );
+    }
+}

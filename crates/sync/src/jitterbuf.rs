@@ -1,0 +1,308 @@
+//! Adaptive jitter buffer for avatar state playout.
+//!
+//! Network jitter would make remotely driven avatars stutter. The receiver
+//! buffers timestamped states and plays them out a small, adaptive delay
+//! behind the sender's clock, interpolating between the two states straddling
+//! the playout instant and extrapolating across gaps.
+
+use std::collections::VecDeque;
+
+use metaclass_avatar::AvatarState;
+use metaclass_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the jitter buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterBufferConfig {
+    /// Initial playout delay behind the newest possible state.
+    pub initial_delay: SimDuration,
+    /// Floor for the adaptive delay.
+    pub min_delay: SimDuration,
+    /// Ceiling for the adaptive delay.
+    pub max_delay: SimDuration,
+    /// Safety margin added above the observed p95 network-delay variation.
+    pub margin: SimDuration,
+    /// Window of one-way delay samples used for adaptation.
+    pub window: usize,
+    /// Maximum states retained.
+    pub capacity: usize,
+}
+
+impl Default for JitterBufferConfig {
+    fn default() -> Self {
+        JitterBufferConfig {
+            initial_delay: SimDuration::from_millis(50),
+            min_delay: SimDuration::from_millis(20),
+            max_delay: SimDuration::from_millis(250),
+            margin: SimDuration::from_millis(10),
+            window: 128,
+            capacity: 64,
+        }
+    }
+}
+
+/// An adaptive playout buffer of timestamped avatar states.
+///
+/// Times are in the *sender's* clock domain (translate with
+/// [`OffsetEstimator`](crate::OffsetEstimator) first). "Now" passed to
+/// [`JitterBuffer::sample`] must also be sender-domain.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_avatar::{AvatarState, Vec3};
+/// use metaclass_netsim::SimTime;
+/// use metaclass_sync::{JitterBuffer, JitterBufferConfig};
+///
+/// let mut jb = JitterBuffer::new(JitterBufferConfig::default());
+/// for i in 0..10u64 {
+///     let st = AvatarState::at_position(Vec3::new(i as f64 * 0.1, 1.6, 0.0));
+///     let capture = SimTime::from_millis(i * 20);
+///     jb.push(capture, capture, st); // zero network delay here
+/// }
+/// let out = jb.sample(SimTime::from_millis(180)).unwrap();
+/// // The jitter-free feed adapts the playout delay down to its 20 ms floor,
+/// // so at t = 180 ms we see the state captured around 160 ms.
+/// assert!((out.head.position.x - 0.80).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JitterBuffer {
+    cfg: JitterBufferConfig,
+    /// (capture_time, state), sorted by capture_time.
+    entries: VecDeque<(SimTime, AvatarState)>,
+    /// Observed one-way delay samples (arrival − capture), nanoseconds.
+    delay_samples: VecDeque<u64>,
+    delay: SimDuration,
+    late_drops: u64,
+    last_playout: Option<SimTime>,
+}
+
+impl JitterBuffer {
+    /// Creates an empty buffer.
+    pub fn new(cfg: JitterBufferConfig) -> Self {
+        JitterBuffer {
+            delay: cfg.initial_delay,
+            cfg,
+            entries: VecDeque::new(),
+            delay_samples: VecDeque::new(),
+            late_drops: 0,
+        last_playout: None,
+        }
+    }
+
+    /// Current adaptive playout delay.
+    pub fn playout_delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Updates arriving after their playout instant, discarded on push.
+    pub fn late_drop_count(&self) -> u64 {
+        self.late_drops
+    }
+
+    /// Number of buffered states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a state captured at `capture_time` (sender clock) that arrived
+    /// at `arrival_time` (sender clock). Returns `false` if the update was
+    /// too late to be useful and was dropped.
+    pub fn push(&mut self, capture_time: SimTime, arrival_time: SimTime, state: AvatarState) -> bool {
+        // Track one-way delay for adaptation.
+        let delay = arrival_time.duration_since(capture_time);
+        if self.delay_samples.len() == self.cfg.window {
+            self.delay_samples.pop_front();
+        }
+        self.delay_samples.push_back(delay.as_nanos());
+        self.adapt();
+
+        // Late if it precedes what we already played out.
+        if let Some(played) = self.last_playout {
+            if capture_time <= played {
+                self.late_drops += 1;
+                return false;
+            }
+        }
+        // Sorted insert (usually at the tail).
+        let pos = self
+            .entries
+            .iter()
+            .rposition(|(t, _)| *t <= capture_time)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        // Duplicate capture times: replace rather than duplicate.
+        if pos > 0 && self.entries[pos - 1].0 == capture_time {
+            self.entries[pos - 1].1 = state;
+        } else {
+            self.entries.insert(pos, (capture_time, state));
+        }
+        while self.entries.len() > self.cfg.capacity {
+            self.entries.pop_front();
+        }
+        true
+    }
+
+    fn adapt(&mut self) {
+        if self.delay_samples.len() < 8 {
+            return;
+        }
+        let mut sorted: Vec<u64> = self.delay_samples.iter().copied().collect();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)];
+        // Delay variation above the floor, plus margin.
+        let var = SimDuration::from_nanos(p95 - min) + self.cfg.margin;
+        self.delay = var.max(self.cfg.min_delay).min(self.cfg.max_delay);
+    }
+
+    /// The state to display at sender-clock time `now`: the buffered pair
+    /// straddling `now - playout_delay`, interpolated; extrapolated from the
+    /// newest state if the playout instant has run past the buffer. `None`
+    /// while empty.
+    pub fn sample(&mut self, now: SimTime) -> Option<AvatarState> {
+        let playout = now - self.delay.min(now.duration_since(SimTime::ZERO));
+        self.last_playout = Some(playout);
+        // Discard states entirely in the past (keep one before playout for
+        // interpolation).
+        while self.entries.len() >= 2 && self.entries[1].0 <= playout {
+            self.entries.pop_front();
+        }
+        match self.entries.len() {
+            0 => None,
+            1 => {
+                let (t, st) = &self.entries[0];
+                Some(if *t <= playout {
+                    st.extrapolate(playout.duration_since(*t).as_secs_f64())
+                } else {
+                    *st
+                })
+            }
+            _ => {
+                let (t0, s0) = &self.entries[0];
+                let (t1, s1) = &self.entries[1];
+                if playout <= *t0 {
+                    Some(*s0)
+                } else {
+                    let span = t1.duration_since(*t0).as_secs_f64();
+                    let frac = if span <= 0.0 {
+                        1.0
+                    } else {
+                        playout.duration_since(*t0).as_secs_f64() / span
+                    };
+                    Some(s0.interpolate(s1, frac))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaclass_avatar::Vec3;
+
+    fn st(x: f64) -> AvatarState {
+        AvatarState::at_position(Vec3::new(x, 1.6, 0.0))
+    }
+
+    fn cfg() -> JitterBufferConfig {
+        JitterBufferConfig::default()
+    }
+
+    #[test]
+    fn interpolates_between_straddling_states() {
+        let mut jb = JitterBuffer::new(cfg());
+        jb.push(SimTime::from_millis(100), SimTime::from_millis(100), st(1.0));
+        jb.push(SimTime::from_millis(200), SimTime::from_millis(200), st(2.0));
+        // Playout = 200 − 50 = 150 ms: midway.
+        let out = jb.sample(SimTime::from_millis(200)).unwrap();
+        assert!((out.head.position.x - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_buffer_returns_none() {
+        let mut jb = JitterBuffer::new(cfg());
+        assert!(jb.sample(SimTime::from_millis(100)).is_none());
+        assert!(jb.is_empty());
+    }
+
+    #[test]
+    fn extrapolates_past_the_newest_state() {
+        let mut jb = JitterBuffer::new(cfg());
+        let mut moving = st(1.0);
+        moving.velocity = Vec3::new(1.0, 0.0, 0.0);
+        jb.push(SimTime::from_millis(100), SimTime::from_millis(100), moving);
+        // Playout 250 ms: 150 ms past the only state.
+        let out = jb.sample(SimTime::from_millis(300)).unwrap();
+        assert!((out.head.position.x - 1.15).abs() < 1e-6, "x {}", out.head.position.x);
+    }
+
+    #[test]
+    fn late_updates_are_dropped_and_counted() {
+        let mut jb = JitterBuffer::new(cfg());
+        jb.push(SimTime::from_millis(100), SimTime::from_millis(100), st(1.0));
+        jb.sample(SimTime::from_millis(400)); // playout now at 350 ms
+        assert!(!jb.push(SimTime::from_millis(200), SimTime::from_millis(410), st(9.0)));
+        assert_eq!(jb.late_drop_count(), 1);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_sorted() {
+        let mut jb = JitterBuffer::new(cfg());
+        jb.push(SimTime::from_millis(300), SimTime::from_millis(305), st(3.0));
+        jb.push(SimTime::from_millis(100), SimTime::from_millis(306), st(1.0));
+        jb.push(SimTime::from_millis(200), SimTime::from_millis(307), st(2.0));
+        let out = jb.sample(SimTime::from_millis(250)).unwrap();
+        // Playout 200 ms → exactly the second state.
+        assert!((out.head.position.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_adapts_to_observed_jitter() {
+        let mut jb = JitterBuffer::new(cfg());
+        // Stable 30 ms network: delay shrinks toward the floor.
+        for i in 0..200u64 {
+            jb.push(
+                SimTime::from_millis(i * 20),
+                SimTime::from_millis(i * 20 + 30),
+                st(i as f64),
+            );
+        }
+        assert!(jb.playout_delay() <= SimDuration::from_millis(20 + 1));
+        // Now heavy jitter: delay grows.
+        for i in 200..400u64 {
+            let jitter = if i % 3 == 0 { 80 } else { 5 };
+            jb.push(
+                SimTime::from_millis(i * 20),
+                SimTime::from_millis(i * 20 + jitter),
+                st(i as f64),
+            );
+        }
+        assert!(jb.playout_delay() >= SimDuration::from_millis(70), "{}", jb.playout_delay());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut jb = JitterBuffer::new(JitterBufferConfig { capacity: 4, ..cfg() });
+        for i in 0..100u64 {
+            jb.push(SimTime::from_millis(i * 10), SimTime::from_millis(i * 10), st(i as f64));
+        }
+        assert!(jb.len() <= 4);
+    }
+
+    #[test]
+    fn duplicate_capture_times_replace() {
+        let mut jb = JitterBuffer::new(cfg());
+        jb.push(SimTime::from_millis(100), SimTime::from_millis(100), st(1.0));
+        jb.push(SimTime::from_millis(100), SimTime::from_millis(101), st(7.0));
+        assert_eq!(jb.len(), 1);
+        let out = jb.sample(SimTime::from_millis(500)).unwrap();
+        assert!((out.head.position.x - 7.0).abs() < 1e-9);
+    }
+}

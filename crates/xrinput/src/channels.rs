@@ -1,0 +1,151 @@
+//! MR/VR input channel throughput models.
+//!
+//! §3.3: "the user inputs on mobile MR and VR headsets are far from
+//! satisfaction, resulting in low throughput rates in general … current input
+//! methods of headsets are primarily speech recognition and simple hand
+//! gestures" (refs [29], [31]; text-entry rates from ref [28]). Each channel
+//! carries calibrated words-per-minute, error-rate, and command-latency
+//! figures from that literature.
+
+use serde::{Deserialize, Serialize};
+
+/// An input channel available to a class participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputChannel {
+    /// Speech recognition (the dominant headset text channel).
+    Speech,
+    /// Mid-air hand gestures on a virtual keyboard.
+    MidAirGesture,
+    /// Gaze pointing with dwell selection.
+    GazeDwell,
+    /// Tracked controller ray-casting on a virtual keyboard.
+    Controller,
+    /// Camera-based bare-hand tracking.
+    HandTracking,
+    /// A physical keyboard (remote desktop participants only).
+    PhysicalKeyboard,
+}
+
+impl InputChannel {
+    /// All channels.
+    pub const ALL: [InputChannel; 6] = [
+        InputChannel::Speech,
+        InputChannel::MidAirGesture,
+        InputChannel::GazeDwell,
+        InputChannel::Controller,
+        InputChannel::HandTracking,
+        InputChannel::PhysicalKeyboard,
+    ];
+
+    /// Whether a standalone MR/VR headset offers this channel.
+    pub fn available_on_headset(self) -> bool {
+        self != InputChannel::PhysicalKeyboard
+    }
+
+    /// Raw text-entry rate, words per minute (before error corrections).
+    pub fn words_per_minute(self) -> f64 {
+        match self {
+            InputChannel::Speech => 30.0,
+            InputChannel::MidAirGesture => 9.0,
+            InputChannel::GazeDwell => 10.0,
+            InputChannel::Controller => 14.0,
+            InputChannel::HandTracking => 11.0,
+            InputChannel::PhysicalKeyboard => 52.0,
+        }
+    }
+
+    /// Per-word error probability (requiring a correction pass).
+    pub fn error_rate(self) -> f64 {
+        match self {
+            InputChannel::Speech => 0.10,
+            InputChannel::MidAirGesture => 0.08,
+            InputChannel::GazeDwell => 0.05,
+            InputChannel::Controller => 0.04,
+            InputChannel::HandTracking => 0.09,
+            InputChannel::PhysicalKeyboard => 0.02,
+        }
+    }
+
+    /// Time to issue one discrete command (select, raise hand, answer), secs.
+    pub fn command_time_secs(self) -> f64 {
+        match self {
+            InputChannel::Speech => 1.8,
+            InputChannel::MidAirGesture => 1.2,
+            InputChannel::GazeDwell => 1.0,
+            InputChannel::Controller => 0.6,
+            InputChannel::HandTracking => 1.1,
+            InputChannel::PhysicalKeyboard => 0.4,
+        }
+    }
+
+    /// Effective text rate after corrections: each errored word costs one
+    /// extra correction pass (re-entry plus selection overhead).
+    pub fn effective_wpm(self) -> f64 {
+        let e = self.error_rate();
+        self.words_per_minute() / (1.0 + 1.5 * e)
+    }
+
+    /// Information throughput, bits/second (≈ 10 bits per English word at
+    /// the effective rate).
+    pub fn bits_per_second(self) -> f64 {
+        self.effective_wpm() / 60.0 * 10.0
+    }
+}
+
+impl std::fmt::Display for InputChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InputChannel::Speech => "speech",
+            InputChannel::MidAirGesture => "mid-air-gesture",
+            InputChannel::GazeDwell => "gaze-dwell",
+            InputChannel::Controller => "controller",
+            InputChannel::HandTracking => "hand-tracking",
+            InputChannel::PhysicalKeyboard => "physical-keyboard",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headset_channels_are_slower_than_a_keyboard() {
+        let kb = InputChannel::PhysicalKeyboard.effective_wpm();
+        for c in InputChannel::ALL.into_iter().filter(|c| c.available_on_headset()) {
+            assert!(c.effective_wpm() < kb, "{c} not slower than keyboard");
+        }
+    }
+
+    #[test]
+    fn speech_leads_headset_text_entry() {
+        // §3.3: speech is the primary headset input for a reason.
+        let s = InputChannel::Speech.effective_wpm();
+        for c in [InputChannel::MidAirGesture, InputChannel::GazeDwell, InputChannel::Controller, InputChannel::HandTracking] {
+            assert!(s > c.effective_wpm(), "speech should beat {c}");
+        }
+    }
+
+    #[test]
+    fn controller_is_fastest_for_discrete_commands_on_headset() {
+        let ctrl = InputChannel::Controller.command_time_secs();
+        for c in InputChannel::ALL.into_iter().filter(|c| c.available_on_headset()) {
+            assert!(ctrl <= c.command_time_secs(), "{c}");
+        }
+    }
+
+    #[test]
+    fn effective_wpm_is_below_raw() {
+        for c in InputChannel::ALL {
+            assert!(c.effective_wpm() < c.words_per_minute());
+            assert!(c.bits_per_second() > 0.0);
+        }
+    }
+
+    #[test]
+    fn keyboard_is_not_a_headset_channel() {
+        assert!(!InputChannel::PhysicalKeyboard.available_on_headset());
+        assert!(InputChannel::Speech.available_on_headset());
+    }
+}

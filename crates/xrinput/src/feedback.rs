@@ -1,0 +1,167 @@
+//! Multimodal feedback cues.
+//!
+//! §3.3: "multi-modal feedback cues (e.g., haptics) become necessary to
+//! maintain the granularity of user communication … haptic feedback is
+//! essential to delivering high levels of presence and realism, but current
+//! networking constraints create delayed feedback and damage user
+//! experiences" (ref \[6\]). Each modality has a perceptual simultaneity
+//! deadline; cues arriving later than their deadline break the illusion that
+//! the feedback belongs to the action.
+
+use metaclass_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A feedback modality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeedbackCue {
+    /// On-display visual confirmation (highlight, animation).
+    Visual,
+    /// Audio confirmation (click, chime).
+    Audio,
+    /// Vibrotactile confirmation on the controller/glove.
+    Haptic,
+}
+
+impl FeedbackCue {
+    /// All modalities.
+    pub const ALL: [FeedbackCue; 3] = [FeedbackCue::Visual, FeedbackCue::Audio, FeedbackCue::Haptic];
+
+    /// Deadline for the cue to feel simultaneous with the user's action.
+    /// Haptics bind tightest: the hand knows when it touched something.
+    pub fn simultaneity_deadline(self) -> SimDuration {
+        match self {
+            FeedbackCue::Visual => SimDuration::from_millis(100),
+            FeedbackCue::Audio => SimDuration::from_millis(140),
+            FeedbackCue::Haptic => SimDuration::from_millis(50),
+        }
+    }
+
+    /// Whether a cue arriving `latency` after the action feels simultaneous.
+    pub fn is_coherent(self, latency: SimDuration) -> bool {
+        latency <= self.simultaneity_deadline()
+    }
+
+    /// Contribution of this modality to the sense of presence (weights sum
+    /// to 1.0; haptics dominate realism per ref \[6\]).
+    pub fn presence_weight(self) -> f64 {
+        match self {
+            FeedbackCue::Visual => 0.35,
+            FeedbackCue::Audio => 0.2,
+            FeedbackCue::Haptic => 0.45,
+        }
+    }
+}
+
+impl std::fmt::Display for FeedbackCue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FeedbackCue::Visual => "visual",
+            FeedbackCue::Audio => "audio",
+            FeedbackCue::Haptic => "haptic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Presence score in `[0, 1]` of a feedback bundle: each cue contributes its
+/// weight scaled by how coherent it still feels. Coherent cues contribute
+/// fully; late cues decay linearly to zero at 3x their deadline. Missing
+/// modalities contribute nothing.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::SimDuration;
+/// use metaclass_xrinput::{presence_score, FeedbackCue};
+///
+/// let local = presence_score(&[
+///     (FeedbackCue::Visual, SimDuration::from_millis(20)),
+///     (FeedbackCue::Audio, SimDuration::from_millis(20)),
+///     (FeedbackCue::Haptic, SimDuration::from_millis(20)),
+/// ]);
+/// assert!(local > 0.99);
+///
+/// // Haptics over a 120 ms WAN: the strongest presence channel degrades.
+/// let remote = presence_score(&[
+///     (FeedbackCue::Visual, SimDuration::from_millis(20)),
+///     (FeedbackCue::Audio, SimDuration::from_millis(20)),
+///     (FeedbackCue::Haptic, SimDuration::from_millis(120)),
+/// ]);
+/// assert!(remote < 0.8);
+/// ```
+pub fn presence_score(cues: &[(FeedbackCue, SimDuration)]) -> f64 {
+    let mut score = 0.0;
+    for (cue, latency) in cues {
+        let deadline = cue.simultaneity_deadline().as_millis_f64();
+        let l = latency.as_millis_f64();
+        let coherence = if l <= deadline {
+            1.0
+        } else {
+            (1.0 - (l - deadline) / (2.0 * deadline)).max(0.0)
+        };
+        score += cue.presence_weight() * coherence;
+    }
+    score.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haptics_have_the_tightest_deadline() {
+        let h = FeedbackCue::Haptic.simultaneity_deadline();
+        for c in [FeedbackCue::Visual, FeedbackCue::Audio] {
+            assert!(h < c.simultaneity_deadline());
+        }
+    }
+
+    #[test]
+    fn coherence_is_a_threshold() {
+        assert!(FeedbackCue::Haptic.is_coherent(SimDuration::from_millis(50)));
+        assert!(!FeedbackCue::Haptic.is_coherent(SimDuration::from_millis(51)));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let sum: f64 = FeedbackCue::ALL.iter().map(|c| c.presence_weight()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_coherent_cues_score_full_presence() {
+        let cues: Vec<_> = FeedbackCue::ALL
+            .iter()
+            .map(|&c| (c, SimDuration::from_millis(10)))
+            .collect();
+        assert!((presence_score(&cues) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_modalities_cost_their_weight() {
+        let visual_only = presence_score(&[(FeedbackCue::Visual, SimDuration::from_millis(10))]);
+        assert!((visual_only - 0.35).abs() < 1e-12);
+        assert_eq!(presence_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn presence_decays_with_latency_and_floors_at_zero() {
+        let at = |ms| presence_score(&[(FeedbackCue::Haptic, SimDuration::from_millis(ms))]);
+        assert!(at(40) > at(80));
+        assert!(at(80) > at(120));
+        assert_eq!(at(1_000), 0.0);
+    }
+
+    #[test]
+    fn wan_haptics_break_presence_more_than_wan_audio() {
+        let base: Vec<_> = FeedbackCue::ALL
+            .iter()
+            .map(|&c| (c, SimDuration::from_millis(10)))
+            .collect();
+        let mut late_haptic = base.clone();
+        late_haptic[2].1 = SimDuration::from_millis(150);
+        let mut late_audio = base.clone();
+        late_audio[1].1 = SimDuration::from_millis(150);
+        assert!(presence_score(&late_haptic) < presence_score(&late_audio));
+    }
+}

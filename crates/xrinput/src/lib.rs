@@ -1,0 +1,40 @@
+//! # metaclass-xrinput
+//!
+//! Input and feedback models for the blueprint's "User Interactivity and
+//! Perception" challenge (§3.3): the low-throughput input channels of MR/VR
+//! headsets (refs \[28\], \[29\], \[31\]) and the multimodal feedback cues —
+//! especially haptics — whose latency budget decides whether interaction
+//! feels present (ref \[6\]).
+//!
+//! - [`InputChannel`] — calibrated WPM / error-rate / command-time figures
+//!   per channel (speech, gestures, gaze, controller, hands, keyboard);
+//! - [`simulate_text_entry`] — deterministic per-message entry simulation;
+//! - [`FeedbackCue`] / [`presence_score`] — simultaneity deadlines per
+//!   modality and the presence score of a feedback bundle under latency.
+//!
+//! # Examples
+//!
+//! ```
+//! use metaclass_xrinput::InputChannel;
+//!
+//! // The blueprint's complaint in one assert: every headset channel is far
+//! // slower than the keyboard remote participants enjoy.
+//! let keyboard = InputChannel::PhysicalKeyboard.effective_wpm();
+//! let best_headset = InputChannel::ALL
+//!     .into_iter()
+//!     .filter(|c| c.available_on_headset())
+//!     .map(|c| c.effective_wpm())
+//!     .fold(0.0, f64::max);
+//! assert!(best_headset < keyboard / 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channels;
+mod feedback;
+mod textentry;
+
+pub use channels::InputChannel;
+pub use feedback::{presence_score, FeedbackCue};
+pub use textentry::{simulate_text_entry, EntryOutcome};

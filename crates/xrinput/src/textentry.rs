@@ -1,0 +1,112 @@
+//! Text-entry session simulation.
+//!
+//! Simulates a participant typing a message (a quiz answer, a chat line)
+//! through one input channel, producing the completion time and correction
+//! count — the per-channel workload of experiment E11.
+
+use metaclass_netsim::{DetRng, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::channels::InputChannel;
+
+/// Result of entering one message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntryOutcome {
+    /// Total time to a committed, corrected message.
+    pub duration: SimDuration,
+    /// Words that needed a correction pass.
+    pub corrections: u32,
+    /// Achieved rate, words per minute.
+    pub achieved_wpm: f64,
+}
+
+/// Simulates entering a `words`-word message over `channel`.
+///
+/// Per-word times vary ±30% (truncated normal); each errored word costs an
+/// extra 1.5x word time for the correction pass. Deterministic in `rng`.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::DetRng;
+/// use metaclass_xrinput::{simulate_text_entry, InputChannel};
+///
+/// let mut rng = DetRng::new(7);
+/// let fast = simulate_text_entry(InputChannel::PhysicalKeyboard, 20, &mut rng);
+/// let slow = simulate_text_entry(InputChannel::MidAirGesture, 20, &mut rng);
+/// assert!(fast.duration < slow.duration);
+/// ```
+pub fn simulate_text_entry(
+    channel: InputChannel,
+    words: u32,
+    rng: &mut DetRng,
+) -> EntryOutcome {
+    let word_secs = 60.0 / channel.words_per_minute();
+    let mut total = 0.0;
+    let mut corrections = 0u32;
+    for _ in 0..words {
+        let t = word_secs * rng.truncated_normal(1.0, 0.3, 0.4, 2.0);
+        total += t;
+        if rng.chance(channel.error_rate()) {
+            corrections += 1;
+            total += 1.5 * word_secs;
+        }
+    }
+    let duration = SimDuration::from_secs_f64(total);
+    EntryOutcome {
+        duration,
+        corrections,
+        achieved_wpm: if total > 0.0 { words as f64 * 60.0 / total } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn achieved_wpm_is_near_effective_rate() {
+        let mut rng = DetRng::new(1);
+        for c in InputChannel::ALL {
+            let mut sum = 0.0;
+            let trials = 60;
+            for _ in 0..trials {
+                sum += simulate_text_entry(c, 50, &mut rng).achieved_wpm;
+            }
+            let mean = sum / trials as f64;
+            let expected = c.effective_wpm();
+            assert!(
+                (mean - expected).abs() / expected < 0.12,
+                "{c}: achieved {mean:.1} vs effective {expected:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrections_track_error_rate() {
+        let mut rng = DetRng::new(2);
+        let mut corrections = 0u32;
+        let trials = 200;
+        for _ in 0..trials {
+            corrections += simulate_text_entry(InputChannel::Speech, 10, &mut rng).corrections;
+        }
+        let rate = corrections as f64 / (trials * 10) as f64;
+        assert!((rate - 0.10).abs() < 0.02, "correction rate {rate}");
+    }
+
+    #[test]
+    fn zero_word_message_is_instant() {
+        let mut rng = DetRng::new(3);
+        let out = simulate_text_entry(InputChannel::Speech, 0, &mut rng);
+        assert_eq!(out.duration, SimDuration::ZERO);
+        assert_eq!(out.corrections, 0);
+        assert_eq!(out.achieved_wpm, 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let a = simulate_text_entry(InputChannel::Controller, 30, &mut DetRng::new(9));
+        let b = simulate_text_entry(InputChannel::Controller, 30, &mut DetRng::new(9));
+        assert_eq!(a, b);
+    }
+}

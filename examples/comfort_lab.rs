@@ -1,0 +1,64 @@
+//! A comfort lab: how navigation settings and individual differences decide
+//! who gets sick in the VR classroom (§3.3 "Navigation and Cybersickness").
+//!
+//! Runs the same 10-minute VR-classroom navigation trace for three user
+//! profiles under three system conditions, with and without the speed
+//! protector of ref [43].
+//!
+//! Run with: `cargo run --release --example comfort_lab`
+
+use metaclassroom::comfort::{
+    classroom_navigation_trace, run_study, susceptibility, ProtectorConfig, SystemConditions,
+    UserProfile,
+};
+use metaclassroom::netsim::SimDuration;
+
+fn main() {
+    let trace = classroom_navigation_trace(600.0, 0.05, 42);
+    let profiles = [
+        ("young gamer", UserProfile { age: 21.0, gaming_hours_per_week: 20.0, prior_vr_exposure: 0.9 }),
+        ("average adult", UserProfile::average()),
+        ("older novice", UserProfile { age: 58.0, gaming_hours_per_week: 0.0, prior_vr_exposure: 0.0 }),
+    ];
+    let conditions = [
+        ("well-tuned (30 ms, 72 fps)", SystemConditions::default()),
+        (
+            "laggy network (200 ms)",
+            SystemConditions { latency: SimDuration::from_millis(200), ..Default::default() },
+        ),
+        (
+            "overloaded GPU (30 fps)",
+            SystemConditions { fps: 30.0, ..Default::default() },
+        ),
+    ];
+
+    println!("fuzzy susceptibility multipliers:");
+    for (name, p) in &profiles {
+        println!("  {name:<14} {:.2}", susceptibility(p));
+    }
+
+    println!(
+        "\n{:<16} {:<26} {:>9} {:>10} {:>11} {:>10}",
+        "profile", "condition", "raw", "severity", "protected", "severity"
+    );
+    for (pname, profile) in &profiles {
+        for (cname, cond) in &conditions {
+            let raw = run_study(profile, *cond, None, &trace, 0.05);
+            let protected =
+                run_study(profile, *cond, Some(ProtectorConfig::default()), &trace, 0.05);
+            println!(
+                "{:<16} {:<26} {:>9.1} {:>10} {:>11.1} {:>10}",
+                pname,
+                cname,
+                raw.final_score,
+                raw.severity.to_string(),
+                protected.final_score,
+                protected.severity.to_string(),
+            );
+        }
+    }
+    println!(
+        "\nreading: scores are SSQ-like (0-100); the speed protector caps \
+         displayed speed/acceleration, cutting the vestibular conflict dose."
+    );
+}

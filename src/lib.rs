@@ -1,0 +1,52 @@
+//! # metaclassroom
+//!
+//! A complete, deterministic implementation of the virtual-physical blended
+//! Metaverse classroom blueprint (Wang, Lee, Braud & Hui, ICDCS 2022
+//! workshops): two (or more) physical MR classrooms and a cloud VR classroom
+//! synchronized into one shared learning space, together with every
+//! substrate the blueprint depends on — sensing, avatar coding, real-time
+//! sync, media transport, rendering budgets, comfort modelling, and input.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a short module name.
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`core`] | `metaclass-core` | Sessions, rosters, reports, path budgets |
+//! | [`edge`] | `metaclass-edge` | Edge/cloud/client actors, seats, protocol |
+//! | [`sync`] | `metaclass-sync` | Clock sync, deltas, dead reckoning, AoI |
+//! | [`avatar`] | `metaclass-avatar` | Avatar state, wire codec, LOD, retarget |
+//! | [`sensors`] | `metaclass-sensors` | Headset/room models, Kalman fusion |
+//! | [`media`] | `metaclass-media` | Reed–Solomon FEC, ARQ, video models |
+//! | [`render`] | `metaclass-render` | Device budgets, LOD plans, split render |
+//! | [`comfort`] | `metaclass-comfort` | Cybersickness, fuzzy susceptibility |
+//! | [`xrinput`] | `metaclass-xrinput` | Input throughput, feedback presence |
+//! | [`netsim`] | `metaclass-netsim` | The deterministic network simulator |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use metaclassroom::core::SessionBuilder;
+//! use metaclassroom::netsim::{LinkClass, Region, SimDuration};
+//!
+//! let mut session = SessionBuilder::new()
+//!     .campus("HKUST-CWB", Region::EastAsia, 6, true)
+//!     .campus("HKUST-GZ", Region::EastAsia, 6, false)
+//!     .remote_cohort(Region::Europe, 2, LinkClass::ResidentialAccess)
+//!     .build();
+//! session.run_for(SimDuration::from_secs(2));
+//! println!("{}", session.report());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use metaclass_avatar as avatar;
+pub use metaclass_comfort as comfort;
+pub use metaclass_core as core;
+pub use metaclass_edge as edge;
+pub use metaclass_media as media;
+pub use metaclass_netsim as netsim;
+pub use metaclass_render as render;
+pub use metaclass_sensors as sensors;
+pub use metaclass_sync as sync;
+pub use metaclass_xrinput as xrinput;

@@ -1,0 +1,144 @@
+//! Integration tests for the classroom-logic layer (§3.1 scenarios) wired
+//! to a real session roster.
+
+use metaclassroom::core::{
+    can_view, form_breakout_teams, run_quiz, Activity, BreakoutMember, ContentKind,
+    ContentLedger, QuizQuestion, Role, Scoreboard, SessionBuilder, ViewerContext, Visibility,
+};
+use metaclassroom::netsim::{LinkClass, Region, SimDuration};
+use metaclassroom::xrinput::InputChannel;
+
+fn session() -> metaclassroom::core::ClassroomSession {
+    SessionBuilder::new()
+        .seed(77)
+        .activity(Activity::Seminar)
+        .campus("CWB", Region::EastAsia, 6, true)
+        .campus("GZ", Region::EastAsia, 4, false)
+        .remote_cohort(Region::Europe, 3, LinkClass::ResidentialAccess)
+        .remote_cohort(Region::NorthAmerica, 2, LinkClass::ResidentialAccess)
+        .build()
+}
+
+/// Channel a participant would use: physical students get controllers,
+/// remote learners type on keyboards or speak.
+fn channel_for(role: Role, idx: usize) -> InputChannel {
+    match role {
+        Role::Student { .. } | Role::Presenter { .. } => InputChannel::Controller,
+        Role::RemoteLearner { .. } => {
+            if idx % 2 == 0 {
+                InputChannel::PhysicalKeyboard
+            } else {
+                InputChannel::Speech
+            }
+        }
+    }
+}
+
+#[test]
+fn quiz_over_the_session_roster() {
+    let s = session();
+    let roster: Vec<_> = s
+        .participants()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.avatar, channel_for(p.role, i)))
+        .collect();
+    let questions = vec![
+        QuizQuestion { prompt: "define motion-to-photon latency".into(), answer_words: 8, time_limit_secs: 120.0 },
+        QuizQuestion { prompt: "one cybersickness mitigation".into(), answer_words: 4, time_limit_secs: 60.0 },
+    ];
+    let report = run_quiz(&questions, &roster, 5);
+    assert_eq!(report.answers.len(), roster.len() * questions.len());
+    assert!(report.submission_rate > 0.8, "rate {}", report.submission_rate);
+
+    // Award quiz points into the gamification scoreboard.
+    let mut board = Scoreboard::new();
+    for a in report.answers.iter().filter(|a| a.submitted) {
+        board.award(a.avatar, 10);
+    }
+    assert!(board.ranking().len() >= roster.len() / 2);
+}
+
+#[test]
+fn breakout_teams_blend_campuses_and_remotes() {
+    let s = session();
+    let members: Vec<BreakoutMember> = s
+        .participants()
+        .iter()
+        .map(|p| BreakoutMember {
+            avatar: p.avatar,
+            region: match p.role {
+                Role::RemoteLearner { region } => region,
+                _ => Region::EastAsia,
+            },
+            physical: !matches!(p.role, Role::RemoteLearner { .. }),
+        })
+        .collect();
+    let teams = form_breakout_teams(&members, 4);
+    let placed: usize = teams.iter().map(|t| t.members.len()).sum();
+    assert_eq!(placed, members.len());
+    // With 11 physical and 5 remote members in 4 teams, every team can blend.
+    let blended = teams.iter().filter(|t| t.is_blended()).count();
+    assert!(blended >= teams.len() - 1, "{blended}/{} teams blended", teams.len());
+}
+
+#[test]
+fn contributed_content_respects_enrolment_boundaries() {
+    let s = session();
+    let mut ledger = ContentLedger::new();
+    let author = s.participants()[0].avatar;
+
+    let slide = ledger.contribute(author, ContentKind::Slide, Visibility::ClassOnly, 80_000, s.time());
+    let clip = ledger.contribute(author, ContentKind::Recording, Visibility::Public, 9_000_000, s.time());
+    ledger.approve(slide).unwrap();
+    ledger.approve(clip).unwrap();
+    assert!(ledger.verify().is_ok());
+
+    let classmate = ViewerContext {
+        avatar: s.participants()[1].avatar,
+        enrolled: true,
+        group: None,
+    };
+    let guest = ViewerContext { avatar: metaclassroom::avatar::AvatarId(42_000), enrolled: false, group: None };
+
+    assert_eq!(ledger.visible_to(&classmate).len(), 2);
+    // Guests: no class slides, and recordings stay private even when public.
+    assert_eq!(ledger.visible_to(&guest).len(), 0);
+    assert!(!can_view(ledger.item(clip).unwrap(), &guest));
+
+    // Credits accrued for both approvals.
+    assert_eq!(ledger.credits_of(author), ContentKind::Slide.credit_value() + ContentKind::Recording.credit_value());
+}
+
+#[test]
+fn a_full_lesson_flow() {
+    // Run a session, quiz the roster mid-way, collect contributions, and
+    // verify the pieces compose without touching each other's invariants.
+    let mut s = session();
+    s.run_for(SimDuration::from_secs(3));
+    let mid_report = s.report();
+    assert!(mid_report.updates_sent > 0);
+
+    let mut ledger = ContentLedger::new();
+    let mut board = Scoreboard::new();
+    for (i, p) in s.participants().iter().enumerate() {
+        if i % 3 == 0 {
+            let id = ledger.contribute(
+                p.avatar,
+                ContentKind::Annotation,
+                Visibility::ClassOnly,
+                512,
+                s.time(),
+            );
+            ledger.approve(id).unwrap();
+            board.award(p.avatar, 5);
+        }
+    }
+    s.run_for(SimDuration::from_secs(2));
+    let final_report = s.report();
+    assert!(final_report.updates_sent > mid_report.updates_sent);
+    assert!(ledger.verify().is_ok());
+    assert_eq!(board.event_count() as usize, ledger.len());
+    // The top contributor is deterministic.
+    assert_eq!(ledger.leaderboard().first().map(|(a, _)| *a), board.ranking().first().map(|(a, _)| *a));
+}
