@@ -18,7 +18,11 @@ pub struct ReadOverrunError {
 
 impl fmt::Display for ReadOverrunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bitstream overrun: requested {} bits, {} remaining", self.requested, self.remaining)
+        write!(
+            f,
+            "bitstream overrun: requested {} bits, {} remaining",
+            self.requested, self.remaining
+        )
     }
 }
 

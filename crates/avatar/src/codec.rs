@@ -488,9 +488,8 @@ mod tests {
         next.velocity = Vec3::new(1.0, 0.0, 0.0);
         next.expression.set(BlendChannel::MouthSmileLeft, 0.7);
 
-        let via_delta = codec
-            .decode(Some(&reference), &codec.encode_delta(&reference, &next))
-            .unwrap();
+        let via_delta =
+            codec.decode(Some(&reference), &codec.encode_delta(&reference, &next)).unwrap();
         let via_full = codec.decode(None, &codec.encode_full(&next)).unwrap();
         assert!(via_delta.position_error(&via_full) < 1e-9);
         assert!(via_delta.orientation_error_deg(&via_full) < 1e-6);

@@ -126,11 +126,7 @@ impl ExpressionFrame {
 
     /// Maximum absolute per-channel difference to another frame.
     pub fn max_abs_diff(&self, other: &ExpressionFrame) -> f32 {
-        self.weights
-            .iter()
-            .zip(&other.weights)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.weights.iter().zip(&other.weights).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Exponential smoothing toward `target` with factor `alpha` in `[0, 1]`

@@ -26,13 +26,8 @@ pub enum LodLevel {
 
 impl LodLevel {
     /// All levels, cheapest first.
-    pub const ALL: [LodLevel; 5] = [
-        LodLevel::Impostor,
-        LodLevel::Low,
-        LodLevel::Medium,
-        LodLevel::High,
-        LodLevel::Volumetric,
-    ];
+    pub const ALL: [LodLevel; 5] =
+        [LodLevel::Impostor, LodLevel::Low, LodLevel::Medium, LodLevel::High, LodLevel::Volumetric];
 
     /// Triangle count of the level's mesh.
     pub fn triangles(self) -> u64 {

@@ -93,9 +93,7 @@ impl AvatarState {
 
     /// Worst hand-position error to another state, in metres.
     pub fn hand_error(&self, other: &AvatarState) -> f64 {
-        self.left_hand
-            .distance(other.left_hand)
-            .max(self.right_hand.distance(other.right_hand))
+        self.left_hand.distance(other.left_hand).max(self.right_hand.distance(other.right_hand))
     }
 
     /// Whether all numeric fields are finite.

@@ -19,7 +19,9 @@ fn avatar_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("avatar_codec");
     g.bench_function("encode_full", |b| b.iter(|| codec.encode_full(std::hint::black_box(&st))));
     g.bench_function("encode_delta", |b| {
-        b.iter(|| codec.encode_delta(std::hint::black_box(&reference), std::hint::black_box(&moved)))
+        b.iter(|| {
+            codec.encode_delta(std::hint::black_box(&reference), std::hint::black_box(&moved))
+        })
     });
     let full = codec.encode_full(&st);
     g.bench_function("decode_full", |b| b.iter(|| codec.decode(None, std::hint::black_box(&full))));
@@ -34,9 +36,8 @@ fn reed_solomon(c: &mut Criterion) {
     let mut rng = DetRng::new(7);
     let rs = ReedSolomon::new(8, 4).unwrap();
     let shard_len = 1200usize;
-    let data: Vec<Vec<u8>> = (0..8)
-        .map(|_| (0..shard_len).map(|_| rng.range_u64(0, 256) as u8).collect())
-        .collect();
+    let data: Vec<Vec<u8>> =
+        (0..8).map(|_| (0..shard_len).map(|_| rng.range_u64(0, 256) as u8).collect()).collect();
 
     let mut g = c.benchmark_group("reed_solomon_8_4");
     g.throughput(Throughput::Bytes((8 * shard_len) as u64));

@@ -1,5 +1,8 @@
 //! Binary wrapper for experiment e11_input_throughput.
 fn main() {
-    let out = metaclass_bench::experiments::e11_input_throughput::run(metaclass_bench::quick_requested());
-    for t in &out.tables { println!("{t}"); }
+    let out =
+        metaclass_bench::experiments::e11_input_throughput::run(metaclass_bench::quick_requested());
+    for t in &out.tables {
+        println!("{t}");
+    }
 }

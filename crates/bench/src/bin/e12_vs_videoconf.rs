@@ -1,5 +1,8 @@
 //! Binary wrapper for experiment e12_vs_videoconf.
 fn main() {
-    let out = metaclass_bench::experiments::e12_vs_videoconf::run(metaclass_bench::quick_requested());
-    for t in &out.tables { println!("{t}"); }
+    let out =
+        metaclass_bench::experiments::e12_vs_videoconf::run(metaclass_bench::quick_requested());
+    for t in &out.tables {
+        println!("{t}");
+    }
 }

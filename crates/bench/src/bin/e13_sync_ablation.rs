@@ -1,5 +1,6 @@
 //! Binary wrapper for experiment e13_sync_ablation.
 fn main() {
-    let out = metaclass_bench::experiments::e13_sync_ablation::run(metaclass_bench::quick_requested());
+    let out =
+        metaclass_bench::experiments::e13_sync_ablation::run(metaclass_bench::quick_requested());
     println!("{}", out.table);
 }

@@ -1,0 +1,6 @@
+//! Binary wrapper for experiment e14_fault_recovery.
+fn main() {
+    let out =
+        metaclass_bench::experiments::e14_fault_recovery::run(metaclass_bench::quick_requested());
+    println!("{}", out.table);
+}

@@ -1,5 +1,8 @@
 //! Binary wrapper for experiment e1_architecture.
 fn main() {
-    let out = metaclass_bench::experiments::e1_architecture::run(metaclass_bench::quick_requested());
-    for t in &out.tables { println!("{t}"); }
+    let out =
+        metaclass_bench::experiments::e1_architecture::run(metaclass_bench::quick_requested());
+    for t in &out.tables {
+        println!("{t}");
+    }
 }

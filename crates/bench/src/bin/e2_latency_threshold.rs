@@ -1,5 +1,8 @@
 //! Binary wrapper for experiment e2_latency_threshold.
 fn main() {
-    let out = metaclass_bench::experiments::e2_latency_threshold::run(metaclass_bench::quick_requested());
-    for t in &out.tables { println!("{t}"); }
+    let out =
+        metaclass_bench::experiments::e2_latency_threshold::run(metaclass_bench::quick_requested());
+    for t in &out.tables {
+        println!("{t}");
+    }
 }

@@ -1,5 +1,8 @@
 //! Binary wrapper for experiment e4_regional_servers.
 fn main() {
-    let out = metaclass_bench::experiments::e4_regional_servers::run(metaclass_bench::quick_requested());
-    for t in &out.tables { println!("{t}"); }
+    let out =
+        metaclass_bench::experiments::e4_regional_servers::run(metaclass_bench::quick_requested());
+    for t in &out.tables {
+        println!("{t}");
+    }
 }

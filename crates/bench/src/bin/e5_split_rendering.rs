@@ -1,5 +1,6 @@
 //! Binary wrapper for experiment e5_split_rendering.
 fn main() {
-    let out = metaclass_bench::experiments::e5_split_rendering::run(metaclass_bench::quick_requested());
+    let out =
+        metaclass_bench::experiments::e5_split_rendering::run(metaclass_bench::quick_requested());
     println!("{}", out.table);
 }

@@ -1,5 +1,8 @@
 //! Binary wrapper for experiment e7_cybersickness.
 fn main() {
-    let out = metaclass_bench::experiments::e7_cybersickness::run(metaclass_bench::quick_requested());
-    for t in &out.tables { println!("{t}"); }
+    let out =
+        metaclass_bench::experiments::e7_cybersickness::run(metaclass_bench::quick_requested());
+    for t in &out.tables {
+        println!("{t}");
+    }
 }

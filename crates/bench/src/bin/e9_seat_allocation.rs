@@ -1,5 +1,6 @@
 //! Binary wrapper for experiment e9_seat_allocation.
 fn main() {
-    let out = metaclass_bench::experiments::e9_seat_allocation::run(metaclass_bench::quick_requested());
+    let out =
+        metaclass_bench::experiments::e9_seat_allocation::run(metaclass_bench::quick_requested());
     println!("{}", out.table);
 }

@@ -89,11 +89,7 @@ fn measure(one_way_ms: u64, jitter_ms: f64, skew_ms: u64, probes: u32, seed: u64
     let server = sim.add_node("server", SkewedServer { skew: SimDuration::from_millis(skew_ms) });
     let client = sim.add_node(
         "client",
-        SyncClient {
-            server,
-            estimator: OffsetEstimator::new(64),
-            probes_left: probes,
-        },
+        SyncClient { server, estimator: OffsetEstimator::new(64), probes_left: probes },
     );
     let cfg = LinkConfig::new(SimDuration::from_millis(one_way_ms))
         .with_jitter(SimDuration::from_millis_f64(jitter_ms))

@@ -88,10 +88,7 @@ pub fn run(quick: bool) -> Outcome {
     let conditions = [
         ("local edge (same classroom)", 8u64),
         ("regional cloud", 25),
-        (
-            "transcontinental peer",
-            2 * Region::EastAsia.one_way_ms(Region::Europe),
-        ),
+        ("transcontinental peer", 2 * Region::EastAsia.one_way_ms(Region::Europe)),
     ];
     let mut presence = Vec::new();
     let mut t2 = Table::new(
@@ -130,12 +127,12 @@ mod tests {
     #[test]
     fn throughput_ordering_matches_the_literature() {
         let out = run(true);
-        let wpm = |c: InputChannel| {
-            out.channels.iter().find(|r| r.channel == c).unwrap().achieved_wpm
-        };
+        let wpm =
+            |c: InputChannel| out.channels.iter().find(|r| r.channel == c).unwrap().achieved_wpm;
         // Keyboard > speech > every other headset channel.
         assert!(wpm(InputChannel::PhysicalKeyboard) > wpm(InputChannel::Speech));
-        for c in [InputChannel::MidAirGesture, InputChannel::GazeDwell, InputChannel::HandTracking] {
+        for c in [InputChannel::MidAirGesture, InputChannel::GazeDwell, InputChannel::HandTracking]
+        {
             assert!(wpm(InputChannel::Speech) > wpm(c), "{c}");
         }
     }

@@ -54,8 +54,7 @@ fn measure(class_size: u32, secs: u64) -> Row {
     let per_participant = report.fanout_bandwidth_bps() / (class_size - 2).max(1) as f64;
     // Shared lecture camera, multicast once per participant.
     let lecture_video = VideoConfig::lecture_camera().bitrate_bps as f64;
-    let metaverse_egress =
-        report.fanout_bandwidth_bps() + lecture_video * (class_size - 2) as f64;
+    let metaverse_egress = report.fanout_bandwidth_bps() + lecture_video * (class_size - 2) as f64;
     Row {
         class_size,
         videoconf_egress_mbps: sfu_egress_bps(class_size, 25) / 1e6,
@@ -66,12 +65,19 @@ fn measure(class_size: u32, secs: u64) -> Row {
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Outcome {
-    let (sizes, secs): (&[u32], u64) = if quick { (&[10, 40], 3) } else { (&[10, 30, 100, 300], 10) };
+    let (sizes, secs): (&[u32], u64) =
+        if quick { (&[10, 40], 3) } else { (&[10, 30, 100, 300], 10) };
     let rows: Vec<Row> = sizes.iter().map(|&n| measure(n, secs)).collect();
 
     let mut t1 = Table::new(
         "E12a: server egress — SFU video conference vs Metaverse classroom",
-        &["class size", "videoconf (Mbit/s)", "metaverse avatars (kbit/s/user)", "metaverse total (Mbit/s)", "ratio"],
+        &[
+            "class size",
+            "videoconf (Mbit/s)",
+            "metaverse avatars (kbit/s/user)",
+            "metaverse total (Mbit/s)",
+            "ratio",
+        ],
     );
     for r in &rows {
         t1.row_strings(vec![

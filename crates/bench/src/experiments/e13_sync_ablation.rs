@@ -101,19 +101,15 @@ fn measure(variant: Variant, clients: u32, secs: u64) -> (f64, f64) {
             cfg.server.keyframe_interval = 1;
         }
         Variant::NoInterest => {
-            cfg.fanout = FanoutConfig {
-                budget_per_client: clients as usize + 16,
-                interest: no_interest(),
-            };
+            cfg.fanout =
+                FanoutConfig { budget_per_client: clients as usize + 16, interest: no_interest() };
         }
         Variant::NoneOfIt => {
             cfg.server.dead_reckoning = always_send();
             cfg.client.dead_reckoning = always_send();
             cfg.server.keyframe_interval = 1;
-            cfg.fanout = FanoutConfig {
-                budget_per_client: clients as usize + 16,
-                interest: no_interest(),
-            };
+            cfg.fanout =
+                FanoutConfig { budget_per_client: clients as usize + 16, interest: no_interest() };
         }
     }
     let mut session = SessionBuilder::new()
@@ -127,10 +123,7 @@ fn measure(variant: Variant, clients: u32, secs: u64) -> (f64, f64) {
         .build();
     session.run_for(SimDuration::from_secs(secs));
     let report = session.report();
-    (
-        report.replication_bandwidth_bps() / 1e3,
-        report.fanout_bandwidth_bps() / clients as f64 / 1e3,
-    )
+    (report.replication_bandwidth_bps() / 1e3, report.fanout_bandwidth_bps() / clients as f64 / 1e3)
 }
 
 /// Runs the ablation.

@@ -33,7 +33,11 @@ pub fn run(quick: bool) -> Outcome {
         .campus("HKUST-GZ", Region::EastAsia, students, false)
         .remote_cohort(Region::EastAsia, if quick { 2 } else { 6 }, LinkClass::ResidentialAccess)
         .remote_cohort(Region::Europe, if quick { 1 } else { 4 }, LinkClass::ResidentialAccess)
-        .remote_cohort(Region::NorthAmerica, if quick { 1 } else { 4 }, LinkClass::ResidentialAccess)
+        .remote_cohort(
+            Region::NorthAmerica,
+            if quick { 1 } else { 4 },
+            LinkClass::ResidentialAccess,
+        )
         .build();
     session.run_for(SimDuration::from_secs(secs));
     let report = session.report();
@@ -73,14 +77,8 @@ pub fn run(quick: bool) -> Outcome {
         ]);
     }
 
-    let mut traffic = Table::new(
-        "E1c: replication traffic",
-        &["metric", "value"],
-    );
-    traffic.row_strings(vec![
-        "avatar updates sent".into(),
-        report.updates_sent.to_string(),
-    ]);
+    let mut traffic = Table::new("E1c: replication traffic", &["metric", "value"]);
+    traffic.row_strings(vec!["avatar updates sent".into(), report.updates_sent.to_string()]);
     traffic.row_strings(vec![
         "dead-reckoning suppression".into(),
         format!("{:.0}%", report.suppression_ratio() * 100.0),

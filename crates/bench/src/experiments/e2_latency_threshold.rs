@@ -6,7 +6,9 @@
 //! performance, noticeability, and blended activity scores; the measured
 //! column comes from real round trips over composed simulated links.
 
-use metaclass_netsim::{Context, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation};
+use metaclass_netsim::{
+    Context, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation,
+};
 use metaclass_sync::{activity, blended_performance, is_noticeable, ActionClass};
 
 use crate::Table;
@@ -64,10 +66,8 @@ impl Node<u32> for Prober {
 fn measure_rtt(one_way: SimDuration, probes: u32, seed: u64) -> f64 {
     let mut sim: Simulation<u32> = Simulation::new(seed);
     let server = sim.add_node("server", Echo);
-    let client = sim.add_node(
-        "client",
-        Prober { server, pending: None, rtts: Vec::new(), remaining: probes },
-    );
+    let client = sim
+        .add_node("client", Prober { server, pending: None, rtts: Vec::new(), remaining: probes });
     let cfg = LinkConfig::new(one_way)
         .with_jitter(one_way.mul_f64(0.05))
         .with_loss(LossModel::Iid { p: 0.0 });
@@ -79,16 +79,22 @@ fn measure_rtt(one_way: SimDuration, probes: u32, seed: u64) -> f64 {
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Outcome {
-    let sweep: &[u64] = if quick {
-        &[10, 50, 100, 200]
-    } else {
-        &[5, 10, 25, 50, 75, 100, 150, 200, 300, 400]
-    };
+    let sweep: &[u64] =
+        if quick { &[10, 50, 100, 200] } else { &[5, 10, 25, 50, 75, 100, 150, 200, 300, 400] };
     let probes = if quick { 20 } else { 200 };
 
     let mut per_action = Table::new(
         "E2a: user performance vs end-to-end latency (per action class)",
-        &["one-way (ms)", "RTT meas. (ms)", "noticeable", "head-track", "manipulate", "converse", "navigate", "deliberate"],
+        &[
+            "one-way (ms)",
+            "RTT meas. (ms)",
+            "noticeable",
+            "head-track",
+            "manipulate",
+            "converse",
+            "navigate",
+            "deliberate",
+        ],
     );
     let mut per_activity = Table::new(
         "E2b: blended performance per classroom activity",

@@ -79,22 +79,18 @@ fn measure(clients: u32, mode: Mode, secs: u64) -> Row {
         let mut client = metaclass_core::SessionConfig::default().client;
         client.codec = metaclass_core::protocol_codec();
         client.dead_reckoning = always;
-        builder = builder
-            .server_config(server)
-            .client_config(client)
-            .fanout_config(FanoutConfig {
-                budget_per_client: clients as usize + 16,
-                interest: metaclass_sync::InterestConfig {
-                    radius: 10_000.0, // no area-of-interest culling in the baseline
-                    ..metaclass_sync::InterestConfig::default()
-                },
-            });
+        builder = builder.server_config(server).client_config(client).fanout_config(FanoutConfig {
+            budget_per_client: clients as usize + 16,
+            interest: metaclass_sync::InterestConfig {
+                radius: 10_000.0, // no area-of-interest culling in the baseline
+                ..metaclass_sync::InterestConfig::default()
+            },
+        });
     }
     let mut session = builder.build();
     session.run_for(SimDuration::from_secs(secs));
     let report = session.report();
-    let per_client =
-        report.fanout_bandwidth_bps() / clients.max(1) as f64 / 1e3;
+    let per_client = report.fanout_bandwidth_bps() / clients.max(1) as f64 / 1e3;
     Row {
         clients,
         mode,
@@ -106,11 +102,8 @@ fn measure(clients: u32, mode: Mode, secs: u64) -> Row {
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Outcome {
-    let (populations, naive_cap, secs): (&[u32], u32, u64) = if quick {
-        (&[10, 40], 40, 3)
-    } else {
-        (&[10, 50, 100, 250, 500, 1000], 250, 10)
-    };
+    let (populations, naive_cap, secs): (&[u32], u32, u64) =
+        if quick { (&[10, 40], 40, 3) } else { (&[10, 50, 100, 250, 500, 1000], 250, 10) };
 
     let mut rows = Vec::new();
     for &n in populations {

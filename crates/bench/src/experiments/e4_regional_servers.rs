@@ -115,10 +115,8 @@ fn measure(placement: Placement, learners: u32, seed: u64) -> Row {
         Placement::Central => vec![Region::EastAsia],
         Placement::Regional => Region::ALL.to_vec(),
     };
-    let servers: Vec<NodeId> = server_regions
-        .iter()
-        .map(|r| sim.add_node(format!("server-{r}"), EchoServer))
-        .collect();
+    let servers: Vec<NodeId> =
+        server_regions.iter().map(|r| sim.add_node(format!("server-{r}"), EchoServer)).collect();
 
     // Learners, sampled from the enrolment mix.
     let mut clients = Vec::new();
@@ -149,8 +147,7 @@ fn measure(placement: Placement, learners: u32, seed: u64) -> Row {
     let mut under = 0u32;
     for &c in &clients {
         let rtts = &sim.node_as::<ProbeClient>(c).unwrap().rtts;
-        let mean =
-            rtts.iter().map(|r| r.as_nanos()).sum::<u64>() / rtts.len().max(1) as u64;
+        let mean = rtts.iter().map(|r| r.as_nanos()).sum::<u64>() / rtts.len().max(1) as u64;
         hist.record(mean);
         if mean < 100_000_000 {
             under += 1;
@@ -197,10 +194,18 @@ mod tests {
         let out = run(true);
         let central = &out.rows[0];
         let regional = &out.rows[1];
-        assert!(regional.p99_rtt_ms < central.p99_rtt_ms / 2.0,
-            "regional p99 {} vs central {}", regional.p99_rtt_ms, central.p99_rtt_ms);
+        assert!(
+            regional.p99_rtt_ms < central.p99_rtt_ms / 2.0,
+            "regional p99 {} vs central {}",
+            regional.p99_rtt_ms,
+            central.p99_rtt_ms
+        );
         assert!(regional.p50_rtt_ms < central.p50_rtt_ms);
         assert!(regional.under_100ms > central.under_100ms);
-        assert!(regional.under_100ms > 0.95, "regional serves {:.2} under 100 ms", regional.under_100ms);
+        assert!(
+            regional.under_100ms > 0.95,
+            "regional serves {:.2} under 100 ms",
+            regional.under_100ms
+        );
     }
 }

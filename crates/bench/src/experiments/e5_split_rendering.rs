@@ -7,7 +7,9 @@
 
 use metaclass_avatar::AvatarId;
 use metaclass_netsim::DetRng;
-use metaclass_render::{evaluate_mode, DeviceProfile, RenderMode, RenderOutcome, RenderRequest, SplitConfig};
+use metaclass_render::{
+    evaluate_mode, DeviceProfile, RenderMode, RenderOutcome, RenderRequest, SplitConfig,
+};
 
 use crate::Table;
 
@@ -50,7 +52,8 @@ const SCENE_TRIANGLES: u64 = 250_000;
 /// Runs the experiment.
 pub fn run(quick: bool) -> Outcome {
     let crowds: &[u32] = if quick { &[10, 40] } else { &[5, 10, 20, 40, 80, 160] };
-    let devices = [DeviceProfile::mr_headset(), DeviceProfile::laptop_webgl(), DeviceProfile::desktop()];
+    let devices =
+        [DeviceProfile::mr_headset(), DeviceProfile::laptop_webgl(), DeviceProfile::desktop()];
     let cfg = SplitConfig::default();
 
     let mut table = Table::new(
@@ -105,11 +108,8 @@ mod tests {
         // (same path), but with far less interactive content affected:
         assert!(split.cloud_avatar_count < cloud.cloud_avatar_count);
         // Desktop barely needs the cloud.
-        let desktop_40 = out
-            .rows
-            .iter()
-            .find(|r| r.device == "desktop" && r.avatars == 40)
-            .expect("row exists");
+        let desktop_40 =
+            out.rows.iter().find(|r| r.device == "desktop" && r.avatars == 40).expect("row exists");
         assert!(desktop_40.outcomes[0].mean_fidelity >= headset_40.outcomes[0].mean_fidelity);
     }
 }

@@ -46,16 +46,8 @@ impl std::fmt::Display for Scheme {
 #[derive(Debug, Clone)]
 enum VideoMsg {
     Shard(FrameShard, SimTime),
-    ArqData {
-        frame_id: u64,
-        index: u16,
-        packets_in_frame: u16,
-        captured_at: SimTime,
-    },
-    ArqAck {
-        frame_id: u64,
-        index: u16,
-    },
+    ArqData { frame_id: u64, index: u16, packets_in_frame: u16, captured_at: SimTime },
+    ArqAck { frame_id: u64, index: u16 },
 }
 
 const TAG_FRAME: u64 = 1;
@@ -82,9 +74,7 @@ impl Node<VideoMsg> for FecSender {
         self.frames_left -= 1;
         let frame = self.source.next_frame();
         let data = vec![0xABu8; frame.bytes as usize];
-        let cfg = self
-            .fec
-            .unwrap_or(FecConfig { data_shards: SHARD_DATA, parity_shards: 0 });
+        let cfg = self.fec.unwrap_or(FecConfig { data_shards: SHARD_DATA, parity_shards: 0 });
         let shards = shard_frame(frame.id, &data, cfg).expect("valid fec config");
         for s in shards {
             let size = s.wire_bytes() as u32 + 28;

@@ -90,7 +90,8 @@ pub fn run(quick: bool) -> Outcome {
     let mut t1 = Table::new("E7a: sickness vs motion-to-photon latency", headers);
     push_rows(&mut t1, &latency_cells);
 
-    let fps_sweep: &[f64] = if quick { &[30.0, 72.0] } else { &[24.0, 30.0, 45.0, 60.0, 72.0, 90.0, 120.0] };
+    let fps_sweep: &[f64] =
+        if quick { &[30.0, 72.0] } else { &[24.0, 30.0, 45.0, 60.0, 72.0, 90.0, 120.0] };
     let mut fps_cells = Vec::new();
     for &fps in fps_sweep {
         fps_cells.push(cell(
@@ -119,9 +120,15 @@ pub fn run(quick: bool) -> Outcome {
     push_rows(&mut t3, &fov_cells);
 
     let profiles = [
-        ("young gamer", UserProfile { age: 21.0, gaming_hours_per_week: 20.0, prior_vr_exposure: 0.9 }),
+        (
+            "young gamer",
+            UserProfile { age: 21.0, gaming_hours_per_week: 20.0, prior_vr_exposure: 0.9 },
+        ),
         ("average adult", avg),
-        ("older novice", UserProfile { age: 58.0, gaming_hours_per_week: 0.0, prior_vr_exposure: 0.0 }),
+        (
+            "older novice",
+            UserProfile { age: 58.0, gaming_hours_per_week: 0.0, prior_vr_exposure: 0.0 },
+        ),
     ];
     let mut profile_cells = Vec::new();
     for (name, p) in &profiles {
@@ -130,13 +137,7 @@ pub fn run(quick: bool) -> Outcome {
     let mut t4 = Table::new("E7d: individual differences (fuzzy susceptibility)", headers);
     push_rows(&mut t4, &profile_cells);
 
-    Outcome {
-        latency_cells,
-        fps_cells,
-        fov_cells,
-        profile_cells,
-        tables: vec![t1, t2, t3, t4],
-    }
+    Outcome { latency_cells, fps_cells, fov_cells, profile_cells, tables: vec![t1, t2, t3, t4] }
 }
 
 #[cfg(test)]

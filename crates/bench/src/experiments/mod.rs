@@ -1,5 +1,10 @@
 //! One module per experiment in DESIGN.md's per-experiment index.
 
+pub mod e10_clock_sync;
+pub mod e11_input_throughput;
+pub mod e12_vs_videoconf;
+pub mod e13_sync_ablation;
+pub mod e14_fault_recovery;
 pub mod e1_architecture;
 pub mod e2_latency_threshold;
 pub mod e3_scalability;
@@ -9,7 +14,3 @@ pub mod e6_video_fec;
 pub mod e7_cybersickness;
 pub mod e8_pose_fusion;
 pub mod e9_seat_allocation;
-pub mod e10_clock_sync;
-pub mod e11_input_throughput;
-pub mod e12_vs_videoconf;
-pub mod e13_sync_ablation;

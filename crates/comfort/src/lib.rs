@@ -41,6 +41,4 @@ mod study;
 pub use fuzzy::{susceptibility, TriangularMf, UserProfile};
 pub use protector::{ProtectorConfig, SpeedProtector};
 pub use sensory::{ComfortConfig, SicknessAccumulator, SicknessSeverity, Stimulus};
-pub use study::{
-    classroom_navigation_trace, run_study, NavSample, StudyOutcome, SystemConditions,
-};
+pub use study::{classroom_navigation_trace, run_study, NavSample, StudyOutcome, SystemConditions};

@@ -75,8 +75,7 @@ impl SpeedProtector {
     /// Filters a requested angular speed (simple clamp; turning is the
     /// sharpest sickness trigger, so no smoothing grace is given).
     pub fn filter_angular(&mut self, requested: f64) -> f64 {
-        let displayed =
-            requested.clamp(-self.cfg.max_angular_speed, self.cfg.max_angular_speed);
+        let displayed = requested.clamp(-self.cfg.max_angular_speed, self.cfg.max_angular_speed);
         if (displayed - requested).abs() > 1e-9 {
             self.interventions += 1;
         }

@@ -241,8 +241,7 @@ mod tests {
         let a = acc();
         let base = Stimulus { virtual_speed: 2.0, ..Stimulus::at_rest() };
         let c0 = a.conflict(&base);
-        let high_latency =
-            Stimulus { latency: SimDuration::from_millis(150), ..base };
+        let high_latency = Stimulus { latency: SimDuration::from_millis(150), ..base };
         assert!(a.conflict(&high_latency) > 2.0 * c0);
         let low_fps = Stimulus { fps: 30.0, ..base };
         assert!(a.conflict(&low_fps) > 1.5 * c0);

@@ -53,8 +53,7 @@ pub struct QuizReport {
 impl QuizReport {
     /// Submission rate for one input channel.
     pub fn submission_rate_for(&self, channel: InputChannel) -> f64 {
-        let all: Vec<&QuizAnswer> =
-            self.answers.iter().filter(|a| a.channel == channel).collect();
+        let all: Vec<&QuizAnswer> = self.answers.iter().filter(|a| a.channel == channel).collect();
         if all.is_empty() {
             return 0.0;
         }
@@ -176,8 +175,7 @@ pub fn form_breakout_teams(members: &[BreakoutMember], team_size: usize) -> Vec<
     // Seed each team with one physical member where possible (blending).
     let mut pool: Vec<BreakoutMember> = members.to_vec();
     pool.sort_by_key(|m| (m.physical, m.region.one_way_ms(Region::EastAsia), m.avatar));
-    let mut physical: Vec<BreakoutMember> =
-        pool.iter().copied().filter(|m| m.physical).collect();
+    let mut physical: Vec<BreakoutMember> = pool.iter().copied().filter(|m| m.physical).collect();
     let remote: Vec<BreakoutMember> = pool.iter().copied().filter(|m| !m.physical).collect();
     for team in teams.iter_mut() {
         if let Some(m) = physical.pop() {
@@ -196,12 +194,8 @@ pub fn form_breakout_teams(members: &[BreakoutMember], team_size: usize) -> Vec<
             if team.members.len() >= team_size && !all_full(&teams, team_size) {
                 continue;
             }
-            let grown = team
-                .members
-                .iter()
-                .map(|t| t.region.one_way_ms(m.region))
-                .max()
-                .unwrap_or(0);
+            let grown =
+                team.members.iter().map(|t| t.region.one_way_ms(m.region)).max().unwrap_or(0);
             let same_kind = team.members.iter().filter(|t| t.physical == m.physical).count();
             let key = (grown, same_kind);
             if best.is_none_or(|(_, b)| key < b) {
@@ -279,7 +273,11 @@ mod tests {
             .map(|i| {
                 (
                     AvatarId(i),
-                    if i % 2 == 0 { InputChannel::PhysicalKeyboard } else { InputChannel::MidAirGesture },
+                    if i % 2 == 0 {
+                        InputChannel::PhysicalKeyboard
+                    } else {
+                        InputChannel::MidAirGesture
+                    },
                 )
             })
             .collect();
@@ -317,10 +315,8 @@ mod tests {
             assert!(t.is_blended(), "team not blended: {t:?}");
         }
         // All 12 members placed exactly once.
-        let mut all: Vec<u32> = teams
-            .iter()
-            .flat_map(|t| t.members.iter().map(|m| m.avatar.0))
-            .collect();
+        let mut all: Vec<u32> =
+            teams.iter().flat_map(|t| t.members.iter().map(|m| m.avatar.0)).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 12);

@@ -226,11 +226,7 @@ impl ContentLedger {
     /// [`LedgerError::UnknownItem`] for ids never contributed. Approving an
     /// already-moderated item is a no-op.
     pub fn approve(&mut self, id: u64) -> Result<(), LedgerError> {
-        let item = self
-            .entries
-            .get(id as usize)
-            .ok_or(LedgerError::UnknownItem { id })?
-            .clone();
+        let item = self.entries.get(id as usize).ok_or(LedgerError::UnknownItem { id })?.clone();
         if self.approved.contains_key(&id) {
             return Ok(());
         }
@@ -289,8 +285,7 @@ impl ContentLedger {
 
     /// The credit leaderboard, highest first (ties by avatar id).
     pub fn leaderboard(&self) -> Vec<(AvatarId, u32)> {
-        let mut v: Vec<(AvatarId, u32)> =
-            self.credits.iter().map(|(a, c)| (*a, *c)).collect();
+        let mut v: Vec<(AvatarId, u32)> = self.credits.iter().map(|(a, c)| (*a, *c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -333,7 +328,13 @@ mod tests {
     fn contributions_chain_and_verify() {
         let mut l = ContentLedger::new();
         for i in 0..10 {
-            l.contribute(AvatarId(i % 3), ContentKind::Annotation, Visibility::Public, 100, at(i as u64));
+            l.contribute(
+                AvatarId(i % 3),
+                ContentKind::Annotation,
+                Visibility::Public,
+                100,
+                at(i as u64),
+            );
         }
         assert_eq!(l.len(), 10);
         assert!(l.verify().is_ok());
@@ -430,7 +431,8 @@ mod tests {
             (1, ContentKind::Slide),
             (3, ContentKind::Annotation),
         ] {
-            let id = l.contribute(AvatarId(author), kind, Visibility::Public, 1, at(id_seed(author)));
+            let id =
+                l.contribute(AvatarId(author), kind, Visibility::Public, 1, at(id_seed(author)));
             l.approve(id).unwrap();
         }
         let lb = l.leaderboard();

@@ -95,10 +95,8 @@ mod tests {
 
     #[test]
     fn only_the_metaverse_classroom_blends() {
-        let blended: Vec<_> = TeachingModality::ALL
-            .into_iter()
-            .filter(|m| m.blends_physical_and_virtual())
-            .collect();
+        let blended: Vec<_> =
+            TeachingModality::ALL.into_iter().filter(|m| m.blends_physical_and_virtual()).collect();
         assert_eq!(blended, vec![TeachingModality::MetaverseClassroom]);
     }
 
@@ -131,8 +129,7 @@ mod tests {
 
     #[test]
     fn display_names_are_unique() {
-        let mut names: Vec<String> =
-            TeachingModality::ALL.iter().map(|m| m.to_string()).collect();
+        let mut names: Vec<String> = TeachingModality::ALL.iter().map(|m| m.to_string()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 6);

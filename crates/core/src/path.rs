@@ -64,10 +64,7 @@ pub fn mr_to_mr_budget(campus_a: Region, campus_b: Region, tick: SimDuration) ->
             hop("headset sampling (half period)", SimDuration::from_rate_hz(72.0) / 2),
             hop("WiFi uplink to edge", link_latency(LinkClass::Wifi)),
             hop("fusion + replication tick (half)", tick / 2),
-            hop(
-                "inter-campus backbone",
-                SimDuration::from_millis(campus_a.one_way_ms(campus_b)),
-            ),
+            hop("inter-campus backbone", SimDuration::from_millis(campus_a.one_way_ms(campus_b))),
             hop("seat retarget + scene gen", SimDuration::from_millis(2)),
             hop("WiFi downlink to headset", link_latency(LinkClass::Wifi)),
             hop("display refresh (half frame)", SimDuration::from_rate_hz(72.0) / 2),
@@ -90,10 +87,7 @@ pub fn mr_to_vr_budget(
             hop("fusion + replication tick (half)", tick / 2),
             hop("edge → cloud backbone", SimDuration::from_millis(campus.one_way_ms(cloud))),
             hop("cloud fan-out tick (half)", tick / 2),
-            hop(
-                "cloud → learner backbone",
-                SimDuration::from_millis(cloud.one_way_ms(learner)),
-            ),
+            hop("cloud → learner backbone", SimDuration::from_millis(cloud.one_way_ms(learner))),
             hop("residential access", link_latency(LinkClass::ResidentialAccess)),
             hop("display refresh (half frame)", SimDuration::from_rate_hz(72.0) / 2),
         ],
@@ -107,10 +101,7 @@ pub fn vr_to_mr_budget(learner: Region, cloud: Region, campus: Region) -> PathBu
         hops: vec![
             hop("client sampling (half period)", SimDuration::from_rate_hz(30.0) / 2),
             hop("residential access", link_latency(LinkClass::ResidentialAccess)),
-            hop(
-                "learner → cloud backbone",
-                SimDuration::from_millis(learner.one_way_ms(cloud)),
-            ),
+            hop("learner → cloud backbone", SimDuration::from_millis(learner.one_way_ms(cloud))),
             hop("cloud re-encode + forward", SimDuration::from_millis(1)),
             hop("cloud → edge backbone", SimDuration::from_millis(cloud.one_way_ms(campus))),
             hop("seat retarget + scene gen", SimDuration::from_millis(2)),
@@ -149,8 +140,7 @@ mod tests {
     #[test]
     fn totals_equal_hop_sums() {
         let b = vr_to_mr_budget(Region::Europe, Region::EastAsia, Region::EastAsia);
-        let manual: SimDuration =
-            b.hops.iter().fold(SimDuration::ZERO, |acc, h| acc + h.latency);
+        let manual: SimDuration = b.hops.iter().fold(SimDuration::ZERO, |acc, h| acc + h.latency);
         assert_eq!(b.total(), manual);
         assert!(b.to_string().contains("backbone"));
     }

@@ -40,9 +40,8 @@ impl SessionReport {
     /// Extracts a report from a session's metrics.
     pub fn from_session(session: &ClassroomSession) -> Self {
         let m = session.sim().metrics();
-        let summary = |name: &str| {
-            m.histogram_if_present(name).map(|h| h.summary()).unwrap_or_default()
-        };
+        let summary =
+            |name: &str| m.histogram_if_present(name).map(|h| h.summary()).unwrap_or_default();
         let physical = session
             .participants()
             .iter()
@@ -162,9 +161,7 @@ mod tests {
 
     #[test]
     fn empty_run_report_is_benign() {
-        let s = SessionBuilder::new()
-            .campus("X", Region::Europe, 2, false)
-            .build();
+        let s = SessionBuilder::new().campus("X", Region::Europe, 2, false).build();
         let r = s.report();
         assert_eq!(r.suppression_ratio(), 0.0);
         assert_eq!(r.replication_bandwidth_bps(), 0.0);

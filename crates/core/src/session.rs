@@ -12,9 +12,7 @@ use metaclass_edge::{
     ClassMsg, ClassroomLayout, ClientConfig, CloudServerNode, EdgeServerNode, FanoutConfig,
     HeadsetNode, RemoteClientNode, RoomArrayNode, ServerConfig,
 };
-use metaclass_netsim::{
-    LinkClass, LinkConfig, NodeId, Region, SimDuration, SimTime, Simulation,
-};
+use metaclass_netsim::{LinkClass, LinkConfig, NodeId, Region, SimDuration, SimTime, Simulation};
 use metaclass_sensors::MotionScript;
 use serde::{Deserialize, Serialize};
 
@@ -107,11 +105,7 @@ pub struct SessionConfig {
 /// bounds at 15 bits (≈ 3 mm grid), so both classroom and VR-auditorium
 /// coordinates encode cleanly.
 pub fn protocol_codec() -> CodecConfig {
-    CodecConfig {
-        bounds: SpaceBounds::auditorium(),
-        position_bits: 15,
-        ..CodecConfig::default()
-    }
+    CodecConfig { bounds: SpaceBounds::auditorium(), position_bits: 15, ..CodecConfig::default() }
 }
 
 impl Default for SessionConfig {
@@ -213,12 +207,7 @@ impl SessionBuilder {
         students: u32,
         has_presenter: bool,
     ) -> Self {
-        self.campuses.push(CampusSpec {
-            name: name.into(),
-            region,
-            students,
-            has_presenter,
-        });
+        self.campuses.push(CampusSpec { name: name.into(), region, students, has_presenter });
         self
     }
 
@@ -234,7 +223,9 @@ impl SessionBuilder {
         let base = access.config();
         let backbone_ms = from.one_way_ms(to);
         LinkConfig::new(base.delay() + SimDuration::from_millis(backbone_ms))
-            .with_jitter(base.jitter_std() + SimDuration::from_millis_f64(backbone_ms as f64 * 0.05))
+            .with_jitter(
+                base.jitter_std() + SimDuration::from_millis_f64(backbone_ms as f64 * 0.05),
+            )
             .with_loss(base.loss())
             .with_bandwidth_bps(base.bandwidth_bps().unwrap_or(100_000_000))
             .with_queue_capacity_bytes(base.queue_capacity_bytes().unwrap_or(512 * 1024))
@@ -267,9 +258,8 @@ impl SessionBuilder {
             let participants = spec.students + u32::from(spec.has_presenter);
             let edge = NodeId::from_index(next);
             let array = NodeId::from_index(next + 1);
-            let headsets = (0..participants)
-                .map(|i| NodeId::from_index(next + 2 + i as usize))
-                .collect();
+            let headsets =
+                (0..participants).map(|i| NodeId::from_index(next + 2 + i as usize)).collect();
             campus_ids.push(CampusIds { edge, array, headsets });
             next += 2 + participants as usize;
         }
@@ -326,9 +316,8 @@ impl SessionBuilder {
                                 Vec3::new(8.0, 0.0, 9.0),
                                 Vec3::new(12.0, 0.0, 9.0),
                             ];
-                            let mut order: Vec<Vec3> = (0..4)
-                                .map(|t| tables[(t + i as usize) % 4])
-                                .collect();
+                            let mut order: Vec<Vec3> =
+                                (0..4).map(|t| tables[(t + i as usize) % 4]).collect();
                             order.dedup();
                             MotionScript::GroupWork { tables: order, dwell_secs: 10.0 }
                         }
@@ -439,11 +428,7 @@ impl SessionBuilder {
 
         // ---- Inter-server links. ----
         for (k, spec) in self.campuses.iter().enumerate() {
-            sim.connect(
-                campus_ids[k].edge,
-                cloud_id,
-                spec.region.backbone_to(cfg.cloud_region),
-            );
+            sim.connect(campus_ids[k].edge, cloud_id, spec.region.backbone_to(cfg.cloud_region));
             for (m, other) in self.campuses.iter().enumerate().skip(k + 1) {
                 sim.connect(
                     campus_ids[k].edge,
@@ -459,9 +444,7 @@ impl SessionBuilder {
             _ => None,
         });
         if let Some(s) = speaker {
-            sim.node_as_mut::<CloudServerNode>(cloud_id)
-                .expect("cloud node")
-                .set_speaker(Some(s));
+            sim.node_as_mut::<CloudServerNode>(cloud_id).expect("cloud node").set_speaker(Some(s));
         }
 
         ClassroomSession {
@@ -556,16 +539,10 @@ mod tests {
     #[test]
     fn roster_matches_specs() {
         let s = unit_case();
-        let students = s
-            .participants()
-            .iter()
-            .filter(|p| matches!(p.role, Role::Student { .. }))
-            .count();
-        let presenters = s
-            .participants()
-            .iter()
-            .filter(|p| matches!(p.role, Role::Presenter { .. }))
-            .count();
+        let students =
+            s.participants().iter().filter(|p| matches!(p.role, Role::Student { .. })).count();
+        let presenters =
+            s.participants().iter().filter(|p| matches!(p.role, Role::Presenter { .. })).count();
         let remote = s
             .participants()
             .iter()
@@ -581,16 +558,11 @@ mod tests {
         s.run_for(SimDuration::from_secs(4));
         // Cloud sees everyone.
         let cloud = s.cloud();
-        let population = s
-            .sim()
-            .node_as::<CloudServerNode>(cloud)
-            .unwrap()
-            .population();
+        let population = s.sim().node_as::<CloudServerNode>(cloud).unwrap().population();
         assert_eq!(population, 13);
         // Each edge displays the other campus + remote learners.
         for &edge in s.edges() {
-            let remote_count =
-                s.sim().node_as::<EdgeServerNode>(edge).unwrap().remote_count();
+            let remote_count = s.sim().node_as::<EdgeServerNode>(edge).unwrap().remote_count();
             assert!(remote_count >= 5, "edge shows {remote_count}");
         }
     }

@@ -135,12 +135,8 @@ impl Node<ClassMsg> for RemoteClientNode {
                     self.dead_reckoner.mark_suppressed();
                 }
                 for (seq, event) in self.interactions.due_retransmits(now) {
-                    let msg = ClassMsg::Interaction {
-                        avatar: self.avatar,
-                        seq,
-                        event,
-                        captured_at: now,
-                    };
+                    let msg =
+                        ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
                     let size = msg.wire_bytes();
                     ctx.send(self.server, msg, size);
                 }
@@ -155,13 +151,15 @@ impl Node<ClassMsg> for RemoteClientNode {
             }
             TAG_INTERACT => {
                 self.hand_raised = !self.hand_raised;
-                let (seq, event) = self
+                let (seq, wire) = self
                     .interactions
                     .send(InteractionEvent::RaiseHand { raised: self.hand_raised }, now);
-                let msg =
-                    ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
-                let size = msg.wire_bytes();
-                ctx.send(self.server, msg, size);
+                if let Some(event) = wire {
+                    let msg =
+                        ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
+                    let size = msg.wire_bytes();
+                    ctx.send(self.server, msg, size);
+                }
                 ctx.metrics().inc("client.interactions_sent");
                 let next = SimDuration::from_secs_f64(self.interact_rng.range_f64(15.0, 60.0));
                 ctx.set_timer(next, TAG_INTERACT);
@@ -189,7 +187,7 @@ impl Node<ClassMsg> for RemoteClientNode {
                 self.uplink.request_keyframe();
             }
             ClassMsg::InteractionAck { seq, .. } => {
-                self.interactions.on_ack(seq);
+                self.interactions.on_ack_at(seq, now);
             }
             ClassMsg::ClockReply { client_send, server_time, .. } => {
                 self.clock.record(client_send, server_time, now);

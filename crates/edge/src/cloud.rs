@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 
 use metaclass_avatar::{retarget, AnchorFrame, AvatarCodec, AvatarId, AvatarState};
-use metaclass_netsim::{Context, Node, NodeId, SimTime, Timer};
 use metaclass_netsim::SimDuration;
+use metaclass_netsim::{Context, Node, NodeId, SimTime, Timer};
 use metaclass_sync::{
     DeadReckoningSender, InteractionEvent, InterestConfig, InterestManager, PoseFrame,
     ReliableReceiver, ReliableSender, SnapshotReceiver, SnapshotSender, SubscriberId, Viewpoint,
@@ -21,10 +21,12 @@ use metaclass_sync::{
 const INTERACTION_RTO: SimDuration = SimDuration::from_millis(150);
 
 use crate::edge_server::ServerConfig;
+use crate::health::{PeerEvent, PeerHealth, RemoteAvatarPresentation};
 use crate::messages::ClassMsg;
 use crate::seat::{ClassroomLayout, SeatAllocator};
 
 const TAG_FANOUT: u64 = 20;
+const TAG_HEARTBEAT: u64 = 21;
 
 /// Fan-out policy of the cloud classroom.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +71,12 @@ pub struct CloudServerNode {
     interaction_tx: BTreeMap<(NodeId, AvatarId), ReliableSender<InteractionEvent>>,
     /// Every interaction observed in the VR classroom, in delivery order.
     interaction_log: Vec<(AvatarId, InteractionEvent)>,
+    /// Which node fed each avatar's inbound stream (for health attribution).
+    sources: BTreeMap<AvatarId, NodeId>,
+    /// Failure detector per edge server.
+    edge_health: BTreeMap<NodeId, PeerHealth>,
+    /// Fan-out tick counter (drives degraded-stride sending).
+    tick_count: u64,
 }
 
 impl CloudServerNode {
@@ -82,6 +90,8 @@ impl CloudServerNode {
         edges: Vec<NodeId>,
         capacity: u32,
     ) -> Self {
+        let edge_health =
+            edges.iter().map(|&e| (e, PeerHealth::new(cfg.heartbeat, SimTime::ZERO))).collect();
         CloudServerNode {
             interest: InterestManager::new(fanout.interest),
             cfg,
@@ -98,6 +108,66 @@ impl CloudServerNode {
             interaction_rx: BTreeMap::new(),
             interaction_tx: BTreeMap::new(),
             interaction_log: Vec::new(),
+            sources: BTreeMap::new(),
+            edge_health,
+            tick_count: 0,
+        }
+    }
+
+    /// The failure detector tracking `edge`, if it is one of ours.
+    pub fn edge_health(&self, edge: NodeId) -> Option<&PeerHealth> {
+        self.edge_health.get(&edge)
+    }
+
+    /// How `avatar` should currently be presented, given the health of the
+    /// node its stream arrives from. Client-fed avatars are always `Live`
+    /// (client loss is handled by the jitter buffers, not the detector).
+    pub fn presentation_of(&self, avatar: AvatarId, now: SimTime) -> RemoteAvatarPresentation {
+        self.sources
+            .get(&avatar)
+            .and_then(|source| self.edge_health.get(source))
+            .map(|h| h.presentation(now))
+            .unwrap_or(RemoteAvatarPresentation::Live)
+    }
+
+    /// Full resynchronization of an edge that returned from an outage:
+    /// keyframes on every stream toward it, fresh reliable interaction
+    /// streams carrying the outstanding tail.
+    fn resync_edge(&mut self, ctx: &mut Context<'_, ClassMsg>, edge: NodeId) {
+        ctx.metrics().inc("cloud.edge_returns");
+        for ((p, _), sender) in self.senders.iter_mut() {
+            if *p == edge {
+                sender.request_keyframe();
+            }
+        }
+        let now = ctx.now();
+        let keys: Vec<(NodeId, AvatarId)> =
+            self.interaction_tx.keys().copied().filter(|(p, _)| *p == edge).collect();
+        for key in keys {
+            let outstanding =
+                self.interaction_tx.get_mut(&key).expect("just listed").take_outstanding();
+            let mut fresh = ReliableSender::new(INTERACTION_RTO);
+            for ev in outstanding {
+                let (seq, wire) = fresh.send(ev, now);
+                if let Some(event) = wire {
+                    let msg = ClassMsg::Interaction { avatar: key.1, seq, event, captured_at: now };
+                    let size = msg.wire_bytes();
+                    ctx.send(edge, msg, size);
+                }
+            }
+            self.interaction_tx.insert(key, fresh);
+        }
+    }
+
+    /// Re-evaluates every edge's liveness against the clock.
+    fn poll_edges(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        let now = ctx.now();
+        for health in self.edge_health.values_mut() {
+            match health.poll(now) {
+                Some(PeerEvent::Degraded) => ctx.metrics().inc("cloud.edge_degraded"),
+                Some(PeerEvent::Down) => ctx.metrics().inc("cloud.edge_down"),
+                _ => {}
+            }
         }
     }
 
@@ -153,14 +223,12 @@ impl CloudServerNode {
                         .entry((peer, avatar))
                         .or_insert_with(|| ReliableSender::new(INTERACTION_RTO));
                     let (relay_seq, relay_ev) = tx.send(ev.clone(), ctx.now());
-                    let msg = ClassMsg::Interaction {
-                        avatar,
-                        seq: relay_seq,
-                        event: relay_ev,
-                        captured_at,
-                    };
-                    let size = msg.wire_bytes();
-                    ctx.send(peer, msg, size);
+                    if let Some(event) = relay_ev {
+                        let msg =
+                            ClassMsg::Interaction { avatar, seq: relay_seq, event, captured_at };
+                        let size = msg.wire_bytes();
+                        ctx.send(peer, msg, size);
+                    }
                 }
             }
             self.interaction_log.push((avatar, ev));
@@ -216,6 +284,11 @@ impl CloudServerNode {
                 if peer == from {
                     continue;
                 }
+                if self.edge_health.get(&peer).is_some_and(|h| h.should_skip_send(self.tick_count))
+                {
+                    ctx.metrics().inc("cloud.forwards_skipped_unhealthy_edge");
+                    continue;
+                }
                 let sender = self.senders.entry((peer, avatar)).or_insert_with(|| {
                     SnapshotSender::new(
                         AvatarCodec::new(self.cfg.codec),
@@ -232,14 +305,12 @@ impl CloudServerNode {
     }
 
     fn fan_out(&mut self, ctx: &mut Context<'_, ClassMsg>) {
-        let clients: Vec<(AvatarId, NodeId)> =
-            self.clients.iter().map(|(a, n)| (*a, *n)).collect();
+        let clients: Vec<(AvatarId, NodeId)> = self.clients.iter().map(|(a, n)| (*a, *n)).collect();
         for (client_avatar, client_node) in clients {
             let viewpoint = match self.latest.get(&client_avatar) {
-                Some((st, _)) => Viewpoint {
-                    position: st.head.position,
-                    yaw: st.head.orientation.yaw(),
-                },
+                Some((st, _)) => {
+                    Viewpoint { position: st.head.position, yaw: st.head.orientation.yaw() }
+                }
                 None => continue, // client has not joined with a pose yet
             };
             let selected = self.interest.select(
@@ -253,7 +324,8 @@ impl CloudServerNode {
                 }
                 if let Some((state, captured_at)) = self.latest.get(&avatar) {
                     // Skip states the client already has.
-                    let mark = self.sent_marks.entry((client_avatar, avatar)).or_insert(SimTime::ZERO);
+                    let mark =
+                        self.sent_marks.entry((client_avatar, avatar)).or_insert(SimTime::ZERO);
                     if *captured_at <= *mark {
                         continue;
                     }
@@ -276,22 +348,36 @@ impl CloudServerNode {
 impl Node<ClassMsg> for CloudServerNode {
     fn on_start(&mut self, ctx: &mut Context<'_, ClassMsg>) {
         ctx.set_timer(self.cfg.tick, TAG_FANOUT);
+        if !self.edges.is_empty() {
+            ctx.set_timer(self.cfg.heartbeat.interval, TAG_HEARTBEAT);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ClassMsg>, timer: Timer) {
+        if timer.tag == TAG_HEARTBEAT {
+            let now = ctx.now();
+            for edge in self.edges.clone() {
+                let msg = ClassMsg::Heartbeat { sent_at: now };
+                let size = msg.wire_bytes();
+                ctx.send(edge, msg, size);
+            }
+            ctx.set_timer(self.cfg.heartbeat.interval, TAG_HEARTBEAT);
+            return;
+        }
         if timer.tag == TAG_FANOUT {
+            self.tick_count += 1;
+            self.poll_edges(ctx);
             self.fan_out(ctx);
             let now = ctx.now();
             for ((peer, avatar), tx) in self.interaction_tx.iter_mut() {
                 for (seq, event) in tx.due_retransmits(now) {
-                    let msg = ClassMsg::Interaction {
-                        avatar: *avatar,
-                        seq,
-                        event,
-                        captured_at: now,
-                    };
+                    let msg =
+                        ClassMsg::Interaction { avatar: *avatar, seq, event, captured_at: now };
                     let size = msg.wire_bytes();
                     ctx.send(*peer, msg, size);
+                }
+                for (_seq, _event) in tx.drain_given_up() {
+                    ctx.metrics().inc("cloud.interactions_given_up");
                 }
             }
             ctx.set_timer(self.cfg.tick, TAG_FANOUT);
@@ -299,6 +385,12 @@ impl Node<ClassMsg> for CloudServerNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, ClassMsg>, from: NodeId, msg: ClassMsg) {
+        // Any traffic from an edge server counts as liveness.
+        if let Some(health) = self.edge_health.get_mut(&from) {
+            if health.on_heard(ctx.now()) == Some(PeerEvent::Returned) {
+                self.resync_edge(ctx, from);
+            }
+        }
         match msg {
             ClassMsg::ClientPose { avatar, frame, captured_at } => {
                 self.handle_stream(ctx, from, avatar, frame, captured_at, None);
@@ -326,11 +418,34 @@ impl Node<ClassMsg> for CloudServerNode {
             }
             ClassMsg::InteractionAck { avatar, seq } => {
                 if let Some(tx) = self.interaction_tx.get_mut(&(from, avatar)) {
-                    tx.on_ack(seq);
+                    tx.on_ack_at(seq, ctx.now());
                 }
             }
+            // Liveness was already recorded above; nothing else to do.
+            ClassMsg::Heartbeat { .. } => {}
             _ => {}
         }
+    }
+
+    fn on_crash(&mut self) {
+        // A crashed cloud loses all volatile session state; the deployment
+        // configuration (clients, edges, capacity) survives.
+        let capacity = self.seats.layout().capacity() as u32;
+        self.receivers.clear();
+        self.senders.clear();
+        self.dead_reckoners.clear();
+        self.latest.clear();
+        self.seats = SeatAllocator::new(ClassroomLayout::auditorium(capacity));
+        self.interest = InterestManager::new(self.fanout.interest);
+        self.sent_marks.clear();
+        self.interaction_rx.clear();
+        self.interaction_tx.clear();
+        self.interaction_log.clear();
+        self.sources.clear();
+        for health in self.edge_health.values_mut() {
+            health.reset();
+        }
+        self.tick_count = 0;
     }
 }
 
@@ -365,24 +480,14 @@ impl CloudServerNode {
                     let size = ack.wire_bytes();
                     ctx.send(from, ack, size);
                 }
+                self.sources.insert(avatar, from);
                 let inbound = ctx.now().duration_since(captured_at);
-                ctx.metrics()
-                    .histogram("cloud.inbound_latency_ns")
-                    .record(inbound.as_nanos());
+                ctx.metrics().histogram("cloud.inbound_latency_ns").record(inbound.as_nanos());
                 // Clients stream in their own home frame (origin anchor);
                 // edges supply the avatar's classroom anchor.
                 let from_clients = anchor.is_none();
-                let src_anchor =
-                    anchor.unwrap_or_else(|| AnchorFrame::seat(Default::default()));
-                self.place_avatar(
-                    ctx,
-                    avatar,
-                    state,
-                    src_anchor,
-                    captured_at,
-                    from_clients,
-                    from,
-                );
+                let src_anchor = anchor.unwrap_or_else(|| AnchorFrame::seat(Default::default()));
+                self.place_avatar(ctx, avatar, state, src_anchor, captured_at, from_clients, from);
             }
         }
     }

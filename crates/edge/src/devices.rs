@@ -98,12 +98,8 @@ impl Node<ClassMsg> for HeadsetNode {
                 }
                 // Pump reliable retransmissions of interaction events.
                 for (seq, event) in self.interactions.due_retransmits(now) {
-                    let msg = ClassMsg::Interaction {
-                        avatar: self.avatar,
-                        seq,
-                        event,
-                        captured_at: now,
-                    };
+                    let msg =
+                        ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
                     let size = msg.wire_bytes();
                     ctx.send(self.edge, msg, size);
                 }
@@ -118,13 +114,15 @@ impl Node<ClassMsg> for HeadsetNode {
             }
             TAG_INTERACT => {
                 self.hand_raised = !self.hand_raised;
-                let (seq, event) = self
+                let (seq, wire) = self
                     .interactions
                     .send(InteractionEvent::RaiseHand { raised: self.hand_raised }, now);
-                let msg =
-                    ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
-                let size = msg.wire_bytes();
-                ctx.send(self.edge, msg, size);
+                if let Some(event) = wire {
+                    let msg =
+                        ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
+                    let size = msg.wire_bytes();
+                    ctx.send(self.edge, msg, size);
+                }
                 ctx.metrics().inc("headset.interactions_sent");
                 let next = SimDuration::from_secs_f64(self.interact_rng.range_f64(10.0, 45.0));
                 ctx.set_timer(next, TAG_INTERACT);
@@ -144,7 +142,7 @@ impl Node<ClassMsg> for HeadsetNode {
                     .on_update(captured_at, state);
             }
             ClassMsg::InteractionAck { seq, .. } => {
-                self.interactions.on_ack(seq);
+                self.interactions.on_ack_at(seq, ctx.now());
             }
             _ => {}
         }
@@ -193,8 +191,7 @@ impl Node<ClassMsg> for RoomArrayNode {
         for (avatar, trajectory, array) in &mut self.tracked {
             let truth = trajectory.state_at(now.as_secs_f64());
             if let Some(measurement) = array.measure(&truth) {
-                let msg =
-                    ClassMsg::RoomPose { avatar: *avatar, measurement, captured_at: now };
+                let msg = ClassMsg::RoomPose { avatar: *avatar, measurement, captured_at: now };
                 let size = msg.wire_bytes();
                 ctx.send(self.edge, msg, size);
                 ctx.metrics().inc("room.pose_samples");

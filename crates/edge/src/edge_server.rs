@@ -10,7 +10,9 @@
 
 use std::collections::BTreeMap;
 
-use metaclass_avatar::{retarget, AnchorFrame, AvatarCodec, AvatarId, AvatarState, CodecConfig};
+use metaclass_avatar::{
+    retarget, AnchorFrame, AvatarCodec, AvatarId, AvatarState, CodecConfig, Vec3,
+};
 use metaclass_netsim::{Context, Node, NodeId, SimDuration, SimTime, Timer};
 use metaclass_sensors::PoseFusion;
 use metaclass_sync::{
@@ -21,10 +23,12 @@ use metaclass_sync::{
 /// Retransmission timeout for relayed interaction streams.
 const INTERACTION_RTO: SimDuration = SimDuration::from_millis(150);
 
+use crate::health::{HeartbeatConfig, PeerEvent, PeerHealth, RemoteAvatarPresentation};
 use crate::messages::ClassMsg;
 use crate::seat::{ClassroomLayout, SeatAllocator};
 
 const TAG_TICK: u64 = 10;
+const TAG_HEARTBEAT: u64 = 11;
 
 /// Tuning of a classroom/cloud server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +41,8 @@ pub struct ServerConfig {
     pub keyframe_interval: u64,
     /// Avatar codec configuration (bounds must contain the classroom).
     pub codec: CodecConfig,
+    /// Heartbeat failure detection and degradation tuning.
+    pub heartbeat: HeartbeatConfig,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +52,7 @@ impl Default for ServerConfig {
             dead_reckoning: DeadReckoningConfig::default(),
             keyframe_interval: 60,
             codec: CodecConfig::default(),
+            heartbeat: HeartbeatConfig::default(),
         }
     }
 }
@@ -72,6 +79,12 @@ pub struct EdgeServerNode {
     interaction_tx: BTreeMap<(NodeId, AvatarId), ReliableSender<InteractionEvent>>,
     /// Every interaction observed by this classroom, in arrival order.
     interaction_log: Vec<(AvatarId, InteractionEvent)>,
+    /// Failure detector per peer server.
+    peer_health: BTreeMap<NodeId, PeerHealth>,
+    /// Replication tick counter (drives degraded-stride sending).
+    tick_count: u64,
+    /// Remote avatars currently pinned by a frozen source peer.
+    frozen: BTreeMap<AvatarId, bool>,
 }
 
 impl EdgeServerNode {
@@ -92,6 +105,8 @@ impl EdgeServerNode {
             headsets.insert(avatar, headset);
             local_anchors.insert(avatar, anchor);
         }
+        let peer_health =
+            peers.iter().map(|&p| (p, PeerHealth::new(cfg.heartbeat, SimTime::ZERO))).collect();
         EdgeServerNode {
             cfg,
             peers,
@@ -106,12 +121,20 @@ impl EdgeServerNode {
             interaction_rx: BTreeMap::new(),
             interaction_tx: BTreeMap::new(),
             interaction_log: Vec::new(),
+            peer_health,
+            tick_count: 0,
+            frozen: BTreeMap::new(),
         }
     }
 
     /// Latest retargeted state of a remote avatar, if any.
     pub fn remote_state(&self, avatar: AvatarId) -> Option<&AvatarState> {
         self.remote_latest.get(&avatar).map(|(s, _)| s)
+    }
+
+    /// When the latest state of remote `avatar` was captured at its origin.
+    pub fn remote_captured_at(&self, avatar: AvatarId) -> Option<SimTime> {
+        self.remote_latest.get(&avatar).map(|(_, t)| *t)
     }
 
     /// Number of remote avatars this classroom currently displays.
@@ -134,6 +157,96 @@ impl EdgeServerNode {
     /// in-sequence delivery.
     pub fn interaction_log(&self) -> &[(AvatarId, InteractionEvent)] {
         &self.interaction_log
+    }
+
+    /// The failure detector tracking `peer`, if it is one of this server's
+    /// peers.
+    pub fn peer_health(&self, peer: NodeId) -> Option<&PeerHealth> {
+        self.peer_health.get(&peer)
+    }
+
+    /// How the remote avatar `avatar` should currently be presented, given
+    /// the health of the peer its stream arrives from.
+    pub fn presentation_of(&self, avatar: AvatarId, now: SimTime) -> RemoteAvatarPresentation {
+        self.receivers
+            .get(&avatar)
+            .and_then(|(source, _)| self.peer_health.get(source))
+            .map(|h| h.presentation(now))
+            .unwrap_or(RemoteAvatarPresentation::Live)
+    }
+
+    /// Full resynchronization of a peer that returned from an outage: the
+    /// restarted peer lost its receive state, so every snapshot stream
+    /// toward it restarts from a keyframe and its reliable interaction
+    /// streams are rebuilt carrying the outstanding tail.
+    fn resync_peer(&mut self, ctx: &mut Context<'_, ClassMsg>, peer: NodeId) {
+        ctx.metrics().inc("edge.peer_returns");
+        for ((p, _), sender) in self.senders.iter_mut() {
+            if *p == peer {
+                sender.request_keyframe();
+            }
+        }
+        let now = ctx.now();
+        let keys: Vec<(NodeId, AvatarId)> =
+            self.interaction_tx.keys().copied().filter(|(p, _)| *p == peer).collect();
+        for key in keys {
+            let outstanding =
+                self.interaction_tx.get_mut(&key).expect("just listed").take_outstanding();
+            let mut fresh = ReliableSender::new(INTERACTION_RTO);
+            for ev in outstanding {
+                let (seq, wire) = fresh.send(ev, now);
+                if let Some(event) = wire {
+                    let msg = ClassMsg::Interaction { avatar: key.1, seq, event, captured_at: now };
+                    let size = msg.wire_bytes();
+                    ctx.send(peer, msg, size);
+                }
+            }
+            self.interaction_tx.insert(key, fresh);
+        }
+    }
+
+    /// Re-evaluates every peer's liveness against the clock.
+    fn poll_peers(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        let now = ctx.now();
+        for health in self.peer_health.values_mut() {
+            match health.poll(now) {
+                Some(PeerEvent::Degraded) => ctx.metrics().inc("edge.peer_degraded"),
+                Some(PeerEvent::Down) => ctx.metrics().inc("edge.peer_down"),
+                _ => {}
+            }
+        }
+    }
+
+    /// Applies hold-then-freeze presentation to remote avatars whose source
+    /// peer is down: after the hold window a pinned (zero-velocity) state is
+    /// pushed to local displays so stale motion is not extrapolated forever.
+    fn apply_presentations(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+        let now = ctx.now();
+        let avatars: Vec<AvatarId> = self.remote_latest.keys().copied().collect();
+        for avatar in avatars {
+            let was_frozen = self.frozen.get(&avatar).copied().unwrap_or(false);
+            match self.presentation_of(avatar, now) {
+                RemoteAvatarPresentation::Frozen if !was_frozen => {
+                    self.frozen.insert(avatar, true);
+                    ctx.metrics().inc("edge.avatars_frozen");
+                    if let Some((state, _)) = self.remote_latest.get(&avatar) {
+                        let mut pinned = *state;
+                        pinned.velocity = Vec3::ZERO;
+                        for headset in self.headsets.values() {
+                            let msg =
+                                ClassMsg::DisplayUpdate { avatar, state: pinned, captured_at: now };
+                            let size = msg.wire_bytes();
+                            ctx.send(*headset, msg, size);
+                        }
+                    }
+                }
+                RemoteAvatarPresentation::Live if was_frozen => {
+                    self.frozen.remove(&avatar);
+                    ctx.metrics().inc("edge.avatars_thawed");
+                }
+                _ => {}
+            }
+        }
     }
 
     fn on_interaction(
@@ -159,9 +272,7 @@ impl EdgeServerNode {
         let relay = self.local_anchors.contains_key(&avatar);
         for ev in ready {
             ctx.metrics().inc("edge.interactions_delivered");
-            ctx.metrics()
-                .histogram("interaction.latency_ns")
-                .record(delay.as_nanos());
+            ctx.metrics().histogram("interaction.latency_ns").record(delay.as_nanos());
             if relay {
                 // Local participants' events fan out to every peer server.
                 for peer in self.peers.clone() {
@@ -170,14 +281,12 @@ impl EdgeServerNode {
                         .entry((peer, avatar))
                         .or_insert_with(|| ReliableSender::new(INTERACTION_RTO));
                     let (relay_seq, relay_ev) = tx.send(ev.clone(), ctx.now());
-                    let msg = ClassMsg::Interaction {
-                        avatar,
-                        seq: relay_seq,
-                        event: relay_ev,
-                        captured_at,
-                    };
-                    let size = msg.wire_bytes();
-                    ctx.send(peer, msg, size);
+                    if let Some(event) = relay_ev {
+                        let msg =
+                            ClassMsg::Interaction { avatar, seq: relay_seq, event, captured_at };
+                        let size = msg.wire_bytes();
+                        ctx.send(peer, msg, size);
+                    }
                 }
             }
             self.interaction_log.push((avatar, ev));
@@ -209,15 +318,17 @@ impl EdgeServerNode {
                 .copied()
                 .unwrap_or_else(|| AnchorFrame::seat(Default::default()));
             for peer in self.peers.clone() {
-                let sender = self
-                    .senders
-                    .entry((peer, avatar))
-                    .or_insert_with(|| {
-                        SnapshotSender::new(
-                            AvatarCodec::new(self.cfg.codec),
-                            self.cfg.keyframe_interval,
-                        )
-                    });
+                if self.peer_health.get(&peer).is_some_and(|h| h.should_skip_send(self.tick_count))
+                {
+                    ctx.metrics().inc("edge.updates_skipped_unhealthy_peer");
+                    continue;
+                }
+                let sender = self.senders.entry((peer, avatar)).or_insert_with(|| {
+                    SnapshotSender::new(
+                        AvatarCodec::new(self.cfg.codec),
+                        self.cfg.keyframe_interval,
+                    )
+                });
                 let frame = sender.encode(&estimate);
                 let msg = ClassMsg::AvatarUpdate { avatar, frame, captured_at: now, anchor };
                 let size = msg.wire_bytes();
@@ -260,9 +371,7 @@ impl EdgeServerNode {
                     ctx.send(from, msg, size);
                 }
                 let inbound = ctx.now().duration_since(captured_at);
-                ctx.metrics()
-                    .histogram("edge.remote_update_latency_ns")
-                    .record(inbound.as_nanos());
+                ctx.metrics().histogram("edge.remote_update_latency_ns").record(inbound.as_nanos());
                 match self.seats.assign(avatar) {
                     Ok(_) => {
                         let seat = *self.seats.anchor_of(avatar).expect("just assigned");
@@ -272,11 +381,8 @@ impl EdgeServerNode {
                         }
                         self.remote_latest.insert(avatar, (retargeted, captured_at));
                         for headset in self.headsets.values() {
-                            let msg = ClassMsg::DisplayUpdate {
-                                avatar,
-                                state: retargeted,
-                                captured_at,
-                            };
+                            let msg =
+                                ClassMsg::DisplayUpdate { avatar, state: retargeted, captured_at };
                             let size = msg.wire_bytes();
                             ctx.send(*headset, msg, size);
                         }
@@ -293,37 +399,56 @@ impl EdgeServerNode {
 impl Node<ClassMsg> for EdgeServerNode {
     fn on_start(&mut self, ctx: &mut Context<'_, ClassMsg>) {
         ctx.set_timer(self.cfg.tick, TAG_TICK);
+        if !self.peers.is_empty() {
+            ctx.set_timer(self.cfg.heartbeat.interval, TAG_HEARTBEAT);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ClassMsg>, timer: Timer) {
+        if timer.tag == TAG_HEARTBEAT {
+            let now = ctx.now();
+            for peer in self.peers.clone() {
+                let msg = ClassMsg::Heartbeat { sent_at: now };
+                let size = msg.wire_bytes();
+                ctx.send(peer, msg, size);
+            }
+            ctx.set_timer(self.cfg.heartbeat.interval, TAG_HEARTBEAT);
+            return;
+        }
         if timer.tag == TAG_TICK {
+            self.tick_count += 1;
+            self.poll_peers(ctx);
             self.replicate_local(ctx);
             // Pump reliable retransmissions of relayed interactions.
             let now = ctx.now();
             for ((peer, avatar), tx) in self.interaction_tx.iter_mut() {
                 for (seq, event) in tx.due_retransmits(now) {
-                    let msg = ClassMsg::Interaction {
-                        avatar: *avatar,
-                        seq,
-                        event,
-                        captured_at: now,
-                    };
+                    let msg =
+                        ClassMsg::Interaction { avatar: *avatar, seq, event, captured_at: now };
                     let size = msg.wire_bytes();
                     ctx.send(*peer, msg, size);
                 }
+                for (_seq, _event) in tx.drain_given_up() {
+                    ctx.metrics().inc("edge.interactions_given_up");
+                }
             }
+            self.apply_presentations(ctx);
             ctx.set_timer(self.cfg.tick, TAG_TICK);
         }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, ClassMsg>, from: NodeId, msg: ClassMsg) {
+        // Any traffic from a peer server counts as liveness.
+        if let Some(health) = self.peer_health.get_mut(&from) {
+            if health.on_heard(ctx.now()) == Some(PeerEvent::Returned) {
+                self.resync_peer(ctx, from);
+            }
+        }
         match msg {
             ClassMsg::HeadsetPose { avatar, measurement, captured_at } => {
                 self.fusion.entry(avatar).or_default().ingest(captured_at, &measurement);
                 let sensor_delay = ctx.now().duration_since(captured_at);
-                ctx.metrics()
-                    .histogram("edge.sensor_latency_ns")
-                    .record(sensor_delay.as_nanos());
+                ctx.metrics().histogram("edge.sensor_latency_ns").record(sensor_delay.as_nanos());
             }
             ClassMsg::RoomPose { avatar, measurement, captured_at } => {
                 self.fusion.entry(avatar).or_default().ingest(captured_at, &measurement);
@@ -354,10 +479,31 @@ impl Node<ClassMsg> for EdgeServerNode {
             }
             ClassMsg::InteractionAck { avatar, seq } => {
                 if let Some(tx) = self.interaction_tx.get_mut(&(from, avatar)) {
-                    tx.on_ack(seq);
+                    tx.on_ack_at(seq, ctx.now());
                 }
             }
+            // Liveness was already recorded above; nothing else to do.
+            ClassMsg::Heartbeat { .. } => {}
             _ => {}
         }
+    }
+
+    fn on_crash(&mut self) {
+        // A crashed edge loses all volatile session state; the deployment
+        // configuration (peers, roster, anchors) survives.
+        self.fusion.clear();
+        self.dead_reckoners.clear();
+        self.senders.clear();
+        self.receivers.clear();
+        self.seats = SeatAllocator::new(self.seats.layout().clone());
+        self.remote_latest.clear();
+        self.interaction_rx.clear();
+        self.interaction_tx.clear();
+        self.interaction_log.clear();
+        for health in self.peer_health.values_mut() {
+            health.reset();
+        }
+        self.tick_count = 0;
+        self.frozen.clear();
     }
 }

@@ -16,7 +16,10 @@
 //! - [`RemoteClientNode`] — pose upload, jitter-buffered display, NTP-style
 //!   clock probing;
 //! - [`SeatAllocator`] / [`ClassroomLayout`] — the "identify the vacant
-//!   seats" mechanic of §3.2.
+//!   seats" mechanic of §3.2;
+//! - [`PeerHealth`] / [`HeartbeatConfig`] — heartbeat failure detection
+//!   between servers, with hold-then-freeze display degradation
+//!   ([`RemoteAvatarPresentation`]) and full-snapshot resync on peer return.
 //!
 //! The full unit case (two campuses + cloud) is assembled by
 //! `metaclass-core`; this crate's integration tests exercise each pairing in
@@ -29,6 +32,7 @@ mod client;
 mod cloud;
 mod devices;
 mod edge_server;
+mod health;
 mod messages;
 mod seat;
 
@@ -36,5 +40,6 @@ pub use client::{ClientConfig, RemoteClientNode};
 pub use cloud::{CloudServerNode, FanoutConfig};
 pub use devices::{HeadsetNode, RoomArrayNode};
 pub use edge_server::{EdgeServerNode, ServerConfig};
+pub use health::{HeartbeatConfig, PeerEvent, PeerHealth, PeerState, RemoteAvatarPresentation};
 pub use messages::ClassMsg;
 pub use seat::{ClassroomFullError, ClassroomLayout, SeatAllocator};

@@ -114,6 +114,11 @@ pub enum ClassMsg {
         /// Highest in-order sequence received.
         seq: u64,
     },
+    /// Server ↔ server liveness beacon for heartbeat failure detection.
+    Heartbeat {
+        /// Transmit instant at the sender.
+        sent_at: SimTime,
+    },
     /// A video shard (instructor camera, slides) on its way to viewers.
     VideoShard {
         /// The shard.
@@ -144,6 +149,7 @@ impl ClassMsg {
             ClassMsg::ClockReply { .. } => 24,
             ClassMsg::Interaction { event, .. } => 20 + event.wire_bytes(),
             ClassMsg::InteractionAck { .. } => 12,
+            ClassMsg::Heartbeat { .. } => 8,
             ClassMsg::VideoShard { shard, .. } => shard.wire_bytes() as u32 + 8,
         };
         HEADER + payload

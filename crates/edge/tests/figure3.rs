@@ -47,11 +47,7 @@ fn build(seed: u64, n_local: u32, n_remote: u32) -> Deployment {
         let avatar = AvatarId(i);
         let seat_anchor = layout.seats[i as usize];
         let script = MotionScript::SeatedLecture {
-            seat: Vec3::new(
-                seat_anchor.pose.position.x,
-                0.0,
-                seat_anchor.pose.position.z,
-            ),
+            seat: Vec3::new(seat_anchor.pose.position.x, 0.0, seat_anchor.pose.position.z),
         };
         let headset_id = NodeId::from_index(first_headset + i as usize);
         participants.push((avatar, headset_id, seat_anchor));
@@ -91,22 +87,25 @@ fn build(seed: u64, n_local: u32, n_remote: u32) -> Deployment {
 
     let mut headsets = Vec::new();
     for (avatar, script, s) in scripts {
-        let hs = sim.add_node(
-            format!("headset-{avatar}"),
-            HeadsetNode::new(avatar, edge_id, script, s),
-        );
+        let hs =
+            sim.add_node(format!("headset-{avatar}"), HeadsetNode::new(avatar, edge_id, script, s));
         sim.connect(hs, edge, LinkClass::Wifi.config());
         headsets.push((avatar, hs));
     }
 
     let mut clients = Vec::new();
     for (i, (&avatar, &expected_id)) in client_map.iter().enumerate() {
-        let script = MotionScript::SeatedLecture {
-            seat: Vec3::new(5.0 + i as f64 * 0.8, 0.0, 10.0),
-        };
+        let script =
+            MotionScript::SeatedLecture { seat: Vec3::new(5.0 + i as f64 * 0.8, 0.0, 10.0) };
         let c = sim.add_node(
             format!("client-{avatar}"),
-            RemoteClientNode::new(avatar, cloud_id, ClientConfig::default(), script, seed + 500 + i as u64),
+            RemoteClientNode::new(
+                avatar,
+                cloud_id,
+                ClientConfig::default(),
+                script,
+                seed + 500 + i as u64,
+            ),
         );
         assert_eq!(c, expected_id);
         sim.connect(c, cloud, LinkClass::ResidentialAccess.config());
@@ -193,9 +192,7 @@ fn fused_estimates_track_ground_truth() {
     let truths: Vec<_> = d
         .headsets
         .iter()
-        .map(|&(avatar, hs)| {
-            (avatar, d.sim.node_as::<HeadsetNode>(hs).unwrap().truth_at(now))
-        })
+        .map(|&(avatar, hs)| (avatar, d.sim.node_as::<HeadsetNode>(hs).unwrap().truth_at(now)))
         .collect();
     let edge = d.sim.node_as::<EdgeServerNode>(d.edge).unwrap();
     for (avatar, truth) in truths {
@@ -274,18 +271,10 @@ fn interaction_traces_replicate_exactly_once_in_order() {
     let mut d = build(49, 5, 3);
     d.sim.run_until(SimTime::from_secs(90));
 
-    let edge_log: Vec<(AvatarId, InteractionEvent)> = d
-        .sim
-        .node_as::<EdgeServerNode>(d.edge)
-        .unwrap()
-        .interaction_log()
-        .to_vec();
-    let cloud_log: Vec<(AvatarId, InteractionEvent)> = d
-        .sim
-        .node_as::<CloudServerNode>(d.cloud)
-        .unwrap()
-        .interaction_log()
-        .to_vec();
+    let edge_log: Vec<(AvatarId, InteractionEvent)> =
+        d.sim.node_as::<EdgeServerNode>(d.edge).unwrap().interaction_log().to_vec();
+    let cloud_log: Vec<(AvatarId, InteractionEvent)> =
+        d.sim.node_as::<CloudServerNode>(d.cloud).unwrap().interaction_log().to_vec();
 
     // Both rooms observed interactions from locals and remotes alike.
     assert!(!edge_log.is_empty() && !cloud_log.is_empty());
@@ -307,10 +296,7 @@ fn interaction_traces_replicate_exactly_once_in_order() {
                 continue;
             };
             if let Some(prev) = last_state.insert(*avatar, *raised) {
-                assert_ne!(
-                    prev, *raised,
-                    "{avatar}: duplicate or out-of-order hand event"
-                );
+                assert_ne!(prev, *raised, "{avatar}: duplicate or out-of-order hand event");
             } else {
                 assert!(*raised, "{avatar}: first event must be a raise");
             }

@@ -16,11 +16,41 @@ use crate::codec_model::VideoConfig;
 /// The bitrate ladder, lowest rung first.
 pub fn default_ladder() -> Vec<VideoConfig> {
     vec![
-        VideoConfig { width: 640, height: 360, fps: 15.0, bitrate_bps: 300_000, keyframe_interval: 30 },
-        VideoConfig { width: 854, height: 480, fps: 30.0, bitrate_bps: 800_000, keyframe_interval: 60 },
-        VideoConfig { width: 1280, height: 720, fps: 30.0, bitrate_bps: 1_500_000, keyframe_interval: 60 },
-        VideoConfig { width: 1920, height: 1080, fps: 30.0, bitrate_bps: 4_000_000, keyframe_interval: 60 },
-        VideoConfig { width: 1920, height: 1080, fps: 60.0, bitrate_bps: 8_000_000, keyframe_interval: 120 },
+        VideoConfig {
+            width: 640,
+            height: 360,
+            fps: 15.0,
+            bitrate_bps: 300_000,
+            keyframe_interval: 30,
+        },
+        VideoConfig {
+            width: 854,
+            height: 480,
+            fps: 30.0,
+            bitrate_bps: 800_000,
+            keyframe_interval: 60,
+        },
+        VideoConfig {
+            width: 1280,
+            height: 720,
+            fps: 30.0,
+            bitrate_bps: 1_500_000,
+            keyframe_interval: 60,
+        },
+        VideoConfig {
+            width: 1920,
+            height: 1080,
+            fps: 30.0,
+            bitrate_bps: 4_000_000,
+            keyframe_interval: 60,
+        },
+        VideoConfig {
+            width: 1920,
+            height: 1080,
+            fps: 60.0,
+            bitrate_bps: 8_000_000,
+            keyframe_interval: 120,
+        },
     ]
 }
 
@@ -77,7 +107,14 @@ impl AbrController {
             ladder.windows(2).all(|w| w[0].bitrate_bps <= w[1].bitrate_bps),
             "ladder must be sorted by bitrate"
         );
-        AbrController { cfg, ladder, rung: 0, throughput_ewma: None, healthy_streak: 0, switches: 0 }
+        AbrController {
+            cfg,
+            ladder,
+            rung: 0,
+            throughput_ewma: None,
+            healthy_streak: 0,
+            switches: 0,
+        }
     }
 
     /// The active rung.

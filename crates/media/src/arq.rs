@@ -150,10 +150,7 @@ impl ArqFrameSender {
 
     /// Total bytes transmitted so far.
     pub fn bytes_transmitted(&self) -> u64 {
-        self.packets
-            .values()
-            .map(|p| p.attempts as u64 * p.bytes as u64)
-            .sum()
+        self.packets.values().map(|p| p.attempts as u64 * p.bytes as u64).sum()
     }
 }
 
@@ -230,7 +227,7 @@ mod tests {
         let first = tx.due_packets(SimTime::ZERO);
         assert_eq!(first.len(), 2);
         tx.on_ack(0); // packet 1 lost
-        // Before RTO: nothing due.
+                      // Before RTO: nothing due.
         assert!(tx.due_packets(SimTime::from_millis(79)).is_empty());
         // After RTO: retransmit packet 1 only.
         let retx = tx.due_packets(SimTime::from_millis(80));

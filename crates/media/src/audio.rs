@@ -124,7 +124,9 @@ pub fn mix_for_listener(
         .map(|(i, s)| (i, perceived_loudness(s, position)))
         .filter(|(_, l)| *l > 0.0)
         .collect();
-    audible.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    audible.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
     match policy {
         MixPolicy::ForwardTopK { k } => {
             let forwarded: Vec<usize> = audible.iter().take(k).map(|(i, _)| *i).collect();
@@ -187,8 +189,7 @@ mod tests {
 
     #[test]
     fn top_k_keeps_the_loudest_and_bounds_bandwidth() {
-        let sources: Vec<VoiceSource> =
-            (1..=10).map(|i| src(i as f64, true, 1.0)).collect();
+        let sources: Vec<VoiceSource> = (1..=10).map(|i| src(i as f64, true, 1.0)).collect();
         let mix = mix_for_listener(
             Vec3::ZERO,
             &sources,
@@ -224,8 +225,18 @@ mod tests {
     #[test]
     fn mixing_is_deterministic_under_ties() {
         let sources = vec![src(3.0, true, 1.0), src(3.0, true, 1.0), src(3.0, true, 1.0)];
-        let a = mix_for_listener(Vec3::ZERO, &sources, MixPolicy::ForwardTopK { k: 2 }, VoiceQuality::Wideband);
-        let b = mix_for_listener(Vec3::ZERO, &sources, MixPolicy::ForwardTopK { k: 2 }, VoiceQuality::Wideband);
+        let a = mix_for_listener(
+            Vec3::ZERO,
+            &sources,
+            MixPolicy::ForwardTopK { k: 2 },
+            VoiceQuality::Wideband,
+        );
+        let b = mix_for_listener(
+            Vec3::ZERO,
+            &sources,
+            MixPolicy::ForwardTopK { k: 2 },
+            VoiceQuality::Wideband,
+        );
         assert_eq!(a, b);
         assert_eq!(a.forwarded, vec![0, 1], "ties break by index");
     }

@@ -28,17 +28,35 @@ pub struct VideoConfig {
 impl VideoConfig {
     /// 1080p30 at 4 Mbit/s — a lecture camera.
     pub fn lecture_camera() -> Self {
-        VideoConfig { width: 1920, height: 1080, fps: 30.0, bitrate_bps: 4_000_000, keyframe_interval: 60 }
+        VideoConfig {
+            width: 1920,
+            height: 1080,
+            fps: 30.0,
+            bitrate_bps: 4_000_000,
+            keyframe_interval: 60,
+        }
     }
 
     /// 1080p10 at 1 Mbit/s — a slide/whiteboard share (low motion).
     pub fn slide_share() -> Self {
-        VideoConfig { width: 1920, height: 1080, fps: 10.0, bitrate_bps: 1_000_000, keyframe_interval: 50 }
+        VideoConfig {
+            width: 1920,
+            height: 1080,
+            fps: 10.0,
+            bitrate_bps: 1_000_000,
+            keyframe_interval: 50,
+        }
     }
 
     /// 720p30 at 1.5 Mbit/s — a webcam tile in a conference grid.
     pub fn webcam_tile() -> Self {
-        VideoConfig { width: 1280, height: 720, fps: 30.0, bitrate_bps: 1_500_000, keyframe_interval: 60 }
+        VideoConfig {
+            width: 1280,
+            height: 720,
+            fps: 30.0,
+            bitrate_bps: 1_500_000,
+            keyframe_interval: 60,
+        }
     }
 
     /// Bits per pixel per frame at the target bitrate.
@@ -166,7 +184,8 @@ mod tests {
         for (i, f) in frames.iter().enumerate() {
             assert_eq!(f.is_keyframe, i % 30 == 0, "frame {i}");
         }
-        let avg_i: f64 = frames.iter().filter(|f| f.is_keyframe).map(|f| f.bytes as f64).sum::<f64>() / 4.0;
+        let avg_i: f64 =
+            frames.iter().filter(|f| f.is_keyframe).map(|f| f.bytes as f64).sum::<f64>() / 4.0;
         let avg_p: f64 =
             frames.iter().filter(|f| !f.is_keyframe).map(|f| f.bytes as f64).sum::<f64>() / 116.0;
         assert!(avg_i > 3.0 * avg_p, "I {avg_i} vs P {avg_p}");
@@ -176,10 +195,8 @@ mod tests {
     fn legibility_grows_with_bitrate() {
         let mut prev = 0.0;
         for mbps in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-            let cfg = VideoConfig {
-                bitrate_bps: (mbps * 1e6) as u64,
-                ..VideoConfig::lecture_camera()
-            };
+            let cfg =
+                VideoConfig { bitrate_bps: (mbps * 1e6) as u64, ..VideoConfig::lecture_camera() };
             let q = legibility_score(&cfg);
             assert!(q > prev, "quality not monotone at {mbps} Mbps");
             assert!((0.0..=100.0).contains(&q));
@@ -212,9 +229,7 @@ mod tests {
 
     #[test]
     fn presets_are_ordered_by_rate() {
-        assert!(
-            VideoConfig::lecture_camera().bitrate_bps > VideoConfig::webcam_tile().bitrate_bps
-        );
+        assert!(VideoConfig::lecture_camera().bitrate_bps > VideoConfig::webcam_tile().bitrate_bps);
         assert!(VideoConfig::webcam_tile().bitrate_bps > VideoConfig::slide_share().bitrate_bps);
         assert_eq!(VideoConfig::lecture_camera().frame_period().as_nanos(), 33_333_333);
     }

@@ -85,7 +85,11 @@ impl FrameShard {
 /// }
 /// # Ok::<(), metaclass_media::RsError>(())
 /// ```
-pub fn shard_frame(frame_id: u64, frame: &[u8], cfg: FecConfig) -> Result<Vec<FrameShard>, RsError> {
+pub fn shard_frame(
+    frame_id: u64,
+    frame: &[u8],
+    cfg: FecConfig,
+) -> Result<Vec<FrameShard>, RsError> {
     if frame.is_empty() {
         return Err(RsError::ShardSizeMismatch);
     }

@@ -55,11 +55,11 @@ pub mod gf256;
 mod rs;
 
 pub use abr::{default_ladder, AbrConfig, AbrController};
+pub use arq::{ArqConfig, ArqFrameReceiver, ArqFrameSender, ArqPacket};
 pub use audio::{
     mix_for_listener, per_listener_bandwidth_bound, perceived_loudness, ListenerMix, MixPolicy,
     VoiceQuality, VoiceSource,
 };
-pub use arq::{ArqConfig, ArqFrameReceiver, ArqFrameSender, ArqPacket};
 pub use codec_model::{
     legibility_after_stalls, legibility_score, VideoConfig, VideoFrame, VideoSource,
 };

@@ -44,7 +44,10 @@ impl fmt::Display for RsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RsError::InvalidShardCounts { data, parity } => {
-                write!(f, "invalid shard counts: {data} data + {parity} parity (need 1 <= k, k+m <= 256)")
+                write!(
+                    f,
+                    "invalid shard counts: {data} data + {parity} parity (need 1 <= k, k+m <= 256)"
+                )
             }
             RsError::ShardSizeMismatch => write!(f, "shards must be non-empty and equal-sized"),
             RsError::WrongShardCount { got, expected } => {
@@ -173,9 +176,7 @@ impl ReedSolomon {
             return Err(RsError::NotEnoughShards { have: present.len(), need: self.k });
         }
         let len = shards[present[0]].as_ref().expect("present").len();
-        if len == 0
-            || present.iter().any(|&i| shards[i].as_ref().expect("present").len() != len)
-        {
+        if len == 0 || present.iter().any(|&i| shards[i].as_ref().expect("present").len() != len) {
             return Err(RsError::ShardSizeMismatch);
         }
         if present.iter().take(self.k).eq((0..self.k).collect::<Vec<_>>().iter())
@@ -272,9 +273,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn random_data(rng: &mut DetRng, k: usize, len: usize) -> Vec<Vec<u8>> {
-        (0..k)
-            .map(|_| (0..len).map(|_| rng.range_u64(0, 256) as u8).collect())
-            .collect()
+        (0..k).map(|_| (0..len).map(|_| rng.range_u64(0, 256) as u8).collect()).collect()
     }
 
     #[test]
@@ -302,7 +301,13 @@ mod tests {
         // Try every combination of exactly m erasures.
         let total = k + m;
         fn combos(n: usize, k: usize) -> Vec<Vec<usize>> {
-            fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            fn rec(
+                start: usize,
+                n: usize,
+                k: usize,
+                cur: &mut Vec<usize>,
+                out: &mut Vec<Vec<usize>>,
+            ) {
                 if cur.len() == k {
                     out.push(cur.clone());
                     return;
@@ -318,12 +323,8 @@ mod tests {
             out
         }
         for erasure_set in combos(total, m) {
-            let mut shards: Vec<Option<Vec<u8>>> = data
-                .iter()
-                .cloned()
-                .map(Some)
-                .chain(parity.iter().cloned().map(Some))
-                .collect();
+            let mut shards: Vec<Option<Vec<u8>>> =
+                data.iter().cloned().map(Some).chain(parity.iter().cloned().map(Some)).collect();
             for &e in &erasure_set {
                 shards[e] = None;
             }
@@ -348,10 +349,7 @@ mod tests {
         shards[0] = None;
         shards[2] = None;
         shards[4] = None;
-        assert_eq!(
-            rs.reconstruct(&mut shards),
-            Err(RsError::NotEnoughShards { have: 3, need: 4 })
-        );
+        assert_eq!(rs.reconstruct(&mut shards), Err(RsError::NotEnoughShards { have: 3, need: 4 }));
     }
 
     #[test]
@@ -381,14 +379,8 @@ mod tests {
             rs.encode(&[vec![1u8, 2]]).unwrap_err(),
             RsError::WrongShardCount { got: 1, expected: 2 }
         );
-        assert_eq!(
-            rs.encode(&[vec![1u8, 2], vec![3]]).unwrap_err(),
-            RsError::ShardSizeMismatch
-        );
-        assert_eq!(
-            rs.encode(&[vec![], vec![]]).unwrap_err(),
-            RsError::ShardSizeMismatch
-        );
+        assert_eq!(rs.encode(&[vec![1u8, 2], vec![3]]).unwrap_err(), RsError::ShardSizeMismatch);
+        assert_eq!(rs.encode(&[vec![], vec![]]).unwrap_err(), RsError::ShardSizeMismatch);
         let mut wrong_count = vec![Some(vec![1u8])];
         assert_eq!(
             rs.reconstruct(&mut wrong_count).unwrap_err(),

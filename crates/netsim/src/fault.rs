@@ -1,0 +1,363 @@
+//! Scripted fault injection.
+//!
+//! A [`FaultPlan`] is a deterministic, time-ordered script of
+//! [`FaultAction`]s — link flaps, loss bursts, latency spikes, network
+//! partitions, and node crash/restart cycles — that a
+//! [`Simulation`](crate::Simulation) executes as ordinary events via
+//! [`Simulation::apply_fault_plan`](crate::Simulation::apply_fault_plan).
+//! Because the plan is data (not callbacks) and every stochastic generator is
+//! seeded through [`DetRng`], a fault schedule is fully replayable: the same
+//! seed and plan produce byte-identical traces and metrics across runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::LossModel;
+use crate::node::NodeId;
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One scripted fault, applied at a scheduled instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Administratively takes both directions between `a` and `b` down.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Restores both directions between `a` and `b`.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Replaces the loss process on both directions between `a` and `b`.
+    LossBurstStart {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The loss process in effect during the burst.
+        loss: LossModel,
+    },
+    /// Restores the configured loss process between `a` and `b`.
+    LossBurstEnd {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Adds extra propagation delay on both directions between `a` and `b`.
+    LatencySpikeStart {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Delay added on top of the configured propagation delay.
+        extra: SimDuration,
+    },
+    /// Removes the extra delay between `a` and `b`.
+    LatencySpikeEnd {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Severs every link whose endpoints fall in different groups.
+    Partition {
+        /// Disjoint node groups; nodes absent from all groups are unaffected.
+        groups: Vec<Vec<NodeId>>,
+    },
+    /// Heals all partition-severed links (admin-down links stay down).
+    Heal,
+    /// Crashes a node: its state is reset via
+    /// [`Node::on_crash`](crate::Node::on_crash), pending timers are voided,
+    /// and traffic addressed to it is blackholed until restart.
+    CrashNode {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Restarts a crashed node; `on_start` runs again to re-arm timers.
+    RestartNode {
+        /// The node to restart.
+        node: NodeId,
+    },
+}
+
+impl FaultAction {
+    /// Stable discriminant used in traces and metrics.
+    pub fn code(&self) -> u64 {
+        match self {
+            FaultAction::LinkDown { .. } => 1,
+            FaultAction::LinkUp { .. } => 2,
+            FaultAction::LossBurstStart { .. } => 3,
+            FaultAction::LossBurstEnd { .. } => 4,
+            FaultAction::LatencySpikeStart { .. } => 5,
+            FaultAction::LatencySpikeEnd { .. } => 6,
+            FaultAction::Partition { .. } => 7,
+            FaultAction::Heal => 8,
+            FaultAction::CrashNode { .. } => 9,
+            FaultAction::RestartNode { .. } => 10,
+        }
+    }
+
+    /// Metrics counter name bumped when this action executes.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            FaultAction::LinkDown { .. } => "fault.link_down",
+            FaultAction::LinkUp { .. } => "fault.link_up",
+            FaultAction::LossBurstStart { .. } => "fault.loss_burst_start",
+            FaultAction::LossBurstEnd { .. } => "fault.loss_burst_end",
+            FaultAction::LatencySpikeStart { .. } => "fault.latency_spike_start",
+            FaultAction::LatencySpikeEnd { .. } => "fault.latency_spike_end",
+            FaultAction::Partition { .. } => "fault.partition",
+            FaultAction::Heal => "fault.heal",
+            FaultAction::CrashNode { .. } => "fault.crash",
+            FaultAction::RestartNode { .. } => "fault.restart",
+        }
+    }
+}
+
+/// A time-ordered fault script.
+///
+/// Build with the window helpers ([`FaultPlan::link_flap`],
+/// [`FaultPlan::loss_burst`], [`FaultPlan::latency_spike`],
+/// [`FaultPlan::partition_window`], [`FaultPlan::crash`]) or push raw
+/// `(time, action)` pairs with [`FaultPlan::at`]. Events are sorted by
+/// (time, insertion order) when the plan is installed, so build order never
+/// affects execution order at distinct times.
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::{FaultPlan, NodeId, SimDuration, SimTime};
+///
+/// let a = NodeId::from_index(0);
+/// let b = NodeId::from_index(1);
+/// let plan = FaultPlan::new()
+///     .link_flap(a, b, SimTime::from_secs(1), SimTime::from_secs(2))
+///     .crash(b, SimTime::from_secs(3), Some(SimTime::from_secs(4)));
+/// assert_eq!(plan.events().len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends `action` at absolute time `at`.
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.events.push((at, action));
+        self
+    }
+
+    /// Takes the `a`–`b` connection down at `down_at` and back up at `up_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `up_at <= down_at`.
+    pub fn link_flap(self, a: NodeId, b: NodeId, down_at: SimTime, up_at: SimTime) -> Self {
+        assert!(up_at > down_at, "flap must end after it starts");
+        self.at(down_at, FaultAction::LinkDown { a, b }).at(up_at, FaultAction::LinkUp { a, b })
+    }
+
+    /// Overrides the `a`–`b` loss process with `loss` during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn loss_burst(
+        self,
+        a: NodeId,
+        b: NodeId,
+        from: SimTime,
+        until: SimTime,
+        loss: LossModel,
+    ) -> Self {
+        assert!(until > from, "burst must end after it starts");
+        self.at(from, FaultAction::LossBurstStart { a, b, loss })
+            .at(until, FaultAction::LossBurstEnd { a, b })
+    }
+
+    /// Adds `extra` delay on the `a`–`b` connection during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn latency_spike(
+        self,
+        a: NodeId,
+        b: NodeId,
+        from: SimTime,
+        until: SimTime,
+        extra: SimDuration,
+    ) -> Self {
+        assert!(until > from, "spike must end after it starts");
+        self.at(from, FaultAction::LatencySpikeStart { a, b, extra })
+            .at(until, FaultAction::LatencySpikeEnd { a, b })
+    }
+
+    /// Partitions the listed groups from each other during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn partition_window(self, groups: &[&[NodeId]], from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "partition must end after it starts");
+        let groups: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
+        self.at(from, FaultAction::Partition { groups }).at(until, FaultAction::Heal)
+    }
+
+    /// Crashes `node` at `at`; if `restart_at` is given, restarts it then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_at <= at`.
+    pub fn crash(self, node: NodeId, at: SimTime, restart_at: Option<SimTime>) -> Self {
+        let plan = self.at(at, FaultAction::CrashNode { node });
+        match restart_at {
+            Some(r) => {
+                assert!(r > at, "restart must follow the crash");
+                plan.at(r, FaultAction::RestartNode { node })
+            }
+            None => plan,
+        }
+    }
+
+    /// Generates `count` random link flaps over `pairs` within
+    /// `[0, horizon)`, each lasting between `min_down` and `max_down`.
+    /// Fully determined by `seed`: the same arguments always produce the same
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or `max_down < min_down`.
+    pub fn random_link_flaps(
+        self,
+        seed: u64,
+        pairs: &[(NodeId, NodeId)],
+        horizon: SimTime,
+        count: usize,
+        min_down: SimDuration,
+        max_down: SimDuration,
+    ) -> Self {
+        assert!(!pairs.is_empty(), "need at least one candidate pair");
+        assert!(max_down >= min_down, "max_down must be at least min_down");
+        let mut rng = DetRng::new(seed);
+        let mut plan = self;
+        for _ in 0..count {
+            let (a, b) = pairs[rng.index(pairs.len())];
+            let down_ns = rng.range_u64(0, horizon.as_nanos().max(1));
+            let dur_ns = if max_down == min_down {
+                min_down.as_nanos()
+            } else {
+                rng.range_u64(min_down.as_nanos(), max_down.as_nanos())
+            };
+            let down_at = SimTime::from_nanos(down_ns);
+            let up_at = down_at.saturating_add(SimDuration::from_nanos(dur_ns.max(1)));
+            plan = plan.link_flap(a, b, down_at, up_at);
+        }
+        plan
+    }
+
+    /// The scripted `(time, action)` pairs, in insertion order.
+    pub fn events(&self) -> &[(SimTime, FaultAction)] {
+        &self.events
+    }
+
+    /// Consumes the plan, returning events sorted by (time, insertion order).
+    pub fn into_sorted_events(self) -> Vec<(SimTime, FaultAction)> {
+        let mut indexed: Vec<(usize, (SimTime, FaultAction))> =
+            self.events.into_iter().enumerate().collect();
+        indexed.sort_by_key(|(i, (at, _))| (*at, *i));
+        indexed.into_iter().map(|(_, ev)| ev).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn builders_emit_paired_events() {
+        let plan = FaultPlan::new()
+            .link_flap(n(0), n(1), SimTime::from_millis(5), SimTime::from_millis(9))
+            .loss_burst(
+                n(1),
+                n(2),
+                SimTime::from_millis(1),
+                SimTime::from_millis(2),
+                LossModel::Iid { p: 0.5 },
+            );
+        assert_eq!(plan.events().len(), 4);
+        let sorted = plan.into_sorted_events();
+        assert_eq!(sorted[0].0, SimTime::from_millis(1));
+        assert_eq!(sorted[3].0, SimTime::from_millis(9));
+        assert!(matches!(sorted[0].1, FaultAction::LossBurstStart { .. }));
+        assert!(matches!(sorted[3].1, FaultAction::LinkUp { .. }));
+    }
+
+    #[test]
+    fn sorting_is_stable_for_equal_times() {
+        let t = SimTime::from_millis(3);
+        let plan = FaultPlan::new()
+            .at(t, FaultAction::CrashNode { node: n(0) })
+            .at(t, FaultAction::RestartNode { node: n(1) });
+        let sorted = plan.into_sorted_events();
+        assert!(matches!(sorted[0].1, FaultAction::CrashNode { .. }));
+        assert!(matches!(sorted[1].1, FaultAction::RestartNode { .. }));
+    }
+
+    #[test]
+    fn random_flaps_are_seed_replayable() {
+        let pairs = [(n(0), n(1)), (n(1), n(2))];
+        let make = |seed| {
+            FaultPlan::new().random_link_flaps(
+                seed,
+                &pairs,
+                SimTime::from_secs(10),
+                8,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(500),
+            )
+        };
+        assert_eq!(make(7), make(7));
+        assert_ne!(make(7), make(8));
+        assert_eq!(make(7).events().len(), 16);
+    }
+
+    #[test]
+    fn codes_and_metrics_are_distinct() {
+        let actions = [
+            FaultAction::LinkDown { a: n(0), b: n(1) },
+            FaultAction::LinkUp { a: n(0), b: n(1) },
+            FaultAction::LossBurstStart { a: n(0), b: n(1), loss: LossModel::None },
+            FaultAction::LossBurstEnd { a: n(0), b: n(1) },
+            FaultAction::LatencySpikeStart { a: n(0), b: n(1), extra: SimDuration::ZERO },
+            FaultAction::LatencySpikeEnd { a: n(0), b: n(1) },
+            FaultAction::Partition { groups: vec![] },
+            FaultAction::Heal,
+            FaultAction::CrashNode { node: n(0) },
+            FaultAction::RestartNode { node: n(0) },
+        ];
+        let mut codes: Vec<u64> = actions.iter().map(|a| a.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), actions.len());
+        let mut metrics: Vec<&str> = actions.iter().map(|a| a.metric()).collect();
+        metrics.sort_unstable();
+        metrics.dedup();
+        assert_eq!(metrics.len(), actions.len());
+    }
+}

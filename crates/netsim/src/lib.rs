@@ -19,7 +19,10 @@
 //! - [`DetRng`] — explicitly seeded randomness with derived sub-streams;
 //! - [`MetricsRegistry`] / [`Histogram`] — deterministic measurement;
 //! - [`Trace`] — bounded event traces with fingerprints for determinism
-//!   tests.
+//!   tests;
+//! - [`FaultPlan`] / [`FaultAction`] — seeded, replayable fault scripts
+//!   (link flaps, loss bursts, latency spikes, partitions, node
+//!   crash/restart) executed by the engine as ordinary events.
 //!
 //! # Examples
 //!
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod link;
 mod metrics;
 mod node;
@@ -63,6 +67,7 @@ mod time;
 mod topology;
 mod trace;
 
+pub use fault::{FaultAction, FaultPlan};
 pub use link::{DropReason, Link, LinkConfig, LinkId, LinkStats, LossModel, Transmit};
 pub use metrics::{Histogram, MetricsRegistry, Summary};
 pub use node::{Context, Envelope, Node, NodeId, Timer};

@@ -177,8 +177,10 @@ pub enum DropReason {
     QueueFull,
     /// The packet was lost in flight (channel loss).
     Loss,
-    /// The link was administratively down.
+    /// The link was administratively down or severed by a partition.
     LinkDown,
+    /// The destination (or forwarding) node was crashed.
+    NodeDown,
 }
 
 impl std::fmt::Display for DropReason {
@@ -187,6 +189,7 @@ impl std::fmt::Display for DropReason {
             DropReason::QueueFull => write!(f, "queue full"),
             DropReason::Loss => write!(f, "channel loss"),
             DropReason::LinkDown => write!(f, "link down"),
+            DropReason::NodeDown => write!(f, "node down"),
         }
     }
 }
@@ -206,6 +209,10 @@ pub struct LinkStats {
     pub dropped_down: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Availability transitions into the down state (admin or partition).
+    pub flaps: u64,
+    /// Cumulative time spent unavailable, up to the last state transition.
+    pub time_down: SimDuration,
 }
 
 /// Runtime state of a directed link.
@@ -219,6 +226,14 @@ pub struct Link {
     /// Gilbert–Elliott channel state (`true` = bad).
     ge_bad: bool,
     up: bool,
+    /// Severed by a network partition (orthogonal to admin `up`).
+    partitioned: bool,
+    /// When the link last became unavailable, if currently down.
+    down_since: Option<SimTime>,
+    /// Temporary loss process replacing the configured one (fault injection).
+    loss_override: Option<LossModel>,
+    /// Extra propagation delay added on top of the configured one.
+    extra_delay: SimDuration,
     stats: LinkStats,
 }
 
@@ -243,6 +258,10 @@ impl Link {
             last_arrival: SimTime::ZERO,
             ge_bad: false,
             up: true,
+            partitioned: false,
+            down_since: None,
+            loss_override: None,
+            extra_delay: SimDuration::ZERO,
             stats: LinkStats::default(),
         }
     }
@@ -258,13 +277,78 @@ impl Link {
     }
 
     /// Administratively brings the link up or down (failure injection).
+    ///
+    /// Prefer [`Link::set_up_at`], which also maintains flap and time-down
+    /// accounting; this variant treats the change as happening at an unknown
+    /// time and only tracks the transition count.
     pub fn set_up(&mut self, up: bool) {
-        self.up = up;
+        self.set_up_at(SimTime::ZERO, up);
     }
 
-    /// Whether the link is currently up.
+    /// Administratively brings the link up or down at time `now`, updating
+    /// [`LinkStats::flaps`] and [`LinkStats::time_down`].
+    pub fn set_up_at(&mut self, now: SimTime, up: bool) {
+        let before = self.is_available();
+        self.up = up;
+        self.transition_availability(now, before);
+    }
+
+    /// Marks the link severed (or restored) by a network partition at `now`.
+    /// Partition state is tracked separately from admin state so healing a
+    /// partition never resurrects an administratively downed link.
+    pub fn set_partitioned_at(&mut self, now: SimTime, partitioned: bool) {
+        let before = self.is_available();
+        self.partitioned = partitioned;
+        self.transition_availability(now, before);
+    }
+
+    fn transition_availability(&mut self, now: SimTime, was_available: bool) {
+        let avail = self.is_available();
+        if was_available && !avail {
+            self.stats.flaps += 1;
+            self.down_since = Some(now);
+        } else if !was_available && avail {
+            if let Some(since) = self.down_since.take() {
+                self.stats.time_down = self.stats.time_down + now.duration_since(since);
+            }
+        }
+    }
+
+    /// Whether the link is administratively up.
     pub fn is_up(&self) -> bool {
         self.up
+    }
+
+    /// Whether the link is currently severed by a partition.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Whether the link can carry traffic (up and not partitioned).
+    pub fn is_available(&self) -> bool {
+        self.up && !self.partitioned
+    }
+
+    /// Replaces the loss process temporarily (`None` restores the configured
+    /// model). Used by loss-burst fault windows.
+    pub fn set_loss_override(&mut self, loss: Option<LossModel>) {
+        self.loss_override = loss;
+    }
+
+    /// The loss process currently in effect.
+    pub fn effective_loss(&self) -> LossModel {
+        self.loss_override.unwrap_or(self.cfg.loss)
+    }
+
+    /// Adds extra propagation delay on top of the configured one (`ZERO`
+    /// restores normal latency). Used by latency-spike fault windows.
+    pub fn set_extra_delay(&mut self, extra: SimDuration) {
+        self.extra_delay = extra;
+    }
+
+    /// The extra delay currently in effect.
+    pub fn extra_delay(&self) -> SimDuration {
+        self.extra_delay
     }
 
     /// Current transmit backlog in bytes at time `now`, given the configured
@@ -285,7 +369,7 @@ impl Link {
     /// time at the far end or a drop reason. Lost packets still occupy the
     /// transmitter (they are sent, then corrupted).
     pub fn transmit(&mut self, now: SimTime, size_bytes: u32, rng: &mut DetRng) -> Transmit {
-        if !self.up {
+        if !self.is_available() {
             self.stats.dropped += 1;
             self.stats.dropped_down += 1;
             return Transmit::Drop(DropReason::LinkDown);
@@ -309,7 +393,7 @@ impl Link {
         self.busy_until = start + ser;
 
         // Channel loss (after transmission — lost packets consumed airtime).
-        let lost = match self.cfg.loss {
+        let lost = match self.effective_loss() {
             LossModel::None => false,
             LossModel::Iid { p } => rng.chance(p),
             LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good, loss_bad } => {
@@ -336,7 +420,7 @@ impl Link {
             let std = self.cfg.jitter_std.as_nanos() as f64;
             SimDuration::from_nanos(rng.truncated_normal(0.0, std, 0.0, 4.0 * std) as u64)
         };
-        let mut arrival = self.busy_until + self.cfg.delay + jitter;
+        let mut arrival = self.busy_until + self.cfg.delay + self.extra_delay + jitter;
         if self.cfg.fifo && arrival <= self.last_arrival {
             arrival = self.last_arrival + SimDuration::from_nanos(1);
         }
@@ -406,7 +490,8 @@ mod tests {
 
     #[test]
     fn iid_loss_rate_is_plausible() {
-        let cfg = LinkConfig::new(SimDuration::from_micros(10)).with_loss(LossModel::Iid { p: 0.1 });
+        let cfg =
+            LinkConfig::new(SimDuration::from_micros(10)).with_loss(LossModel::Iid { p: 0.1 });
         let mut link = Link::new(cfg);
         let mut r = rng();
         let mut lost = 0;
@@ -423,12 +508,13 @@ mod tests {
 
     #[test]
     fn gilbert_elliott_produces_bursts() {
-        let cfg = LinkConfig::new(SimDuration::from_micros(10)).with_loss(LossModel::GilbertElliott {
-            p_good_to_bad: 0.01,
-            p_bad_to_good: 0.2,
-            loss_good: 0.0,
-            loss_bad: 0.8,
-        });
+        let cfg =
+            LinkConfig::new(SimDuration::from_micros(10)).with_loss(LossModel::GilbertElliott {
+                p_good_to_bad: 0.01,
+                p_bad_to_good: 0.2,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            });
         let mut link = Link::new(cfg);
         let mut r = rng();
         let mut losses = Vec::new();
@@ -466,13 +552,15 @@ mod tests {
 
     #[test]
     fn fifo_links_never_reorder() {
-        let cfg = LinkConfig::new(SimDuration::from_millis(5))
-            .with_jitter(SimDuration::from_millis(3));
+        let cfg =
+            LinkConfig::new(SimDuration::from_millis(5)).with_jitter(SimDuration::from_millis(3));
         let mut link = Link::new(cfg);
         let mut r = rng();
         let mut prev = SimTime::ZERO;
         for i in 0..1_000u64 {
-            if let Transmit::Deliver { at } = link.transmit(SimTime::from_micros(i * 10), 100, &mut r) {
+            if let Transmit::Deliver { at } =
+                link.transmit(SimTime::from_micros(i * 10), 100, &mut r)
+            {
                 assert!(at > prev, "reordered at packet {i}");
                 prev = at;
             }
@@ -488,6 +576,67 @@ mod tests {
         link.set_up(true);
         assert!(matches!(link.transmit(SimTime::ZERO, 10, &mut r), Transmit::Deliver { .. }));
         assert_eq!(link.stats().dropped_down, 1);
+    }
+
+    #[test]
+    fn flap_and_time_down_accounting() {
+        let mut link = Link::new(LinkConfig::new(SimDuration::from_millis(1)));
+        link.set_up_at(SimTime::from_millis(10), false);
+        link.set_up_at(SimTime::from_millis(10), false); // idempotent, no extra flap
+        link.set_up_at(SimTime::from_millis(40), true);
+        link.set_up_at(SimTime::from_millis(100), false);
+        link.set_up_at(SimTime::from_millis(150), true);
+        assert_eq!(link.stats().flaps, 2);
+        assert_eq!(link.stats().time_down, SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn partition_is_orthogonal_to_admin_state() {
+        let mut link = Link::new(LinkConfig::new(SimDuration::from_millis(1)));
+        let mut r = rng();
+        link.set_partitioned_at(SimTime::from_millis(5), true);
+        assert!(!link.is_available());
+        assert!(link.is_up());
+        assert_eq!(
+            link.transmit(SimTime::from_millis(6), 10, &mut r),
+            Transmit::Drop(DropReason::LinkDown)
+        );
+        // Admin-down while partitioned; healing the partition must not
+        // resurrect the link.
+        link.set_up_at(SimTime::from_millis(7), false);
+        link.set_partitioned_at(SimTime::from_millis(8), false);
+        assert!(!link.is_available());
+        link.set_up_at(SimTime::from_millis(9), true);
+        assert!(link.is_available());
+        assert_eq!(link.stats().flaps, 1, "one continuous outage");
+        assert_eq!(link.stats().time_down, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn loss_override_replaces_and_restores() {
+        let cfg = LinkConfig::new(SimDuration::from_micros(10));
+        let mut link = Link::new(cfg);
+        let mut r = rng();
+        link.set_loss_override(Some(LossModel::Iid { p: 1.0 }));
+        assert_eq!(link.transmit(SimTime::ZERO, 10, &mut r), Transmit::Drop(DropReason::Loss));
+        link.set_loss_override(None);
+        assert!(matches!(link.transmit(SimTime::ZERO, 10, &mut r), Transmit::Deliver { .. }));
+    }
+
+    #[test]
+    fn extra_delay_stretches_latency() {
+        let mut link = Link::new(LinkConfig::new(SimDuration::from_millis(5)));
+        let mut r = rng();
+        link.set_extra_delay(SimDuration::from_millis(20));
+        match link.transmit(SimTime::from_millis(10), 100, &mut r) {
+            Transmit::Deliver { at } => assert_eq!(at, SimTime::from_millis(35)),
+            other => panic!("unexpected {other:?}"),
+        }
+        link.set_extra_delay(SimDuration::ZERO);
+        match link.transmit(SimTime::from_millis(100), 100, &mut r) {
+            Transmit::Deliver { at } => assert_eq!(at, SimTime::from_millis(105)),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

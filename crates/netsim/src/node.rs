@@ -13,7 +13,9 @@ use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a node within a [`Simulation`](crate::Simulation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -154,4 +156,12 @@ pub trait Node<M>: Any {
 
     /// Called when a timer armed by this node fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _timer: Timer) {}
+
+    /// Called when the engine crashes this node (fault injection).
+    ///
+    /// Implementors should reset volatile protocol state here: a crashed
+    /// process loses its memory, and `on_start` will run again at restart.
+    /// No [`Context`] is available — a crashing node cannot send or arm
+    /// timers, and any timers it had armed are voided by the engine.
+    fn on_crash(&mut self) {}
 }

@@ -4,7 +4,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use crate::link::{Link, LinkConfig, LinkId, Transmit};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::link::{DropReason, Link, LinkConfig, LinkId, Transmit};
 use crate::metrics::MetricsRegistry;
 use crate::node::{Context, Envelope, Node, NodeId, Op, Timer};
 use crate::rng::DetRng;
@@ -14,8 +15,11 @@ use crate::trace::{Trace, TraceEvent, TraceKind};
 enum EventKind<M> {
     /// Arrival of a message at `hop` (which may forward it further).
     Deliver { hop: NodeId, env: Envelope<M> },
-    /// A timer firing at `node`.
-    Timer { node: NodeId, id: u64, tag: u64 },
+    /// A timer firing at `node`. Timers armed before a crash carry a stale
+    /// `epoch` and are swallowed after restart.
+    Timer { node: NodeId, id: u64, tag: u64, epoch: u64 },
+    /// Execution of a scripted fault action (index into `fault_actions`).
+    Fault { index: usize },
 }
 
 struct Event<M> {
@@ -81,6 +85,12 @@ pub struct Simulation<M> {
     nodes: Vec<Option<Box<dyn Node<M> + Send>>>,
     names: Vec<String>,
     rngs: Vec<DetRng>,
+    /// Whether each node is currently crashed (blackholed, timers voided).
+    crashed: Vec<bool>,
+    /// Incarnation counter per node; bumped at crash to void stale timers.
+    epochs: Vec<u64>,
+    /// Scripted fault actions, indexed by `EventKind::Fault` events.
+    fault_actions: Vec<FaultAction>,
     links: Vec<Link>,
     link_ends: Vec<(NodeId, NodeId)>,
     /// adjacency[src] -> (dst -> link), deterministic order.
@@ -109,6 +119,9 @@ impl<M: 'static> Simulation<M> {
             nodes: Vec::new(),
             names: Vec::new(),
             rngs: Vec::new(),
+            crashed: Vec::new(),
+            epochs: Vec::new(),
+            fault_actions: Vec::new(),
             links: Vec::new(),
             link_ends: Vec::new(),
             adjacency: Vec::new(),
@@ -131,6 +144,8 @@ impl<M: 'static> Simulation<M> {
         self.nodes.push(Some(Box::new(node)));
         self.names.push(name.into());
         self.rngs.push(self.master_rng.derive(id.0 as u64));
+        self.crashed.push(false);
+        self.epochs.push(0);
         self.adjacency.push(std::collections::BTreeMap::new());
         id
     }
@@ -220,7 +235,8 @@ impl<M: 'static> Simulation<M> {
         self.adjacency.get(from.index())?.get(&to.0).copied()
     }
 
-    /// Brings both directions between `a` and `b` up or down.
+    /// Brings both directions between `a` and `b` up or down, maintaining
+    /// flap accounting and the `net.link.flaps` counter.
     ///
     /// # Panics
     ///
@@ -228,8 +244,163 @@ impl<M: 'static> Simulation<M> {
     pub fn set_connection_up(&mut self, a: NodeId, b: NodeId, up: bool) {
         let ab = self.link_between(a, b).expect("no a->b link");
         let ba = self.link_between(b, a).expect("no b->a link");
-        self.links[ab.index()].set_up(up);
-        self.links[ba.index()].set_up(up);
+        self.with_flap_metric(ab, |link, now| link.set_up_at(now, up));
+        self.with_flap_metric(ba, |link, now| link.set_up_at(now, up));
+    }
+
+    /// Applies a state change to a link and mirrors any new availability
+    /// flaps into the `net.link.flaps` counter.
+    fn with_flap_metric(&mut self, id: LinkId, apply: impl FnOnce(&mut Link, SimTime)) {
+        let now = self.time;
+        let link = &mut self.links[id.index()];
+        let before = link.stats().flaps;
+        apply(link, now);
+        let delta = link.stats().flaps - before;
+        if delta > 0 {
+            self.metrics.add("net.link.flaps", delta);
+        }
+    }
+
+    /// Severs every link whose endpoints fall in different `groups`,
+    /// emulating a network partition. Nodes not listed in any group keep all
+    /// their links. Partition state is tracked separately from admin state:
+    /// [`Simulation::heal_partition`] restores exactly the links severed
+    /// here, never administratively downed ones.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        let owned: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
+        self.partition_groups(&owned);
+    }
+
+    fn partition_groups(&mut self, groups: &[Vec<NodeId>]) {
+        let mut membership: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        for (gi, group) in groups.iter().enumerate() {
+            for node in group {
+                membership[node.index()] = Some(gi);
+            }
+        }
+        for i in 0..self.links.len() {
+            let (from, to) = self.link_ends[i];
+            if let (Some(ga), Some(gb)) = (membership[from.index()], membership[to.index()]) {
+                if ga != gb {
+                    self.with_flap_metric(LinkId(i as u32), |link, now| {
+                        link.set_partitioned_at(now, true)
+                    });
+                }
+            }
+        }
+    }
+
+    /// Heals all partition-severed links.
+    pub fn heal_partition(&mut self) {
+        for i in 0..self.links.len() {
+            if self.links[i].is_partitioned() {
+                self.with_flap_metric(LinkId(i as u32), |link, now| {
+                    link.set_partitioned_at(now, false)
+                });
+            }
+        }
+    }
+
+    /// Crashes `node`: its volatile state is reset via
+    /// [`Node::on_crash`], all pending timers are voided, and traffic
+    /// addressed to (or forwarded through) it is blackholed until
+    /// [`Simulation::restart_node`]. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown or currently being dispatched.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let idx = node.index();
+        if self.crashed[idx] {
+            return;
+        }
+        self.crashed[idx] = true;
+        self.epochs[idx] += 1;
+        self.metrics.inc("net.node.crashes");
+        let n = self.nodes[idx].as_mut().expect("node is being dispatched");
+        n.on_crash();
+    }
+
+    /// Restarts a crashed node: `on_start` runs again (re-arming timers) and
+    /// traffic flows to it once more. No-op if the node is not crashed.
+    pub fn restart_node(&mut self, node: NodeId) {
+        let idx = node.index();
+        if !self.crashed[idx] {
+            return;
+        }
+        self.crashed[idx] = false;
+        self.metrics.inc("net.node.restarts");
+        if self.started {
+            self.dispatch(node, Dispatch::Start);
+        }
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_node_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Installs a fault plan: each scripted action becomes an engine event
+    /// executed at its scheduled time, recorded in metrics
+    /// (`fault.injected` plus a per-action counter) and, when tracing is
+    /// enabled, in the trace as [`TraceKind::Fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any action is scheduled before the current time.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        for (at, action) in plan.into_sorted_events() {
+            assert!(at >= self.time, "fault scheduled in the past");
+            let index = self.fault_actions.len();
+            self.fault_actions.push(action);
+            self.push_event(at, EventKind::Fault { index });
+        }
+    }
+
+    fn execute_fault(&mut self, index: usize) {
+        let action = self.fault_actions[index].clone();
+        self.metrics.inc("fault.injected");
+        self.metrics.inc(action.metric());
+        let (src, dst) = match &action {
+            FaultAction::LinkDown { a, b }
+            | FaultAction::LinkUp { a, b }
+            | FaultAction::LossBurstStart { a, b, .. }
+            | FaultAction::LossBurstEnd { a, b }
+            | FaultAction::LatencySpikeStart { a, b, .. }
+            | FaultAction::LatencySpikeEnd { a, b } => (*a, *b),
+            FaultAction::CrashNode { node } | FaultAction::RestartNode { node } => (*node, *node),
+            FaultAction::Partition { .. } | FaultAction::Heal => (NodeId(0), NodeId(0)),
+        };
+        self.record_trace(TraceKind::Fault { code: action.code() }, src, dst, 0);
+        match action {
+            FaultAction::LinkDown { a, b } => self.set_connection_up(a, b, false),
+            FaultAction::LinkUp { a, b } => self.set_connection_up(a, b, true),
+            FaultAction::LossBurstStart { a, b, loss } => {
+                self.for_both_directions(a, b, |link| link.set_loss_override(Some(loss)));
+            }
+            FaultAction::LossBurstEnd { a, b } => {
+                self.for_both_directions(a, b, |link| link.set_loss_override(None));
+            }
+            FaultAction::LatencySpikeStart { a, b, extra } => {
+                self.for_both_directions(a, b, |link| link.set_extra_delay(extra));
+            }
+            FaultAction::LatencySpikeEnd { a, b } => {
+                self.for_both_directions(a, b, |link| {
+                    link.set_extra_delay(crate::time::SimDuration::ZERO)
+                });
+            }
+            FaultAction::Partition { groups } => self.partition_groups(&groups),
+            FaultAction::Heal => self.heal_partition(),
+            FaultAction::CrashNode { node } => self.crash_node(node),
+            FaultAction::RestartNode { node } => self.restart_node(node),
+        }
+    }
+
+    fn for_both_directions(&mut self, a: NodeId, b: NodeId, mut apply: impl FnMut(&mut Link)) {
+        let ab = self.link_between(a, b).expect("no a->b link");
+        let ba = self.link_between(b, a).expect("no b->a link");
+        apply(&mut self.links[ab.index()]);
+        apply(&mut self.links[ba.index()]);
     }
 
     /// Current simulated time.
@@ -291,6 +462,9 @@ impl<M: 'static> Simulation<M> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
             self.dispatch(NodeId(i as u32), Dispatch::Start);
         }
     }
@@ -350,15 +524,33 @@ impl<M: 'static> Simulation<M> {
         self.time = ev.at;
         self.events_processed += 1;
         match ev.kind {
-            EventKind::Timer { node, id, tag } => {
+            EventKind::Fault { index } => {
+                self.execute_fault(index);
+            }
+            EventKind::Timer { node, id, tag, epoch } => {
                 if self.cancelled_timers.remove(&id) {
+                    return true;
+                }
+                // Timers armed before a crash are voided: the stale epoch (or
+                // the crashed flag, while down) swallows them.
+                if self.crashed[node.index()] || epoch != self.epochs[node.index()] {
                     return true;
                 }
                 self.record_trace(TraceKind::TimerFired { tag }, node, node, 0);
                 self.dispatch(node, Dispatch::Timer(Timer { id, tag }));
             }
             EventKind::Deliver { hop, env } => {
-                if hop == env.dst {
+                if self.crashed[hop.index()] {
+                    // Crashed nodes blackhole traffic addressed to or
+                    // forwarded through them.
+                    self.metrics.inc("net.dropped.node_down");
+                    self.record_trace(
+                        TraceKind::Dropped(DropReason::NodeDown),
+                        env.src,
+                        env.dst,
+                        env.size_bytes,
+                    );
+                } else if hop == env.dst {
                     self.metrics.inc("net.delivered");
                     self.metrics
                         .histogram("net.delivery_latency_ns")
@@ -399,13 +591,8 @@ impl<M: 'static> Simulation<M> {
             match op {
                 Op::Send { dst, payload, size_bytes } => {
                     self.metrics.inc("net.sent");
-                    let env = Envelope {
-                        src: node_id,
-                        dst,
-                        payload,
-                        size_bytes,
-                        sent_at: self.time,
-                    };
+                    let env =
+                        Envelope { src: node_id, dst, payload, size_bytes, sent_at: self.time };
                     self.record_trace(TraceKind::Sent, node_id, dst, size_bytes);
                     if dst == node_id {
                         // Loopback: deliver immediately (next event).
@@ -416,7 +603,8 @@ impl<M: 'static> Simulation<M> {
                 }
                 Op::SetTimer { id, after, tag } => {
                     let at = self.time.saturating_add(after);
-                    self.push_event(at, EventKind::Timer { node: node_id, id, tag });
+                    let epoch = self.epochs[node_id.index()];
+                    self.push_event(at, EventKind::Timer { node: node_id, id, tag, epoch });
                 }
                 Op::CancelTimer { id } => {
                     self.cancelled_timers.insert(id);
@@ -447,9 +635,10 @@ impl<M: 'static> Simulation<M> {
             }
             Transmit::Drop(reason) => {
                 let metric = match reason {
-                    crate::link::DropReason::QueueFull => "net.dropped.queue",
-                    crate::link::DropReason::Loss => "net.dropped.loss",
-                    crate::link::DropReason::LinkDown => "net.dropped.down",
+                    DropReason::QueueFull => "net.dropped.queue",
+                    DropReason::Loss => "net.dropped.loss",
+                    DropReason::LinkDown => "net.dropped.down",
+                    DropReason::NodeDown => "net.dropped.node_down",
                 };
                 self.metrics.inc(metric);
                 self.record_trace(TraceKind::Dropped(reason), env.src, env.dst, env.size_bytes);
@@ -483,11 +672,8 @@ impl<M: 'static> Simulation<M> {
                 let nd = d.saturating_add(w);
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
-                    first_hop[v as usize] = if u == src.0 {
-                        Some((v, link))
-                    } else {
-                        first_hop[u as usize]
-                    };
+                    first_hop[v as usize] =
+                        if u == src.0 { Some((v, link)) } else { first_hop[u as usize] };
                     heap.push(Reverse((nd, v)));
                 }
             }
@@ -638,10 +824,7 @@ mod tests {
         let t = sim.add_node("t", Ticker { fired: vec![], cancel_second: true });
         sim.run_until_idle();
         let fired = &sim.node_as::<Ticker>(t).unwrap().fired;
-        assert_eq!(
-            fired,
-            &vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(3), 3)]
-        );
+        assert_eq!(fired, &vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(3), 3)]);
     }
 
     struct Forwarder;
@@ -732,6 +915,126 @@ mod tests {
         sim.run_until_idle();
         assert!(sim.node_as::<Sink>(sink).unwrap().got.is_empty());
         assert_eq!(sim.metrics().counter_value("net.dropped.down"), 1);
+    }
+
+    /// Counts messages and tick timers; resets its counters on crash.
+    struct Counter {
+        got: u64,
+        ticks: u64,
+        starts: u64,
+        crashes: u64,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            Counter { got: 0, ticks: 0, starts: 0, crashes: 0 }
+        }
+    }
+
+    impl Node<Msg> for Counter {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.starts += 1;
+            ctx.set_timer(SimDuration::from_millis(10), 77);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: Timer) {
+            self.ticks += 1;
+            ctx.set_timer(SimDuration::from_millis(10), 77);
+        }
+        fn on_crash(&mut self) {
+            self.crashes += 1;
+            self.got = 0;
+            self.ticks = 0;
+        }
+    }
+
+    #[test]
+    fn crashed_node_blackholes_and_stops_ticking() {
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let c = sim.add_node("counter", Counter::new());
+        let src = sim.add_node("src", Forwarder);
+        sim.connect(src, c, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.run_until(SimTime::from_millis(35)); // 3 ticks at 10/20/30 ms
+        assert_eq!(sim.node_as::<Counter>(c).unwrap().ticks, 3);
+        sim.crash_node(c);
+        assert!(sim.is_node_crashed(c));
+        assert_eq!(sim.node_as::<Counter>(c).unwrap().crashes, 1);
+        sim.inject(SimTime::from_millis(40), src, c, Msg::Ping(1), 8);
+        sim.run_until(SimTime::from_millis(100));
+        let counter = sim.node_as::<Counter>(c).unwrap();
+        assert_eq!(counter.got, 0, "messages to a crashed node are blackholed");
+        assert_eq!(counter.ticks, 0, "timers do not fire while crashed");
+        assert_eq!(sim.metrics().counter_value("net.dropped.node_down"), 1);
+    }
+
+    #[test]
+    fn restart_rearms_timers_and_voids_stale_ones() {
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let c = sim.add_node("counter", Counter::new());
+        sim.run_until(SimTime::from_millis(5));
+        sim.crash_node(c);
+        sim.run_until(SimTime::from_millis(50));
+        sim.restart_node(c);
+        assert!(!sim.is_node_crashed(c));
+        sim.run_until(SimTime::from_millis(75)); // restarted ticks at 60/70 ms
+        let counter = sim.node_as::<Counter>(c).unwrap();
+        assert_eq!(counter.starts, 2, "on_start runs again at restart");
+        assert_eq!(counter.ticks, 2, "only post-restart timers fire");
+        assert_eq!(sim.metrics().counter_value("net.node.crashes"), 1);
+        assert_eq!(sim.metrics().counter_value("net.node.restarts"), 1);
+    }
+
+    #[test]
+    fn partition_severs_cross_group_links_only() {
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let a = sim.add_node("a", Counter::new());
+        let b = sim.add_node("b", Counter::new());
+        let c = sim.add_node("c", Counter::new());
+        sim.connect(a, b, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.connect(a, c, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.connect(b, c, LinkConfig::new(SimDuration::from_millis(1)));
+        let (side_a, side_bc): (&[NodeId], &[NodeId]) = (&[a], &[b, c]);
+        sim.partition(&[side_a, side_bc]);
+        assert!(!sim.link(sim.link_between(a, b).unwrap()).is_available());
+        assert!(!sim.link(sim.link_between(a, c).unwrap()).is_available());
+        assert!(sim.link(sim.link_between(b, c).unwrap()).is_available());
+        assert_eq!(sim.metrics().counter_value("net.link.flaps"), 4);
+        sim.heal_partition();
+        assert!(sim.link(sim.link_between(a, b).unwrap()).is_available());
+        assert!(sim.link(sim.link_between(a, c).unwrap()).is_available());
+    }
+
+    #[test]
+    fn fault_plan_executes_on_schedule() {
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let sink = sim.add_node("sink", Sink { got: vec![] });
+        let c = sim.add_node("counter", Counter::new());
+        sim.connect(sink, c, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.enable_trace(10_000);
+        let plan = crate::fault::FaultPlan::new().crash(
+            c,
+            SimTime::from_millis(25),
+            Some(SimTime::from_millis(55)),
+        );
+        sim.apply_fault_plan(plan);
+        sim.run_until(SimTime::from_millis(80));
+        let counter = sim.node_as::<Counter>(c).unwrap();
+        // Ticks at 10, 20 (then crash at 25, restart at 55), 65, 75.
+        assert_eq!(counter.starts, 2);
+        assert_eq!(counter.ticks, 2);
+        assert_eq!(sim.metrics().counter_value("fault.injected"), 2);
+        assert_eq!(sim.metrics().counter_value("fault.crash"), 1);
+        assert_eq!(sim.metrics().counter_value("fault.restart"), 1);
+        let faults = sim
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, TraceKind::Fault { .. }))
+            .count();
+        assert_eq!(faults, 2);
     }
 
     #[test]

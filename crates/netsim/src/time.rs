@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(16);
 /// assert_eq!(t.as_nanos(), 16_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in nanoseconds.
@@ -33,7 +35,9 @@ pub struct SimTime(u64);
 /// assert!(tick > SimDuration::from_millis(16));
 /// assert!(tick < SimDuration::from_millis(17));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {

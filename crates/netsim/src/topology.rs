@@ -138,14 +138,14 @@ impl Region {
         // Symmetric matrix of one-way medians (ms).
         const M: [[u64; 8]; 8] = [
             //  EA  SEA  SA   EU   NA  SAm   OC   AF
-            [5, 25, 45, 90, 60, 130, 55, 110],   // EastAsia
-            [25, 5, 30, 85, 85, 160, 45, 95],    // SoutheastAsia
-            [45, 30, 5, 65, 110, 150, 75, 80],   // SouthAsia
-            [90, 85, 65, 5, 40, 95, 140, 45],    // Europe
-            [60, 85, 110, 40, 5, 75, 75, 90],    // NorthAmerica
-            [130, 160, 150, 95, 75, 5, 140, 120],// SouthAmerica
-            [55, 45, 75, 140, 75, 140, 5, 130],  // Oceania
-            [110, 95, 80, 45, 90, 120, 130, 5],  // Africa
+            [5, 25, 45, 90, 60, 130, 55, 110],    // EastAsia
+            [25, 5, 30, 85, 85, 160, 45, 95],     // SoutheastAsia
+            [45, 30, 5, 65, 110, 150, 75, 80],    // SouthAsia
+            [90, 85, 65, 5, 40, 95, 140, 45],     // Europe
+            [60, 85, 110, 40, 5, 75, 75, 90],     // NorthAmerica
+            [130, 160, 150, 95, 75, 5, 140, 120], // SouthAmerica
+            [55, 45, 75, 140, 75, 140, 5, 130],   // Oceania
+            [110, 95, 80, 45, 90, 120, 130, 5],   // Africa
         ];
         M[self.idx()][other.idx()]
     }

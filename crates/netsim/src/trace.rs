@@ -22,6 +22,11 @@ pub enum TraceKind {
         /// The timer's tag.
         tag: u64,
     },
+    /// A scripted fault action was executed by the engine.
+    Fault {
+        /// Discriminant of the executed [`FaultAction`](crate::FaultAction).
+        code: u64,
+    },
 }
 
 /// One trace record.
@@ -107,6 +112,8 @@ impl Trace {
                 TraceKind::Dropped(DropReason::LinkDown) => 5,
                 TraceKind::NoRoute => 6,
                 TraceKind::TimerFired { tag } => 7 ^ (tag << 8),
+                TraceKind::Dropped(DropReason::NodeDown) => 8,
+                TraceKind::Fault { code } => 9 ^ (code << 8),
             };
             mix(kind_code);
             mix(ev.src.index() as u64);
@@ -159,6 +166,18 @@ mod tests {
         let mut b = Trace::new(10);
         b.push(ev(1, TraceKind::TimerFired { tag: 2 }));
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_fault_codes() {
+        let mut a = Trace::new(10);
+        a.push(ev(1, TraceKind::Fault { code: 1 }));
+        let mut b = Trace::new(10);
+        b.push(ev(1, TraceKind::Fault { code: 2 }));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = Trace::new(10);
+        c.push(ev(1, TraceKind::Dropped(DropReason::NodeDown)));
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

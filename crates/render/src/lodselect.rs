@@ -70,10 +70,8 @@ pub fn assign_lods(
     device: &DeviceProfile,
     scene_triangles: u64,
 ) -> LodPlan {
-    let mut lods: Vec<LodLevel> = requests
-        .iter()
-        .map(|r| LodLevel::for_distance(r.distance, r.importance))
-        .collect();
+    let mut lods: Vec<LodLevel> =
+        requests.iter().map(|r| LodLevel::for_distance(r.distance, r.importance)).collect();
 
     let total = |lods: &[LodLevel]| -> u64 {
         scene_triangles + lods.iter().map(|l| l.triangles()).sum::<u64>()
@@ -118,11 +116,7 @@ pub fn assign_lods(
     let mean_fidelity = if requests.is_empty() {
         0.0
     } else {
-        requests
-            .iter()
-            .zip(&lods)
-            .map(|(r, &l)| fidelity(l) * (1.0 + r.importance))
-            .sum::<f64>()
+        requests.iter().zip(&lods).map(|(r, &l)| fidelity(l) * (1.0 + r.importance)).sum::<f64>()
             / weight_sum
     };
     LodPlan {
@@ -175,10 +169,7 @@ mod tests {
     #[test]
     fn impossible_budgets_degrade_to_impostors_not_livelock() {
         let requests: Vec<RenderRequest> = (0..500).map(|i| req(i, 1.0, 1.0)).collect();
-        let tiny = DeviceProfile {
-            triangle_budget: 10,
-            ..DeviceProfile::mr_headset()
-        };
+        let tiny = DeviceProfile { triangle_budget: 10, ..DeviceProfile::mr_headset() };
         let plan = assign_lods(&requests, &tiny, 0);
         assert!(plan.assignments.iter().all(|(_, l)| *l == LodLevel::Impostor));
         assert!(plan.achieved_fps < tiny.target_fps);

@@ -161,7 +161,9 @@ pub fn evaluate_mode(
                 .map(|r| LodLevel::for_distance(r.distance, r.importance).min(LodLevel::Low))
                 .collect();
             let total = |lods: &[LodLevel]| {
-                scene_triangles + overlay_triangles + lods.iter().map(|l| l.triangles()).sum::<u64>()
+                scene_triangles
+                    + overlay_triangles
+                    + lods.iter().map(|l| l.triangles()).sum::<u64>()
             };
             let mut i = 0;
             while total(&device_lods) > device.triangle_budget && i < device_lods.len() {
@@ -244,7 +246,10 @@ mod tests {
         // Overlay bandwidth is far below a full cloud stream.
         let cloud = evaluate_mode(RenderMode::CloudOnly, &requests, &device, 200_000, &cfg());
         assert!(split.bandwidth_bps > 0);
-        assert!(split.bandwidth_bps > cloud.bandwidth_bps, "40 close avatars stream more than one frame");
+        assert!(
+            split.bandwidth_bps > cloud.bandwidth_bps,
+            "40 close avatars stream more than one frame"
+        );
     }
 
     #[test]

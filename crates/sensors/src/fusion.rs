@@ -57,10 +57,7 @@ impl Kalman2 {
         self.x[0] += k0 * y;
         self.x[1] += k1 * y;
         let [[p00, p01], [_p10, p11]] = self.p;
-        self.p = [
-            [(1.0 - k0) * p00, (1.0 - k0) * p01],
-            [self.p[1][0] - k1 * p00, p11 - k1 * p01],
-        ];
+        self.p = [[(1.0 - k0) * p00, (1.0 - k0) * p01], [self.p[1][0] - k1 * p00, p11 - k1 * p01]];
     }
 }
 
@@ -223,10 +220,7 @@ impl PoseFusion {
             (self.left_hand, self.right_hand)
         } else {
             // Default resting hands relative to the head.
-            (
-                position + Vec3::new(-0.25, -0.45, 0.1),
-                position + Vec3::new(0.25, -0.45, 0.1),
-            )
+            (position + Vec3::new(-0.25, -0.45, 0.1), position + Vec3::new(0.25, -0.45, 0.1))
         };
         AvatarState {
             head: Pose::new(position, self.orientation),
@@ -239,8 +233,7 @@ impl PoseFusion {
 
     /// 1-sigma position uncertainty (RMS across axes), metres.
     pub fn position_std(&self) -> f64 {
-        let mean_var =
-            (self.axes[0].p[0][0] + self.axes[1].p[0][0] + self.axes[2].p[0][0]) / 3.0;
+        let mean_var = (self.axes[0].p[0][0] + self.axes[1].p[0][0] + self.axes[2].p[0][0]) / 3.0;
         mean_var.max(0.0).sqrt()
     }
 }
@@ -276,15 +269,15 @@ mod tests {
         let noise = 0.01;
         for i in 0..300 {
             let z = truth
-                + Vec3::new(
-                    rng.normal(0.0, noise),
-                    rng.normal(0.0, noise),
-                    rng.normal(0.0, noise),
-                );
+                + Vec3::new(rng.normal(0.0, noise), rng.normal(0.0, noise), rng.normal(0.0, noise));
             f.ingest(SimTime::from_millis(i * 14), &meas(z, noise));
         }
         let est = f.estimate();
-        assert!(est.head.position.distance(truth) < noise, "err {}", est.head.position.distance(truth));
+        assert!(
+            est.head.position.distance(truth) < noise,
+            "err {}",
+            est.head.position.distance(truth)
+        );
         assert!(f.position_std() < noise);
     }
 
@@ -315,7 +308,9 @@ mod tests {
             );
         }
         // One second with no measurements: the estimate keeps moving at ~1 m/s.
-        let est = f.estimate_at(SimTime::from_millis(1990) + metaclass_netsim::SimDuration::from_millis(1000));
+        let est = f.estimate_at(
+            SimTime::from_millis(1990) + metaclass_netsim::SimDuration::from_millis(1000),
+        );
         assert!((est.head.position.x - 2.99).abs() < 0.2, "x {}", est.head.position.x);
     }
 
@@ -372,7 +367,8 @@ mod tests {
     #[test]
     fn survives_total_room_occlusion() {
         // Room sensor permanently occluded: fusion degrades but still tracks.
-        let traj = Trajectory::new(MotionScript::SeatedLecture { seat: Vec3::new(4.0, 0.0, 6.0) }, 3);
+        let traj =
+            Trajectory::new(MotionScript::SeatedLecture { seat: Vec3::new(4.0, 0.0, 6.0) }, 3);
         let mut headset = HeadsetModel::new(HeadsetConfig::default(), 4);
         let mut fusion = PoseFusion::default();
         for i in 0..720 {

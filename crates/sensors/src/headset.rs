@@ -147,11 +147,8 @@ impl HeadsetModel {
         }
 
         let n = self.cfg.position_noise_std;
-        let noise = Vec3::new(
-            self.rng.normal(0.0, n),
-            self.rng.normal(0.0, n),
-            self.rng.normal(0.0, n),
-        );
+        let noise =
+            Vec3::new(self.rng.normal(0.0, n), self.rng.normal(0.0, n), self.rng.normal(0.0, n));
         let position = truth.head.position + self.drift + noise;
 
         let angle = self.rng.normal(0.0, self.cfg.orientation_noise_deg.to_radians());
@@ -160,10 +157,15 @@ impl HeadsetModel {
             self.rng.normal(0.0, 1.0),
             self.rng.normal(0.0, 1.0),
         );
-        let orientation = (Quat::from_axis_angle(axis, angle) * truth.head.orientation).normalized();
+        let orientation =
+            (Quat::from_axis_angle(axis, angle) * truth.head.orientation).normalized();
 
         let hand_noise = |rng: &mut DetRng, h: Vec3| {
-            h + Vec3::new(rng.normal(0.0, 2.0 * n), rng.normal(0.0, 2.0 * n), rng.normal(0.0, 2.0 * n))
+            h + Vec3::new(
+                rng.normal(0.0, 2.0 * n),
+                rng.normal(0.0, 2.0 * n),
+                rng.normal(0.0, 2.0 * n),
+            )
         };
         let hands = (
             hand_noise(&mut self.rng, truth.left_hand),

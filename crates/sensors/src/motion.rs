@@ -143,16 +143,23 @@ impl Trajectory {
     pub fn state_at(&self, t_secs: f64) -> AvatarState {
         let t = t_secs.max(0.0);
         let (floor_pos, velocity, facing, height) = match &self.script {
-            MotionScript::SeatedLecture { seat } => {
-                (*seat + self.sway(t, 0.03), self.sway_velocity(t, 0.03), self.gaze_yaw(t, 0.6), SEATED_HEIGHT)
-            }
+            MotionScript::SeatedLecture { seat } => (
+                *seat + self.sway(t, 0.03),
+                self.sway_velocity(t, 0.03),
+                self.gaze_yaw(t, 0.6),
+                SEATED_HEIGHT,
+            ),
             MotionScript::Presenter { center, area_half } => {
                 // Lissajous walk inside the podium area.
                 let x = area_half.x * (t * 0.11 * std::f64::consts::TAU + self.phases[0]).sin();
                 let z = area_half.z * (t * 0.07 * std::f64::consts::TAU + self.phases[5]).sin();
-                let vx = area_half.x * 0.11 * std::f64::consts::TAU
+                let vx = area_half.x
+                    * 0.11
+                    * std::f64::consts::TAU
                     * (t * 0.11 * std::f64::consts::TAU + self.phases[0]).cos();
-                let vz = area_half.z * 0.07 * std::f64::consts::TAU
+                let vz = area_half.z
+                    * 0.07
+                    * std::f64::consts::TAU
                     * (t * 0.07 * std::f64::consts::TAU + self.phases[5]).cos();
                 (
                     *center + Vec3::new(x, 0.0, z),
@@ -165,7 +172,12 @@ impl Trajectory {
                 if tables.is_empty() {
                     (Vec3::ZERO, Vec3::ZERO, 0.0, STANDING_HEIGHT)
                 } else if tables.len() == 1 {
-                    (tables[0] + self.sway(t, 0.05), self.sway_velocity(t, 0.05), self.gaze_yaw(t, 1.2), STANDING_HEIGHT)
+                    (
+                        tables[0] + self.sway(t, 0.05),
+                        self.sway_velocity(t, 0.05),
+                        self.gaze_yaw(t, 1.2),
+                        STANDING_HEIGHT,
+                    )
                 } else {
                     // Alternate dwell (at a table) and walk (to the next).
                     let walk_speed = 1.2;
@@ -182,7 +194,12 @@ impl Trajectory {
                     for (i, &(dwell, walk)) in seg_times.iter().enumerate() {
                         if tt < dwell {
                             let p = tables[i] + self.sway(t, 0.05);
-                            out = (p, self.sway_velocity(t, 0.05), self.gaze_yaw(t, 1.2), STANDING_HEIGHT);
+                            out = (
+                                p,
+                                self.sway_velocity(t, 0.05),
+                                self.gaze_yaw(t, 1.2),
+                                STANDING_HEIGHT,
+                            );
                             break;
                         }
                         tt -= dwell;
@@ -352,7 +369,8 @@ mod tests {
         let h = 1e-4;
         let secs = 2.0;
         let v = t.state_at(secs).velocity;
-        let fd = (t.state_at(secs + h).head.position - t.state_at(secs - h).head.position) / (2.0 * h);
+        let fd =
+            (t.state_at(secs + h).head.position - t.state_at(secs - h).head.position) / (2.0 * h);
         assert!(v.distance(fd) < 1e-3, "analytic {v:?} vs fd {fd:?}");
     }
 
@@ -376,7 +394,10 @@ mod tests {
     fn degenerate_scripts_do_not_panic() {
         let empty = Trajectory::new(MotionScript::GroupWork { tables: vec![], dwell_secs: 1.0 }, 1);
         assert!(empty.state_at(5.0).is_finite());
-        let single = Trajectory::new(MotionScript::Navigation { waypoints: vec![Vec3::ZERO], speed: 1.0 }, 1);
+        let single = Trajectory::new(
+            MotionScript::Navigation { waypoints: vec![Vec3::ZERO], speed: 1.0 },
+            1,
+        );
         assert!(single.state_at(5.0).is_finite());
         let negative_time = seated().state_at(-10.0);
         assert!(negative_time.is_finite());

@@ -94,11 +94,7 @@ impl RoomSensorArray {
         }
         let n = self.cfg.position_noise_std;
         let position = truth.head.position
-            + Vec3::new(
-                self.rng.normal(0.0, n),
-                self.rng.normal(0.0, n),
-                self.rng.normal(0.0, n),
-            );
+            + Vec3::new(self.rng.normal(0.0, n), self.rng.normal(0.0, n), self.rng.normal(0.0, n));
         Some(PoseMeasurement {
             source: SensorSource::RoomArray,
             position,
@@ -174,9 +170,8 @@ mod tests {
         let room = RoomSensorConfig::default();
         let headset = crate::headset::HeadsetConfig::default();
         // The array's total error budget beats headset noise + drift.
-        let headset_budget = (headset.position_noise_std.powi(2)
-            + (headset.drift_limit / 2.0).powi(2))
-        .sqrt();
+        let headset_budget =
+            (headset.position_noise_std.powi(2) + (headset.drift_limit / 2.0).powi(2)).sqrt();
         assert!(room.position_noise_std < headset_budget);
     }
 }

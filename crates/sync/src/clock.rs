@@ -138,11 +138,7 @@ mod tests {
             SimTime::from_millis(100),
         );
         // Clean low-RTT exchange with the true offset of 10 ms.
-        est.record(
-            SimTime::from_millis(200),
-            SimTime::from_millis(212),
-            SimTime::from_millis(204),
-        );
+        est.record(SimTime::from_millis(200), SimTime::from_millis(212), SimTime::from_millis(204));
         assert_eq!(est.offset_ns(), Some(10_000_000));
     }
 
@@ -162,11 +158,7 @@ mod tests {
     #[test]
     fn time_conversions_roundtrip() {
         let mut est = OffsetEstimator::new(4);
-        est.record(
-            SimTime::from_millis(50),
-            SimTime::from_millis(75),
-            SimTime::from_millis(60),
-        );
+        est.record(SimTime::from_millis(50), SimTime::from_millis(75), SimTime::from_millis(60));
         let local = SimTime::from_secs(3);
         let server = est.to_server_time(local).unwrap();
         assert_eq!(est.to_local_time(server), Some(local));
@@ -176,11 +168,7 @@ mod tests {
     fn negative_offset_saturates_at_epoch() {
         let mut est = OffsetEstimator::new(4);
         // Server far behind local.
-        est.record(
-            SimTime::from_secs(100),
-            SimTime::from_secs(1),
-            SimTime::from_secs(100),
-        );
+        est.record(SimTime::from_secs(100), SimTime::from_secs(1), SimTime::from_secs(100));
         assert!(est.offset_ns().unwrap() < 0);
         assert_eq!(est.to_server_time(SimTime::ZERO), Some(SimTime::ZERO));
     }

@@ -258,7 +258,11 @@ mod tests {
         // Immediately after the update the displayed state is still near the
         // old prediction (no snap) ...
         let just_after = rx.state_at(SimTime::from_millis(201)).unwrap();
-        assert!((just_after.head.position.x - 0.2).abs() < 0.02, "x {}", just_after.head.position.x);
+        assert!(
+            (just_after.head.position.x - 0.2).abs() < 0.02,
+            "x {}",
+            just_after.head.position.x
+        );
         // ... and by the end of the window it has converged to the target.
         let converged = rx.state_at(SimTime::from_millis(310)).unwrap();
         assert!((converged.head.position.x - 0.3).abs() < 1e-9);

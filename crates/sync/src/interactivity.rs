@@ -194,7 +194,8 @@ mod tests {
     fn lecture_tolerates_more_latency_than_lab() {
         let l = SimDuration::from_millis(250);
         assert!(
-            blended_performance(l, &activity::LECTURE) > blended_performance(l, &activity::LAB) - 1e-9
+            blended_performance(l, &activity::LECTURE)
+                > blended_performance(l, &activity::LAB) - 1e-9
         );
     }
 }

@@ -113,10 +113,7 @@ impl InterestManager {
     }
 
     fn cell_of(&self, p: Vec3) -> (i32, i32) {
-        (
-            (p.x / self.cfg.cell_size).floor() as i32,
-            (p.z / self.cfg.cell_size).floor() as i32,
-        )
+        ((p.x / self.cfg.cell_size).floor() as i32, (p.z / self.cfg.cell_size).floor() as i32)
     }
 
     /// Inserts or moves an entity. `importance` is `0.0` for a silent
@@ -136,10 +133,8 @@ impl InterestManager {
                 e.importance = importance.clamp(0.0, 1.0);
             }
             None => {
-                self.entities.insert(
-                    id,
-                    Entity { position, importance: importance.clamp(0.0, 1.0), cell },
-                );
+                self.entities
+                    .insert(id, Entity { position, importance: importance.clamp(0.0, 1.0), cell });
                 self.grid.entry(cell).or_default().push(id);
             }
         }
@@ -240,7 +235,9 @@ impl InterestManager {
             })
             .collect();
         // Deterministic order: score desc, id asc as tiebreak.
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
         let selected: Vec<AvatarId> = scored.iter().take(budget).map(|(_, id)| *id).collect();
 
         // Age everyone in range; reset the selected.
@@ -295,7 +292,7 @@ mod tests {
         let mut im = manager();
         im.update_entity(AvatarId(1), Vec3::new(2.0, 0.0, 0.0), 0.0); // near, silent
         im.update_entity(AvatarId(2), Vec3::new(15.0, 0.0, 0.0), 1.0); // far, speaking
-        // Burn in staleness equally.
+                                                                       // Burn in staleness equally.
         im.select(SubscriberId(0), vp(0.0, 0.0, 0.0), 2);
         let sel = im.select(SubscriberId(0), vp(0.0, 0.0, 0.0), 1);
         assert_eq!(sel, vec![AvatarId(2)], "speaker should outrank a silent neighbour");
@@ -382,7 +379,11 @@ mod tests {
         let build = || {
             let mut im = manager();
             for i in 0..30 {
-                im.update_entity(AvatarId(i), Vec3::new(i as f64 * 0.7, 0.0, (i % 5) as f64), (i % 3) as f64 / 2.0);
+                im.update_entity(
+                    AvatarId(i),
+                    Vec3::new(i as f64 * 0.7, 0.0, (i % 5) as f64),
+                    (i % 3) as f64 / 2.0,
+                );
             }
             let mut all = Vec::new();
             for tick in 0..10 {

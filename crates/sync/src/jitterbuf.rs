@@ -86,7 +86,7 @@ impl JitterBuffer {
             entries: VecDeque::new(),
             delay_samples: VecDeque::new(),
             late_drops: 0,
-        last_playout: None,
+            last_playout: None,
         }
     }
 
@@ -113,7 +113,12 @@ impl JitterBuffer {
     /// Inserts a state captured at `capture_time` (sender clock) that arrived
     /// at `arrival_time` (sender clock). Returns `false` if the update was
     /// too late to be useful and was dropped.
-    pub fn push(&mut self, capture_time: SimTime, arrival_time: SimTime, state: AvatarState) -> bool {
+    pub fn push(
+        &mut self,
+        capture_time: SimTime,
+        arrival_time: SimTime,
+        state: AvatarState,
+    ) -> bool {
         // Track one-way delay for adaptation.
         let delay = arrival_time.duration_since(capture_time);
         if self.delay_samples.len() == self.cfg.window {
@@ -130,12 +135,8 @@ impl JitterBuffer {
             }
         }
         // Sorted insert (usually at the tail).
-        let pos = self
-            .entries
-            .iter()
-            .rposition(|(t, _)| *t <= capture_time)
-            .map(|i| i + 1)
-            .unwrap_or(0);
+        let pos =
+            self.entries.iter().rposition(|(t, _)| *t <= capture_time).map(|i| i + 1).unwrap_or(0);
         // Duplicate capture times: replace rather than duplicate.
         if pos > 0 && self.entries[pos - 1].0 == capture_time {
             self.entries[pos - 1].1 = state;
@@ -268,11 +269,7 @@ mod tests {
         let mut jb = JitterBuffer::new(cfg());
         // Stable 30 ms network: delay shrinks toward the floor.
         for i in 0..200u64 {
-            jb.push(
-                SimTime::from_millis(i * 20),
-                SimTime::from_millis(i * 20 + 30),
-                st(i as f64),
-            );
+            jb.push(SimTime::from_millis(i * 20), SimTime::from_millis(i * 20 + 30), st(i as f64));
         }
         assert!(jb.playout_delay() <= SimDuration::from_millis(20 + 1));
         // Now heavy jitter: delay grows.

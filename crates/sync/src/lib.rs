@@ -16,6 +16,9 @@
 //!   filtering and smooth correction blending;
 //! - [`InterestManager`] — spatial-grid area-of-interest selection with
 //!   importance, field-of-view, and anti-starvation staleness;
+//! - [`ReliableSender`] / [`ReliableReceiver`] — exactly-once in-order
+//!   interaction replication with an RFC 6298-style adaptive RTO
+//!   ([`RtoEstimator`]), bounded in-flight window, and give-up signalling;
 //! - [`JitterBuffer`] — adaptive playout delay with interpolation;
 //! - [`ActionClass`] — the latency → user-performance model behind the
 //!   paper's 100 ms interactivity rule.
@@ -73,5 +76,7 @@ pub use interactivity::{
 };
 pub use interest::{InterestConfig, InterestManager, SubscriberId, Viewpoint};
 pub use jitterbuf::{JitterBuffer, JitterBufferConfig};
-pub use reliable::{InteractionEvent, ReliableReceiver, ReliableSender};
+pub use reliable::{
+    InteractionEvent, ReliableConfig, ReliableReceiver, ReliableSender, RtoEstimator,
+};
 pub use snapshot::{PoseFrame, SnapshotReceiver, SnapshotSender};

@@ -122,7 +122,12 @@ mod tests {
     fn speech_leads_headset_text_entry() {
         // §3.3: speech is the primary headset input for a reason.
         let s = InputChannel::Speech.effective_wpm();
-        for c in [InputChannel::MidAirGesture, InputChannel::GazeDwell, InputChannel::Controller, InputChannel::HandTracking] {
+        for c in [
+            InputChannel::MidAirGesture,
+            InputChannel::GazeDwell,
+            InputChannel::Controller,
+            InputChannel::HandTracking,
+        ] {
             assert!(s > c.effective_wpm(), "speech should beat {c}");
         }
     }

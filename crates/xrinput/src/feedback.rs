@@ -24,7 +24,8 @@ pub enum FeedbackCue {
 
 impl FeedbackCue {
     /// All modalities.
-    pub const ALL: [FeedbackCue; 3] = [FeedbackCue::Visual, FeedbackCue::Audio, FeedbackCue::Haptic];
+    pub const ALL: [FeedbackCue; 3] =
+        [FeedbackCue::Visual, FeedbackCue::Audio, FeedbackCue::Haptic];
 
     /// Deadline for the cue to feel simultaneous with the user's action.
     /// Haptics bind tightest: the hand knows when it touched something.
@@ -94,11 +95,8 @@ pub fn presence_score(cues: &[(FeedbackCue, SimDuration)]) -> f64 {
     for (cue, latency) in cues {
         let deadline = cue.simultaneity_deadline().as_millis_f64();
         let l = latency.as_millis_f64();
-        let coherence = if l <= deadline {
-            1.0
-        } else {
-            (1.0 - (l - deadline) / (2.0 * deadline)).max(0.0)
-        };
+        let coherence =
+            if l <= deadline { 1.0 } else { (1.0 - (l - deadline) / (2.0 * deadline)).max(0.0) };
         score += cue.presence_weight() * coherence;
     }
     score.clamp(0.0, 1.0)
@@ -130,10 +128,8 @@ mod tests {
 
     #[test]
     fn all_coherent_cues_score_full_presence() {
-        let cues: Vec<_> = FeedbackCue::ALL
-            .iter()
-            .map(|&c| (c, SimDuration::from_millis(10)))
-            .collect();
+        let cues: Vec<_> =
+            FeedbackCue::ALL.iter().map(|&c| (c, SimDuration::from_millis(10))).collect();
         assert!((presence_score(&cues) - 1.0).abs() < 1e-12);
     }
 
@@ -154,10 +150,8 @@ mod tests {
 
     #[test]
     fn wan_haptics_break_presence_more_than_wan_audio() {
-        let base: Vec<_> = FeedbackCue::ALL
-            .iter()
-            .map(|&c| (c, SimDuration::from_millis(10)))
-            .collect();
+        let base: Vec<_> =
+            FeedbackCue::ALL.iter().map(|&c| (c, SimDuration::from_millis(10))).collect();
         let mut late_haptic = base.clone();
         late_haptic[2].1 = SimDuration::from_millis(150);
         let mut late_audio = base.clone();

@@ -36,11 +36,7 @@ pub struct EntryOutcome {
 /// let slow = simulate_text_entry(InputChannel::MidAirGesture, 20, &mut rng);
 /// assert!(fast.duration < slow.duration);
 /// ```
-pub fn simulate_text_entry(
-    channel: InputChannel,
-    words: u32,
-    rng: &mut DetRng,
-) -> EntryOutcome {
+pub fn simulate_text_entry(channel: InputChannel, words: u32, rng: &mut DetRng) -> EntryOutcome {
     let word_secs = 60.0 / channel.words_per_minute();
     let mut total = 0.0;
     let mut corrections = 0u32;

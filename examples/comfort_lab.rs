@@ -16,9 +16,15 @@ use metaclassroom::netsim::SimDuration;
 fn main() {
     let trace = classroom_navigation_trace(600.0, 0.05, 42);
     let profiles = [
-        ("young gamer", UserProfile { age: 21.0, gaming_hours_per_week: 20.0, prior_vr_exposure: 0.9 }),
+        (
+            "young gamer",
+            UserProfile { age: 21.0, gaming_hours_per_week: 20.0, prior_vr_exposure: 0.9 },
+        ),
         ("average adult", UserProfile::average()),
-        ("older novice", UserProfile { age: 58.0, gaming_hours_per_week: 0.0, prior_vr_exposure: 0.0 }),
+        (
+            "older novice",
+            UserProfile { age: 58.0, gaming_hours_per_week: 0.0, prior_vr_exposure: 0.0 },
+        ),
     ];
     let conditions = [
         ("well-tuned (30 ms, 72 fps)", SystemConditions::default()),
@@ -26,10 +32,7 @@ fn main() {
             "laggy network (200 ms)",
             SystemConditions { latency: SimDuration::from_millis(200), ..Default::default() },
         ),
-        (
-            "overloaded GPU (30 fps)",
-            SystemConditions { fps: 30.0, ..Default::default() },
-        ),
+        ("overloaded GPU (30 fps)", SystemConditions { fps: 30.0, ..Default::default() }),
     ];
 
     println!("fuzzy susceptibility multipliers:");

@@ -51,11 +51,8 @@ fn main() {
     let cloud = session.sim().node_as::<CloudServerNode>(session.cloud()).unwrap();
     println!("cloud VR classroom population: {}", cloud.population());
 
-    let presenters = session
-        .participants()
-        .iter()
-        .filter(|p| matches!(p.role, Role::Presenter { .. }))
-        .count();
+    let presenters =
+        session.participants().iter().filter(|p| matches!(p.role, Role::Presenter { .. })).count();
     println!("presenters on podiums: {presenters}");
 
     println!("\n== the survey's modality comparison (Figure 1) ==\n");

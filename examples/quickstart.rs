@@ -16,10 +16,7 @@ fn main() {
         .remote_cohort(Region::EastAsia, 2, LinkClass::ResidentialAccess)
         .build();
 
-    println!(
-        "running a 10 s lecture with {} participants...",
-        session.participants().len()
-    );
+    println!("running a 10 s lecture with {} participants...", session.participants().len());
     session.run_for(SimDuration::from_secs(10));
 
     println!("\n{}", session.report());

@@ -22,11 +22,7 @@ fn every_room_sees_every_participant() {
     let total = s.participants().len(); // 12 physical + 4 remote
 
     // Cloud: everyone.
-    let cloud_pop = s
-        .sim()
-        .node_as::<CloudServerNode>(s.cloud())
-        .unwrap()
-        .population();
+    let cloud_pop = s.sim().node_as::<CloudServerNode>(s.cloud()).unwrap().population();
     assert_eq!(cloud_pop, total);
 
     // Each edge: everyone not local to it.
@@ -63,11 +59,7 @@ fn displayed_avatars_track_their_sources() {
         .find(|p| matches!(p.role, Role::Student { campus: 0 }))
         .copied()
         .unwrap();
-    let truth = s
-        .sim()
-        .node_as::<HeadsetNode>(student.node)
-        .unwrap()
-        .truth_at(now);
+    let truth = s.sim().node_as::<HeadsetNode>(student.node).unwrap().truth_at(now);
 
     // The GZ edge holds a retargeted copy. Retargeting moves the avatar to a
     // local seat, but local offsets (head height, posture) survive — compare
@@ -118,14 +110,8 @@ fn inter_campus_outage_recovers() {
         .copied()
         .unwrap();
     let now = s.time();
-    let truth_y = s
-        .sim()
-        .node_as::<HeadsetNode>(student.node)
-        .unwrap()
-        .truth_at(now)
-        .head
-        .position
-        .y;
+    let truth_y =
+        s.sim().node_as::<HeadsetNode>(student.node).unwrap().truth_at(now).head.position.y;
     let copy = s
         .sim()
         .node_as::<EdgeServerNode>(edges[1])

@@ -2,8 +2,8 @@
 //! to a real session roster.
 
 use metaclassroom::core::{
-    can_view, form_breakout_teams, run_quiz, Activity, BreakoutMember, ContentKind,
-    ContentLedger, QuizQuestion, Role, Scoreboard, SessionBuilder, ViewerContext, Visibility,
+    can_view, form_breakout_teams, run_quiz, Activity, BreakoutMember, ContentKind, ContentLedger,
+    QuizQuestion, Role, Scoreboard, SessionBuilder, ViewerContext, Visibility,
 };
 use metaclassroom::netsim::{LinkClass, Region, SimDuration};
 use metaclassroom::xrinput::InputChannel;
@@ -44,8 +44,16 @@ fn quiz_over_the_session_roster() {
         .map(|(i, p)| (p.avatar, channel_for(p.role, i)))
         .collect();
     let questions = vec![
-        QuizQuestion { prompt: "define motion-to-photon latency".into(), answer_words: 8, time_limit_secs: 120.0 },
-        QuizQuestion { prompt: "one cybersickness mitigation".into(), answer_words: 4, time_limit_secs: 60.0 },
+        QuizQuestion {
+            prompt: "define motion-to-photon latency".into(),
+            answer_words: 8,
+            time_limit_secs: 120.0,
+        },
+        QuizQuestion {
+            prompt: "one cybersickness mitigation".into(),
+            answer_words: 4,
+            time_limit_secs: 60.0,
+        },
     ];
     let report = run_quiz(&questions, &roster, 5);
     assert_eq!(report.answers.len(), roster.len() * questions.len());
@@ -88,18 +96,21 @@ fn contributed_content_respects_enrolment_boundaries() {
     let mut ledger = ContentLedger::new();
     let author = s.participants()[0].avatar;
 
-    let slide = ledger.contribute(author, ContentKind::Slide, Visibility::ClassOnly, 80_000, s.time());
-    let clip = ledger.contribute(author, ContentKind::Recording, Visibility::Public, 9_000_000, s.time());
+    let slide =
+        ledger.contribute(author, ContentKind::Slide, Visibility::ClassOnly, 80_000, s.time());
+    let clip =
+        ledger.contribute(author, ContentKind::Recording, Visibility::Public, 9_000_000, s.time());
     ledger.approve(slide).unwrap();
     ledger.approve(clip).unwrap();
     assert!(ledger.verify().is_ok());
 
-    let classmate = ViewerContext {
-        avatar: s.participants()[1].avatar,
-        enrolled: true,
+    let classmate =
+        ViewerContext { avatar: s.participants()[1].avatar, enrolled: true, group: None };
+    let guest = ViewerContext {
+        avatar: metaclassroom::avatar::AvatarId(42_000),
+        enrolled: false,
         group: None,
     };
-    let guest = ViewerContext { avatar: metaclassroom::avatar::AvatarId(42_000), enrolled: false, group: None };
 
     assert_eq!(ledger.visible_to(&classmate).len(), 2);
     // Guests: no class slides, and recordings stay private even when public.
@@ -107,7 +118,10 @@ fn contributed_content_respects_enrolment_boundaries() {
     assert!(!can_view(ledger.item(clip).unwrap(), &guest));
 
     // Credits accrued for both approvals.
-    assert_eq!(ledger.credits_of(author), ContentKind::Slide.credit_value() + ContentKind::Recording.credit_value());
+    assert_eq!(
+        ledger.credits_of(author),
+        ContentKind::Slide.credit_value() + ContentKind::Recording.credit_value()
+    );
 }
 
 #[test]
@@ -140,5 +154,8 @@ fn a_full_lesson_flow() {
     assert!(ledger.verify().is_ok());
     assert_eq!(board.event_count() as usize, ledger.len());
     // The top contributor is deterministic.
-    assert_eq!(ledger.leaderboard().first().map(|(a, _)| *a), board.ranking().first().map(|(a, _)| *a));
+    assert_eq!(
+        ledger.leaderboard().first().map(|(a, _)| *a),
+        board.ranking().first().map(|(a, _)| *a)
+    );
 }

@@ -46,10 +46,7 @@ fn parallel_trials_match_serial_execution() {
 
 #[test]
 fn sessions_can_be_moved_across_threads_mid_run() {
-    let mut s = SessionBuilder::new()
-        .seed(3)
-        .campus("CWB", Region::EastAsia, 3, false)
-        .build();
+    let mut s = SessionBuilder::new().seed(3).campus("CWB", Region::EastAsia, 3, false).build();
     s.run_for(SimDuration::from_secs(1));
     let handle = std::thread::spawn(move || {
         s.run_for(SimDuration::from_secs(1));

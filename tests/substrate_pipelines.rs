@@ -1,9 +1,7 @@
 //! Cross-crate pipeline tests that bypass the session facade and wire the
 //! substrates together directly — the seams a downstream user would touch.
 
-use metaclassroom::avatar::{
-    retarget, AnchorFrame, AvatarCodec, AvatarState, Pose, Quat, Vec3,
-};
+use metaclassroom::avatar::{retarget, AnchorFrame, AvatarCodec, AvatarState, Pose, Quat, Vec3};
 use metaclassroom::comfort::{ComfortConfig, SicknessAccumulator, Stimulus};
 use metaclassroom::media::{shard_frame, FecConfig, FrameAssembler};
 use metaclassroom::netsim::{DetRng, SimDuration, SimTime};
@@ -139,6 +137,66 @@ fn video_loss_to_comfort_pipeline() {
         acc_clean.step(1.0, &clean);
     }
     assert!(with_loss >= acc_clean.score(), "lost frames can only worsen comfort");
+}
+
+/// Fault injection is replayable: the same seed and the same [`FaultPlan`]
+/// produce byte-identical traces and metrics across independent runs.
+///
+/// [`FaultPlan`]: metaclassroom::netsim::FaultPlan
+#[test]
+fn fault_injected_runs_are_deterministic() {
+    use metaclassroom::core::SessionBuilder;
+    use metaclassroom::netsim::{FaultPlan, LinkClass, LossModel, NodeId, Region};
+
+    fn run_once() -> (u64, Vec<(String, u64)>) {
+        let mut session = SessionBuilder::new()
+            .seed(0xFA17)
+            .campus("CWB", Region::EastAsia, 3, true)
+            .campus("GZ", Region::EastAsia, 2, false)
+            .remote_cohort(Region::Europe, 1, LinkClass::ResidentialAccess)
+            .build();
+        let edges: Vec<NodeId> = session.edges().to_vec();
+        let cloud = session.cloud();
+        let plan = FaultPlan::new()
+            .link_flap(edges[0], edges[1], SimTime::from_millis(400), SimTime::from_millis(900))
+            .loss_burst(
+                edges[0],
+                cloud,
+                SimTime::from_millis(500),
+                SimTime::from_millis(1500),
+                LossModel::Iid { p: 0.3 },
+            )
+            .latency_spike(
+                edges[1],
+                cloud,
+                SimTime::from_millis(600),
+                SimTime::from_millis(1400),
+                SimDuration::from_millis(80),
+            )
+            .partition_window(
+                &[&[edges[0]], &[edges[1], cloud]],
+                SimTime::from_millis(1600),
+                SimTime::from_millis(2000),
+            )
+            .crash(edges[1], SimTime::from_millis(2200), Some(SimTime::from_millis(2700)));
+        session.sim_mut().enable_trace(200_000);
+        session.sim_mut().apply_fault_plan(plan);
+        session.run_for(SimDuration::from_secs(3));
+        let fingerprint = session.sim().trace().expect("trace enabled").fingerprint();
+        let counters =
+            session.sim().metrics().counters().map(|(k, v)| (k.to_string(), v)).collect();
+        (fingerprint, counters)
+    }
+
+    let (fp1, m1) = run_once();
+    let (fp2, m2) = run_once();
+    assert_eq!(fp1, fp2, "trace fingerprints diverged between identical runs");
+    assert_eq!(m1, m2, "metrics diverged between identical runs");
+    let count = |name: &str| m1.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0);
+    assert_eq!(count("fault.injected"), 10, "all scheduled faults executed");
+    assert!(count("net.link.flaps") > 0, "flap accounting reached the metrics");
+    assert_eq!(count("net.node.crashes"), 1);
+    assert_eq!(count("net.node.restarts"), 1);
 }
 
 /// The workspace's public types stay Send + Sync (threads can own sessions).
