@@ -1,0 +1,181 @@
+//! The single experiment driver: runs any registered experiment (E1–E14) as
+//! a parallel, deterministic multi-seed sweep.
+//!
+//! ```text
+//! bench --list
+//! bench --exp e3                         # 8-seed quick look
+//! bench --exp e3 --seeds 32 --jobs 8 --json
+//! bench --exp all --seeds 4 --quick --json
+//! bench --validate results/BENCH_e3.json
+//! ```
+//!
+//! With `--json`, each sweep writes `results/BENCH_<exp>.json` — a
+//! schema-versioned document whose bytes depend only on the experiment,
+//! scale, and seed list (never on `--jobs` or wall-clock).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use metaclass_bench::sweep::{run_sweep, validate_json, SweepConfig};
+use metaclass_bench::{default_jobs, experiments, quick_requested, Scale};
+
+struct Args {
+    exp: Option<String>,
+    seeds: u64,
+    jobs: usize,
+    json: bool,
+    list: bool,
+    validate: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench --exp <id|all> [--seeds N] [--jobs N] [--quick] [--json]\n\
+         \x20      bench --list\n\
+         \x20      bench --validate FILE...\n\
+         \n\
+         \x20 --exp <id|all>   experiment to sweep (e1..e14), or every one\n\
+         \x20 --seeds N        number of independent seeds (default 8)\n\
+         \x20 --jobs N         worker threads (default: available cores)\n\
+         \x20 --quick          reduced scale (same path cargo tests use)\n\
+         \x20 --json           write results/BENCH_<exp>.json\n\
+         \x20 --list           list registered experiments\n\
+         \x20 --validate       check BENCH_*.json files against the schema"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        exp: None,
+        seeds: 8,
+        jobs: default_jobs(),
+        json: false,
+        list: false,
+        validate: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--exp" => args.exp = Some(it.next().unwrap_or_else(|| usage())),
+            "--seeds" => {
+                args.seeds = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if args.seeds == 0 {
+                    eprintln!("--seeds must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--jobs" => {
+                args.jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if args.jobs == 0 {
+                    eprintln!("--jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--quick" => {} // read via quick_requested()
+            "--validate" => {
+                args.validate.extend(it.by_ref());
+                if args.validate.is_empty() {
+                    usage();
+                }
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.list {
+        println!("{:<6} {}", "id", "title");
+        for e in experiments::all() {
+            println!("{:<6} {}", e.id(), e.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !args.validate.is_empty() {
+        let mut failed = false;
+        for path in &args.validate {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: unreadable: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            match validate_json(&text) {
+                Ok(doc) => println!(
+                    "{path}: ok ({} over {} seeds, {} metrics, fingerprint {})",
+                    doc.experiment,
+                    doc.seeds.len(),
+                    doc.metrics.len(),
+                    doc.fingerprint
+                ),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    failed = true;
+                }
+            }
+        }
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
+    let Some(exp_arg) = args.exp else { usage() };
+    let scale = Scale::from_quick_flag(quick_requested());
+    let targets: Vec<&'static dyn metaclass_bench::Experiment> =
+        if exp_arg.eq_ignore_ascii_case("all") {
+            experiments::all().to_vec()
+        } else {
+            match experiments::by_id(&exp_arg) {
+                Some(e) => vec![e],
+                None => {
+                    eprintln!("unknown experiment {exp_arg:?}; try --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+
+    for exp in targets {
+        let cfg = SweepConfig::first_n(args.seeds, args.jobs, scale);
+        println!(
+            "== {} — {} ({} seeds, {} scale, {} jobs)",
+            exp.id(),
+            exp.title(),
+            cfg.seeds.len(),
+            scale,
+            cfg.jobs
+        );
+        let started = Instant::now();
+        let out = run_sweep(exp, &cfg);
+        let elapsed = started.elapsed();
+
+        // The first run's tables, as the representative single-run view.
+        if let Some(first) = out.reports.first() {
+            print!("{}", first.render());
+        }
+        println!("{}", out.doc.stats_table());
+        println!(
+            "fingerprint {}  ({} runs in {:.2} s)",
+            out.doc.fingerprint,
+            out.reports.len(),
+            elapsed.as_secs_f64()
+        );
+        if args.json {
+            match out.doc.write_to(std::path::Path::new("results")) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write results: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

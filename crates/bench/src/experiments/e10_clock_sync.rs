@@ -12,7 +12,7 @@ use metaclass_netsim::{
 };
 use metaclass_sync::OffsetEstimator;
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 #[derive(Debug, Clone)]
 enum Msg {
@@ -109,14 +109,15 @@ fn measure(one_way_ms: u64, jitter_ms: f64, skew_ms: u64, probes: u32, seed: u64
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let probes = if quick { 30 } else { 120 };
     let jitters: &[f64] = if quick { &[0.5, 5.0] } else { &[0.1, 0.5, 1.0, 5.0, 20.0] };
     let one_ways: &[u64] = if quick { &[8] } else { &[2, 8, 60] };
     let mut rows = Vec::new();
     for &ow in one_ways {
         for &j in jitters {
-            rows.push(measure(ow, j, 40, probes, 0xE10 ^ ow ^ (j * 10.0) as u64));
+            rows.push(measure(ow, j, 40, probes, mix_seed(seed, 0xE10 ^ ow ^ (j * 10.0) as u64)));
         }
     }
     let mut table = Table::new(
@@ -135,11 +136,39 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, table }
 }
 
+/// E10 as a sweepable [`Experiment`].
+pub struct E10ClockSync;
+
+impl Experiment for E10ClockSync {
+    fn id(&self) -> &'static str {
+        "e10"
+    }
+
+    fn title(&self) -> &'static str {
+        "clock-sync error vs network jitter"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            let key = format!("ow{}_j{}", row.one_way_ms, (row.jitter_ms * 10.0).round() as u64);
+            r.scalar(format!("{key}_error_us"), row.error_us);
+            r.scalar(format!("{key}_bound_us"), row.bound_us);
+            r.flag(format!("{key}_within_bound"), row.error_us <= row.bound_us);
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use crate::Scale;
+
     #[test]
     fn skew_is_recovered_within_the_uncertainty_bound() {
-        let out = super::run(true);
+        let out = super::run(Scale::Quick, 0);
         for r in &out.rows {
             assert!(
                 r.error_us <= r.bound_us,

@@ -8,7 +8,7 @@
 use metaclass_netsim::{DetRng, Region, SimDuration};
 use metaclass_xrinput::{presence_score, simulate_text_entry, FeedbackCue, InputChannel};
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// Per-channel measured throughput.
 #[derive(Debug, Clone)]
@@ -48,9 +48,10 @@ pub struct Outcome {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let trials = if quick { 30 } else { 300 };
-    let mut rng = DetRng::new(0xE11);
+    let mut rng = DetRng::new(mix_seed(seed, 0xE11));
 
     let mut channels = Vec::new();
     let mut t1 = Table::new(
@@ -120,13 +121,47 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { channels, presence, tables: vec![t1, t2] }
 }
 
+/// E11 as a sweepable [`Experiment`].
+pub struct E11InputThroughput;
+
+impl Experiment for E11InputThroughput {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+
+    fn title(&self) -> &'static str {
+        "headset input throughput and feedback presence"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.channels {
+            let key = crate::slug(&row.channel.to_string());
+            r.scalar(format!("{key}_wpm"), row.achieved_wpm);
+            r.scalar(format!("{key}_answer_secs"), row.answer_secs);
+            r.scalar(format!("{key}_corrections_per_100"), row.corrections_per_100);
+        }
+        for row in &out.presence {
+            let key = crate::slug(&row.condition);
+            r.scalar(format!("{key}_presence"), row.presence);
+            r.flag(format!("{key}_haptics_coherent"), row.haptics_coherent);
+        }
+        for t in out.tables {
+            r.table(t);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn throughput_ordering_matches_the_literature() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let wpm =
             |c: InputChannel| out.channels.iter().find(|r| r.channel == c).unwrap().achieved_wpm;
         // Keyboard > speech > every other headset channel.
@@ -139,7 +174,7 @@ mod tests {
 
     #[test]
     fn presence_collapses_over_transcontinental_haptics() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         assert!(out.presence[0].presence > 0.95);
         assert!(out.presence[0].haptics_coherent);
         let far = out.presence.last().unwrap();

@@ -10,7 +10,7 @@ use metaclass_core::{Activity, SessionBuilder, TeachingModality};
 use metaclass_media::VideoConfig;
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// One class-size row.
 #[derive(Debug, Clone)]
@@ -40,10 +40,10 @@ fn sfu_egress_bps(class_size: u32, grid: u32) -> f64 {
     class_size as f64 * (class_size.saturating_sub(1).min(grid)) as f64 * tile
 }
 
-fn measure(class_size: u32, secs: u64) -> Row {
+fn measure(class_size: u32, secs: u64, seed: u64) -> Row {
     // All participants remote (the honest comparison with a Zoom class).
     let mut session = SessionBuilder::new()
-        .seed(0xE12 ^ class_size as u64)
+        .seed(mix_seed(seed, 0xE12 ^ class_size as u64))
         .activity(Activity::Seminar)
         .campus("studio", Region::EastAsia, 1, true) // the instructor's studio
         .remote_cohort(Region::EastAsia, class_size - 2, LinkClass::ResidentialAccess)
@@ -64,10 +64,11 @@ fn measure(class_size: u32, secs: u64) -> Row {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let (sizes, secs): (&[u32], u64) =
         if quick { (&[10, 40], 3) } else { (&[10, 30, 100, 300], 10) };
-    let rows: Vec<Row> = sizes.iter().map(|&n| measure(n, secs)).collect();
+    let rows: Vec<Row> = sizes.iter().map(|&n| measure(n, secs, seed)).collect();
 
     let mut t1 = Table::new(
         "E12a: server egress — SFU video conference vs Metaverse classroom",
@@ -106,11 +107,44 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, tables: vec![t1, t2] }
 }
 
+/// E12 as a sweepable [`Experiment`].
+pub struct E12VsVideoconf;
+
+impl Experiment for E12VsVideoconf {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+
+    fn title(&self) -> &'static str {
+        "server egress: SFU video conference vs metaverse classroom"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            let key = format!("class_{}", row.class_size);
+            r.scalar(format!("{key}_videoconf_egress_mbps"), row.videoconf_egress_mbps);
+            r.scalar(
+                format!("{key}_metaverse_per_participant_kbps"),
+                row.metaverse_per_participant_kbps,
+            );
+            r.scalar(format!("{key}_metaverse_egress_mbps"), row.metaverse_egress_mbps);
+        }
+        for t in out.tables {
+            r.table(t);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use crate::Scale;
+
     #[test]
     fn avatar_sync_is_orders_of_magnitude_cheaper_than_per_user_video() {
-        let out = super::run(true);
+        let out = super::run(Scale::Quick, 0);
         for r in &out.rows {
             // Avatar traffic per user is far below a single webcam tile.
             assert!(

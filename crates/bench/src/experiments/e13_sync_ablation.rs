@@ -10,7 +10,7 @@ use metaclass_edge::FanoutConfig;
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 use metaclass_sync::{DeadReckoningConfig, InterestConfig};
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// Which mechanism is removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +87,7 @@ fn no_interest() -> InterestConfig {
     InterestConfig { radius: 10_000.0, ..InterestConfig::default() }
 }
 
-fn measure(variant: Variant, clients: u32, secs: u64) -> (f64, f64) {
+fn measure(variant: Variant, clients: u32, secs: u64, seed: u64) -> (f64, f64) {
     let mut cfg = SessionConfig::default();
     cfg.server.codec = protocol_codec();
     cfg.client.codec = protocol_codec();
@@ -113,7 +113,7 @@ fn measure(variant: Variant, clients: u32, secs: u64) -> (f64, f64) {
         }
     }
     let mut session = SessionBuilder::new()
-        .seed(0xE13)
+        .seed(mix_seed(seed, 0xE13))
         .activity(Activity::Seminar)
         .server_config(cfg.server)
         .client_config(cfg.client)
@@ -127,12 +127,13 @@ fn measure(variant: Variant, clients: u32, secs: u64) -> (f64, f64) {
 }
 
 /// Runs the ablation.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let (clients, secs) = if quick { (20, 3) } else { (100, 10) };
     let mut rows = Vec::new();
     let mut full_per_client = 0.0;
     for variant in Variant::ALL {
-        let (replication_kbps, per_client_kbps) = measure(variant, clients, secs);
+        let (replication_kbps, per_client_kbps) = measure(variant, clients, secs, seed);
         if variant == Variant::Full {
             full_per_client = per_client_kbps;
         }
@@ -158,13 +159,40 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, table }
 }
 
+/// E13 as a sweepable [`Experiment`].
+pub struct E13SyncAblation;
+
+impl Experiment for E13SyncAblation {
+    fn id(&self) -> &'static str {
+        "e13"
+    }
+
+    fn title(&self) -> &'static str {
+        "sync-mechanism ablation: what each mechanism buys"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            let key = crate::slug(&row.variant.to_string());
+            r.scalar(format!("{key}_replication_kbps"), row.replication_kbps);
+            r.scalar(format!("{key}_per_client_kbps"), row.per_client_kbps);
+            r.scalar(format!("{key}_cost_factor"), row.cost_factor);
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn mechanism_contributions_match_their_roles() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let by = |v: Variant| out.rows.iter().find(|r| r.variant == v).expect("present");
         let full = by(Variant::Full);
         // Dead reckoning is the big lever: removing it roughly doubles

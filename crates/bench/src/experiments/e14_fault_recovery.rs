@@ -25,7 +25,7 @@ use metaclass_edge::{EdgeServerNode, HeartbeatConfig, PeerState, RemoteAvatarPre
 use metaclass_netsim::{DetRng, FaultPlan, Region, SimDuration, SimTime};
 use metaclass_sync::{ReliableConfig, ReliableReceiver, ReliableSender};
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// Measurements from the crash/restart scenario.
 #[derive(Debug, Clone)]
@@ -89,14 +89,14 @@ fn heartbeat(quick: bool) -> HeartbeatConfig {
     }
 }
 
-fn measure_fault(quick: bool) -> FaultRow {
+fn measure_fault(quick: bool, seed: u64) -> FaultRow {
     let hb = heartbeat(quick);
     let mut cfg = SessionConfig::default();
     cfg.server.heartbeat = hb;
     let (students, warmup) =
         if quick { (2, SimDuration::from_secs(2)) } else { (5, SimDuration::from_secs(3)) };
     let mut session = SessionBuilder::new()
-        .seed(0xE14)
+        .seed(mix_seed(seed, 0xE14))
         .activity(Activity::Lecture)
         .server_config(cfg.server)
         .campus("CWB", Region::EastAsia, students, true)
@@ -263,8 +263,9 @@ fn measure_rto(cfg: ReliableConfig, events: u64, seed: u64) -> (u64, u64) {
 }
 
 /// Runs both scenarios.
-pub fn run(quick: bool) -> Outcome {
-    let fault = measure_fault(quick);
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
+    let fault = measure_fault(quick, seed);
 
     let events = if quick { 200 } else { 1000 };
     let rto_ms = SimDuration::from_millis(100);
@@ -272,7 +273,7 @@ pub fn run(quick: bool) -> Outcome {
     for (variant, cfg) in
         [("adaptive", ReliableConfig::adaptive(rto_ms)), ("fixed", ReliableConfig::fixed(rto_ms))]
     {
-        let (delivered, retransmissions) = measure_rto(cfg, events, 0xE14);
+        let (delivered, retransmissions) = measure_rto(cfg, events, mix_seed(seed, 0xE14));
         rto.push(RtoRow {
             variant,
             delivered,
@@ -314,13 +315,57 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { fault, rto, table }
 }
 
+/// E14 as a sweepable [`Experiment`].
+pub struct E14FaultRecovery;
+
+impl Experiment for E14FaultRecovery {
+    fn id(&self) -> &'static str {
+        "e14"
+    }
+
+    fn title(&self) -> &'static str {
+        "fault recovery: crash detection, degradation, resync"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        let f = &out.fault;
+        // Timings are NaN when the corresponding event never happened; a
+        // missing scalar (count < seeds in the sweep stats) reports that
+        // honestly, where NaN would poison every aggregate.
+        for (key, v) in [
+            ("detection_ms", f.detection_ms),
+            ("outage_staleness_ms", f.outage_staleness_ms),
+            ("recovery_ms", f.recovery_ms),
+            ("post_staleness_ms", f.post_staleness_ms),
+        ] {
+            if v.is_finite() {
+                r.scalar(key, v);
+            }
+        }
+        r.flag("held", f.held);
+        r.flag("frozen", f.frozen);
+        r.flag("recovered", f.recovered);
+        for row in &out.rto {
+            let key = crate::slug(row.variant);
+            r.scalar(format!("{key}_retransmit_ratio"), row.retransmit_ratio);
+            r.metrics.add(&format!("{key}_delivered"), row.delivered);
+            r.metrics.add(&format!("{key}_retransmissions"), row.retransmissions);
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn crash_is_detected_degraded_and_resynced() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let hb = heartbeat(true);
         let f = &out.fault;
         // Detection within the heartbeat timeout plus polling slack.
@@ -348,7 +393,7 @@ mod tests {
 
     #[test]
     fn adaptive_rto_retransmits_strictly_less_than_fixed() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let adaptive = &out.rto[0];
         let fixed = &out.rto[1];
         assert_eq!(adaptive.variant, "adaptive");

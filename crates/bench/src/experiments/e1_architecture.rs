@@ -11,7 +11,7 @@ use metaclass_core::{
 };
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// Outcome of E1.
 #[derive(Debug, Clone)]
@@ -22,11 +22,14 @@ pub struct Outcome {
     pub tables: Vec<Table>,
 }
 
-/// Runs the experiment. `quick` shrinks the roster and duration for tests.
-pub fn run(quick: bool) -> Outcome {
+/// Runs the experiment. [`Scale::Quick`] shrinks the roster and duration
+/// for tests; `seed` perturbs every random stream (seed 0 reproduces the
+/// historical single-run numbers exactly).
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let (students, secs) = if quick { (4, 5) } else { (16, 60) };
     let mut session = SessionBuilder::new()
-        .seed(2022)
+        .seed(mix_seed(seed, 2022))
         .activity(Activity::Lecture)
         .cloud_region(Region::EastAsia)
         .campus("HKUST-CWB", Region::EastAsia, students, true)
@@ -99,11 +102,50 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { report, tables: vec![analytic, measured, traffic] }
 }
 
+/// E1 as a sweepable [`Experiment`].
+pub struct E1Architecture;
+
+impl Experiment for E1Architecture {
+    fn id(&self) -> &'static str {
+        "e1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure-3 architecture end to end (unit case lecture)"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        let rep = &out.report;
+        r.scalar("updates_sent", rep.updates_sent as f64);
+        r.scalar("suppression_ratio", rep.suppression_ratio());
+        r.scalar("replication_kbps", rep.replication_bandwidth_bps() / 1e3);
+        r.scalar("fanout_kbps", rep.fanout_bandwidth_bps() / 1e3);
+        r.scalar("delivery_ratio", rep.delivery_ratio());
+        for (path, s) in [
+            ("mr_display", &rep.mr_display_latency),
+            ("vr_display", &rep.vr_display_latency),
+            ("sensor_ingest", &rep.sensor_latency),
+            ("inter_campus", &rep.inter_campus_latency),
+        ] {
+            r.scalar(format!("{path}_p50_ms"), s.p50 as f64 / 1e6);
+            r.scalar(format!("{path}_p99_ms"), s.p99 as f64 / 1e6);
+        }
+        for t in out.tables {
+            r.table(t);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use crate::Scale;
+
     #[test]
     fn quick_run_produces_sane_numbers() {
-        let out = super::run(true);
+        let out = super::run(Scale::Quick, 0);
         assert!(out.report.updates_sent > 0);
         assert!(out.report.mr_display_latency.count > 0);
         assert!(out.report.vr_display_latency.count > 0);

@@ -11,7 +11,7 @@ use metaclass_netsim::{
 };
 use metaclass_sync::{activity, blended_performance, is_noticeable, ActionClass};
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -78,7 +78,8 @@ fn measure_rtt(one_way: SimDuration, probes: u32, seed: u64) -> f64 {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let sweep: &[u64] =
         if quick { &[10, 50, 100, 200] } else { &[5, 10, 25, 50, 75, 100, 150, 200, 300, 400] };
     let probes = if quick { 20 } else { 200 };
@@ -103,7 +104,7 @@ pub fn run(quick: bool) -> Outcome {
 
     let mut points = Vec::new();
     for &ms in sweep {
-        let rtt = measure_rtt(SimDuration::from_millis(ms), probes, 0xE2 ^ ms);
+        let rtt = measure_rtt(SimDuration::from_millis(ms), probes, mix_seed(seed, 0xE2 ^ ms));
         let lat = SimDuration::from_millis_f64(rtt);
         let perf: Vec<(ActionClass, f64)> =
             ActionClass::ALL.iter().map(|&a| (a, a.performance(lat))).collect();
@@ -129,13 +130,46 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { points, tables: vec![per_action, per_activity] }
 }
 
+/// E2 as a sweepable [`Experiment`].
+pub struct E2LatencyThreshold;
+
+impl Experiment for E2LatencyThreshold {
+    fn id(&self) -> &'static str {
+        "e2"
+    }
+
+    fn title(&self) -> &'static str {
+        "user performance vs end-to-end latency (100 ms rule)"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for p in &out.points {
+            let key = format!("rtt_ms_at_{}ms", p.one_way_ms);
+            r.scalar(key, p.measured_rtt_ms);
+            for (action, perf) in &p.performance {
+                r.scalar(
+                    format!("perf_{}_at_{}ms", crate::slug(&format!("{action:?}")), p.one_way_ms),
+                    *perf,
+                );
+            }
+        }
+        for t in out.tables {
+            r.table(t);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn performance_degrades_across_the_sweep() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         assert_eq!(out.points.len(), 4);
         // Measured RTT tracks 2x the nominal one-way latency.
         for p in &out.points {

@@ -12,7 +12,7 @@ use metaclass_edge::FanoutConfig;
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 use metaclass_sync::DeadReckoningConfig;
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// Which protocol stack a row measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,9 +56,9 @@ pub struct Outcome {
     pub table: Table,
 }
 
-fn measure(clients: u32, mode: Mode, secs: u64) -> Row {
+fn measure(clients: u32, mode: Mode, secs: u64, seed: u64) -> Row {
     let mut builder = SessionBuilder::new()
-        .seed(0xE3 ^ clients as u64)
+        .seed(mix_seed(seed, 0xE3 ^ clients as u64))
         .activity(Activity::Seminar)
         .campus("CWB", Region::EastAsia, 4, true)
         .remote_cohort(Region::EastAsia, clients, LinkClass::ResidentialAccess);
@@ -101,15 +101,16 @@ fn measure(clients: u32, mode: Mode, secs: u64) -> Row {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let (populations, naive_cap, secs): (&[u32], u32, u64) =
         if quick { (&[10, 40], 40, 3) } else { (&[10, 50, 100, 250, 500, 1000], 250, 10) };
 
     let mut rows = Vec::new();
     for &n in populations {
-        rows.push(measure(n, Mode::Full, secs));
+        rows.push(measure(n, Mode::Full, secs, seed));
         if n <= naive_cap {
-            rows.push(measure(n, Mode::Naive, secs));
+            rows.push(measure(n, Mode::Naive, secs, seed));
         }
     }
 
@@ -129,13 +130,40 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, table }
 }
 
+/// E3 as a sweepable [`Experiment`].
+pub struct E3Scalability;
+
+impl Experiment for E3Scalability {
+    fn id(&self) -> &'static str {
+        "e3"
+    }
+
+    fn title(&self) -> &'static str {
+        "per-client bandwidth and cloud egress vs population"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            let prefix = format!("{}_{}", crate::slug(&row.mode.to_string()), row.clients);
+            r.scalar(format!("{prefix}_per_client_kbps"), row.per_client_kbps);
+            r.scalar(format!("{prefix}_egress_mbps"), row.egress_mbps);
+            r.scalar(format!("{prefix}_p99_display_ms"), row.p99_display_ms);
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn full_stack_per_client_bandwidth_is_flat_and_naive_grows() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let full: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Full).collect();
         let naive: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Naive).collect();
         assert_eq!(full.len(), 2);

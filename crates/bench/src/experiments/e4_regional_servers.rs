@@ -10,7 +10,7 @@ use metaclass_netsim::{
     Simulation,
 };
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// Server placement strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,9 @@ pub struct Row {
     pub p99_rtt_ms: f64,
     /// Fraction of learners with RTT under the 100 ms interactivity bar.
     pub under_100ms: f64,
+    /// Full per-learner mean-RTT distribution (nanoseconds), mergeable
+    /// across sweep runs.
+    pub rtt_hist: Histogram,
 }
 
 /// Outcome of E4.
@@ -159,15 +162,17 @@ fn measure(placement: Placement, learners: u32, seed: u64) -> Row {
         p50_rtt_ms: hist.percentile(50.0) as f64 / 1e6,
         p99_rtt_ms: hist.percentile(99.0) as f64 / 1e6,
         under_100ms: under as f64 / learners as f64,
+        rtt_hist: hist,
     }
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let learners = if quick { 200 } else { 2000 };
     let rows = vec![
-        measure(Placement::Central, learners, 0xE4),
-        measure(Placement::Regional, learners, 0xE4),
+        measure(Placement::Central, learners, mix_seed(seed, 0xE4)),
+        measure(Placement::Regional, learners, mix_seed(seed, 0xE4)),
     ];
     let mut table = Table::new(
         "E4: worldwide learner RTT — central cloud vs regional servers",
@@ -185,13 +190,46 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, tables: vec![table] }
 }
 
+/// E4 as a sweepable [`Experiment`].
+pub struct E4RegionalServers;
+
+impl Experiment for E4RegionalServers {
+    fn id(&self) -> &'static str {
+        "e4"
+    }
+
+    fn title(&self) -> &'static str {
+        "worldwide learner RTT: central cloud vs regional servers"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            let prefix = crate::slug(&row.placement.to_string());
+            r.scalar(format!("{prefix}_p50_rtt_ms"), row.p50_rtt_ms);
+            r.scalar(format!("{prefix}_p99_rtt_ms"), row.p99_rtt_ms);
+            r.scalar(format!("{prefix}_under_100ms"), row.under_100ms);
+            // The raw distributions merge bucket-wise across sweep runs, so
+            // the sweep's merged snapshot holds the pooled population.
+            r.metrics.histogram(&format!("{prefix}_rtt_ns")).merge(&row.rtt_hist);
+            r.metrics.add(&format!("{prefix}_learners"), row.learners as u64);
+        }
+        for t in out.tables {
+            r.table(t);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn regional_placement_cuts_tail_latency() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let central = &out.rows[0];
         let regional = &out.rows[1];
         assert!(

@@ -11,7 +11,7 @@ use metaclass_render::{
     evaluate_mode, DeviceProfile, RenderMode, RenderOutcome, RenderRequest, SplitConfig,
 };
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// One measured row.
 #[derive(Debug, Clone)]
@@ -50,7 +50,8 @@ fn crowd(n: u32, seed: u64) -> Vec<RenderRequest> {
 const SCENE_TRIANGLES: u64 = 250_000;
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let crowds: &[u32] = if quick { &[10, 40] } else { &[5, 10, 20, 40, 80, 160] };
     let devices =
         [DeviceProfile::mr_headset(), DeviceProfile::laptop_webgl(), DeviceProfile::desktop()];
@@ -63,7 +64,7 @@ pub fn run(quick: bool) -> Outcome {
     let mut rows = Vec::new();
     for device in &devices {
         for &n in crowds {
-            let requests = crowd(n, 0xE5 ^ n as u64);
+            let requests = crowd(n, mix_seed(seed, 0xE5 ^ n as u64));
             let outcomes: Vec<RenderOutcome> =
                 [RenderMode::DeviceOnly, RenderMode::CloudOnly, RenderMode::Split]
                     .into_iter()
@@ -86,13 +87,48 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, table }
 }
 
+/// E5 as a sweepable [`Experiment`].
+pub struct E5SplitRendering;
+
+impl Experiment for E5SplitRendering {
+    fn id(&self) -> &'static str {
+        "e5"
+    }
+
+    fn title(&self) -> &'static str {
+        "avatar rendering: device vs cloud vs split"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            for o in &row.outcomes {
+                let prefix = format!(
+                    "{}_{}_{}",
+                    crate::slug(&row.device),
+                    row.avatars,
+                    crate::slug(&o.mode.to_string())
+                );
+                r.scalar(format!("{prefix}_fps"), o.fps);
+                r.scalar(format!("{prefix}_fidelity"), o.mean_fidelity);
+                r.scalar(format!("{prefix}_added_latency_ms"), o.added_latency.as_millis_f64());
+                r.scalar(format!("{prefix}_bandwidth_mbps"), o.bandwidth_bps as f64 / 1e6);
+            }
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     #[test]
     fn split_rendering_dominates_on_headsets_with_dense_crowds() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let headset_40 = out
             .rows
             .iter()

@@ -17,7 +17,7 @@ use metaclass_netsim::{
     Context, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation, Timer,
 };
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// The transport scheme under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,6 +240,8 @@ pub struct Row {
     pub quality: f64,
     /// Bandwidth overhead vs the raw stream.
     pub overhead: f64,
+    /// Whether the loss process was the bursty Gilbert–Elliott variant.
+    pub burst: bool,
 }
 
 /// Outcome of E6.
@@ -354,11 +356,13 @@ fn measure(scheme: Scheme, loss: LossModel, one_way_ms: u64, frames: u32, seed: 
         p50_latency_ms: p50,
         quality: legibility_after_stalls(legibility_score(&video), stall),
         overhead: bytes_sent as f64 / raw_bytes_estimate - 1.0,
+        burst: matches!(loss, LossModel::GilbertElliott { .. }),
     }
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let (losses, one_ways, frames): (&[f64], &[u64], u32) = if quick {
         (&[0.0, 0.05], &[10, 50], 90)
     } else {
@@ -375,7 +379,13 @@ pub fn run(quick: bool) -> Outcome {
         let loss = if loss_p == 0.0 { LossModel::None } else { LossModel::Iid { p: loss_p } };
         for &ow in one_ways {
             for scheme in schemes {
-                let row = measure(scheme, loss, ow, frames, 0xE6 ^ ow ^ (loss_p * 1000.0) as u64);
+                let row = measure(
+                    scheme,
+                    loss,
+                    ow,
+                    frames,
+                    mix_seed(seed, 0xE6 ^ ow ^ (loss_p * 1000.0) as u64),
+                );
                 table.row_strings(vec![
                     row.scheme.to_string(),
                     format!("{:.0}%", row.loss * 100.0),
@@ -398,7 +408,7 @@ pub fn run(quick: bool) -> Outcome {
         loss_bad: 0.5,
     };
     for scheme in schemes {
-        let row = measure(scheme, burst, 50, frames, 0xE6BB);
+        let row = measure(scheme, burst, 50, frames, mix_seed(seed, 0xE6BB));
         table.row_strings(vec![
             format!("{} (burst)", row.scheme),
             format!("{:.0}%", row.loss * 100.0),
@@ -414,9 +424,43 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, table }
 }
 
+/// E6 as a sweepable [`Experiment`].
+pub struct E6VideoFec;
+
+impl Experiment for E6VideoFec {
+    fn id(&self) -> &'static str {
+        "e6"
+    }
+
+    fn title(&self) -> &'static str {
+        "lecture video over loss: FEC vs ARQ vs plain UDP"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            let prefix = format!(
+                "{}{}_l{}_ow{}",
+                if row.burst { "burst_" } else { "" },
+                crate::slug(&row.scheme.to_string()),
+                (row.loss * 1000.0).round() as u64,
+                row.one_way_ms
+            );
+            r.scalar(format!("{prefix}_on_time"), row.on_time);
+            r.scalar(format!("{prefix}_p50_latency_ms"), row.p50_latency_ms);
+            r.scalar(format!("{prefix}_quality"), row.quality);
+            r.scalar(format!("{prefix}_overhead"), row.overhead);
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     fn find(rows: &[Row], scheme: Scheme, loss: f64, ow: u64) -> &Row {
         rows.iter()
@@ -426,7 +470,7 @@ mod tests {
 
     #[test]
     fn fec_beats_arq_at_wan_distance_under_loss() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let fec = find(&out.rows, Scheme::Fec { parity: 4 }, 0.05, 50);
         let arq = find(&out.rows, Scheme::Arq, 0.05, 50);
         let udp = find(&out.rows, Scheme::None, 0.05, 50);
@@ -442,7 +486,7 @@ mod tests {
 
     #[test]
     fn clean_short_links_need_nothing() {
-        let out = run(true);
+        let out = run(Scale::Quick, 0);
         let udp = find(&out.rows, Scheme::None, 0.0, 10);
         assert!(udp.on_time > 0.99);
         assert!(udp.p50_latency_ms < 30.0);

@@ -10,7 +10,7 @@ use metaclass_comfort::{
 };
 use metaclass_netsim::SimDuration;
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// One study cell.
 #[derive(Debug, Clone)]
@@ -69,9 +69,10 @@ fn push_rows(table: &mut Table, cells: &[Cell]) {
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let (secs, dt) = if quick { (120.0, 0.1) } else { (900.0, 0.05) };
-    let trace = classroom_navigation_trace(secs, dt, 0xE7);
+    let trace = classroom_navigation_trace(secs, dt, mix_seed(seed, 0xE7));
     let avg = UserProfile::average();
     let headers: &[&str] =
         &["condition", "raw score", "raw severity", "protected", "severity", "reduction"];
@@ -140,11 +141,48 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { latency_cells, fps_cells, fov_cells, profile_cells, tables: vec![t1, t2, t3, t4] }
 }
 
+/// E7 as a sweepable [`Experiment`].
+pub struct E7Cybersickness;
+
+impl Experiment for E7Cybersickness {
+    fn id(&self) -> &'static str {
+        "e7"
+    }
+
+    fn title(&self) -> &'static str {
+        "cybersickness factors and the speed protector"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        let groups = [
+            (&out.latency_cells, ""),
+            (&out.fps_cells, ""),
+            (&out.fov_cells, ""),
+            (&out.profile_cells, "profile_"),
+        ];
+        for (cells, prefix) in groups {
+            for c in cells.iter() {
+                let key = format!("{prefix}{}", crate::slug(&c.label));
+                r.scalar(format!("{key}_raw"), c.raw.final_score);
+                r.scalar(format!("{key}_protected"), c.protected.final_score);
+            }
+        }
+        for t in out.tables {
+            r.table(t);
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use crate::Scale;
+
     #[test]
     fn factor_directions_match_the_literature() {
-        let out = super::run(true);
+        let out = super::run(Scale::Quick, 0);
         // Latency increases sickness.
         assert!(out.latency_cells[0].raw.final_score < out.latency_cells[2].raw.final_score);
         // Low frame rate increases sickness.

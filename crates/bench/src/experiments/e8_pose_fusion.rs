@@ -12,7 +12,7 @@ use metaclass_sensors::{
     RoomSensorConfig, TrackingError, Trajectory,
 };
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// Which sensors feed the filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +98,8 @@ fn track(
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let secs = if quick { 20.0 } else { 120.0 };
     let motions = [
         ("seated student", MotionScript::SeatedLecture { seat: Vec3::new(6.0, 0.0, 8.0) }),
@@ -138,7 +139,7 @@ pub fn run(quick: bool) -> Outcome {
     for (motion_name, script) in &motions {
         for (cond, hs, room) in &conditions {
             for sources in [Sources::HeadsetOnly, Sources::RoomOnly, Sources::Fused] {
-                let error = track(script.clone(), sources, *hs, *room, secs, 0xE8);
+                let error = track(script.clone(), sources, *hs, *room, secs, mix_seed(seed, 0xE8));
                 table.row_strings(vec![
                     motion_name.to_string(),
                     sources.to_string(),
@@ -159,9 +160,41 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, table }
 }
 
+/// E8 as a sweepable [`Experiment`].
+pub struct E8PoseFusion;
+
+impl Experiment for E8PoseFusion {
+    fn id(&self) -> &'static str {
+        "e8"
+    }
+
+    fn title(&self) -> &'static str {
+        "edge pose fusion: headset vs room sensors vs fused"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            let key = format!(
+                "{}_{}_{}",
+                crate::slug(&row.motion),
+                crate::slug(&row.sources.to_string()),
+                crate::slug(&row.condition)
+            );
+            r.scalar(format!("{key}_pos_rmse_mm"), row.error.position_rmse() * 1000.0);
+            r.scalar(format!("{key}_pos_max_mm"), row.error.position_max() * 1000.0);
+            r.scalar(format!("{key}_orient_rmse_deg"), row.error.orientation_rmse_deg());
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Scale;
 
     fn rmse(out: &Outcome, motion: &str, sources: Sources, condition: &str) -> f64 {
         out.rows
@@ -174,7 +207,7 @@ mod tests {
 
     #[test]
     fn fusion_beats_both_single_sources_under_failures() {
-        let out = super::run(true);
+        let out = super::run(Scale::Quick, 0);
         for motion in ["seated student", "walking presenter"] {
             // Under heavy drift, fusion beats the drifting headset.
             let fused = rmse(&out, motion, Sources::Fused, "heavy drift");

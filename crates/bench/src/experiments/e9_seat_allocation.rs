@@ -10,7 +10,7 @@ use metaclass_avatar::{retarget, AnchorFrame, AvatarId, AvatarState, Pose, Quat,
 use metaclass_edge::{ClassroomLayout, SeatAllocator};
 use metaclass_netsim::{DetRng, Histogram};
 
-use crate::Table;
+use crate::{mix_seed, Experiment, Report, Scale, Table};
 
 /// One churn scenario's results.
 #[derive(Debug, Clone)]
@@ -123,12 +123,21 @@ fn churn(
 }
 
 /// Runs the experiment.
-pub fn run(quick: bool) -> Outcome {
+pub fn run(scale: Scale, seed: u64) -> Outcome {
+    let quick = scale.is_quick();
     let steps = if quick { 200 } else { 2000 };
     let rows = vec![
-        churn("light churn (40 seats, 20 users)", 5, 20, 0.02, 0.01, steps, 0xE9),
-        churn("heavy churn (40 seats, 30 users)", 5, 30, 0.2, 0.15, steps, 0xE9 + 1),
-        churn("overload (16 seats, 60 users)", 2, 60, 0.1, 0.02, steps, 0xE9 + 2),
+        churn("light churn (40 seats, 20 users)", 5, 20, 0.02, 0.01, steps, mix_seed(seed, 0xE9)),
+        churn(
+            "heavy churn (40 seats, 30 users)",
+            5,
+            30,
+            0.2,
+            0.15,
+            steps,
+            mix_seed(seed, 0xE9 + 1),
+        ),
+        churn("overload (16 seats, 60 users)", 2, 60, 0.1, 0.02, steps, mix_seed(seed, 0xE9 + 2)),
     ];
     let mut table = Table::new(
         "E9: seat allocation under churn",
@@ -147,11 +156,43 @@ pub fn run(quick: bool) -> Outcome {
     Outcome { rows, table }
 }
 
+/// E9 as a sweepable [`Experiment`].
+pub struct E9SeatAllocation;
+
+impl Experiment for E9SeatAllocation {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+
+    fn title(&self) -> &'static str {
+        "vacant-seat allocation under churn"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let out = run(scale, seed);
+        let mut r = Report::new();
+        for row in &out.rows {
+            // The parenthetical sizing is part of the label; slug() folds it
+            // into a stable key.
+            let key = crate::slug(row.scenario.split('(').next().unwrap_or(&row.scenario).trim());
+            r.scalar(format!("{key}_joins"), row.joins as f64);
+            r.scalar(format!("{key}_rejections"), row.rejections as f64);
+            r.scalar(format!("{key}_reassignments"), row.reassignments as f64);
+            r.scalar(format!("{key}_mean_clamp_m"), row.mean_clamp_m);
+            r.scalar(format!("{key}_peak_occupancy"), row.peak_occupancy as f64);
+        }
+        r.table(out.table);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use crate::Scale;
+
     #[test]
     fn allocation_is_stable_and_overload_rejects() {
-        let out = super::run(true);
+        let out = super::run(Scale::Quick, 0);
         for r in &out.rows {
             assert_eq!(r.reassignments, 0, "{}: seats must be stable", r.scenario);
             assert!(r.joins > 0);

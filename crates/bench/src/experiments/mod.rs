@@ -1,4 +1,6 @@
-//! One module per experiment in DESIGN.md's per-experiment index.
+//! One module per experiment in DESIGN.md's per-experiment index, plus the
+//! registry that exposes each as a [`crate::Experiment`] trait object for
+//! the generic `bench` binary and the sweep runner.
 
 pub mod e10_clock_sync;
 pub mod e11_input_throughput;
@@ -14,3 +16,66 @@ pub mod e6_video_fec;
 pub mod e7_cybersickness;
 pub mod e8_pose_fusion;
 pub mod e9_seat_allocation;
+
+use crate::Experiment;
+
+/// Every experiment, in E1..E14 order.
+pub fn all() -> &'static [&'static dyn Experiment] {
+    &[
+        &e1_architecture::E1Architecture,
+        &e2_latency_threshold::E2LatencyThreshold,
+        &e3_scalability::E3Scalability,
+        &e4_regional_servers::E4RegionalServers,
+        &e5_split_rendering::E5SplitRendering,
+        &e6_video_fec::E6VideoFec,
+        &e7_cybersickness::E7Cybersickness,
+        &e8_pose_fusion::E8PoseFusion,
+        &e9_seat_allocation::E9SeatAllocation,
+        &e10_clock_sync::E10ClockSync,
+        &e11_input_throughput::E11InputThroughput,
+        &e12_vs_videoconf::E12VsVideoconf,
+        &e13_sync_ablation::E13SyncAblation,
+        &e14_fault_recovery::E14FaultRecovery,
+    ]
+}
+
+/// Looks an experiment up by its id (`"e3"`), case-insensitively.
+pub fn by_id(id: &str) -> Option<&'static dyn Experiment> {
+    let id = id.to_ascii_lowercase();
+    all().iter().copied().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_e1_through_e14_with_unique_ids() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), 14);
+        for i in 1..=14 {
+            assert!(ids.contains(&format!("e{i}").as_str()), "missing e{i}");
+        }
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len(), "duplicate experiment id");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_rejects_unknown_ids() {
+        assert_eq!(by_id("e3").unwrap().id(), "e3");
+        assert_eq!(by_id("E14").unwrap().id(), "e14");
+        assert!(by_id("e15").is_none());
+        assert!(by_id("").is_none());
+    }
+
+    #[test]
+    fn titles_are_nonempty_and_distinct() {
+        let mut titles: Vec<&str> = all().iter().map(|e| e.title()).collect();
+        assert!(titles.iter().all(|t| !t.is_empty()));
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), 14);
+    }
+}

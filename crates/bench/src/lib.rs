@@ -1,23 +1,175 @@
 //! # metaclass-bench
 //!
 //! The experiment harness of the `metaclassroom` reproduction: one module per
-//! experiment in DESIGN.md's index (E1–E12), each regenerating a table the
-//! blueprint's claims predict. Binaries under `src/bin/` are thin wrappers;
-//! every experiment also runs in a reduced "quick" configuration inside
-//! `cargo test` so the harness can never rot.
+//! experiment in DESIGN.md's index (E1–E14), each regenerating a table the
+//! blueprint's claims predict. Every experiment implements the [`Experiment`]
+//! trait — `run(Scale, seed)` returning a structured [`Report`] — and is
+//! registered in [`experiments::all`], so one generic `bench` binary drives
+//! them all; every experiment also runs in the reduced [`Scale::Quick`]
+//! configuration inside `cargo test` so the harness can never rot.
 //!
-//! Run everything with:
+//! Run a single experiment, a multi-seed parallel sweep, or everything:
 //!
 //! ```text
-//! for e in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12; do
-//!     cargo run --release -p metaclass-bench --bin ${e}_* ; done
+//! cargo run --release -p metaclass-bench --bin bench -- --list
+//! cargo run --release -p metaclass-bench --bin bench -- --exp e3
+//! cargo run --release -p metaclass-bench --bin bench -- --exp e3 --seeds 32 --jobs 8 --json
+//! cargo run --release -p metaclass-bench --bin bench -- --exp all --seeds 8 --json
 //! ```
+//!
+//! `--json` writes a schema-versioned `results/BENCH_<exp>.json` whose bytes
+//! depend only on `(experiment, scale, seeds)` — never on `--jobs` — see the
+//! [`sweep`] module.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod sweep;
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use metaclass_netsim::MetricsRegistry;
+
+/// How big a configuration an experiment should run.
+///
+/// Every experiment supports both scales through the same code path: `Quick`
+/// shrinks rosters, durations, and sweep grids so the experiment finishes
+/// inside `cargo test`; `Full` is the release-mode configuration the numbers
+/// in EXPERIMENTS.md come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Reduced configuration for tests and smoke runs.
+    Quick,
+    /// The full release-mode configuration.
+    Full,
+}
+
+impl Scale {
+    /// Whether this is the reduced configuration.
+    pub fn is_quick(self) -> bool {
+        matches!(self, Scale::Quick)
+    }
+
+    /// Maps the legacy `quick: bool` convention onto a scale.
+    pub fn from_quick_flag(quick: bool) -> Self {
+        if quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Stable lowercase name, used in JSON and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+impl Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Derives a per-component seed from a sweep seed and a fixed salt.
+///
+/// The map is a bijection in `seed` for any fixed `salt`, and `mix_seed(0,
+/// salt) == salt`, so seed `0` reproduces the pre-sweep single-run behaviour
+/// of every experiment bit for bit.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    salt ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Lowercases a label and maps every non-alphanumeric run to a single `_`,
+/// yielding stable metric-key fragments from display strings.
+pub fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut gap = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    out
+}
+
+/// The structured result of one seeded experiment run.
+///
+/// A report carries three views of the same measurement: named scalar
+/// metrics (the sweepable quantities cross-run statistics are computed
+/// from), an optional [`MetricsRegistry`] of counters and histograms (merged
+/// across runs with [`MetricsRegistry::merge`]), and the rendered ASCII
+/// [`Table`]s, which are *derived* presentation — everything in a table is
+/// reconstructible from the structured data.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Named scalar metrics in name order.
+    pub scalars: BTreeMap<String, f64>,
+    /// Counters and histograms recorded during the run.
+    pub metrics: MetricsRegistry,
+    /// Rendered tables, in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a scalar metric. Non-finite values are rejected with a panic:
+    /// they would poison every cross-run statistic downstream.
+    pub fn scalar(&mut self, key: impl Into<String>, value: f64) {
+        let key = key.into();
+        assert!(value.is_finite(), "scalar {key} is not finite: {value}");
+        self.scalars.insert(key, value);
+    }
+
+    /// Records a boolean as a 0/1 scalar (so sweep statistics read as rates).
+    pub fn flag(&mut self, key: impl Into<String>, value: bool) {
+        self.scalar(key, if value { 1.0 } else { 0.0 });
+    }
+
+    /// Appends a rendered table.
+    pub fn table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Renders all tables, in order.
+    pub fn render(&self) -> String {
+        self.tables.iter().map(|t| t.to_string()).collect()
+    }
+}
+
+/// A runnable experiment: the uniform interface every `eN` module exposes.
+///
+/// Implementations must be deterministic: the same `(scale, seed)` pair must
+/// yield an identical [`Report`] on every invocation, which is what makes
+/// parallel sweeps ([`sweep::run_sweep`]) reproducible and their JSON output
+/// independent of worker count.
+pub trait Experiment: Sync {
+    /// Short stable identifier (`"e3"`), used for CLI selection and file
+    /// names.
+    fn id(&self) -> &'static str;
+
+    /// One-line human title.
+    fn title(&self) -> &'static str;
+
+    /// Runs the experiment at the given scale with the given sweep seed.
+    fn run(&self, scale: Scale, seed: u64) -> Report;
+}
 
 /// A printable results table with aligned columns.
 #[derive(Debug, Clone, Default)]
@@ -96,29 +248,39 @@ pub fn quick_requested() -> bool {
         || std::env::var("METACLASS_QUICK").is_ok_and(|v| v == "1")
 }
 
-/// Runs independent seeded trials on worker threads (deterministic: results
-/// come back ordered by trial index regardless of scheduling).
-pub fn parallel_trials<T, F>(seeds: &[u64], f: F) -> Vec<T>
+/// Runs independent seeded trials on at most `jobs` scoped worker threads.
+///
+/// Deterministic by construction: results come back ordered by trial index
+/// regardless of scheduling, and each trial sees only its own seed. Workers
+/// pull trials from a shared queue, so uneven per-seed runtimes still load
+/// all `jobs` threads.
+pub fn parallel_trials<T, F>(seeds: &[u64], jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = Vec::new();
-    out.resize_with(seeds.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let chunk = seeds.len().div_ceil(threads).max(1);
-        for (slot_chunk, seed_chunk) in out.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
-                    *slot = Some(f(seed));
-                }
+    let jobs = jobs.clamp(1, seeds.len().max(1));
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(seeds.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let out = f(seed);
+                done.lock().expect("no poisoned trial lock").push((i, out));
             });
         }
-    })
-    .expect("trial worker panicked");
-    out.into_iter().map(|o| o.expect("all trials filled")).collect()
+    });
+    let mut done = done.into_inner().expect("no poisoned trial lock");
+    done.sort_by_key(|(i, _)| *i);
+    assert_eq!(done.len(), seeds.len(), "every trial completed");
+    done.into_iter().map(|(_, out)| out).collect()
+}
+
+/// The number of worker threads to default to (`--jobs` unset).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 /// Writes a JSON record for an experiment under `results/` (best effort; the
@@ -161,10 +323,53 @@ mod tests {
     }
 
     #[test]
-    fn parallel_trials_preserve_order() {
+    fn parallel_trials_preserve_order_at_any_job_count() {
         let seeds: Vec<u64> = (0..37).collect();
-        let out = parallel_trials(&seeds, |s| s * 2);
-        assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>());
+        for jobs in [1, 2, 8, 64] {
+            let out = parallel_trials(&seeds, jobs, |s| s * 2);
+            assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn mix_seed_is_transparent_at_seed_zero_and_spreads_otherwise() {
+        assert_eq!(mix_seed(0, 0xE3), 0xE3);
+        assert_eq!(mix_seed(0, 2022), 2022);
+        let a = mix_seed(1, 0xE3);
+        let b = mix_seed(2, 0xE3);
+        assert_ne!(a, b);
+        assert_ne!(a, 0xE3);
+    }
+
+    #[test]
+    fn slug_normalizes_labels() {
+        assert_eq!(slug("full-stack"), "full_stack");
+        assert_eq!(slug("latency 100 ms"), "latency_100_ms");
+        assert_eq!(slug("fec-8+4 (burst)"), "fec_8_4_burst");
+        assert_eq!(slug("  FPS 72  "), "fps_72");
+    }
+
+    #[test]
+    fn report_collects_scalars_and_flags() {
+        let mut r = Report::new();
+        r.scalar("a", 1.5);
+        r.flag("ok", true);
+        assert_eq!(r.scalars.get("a"), Some(&1.5));
+        assert_eq!(r.scalars.get("ok"), Some(&1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn non_finite_scalars_are_rejected() {
+        Report::new().scalar("bad", f64::NAN);
+    }
+
+    #[test]
+    fn scale_round_trips_the_quick_flag() {
+        assert!(Scale::from_quick_flag(true).is_quick());
+        assert!(!Scale::from_quick_flag(false).is_quick());
+        assert_eq!(Scale::Quick.as_str(), "quick");
+        assert_eq!(Scale::Full.to_string(), "full");
     }
 
     #[test]

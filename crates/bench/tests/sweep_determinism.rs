@@ -1,0 +1,79 @@
+//! End-to-end determinism of the sweep harness: the merged JSON document is
+//! a pure function of `(experiment, scale, seeds)` — worker count and
+//! repetition never change a byte.
+
+use metaclass_bench::experiments::{e2_latency_threshold, e4_regional_servers, e5_split_rendering};
+use metaclass_bench::sweep::{run_sweep, validate_json, SweepConfig, SCHEMA_VERSION};
+use metaclass_bench::{Experiment, Scale};
+
+#[test]
+fn sixteen_seed_sweep_is_byte_identical_across_job_counts() {
+    let exp = e5_split_rendering::E5SplitRendering;
+    let sweep = |jobs| {
+        let cfg = SweepConfig::first_n(16, jobs, Scale::Quick);
+        run_sweep(&exp, &cfg).doc.to_json_string()
+    };
+    let serial = sweep(1);
+    let parallel = sweep(8);
+    assert_eq!(serial, parallel, "--jobs 1 and --jobs 8 must write identical JSON");
+    // And re-running the serial sweep reproduces the exact bytes.
+    assert_eq!(serial, sweep(1), "re-running must reproduce the document");
+}
+
+#[test]
+fn simulation_backed_sweep_is_jobs_invariant_too() {
+    // E2 runs real discrete-event simulations per seed; this catches any
+    // nondeterminism that leaks in through the engine rather than the math.
+    let exp = e2_latency_threshold::E2LatencyThreshold;
+    let sweep = |jobs| {
+        let cfg = SweepConfig::first_n(4, jobs, Scale::Quick);
+        run_sweep(&exp, &cfg).doc.to_json_string()
+    };
+    assert_eq!(sweep(1), sweep(4));
+}
+
+#[test]
+fn sweep_document_round_trips_through_the_validator() {
+    let exp = e5_split_rendering::E5SplitRendering;
+    let cfg = SweepConfig::first_n(3, 2, Scale::Quick);
+    let doc = run_sweep(&exp, &cfg).doc;
+    let json = doc.to_json_string();
+    let parsed = validate_json(&json).expect("canonical JSON validates");
+    assert_eq!(parsed, doc, "parse(serialize(doc)) == doc");
+    assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+    assert_eq!(parsed.experiment, "e5");
+    assert_eq!(parsed.seeds, vec![1, 2, 3]);
+}
+
+#[test]
+fn validator_rejects_schema_drift() {
+    let exp = e5_split_rendering::E5SplitRendering;
+    let cfg = SweepConfig::first_n(2, 1, Scale::Quick);
+    let json = run_sweep(&exp, &cfg).doc.to_json_string();
+    // Unknown field → rejected (deny_unknown_fields).
+    let extra = json.replacen("\"schema_version\"", "\"bogus\": 1,\n  \"schema_version\"", 1);
+    assert!(validate_json(&extra).is_err(), "unknown fields must fail validation");
+    // Wrong version → rejected.
+    let wrong = json.replacen("\"schema_version\": 1", "\"schema_version\": 999", 1);
+    assert!(validate_json(&wrong).is_err(), "future schema versions must fail validation");
+    // Missing field → rejected.
+    let start = json.find("\"fingerprint\"").expect("field present");
+    let end = json[start..].find('\n').expect("line ends") + start + 1;
+    let missing = format!("{}{}", &json[..start], &json[end..]);
+    assert!(validate_json(&missing).is_err(), "missing fields must fail validation");
+}
+
+#[test]
+fn merged_metrics_pool_histograms_across_runs() {
+    // E4 exports its per-learner RTT histograms; merging across N runs must
+    // pool exactly N runs' worth of samples.
+    let exp = e4_regional_servers::E4RegionalServers;
+    let seeds = 2;
+    let cfg = SweepConfig::first_n(seeds, 2, Scale::Quick);
+    let out = run_sweep(&exp, &cfg);
+    let single = exp.run(Scale::Quick, 1);
+    let single_count = single.metrics.histogram_if_present("central_rtt_ns").expect("hist").count();
+    let merged = &out.doc.merged.histograms["central_rtt_ns"];
+    assert_eq!(merged.count, single_count * seeds, "merged count pools all runs");
+    assert_eq!(out.doc.merged.counters["central_learners"], 200 * seeds);
+}

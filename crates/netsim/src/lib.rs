@@ -69,7 +69,7 @@ mod trace;
 
 pub use fault::{FaultAction, FaultPlan};
 pub use link::{DropReason, Link, LinkConfig, LinkId, LinkStats, LossModel, Transmit};
-pub use metrics::{Histogram, MetricsRegistry, Summary};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, Summary};
 pub use node::{Context, Envelope, Node, NodeId, Timer};
 pub use rng::DetRng;
 pub use sim::Simulation;

@@ -174,6 +174,7 @@ impl Histogram {
 
 /// Summary statistics extracted from a [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,
@@ -285,6 +286,32 @@ impl MetricsRegistry {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
+
+    /// A serializable point-in-time export of the registry: raw counter
+    /// values plus a [`Summary`] per histogram, both in name order. This is
+    /// the form consumed by JSON writers (sweep results, dashboards) — it is
+    /// stable under merge order and cheap to diff.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self.histograms.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+        }
+    }
+}
+
+/// A serializable export of a [`MetricsRegistry`], produced by
+/// [`MetricsRegistry::snapshot`].
+///
+/// Counter values are exact; histograms are reduced to their
+/// [`Summary`] statistics. Iteration order (and therefore any serialized
+/// form backed by these maps) is deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, Summary>,
 }
 
 impl fmt::Display for MetricsRegistry {
@@ -361,6 +388,49 @@ mod tests {
     }
 
     #[test]
+    fn merge_preserves_sum_count_and_buckets() {
+        // Merging two histograms must be exactly equivalent to recording
+        // every sample into one: bucket-wise add, sum/count/min/max intact.
+        let samples_a = [3u64, 17, 250, 9_999];
+        let samples_b = [1u64, 250, 1 << 20];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut reference = Histogram::new();
+        for v in samples_a {
+            a.record(v);
+            reference.record(v);
+        }
+        for v in samples_b {
+            b.record(v);
+            reference.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), reference.count());
+        assert_eq!(a.sum, reference.sum);
+        assert_eq!(a.min(), reference.min());
+        assert_eq!(a.max(), reference.max());
+        assert_eq!(a.counts, reference.counts);
+        assert_eq!(a.mean(), reference.mean());
+        for p in [10.0, 50.0, 95.0, 99.0] {
+            assert_eq!(a.percentile(p), reference.percentile(p));
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.summary();
+        a.merge(&Histogram::new());
+        assert_eq!(a.summary(), before);
+        // And empty ← non-empty adopts the other's extremes.
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.min(), 42);
+        assert_eq!(empty.max(), 42);
+    }
+
+    #[test]
     fn registry_counters_and_merge() {
         let mut a = MetricsRegistry::new();
         a.inc("x");
@@ -372,6 +442,28 @@ mod tests {
         assert_eq!(a.counter_value("x"), 13);
         assert_eq!(a.histogram("h").count(), 1);
         assert_eq!(a.counter_value("never"), 0);
+    }
+
+    #[test]
+    fn snapshot_exports_counters_and_summaries() {
+        let mut m = MetricsRegistry::new();
+        m.add("pkts", 7);
+        m.histogram("lat").record(1_000);
+        m.histogram("lat").record(3_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.get("pkts"), Some(&7));
+        let lat = snap.histograms.get("lat").expect("histogram exported");
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.min, 1_000);
+        assert_eq!(lat.max, 3_000);
+        // Snapshot of a merge equals merge of snapshots' sources.
+        let mut other = MetricsRegistry::new();
+        other.add("pkts", 3);
+        other.histogram("lat").record(2_000);
+        m.merge(&other);
+        let merged = m.snapshot();
+        assert_eq!(merged.counters.get("pkts"), Some(&10));
+        assert_eq!(merged.histograms.get("lat").unwrap().count, 3);
     }
 
     #[test]

@@ -122,6 +122,13 @@ impl Trace {
         }
         h
     }
+
+    /// The [`Trace::fingerprint`] rendered as a fixed-width lowercase hex
+    /// string, the form used in machine-readable result files where a JSON
+    /// number would lose precision past 2^53.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +185,16 @@ mod tests {
         let mut c = Trace::new(10);
         c.push(ev(1, TraceKind::Dropped(DropReason::NodeDown)));
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_hex_is_fixed_width_and_consistent() {
+        let mut t = Trace::new(10);
+        t.push(ev(1, TraceKind::Sent));
+        let hex = t.fingerprint_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(hex, format!("{:016x}", t.fingerprint()));
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

@@ -28,4 +28,13 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 run cargo test --workspace -q "${CARGO_FLAGS[@]}"
 
+# Smoke-test the sweep harness end to end: quick 4-seed sweeps of one
+# analytic (e5) and one simulation-backed (e2) experiment, then validate the
+# emitted documents against the schema (unknown/missing fields are errors).
+run cargo build "${CARGO_FLAGS[@]}" -p metaclass-bench --bin bench
+BENCH=target/debug/bench
+run "$BENCH" --exp e5 --seeds 4 --quick --json
+run "$BENCH" --exp e2 --seeds 4 --quick --json
+run "$BENCH" --validate results/BENCH_e5.json results/BENCH_e2.json
+
 echo "==> all checks passed"
