@@ -94,7 +94,7 @@ impl BitWriter {
     /// Writes an unsigned LEB128 varint (1 byte for values < 128).
     pub fn write_varint(&mut self, mut value: u64) {
         loop {
-            let byte = (value & 0x7f) as u64;
+            let byte = value & 0x7f;
             value >>= 7;
             if value == 0 {
                 self.write_bits(byte, 8);

@@ -1,0 +1,23 @@
+//! Tick-rate macrobenchmark: one full E2 (latency threshold) quick run per
+//! iteration — the simulation-backed experiment the CI perf gate smokes.
+//!
+//! This exercises the whole stack above the scheduler: session construction,
+//! per-tick avatar broadcasts, edge aggregation, and metric collection, so a
+//! regression anywhere in the event hot path shows up here even if the
+//! scheduler microbenches stay flat.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metaclass_bench::{experiments, Experiment, Scale};
+
+fn e2_quick(c: &mut Criterion) {
+    let e2: &dyn Experiment =
+        *experiments::all().iter().find(|e| e.id() == "e2").expect("experiment e2 is registered");
+    let mut g = c.benchmark_group("e2");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("quick_seed0", |b| b.iter(|| e2.run(Scale::Quick, 0)));
+    g.finish();
+}
+
+criterion_group!(benches, e2_quick);
+criterion_main!(benches);

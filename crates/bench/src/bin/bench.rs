@@ -91,7 +91,7 @@ fn main() -> ExitCode {
     let args = parse_args();
 
     if args.list {
-        println!("{:<6} {}", "id", "title");
+        println!("id     title");
         for e in experiments::all() {
             println!("{:<6} {}", e.id(), e.title());
         }

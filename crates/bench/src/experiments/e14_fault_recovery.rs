@@ -251,13 +251,13 @@ fn measure_rto(cfg: ReliableConfig, events: u64, seed: u64) -> (u64, u64) {
                 transmit(now, seq, item, &mut rng, &mut bursty, &mut data);
             }
             sent += 1;
-            next_send = next_send + pace;
+            next_send += pace;
         }
         // Retransmissions (and window admissions) on the pump clock.
         for (seq, item) in tx.due_retransmits(now) {
             transmit(now, seq, item, &mut rng, &mut bursty, &mut data);
         }
-        now = now + step;
+        now += step;
     }
     (delivered, tx.retransmission_count())
 }

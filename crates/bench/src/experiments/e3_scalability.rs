@@ -163,30 +163,36 @@ mod tests {
 
     #[test]
     fn full_stack_per_client_bandwidth_is_flat_and_naive_grows() {
-        let out = run(Scale::Quick, 0);
-        let full: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Full).collect();
-        let naive: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Naive).collect();
-        assert_eq!(full.len(), 2);
-        assert_eq!(naive.len(), 2);
         // At quick scale the interest budget is not yet the binding limit
-        // (that shows at the release-mode populations), so the robust claim
-        // is relative: the full stack's per-client bandwidth grows strictly
-        // slower than the naive baseline's, and is always much cheaper.
-        let growth = |rows: &[&Row]| rows[1].per_client_kbps / rows[0].per_client_kbps;
-        assert!(
-            growth(&full) < growth(&naive) - 0.1,
-            "full grows {:.2}x vs naive {:.2}x",
-            growth(&full),
-            growth(&naive)
-        );
-        for (f, n) in full.iter().zip(&naive) {
-            assert!(
-                n.per_client_kbps > 2.0 * f.per_client_kbps,
-                "{} clients: naive {} vs full {}",
-                f.clients,
-                n.per_client_kbps,
-                f.per_client_kbps
-            );
+        // (that shows at the release-mode populations) and a single seed's
+        // suppression ratio is noisy, so the robust claim is relative and
+        // averaged over a fixed seed set: the full stack's per-client
+        // bandwidth grows strictly slower than the naive baseline's, and is
+        // always much cheaper.
+        let seeds = [0u64, 1, 2];
+        let (mut full_growth, mut naive_growth) = (0.0, 0.0);
+        for &seed in &seeds {
+            let out = run(Scale::Quick, seed);
+            let full: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Full).collect();
+            let naive: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Naive).collect();
+            assert_eq!(full.len(), 2);
+            assert_eq!(naive.len(), 2);
+            let growth = |rows: &[&Row]| rows[1].per_client_kbps / rows[0].per_client_kbps;
+            full_growth += growth(&full) / seeds.len() as f64;
+            naive_growth += growth(&naive) / seeds.len() as f64;
+            for (f, n) in full.iter().zip(&naive) {
+                assert!(
+                    n.per_client_kbps > 2.0 * f.per_client_kbps,
+                    "seed {seed}, {} clients: naive {} vs full {}",
+                    f.clients,
+                    n.per_client_kbps,
+                    f.per_client_kbps
+                );
+            }
         }
+        assert!(
+            full_growth < naive_growth - 0.1,
+            "full grows {full_growth:.2}x vs naive {naive_growth:.2}x"
+        );
     }
 }

@@ -337,7 +337,7 @@ fn measure(scheme: Scheme, loss: LossModel, one_way_ms: u64, frames: u32, seed: 
 
     let mut on_time = 0u32;
     let mut latencies: Vec<u64> = Vec::new();
-    for (_, (capture, delivery)) in &delivered {
+    for (capture, delivery) in delivered.values() {
         let lat = delivery.duration_since(*capture);
         latencies.push(lat.as_nanos());
         if lat <= DEADLINE {

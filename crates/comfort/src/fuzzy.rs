@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn inference_is_continuous_in_inputs() {
         // No cliff bigger than 0.1 for a one-year age step.
-        let mut prev = None;
+        let mut prev: Option<f64> = None;
         for age in 18..70 {
             let s = susceptibility(&UserProfile {
                 age: age as f64,
@@ -253,7 +253,7 @@ mod tests {
                 prior_vr_exposure: 0.3,
             });
             if let Some(p) = prev {
-                assert!((s - p as f64).abs() < 0.1, "jump at age {age}");
+                assert!((s - p).abs() < 0.1, "jump at age {age}");
             }
             prev = Some(s);
         }

@@ -39,7 +39,7 @@ pub struct NavSample {
 /// a breakout table, turning to face a speaker) separated by stationary
 /// attention phases.
 pub fn classroom_navigation_trace(duration_secs: f64, dt: f64, seed: u64) -> Vec<NavSample> {
-    let mut rng = DetRng::new(seed).derive(0x6e61_76);
+    let mut rng = DetRng::new(seed).derive(0x006e_6176);
     let steps = (duration_secs / dt).ceil() as usize;
     let mut out = Vec::with_capacity(steps);
     let mut remaining_phase = 0.0;

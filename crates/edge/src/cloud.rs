@@ -245,6 +245,7 @@ impl CloudServerNode {
 
     /// Ingests a decoded avatar state arriving from `from` with `anchor` as
     /// its home frame, retargeting it into the auditorium.
+    #[allow(clippy::too_many_arguments)]
     fn place_avatar(
         &mut self,
         ctx: &mut Context<'_, ClassMsg>,

@@ -192,7 +192,7 @@ impl PeerHealth {
     pub fn should_skip_send(&self, tick: u64) -> bool {
         match self.state {
             PeerState::Up => false,
-            PeerState::Degraded => tick % self.cfg.degraded_stride.max(1) != 0,
+            PeerState::Degraded => !tick.is_multiple_of(self.cfg.degraded_stride.max(1)),
             PeerState::Down => true,
         }
     }

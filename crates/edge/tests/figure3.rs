@@ -155,10 +155,10 @@ fn remote_clients_appear_in_the_physical_classroom() {
     assert!(edge.seats().occupancy() >= 2);
 
     // Headsets received display updates for remote avatars.
-    for &(_, hs) in &d.headsets {
+    if let Some(&(_, hs)) = d.headsets.first() {
+        // One is enough; all share the same broadcast.
         let headset = d.sim.node_as::<HeadsetNode>(hs).unwrap();
         assert!(headset.displayed_count() >= 2);
-        break; // one is enough; all share the same broadcast
     }
     let latency = d.sim.metrics().histogram_if_present("display.latency_ns").unwrap();
     assert!(latency.count() > 0);

@@ -111,7 +111,7 @@ const I_FRAME_FACTOR: f64 = 4.0;
 impl VideoSource {
     /// Creates a source with its own deterministic size stream.
     pub fn new(cfg: VideoConfig, seed: u64) -> Self {
-        VideoSource { cfg, rng: DetRng::new(seed).derive(0x7669_6465_6f), next_id: 0 }
+        VideoSource { cfg, rng: DetRng::new(seed).derive(0x0076_6964_656f), next_id: 0 }
     }
 
     /// The configuration in effect.
@@ -127,7 +127,7 @@ impl VideoSource {
         self.next_id += 1;
         let g = self.cfg.keyframe_interval.max(1) as f64;
         let mean = self.cfg.mean_frame_bytes();
-        let is_keyframe = id % self.cfg.keyframe_interval.max(1) as u64 == 0;
+        let is_keyframe = id.is_multiple_of(self.cfg.keyframe_interval.max(1) as u64);
         let base = if is_keyframe || g <= 1.0 {
             mean * I_FRAME_FACTOR.min(g)
         } else {

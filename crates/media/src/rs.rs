@@ -217,8 +217,8 @@ impl ReedSolomon {
         for i in 0..self.m {
             if shards[self.k + i].is_none() {
                 let mut p = vec![0u8; len];
-                for j in 0..self.k {
-                    let d = shards[j].as_ref().expect("data filled");
+                for (j, shard) in shards.iter().take(self.k).enumerate() {
+                    let d = shard.as_ref().expect("data filled");
                     gf256::mul_acc(&mut p, d, self.parity[i][j]);
                 }
                 shards[self.k + i] = Some(p);

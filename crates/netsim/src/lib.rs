@@ -62,6 +62,7 @@ mod link;
 mod metrics;
 mod node;
 mod rng;
+pub mod sched;
 mod sim;
 mod time;
 mod topology;
@@ -72,6 +73,7 @@ pub use link::{DropReason, Link, LinkConfig, LinkId, LinkStats, LossModel, Trans
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, Summary};
 pub use node::{Context, Envelope, Node, NodeId, Timer};
 pub use rng::DetRng;
+pub use sched::{BinaryHeapQueue, EventQueue, TimerWheel};
 pub use sim::Simulation;
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkClass, Region};

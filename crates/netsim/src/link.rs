@@ -309,7 +309,7 @@ impl Link {
             self.down_since = Some(now);
         } else if !was_available && avail {
             if let Some(since) = self.down_since.take() {
-                self.stats.time_down = self.stats.time_down + now.duration_since(since);
+                self.stats.time_down += now.duration_since(since);
             }
         }
     }

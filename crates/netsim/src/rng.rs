@@ -6,14 +6,12 @@
 //! [`DetRng::derive`] so that adding a consumer never perturbs the draws seen
 //! by existing consumers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic, explicitly-seeded random number generator.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds the distribution samplers the
-/// simulator needs (normal, truncated normal, exponential, Pareto, Zipf)
-/// without pulling in additional dependencies.
+/// The core is xoshiro256++ seeded through SplitMix64 — a self-contained,
+/// platform-stable generator (no external dependency, identical streams on
+/// every target) — plus the distribution samplers the simulator needs
+/// (normal, truncated normal, exponential, Pareto, Zipf).
 ///
 /// # Examples
 ///
@@ -27,7 +25,7 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
     spare_normal: Option<f64>,
 }
 
@@ -42,7 +40,12 @@ fn splitmix64(mut z: u64) -> u64 {
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng { seed, inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        // Expand the seed into four non-degenerate state words, the standard
+        // SplitMix64 initialization recommended for the xoshiro family:
+        // word i is the i-th output of a SplitMix64 stream started at `seed`.
+        let golden = 0x9E37_79B9_7F4A_7C15u64;
+        let word = |i: u64| splitmix64(seed.wrapping_add(i.wrapping_mul(golden)));
+        DetRng { seed, state: [word(0), word(1), word(2), word(3)], spare_normal: None }
     }
 
     /// The seed this generator was created with.
@@ -58,14 +61,23 @@ impl DetRng {
         DetRng::new(splitmix64(self.seed ^ splitmix64(stream)))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)`: the top 53 bits scaled by 2⁻⁵³.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -75,7 +87,7 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.next_f64() < p
         }
     }
 
@@ -89,7 +101,23 @@ impl DetRng {
         if lo == hi {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.next_f64() * (hi - lo)
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias, via Lemire's
+    /// multiply-then-compare reduction with rejection.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound == 1 {
+            return 0;
+        }
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let product = u128::from(self.next_u64()) * u128::from(bound);
+            if product as u64 >= threshold {
+                return (product >> 64) as u64;
+            }
         }
     }
 
@@ -100,7 +128,7 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "invalid range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform index in `[0, len)`, for choosing an element.
@@ -110,7 +138,7 @@ impl DetRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot choose from an empty collection");
-        self.inner.gen_range(0..len)
+        self.below(len as u64) as usize
     }
 
     /// Standard normal draw (Box–Muller with caching of the spare value).
@@ -226,7 +254,7 @@ impl DetRng {
     /// Fisher–Yates shuffle of `slice`.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }

@@ -9,6 +9,7 @@ use crate::link::{DropReason, Link, LinkConfig, LinkId, Transmit};
 use crate::metrics::MetricsRegistry;
 use crate::node::{Context, Envelope, Node, NodeId, Op, Timer};
 use crate::rng::DetRng;
+use crate::sched::{EventQueue, TimerWheel};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 
@@ -20,29 +21,6 @@ enum EventKind<M> {
     Timer { node: NodeId, id: u64, tag: u64, epoch: u64 },
     /// Execution of a scripted fault action (index into `fault_actions`).
     Fault { index: usize },
-}
-
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// A deterministic discrete-event simulation of nodes connected by links.
@@ -97,8 +75,10 @@ pub struct Simulation<M> {
     adjacency: Vec<std::collections::BTreeMap<u32, LinkId>>,
     /// Per-source next-hop tables, computed lazily, cleared on topology change.
     route_cache: HashMap<u32, Vec<Option<(u32, LinkId)>>>,
-    heap: BinaryHeap<Reverse<Event<M>>>,
+    queue: TimerWheel<EventKind<M>>,
     cancelled_timers: HashSet<u64>,
+    /// Recycled op buffers handed to [`Context`] during dispatch.
+    ops_pool: Vec<Vec<Op<M>>>,
     net_rng: DetRng,
     master_rng: DetRng,
     metrics: MetricsRegistry,
@@ -126,8 +106,9 @@ impl<M: 'static> Simulation<M> {
             link_ends: Vec::new(),
             adjacency: Vec::new(),
             route_cache: HashMap::new(),
-            heap: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             cancelled_timers: HashSet::new(),
+            ops_pool: Vec::new(),
             net_rng,
             master_rng,
             metrics: MetricsRegistry::new(),
@@ -447,7 +428,7 @@ impl<M: 'static> Simulation<M> {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
         self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.queue.push(at, self.seq, kind);
     }
 
     fn record_trace(&mut self, kind: TraceKind, src: NodeId, dst: NodeId, size_bytes: u32) {
@@ -474,8 +455,12 @@ impl<M: 'static> Simulation<M> {
     pub fn run_until_idle_capped(&mut self, limit: u64) -> u64 {
         self.ensure_started();
         let mut n = 0;
-        while n < limit && self.step_inner() {
-            n += 1;
+        while n < limit {
+            let processed = self.step_inner(limit - n);
+            if processed == 0 {
+                break;
+            }
+            n += processed;
         }
         n
     }
@@ -490,15 +475,11 @@ impl<M: 'static> Simulation<M> {
     /// the queue emptied earlier than that.
     pub fn run_until(&mut self, until: SimTime) {
         self.ensure_started();
-        loop {
-            let next = match self.heap.peek() {
-                Some(Reverse(ev)) => ev.at,
-                None => break,
-            };
-            if next > until {
+        while let Some((at, _)) = self.queue.peek_key() {
+            if at > until {
                 break;
             }
-            self.step_inner();
+            self.step_inner(u64::MAX);
         }
         if self.time < until {
             self.time = until;
@@ -508,33 +489,37 @@ impl<M: 'static> Simulation<M> {
     /// Processes a single event; returns its time, or `None` if idle.
     pub fn step(&mut self) -> Option<SimTime> {
         self.ensure_started();
-        if self.step_inner() {
+        if self.step_inner(1) > 0 {
             Some(self.time)
         } else {
             None
         }
     }
 
-    fn step_inner(&mut self) -> bool {
-        let Reverse(ev) = match self.heap.pop() {
+    /// Processes the next event plus — within `budget` — any immediately
+    /// following same-instant deliveries to the same node, which share one
+    /// node borrow. Returns the number of events consumed (0 when idle).
+    fn step_inner(&mut self, budget: u64) -> u64 {
+        let (at, _seq, kind) = match self.queue.pop() {
             Some(e) => e,
-            None => return false,
+            None => return 0,
         };
-        debug_assert!(ev.at >= self.time, "time went backwards");
-        self.time = ev.at;
+        debug_assert!(at >= self.time, "time went backwards");
+        self.time = at;
         self.events_processed += 1;
-        match ev.kind {
+        let mut processed = 1;
+        match kind {
             EventKind::Fault { index } => {
                 self.execute_fault(index);
             }
             EventKind::Timer { node, id, tag, epoch } => {
                 if self.cancelled_timers.remove(&id) {
-                    return true;
+                    return processed;
                 }
                 // Timers armed before a crash are voided: the stale epoch (or
                 // the crashed flag, while down) swallows them.
                 if self.crashed[node.index()] || epoch != self.epochs[node.index()] {
-                    return true;
+                    return processed;
                 }
                 self.record_trace(TraceKind::TimerFired { tag }, node, node, 0);
                 self.dispatch(node, Dispatch::Timer(Timer { id, tag }));
@@ -551,26 +536,79 @@ impl<M: 'static> Simulation<M> {
                         env.size_bytes,
                     );
                 } else if hop == env.dst {
-                    self.metrics.inc("net.delivered");
-                    self.metrics
-                        .histogram("net.delivery_latency_ns")
-                        .record(self.time.duration_since(env.sent_at).as_nanos());
-                    self.record_trace(TraceKind::Delivered, env.src, env.dst, env.size_bytes);
+                    let dst = env.dst;
+                    let idx = dst.index();
+                    let mut node = self.nodes[idx].take().expect("re-entrant dispatch");
+                    self.record_delivery(&env);
                     let from = env.src;
-                    self.dispatch(env.dst, Dispatch::Message(from, env.payload));
+                    self.dispatch_node(&mut node, dst, Dispatch::Message(from, env.payload));
+                    // Batch the fan-out pattern: further final deliveries to
+                    // this node at this exact instant reuse the borrow. Each
+                    // message is still recorded and its ops applied before
+                    // the next one, so traces, metrics, and RNG draws are
+                    // byte-for-byte those of the unbatched path.
+                    while processed < budget {
+                        let now = self.time;
+                        let next = self.queue.pop_if(|ev_at, _, k| {
+                            ev_at == now
+                                && matches!(
+                                    k,
+                                    EventKind::Deliver { hop, env }
+                                        if *hop == dst && env.dst == dst
+                                )
+                        });
+                        match next {
+                            Some((_, _, EventKind::Deliver { env, .. })) => {
+                                self.events_processed += 1;
+                                processed += 1;
+                                self.record_delivery(&env);
+                                let from = env.src;
+                                self.dispatch_node(
+                                    &mut node,
+                                    dst,
+                                    Dispatch::Message(from, env.payload),
+                                );
+                            }
+                            Some(_) => unreachable!("pop_if admits only deliveries"),
+                            None => break,
+                        }
+                    }
+                    self.nodes[idx] = Some(node);
                 } else {
                     // Transparent forwarding at an intermediate hop.
                     self.route_and_transmit(hop, env);
                 }
             }
         }
-        true
+        processed
+    }
+
+    /// Counters, latency histogram, and trace entry for one final delivery.
+    fn record_delivery(&mut self, env: &Envelope<M>) {
+        self.metrics.inc("net.delivered");
+        self.metrics
+            .histogram("net.delivery_latency_ns")
+            .record(self.time.duration_since(env.sent_at).as_nanos());
+        self.record_trace(TraceKind::Delivered, env.src, env.dst, env.size_bytes);
     }
 
     fn dispatch(&mut self, node_id: NodeId, what: Dispatch<M>) {
         let idx = node_id.index();
         let mut node = self.nodes[idx].take().expect("re-entrant dispatch");
-        let mut ops: Vec<Op<M>> = Vec::new();
+        self.dispatch_node(&mut node, node_id, what);
+        self.nodes[idx] = Some(node);
+    }
+
+    /// Runs one handler on an already-borrowed node and applies its ops.
+    #[allow(clippy::borrowed_box)]
+    fn dispatch_node(
+        &mut self,
+        node: &mut Box<dyn Node<M> + Send>,
+        node_id: NodeId,
+        what: Dispatch<M>,
+    ) {
+        let idx = node_id.index();
+        let mut ops: Vec<Op<M>> = self.ops_pool.pop().unwrap_or_default();
         {
             let mut ctx = Context {
                 now: self.time,
@@ -586,8 +624,7 @@ impl<M: 'static> Simulation<M> {
                 Dispatch::Timer(t) => node.on_timer(&mut ctx, t),
             }
         }
-        self.nodes[idx] = Some(node);
-        for op in ops {
+        for op in ops.drain(..) {
             match op {
                 Op::Send { dst, payload, size_bytes } => {
                     self.metrics.inc("net.sent");
@@ -611,6 +648,7 @@ impl<M: 'static> Simulation<M> {
                 }
             }
         }
+        self.ops_pool.push(ops);
     }
 
     fn route_and_transmit(&mut self, at_node: NodeId, env: Envelope<M>) {
@@ -694,7 +732,7 @@ impl<M> std::fmt::Debug for Simulation<M> {
             .field("time", &self.time)
             .field("nodes", &self.nodes.len())
             .field("links", &self.links.len())
-            .field("pending_events", &self.heap.len())
+            .field("pending_events", &self.queue.len())
             .field("events_processed", &self.events_processed)
             .finish()
     }

@@ -1,0 +1,74 @@
+//! Property test: the timer wheel's pop order is byte-for-byte the binary
+//! heap's pop order for arbitrary legal schedules — including same-timestamp
+//! ties (broken by seq), sub-slot jitter, horizon-edge times, and far-future
+//! events that overflow the wheel into its fallback heap.
+
+use metaclass_netsim::sched::{BinaryHeapQueue, EventQueue, TimerWheel};
+use metaclass_netsim::SimTime;
+use proptest::prelude::*;
+
+/// Interprets a delta list as an interleaved push/pop workload obeying the
+/// queue contract (never scheduling before the last popped event), driving
+/// both implementations in lockstep and comparing every popped triple.
+fn run_workload(deltas: &[u64], pop_stride: usize) {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+    // Lower bound for future pushes: the last popped time.
+    let mut clock = 0u64;
+    for (i, &delta) in deltas.iter().enumerate() {
+        let seq = i as u64;
+        let at = SimTime::from_nanos(clock.saturating_add(delta));
+        wheel.push(at, seq, seq);
+        heap.push(at, seq, seq);
+        if i % pop_stride == pop_stride - 1 {
+            let got = wheel.pop();
+            let want = heap.pop();
+            assert_eq!(got, want, "divergence after {} pushes", i + 1);
+            if let Some((t, _, _)) = want {
+                clock = t.as_nanos();
+            }
+        }
+        assert_eq!(wheel.len(), heap.len());
+    }
+    loop {
+        assert_eq!(wheel.peek_key(), heap.peek_key());
+        let got = wheel.pop();
+        let want = heap.pop();
+        assert_eq!(got, want, "divergence during final drain");
+        if want.is_none() {
+            break;
+        }
+    }
+}
+
+/// Delta distribution spanning every wheel regime: same-instant ties (0),
+/// sub-slot jitter, multi-slot delays, the ~268 ms horizon edge, and
+/// far-future overflow.
+fn delta_strategy() -> impl Strategy<Value = u64> {
+    (0u64..10, 0u64..10_000_000_000).prop_map(|(bucket, raw)| match bucket {
+        0 | 1 => 0,                               // tie with a pending event
+        2..=4 => raw % 1_000_000,                 // within one slot
+        5 | 6 => raw % 250_000_000,               // up to just inside/outside horizon
+        7 => 268_000_000 + raw % 10_000_000,      // straddles the horizon edge
+        _ => 1_000_000_000 + raw % 9_000_000_000, // deep overflow
+    })
+}
+
+proptest! {
+    #[test]
+    fn wheel_pop_order_equals_heap_pop_order(
+        deltas in proptest::collection::vec(delta_strategy(), 1..300),
+        pop_stride in 1usize..5,
+    ) {
+        run_workload(&deltas, pop_stride);
+    }
+
+    #[test]
+    fn pure_fill_then_drain_matches(
+        deltas in proptest::collection::vec(delta_strategy(), 1..300),
+    ) {
+        // No interleaved pops: everything lands relative to t = 0, then one
+        // long drain (the `run_until_idle` shape).
+        run_workload(&deltas, usize::MAX);
+    }
+}

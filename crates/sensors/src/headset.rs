@@ -101,7 +101,7 @@ impl HeadsetModel {
     pub fn new(cfg: HeadsetConfig, seed: u64) -> Self {
         HeadsetModel {
             cfg,
-            rng: DetRng::new(seed).derive(0x6865_6164_7365_74),
+            rng: DetRng::new(seed).derive(0x0068_6561_6473_6574),
             drift: Vec3::ZERO,
             loss_remaining: 0,
         }
@@ -186,7 +186,7 @@ impl HeadsetModel {
     pub fn measure_expression(&mut self, truth: &AvatarState) -> ExpressionFrame {
         let mut weights = *truth.expression.weights();
         for w in &mut weights {
-            *w += self.rng.normal(0.0, self.cfg.expression_noise_std as f64) as f32;
+            *w += self.rng.normal(0.0, self.cfg.expression_noise_std) as f32;
         }
         ExpressionFrame::from_weights(weights)
     }

@@ -229,7 +229,7 @@ impl InterestManager {
                 // Importance is additive: the active speaker outranks even a
                 // nearest neighbour, anywhere in the room.
                 score += self.cfg.importance_weight * e.importance;
-                let stale = *stale_map.get(&id).unwrap_or(&u32::MAX.min(1_000_000)) as f64;
+                let stale = *stale_map.get(&id).unwrap_or(&1_000_000) as f64;
                 score += self.cfg.staleness_weight * stale;
                 (score, id)
             })

@@ -568,7 +568,7 @@ mod tests {
             let (seq, _) = tx.send(i, now);
             let acked_at = now + SimDuration::from_millis(20);
             tx.on_ack_at(seq, acked_at);
-            now = now + SimDuration::from_millis(40);
+            now += SimDuration::from_millis(40);
         }
         let srtt = tx.estimator().srtt().unwrap();
         assert_eq!(srtt, SimDuration::from_millis(20), "srtt converges to the true rtt");
@@ -696,7 +696,7 @@ mod tests {
                         tx.on_ack_at(ack, now);
                     }
                 }
-                now = now + SimDuration::from_millis(100);
+                now += SimDuration::from_millis(100);
                 wire.extend(tx.due_retransmits(now));
             }
             prop_assert_eq!(delivered, (0..n as u64).collect::<Vec<_>>());

@@ -33,6 +33,8 @@ run cargo test --workspace -q "${CARGO_FLAGS[@]}"
 # emitted documents against the schema (unknown/missing fields are errors).
 run cargo build "${CARGO_FLAGS[@]}" -p metaclass-bench --bin bench
 BENCH=target/debug/bench
+# Drop stale sweep output first so --validate always sees this run's bytes.
+rm -f results/BENCH_e5.json results/BENCH_e2.json
 run "$BENCH" --exp e5 --seeds 4 --quick --json
 run "$BENCH" --exp e2 --seeds 4 --quick --json
 run "$BENCH" --validate results/BENCH_e5.json results/BENCH_e2.json

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Performance + determinism gate for CI.
+#
+# Regenerates the quick benchmark sweeps and fails if either
+#   1. the emitted BENCH documents drift byte-for-byte from the committed
+#      baselines in results/baselines/ (determinism regression: the sweep
+#      output must be a pure function of experiment, scale, and seeds), or
+#   2. the sweep wall time regresses more than PERF_GATE_TOLERANCE percent
+#      (default 25) against the committed timing baseline, or
+#   3. the timer-wheel scheduler loses its throughput edge over the
+#      binary-heap baseline on the fan-out microbench (ratio below
+#      PERF_GATE_MIN_SPEEDUP, default 1.1).
+#
+# Wall-clock numbers are recorded in results/TIMING_current.json — kept
+# strictly outside the BENCH documents so those stay byte-reproducible.
+#
+# Usage:
+#   scripts/perf_gate.sh                     # run the gate
+#   scripts/perf_gate.sh --update-baselines  # re-bless baselines (after an
+#                                            # intentional output change)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${PERF_GATE_TOLERANCE:-25}"
+MIN_SPEEDUP="${PERF_GATE_MIN_SPEEDUP:-1.1}"
+BASELINES=results/baselines
+UPDATE=0
+for arg in "$@"; do
+    case "$arg" in
+        --update-baselines) UPDATE=1 ;;
+        *)
+            echo "unknown argument: $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+now_ms() {
+    echo $(($(date +%s%N) / 1000000))
+}
+
+run cargo build --release --offline -q -p metaclass-bench --bin bench
+BENCH=target/release/bench
+mkdir -p results "$BASELINES"
+
+# --- fresh quick sweeps (the determinism source of truth) -------------------
+rm -f results/BENCH_e2.json results/BENCH_e5.json
+
+# Wall time: best of three runs per experiment, to shrug off scheduler noise.
+e2_ms=""
+e5_ms=""
+for _ in 1 2 3; do
+    rm -f results/BENCH_e2.json results/BENCH_e5.json
+    t0=$(now_ms)
+    "$BENCH" --exp e2 --seeds 4 --quick --json > /dev/null
+    t1=$(now_ms)
+    "$BENCH" --exp e5 --seeds 4 --quick --json > /dev/null
+    t2=$(now_ms)
+    d2=$((t1 - t0))
+    d5=$((t2 - t1))
+    if [ -z "$e2_ms" ] || [ "$d2" -lt "$e2_ms" ]; then e2_ms=$d2; fi
+    if [ -z "$e5_ms" ] || [ "$d5" -lt "$e5_ms" ]; then e5_ms=$d5; fi
+done
+run "$BENCH" --validate results/BENCH_e2.json results/BENCH_e5.json
+
+printf '{\n  "e2_quick_ms": %s,\n  "e5_quick_ms": %s\n}\n' "$e2_ms" "$e5_ms" \
+    > results/TIMING_current.json
+echo "==> sweep wall time: e2=${e2_ms}ms e5=${e5_ms}ms"
+
+# --- scheduler microbench: wheel must beat the heap baseline ----------------
+run cargo bench --offline -p metaclass-netsim --bench sched -- sched_fanout
+median_ns() {
+    sed -n 's/.*"median_ns": \([0-9.]*\).*/\1/p' "$1"
+}
+wheel_ns=$(median_ns target/criterion/sched_fanout/wheel/stream_100x100/estimates.json)
+heap_ns=$(median_ns target/criterion/sched_fanout/heap/stream_100x100/estimates.json)
+
+if [ "$UPDATE" -eq 1 ]; then
+    cp results/BENCH_e2.json results/BENCH_e5.json "$BASELINES/"
+    cp results/TIMING_current.json "$BASELINES/TIMING_baseline.json"
+    echo "==> baselines updated in $BASELINES/"
+    exit 0
+fi
+
+# --- gate 1: byte-identical sweep documents ---------------------------------
+fail=0
+for exp in e2 e5; do
+    if ! cmp -s "$BASELINES/BENCH_$exp.json" "results/BENCH_$exp.json"; then
+        echo "FAIL: results/BENCH_$exp.json drifted from $BASELINES/BENCH_$exp.json" >&2
+        echo "      (determinism regression, or an intentional change needing" >&2
+        echo "       scripts/perf_gate.sh --update-baselines)" >&2
+        fail=1
+    else
+        echo "==> BENCH_$exp.json byte-identical to baseline"
+    fi
+done
+
+# --- gate 2: sweep wall time ------------------------------------------------
+for exp in e2 e5; do
+    cur_var="${exp}_ms"
+    cur=${!cur_var}
+    base=$(sed -n "s/.*\"${exp}_quick_ms\": \([0-9]*\).*/\1/p" \
+        "$BASELINES/TIMING_baseline.json")
+    if [ -z "$base" ]; then
+        echo "FAIL: no ${exp}_quick_ms in $BASELINES/TIMING_baseline.json" >&2
+        fail=1
+        continue
+    fi
+    # Integer-ms floor: under ~40 ms the granularity eats the tolerance.
+    limit=$(((base + 40) * (100 + TOLERANCE) / 100))
+    if [ "$cur" -gt "$limit" ]; then
+        echo "FAIL: $exp quick sweep took ${cur}ms > ${limit}ms" \
+            "(baseline ${base}ms + ${TOLERANCE}% tolerance)" >&2
+        fail=1
+    else
+        echo "==> $exp wall time ${cur}ms within ${limit}ms budget"
+    fi
+done
+
+# --- gate 3: wheel vs heap ratio --------------------------------------------
+if [ -z "$wheel_ns" ] || [ -z "$heap_ns" ]; then
+    echo "FAIL: missing criterion estimates for the sched_fanout benches" >&2
+    fail=1
+else
+    ratio=$(awk -v h="$heap_ns" -v w="$wheel_ns" 'BEGIN { printf "%.2f", h / w }')
+    ok=$(awk -v r="$ratio" -v m="$MIN_SPEEDUP" 'BEGIN { print (r >= m) ? 1 : 0 }')
+    if [ "$ok" -ne 1 ]; then
+        echo "FAIL: wheel/heap fan-out speedup ${ratio}x < required ${MIN_SPEEDUP}x" >&2
+        fail=1
+    else
+        echo "==> wheel beats heap ${ratio}x on fan-out (>= ${MIN_SPEEDUP}x)"
+    fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "==> perf gate FAILED" >&2
+    exit 1
+fi
+echo "==> perf gate passed"

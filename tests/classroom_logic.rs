@@ -25,7 +25,7 @@ fn channel_for(role: Role, idx: usize) -> InputChannel {
     match role {
         Role::Student { .. } | Role::Presenter { .. } => InputChannel::Controller,
         Role::RemoteLearner { .. } => {
-            if idx % 2 == 0 {
+            if idx.is_multiple_of(2) {
                 InputChannel::PhysicalKeyboard
             } else {
                 InputChannel::Speech

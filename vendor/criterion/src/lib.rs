@@ -1,0 +1,378 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Keeps the measurement discipline that matters — warmup, calibrated
+//! batch sizes, many timed samples, median-based reporting — while dropping
+//! the statistical machinery (bootstrap confidence intervals, regression
+//! detection, HTML plots) that needs external crates.
+//!
+//! Covered surface: [`Criterion`], [`BenchmarkGroup`] (`sample_size`,
+//! `throughput`, `bench_function`, `finish`), [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`Throughput`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark writes machine-readable estimates to
+//! `target/criterion/<id>/estimates.json` so CI can archive results.
+//!
+//! Tunables via environment (all optional): `CRITERION_WARMUP_MS` (default
+//! 20), `CRITERION_SAMPLE_MS` (target wall-time per sample, default 10).
+//! A positional CLI argument acts as a substring filter on benchmark ids,
+//! matching `cargo bench <filter>`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-export of the stabilized std equivalent.
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup, mirroring criterion's enum.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Pre-build a large batch of inputs per sample.
+    SmallInput,
+    /// Pre-build a small batch of inputs per sample.
+    LargeInput,
+    /// Run setup before every single iteration, untimed.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver configured from the process arguments: flags are
+    /// ignored, the first positional argument becomes an id filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "Benchmark" && a != "bench");
+        Criterion { filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id, 20, None, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration work so results also report throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &full_id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group. (Reports are emitted per benchmark; this exists for
+    /// API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing batches of calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let iters = self.calibrate(|n| {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.push_sample(start.elapsed(), iters);
+        }
+    }
+
+    /// Benchmarks `routine` on inputs built by `setup`; setup time is never
+    /// included in the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = self.calibrate(|n| {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            start.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.push_sample(start.elapsed(), iters);
+        }
+    }
+
+    /// Warms up and picks an iteration count per sample so one sample lasts
+    /// roughly `CRITERION_SAMPLE_MS`.
+    fn calibrate(&mut self, mut run_batch: impl FnMut(u64) -> Duration) -> u64 {
+        let warmup = Duration::from_millis(env_ms("CRITERION_WARMUP_MS", 20));
+        let target_sample = Duration::from_millis(env_ms("CRITERION_SAMPLE_MS", 10));
+        let warmup_start = Instant::now();
+        let mut iters = 1u64;
+        let last_per_iter_ns;
+        loop {
+            let elapsed = run_batch(iters);
+            if warmup_start.elapsed() >= warmup {
+                last_per_iter_ns = (elapsed.as_nanos() as f64 / iters as f64).max(0.5);
+                break;
+            }
+            // Grow batches until a single batch is a meaningful slice of the
+            // warmup window, so calibration converges for fast routines.
+            if elapsed < warmup / 4 {
+                iters = iters.saturating_mul(2);
+            }
+        }
+        let iters = ((target_sample.as_nanos() as f64 / last_per_iter_ns) as u64).max(1);
+        self.iters_per_sample = iters;
+        iters
+    }
+
+    fn push_sample(&mut self, elapsed: Duration, iters: u64) {
+        self.samples_ns_per_iter.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn env_ms(var: &str, default: u64) -> u64 {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(id) {
+        return;
+    }
+    let mut bencher = Bencher { sample_size, samples_ns_per_iter: Vec::new(), iters_per_sample: 1 };
+    f(&mut bencher);
+    if bencher.samples_ns_per_iter.is_empty() {
+        eprintln!("{id}: no measurement taken (benchmark closure never called iter)");
+        return;
+    }
+    let mut sorted = bencher.samples_ns_per_iter.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+
+    let mut line =
+        format!("{id:<50} time: [{} {} {}]", format_ns(min), format_ns(median), format_ns(max));
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 * (1e9 / median);
+        match t {
+            Throughput::Bytes(bytes) => {
+                line.push_str(&format!("  thrpt: {:.2} MiB/s", per_sec(bytes) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+
+    write_estimates(id, min, median, max, &bencher, throughput);
+}
+
+/// Persists estimates under `target/criterion/<id>/estimates.json`.
+fn write_estimates(
+    id: &str,
+    min: f64,
+    median: f64,
+    max: f64,
+    bencher: &Bencher,
+    throughput: Option<Throughput>,
+) {
+    // `cargo bench` sets the bench binary's CWD to the *package* root; pin
+    // reports to the shared workspace target dir so CI can find them.
+    let root = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            let manifest = std::env::var_os("CARGO_MANIFEST_DIR")?;
+            let manifest = std::path::PathBuf::from(manifest);
+            manifest
+                .ancestors()
+                .find(|a| a.join("Cargo.lock").is_file())
+                .map(|root| root.join("target"))
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("target"));
+    let mut dir = root.join("criterion");
+    for segment in id.split('/') {
+        let clean: String = segment
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        dir.push(clean);
+    }
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let throughput_field = match throughput {
+        Some(Throughput::Bytes(b)) => format!(",\n  \"throughput_bytes\": {b}"),
+        Some(Throughput::Elements(n)) => format!(",\n  \"throughput_elements\": {n}"),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\n  \"id\": {id:?},\n  \"median_ns\": {median},\n  \"min_ns\": {min},\n  \
+         \"max_ns\": {max},\n  \"samples\": {},\n  \"iters_per_sample\": {}{}\n}}\n",
+        bencher.samples_ns_per_iter.len(),
+        bencher.iters_per_sample,
+        throughput_field,
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_median() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut calls = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion { filter: Some("only_this".into()) };
+        let mut ran = false;
+        c.bench_function("something_else", |_b| ran = true);
+        assert!(!ran);
+    }
+}

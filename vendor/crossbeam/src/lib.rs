@@ -1,0 +1,83 @@
+//! Offline drop-in subset of the `crossbeam` API.
+//!
+//! Covers only `crossbeam::thread::scope`, implemented on top of
+//! `std::thread::scope` (stabilized in Rust 1.63, after crossbeam's scoped
+//! threads were designed). The observable contract is preserved: spawned
+//! threads may borrow from the enclosing stack frame, the scope joins all of
+//! them before returning, and the result is `Err` if any spawned thread
+//! panicked.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to the `scope` closure and to each spawned closure.
+    ///
+    /// crossbeam hands every spawned thread a `&Scope` so it can spawn
+    /// further siblings; this shim keeps the same shape.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope again, so
+        /// nested spawns work exactly as with crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a thread scope, joining every spawned thread before
+    /// returning. `Err` carries the first panic payload, as in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn threads_borrow_and_join() {
+            let mut slots = vec![0u64; 4];
+            super::scope(|scope| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    scope.spawn(move |_| *slot = i as u64 + 1);
+                }
+            })
+            .expect("no panics");
+            assert_eq!(slots, vec![1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn panic_in_child_becomes_err() {
+            let result = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(result.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let out = std::sync::Mutex::new(Vec::new());
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| out.lock().unwrap().push(1));
+                });
+            })
+            .expect("no panics");
+            assert_eq!(*out.lock().unwrap(), vec![1]);
+        }
+    }
+}

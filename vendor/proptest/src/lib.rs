@@ -1,0 +1,455 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Supports the property-test style this workspace uses:
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     #[test]
+//!     fn prop_holds(x in 0.0..1.0f64, n in any::<u64>()) {
+//!         prop_assert!(x < 1.0, "x was {}", x);
+//!     }
+//! }
+//! ```
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//! - no shrinking — a failing case reports its case number and input seed so
+//!   it can be replayed, but is not minimized;
+//! - value generation is fully deterministic (fixed base seed mixed with the
+//!   case index), so failures reproduce across runs and machines;
+//! - `prop_assert!`/`prop_assert_eq!` panic like `assert!` instead of
+//!   returning `Err` (equivalent observable behavior without shrinking).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Items a test module imports with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Test-runner configuration, mirroring `proptest::test_runner::Config`.
+pub mod test_runner {
+    /// How many random cases each property test executes.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; the shim trims that to keep the
+            // full-workspace test suite fast while still exploring broadly.
+            Config { cases: 96 }
+        }
+    }
+}
+
+/// Deterministic generator state handed to strategies.
+///
+/// xoshiro256++ seeded via splitmix64 — small, fast, and stable across
+/// platforms so failing cases replay identically everywhere.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng { state: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias (Lemire).
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        if bound == 1 {
+            return 0;
+        }
+        loop {
+            let x = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            // Top limb of the 256-bit product x * bound, computed in halves.
+            let (x_hi, x_lo) = (x >> 64, x & u128::from(u64::MAX));
+            let (b_hi, b_lo) = (bound >> 64, bound & u128::from(u64::MAX));
+            let lo_lo = x_lo * b_lo;
+            let mid1 = x_hi * b_lo + (lo_lo >> 64);
+            let mid2 = x_lo * b_hi + (mid1 & u128::from(u64::MAX));
+            let hi = x_hi * b_hi + (mid1 >> 64) + (mid2 >> 64);
+            let low = (mid2 << 64) | (lo_lo & u128::from(u64::MAX));
+            // Rejection zone keeps the distribution exactly uniform; it is
+            // vanishingly small for every bound this shim sees.
+            if low >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Strategy machinery: how `x in <expr>` expressions produce values.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The value type this strategy yields.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every drawn value with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+use strategy::Strategy;
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + rng.next_f64() * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy over a type's full value domain, like `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted length specifications for [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u128 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Executes one property across many deterministic cases. Used by the
+/// [`proptest!`] expansion; not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases(
+    config: &test_runner::Config,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng),
+) {
+    // Mix the test name into the base seed so sibling tests explore
+    // different sequences while each stays reproducible.
+    let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        name_hash ^= u64::from(b);
+        name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for index in 0..config.cases {
+        let seed = name_hash ^ (u64::from(index)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::new(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest shim: {test_name} failed at case {index}/{} (replay seed {seed:#x})",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines property tests: each `x in strategy` parameter is sampled per
+/// case, then the body runs. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strategy), __rng);)+
+                $body
+            });
+        }
+
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+}
+
+/// Property assertion; panics with location and message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; panics with both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..2000 {
+            let v = Strategy::sample(&(3u32..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let f = Strategy::sample(&(-1.5f64..2.5), &mut rng);
+            assert!((-1.5..2.5).contains(&f));
+            let i = Strategy::sample(&(-5i64..=5), &mut rng);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let draw = || {
+            let mut rng = crate::TestRng::new(42);
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_grammar_with_config(v in crate::collection::vec((0u32..20, any::<bool>()), 0..50)) {
+            prop_assert!(v.len() < 50);
+            for (n, _flag) in v {
+                prop_assert!(n < 20);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_grammar_default_config(seed in any::<u64>(), x in 0.0..1.0f64) {
+            let _ = seed;
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn second_function_in_same_block(n in 1usize..4) {
+            prop_assert_eq!(n.clamp(1, 3), n);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the narrow slice of serde it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, `#[serde(deny_unknown_fields)]`,
+//! and JSON round-trips through `serde_json`.
+//!
+//! Unlike real serde, this shim is not format-generic: [`Serialize`] produces
+//! a JSON-shaped [`Value`] tree directly and [`Deserialize`] consumes one.
+//! That is exactly the data model every consumer in this workspace needs
+//! (`serde_json::to_string*` / `serde_json::from_str`), and it keeps the
+//! derive macro small enough to hand-roll without `syn`.
+//!
+//! Semantics intentionally mirrored from serde:
+//! - structs serialize to objects with declaration-ordered fields;
+//! - newtype structs serialize transparently as their inner value;
+//! - unit enum variants serialize as strings, data variants as
+//!   single-key objects (externally tagged);
+//! - missing `Option` fields deserialize to `None`;
+//! - unknown fields are always rejected (serde's `deny_unknown_fields` —
+//!   this shim applies it to every container, which is strictly stricter).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Object representation: key-ordered map, matching real serde_json's
+/// default `BTreeMap` backing so serialized output is deterministic.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-shaped value tree: the single data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (covers `u8`–`u128`).
+    UInt(u128),
+    /// Negative integer (always `< 0`; non-negative values use [`Value::UInt`]).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministic key order.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrows the object map if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::UInt(_) | Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a rendered message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field of this type is absent from its object.
+    ///
+    /// Errors by default; `Option<T>` overrides this to yield `None`,
+    /// mirroring serde_derive's implicit-optional treatment.
+    fn from_missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::custom(format!("integer {u} out of range"))),
+                    other => Err(Error::custom(format!(
+                        "invalid type: {}, expected unsigned integer",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i128;
+                if n >= 0 { Value::UInt(n as u128) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i128 = match v {
+                    Value::UInt(u) => i128::try_from(*u)
+                        .map_err(|_| Error::custom(format!("integer {u} out of range")))?,
+                    Value::Int(i) => *i,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "invalid type: {}, expected integer",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::custom(format!(
+                        "invalid type: {}, expected number",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => {
+                Err(Error::custom(format!("invalid type: {}, expected boolean", other.kind())))
+            }
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("invalid type: {}, expected string", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => {
+                Err(Error::custom(format!("invalid type: {}, expected character", other.kind())))
+            }
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("array of length {N} found length {n}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("invalid type: {}, expected array", other.kind()))),
+        }
+    }
+}
+
+/// Renders a map key's serialized form as an object-field name, mirroring
+/// serde_json: string keys pass through, integer-shaped keys (including
+/// transparent newtypes over integers) render as their decimal text.
+///
+/// # Panics
+///
+/// Panics if the key serializes to a non-scalar value, which serde_json
+/// rejects at runtime too ("key must be a string").
+fn key_to_string(key: &Value) -> String {
+    match key {
+        Value::Str(s) => s.clone(),
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        other => panic!("map key must serialize to a string or integer, got {}", other.kind()),
+    }
+}
+
+/// Recovers a key from an object-field name by retrying the scalar shapes
+/// [`key_to_string`] can produce.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u128>() {
+        if let Ok(k) = K::from_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = key.parse::<i128>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("invalid object key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (key_to_string(&k.to_value()), v.to_value())).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                m.iter().map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(Error::custom(format!("invalid type: {}, expected object", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v {
+                    Value::Array(items) => items,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "invalid type: {}, expected tuple array",
+                            other.kind()
+                        )))
+                    }
+                };
+                let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "tuple of length {} found array of length {}",
+                        expected,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support machinery invoked by derive-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Map, Value};
+
+    pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v Map, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("invalid type: {}, expected {ty}", v.kind())))
+    }
+
+    pub fn deny_unknown(obj: &Map, fields: &[&str], ty: &str) -> Result<(), Error> {
+        for key in obj.keys() {
+            if !fields.contains(&key.as_str()) {
+                return Err(Error::custom(format!("unknown field `{key}` in {ty}")));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn field<T: Deserialize>(obj: &Map, name: &str, ty: &str) -> Result<T, Error> {
+        match obj.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}"))),
+            None => T::from_missing_field(name),
+        }
+    }
+
+    pub fn tuple_item<T: Deserialize>(items: &[Value], idx: usize, ty: &str) -> Result<T, Error> {
+        let v = items
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("{ty}: missing tuple element {idx}")))?;
+        T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{idx}: {e}")))
+    }
+}

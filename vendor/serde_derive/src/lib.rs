@@ -1,0 +1,490 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! shim.
+//!
+//! The build environment has no crates.io access, so this macro is written
+//! against the compiler's built-in `proc_macro` API alone — no `syn`, no
+//! `quote`. It supports exactly the container shapes this workspace uses:
+//!
+//! - structs with named fields (`#[serde(deny_unknown_fields)]` accepted;
+//!   unknown fields are always rejected either way);
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! - unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Generics, lifetimes, and field-level serde attributes are unsupported and
+//! rejected with a compile error rather than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Input {
+    Struct { name: String, generics: Vec<String>, fields: Fields },
+    Enum { name: String, generics: Vec<String>, variants: Vec<(String, Fields)> },
+}
+
+impl Input {
+    /// `impl<T: Bound, ...>` generics plus the `Name<T, ...>` target type.
+    fn impl_parts(&self, bound: &str) -> (String, String) {
+        let (name, generics) = match self {
+            Input::Struct { name, generics, .. } | Input::Enum { name, generics, .. } => {
+                (name, generics)
+            }
+        };
+        if generics.is_empty() {
+            return (String::new(), name.clone());
+        }
+        let bounded: Vec<String> =
+            generics.iter().map(|g| format!("{g}: ::serde::{bound}")).collect();
+        (format!("<{}>", bounded.join(", ")), format!("{}<{}>", name, generics.join(", ")))
+    }
+}
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed).parse().expect("derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let name = expect_ident(&tokens, &mut pos)?;
+    let generics = parse_generics(&tokens, &mut pos, &name)?;
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("serde shim: unsupported struct body: {other:?}")),
+            };
+            Ok(Input::Struct { name, generics, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde shim: unsupported enum body: {other:?}")),
+            };
+            Ok(Input::Enum { name, generics, variants: parse_variants(body)? })
+        }
+        other => Err(format!("serde shim: cannot derive for `{other}`")),
+    }
+}
+
+/// Parses an optional `<A, B, ...>` list of plain type parameters. Bounds,
+/// defaults, lifetimes, and const generics are rejected: the shim generates
+/// `P: ::serde::Serialize`-style bounds itself and supports nothing fancier.
+fn parse_generics(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    name: &str,
+) -> Result<Vec<String>, String> {
+    let mut generics = Vec::new();
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok(generics);
+    }
+    *pos += 1;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *pos += 1;
+                return Ok(generics);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => *pos += 1,
+            Some(TokenTree::Ident(i)) => {
+                generics.push(i.to_string());
+                *pos += 1;
+            }
+            other => {
+                return Err(format!(
+                    "serde shim: `{name}` has unsupported generics (found {other:?}); \
+                     only plain type parameters are supported"
+                ));
+            }
+        }
+    }
+}
+
+/// Skips `#[...]` attribute groups (including doc comments).
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("serde shim: expected identifier, found {other:?}")),
+    }
+}
+
+/// Skips one type expression: everything until a top-level `,` (angle
+/// brackets tracked manually; parens/brackets arrive as groups).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("serde shim: expected `:` after field, got {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // the separating comma, if any
+        names.push(name);
+    }
+    Ok(Fields::Named(names))
+}
+
+/// Counts fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim: explicit discriminant on variant `{name}` is not supported"
+                ));
+            }
+            None => {}
+            other => return Err(format!("serde shim: unexpected token after variant: {other:?}")),
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty) = input.impl_parts("Serialize");
+    match input {
+        Input::Struct { fields, .. } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => named_fields_to_object(names, "self."),
+            };
+            format!(
+                "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants, .. } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(String::from({vname:?})),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(String::from({vname:?}), {inner});\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let inner = named_fields_to_object(fnames, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(String::from({vname:?}), {inner});\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}\n",
+                            fnames.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Builds `{{ let mut m; m.insert(...); Value::Object(m) }}` for named
+/// fields, reading each field through `accessor` (`self.` or a bound name).
+fn named_fields_to_object(names: &[String], accessor: &str) -> String {
+    let mut out = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in names {
+        out.push_str(&format!(
+            "__m.insert(String::from({f:?}), ::serde::Serialize::to_value(&{accessor}{f}));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(__m) }");
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, ty) = input.impl_parts("Deserialize");
+    match input {
+        Input::Struct { name, fields, .. } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match __v {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         __other => Err(::serde::Error::custom(format!(\n\
+                             \"invalid type: {{}}, expected null\", __other.kind()))),\n\
+                     }}"
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::__private::tuple_item(__items, {i}, {name:?})?"))
+                        .collect();
+                    format!(
+                        "{{\n\
+                             let __items = match __v {{\n\
+                                 ::serde::Value::Array(items) => items.as_slice(),\n\
+                                 __other => return Err(::serde::Error::custom(format!(\n\
+                                     \"invalid type: {{}}, expected array\", __other.kind()))),\n\
+                             }};\n\
+                             Ok({name}({}))\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fnames) => named_fields_from_object(name, fnames, name),
+            };
+            format!(
+                "impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants, .. } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vname:?} => Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::__private::tuple_item(__items, {i}, {name:?})?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __items = match __inner {{\n\
+                                     ::serde::Value::Array(items) => items.as_slice(),\n\
+                                     __other => return Err(::serde::Error::custom(format!(\n\
+                                         \"invalid type: {{}}, expected array\", \
+                                         __other.kind()))),\n\
+                                 }};\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let build =
+                            named_fields_from_object(&format!("{name}::{vname}"), fnames, name);
+                        data_arms
+                            .push_str(&format!("{vname:?} => {{ let __v = __inner; {build} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __inner) = __m.iter().next().unwrap();\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => Err(::serde::Error::custom(format!(\n\
+                                         \"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::Error::custom(format!(\n\
+                                 \"invalid type: {{}}, expected {name} variant\", \
+                                 __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Builds deny-unknown-fields object deserialization producing
+/// `constructor { f: ..., ... }`.
+fn named_fields_from_object(constructor: &str, fnames: &[String], ty: &str) -> String {
+    let field_list: Vec<String> = fnames.iter().map(|f| format!("{f:?}")).collect();
+    let mut build = String::new();
+    for f in fnames {
+        build.push_str(&format!("{f}: ::serde::__private::field(__obj, {f:?}, {ty:?})?,\n"));
+    }
+    format!(
+        "{{\n\
+             let __obj = ::serde::__private::as_object(__v, {ty:?})?;\n\
+             ::serde::__private::deny_unknown(__obj, &[{}], {ty:?})?;\n\
+             Ok({constructor} {{\n{build}}})\n\
+         }}",
+        field_list.join(", ")
+    )
+}
