@@ -7,6 +7,7 @@
 //! bench --exp e3 --seeds 32 --jobs 8 --json
 //! bench --exp all --seeds 4 --quick --json
 //! bench --validate results/BENCH_e3.json
+//! bench simcheck --seed 7 --cases 200    # invariant-oracle fuzzing
 //! ```
 //!
 //! With `--json`, each sweep writes `results/BENCH_<exp>.json` — a
@@ -33,6 +34,7 @@ fn usage() -> ! {
         "usage: bench --exp <id|all> [--seeds N] [--jobs N] [--quick] [--json]\n\
          \x20      bench --list\n\
          \x20      bench --validate FILE...\n\
+         \x20      bench simcheck [--seed N] [--cases N] [--full] [--write DIR]\n\
          \n\
          \x20 --exp <id|all>   experiment to sweep (e1..e14), or every one\n\
          \x20 --seeds N        number of independent seeds (default 8)\n\
@@ -88,6 +90,13 @@ fn parse_args() -> Args {
 }
 
 fn main() -> ExitCode {
+    // `bench simcheck ...` dispatches to the invariant-oracle explorer
+    // before the sweep-flag parser sees anything.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("simcheck") {
+        return ExitCode::from(metaclass_simcheck::run_cli(&argv[1..]) as u8);
+    }
+
     let args = parse_args();
 
     if args.list {

@@ -2,7 +2,9 @@
 //! a pure function of `(experiment, scale, seeds)` — worker count and
 //! repetition never change a byte.
 
-use metaclass_bench::experiments::{e2_latency_threshold, e4_regional_servers, e5_split_rendering};
+use metaclass_bench::experiments::{
+    e14_fault_recovery, e2_latency_threshold, e4_regional_servers, e5_split_rendering,
+};
 use metaclass_bench::sweep::{run_sweep, validate_json, SweepConfig, SCHEMA_VERSION};
 use metaclass_bench::{Experiment, Scale};
 
@@ -30,6 +32,23 @@ fn simulation_backed_sweep_is_jobs_invariant_too() {
         run_sweep(&exp, &cfg).doc.to_json_string()
     };
     assert_eq!(sweep(1), sweep(4));
+}
+
+#[test]
+fn crash_restart_mid_sweep_preserves_jobs_invariance() {
+    // Every E14 run injects a crash_node -> restart_node fault plan against
+    // an edge server mid-lecture. Crash epochs void pending timers and
+    // restart replays node boot, so this is the sweep most likely to expose
+    // scheduling nondeterminism — its merged document must still be a pure
+    // function of (experiment, scale, seeds), never of worker count.
+    let exp = e14_fault_recovery::E14FaultRecovery;
+    let sweep = |jobs| {
+        let cfg = SweepConfig::first_n(4, jobs, Scale::Quick);
+        run_sweep(&exp, &cfg).doc.to_json_string()
+    };
+    let serial = sweep(1);
+    assert_eq!(serial, sweep(4), "--jobs 1 and --jobs 4 must write identical JSON");
+    assert_eq!(serial, sweep(1), "re-running must reproduce the document");
 }
 
 #[test]

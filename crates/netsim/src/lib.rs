@@ -61,6 +61,7 @@ mod fault;
 mod link;
 mod metrics;
 mod node;
+mod observe;
 mod rng;
 pub mod sched;
 mod sim;
@@ -72,6 +73,7 @@ pub use fault::{FaultAction, FaultPlan};
 pub use link::{DropReason, Link, LinkConfig, LinkId, LinkStats, LossModel, Transmit};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, Summary};
 pub use node::{Context, Envelope, Node, NodeId, Timer};
+pub use observe::{SimEvent, SimObserver, SimView};
 pub use rng::DetRng;
 pub use sched::{BinaryHeapQueue, EventQueue, TimerWheel};
 pub use sim::Simulation;

@@ -1,0 +1,158 @@
+//! Engine observation hooks for invariant checking.
+//!
+//! A [`SimObserver`] installed via
+//! [`Simulation::set_observer`](crate::Simulation::set_observer) is invoked
+//! synchronously at every interesting engine boundary — sends, final
+//! deliveries, drops, timer firings, and fault executions — with a read-only
+//! [`SimView`] of engine state taken *after* the event was applied. The
+//! `simcheck` crate builds its invariant oracles on these hooks; the engine
+//! itself stays policy-free.
+//!
+//! Observation is strictly passive: an observer cannot mutate the simulation,
+//! draws no randomness from it, and schedules nothing, so installing one
+//! never changes event order, metrics, or trace fingerprints.
+
+use crate::fault::FaultAction;
+use crate::link::{DropReason, Link};
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One engine-boundary event, as seen by a [`SimObserver`].
+///
+/// Borrowed payloads keep observation allocation-free on the hot path.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimEvent<'a> {
+    /// A node emitted a message via `Context::send` (loopback included).
+    Sent {
+        /// Sending node.
+        src: NodeId,
+        /// Final destination.
+        dst: NodeId,
+        /// Wire size in bytes.
+        size_bytes: u32,
+    },
+    /// A message was scheduled from outside the network via
+    /// [`Simulation::inject`](crate::Simulation::inject).
+    Injected {
+        /// Nominal sender.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Wire size in bytes.
+        size_bytes: u32,
+    },
+    /// A message reached its final destination and was handed to the node.
+    Delivered {
+        /// Original sender.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Wire size in bytes.
+        size_bytes: u32,
+        /// When the message was sent (or injected).
+        sent_at: SimTime,
+    },
+    /// A message was dropped in transit (link loss, queue overflow, link or
+    /// node down). Multi-hop messages report at most one drop.
+    Dropped {
+        /// Original sender.
+        src: NodeId,
+        /// Intended final destination.
+        dst: NodeId,
+        /// Wire size in bytes.
+        size_bytes: u32,
+        /// Why the message was dropped.
+        reason: DropReason,
+    },
+    /// A message had no route toward its destination and was discarded.
+    NoRoute {
+        /// Original sender.
+        src: NodeId,
+        /// Intended final destination.
+        dst: NodeId,
+        /// Wire size in bytes.
+        size_bytes: u32,
+    },
+    /// A live timer fired and the node's `on_timer` ran. Swallowed timers
+    /// (cancelled, stale epoch, crashed node) are *not* reported.
+    TimerFired {
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The caller-chosen timer tag.
+        tag: u64,
+    },
+    /// A scripted fault action executed. The view reflects post-fault state.
+    Fault {
+        /// The action that just ran.
+        action: &'a FaultAction,
+    },
+}
+
+/// A read-only snapshot of engine state handed to observers.
+pub struct SimView<'a> {
+    pub(crate) time: SimTime,
+    pub(crate) crashed: &'a [bool],
+    pub(crate) links: &'a [Link],
+    pub(crate) link_ends: &'a [(NodeId, NodeId)],
+}
+
+impl SimView<'_> {
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// Whether `node` is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Iterates all directed links as `(from, to, link)` in creation order.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, &Link)> {
+        self.link_ends.iter().zip(self.links.iter()).map(|(&(from, to), link)| (from, to, link))
+    }
+
+    /// The directed link `from → to`, if one exists. Linear scan — intended
+    /// for assertions, not hot paths.
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<&Link> {
+        self.link_ends.iter().position(|&(f, t)| f == from && t == to).map(|i| &self.links[i])
+    }
+}
+
+impl std::fmt::Debug for SimView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimView")
+            .field("time", &self.time)
+            .field("nodes", &self.crashed.len())
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+/// Receives engine-boundary events from a [`Simulation`](crate::Simulation).
+///
+/// Implementations must be deterministic (no wall-clock, no ambient
+/// randomness) or they forfeit the engine's replayability guarantee for any
+/// state they accumulate. The engine calls observers synchronously on the
+/// simulation thread; `Send` is required so simulations stay movable across
+/// threads (e.g. in sweep workers).
+pub trait SimObserver: Send {
+    /// Called after each observable event with the post-event engine view.
+    fn on_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>);
+}
+
+impl<F: FnMut(&SimView<'_>, &SimEvent<'_>) + Send> SimObserver for F {
+    fn on_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>) {
+        self(view, event)
+    }
+}

@@ -8,6 +8,7 @@ use crate::fault::{FaultAction, FaultPlan};
 use crate::link::{DropReason, Link, LinkConfig, LinkId, Transmit};
 use crate::metrics::MetricsRegistry;
 use crate::node::{Context, Envelope, Node, NodeId, Op, Timer};
+use crate::observe::{SimEvent, SimObserver, SimView};
 use crate::rng::DetRng;
 use crate::sched::{EventQueue, TimerWheel};
 use crate::time::SimTime;
@@ -83,6 +84,8 @@ pub struct Simulation<M> {
     master_rng: DetRng,
     metrics: MetricsRegistry,
     trace: Option<Trace>,
+    /// Passive engine-boundary observer (see [`crate::observe`]).
+    observer: Option<Box<dyn SimObserver>>,
     started: bool,
     events_processed: u64,
 }
@@ -113,6 +116,7 @@ impl<M: 'static> Simulation<M> {
             master_rng,
             metrics: MetricsRegistry::new(),
             trace: None,
+            observer: None,
             started: false,
             events_processed: 0,
         }
@@ -375,6 +379,10 @@ impl<M: 'static> Simulation<M> {
             FaultAction::CrashNode { node } => self.crash_node(node),
             FaultAction::RestartNode { node } => self.restart_node(node),
         }
+        if self.observer.is_some() {
+            let action = self.fault_actions[index].clone();
+            self.notify(SimEvent::Fault { action: &action });
+        }
     }
 
     fn for_both_directions(&mut self, a: NodeId, b: NodeId, mut apply: impl FnMut(&mut Link)) {
@@ -404,6 +412,41 @@ impl<M: 'static> Simulation<M> {
         &mut self.metrics
     }
 
+    /// Installs a passive observer invoked at every engine boundary
+    /// (send/inject/delivery/drop/no-route/timer/fault). Replaces any
+    /// previously installed observer. Observation never perturbs the run:
+    /// event order, metrics, and trace fingerprints are identical with or
+    /// without one.
+    pub fn set_observer(&mut self, observer: impl SimObserver + 'static) {
+        self.observer = Some(Box::new(observer));
+    }
+
+    /// Removes and returns the installed observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn SimObserver>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is currently installed.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Hands `event` to the observer (if any) with a post-event view.
+    ///
+    /// The box is taken out for the duration of the call so the observer can
+    /// be `&mut` while the view borrows the rest of the engine immutably.
+    fn notify(&mut self, event: SimEvent<'_>) {
+        let Some(mut observer) = self.observer.take() else { return };
+        let view = SimView {
+            time: self.time,
+            crashed: &self.crashed,
+            links: &self.links,
+            link_ends: &self.link_ends,
+        };
+        observer.on_event(&view, &event);
+        self.observer = Some(observer);
+    }
+
     /// Enables event tracing, keeping at most `capacity` events.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::new(capacity));
@@ -424,6 +467,7 @@ impl<M: 'static> Simulation<M> {
         assert!(at >= self.time, "cannot inject into the past");
         let env = Envelope { src, dst, payload, size_bytes, sent_at: self.time };
         self.push_event(at, EventKind::Deliver { hop: dst, env });
+        self.notify(SimEvent::Injected { src, dst, size_bytes });
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
@@ -522,6 +566,7 @@ impl<M: 'static> Simulation<M> {
                     return processed;
                 }
                 self.record_trace(TraceKind::TimerFired { tag }, node, node, 0);
+                self.notify(SimEvent::TimerFired { node, tag });
                 self.dispatch(node, Dispatch::Timer(Timer { id, tag }));
             }
             EventKind::Deliver { hop, env } => {
@@ -535,6 +580,12 @@ impl<M: 'static> Simulation<M> {
                         env.dst,
                         env.size_bytes,
                     );
+                    self.notify(SimEvent::Dropped {
+                        src: env.src,
+                        dst: env.dst,
+                        size_bytes: env.size_bytes,
+                        reason: DropReason::NodeDown,
+                    });
                 } else if hop == env.dst {
                     let dst = env.dst;
                     let idx = dst.index();
@@ -590,6 +641,12 @@ impl<M: 'static> Simulation<M> {
             .histogram("net.delivery_latency_ns")
             .record(self.time.duration_since(env.sent_at).as_nanos());
         self.record_trace(TraceKind::Delivered, env.src, env.dst, env.size_bytes);
+        self.notify(SimEvent::Delivered {
+            src: env.src,
+            dst: env.dst,
+            size_bytes: env.size_bytes,
+            sent_at: env.sent_at,
+        });
     }
 
     fn dispatch(&mut self, node_id: NodeId, what: Dispatch<M>) {
@@ -631,6 +688,7 @@ impl<M: 'static> Simulation<M> {
                     let env =
                         Envelope { src: node_id, dst, payload, size_bytes, sent_at: self.time };
                     self.record_trace(TraceKind::Sent, node_id, dst, size_bytes);
+                    self.notify(SimEvent::Sent { src: node_id, dst, size_bytes });
                     if dst == node_id {
                         // Loopback: deliver immediately (next event).
                         self.push_event(self.time, EventKind::Deliver { hop: dst, env });
@@ -663,6 +721,11 @@ impl<M: 'static> Simulation<M> {
             None => {
                 self.metrics.inc("net.dropped.no_route");
                 self.record_trace(TraceKind::NoRoute, env.src, env.dst, env.size_bytes);
+                self.notify(SimEvent::NoRoute {
+                    src: env.src,
+                    dst: env.dst,
+                    size_bytes: env.size_bytes,
+                });
                 return;
             }
         };
@@ -680,6 +743,12 @@ impl<M: 'static> Simulation<M> {
                 };
                 self.metrics.inc(metric);
                 self.record_trace(TraceKind::Dropped(reason), env.src, env.dst, env.size_bytes);
+                self.notify(SimEvent::Dropped {
+                    src: env.src,
+                    dst: env.dst,
+                    size_bytes: env.size_bytes,
+                    reason,
+                });
             }
         }
     }
@@ -1073,6 +1142,97 @@ mod tests {
             .filter(|ev| matches!(ev.kind, TraceKind::Fault { .. }))
             .count();
         assert_eq!(faults, 2);
+    }
+
+    /// Counts engine-boundary events by kind.
+    #[derive(Default)]
+    struct CountingObserver {
+        sent: u64,
+        delivered: u64,
+        dropped: u64,
+        timers: u64,
+        faults: u64,
+        injected: u64,
+        no_route: u64,
+    }
+
+    impl crate::observe::SimObserver for std::sync::Arc<std::sync::Mutex<CountingObserver>> {
+        fn on_event(&mut self, _view: &crate::SimView<'_>, event: &crate::SimEvent<'_>) {
+            let mut c = self.lock().unwrap();
+            match event {
+                crate::SimEvent::Sent { .. } => c.sent += 1,
+                crate::SimEvent::Delivered { .. } => c.delivered += 1,
+                crate::SimEvent::Dropped { .. } => c.dropped += 1,
+                crate::SimEvent::TimerFired { .. } => c.timers += 1,
+                crate::SimEvent::Fault { .. } => c.faults += 1,
+                crate::SimEvent::Injected { .. } => c.injected += 1,
+                crate::SimEvent::NoRoute { .. } => c.no_route += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_boundary_and_counts_match_metrics() {
+        let counts = std::sync::Arc::new(std::sync::Mutex::new(CountingObserver::default()));
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let sink = sim.add_node("sink", Sink { got: vec![] });
+        let c = sim.add_node("counter", Counter::new());
+        sim.connect(sink, c, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.set_observer(std::sync::Arc::clone(&counts));
+        assert!(sim.has_observer());
+        let plan = crate::fault::FaultPlan::new().crash(
+            c,
+            SimTime::from_millis(25),
+            Some(SimTime::from_millis(55)),
+        );
+        sim.apply_fault_plan(plan);
+        sim.inject(SimTime::from_millis(5), sink, c, Msg::Ping(1), 8);
+        sim.run_until(SimTime::from_millis(80));
+        let got = counts.lock().unwrap();
+        assert_eq!(got.faults, 2, "crash + restart both observed");
+        assert_eq!(got.injected, 1);
+        assert_eq!(got.delivered, sim.metrics().counter_value("net.delivered"));
+        assert_eq!(got.timers, 4, "ticks at 10/20 then 65/75 after restart");
+        assert_eq!(got.sent, sim.metrics().counter_value("net.sent"));
+    }
+
+    #[test]
+    fn observer_does_not_perturb_the_run() {
+        let run = |observe: bool| {
+            let mut sim = Simulation::new(99);
+            let a = sim.add_node("a", Pinger::new(20));
+            let b = sim.add_node("b", Pinger::new(0));
+            sim.node_as_mut::<Pinger>(a).unwrap().peer = Some(b);
+            let cfg = LinkConfig::new(SimDuration::from_millis(3))
+                .with_jitter(SimDuration::from_millis(1))
+                .with_loss(crate::link::LossModel::Iid { p: 0.05 });
+            sim.connect(a, b, cfg);
+            sim.enable_trace(10_000);
+            if observe {
+                sim.set_observer(|_: &crate::SimView<'_>, _: &crate::SimEvent<'_>| {});
+            }
+            sim.run_until_idle();
+            sim.trace().unwrap().fingerprint()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crashed_node_receives_no_observed_deliveries_or_timers() {
+        let counts = std::sync::Arc::new(std::sync::Mutex::new(CountingObserver::default()));
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let c = sim.add_node("counter", Counter::new());
+        let src = sim.add_node("src", Forwarder);
+        sim.connect(src, c, LinkConfig::new(SimDuration::from_millis(1)));
+        sim.set_observer(std::sync::Arc::clone(&counts));
+        sim.run_until(SimTime::from_millis(15)); // one tick at 10 ms
+        sim.crash_node(c);
+        sim.inject(SimTime::from_millis(40), src, c, Msg::Ping(1), 8);
+        sim.run_until(SimTime::from_millis(100));
+        let got = counts.lock().unwrap();
+        assert_eq!(got.timers, 1, "no timer fires while crashed");
+        assert_eq!(got.delivered, 0);
+        assert_eq!(got.dropped, 1, "the injected message blackholes");
     }
 
     #[test]

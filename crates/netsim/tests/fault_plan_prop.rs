@@ -1,0 +1,133 @@
+//! Property tests for [`FaultPlan::into_sorted_events`]: the sort is stable
+//! (ties resolve by insertion order), total (every pushed event survives),
+//! and overlapping `partition_window`/`link_flap` windows leave links in the
+//! state the engine's orthogonal admin/partition semantics prescribe.
+
+use metaclass_netsim::{
+    Context, FaultAction, FaultPlan, LinkConfig, Node, NodeId, SimDuration, SimTime, Simulation,
+};
+use proptest::prelude::*;
+
+fn n(i: usize) -> NodeId {
+    NodeId::from_index(i)
+}
+
+/// Builds a plan whose times come from a tiny set (forcing plenty of ties),
+/// each action tagged with a unique node index so the original insertion
+/// position is recoverable from the sorted output.
+fn tagged_plan(times: &[u64]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for (i, &t) in times.iter().enumerate() {
+        // CrashNode{node: i} is a pure tag here; the plan is never executed.
+        plan = plan.at(SimTime::from_millis(t), FaultAction::CrashNode { node: n(i) });
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sorted output is a permutation of the input, non-decreasing in time,
+    /// and events at equal times keep their insertion order.
+    #[test]
+    fn prop_sort_is_stable_and_total(times in proptest::collection::vec(0u64..4, 0..24)) {
+        let sorted = tagged_plan(&times).into_sorted_events();
+        prop_assert_eq!(sorted.len(), times.len());
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut seen = vec![false; times.len()];
+        for (at, action) in &sorted {
+            let FaultAction::CrashNode { node } = action else { panic!("unexpected action") };
+            let idx = node.index();
+            prop_assert!(!seen[idx], "event {} appeared twice", idx);
+            seen[idx] = true;
+            prop_assert_eq!(*at, SimTime::from_millis(times[idx]), "event kept its time");
+            // Total order: time strictly grows, or insertion index grows.
+            prop_assert!(
+                *at > last.0 || (*at == last.0 && idx >= last.1),
+                "tie at {} ns broke insertion order: {} after {}",
+                at.as_nanos(), idx, last.1
+            );
+            last = (*at, idx);
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every pushed event survives the sort");
+    }
+}
+
+/// A quiet 3-node triangle (0-1, 1-2, 0-2) for executing fault plans.
+fn triangle() -> Simulation<()> {
+    struct Idle;
+    impl Node<()> for Idle {
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+    }
+    let mut sim = Simulation::new(7);
+    let a = sim.add_node("a", Idle);
+    let b = sim.add_node("b", Idle);
+    let c = sim.add_node("c", Idle);
+    let cfg = LinkConfig::new(SimDuration::from_millis(5));
+    sim.connect(a, b, cfg);
+    sim.connect(b, c, cfg);
+    sim.connect(a, c, cfg);
+    sim
+}
+
+fn available(sim: &Simulation<()>, a: NodeId, b: NodeId) -> bool {
+    let id = sim.link_between(a, b).expect("triangle link exists");
+    sim.link(id).is_available()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Overlapping partition windows and link flaps compose orthogonally:
+    /// while the partition is active its severed links are unavailable no
+    /// matter what the flap did; once both windows close, every link is back
+    /// (Heal restores partition-severed links, LinkUp restores admin state).
+    #[test]
+    fn prop_overlapping_partition_and_flap_end_state(
+        // Partition window [p0, p0+pd), flap window [f0, f0+fd) on link 0-1,
+        // all within 0..600 ms so every overlap order is exercised.
+        p0 in 0u64..300, pd in 1u64..300,
+        f0 in 0u64..300, fd in 1u64..300,
+        partition_built_first in any::<bool>(),
+    ) {
+        let (a, b, c) = (n(0), n(1), n(2));
+        let p_from = SimTime::from_millis(p0);
+        let p_until = SimTime::from_millis(p0 + pd);
+        let f_from = SimTime::from_millis(f0);
+        let f_until = SimTime::from_millis(f0 + fd);
+
+        let groups: &[&[NodeId]] = &[&[a], &[b, c]];
+        let plan = if partition_built_first {
+            FaultPlan::new()
+                .partition_window(groups, p_from, p_until)
+                .link_flap(a, b, f_from, f_until)
+        } else {
+            FaultPlan::new()
+                .link_flap(a, b, f_from, f_until)
+                .partition_window(groups, p_from, p_until)
+        };
+
+        // Mid-flight: stop 1 ns before the earliest window end; whatever is
+        // still open must be visible in link availability.
+        let first_end = p_until.min(f_until);
+        let probe_at = SimTime::from_nanos(first_end.as_nanos() - 1);
+        let mut sim = triangle();
+        sim.apply_fault_plan(plan.clone());
+        sim.run_until(probe_at);
+        if probe_at >= p_from {
+            prop_assert!(!available(&sim, a, b), "0-1 severed while partition active");
+            prop_assert!(!available(&sim, a, c), "0-2 severed while partition active");
+            prop_assert!(available(&sim, b, c), "1-2 in one group stays up");
+        } else if probe_at >= f_from {
+            prop_assert!(!available(&sim, a, b), "0-1 admin-down during the flap");
+            prop_assert!(available(&sim, b, c));
+            prop_assert!(available(&sim, a, c));
+        }
+
+        // Past both ends: full recovery regardless of overlap or build order.
+        sim.run_until(SimTime::from_millis(700));
+        prop_assert!(available(&sim, a, b), "0-1 must recover after flap-up and heal");
+        prop_assert!(available(&sim, b, c), "1-2 must recover after heal");
+        prop_assert!(available(&sim, a, c), "0-2 must recover after heal");
+    }
+}

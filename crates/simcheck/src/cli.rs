@@ -1,0 +1,170 @@
+//! The `simcheck` bench-CLI subcommand.
+//!
+//! `bench simcheck --seed 7 --cases 200` explores random fault schedules
+//! against the two-campus session with the standard oracle set. Output is a
+//! pure function of the flags — byte-identical across reruns — and the exit
+//! code is 0 only when every case passes every oracle. `--write DIR` saves
+//! each shrunk violation as a replayable regression-case JSON.
+
+use std::path::Path;
+
+use crate::explore::{explore, ExploreConfig, FoundViolation};
+use crate::regress::{RegressionCase, SCHEMA_VERSION};
+
+const USAGE: &str = "usage: bench simcheck [options]
+
+Deterministic fault-schedule exploration with invariant oracles.
+
+options:
+  --seed N      master seed for schedule generation (default 7)
+  --cases N     number of random schedules to run (default 200)
+  --full        full-sized scenario (default is quick)
+  --write DIR   save shrunk violations as regression JSON under DIR
+  --help        show this help
+";
+
+fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse().map_err(|_| format!("{flag}: '{raw}' is not a number"))
+}
+
+struct CliConfig {
+    explore: ExploreConfig,
+    write_dir: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
+    let mut cfg =
+        CliConfig { explore: ExploreConfig { seed: 7, cases: 200, quick: true }, write_dir: None };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--seed" => {
+                cfg.explore.seed = parse_u64("--seed", args.get(i + 1))?;
+                i += 2;
+            }
+            "--cases" => {
+                cfg.explore.cases = parse_u64("--cases", args.get(i + 1))? as u32;
+                i += 2;
+            }
+            "--full" => {
+                cfg.explore.quick = false;
+                i += 1;
+            }
+            "--write" => {
+                cfg.write_dir = Some(args.get(i + 1).ok_or("--write needs a directory")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(Some(cfg))
+}
+
+fn regression_for(v: &FoundViolation, quick: bool) -> RegressionCase {
+    RegressionCase {
+        schema_version: SCHEMA_VERSION,
+        description: format!(
+            "shrunk from explorer case {}: {} ({})",
+            v.case_index, v.violation.oracle, v.violation.detail
+        ),
+        quick,
+        session_seed: v.session_seed,
+        windows: v.minimal.clone(),
+        expect_violation: Some(v.violation.oracle.to_string()),
+    }
+}
+
+fn write_cases(dir: &str, cases: &[(String, RegressionCase)]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    for (name, case) in cases {
+        let path = Path::new(dir).join(name);
+        std::fs::write(&path, case.to_json() + "\n")
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// Runs the subcommand. Returns the process exit code: 0 when all cases
+/// pass, 1 on violations, 2 on bad flags or I/O failure.
+pub fn run_cli(args: &[String]) -> i32 {
+    let cfg = match parse(args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            print!("{USAGE}");
+            return 0;
+        }
+        Err(err) => {
+            eprintln!("simcheck: {err}");
+            eprint!("{USAGE}");
+            return 2;
+        }
+    };
+
+    let scale = if cfg.explore.quick { "quick" } else { "full" };
+    println!("simcheck: seed {} cases {} scale {scale}", cfg.explore.seed, cfg.explore.cases);
+    let outcome = explore(&cfg.explore);
+    println!(
+        "simcheck: {} clean / {} cases, fingerprint {}",
+        outcome.clean,
+        outcome.cases,
+        outcome.fingerprint_hex()
+    );
+
+    let mut files = Vec::new();
+    for v in &outcome.violations {
+        println!(
+            "VIOLATION case {}: {} — shrunk {} -> {} windows ({} events, {} runs)",
+            v.case_index,
+            v.violation,
+            v.original_windows,
+            v.minimal.len(),
+            v.minimal_events,
+            v.shrink_runs
+        );
+        files.push((
+            format!("shrunk-seed{}-case{}.json", cfg.explore.seed, v.case_index),
+            regression_for(v, cfg.explore.quick),
+        ));
+    }
+    if let Some(dir) = &cfg.write_dir {
+        if let Err(err) = write_cases(dir, &files) {
+            eprintln!("simcheck: {err}");
+            return 2;
+        }
+        println!("simcheck: wrote {} regression case(s) to {dir}", files.len());
+    }
+    if outcome.violations.is_empty() {
+        println!("simcheck: OK");
+        0
+    } else {
+        println!("simcheck: FAILED ({} violation(s))", outcome.violations.len());
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_reads_flags_and_rejects_junk() {
+        let cfg = parse(&argv(&["--seed", "9", "--cases", "5", "--full"])).unwrap().unwrap();
+        assert_eq!(cfg.explore.seed, 9);
+        assert_eq!(cfg.explore.cases, 5);
+        assert!(!cfg.explore.quick);
+        assert!(parse(&argv(&["--bogus"])).is_err());
+        assert!(parse(&argv(&["--seed"])).is_err());
+        assert!(parse(&argv(&["--help"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn a_small_clean_run_exits_zero() {
+        assert_eq!(run_cli(&argv(&["--seed", "7", "--cases", "2"])), 0);
+    }
+}

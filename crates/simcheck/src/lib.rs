@@ -1,0 +1,47 @@
+//! simcheck — deterministic simulation checking for the blended-classroom
+//! testbed.
+//!
+//! The blueprint's consistency story (heartbeat failure detection, graceful
+//! degradation, post-heal resync) is only as strong as the fault schedules it
+//! was tested under. This crate turns those properties into *invariant
+//! oracles* checked continuously while a [`Scenario`] session runs, and
+//! explores the schedule space with seeded random [fault
+//! windows](plan::FaultWindow):
+//!
+//! - [`oracle`] — the [`Oracle`] trait, the registry the
+//!   engine invokes at every boundary, and the violation record;
+//! - [`oracles`] — the standard invariants: clock monotonicity, packet
+//!   conservation, partition isolation, crashed-node silence, avatar
+//!   staleness bounds, and post-heal resync convergence;
+//! - [`plan`] — well-formed fault windows (paired start/end disturbances)
+//!   that lower onto the netsim [`FaultPlan`](metaclass_netsim::FaultPlan);
+//! - [`scenario`] — the checked two-campus session and its topology;
+//! - [`mod@explore`] — the deterministic runner, the seeded explorer, and the
+//!   shrinking minimizer (greedy window removal, then duration halving);
+//! - [`regress`] — replayable JSON regression cases;
+//! - [`cli`] — the `bench simcheck` subcommand.
+//!
+//! Everything is a pure function of the seed: the same flags produce
+//! byte-identical output on every rerun.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod explore;
+pub mod oracle;
+pub mod oracles;
+pub mod plan;
+pub mod regress;
+pub mod scenario;
+
+pub use cli::run_cli;
+pub use explore::{
+    explore, explore_with, mix, run_plan, shrink, ExploreConfig, ExploreOutcome, FoundViolation,
+    RunOutcome,
+};
+pub use oracle::{observer_for, shared, Oracle, OracleRegistry, Probe, SharedRegistry, Violation};
+pub use oracles::{standard_oracles, CanaryOracle};
+pub use plan::{event_count, generate_windows, lower, FaultWindow, PlanSpace};
+pub use regress::{RegressionCase, SCHEMA_VERSION};
+pub use scenario::{Scenario, Topology};

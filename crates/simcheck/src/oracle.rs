@@ -1,0 +1,156 @@
+//! The [`Oracle`] trait, violations, and the registry the engine invokes.
+//!
+//! Oracles are checked at three boundaries:
+//!
+//! 1. **Engine events** — every send/delivery/drop/timer/fault, via the
+//!    netsim [`SimObserver`](metaclass_netsim::SimObserver) hook;
+//! 2. **Probes** — between run slices, with full read access to the
+//!    [`ClassroomSession`] (node state, peer health, avatar freshness);
+//! 3. **End** — once, after the settle window, for convergence claims.
+//!
+//! The registry records the *first* violation and goes quiet afterwards, so
+//! a failing run is attributed to exactly one oracle — the signature the
+//! shrinker preserves while minimizing the fault schedule.
+
+use std::sync::{Arc, Mutex};
+
+use metaclass_core::ClassroomSession;
+use metaclass_netsim::{SimEvent, SimTime, SimView};
+
+use crate::scenario::Topology;
+
+/// A broken invariant: which oracle, when, and what it saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the oracle that fired.
+    pub oracle: &'static str,
+    /// Simulated time of detection.
+    pub at: SimTime,
+    /// Human-readable description of the observed inconsistency.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] at {} ns: {}", self.oracle, self.at.as_nanos(), self.detail)
+    }
+}
+
+/// Read-only context handed to probe- and end-boundary checks.
+pub struct Probe<'a> {
+    /// The session under check.
+    pub session: &'a ClassroomSession,
+    /// Precomputed node/avatar layout of the session.
+    pub topology: &'a Topology,
+    /// Probe time.
+    pub now: SimTime,
+    /// Whether `now` lies outside every fault disturbance region (fault
+    /// windows inflated by the detection/hold/resync margin). Freshness
+    /// bounds only apply in quiet periods.
+    pub quiet: bool,
+}
+
+/// An invariant checked against a running simulation.
+///
+/// All methods default to passing, so an oracle implements only the
+/// boundaries it cares about. Return `Err(detail)` to report a violation;
+/// the registry stamps it with the oracle's name and the current time.
+pub trait Oracle: Send {
+    /// Stable oracle name; used as the failure signature during shrinking
+    /// and in regression-case expectations.
+    fn name(&self) -> &'static str;
+
+    /// Engine-boundary check, called on every observable event.
+    fn on_sim_event(&mut self, _view: &SimView<'_>, _event: &SimEvent<'_>) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Probe-boundary check, called between run slices.
+    fn on_probe(&mut self, _probe: &Probe<'_>) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Final check after the settle window (skipped if a violation already
+    /// occurred).
+    fn on_end(&mut self, _probe: &Probe<'_>) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Runs a set of oracles and records the first violation.
+pub struct OracleRegistry {
+    oracles: Vec<Box<dyn Oracle>>,
+    violation: Option<Violation>,
+}
+
+impl OracleRegistry {
+    /// Creates a registry over `oracles`.
+    pub fn new(oracles: Vec<Box<dyn Oracle>>) -> Self {
+        OracleRegistry { oracles, violation: None }
+    }
+
+    /// The first recorded violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violation.as_ref()
+    }
+
+    /// Checks every oracle against an engine event.
+    pub fn check_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>) {
+        if self.violation.is_some() {
+            return;
+        }
+        for oracle in &mut self.oracles {
+            if let Err(detail) = oracle.on_sim_event(view, event) {
+                self.violation = Some(Violation { oracle: oracle.name(), at: view.time(), detail });
+                return;
+            }
+        }
+    }
+
+    /// Checks every oracle at a probe boundary.
+    pub fn check_probe(&mut self, probe: &Probe<'_>) {
+        if self.violation.is_some() {
+            return;
+        }
+        for oracle in &mut self.oracles {
+            if let Err(detail) = oracle.on_probe(probe) {
+                self.violation = Some(Violation { oracle: oracle.name(), at: probe.now, detail });
+                return;
+            }
+        }
+    }
+
+    /// Runs the end-of-run checks.
+    pub fn check_end(&mut self, probe: &Probe<'_>) {
+        if self.violation.is_some() {
+            return;
+        }
+        for oracle in &mut self.oracles {
+            if let Err(detail) = oracle.on_end(probe) {
+                self.violation = Some(Violation { oracle: oracle.name(), at: probe.now, detail });
+                return;
+            }
+        }
+    }
+}
+
+/// A registry shared between the engine observer (which sees every event)
+/// and the runner (which probes between slices). Single-threaded in
+/// practice; the mutex only satisfies `Send` so sessions stay movable.
+pub type SharedRegistry = Arc<Mutex<OracleRegistry>>;
+
+/// Wraps `oracles` in a [`SharedRegistry`].
+pub fn shared(oracles: Vec<Box<dyn Oracle>>) -> SharedRegistry {
+    Arc::new(Mutex::new(OracleRegistry::new(oracles)))
+}
+
+/// An engine observer forwarding every event into the shared registry.
+/// Install with `sim.set_observer(observer_for(&registry))`.
+pub fn observer_for(
+    registry: &SharedRegistry,
+) -> impl FnMut(&SimView<'_>, &SimEvent<'_>) + Send + 'static {
+    let registry = Arc::clone(registry);
+    move |view, event| {
+        registry.lock().expect("oracle registry poisoned").check_event(view, event);
+    }
+}

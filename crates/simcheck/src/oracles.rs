@@ -1,0 +1,316 @@
+//! The invariant-oracle library.
+//!
+//! Engine-boundary oracles (clock monotonicity, packet conservation,
+//! partition isolation, crashed-node silence) check every observable event;
+//! probe-boundary oracles (avatar staleness, resync convergence) inspect the
+//! session between run slices. [`standard_oracles`] assembles the default
+//! set the explorer and the `bench simcheck` CLI run.
+
+use metaclass_edge::{EdgeServerNode, PeerState, RemoteAvatarPresentation};
+use metaclass_netsim::{FaultAction, NodeId, SimEvent, SimTime, SimView};
+
+use crate::oracle::{Oracle, Probe};
+use crate::scenario::Scenario;
+
+/// Simulated time never decreases, and nothing is delivered before it was
+/// sent.
+#[derive(Debug, Default)]
+pub struct ClockMonotonicity {
+    last: SimTime,
+}
+
+impl Oracle for ClockMonotonicity {
+    fn name(&self) -> &'static str {
+        "clock-monotonicity"
+    }
+
+    fn on_sim_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>) -> Result<(), String> {
+        let now = view.time();
+        if now < self.last {
+            return Err(format!(
+                "time went backwards: {} ns after {} ns",
+                now.as_nanos(),
+                self.last.as_nanos()
+            ));
+        }
+        self.last = now;
+        if let SimEvent::Delivered { sent_at, src, dst, .. } = event {
+            if *sent_at > now {
+                return Err(format!(
+                    "{src} -> {dst} delivered at {} ns before its send at {} ns",
+                    now.as_nanos(),
+                    sent_at.as_nanos()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every message is accounted for: deliveries plus drops never exceed sends
+/// plus injections (in-flight count stays non-negative at every instant).
+#[derive(Debug, Default)]
+pub struct PacketConservation {
+    sent: u64,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    no_route: u64,
+}
+
+impl Oracle for PacketConservation {
+    fn name(&self) -> &'static str {
+        "packet-conservation"
+    }
+
+    fn on_sim_event(&mut self, _view: &SimView<'_>, event: &SimEvent<'_>) -> Result<(), String> {
+        match event {
+            SimEvent::Sent { .. } => self.sent += 1,
+            SimEvent::Injected { .. } => self.injected += 1,
+            SimEvent::Delivered { .. } => self.delivered += 1,
+            SimEvent::Dropped { .. } => self.dropped += 1,
+            SimEvent::NoRoute { .. } => self.no_route += 1,
+            _ => return Ok(()),
+        }
+        let terminated = self.delivered + self.dropped + self.no_route;
+        let originated = self.sent + self.injected;
+        if terminated > originated {
+            return Err(format!(
+                "{terminated} messages terminated but only {originated} originated \
+                 (delivered {}, dropped {}, no-route {})",
+                self.delivered, self.dropped, self.no_route
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// No message crosses an active full-coverage partition: anything sent
+/// strictly after a partition severed the sender's group from the receiver's
+/// must not be delivered until a heal.
+///
+/// Mirrors engine semantics exactly: a `Heal` clears *all* active partitions
+/// (the engine heals every partition-severed link), and only partitions
+/// whose groups cover every node are enforced — with uncovered nodes a relay
+/// path could legitimately survive.
+#[derive(Debug, Default)]
+pub struct PartitionIsolation {
+    /// Active partitions as (start time, group list).
+    active: Vec<(SimTime, Vec<Vec<NodeId>>)>,
+}
+
+fn group_of(groups: &[Vec<NodeId>], node: NodeId) -> Option<usize> {
+    groups.iter().position(|g| g.contains(&node))
+}
+
+impl Oracle for PartitionIsolation {
+    fn name(&self) -> &'static str {
+        "partition-isolation"
+    }
+
+    fn on_sim_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>) -> Result<(), String> {
+        match event {
+            SimEvent::Fault { action } => {
+                match action {
+                    FaultAction::Partition { groups } => {
+                        let covered: usize = groups.iter().map(Vec::len).sum();
+                        if covered == view.node_count() {
+                            self.active.push((view.time(), groups.clone()));
+                        }
+                    }
+                    FaultAction::Heal => self.active.clear(),
+                    _ => {}
+                }
+                Ok(())
+            }
+            SimEvent::Delivered { src, dst, sent_at, .. } => {
+                for (since, groups) in &self.active {
+                    let (ga, gb) = (group_of(groups, *src), group_of(groups, *dst));
+                    if let (Some(ga), Some(gb)) = (ga, gb) {
+                        if ga != gb && *sent_at > *since {
+                            return Err(format!(
+                                "{src} -> {dst} delivered across a partition active since \
+                                 {} ns (sent at {} ns)",
+                                since.as_nanos(),
+                                sent_at.as_nanos()
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Crashed nodes are silent: they receive no deliveries and fire no timers
+/// until restarted.
+#[derive(Debug, Default)]
+pub struct CrashedSilence;
+
+impl Oracle for CrashedSilence {
+    fn name(&self) -> &'static str {
+        "crashed-silence"
+    }
+
+    fn on_sim_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>) -> Result<(), String> {
+        match event {
+            SimEvent::Delivered { src, dst, .. } if view.is_crashed(*dst) => {
+                Err(format!("{src} -> {dst} delivered to a crashed node"))
+            }
+            SimEvent::TimerFired { node, tag } if view.is_crashed(*node) => {
+                Err(format!("timer tag {tag} fired on crashed node {node}"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// In quiet periods every remote avatar is presented live and within the
+/// dead-reckoning freshness bound — degradation (hold/freeze) is only
+/// acceptable while a fault's disturbance region is open.
+#[derive(Debug)]
+pub struct StalenessBound {
+    bound: metaclass_netsim::SimDuration,
+    warmup: SimTime,
+}
+
+impl StalenessBound {
+    /// Creates the oracle with the scenario's bound and warmup.
+    pub fn new(scn: &Scenario) -> Self {
+        StalenessBound { bound: scn.staleness_bound(), warmup: scn.warmup }
+    }
+
+    fn check_edges(&self, probe: &Probe<'_>, context: &str) -> Result<(), String> {
+        for (k, &edge_id) in probe.topology.edges.iter().enumerate() {
+            let edge = probe
+                .session
+                .sim()
+                .node_as::<EdgeServerNode>(edge_id)
+                .ok_or_else(|| format!("node {edge_id} is not an edge server"))?;
+            for avatar in probe.topology.remote_avatars_for(k) {
+                let presentation = edge.presentation_of(avatar, probe.now);
+                if presentation != RemoteAvatarPresentation::Live {
+                    return Err(format!(
+                        "{context}: edge {edge_id} presents avatar {avatar:?} as \
+                         {presentation:?} in a quiet period"
+                    ));
+                }
+                match edge.remote_captured_at(avatar) {
+                    None => {
+                        return Err(format!(
+                            "{context}: edge {edge_id} has no state for avatar {avatar:?}"
+                        ))
+                    }
+                    Some(t) => {
+                        let staleness = probe.now.duration_since(t);
+                        if staleness > self.bound {
+                            return Err(format!(
+                                "{context}: avatar {avatar:?} on edge {edge_id} is \
+                                 {} ms stale (bound {} ms)",
+                                staleness.as_nanos() / 1_000_000,
+                                self.bound.as_nanos() / 1_000_000
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Oracle for StalenessBound {
+    fn name(&self) -> &'static str {
+        "staleness-bound"
+    }
+
+    fn on_probe(&mut self, probe: &Probe<'_>) -> Result<(), String> {
+        if !probe.quiet || probe.now < self.warmup {
+            return Ok(());
+        }
+        self.check_edges(probe, "probe")
+    }
+}
+
+/// After the last fault heals and the settle window elapses, the session has
+/// fully converged: every server sees its peers up, and every remote avatar
+/// is live and fresh again (post-heal resync worked).
+#[derive(Debug)]
+pub struct ResyncConvergence {
+    staleness: StalenessBound,
+}
+
+impl ResyncConvergence {
+    /// Creates the oracle for the scenario.
+    pub fn new(scn: &Scenario) -> Self {
+        ResyncConvergence { staleness: StalenessBound::new(scn) }
+    }
+}
+
+impl Oracle for ResyncConvergence {
+    fn name(&self) -> &'static str {
+        "resync-convergence"
+    }
+
+    fn on_end(&mut self, probe: &Probe<'_>) -> Result<(), String> {
+        let servers = probe.topology.servers();
+        for &edge_id in &probe.topology.edges {
+            let edge = probe
+                .session
+                .sim()
+                .node_as::<EdgeServerNode>(edge_id)
+                .ok_or_else(|| format!("node {edge_id} is not an edge server"))?;
+            for &peer in servers.iter().filter(|&&p| p != edge_id) {
+                let health = edge
+                    .peer_health(peer)
+                    .ok_or_else(|| format!("edge {edge_id} tracks no health for {peer}"))?;
+                if health.state() != PeerState::Up {
+                    return Err(format!(
+                        "end: edge {edge_id} still sees peer {peer} as {:?}",
+                        health.state()
+                    ));
+                }
+            }
+        }
+        self.staleness.check_edges(probe, "end")
+    }
+}
+
+/// Test instrument: trips on any executed fault action with the given code
+/// (see [`FaultAction::code`]). Used to prove the explorer catches a broken
+/// invariant and shrinks its schedule to a minimal plan.
+#[derive(Debug)]
+pub struct CanaryOracle {
+    /// The fault code that triggers the canary.
+    pub trip_code: u64,
+}
+
+impl Oracle for CanaryOracle {
+    fn name(&self) -> &'static str {
+        "canary"
+    }
+
+    fn on_sim_event(&mut self, _view: &SimView<'_>, event: &SimEvent<'_>) -> Result<(), String> {
+        if let SimEvent::Fault { action } = event {
+            if action.code() == self.trip_code {
+                return Err(format!("canary tripped on fault code {}", self.trip_code));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The default oracle set: every invariant the blueprint's consistency claim
+/// rests on.
+pub fn standard_oracles(scn: &Scenario) -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(ClockMonotonicity::default()),
+        Box::new(PacketConservation::default()),
+        Box::new(PartitionIsolation::default()),
+        Box::new(CrashedSilence),
+        Box::new(StalenessBound::new(scn)),
+        Box::new(ResyncConvergence::new(scn)),
+    ]
+}

@@ -1,0 +1,341 @@
+//! Fault-schedule windows: the explorer's unit of generation and shrinking.
+//!
+//! A [`FaultWindow`] is a *paired* disturbance — every start carries its end —
+//! so any subset of windows is still a well-formed schedule. The explorer
+//! generates random window lists from a [`PlanSpace`], lowers them to a
+//! [`FaultPlan`] for the engine, and shrinks at window granularity (drop a
+//! window, halve its duration) rather than raw-event granularity, which keeps
+//! every shrink candidate semantically closed (no crash without restart, no
+//! partition without heal).
+
+use metaclass_netsim::{DetRng, FaultPlan, LossModel, NodeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Minimum window duration the shrinker will go down to.
+const MIN_WINDOW: SimDuration = SimDuration::from_millis(10);
+
+/// One self-contained disturbance over a time window.
+///
+/// Serializable so that shrunk failing schedules can be persisted as
+/// replayable JSON regression cases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultWindow {
+    /// Administrative link outage of the `a`–`b` connection.
+    LinkFlap {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Loss-process override on the `a`–`b` connection.
+    LossBurst {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Loss process in effect during the burst.
+        loss: LossModel,
+    },
+    /// Extra propagation delay on the `a`–`b` connection.
+    LatencySpike {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Added one-way delay.
+        extra: SimDuration,
+    },
+    /// Network partition into the given groups, healed at `until`.
+    Partition {
+        /// Disjoint groups; the generator always covers every node so the
+        /// partition-isolation oracle is sound (no relay path survives).
+        groups: Vec<Vec<NodeId>>,
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Node crash at `from`, restart at `until`.
+    CrashRestart {
+        /// The node to crash and restart.
+        node: NodeId,
+        /// Crash instant.
+        from: SimTime,
+        /// Restart instant.
+        until: SimTime,
+    },
+}
+
+impl FaultWindow {
+    /// Window start time.
+    pub fn from(&self) -> SimTime {
+        match self {
+            FaultWindow::LinkFlap { from, .. }
+            | FaultWindow::LossBurst { from, .. }
+            | FaultWindow::LatencySpike { from, .. }
+            | FaultWindow::Partition { from, .. }
+            | FaultWindow::CrashRestart { from, .. } => *from,
+        }
+    }
+
+    /// Window end time.
+    pub fn until(&self) -> SimTime {
+        match self {
+            FaultWindow::LinkFlap { until, .. }
+            | FaultWindow::LossBurst { until, .. }
+            | FaultWindow::LatencySpike { until, .. }
+            | FaultWindow::Partition { until, .. }
+            | FaultWindow::CrashRestart { until, .. } => *until,
+        }
+    }
+
+    /// Short kind label for logs and file names.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultWindow::LinkFlap { .. } => "link_flap",
+            FaultWindow::LossBurst { .. } => "loss_burst",
+            FaultWindow::LatencySpike { .. } => "latency_spike",
+            FaultWindow::Partition { .. } => "partition",
+            FaultWindow::CrashRestart { .. } => "crash_restart",
+        }
+    }
+
+    /// Number of [`FaultPlan`] events this window lowers to (always the
+    /// start/end pair).
+    pub fn event_count(&self) -> usize {
+        2
+    }
+
+    /// Appends this window's events to `plan`.
+    pub fn lower_into(&self, plan: FaultPlan) -> FaultPlan {
+        match self {
+            FaultWindow::LinkFlap { a, b, from, until } => plan.link_flap(*a, *b, *from, *until),
+            FaultWindow::LossBurst { a, b, from, until, loss } => {
+                plan.loss_burst(*a, *b, *from, *until, *loss)
+            }
+            FaultWindow::LatencySpike { a, b, from, until, extra } => {
+                plan.latency_spike(*a, *b, *from, *until, *extra)
+            }
+            FaultWindow::Partition { groups, from, until } => {
+                let refs: Vec<&[NodeId]> = groups.iter().map(|g| g.as_slice()).collect();
+                plan.partition_window(&refs, *from, *until)
+            }
+            FaultWindow::CrashRestart { node, from, until } => {
+                plan.crash(*node, *from, Some(*until))
+            }
+        }
+    }
+
+    /// A copy of this window with a new `[from, until)` span.
+    fn with_span(&self, from: SimTime, until: SimTime) -> FaultWindow {
+        let mut w = self.clone();
+        match &mut w {
+            FaultWindow::LinkFlap { from: f, until: u, .. }
+            | FaultWindow::LossBurst { from: f, until: u, .. }
+            | FaultWindow::LatencySpike { from: f, until: u, .. }
+            | FaultWindow::Partition { from: f, until: u, .. }
+            | FaultWindow::CrashRestart { from: f, until: u, .. } => {
+                *f = from;
+                *u = until;
+            }
+        }
+        w
+    }
+
+    /// Smaller variants of this window for the shrinker, best-first: halve
+    /// the duration (keeping the start) until the 10 ms window floor.
+    pub fn shrink_candidates(&self) -> Vec<FaultWindow> {
+        let from = self.from();
+        let dur = self.until().duration_since(from);
+        let mut out = Vec::new();
+        let half = SimDuration::from_nanos(dur.as_nanos() / 2);
+        if half >= MIN_WINDOW {
+            out.push(self.with_span(from, from + half));
+        }
+        out
+    }
+}
+
+/// Lowers a window list to an engine [`FaultPlan`].
+pub fn lower(windows: &[FaultWindow]) -> FaultPlan {
+    windows.iter().fold(FaultPlan::new(), |plan, w| w.lower_into(plan))
+}
+
+/// Total number of raw fault events a window list lowers to.
+pub fn event_count(windows: &[FaultWindow]) -> usize {
+    windows.iter().map(FaultWindow::event_count).sum()
+}
+
+/// The space of schedules the generator samples from: which connections can
+/// fault, which nodes can crash, which full-coverage partition splits exist,
+/// and the time range windows must fit in.
+#[derive(Debug, Clone)]
+pub struct PlanSpace {
+    /// Faultable connections (both directions are affected).
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Nodes that may crash (always restarted within the window).
+    pub crashable: Vec<NodeId>,
+    /// Candidate partition splits; each must cover every node in the
+    /// simulation so the partition-isolation oracle is sound.
+    pub splits: Vec<Vec<Vec<NodeId>>>,
+    /// No window starts before this (lets the session warm up).
+    pub earliest: SimTime,
+    /// Every window ends by this time.
+    pub horizon: SimTime,
+}
+
+/// Generates a random window list: between 1 and `max_windows` windows with
+/// kinds, targets, and spans drawn from `rng`. Deterministic in the RNG
+/// state. Window times are nanosecond-granular draws, so they essentially
+/// never coincide with protocol timer instants.
+///
+/// # Panics
+///
+/// Panics if the space has no pairs, `earliest >= horizon`, or
+/// `max_windows == 0`.
+pub fn generate_windows(
+    space: &PlanSpace,
+    rng: &mut DetRng,
+    max_windows: usize,
+) -> Vec<FaultWindow> {
+    assert!(!space.pairs.is_empty(), "plan space needs at least one faultable pair");
+    assert!(space.earliest < space.horizon, "empty time range");
+    assert!(max_windows > 0, "max_windows must be at least 1");
+    let count = rng.range_u64(1, max_windows as u64 + 1) as usize;
+    let lo = space.earliest.as_nanos();
+    let hi = space.horizon.as_nanos();
+    let mut windows = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Kinds: 0 flap, 1 loss, 2 latency, 3 partition, 4 crash. Partition
+        // and crash kinds degrade to link faults if the space lacks them.
+        let mut kind = rng.range_u64(0, 5);
+        if kind == 3 && space.splits.is_empty() {
+            kind = 0;
+        }
+        if kind == 4 && space.crashable.is_empty() {
+            kind = 1;
+        }
+        let max_dur: u64 = match kind {
+            0 => 800_000_000,   // flap: up to 800 ms down
+            1 => 1_200_000_000, // loss burst: up to 1.2 s
+            2 => 1_000_000_000, // latency spike: up to 1 s
+            3 => 1_000_000_000, // partition: up to 1 s
+            _ => 1_200_000_000, // crash: up to 1.2 s outage
+        };
+        let min_dur = MIN_WINDOW.as_nanos() * 5; // 50 ms
+        let start = rng.range_u64(lo, hi - min_dur);
+        let dur = rng.range_u64(min_dur, max_dur.min(hi - start).max(min_dur + 1));
+        let from = SimTime::from_nanos(start);
+        let until = SimTime::from_nanos((start + dur).min(hi));
+        let window = match kind {
+            0 => {
+                let (a, b) = space.pairs[rng.index(space.pairs.len())];
+                FaultWindow::LinkFlap { a, b, from, until }
+            }
+            1 => {
+                let (a, b) = space.pairs[rng.index(space.pairs.len())];
+                let p = rng.range_f64(0.3, 0.95);
+                FaultWindow::LossBurst { a, b, from, until, loss: LossModel::Iid { p } }
+            }
+            2 => {
+                let (a, b) = space.pairs[rng.index(space.pairs.len())];
+                let extra = SimDuration::from_nanos(rng.range_u64(50_000_000, 400_000_000));
+                FaultWindow::LatencySpike { a, b, from, until, extra }
+            }
+            3 => {
+                let groups = space.splits[rng.index(space.splits.len())].clone();
+                FaultWindow::Partition { groups, from, until }
+            }
+            _ => {
+                let node = space.crashable[rng.index(space.crashable.len())];
+                FaultWindow::CrashRestart { node, from, until }
+            }
+        };
+        windows.push(window);
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn space() -> PlanSpace {
+        PlanSpace {
+            pairs: vec![(n(1), n(2)), (n(1), n(0))],
+            crashable: vec![n(1), n(2)],
+            splits: vec![vec![vec![n(0), n(1)], vec![n(2)]]],
+            earliest: SimTime::from_millis(500),
+            horizon: SimTime::from_secs(3),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_range() {
+        let s = space();
+        let gen = |seed| {
+            let mut rng = DetRng::new(seed);
+            generate_windows(&s, &mut rng, 4)
+        };
+        assert_eq!(gen(7), gen(7));
+        for seed in 0..50 {
+            for w in gen(seed) {
+                assert!(w.from() >= s.earliest, "{w:?}");
+                assert!(w.until() <= s.horizon, "{w:?}");
+                assert!(w.until() > w.from(), "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_produces_paired_events() {
+        let s = space();
+        let mut rng = DetRng::new(3);
+        let windows = generate_windows(&s, &mut rng, 4);
+        let plan = lower(&windows);
+        assert_eq!(plan.events().len(), event_count(&windows));
+        assert_eq!(plan.events().len(), windows.len() * 2);
+    }
+
+    #[test]
+    fn shrink_candidates_halve_duration_down_to_the_floor() {
+        let w = FaultWindow::LinkFlap {
+            a: n(0),
+            b: n(1),
+            from: SimTime::from_millis(100),
+            until: SimTime::from_millis(900),
+        };
+        let c = w.shrink_candidates();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].from(), SimTime::from_millis(100));
+        assert_eq!(c[0].until(), SimTime::from_millis(500));
+        let tiny = w.with_span(SimTime::from_millis(100), SimTime::from_millis(115));
+        assert!(tiny.shrink_candidates().is_empty(), "below 2x floor, no candidates");
+    }
+
+    #[test]
+    fn windows_round_trip_through_json() {
+        let s = space();
+        let mut rng = DetRng::new(11);
+        let windows = generate_windows(&s, &mut rng, 4);
+        let json = serde_json::to_string(&windows).unwrap();
+        let back: Vec<FaultWindow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(windows, back);
+    }
+}

@@ -1,0 +1,251 @@
+//! The checked scenario: a two-campus Figure-3 session and its layout.
+//!
+//! Simcheck explores fault schedules against the same deployment E14 uses —
+//! two physical campuses (presenter at campus 0) joined over the inter-campus
+//! backbone with the cloud server — but sized for throughput: one student per
+//! campus at quick scale, with the tight heartbeat tuning so detection,
+//! hold/freeze, and resync all fit inside a seconds-long run.
+
+use metaclass_avatar::AvatarId;
+use metaclass_core::{Activity, ClassroomSession, SessionBuilder, SessionConfig};
+use metaclass_edge::HeartbeatConfig;
+use metaclass_netsim::{NodeId, Region, SimDuration, SimTime};
+
+use crate::plan::PlanSpace;
+
+/// Parameters of one checked session run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Seed of the session under check (motion, jitter, loss draws).
+    pub session_seed: u64,
+    /// Students per campus (campus 0 additionally hosts the presenter).
+    pub students_per_campus: u32,
+    /// Fault windows must end by this time.
+    pub horizon: SimTime,
+    /// Quiet tail after the horizon for convergence checks.
+    pub settle: SimDuration,
+    /// Probe cadence (oracle checks between run slices).
+    pub probe_every: SimDuration,
+    /// No fault starts before this; freshness checks also begin here.
+    pub warmup: SimTime,
+    /// Heartbeat failure-detector tuning.
+    pub heartbeat: HeartbeatConfig,
+    /// Maximum windows per generated schedule.
+    pub max_windows: usize,
+}
+
+impl Scenario {
+    /// Test-sized scenario: 1 student per campus, 3 s fault horizon + 3 s
+    /// settle, tight heartbeats. One case runs in tens of milliseconds.
+    pub fn quick(session_seed: u64) -> Self {
+        Scenario {
+            session_seed,
+            students_per_campus: 1,
+            horizon: SimTime::from_secs(3),
+            settle: SimDuration::from_secs(3),
+            probe_every: SimDuration::from_millis(100),
+            warmup: SimTime::from_millis(700),
+            heartbeat: HeartbeatConfig {
+                interval: SimDuration::from_millis(20),
+                degraded_after: SimDuration::from_millis(80),
+                timeout: SimDuration::from_millis(150),
+                hold: SimDuration::from_millis(200),
+                degraded_stride: 4,
+            },
+            max_windows: 4,
+        }
+    }
+
+    /// Full-sized scenario: more students, a longer horizon, and the default
+    /// (production) heartbeat tuning.
+    pub fn full(session_seed: u64) -> Self {
+        Scenario {
+            session_seed,
+            students_per_campus: 4,
+            horizon: SimTime::from_secs(8),
+            settle: SimDuration::from_secs(6),
+            probe_every: SimDuration::from_millis(200),
+            warmup: SimTime::from_secs(2),
+            heartbeat: HeartbeatConfig::default(),
+            max_windows: 6,
+        }
+    }
+
+    /// Builds the session and its precomputed layout.
+    pub fn build(&self) -> (ClassroomSession, Topology) {
+        let mut cfg = SessionConfig::default();
+        cfg.server.heartbeat = self.heartbeat;
+        let session = SessionBuilder::new()
+            .seed(self.session_seed)
+            .activity(Activity::Lecture)
+            .server_config(cfg.server)
+            .campus("CWB", Region::EastAsia, self.students_per_campus, true)
+            .campus("GZ", Region::EastAsia, self.students_per_campus, false)
+            .build();
+        let topology = Topology::of(&session);
+        (session, topology)
+    }
+
+    /// The schedule space over this scenario's topology: backbone and
+    /// edge–cloud connections can fault, all servers can crash, and the two
+    /// campus-vs-campus splits (cloud on either side) partition the network.
+    pub fn plan_space(&self, topo: &Topology) -> PlanSpace {
+        PlanSpace {
+            pairs: topo.server_pairs(),
+            crashable: topo.servers(),
+            splits: topo.splits(),
+            earliest: self.warmup,
+            horizon: self.horizon,
+        }
+    }
+
+    /// End of the run (horizon + settle).
+    pub fn end(&self) -> SimTime {
+        self.horizon + self.settle
+    }
+
+    /// How far a fault window's effects may outlast it: failure detection
+    /// (timeout), display hold, and full-snapshot resync slack. Freshness
+    /// oracles only check outside windows inflated by this margin.
+    pub fn margin(&self) -> SimDuration {
+        self.heartbeat.timeout + self.heartbeat.hold + SimDuration::from_millis(1500)
+    }
+
+    /// Maximum staleness a remote avatar may show in quiet periods: the
+    /// dead-reckoning refresh ceiling plus transport and probe slack.
+    pub fn staleness_bound(&self) -> SimDuration {
+        let dr = metaclass_sync::DeadReckoningConfig::default().max_interval;
+        dr + SimDuration::from_millis(400)
+    }
+}
+
+/// Node and avatar layout of the built session, precomputed for oracles.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The cloud server.
+    pub cloud: NodeId,
+    /// Edge servers, in campus order.
+    pub edges: Vec<NodeId>,
+    /// All nodes of each campus: edge, room array, headsets.
+    pub campus_nodes: Vec<Vec<NodeId>>,
+    /// Avatars physically present at each campus.
+    pub campus_avatars: Vec<Vec<AvatarId>>,
+}
+
+impl Topology {
+    /// Computes the layout from a built session.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the campus groups plus the cloud do not cover every
+    /// node — the coverage property the partition oracle relies on.
+    pub fn of(session: &ClassroomSession) -> Topology {
+        let cloud = session.cloud();
+        let edges = session.edges().to_vec();
+        let mut campus_nodes: Vec<Vec<NodeId>> = Vec::new();
+        let mut campus_avatars: Vec<Vec<AvatarId>> = Vec::new();
+        for (k, &edge) in edges.iter().enumerate() {
+            // The builder registers campus nodes contiguously: edge, then
+            // the room array, then one headset per participant.
+            let array = NodeId::from_index(edge.index() + 1);
+            let mut nodes = vec![edge, array];
+            let mut avatars = Vec::new();
+            for p in session.participants() {
+                let campus = match p.role {
+                    metaclass_core::Role::Student { campus }
+                    | metaclass_core::Role::Presenter { campus } => campus,
+                    metaclass_core::Role::RemoteLearner { .. } => continue,
+                };
+                if campus == k {
+                    nodes.push(p.node);
+                    avatars.push(p.avatar);
+                }
+            }
+            campus_nodes.push(nodes);
+            campus_avatars.push(avatars);
+        }
+        let covered: usize = 1 + campus_nodes.iter().map(Vec::len).sum::<usize>();
+        debug_assert_eq!(
+            covered,
+            session.sim().node_count(),
+            "campus groups + cloud must cover every node"
+        );
+        Topology { cloud, edges, campus_nodes, campus_avatars }
+    }
+
+    /// All server nodes: every edge, then the cloud.
+    pub fn servers(&self) -> Vec<NodeId> {
+        let mut s = self.edges.clone();
+        s.push(self.cloud);
+        s
+    }
+
+    /// Faultable server-to-server connections: edge–edge and edge–cloud.
+    pub fn server_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        for (i, &a) in self.edges.iter().enumerate() {
+            for &b in &self.edges[i + 1..] {
+                pairs.push((a, b));
+            }
+            pairs.push((a, self.cloud));
+        }
+        pairs
+    }
+
+    /// Full-coverage partition splits: campus 0 vs campus 1, with the cloud
+    /// on either side.
+    pub fn splits(&self) -> Vec<Vec<Vec<NodeId>>> {
+        if self.campus_nodes.len() < 2 {
+            return Vec::new();
+        }
+        let mut with_first = self.campus_nodes[0].clone();
+        with_first.push(self.cloud);
+        let mut with_second = self.campus_nodes[1].clone();
+        with_second.push(self.cloud);
+        vec![
+            vec![with_first, self.campus_nodes[1].clone()],
+            vec![self.campus_nodes[0].clone(), with_second],
+        ]
+    }
+
+    /// Avatars hosted on any campus other than `campus` (what that campus's
+    /// edge replicates remotely).
+    pub fn remote_avatars_for(&self, campus: usize) -> Vec<AvatarId> {
+        self.campus_avatars
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != campus)
+            .flat_map(|(_, avs)| avs.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_covers_every_node_and_numbers_avatars_by_campus() {
+        let scn = Scenario::quick(42);
+        let (session, topo) = scn.build();
+        assert_eq!(topo.edges.len(), 2);
+        let covered: usize = 1 + topo.campus_nodes.iter().map(Vec::len).sum::<usize>();
+        assert_eq!(covered, session.sim().node_count());
+        // Campus 0: student 0 + presenter 1; campus 1: student 1000.
+        assert_eq!(topo.campus_avatars[0], vec![AvatarId(0), AvatarId(1)]);
+        assert_eq!(topo.campus_avatars[1], vec![AvatarId(1000)]);
+        assert_eq!(topo.remote_avatars_for(1), vec![AvatarId(0), AvatarId(1)]);
+    }
+
+    #[test]
+    fn splits_are_full_coverage_and_pairs_link_all_servers() {
+        let scn = Scenario::quick(1);
+        let (session, topo) = scn.build();
+        let n = session.sim().node_count();
+        for split in topo.splits() {
+            let covered: usize = split.iter().map(Vec::len).sum();
+            assert_eq!(covered, n, "split must cover every node");
+        }
+        assert_eq!(topo.server_pairs().len(), 3, "edge-edge, edge0-cloud, edge1-cloud");
+    }
+}

@@ -39,4 +39,8 @@ run "$BENCH" --exp e5 --seeds 4 --quick --json
 run "$BENCH" --exp e2 --seeds 4 --quick --json
 run "$BENCH" --validate results/BENCH_e5.json results/BENCH_e2.json
 
+# Simcheck smoke: a small seeded exploration of random fault schedules with
+# every invariant oracle attached. Exit code 1 means an oracle fired.
+run "$BENCH" simcheck --seed 7 --cases 25
+
 echo "==> all checks passed"
