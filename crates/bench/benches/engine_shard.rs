@@ -1,0 +1,52 @@
+//! Criterion benchmark: serial vs. sharded executor on the E3 scalability
+//! topology (one MR campus plus a remote cohort behind the cloud relay).
+//!
+//! Measures one simulated session second at 1, 2, and 4 shards against the
+//! serial baseline. `sharded:1` exercises the infeasibility fallback (a
+//! single shard is rejected at planning time and runs serially), so its cost
+//! should be indistinguishable from `serial`. On a multi-core host the 2-
+//! and 4-shard rows show the conservative-window speedup; on a single core
+//! they bound the coordination overhead instead. `scripts/perf_gate.sh`
+//! consumes these numbers with a core-count-aware threshold.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use metaclass_core::{Activity, ClassroomSession, SessionBuilder};
+use metaclass_netsim::{EngineMode, LinkClass, Region, SimDuration};
+
+fn e3_session(engine: EngineMode) -> ClassroomSession {
+    let mut session = SessionBuilder::new()
+        .seed(1)
+        .activity(Activity::Seminar)
+        .campus("CWB", Region::EastAsia, 4, true)
+        .remote_cohort(Region::EastAsia, 40, LinkClass::ResidentialAccess)
+        .build();
+    session.sim_mut().set_engine(engine);
+    session
+}
+
+fn engine_shard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_shard");
+    g.sample_size(10);
+    let modes = [
+        ("serial", EngineMode::Serial),
+        ("sharded_1", EngineMode::Sharded { shards: 1 }),
+        ("sharded_2", EngineMode::Sharded { shards: 2 }),
+        ("sharded_4", EngineMode::Sharded { shards: 4 }),
+    ];
+    for (label, mode) in modes {
+        g.bench_function(format!("e3_one_second_{label}"), |b| {
+            b.iter_batched(
+                || e3_session(mode),
+                |mut session| {
+                    session.run_for(SimDuration::from_secs(1));
+                    session
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_shard);
+criterion_main!(benches);

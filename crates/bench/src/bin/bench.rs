@@ -31,16 +31,18 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench --exp <id|all> [--seeds N] [--jobs N] [--quick] [--json]\n\
+        "usage: bench --exp <id|all> [--seeds N] [--jobs N] [--quick] [--json] [--engine E]\n\
          \x20      bench --list\n\
          \x20      bench --validate FILE...\n\
-         \x20      bench simcheck [--seed N] [--cases N] [--full] [--write DIR]\n\
+         \x20      bench simcheck [--seed N] [--cases N] [--full] [--write DIR] [--engine E]\n\
          \n\
          \x20 --exp <id|all>   experiment to sweep (e1..e14), or every one\n\
          \x20 --seeds N        number of independent seeds (default 8)\n\
          \x20 --jobs N         worker threads (default: available cores)\n\
          \x20 --quick          reduced scale (same path cargo tests use)\n\
          \x20 --json           write results/BENCH_<exp>.json\n\
+         \x20 --engine E       simulation executor: serial | sharded | sharded:<n>\n\
+         \x20                  (byte-identical results either way; default serial)\n\
          \x20 --list           list registered experiments\n\
          \x20 --validate       check BENCH_*.json files against the schema"
     );
@@ -77,6 +79,18 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--list" => args.list = true,
             "--quick" => {} // read via quick_requested()
+            "--engine" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                match metaclass_netsim::parse_engine(&raw) {
+                    Some(mode) => metaclass_netsim::set_default_engine(mode),
+                    None => {
+                        eprintln!(
+                            "--engine: unknown engine {raw:?} (serial | sharded | sharded:<n>)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--validate" => {
                 args.validate.extend(it.by_ref());
                 if args.validate.is_empty() {

@@ -64,6 +64,7 @@ mod node;
 mod observe;
 mod rng;
 pub mod sched;
+mod shard;
 mod sim;
 mod time;
 mod topology;
@@ -76,7 +77,9 @@ pub use node::{Context, Envelope, Node, NodeId, Timer};
 pub use observe::{SimEvent, SimObserver, SimView};
 pub use rng::DetRng;
 pub use sched::{BinaryHeapQueue, EventQueue, TimerWheel};
-pub use sim::Simulation;
+pub use sim::{
+    default_engine, parse_engine, set_default_engine, EngineMode, Simulation, DEFAULT_SHARDS,
+};
 pub use time::{SimDuration, SimTime};
-pub use topology::{LinkClass, Region};
+pub use topology::{min_cut_partition, LinkClass, Partition, Region};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -314,6 +314,30 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, Summary>,
 }
 
+impl MetricsSnapshot {
+    /// A copy with every counter and histogram whose name starts with
+    /// `prefix` removed. Identity comparisons between engine modes use
+    /// `without_prefix("engine.")`: the `engine.` namespace describes the
+    /// executor itself (op-pool reuse, shard windows), and is the only part
+    /// of the registry allowed to differ between serial and sharded runs.
+    pub fn without_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| !k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| !k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+}
+
 impl fmt::Display for MetricsRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (name, v) in &self.counters {
@@ -464,6 +488,32 @@ mod tests {
         let merged = m.snapshot();
         assert_eq!(merged.counters.get("pkts"), Some(&10));
         assert_eq!(merged.histograms.get("lat").unwrap().count, 3);
+    }
+
+    #[test]
+    fn without_prefix_strips_the_engine_namespace_only() {
+        let mut a = MetricsRegistry::new();
+        a.add("delivered", 5);
+        a.add("engine.shard.windows", 3);
+        a.add("engine.ops_pool.hit", 9);
+        a.histogram("rtt_ns").record(1_000);
+        a.histogram("engine.shard.events_per_window").record(40);
+
+        // Engine counters obey the ordinary merge rules (summed, histograms
+        // pooled) — reassembly folds lane registries through `merge`.
+        let mut b = MetricsRegistry::new();
+        b.add("engine.shard.windows", 2);
+        b.histogram("engine.shard.events_per_window").record(60);
+        a.merge(&b);
+        assert_eq!(a.counter_value("engine.shard.windows"), 5);
+
+        let world = a.snapshot().without_prefix("engine.");
+        assert_eq!(world.counters.get("delivered"), Some(&5));
+        assert!(world.counters.keys().all(|k| !k.starts_with("engine.")));
+        assert!(world.histograms.contains_key("rtt_ns"));
+        assert!(!world.histograms.contains_key("engine.shard.events_per_window"));
+        // The unfiltered snapshot still carries the engine namespace.
+        assert_eq!(a.snapshot().counters.get("engine.ops_pool.hit"), Some(&9));
     }
 
     #[test]

@@ -105,8 +105,12 @@ impl<M> Context<'_, M> {
     ///
     /// Returns the timer id, usable with [`Context::cancel_timer`].
     pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> u64 {
+        // Ids pack the owning node into the high half over a per-node
+        // counter: globally unique, yet assignable without any cross-node
+        // state, so sharded execution mints the same ids as serial.
         *self.timer_counter += 1;
-        let id = *self.timer_counter;
+        debug_assert!(*self.timer_counter < 1 << 32, "per-node timer ids exhausted");
+        let id = ((self.id.0 as u64) << 32) | *self.timer_counter;
         self.ops.push(Op::SetTimer { id, after, tag });
         id
     }

@@ -40,23 +40,23 @@ const BITMAP_WORDS: usize = SLOTS / 64;
 /// the caller; together with the guarantee that events are never scheduled
 /// before the last popped key, this gives every implementation the same
 /// total pop order.
-pub trait EventQueue<T> {
+pub trait EventQueue<T, S: Copy + Ord = u64> {
     /// Schedules `item` at `(at, seq)`.
     ///
     /// `at` must not precede the time of the most recently popped event.
-    fn push(&mut self, at: SimTime, seq: u64, item: T);
+    fn push(&mut self, at: SimTime, seq: S, item: T);
 
     /// Removes and returns the minimum-key event.
-    fn pop(&mut self) -> Option<(SimTime, u64, T)>;
+    fn pop(&mut self) -> Option<(SimTime, S, T)>;
 
     /// The key of the minimum event without removing it.
     ///
     /// Takes `&mut self` so implementations may advance internal cursors;
     /// the logical contents are unchanged.
-    fn peek_key(&mut self) -> Option<(SimTime, u64)>;
+    fn peek_key(&mut self) -> Option<(SimTime, S)>;
 
     /// Removes and returns the minimum-key event only if `pred` accepts it.
-    fn pop_if(&mut self, pred: impl FnOnce(SimTime, u64, &T) -> bool) -> Option<(SimTime, u64, T)>;
+    fn pop_if(&mut self, pred: impl FnOnce(SimTime, S, &T) -> bool) -> Option<(SimTime, S, T)>;
 
     /// Number of pending events.
     fn len(&self) -> usize;
@@ -67,67 +67,67 @@ pub trait EventQueue<T> {
     }
 }
 
-struct Entry<T> {
+struct Entry<T, S> {
     at: SimTime,
-    seq: u64,
+    seq: S,
     item: T,
 }
 
-impl<T> Entry<T> {
-    fn key(&self) -> (SimTime, u64) {
+impl<T, S: Copy + Ord> Entry<T, S> {
+    fn key(&self) -> (SimTime, S) {
         (self.at, self.seq)
     }
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T, S: Copy + Ord> PartialEq for Entry<T, S> {
     fn eq(&self, other: &Self) -> bool {
         self.key() == other.key()
     }
 }
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
+impl<T, S: Copy + Ord> Eq for Entry<T, S> {}
+impl<T, S: Copy + Ord> PartialOrd for Entry<T, S> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Entry<T> {
+impl<T, S: Copy + Ord> Ord for Entry<T, S> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.key().cmp(&other.key())
     }
 }
 
 /// Reference scheduler: a single global min-heap over `(SimTime, seq)`.
-pub struct BinaryHeapQueue<T> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+pub struct BinaryHeapQueue<T, S = u64> {
+    heap: BinaryHeap<Reverse<Entry<T, S>>>,
 }
 
-impl<T> BinaryHeapQueue<T> {
+impl<T, S: Copy + Ord> BinaryHeapQueue<T, S> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         BinaryHeapQueue { heap: BinaryHeap::new() }
     }
 }
 
-impl<T> Default for BinaryHeapQueue<T> {
+impl<T, S: Copy + Ord> Default for BinaryHeapQueue<T, S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> EventQueue<T> for BinaryHeapQueue<T> {
-    fn push(&mut self, at: SimTime, seq: u64, item: T) {
+impl<T, S: Copy + Ord> EventQueue<T, S> for BinaryHeapQueue<T, S> {
+    fn push(&mut self, at: SimTime, seq: S, item: T) {
         self.heap.push(Reverse(Entry { at, seq, item }));
     }
 
-    fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+    fn pop(&mut self) -> Option<(SimTime, S, T)> {
         self.heap.pop().map(|Reverse(e)| (e.at, e.seq, e.item))
     }
 
-    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+    fn peek_key(&mut self) -> Option<(SimTime, S)> {
         self.heap.peek().map(|Reverse(e)| e.key())
     }
 
-    fn pop_if(&mut self, pred: impl FnOnce(SimTime, u64, &T) -> bool) -> Option<(SimTime, u64, T)> {
+    fn pop_if(&mut self, pred: impl FnOnce(SimTime, S, &T) -> bool) -> Option<(SimTime, S, T)> {
         let Reverse(e) = self.heap.peek()?;
         if pred(e.at, e.seq, &e.item) {
             self.pop()
@@ -150,27 +150,27 @@ impl<T> EventQueue<T> for BinaryHeapQueue<T> {
 /// horizon goes to the overflow heap. Both substreams yield keys in
 /// ascending order, so a two-way merge on pop reproduces global heap order
 /// exactly.
-pub struct TimerWheel<T> {
+pub struct TimerWheel<T, S = u64> {
     /// Absolute slot index of the cursor (`at.as_nanos() >> SLOT_SHIFT`).
     cursor: u64,
     /// Per-slot pending events, unsorted; indexed by `abs_slot & SLOT_MASK`.
-    slots: Vec<Vec<Entry<T>>>,
+    slots: Vec<Vec<Entry<T, S>>>,
     /// One bit per slot index: slot vector is non-empty.
     occupied: [u64; BITMAP_WORDS],
     /// Sorted contents of the cursor slot; the front is the wheel minimum.
-    active: VecDeque<Entry<T>>,
+    active: VecDeque<Entry<T, S>>,
     /// Scratch buffer for sorting a slot before it enters `active`.
-    sort_buf: Vec<Entry<T>>,
+    sort_buf: Vec<Entry<T, S>>,
     /// Events scheduled past the wheel horizon.
-    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    overflow: BinaryHeap<Reverse<Entry<T, S>>>,
     /// Events in `slots` plus `active` (excludes `overflow`).
     wheel_len: usize,
-    /// Key of the most recently popped event, for contract checking.
+    /// Time of the most recently popped event, for contract checking.
     #[cfg(debug_assertions)]
-    last_popped: Option<(SimTime, u64)>,
+    last_popped: Option<SimTime>,
 }
 
-impl<T> TimerWheel<T> {
+impl<T, S: Copy + Ord> TimerWheel<T, S> {
     /// Creates an empty wheel with its cursor at time zero.
     pub fn new() -> Self {
         TimerWheel {
@@ -235,21 +235,21 @@ impl<T> TimerWheel<T> {
         }
     }
 
-    fn pop_active(&mut self) -> (SimTime, u64, T) {
+    fn pop_active(&mut self) -> (SimTime, S, T) {
         let e = self.active.pop_front().expect("active checked non-empty");
         self.wheel_len -= 1;
         #[cfg(debug_assertions)]
         {
-            self.last_popped = Some(e.key());
+            self.last_popped = Some(e.at);
         }
         (e.at, e.seq, e.item)
     }
 
-    fn pop_overflow(&mut self) -> (SimTime, u64, T) {
+    fn pop_overflow(&mut self) -> (SimTime, S, T) {
         let Reverse(e) = self.overflow.pop().expect("overflow checked non-empty");
         #[cfg(debug_assertions)]
         {
-            self.last_popped = Some(e.key());
+            self.last_popped = Some(e.at);
         }
         if self.wheel_len == 0 {
             // The wheel is empty: re-anchor the cursor so pushes near this
@@ -263,7 +263,7 @@ impl<T> TimerWheel<T> {
     }
 
     /// Which substream holds the global minimum, and its key.
-    fn front_source(&mut self) -> Option<(bool, SimTime, u64)> {
+    fn front_source(&mut self) -> Option<(bool, SimTime, S)> {
         self.ensure_front();
         let wheel = self.active.front().map(Entry::key);
         let heap = self.overflow.peek().map(|Reverse(e)| e.key());
@@ -282,19 +282,23 @@ impl<T> TimerWheel<T> {
     }
 }
 
-impl<T> Default for TimerWheel<T> {
+impl<T, S: Copy + Ord> Default for TimerWheel<T, S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> EventQueue<T> for TimerWheel<T> {
-    fn push(&mut self, at: SimTime, seq: u64, item: T) {
+impl<T, S: Copy + Ord> EventQueue<T, S> for TimerWheel<T, S> {
+    fn push(&mut self, at: SimTime, seq: S, item: T) {
         let slot = Self::abs_slot(at);
         let entry = Entry { at, seq, item };
+        // Time must never move backwards. Key inversions *at* the current
+        // instant are legal (causal stamps of fault cascades and late injects
+        // can sort below already-popped stamps); the sorted insert below
+        // keeps the remaining pop order exact.
         #[cfg(debug_assertions)]
         if let Some(last) = self.last_popped {
-            debug_assert!(entry.key() > last, "scheduled before the last popped event");
+            debug_assert!(entry.at >= last, "scheduled before the last popped event");
         }
         if slot < self.cursor || (slot == self.cursor && !self.active.is_empty()) {
             // Behind the cursor (it may have skipped ahead of `at` while
@@ -321,16 +325,16 @@ impl<T> EventQueue<T> for TimerWheel<T> {
         }
     }
 
-    fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+    fn pop(&mut self) -> Option<(SimTime, S, T)> {
         let (from_wheel, _, _) = self.front_source()?;
         Some(if from_wheel { self.pop_active() } else { self.pop_overflow() })
     }
 
-    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+    fn peek_key(&mut self) -> Option<(SimTime, S)> {
         self.front_source().map(|(_, at, seq)| (at, seq))
     }
 
-    fn pop_if(&mut self, pred: impl FnOnce(SimTime, u64, &T) -> bool) -> Option<(SimTime, u64, T)> {
+    fn pop_if(&mut self, pred: impl FnOnce(SimTime, S, &T) -> bool) -> Option<(SimTime, S, T)> {
         let (from_wheel, _, _) = self.front_source()?;
         let accept = if from_wheel {
             let e = self.active.front().expect("front_source saw the wheel");

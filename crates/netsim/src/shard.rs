@@ -1,0 +1,810 @@
+//! Conservative shard-parallel executor.
+//!
+//! The node graph is partitioned into shards by
+//! [`min_cut_partition`](crate::topology::min_cut_partition); each shard's
+//! *lookahead* is the minimum static latency of any cross-shard link. Because
+//! a message crossing a shard boundary cannot arrive earlier than `now +
+//! lookahead`, every shard may safely execute all events in the window
+//! `[t, t + lookahead)` without hearing from its peers — the classic
+//! Chandy–Misra conservative argument, with the lookahead large enough that
+//! no null messages are needed.
+//!
+//! Execution alternates between parallel windows and barriers:
+//!
+//! 1. the coordinator picks the next window start `t` (the global minimum
+//!    pending event time) and a window end bounded by the lookahead, the next
+//!    scripted fault, and the caller's deadline;
+//! 2. each shard *lane* — a [`Core`] owning just that shard's nodes and
+//!    links — runs its local events to the window end on a worker thread,
+//!    diverting cross-shard sends into per-destination outboxes;
+//! 3. at the barrier the coordinator drains outboxes into the destination
+//!    lanes (every such delivery lands at or past the window end, so no lane
+//!    ever sees its past change), merges buffered trace entries and observer
+//!    events back into the global `(time, stamp)` total order, and replays
+//!    them.
+//!
+//! Scripted faults mutate global state (links, crash flags), so an instant
+//! containing a fault is executed serially: the lanes are recomposed into the
+//! full simulation, the instant is stepped through the ordinary serial path,
+//! and the lanes are dealt out again.
+//!
+//! Byte-identity with the serial engine is structural rather than aspirational:
+//! a lane *is* the serial [`Core`] with the slots it does not own left empty,
+//! so both executors run the same dispatch/route/transmit code, draw from the
+//! same per-node and per-link RNG streams, and mint the same causal stamps.
+//! The total event order `(SimTime, stamp)` is executor-independent, and
+//! within one lane events pop in exactly that order, so the barrier merge is
+//! a k-way merge of pre-sorted streams.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc};
+
+use crate::link::{Link, LinkConfig};
+use crate::node::NodeId;
+use crate::observe::{SimEvent, SimView};
+use crate::rng::DetRng;
+use crate::sched::EventQueue;
+use crate::sim::{Core, EngineMode, EventKind, Simulation, Stepped};
+use crate::time::{SimDuration, SimTime};
+
+/// An owned copy of a [`SimEvent`], buffered by a lane for in-order replay
+/// at the window barrier. Fault and inject events never occur inside a
+/// window (faults serialize the instant; injects happen between runs), so
+/// only the five in-window variants are representable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OwnedSimEvent {
+    Sent { src: NodeId, dst: NodeId, size_bytes: u32 },
+    Delivered { src: NodeId, dst: NodeId, size_bytes: u32, sent_at: SimTime },
+    Dropped { src: NodeId, dst: NodeId, size_bytes: u32, reason: crate::link::DropReason },
+    NoRoute { src: NodeId, dst: NodeId, size_bytes: u32 },
+    TimerFired { node: NodeId, tag: u64 },
+}
+
+impl OwnedSimEvent {
+    pub(crate) fn from_event(event: &SimEvent<'_>) -> Option<Self> {
+        Some(match *event {
+            SimEvent::Sent { src, dst, size_bytes } => OwnedSimEvent::Sent { src, dst, size_bytes },
+            SimEvent::Delivered { src, dst, size_bytes, sent_at } => {
+                OwnedSimEvent::Delivered { src, dst, size_bytes, sent_at }
+            }
+            SimEvent::Dropped { src, dst, size_bytes, reason } => {
+                OwnedSimEvent::Dropped { src, dst, size_bytes, reason }
+            }
+            SimEvent::NoRoute { src, dst, size_bytes } => {
+                OwnedSimEvent::NoRoute { src, dst, size_bytes }
+            }
+            SimEvent::TimerFired { node, tag } => OwnedSimEvent::TimerFired { node, tag },
+            SimEvent::Injected { .. } | SimEvent::Fault { .. } => return None,
+        })
+    }
+
+    fn as_event(&self) -> SimEvent<'static> {
+        match *self {
+            OwnedSimEvent::Sent { src, dst, size_bytes } => SimEvent::Sent { src, dst, size_bytes },
+            OwnedSimEvent::Delivered { src, dst, size_bytes, sent_at } => {
+                SimEvent::Delivered { src, dst, size_bytes, sent_at }
+            }
+            OwnedSimEvent::Dropped { src, dst, size_bytes, reason } => {
+                SimEvent::Dropped { src, dst, size_bytes, reason }
+            }
+            OwnedSimEvent::NoRoute { src, dst, size_bytes } => {
+                SimEvent::NoRoute { src, dst, size_bytes }
+            }
+            OwnedSimEvent::TimerFired { node, tag } => SimEvent::TimerFired { node, tag },
+        }
+    }
+}
+
+/// A shard plan: node → shard assignment plus the global lookahead.
+#[derive(Clone)]
+pub(crate) struct Plan {
+    /// Shard index per node; all values `< shards`.
+    shard_of: Arc<Vec<u32>>,
+    /// Number of (populated) shards — also the worker-thread count.
+    shards: usize,
+    /// Minimum static delay of any cross-shard link, in ns. `u64::MAX`
+    /// means no link crosses a boundary: windows are unbounded.
+    lookahead_ns: u64,
+}
+
+/// Cached outcome of shard planning for one `(topology, shard count)`.
+/// `plan: None` records that the topology is not profitably shardable, so
+/// repeated runs do not re-derive the partition.
+pub(crate) struct ShardCache {
+    topo_version: u64,
+    shards_requested: usize,
+    plan: Option<Plan>,
+}
+
+fn compute_plan<M: 'static>(sim: &Simulation<M>, shards: usize) -> Option<Plan> {
+    let n = sim.core.nodes.len();
+    if shards < 2 || n < 2 {
+        return None;
+    }
+    let edges: Vec<(u32, u32, u64)> = sim
+        .core
+        .link_ends
+        .iter()
+        .zip(sim.core.static_delays.iter())
+        .map(|(&(a, b), &d)| (a.0, b.0, d))
+        .collect();
+    let part = crate::topology::min_cut_partition(n, &edges, shards);
+    // A zero-latency cross-shard link would make windows empty; a single
+    // populated shard would make them pointless. Both fall back to serial.
+    if part.shards < 2 || part.lookahead_ns == 0 {
+        return None;
+    }
+    Some(Plan {
+        shard_of: Arc::new(part.shard_of),
+        shards: part.shards,
+        lookahead_ns: part.lookahead_ns,
+    })
+}
+
+fn plan_for<M: 'static>(sim: &mut Simulation<M>, shards: usize) -> Option<Plan> {
+    if let Some(cache) = &sim.shard_cache {
+        if cache.topo_version == sim.topo_version && cache.shards_requested == shards {
+            return cache.plan.clone();
+        }
+    }
+    let plan = compute_plan(sim, shards);
+    sim.shard_cache = Some(ShardCache {
+        topo_version: sim.topo_version,
+        shards_requested: shards,
+        plan: plan.clone(),
+    });
+    plan
+}
+
+fn dummy_link() -> Link {
+    Link::new(LinkConfig::new(SimDuration::ZERO))
+}
+
+/// Pending scripted faults, held by the coordinator in `(time, stamp)` order.
+type FaultQueue = VecDeque<(SimTime, u128, usize)>;
+
+/// Splits the simulation into per-shard lanes. Each lane is a full-width
+/// [`Core`] (vectors indexed by global id) holding only the nodes, links,
+/// and pending events its shard owns; everything else is an empty slot.
+/// Fault events stay with the coordinator.
+fn deal_out<M: 'static>(sim: &mut Simulation<M>, plan: &Plan) -> (Vec<Core<M>>, FaultQueue) {
+    let k = plan.shards;
+    let n = sim.core.nodes.len();
+    let nl = sim.core.links.len();
+    let trace_on = sim.core.trace.is_some();
+    let observing = sim.core.observer.is_some();
+    let mut lanes: Vec<Core<M>> = (0..k)
+        .map(|i| {
+            let mut lane: Core<M> = Core::new_serial();
+            lane.time = sim.core.time;
+            lane.cur_depth = sim.core.cur_depth;
+            lane.cur_stamp = sim.core.cur_stamp;
+            lane.nodes = (0..n).map(|_| None).collect();
+            lane.rngs = vec![DetRng::new(0); n];
+            lane.push_counters = sim.core.push_counters.clone();
+            lane.timer_counters = sim.core.timer_counters.clone();
+            lane.crashed = sim.core.crashed.clone();
+            lane.epochs = sim.core.epochs.clone();
+            lane.links = (0..nl).map(|_| dummy_link()).collect();
+            lane.link_rngs = vec![DetRng::new(0); nl];
+            lane.link_ends = Arc::clone(&sim.core.link_ends);
+            lane.adjacency = Arc::clone(&sim.core.adjacency);
+            lane.static_delays = Arc::clone(&sim.core.static_delays);
+            lane.buffered = true;
+            lane.trace_on = trace_on;
+            lane.observing = observing;
+            lane.shard_of = Some(Arc::clone(&plan.shard_of));
+            lane.my_shard = i as u32;
+            lane.outboxes = (0..k).map(|_| Vec::new()).collect();
+            lane
+        })
+        .collect();
+    for idx in 0..n {
+        let s = plan.shard_of[idx] as usize;
+        lanes[s].nodes[idx] = sim.core.nodes[idx].take();
+        lanes[s].rngs[idx] = std::mem::replace(&mut sim.core.rngs[idx], DetRng::new(0));
+    }
+    for li in 0..nl {
+        let s = plan.shard_of[sim.core.link_ends[li].0.index()] as usize;
+        lanes[s].links[li] = std::mem::replace(&mut sim.core.links[li], dummy_link());
+        lanes[s].link_rngs[li] = std::mem::replace(&mut sim.core.link_rngs[li], DetRng::new(0));
+    }
+    for (src, table) in sim.core.route_cache.drain() {
+        lanes[plan.shard_of[src as usize] as usize].route_cache.insert(src, table);
+    }
+    // Timer ids pack the owning node in the high half, so cancellations
+    // partition cleanly to the lane whose timer they would swallow.
+    let cancelled: Vec<u64> = sim.core.cancelled_timers.drain().collect();
+    for id in cancelled {
+        let owner = (id >> 32) as usize;
+        lanes[plan.shard_of[owner] as usize].cancelled_timers.insert(id);
+    }
+    let pooled: Vec<_> = sim.core.ops_pool.drain(..).collect();
+    for (j, buf) in pooled.into_iter().enumerate() {
+        lanes[j % k].ops_pool.push(buf);
+    }
+    let mut faults = FaultQueue::new();
+    let mut old = std::mem::take(&mut sim.core.queue);
+    while let Some((at, stamp, kind)) = old.pop() {
+        let shard = match &kind {
+            EventKind::Fault { index } => {
+                faults.push_back((at, stamp, *index));
+                continue;
+            }
+            EventKind::Deliver { hop, .. } => plan.shard_of[hop.index()],
+            EventKind::Timer { node, .. } => plan.shard_of[node.index()],
+        };
+        lanes[shard as usize].queue.push(at, stamp, kind);
+    }
+    (lanes, faults)
+}
+
+/// Inverse of [`deal_out`]: folds the lanes back into `sim.core`, restoring
+/// the single serial world (nodes, links, pending events, metrics, and the
+/// global clock — the latest `(time, stamp)` any lane reached).
+fn reassemble<M: 'static>(sim: &mut Simulation<M>, lanes: Vec<Core<M>>, faults: FaultQueue) {
+    let mut best = (sim.core.time, sim.core.cur_stamp, sim.core.cur_depth);
+    for lane in &lanes {
+        if (lane.time, lane.cur_stamp) > (best.0, best.1) {
+            best = (lane.time, lane.cur_stamp, lane.cur_depth);
+        }
+    }
+    (sim.core.time, sim.core.cur_stamp, sim.core.cur_depth) = (best.0, best.1, best.2);
+    for mut lane in lanes {
+        debug_assert!(lane.trace_buf.is_empty() && lane.obs_buf.is_empty());
+        debug_assert!(lane.outboxes.iter().all(Vec::is_empty));
+        for idx in 0..lane.nodes.len() {
+            if let Some(node) = lane.nodes[idx].take() {
+                sim.core.nodes[idx] = Some(node);
+                sim.core.rngs[idx] = std::mem::replace(&mut lane.rngs[idx], DetRng::new(0));
+                sim.core.push_counters[idx] = lane.push_counters[idx];
+                sim.core.timer_counters[idx] = lane.timer_counters[idx];
+            }
+        }
+        for li in 0..lane.links.len() {
+            if lane.shard_owner(li) == lane.my_shard {
+                sim.core.links[li] = std::mem::replace(&mut lane.links[li], dummy_link());
+                sim.core.link_rngs[li] = std::mem::replace(&mut lane.link_rngs[li], DetRng::new(0));
+            }
+        }
+        for (src, table) in lane.route_cache.drain() {
+            sim.core.route_cache.insert(src, table);
+        }
+        sim.core.cancelled_timers.extend(lane.cancelled_timers.drain());
+        sim.core.ops_pool.append(&mut lane.ops_pool);
+        sim.core.metrics.merge(&lane.metrics);
+        sim.core.events_processed += lane.events_processed;
+        sim.core.pool_hits += lane.pool_hits;
+        sim.core.pool_misses += lane.pool_misses;
+        while let Some((at, stamp, kind)) = lane.queue.pop() {
+            sim.core.queue.push(at, stamp, kind);
+        }
+    }
+    for (at, stamp, index) in faults {
+        sim.core.queue.push(at, stamp, EventKind::Fault { index });
+    }
+}
+
+impl<M> Core<M> {
+    /// The shard owning link `li` under the current plan: a link is executed
+    /// by the lane that owns its source endpoint.
+    fn shard_owner(&self, li: usize) -> u32 {
+        let map = self.shard_of.as_ref().expect("shard_owner outside lane mode");
+        map[self.link_ends[li].0.index()]
+    }
+}
+
+/// Runs one lane to the (exclusive) window end; `None` means unbounded.
+/// Returns the number of events the lane consumed.
+fn lane_window<M: 'static>(core: &mut Core<M>, w_end: Option<SimTime>) -> u64 {
+    let mut n = 0;
+    loop {
+        match core.queue.peek_key() {
+            Some((at, _)) if w_end.is_none_or(|e| at < e) => {}
+            _ => break,
+        }
+        match core.step_inner(u64::MAX) {
+            Stepped::Idle => break,
+            Stepped::Events(k) => n += k,
+            Stepped::Fault { .. } => unreachable!("faults never reach a shard lane"),
+        }
+    }
+    n
+}
+
+/// Window end for a window starting at `w_start`: `w_start + lookahead`,
+/// exclusive, computed without overflow. `None` when every representable
+/// time fits inside the window.
+fn window_end(w_start: SimTime, lookahead_ns: u64) -> Option<SimTime> {
+    let end = w_start.as_nanos() as u128 + lookahead_ns as u128;
+    (end <= u64::MAX as u128).then(|| SimTime::from_nanos(end as u64))
+}
+
+fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Merges the lanes' buffered trace entries and observer events back into
+/// the global `(time, stamp)` order and replays them, then clears the
+/// buffers. Called at every window barrier.
+fn lane<M>(lanes: &mut [Option<Core<M>>], i: usize) -> &mut Core<M> {
+    lanes[i].as_mut().expect("lane checked in at barrier")
+}
+
+fn replay_barrier<M: 'static>(sim: &mut Simulation<M>, lanes: &mut [Option<Core<M>>]) {
+    let k = lanes.len();
+    if sim.core.trace.is_some() {
+        let mut cursors = vec![0usize; k];
+        loop {
+            let mut min: Option<((SimTime, u128), usize)> = None;
+            for (i, &cur) in cursors.iter().enumerate() {
+                if let Some((stamp, ev)) = lane(lanes, i).trace_buf.get(cur) {
+                    let key = (ev.at, *stamp);
+                    if min.is_none_or(|(m, _)| key < m) {
+                        min = Some((key, i));
+                    }
+                }
+            }
+            let Some((_, i)) = min else { break };
+            let (_, ev) = lane(lanes, i).trace_buf[cursors[i]];
+            cursors[i] += 1;
+            if let Some(trace) = &mut sim.core.trace {
+                trace.push(ev);
+            }
+        }
+    }
+    if sim.core.observer.is_some() && (0..k).any(|i| !lane(lanes, i).obs_buf.is_empty()) {
+        // Observers see link state at barrier granularity: within a window
+        // links only evolve inside their owning lane, so the merged view
+        // reflects the end-of-window state. Crash flags and the clock are
+        // exact (faults serialize the instant that changes them).
+        let mut links: Vec<Link> = (0..sim.core.links.len()).map(|_| dummy_link()).collect();
+        for i in 0..k {
+            let l = lane(lanes, i);
+            for (li, slot) in links.iter_mut().enumerate() {
+                if l.shard_owner(li) == l.my_shard {
+                    *slot = l.links[li].clone();
+                }
+            }
+        }
+        let mut observer = sim.core.observer.take().expect("checked above");
+        let mut cursors = vec![0usize; k];
+        loop {
+            let mut min: Option<((SimTime, u128), usize)> = None;
+            for (i, &cur) in cursors.iter().enumerate() {
+                if let Some((at, stamp, _)) = lane(lanes, i).obs_buf.get(cur) {
+                    let key = (*at, *stamp);
+                    if min.is_none_or(|(m, _)| key < m) {
+                        min = Some((key, i));
+                    }
+                }
+            }
+            let Some((_, i)) = min else { break };
+            let (at, _, owned) = lane(lanes, i).obs_buf[cursors[i]];
+            cursors[i] += 1;
+            let view = SimView {
+                time: at,
+                crashed: &sim.core.crashed,
+                links: &links,
+                link_ends: &sim.core.link_ends,
+            };
+            observer.on_event(&view, &owned.as_event());
+        }
+        sim.core.observer = Some(observer);
+    }
+    for i in 0..k {
+        let l = lane(lanes, i);
+        l.trace_buf.clear();
+        l.obs_buf.clear();
+    }
+}
+
+/// Exchanges cross-shard deliveries produced this window: every outbox entry
+/// lands at or past the window end (guaranteed by the lookahead), so pushing
+/// them after the lanes finished never reorders a lane's past.
+fn exchange_outboxes<M: 'static>(lanes: &mut [Option<Core<M>>], w_end: Option<SimTime>) {
+    let k = lanes.len();
+    for i in 0..k {
+        let mut boxes = std::mem::take(&mut lanes[i].as_mut().expect("lane checked in").outboxes);
+        for (dst, items) in boxes.iter_mut().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let target = lanes[dst].as_mut().expect("lane checked in");
+            for (at, stamp, hop, env) in items.drain(..) {
+                debug_assert!(
+                    w_end.is_none_or(|e| at >= e),
+                    "cross-shard delivery inside its own window"
+                );
+                target.queue.push(at, stamp, EventKind::Deliver { hop, env });
+            }
+        }
+        lanes[i].as_mut().expect("lane checked in").outboxes = boxes;
+    }
+}
+
+/// Attempts to run `sim` under the sharded executor until `until`
+/// (inclusive) or the event queue drains, processing at most `limit` events
+/// (enforced at window granularity). Returns `None` — run serially instead —
+/// when the engine is serial or the topology cannot be sharded with a
+/// positive lookahead.
+pub(crate) fn try_run_sharded<M: Send + 'static>(
+    sim: &mut Simulation<M>,
+    until: SimTime,
+    limit: u64,
+) -> Option<u64> {
+    let EngineMode::Sharded { shards } = sim.engine else { return None };
+    let plan = plan_for(sim, shards)?;
+    let k = plan.shards;
+
+    let (mut lanes, mut faults) = deal_out(sim, &plan);
+    let mut total: u64 = 0;
+    let mut windows: u64 = 0;
+    let mut shard_events = vec![0u64; k];
+
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = mpsc::channel::<(usize, Core<M>, u64)>();
+        let mut work_txs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = mpsc::channel::<(Core<M>, Option<SimTime>)>();
+            work_txs.push(tx);
+            let done = done_tx.clone();
+            scope.spawn(move || {
+                let worker_rx = rx;
+                let mut lane_index = None;
+                while let Ok((mut core, w_end)) = worker_rx.recv() {
+                    let i = *lane_index.get_or_insert(core.my_shard as usize);
+                    let n = lane_window(&mut core, w_end);
+                    if done.send((i, core, n)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        let mut slots: Vec<Option<Core<M>>> = lanes.drain(..).map(Some).collect();
+        loop {
+            if total >= limit {
+                break;
+            }
+            // Next pending instant across all lanes and scripted faults.
+            let mut w_start = faults.front().map(|f| f.0);
+            for slot in slots.iter_mut() {
+                if let Some((at, _)) = slot.as_mut().expect("lane checked in").queue.peek_key() {
+                    w_start = Some(w_start.map_or(at, |w| w.min(at)));
+                }
+            }
+            let Some(w_start) = w_start else { break };
+            if w_start > until {
+                break;
+            }
+            if faults.front().is_some_and(|f| f.0 == w_start) {
+                // A fault mutates global state (links, crash flags): fold the
+                // lanes together and run this whole instant serially, then
+                // deal the world back out.
+                let taken: Vec<Core<M>> =
+                    slots.iter_mut().map(|s| s.take().expect("lane checked in")).collect();
+                reassemble(sim, taken, std::mem::take(&mut faults));
+                while sim.core.queue.peek_key().is_some_and(|(at, _)| at == w_start) {
+                    total += sim.step_budget(u64::MAX);
+                }
+                let (new_lanes, new_faults) = deal_out(sim, &plan);
+                slots = new_lanes.into_iter().map(Some).collect();
+                faults = new_faults;
+                continue;
+            }
+            let mut w_end = window_end(w_start, plan.lookahead_ns);
+            w_end = min_opt(w_end, faults.front().map(|f| f.0));
+            if until < SimTime::MAX {
+                w_end = min_opt(w_end, Some(SimTime::from_nanos(until.as_nanos() + 1)));
+            }
+            // Dispatch only lanes with work inside the window.
+            let mut in_flight = 0;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let busy = matches!(
+                    slot.as_mut().expect("lane checked in").queue.peek_key(),
+                    Some((at, _)) if w_end.is_none_or(|e| at < e)
+                );
+                if busy {
+                    let core = slot.take().expect("lane checked in");
+                    work_txs[i].send((core, w_end)).expect("worker alive");
+                    in_flight += 1;
+                }
+            }
+            let mut window_events = 0;
+            for _ in 0..in_flight {
+                let (i, core, n) = done_rx.recv().expect("worker alive");
+                shard_events[i] += n;
+                window_events += n;
+                slots[i] = Some(core);
+            }
+            total += window_events;
+            windows += 1;
+            sim.core.metrics.histogram("engine.shard.events_per_window").record(window_events);
+            exchange_outboxes(&mut slots, w_end);
+            replay_barrier(sim, &mut slots);
+        }
+        let taken: Vec<Core<M>> =
+            slots.iter_mut().map(|s| s.take().expect("lane checked in")).collect();
+        reassemble(sim, taken, faults);
+    });
+
+    if windows > 0 {
+        sim.core.metrics.add("engine.shard.windows", windows);
+        for (i, n) in shard_events.iter().enumerate() {
+            if *n > 0 {
+                sim.core.metrics.add(&format!("engine.shard.s{i}.events"), *n);
+            }
+        }
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::link::{LinkConfig, LossModel};
+    use crate::metrics::MetricsSnapshot;
+    use crate::node::{Context, Node, Timer};
+    use crate::observe::{SimEvent, SimObserver, SimView};
+    use crate::sim::Simulation;
+    use crate::time::{SimDuration, SimTime};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc as StdArc;
+
+    /// A chatty node: pings a peer on a timer, echoes whatever it receives.
+    struct Chatter {
+        peer: NodeId,
+        period: SimDuration,
+        rounds: u32,
+        fired: u32,
+        received: u64,
+    }
+
+    impl Node<u64> for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            self.fired = 0;
+            ctx.set_timer(self.period, 1);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            self.received += msg;
+            if msg > 1 {
+                ctx.send(from, msg - 1, 200);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _t: Timer) {
+            self.fired += 1;
+            let burst = ctx.rng().range_u64(1, 4);
+            ctx.send(self.peer, burst, 400);
+            if self.fired < self.rounds {
+                ctx.set_timer(self.period, 1);
+            }
+        }
+        fn on_crash(&mut self) {
+            self.received = 0;
+        }
+    }
+
+    /// Two 4-node campuses with fast intra-campus links, joined by one slow
+    /// WAN pair — the blueprint's shape, shardable with a 40 ms lookahead.
+    fn campus_sim(seed: u64) -> Simulation<u64> {
+        let mut sim = Simulation::new(seed);
+        sim.set_engine(EngineMode::Serial);
+        let mut ids = Vec::new();
+        for c in 0..2 {
+            for i in 0..4 {
+                // Cross-campus chatter goes through the gateway pair (0, 4).
+                let peer_index = if i == 0 { (1 - c) * 4 } else { c * 4 };
+                ids.push((c, i, peer_index));
+            }
+        }
+        let nodes: Vec<NodeId> = ids
+            .iter()
+            .map(|&(c, i, peer)| {
+                sim.add_node(
+                    format!("c{c}n{i}"),
+                    Chatter {
+                        peer: NodeId::from_index(peer),
+                        period: SimDuration::from_millis(3 + i as u64),
+                        rounds: 12,
+                        fired: 0,
+                        received: 0,
+                    },
+                )
+            })
+            .collect();
+        let lan = LinkConfig::new(SimDuration::from_millis(1))
+            .with_jitter(SimDuration::from_micros(200))
+            .with_loss(LossModel::Iid { p: 0.02 });
+        for c in 0..2 {
+            for i in 1..4 {
+                sim.connect(nodes[c * 4], nodes[c * 4 + i], lan);
+            }
+        }
+        let wan = LinkConfig::new(SimDuration::from_millis(40))
+            .with_jitter(SimDuration::from_millis(2))
+            .with_loss(LossModel::Iid { p: 0.05 });
+        sim.connect(nodes[0], nodes[4], wan);
+        sim
+    }
+
+    fn fingerprint_and_metrics(
+        mut sim: Simulation<u64>,
+        mode: EngineMode,
+    ) -> (u64, MetricsSnapshot) {
+        sim.set_engine(mode);
+        sim.enable_trace(1 << 20);
+        sim.run_until(SimTime::from_millis(500));
+        let snap = sim.metrics().snapshot().without_prefix("engine.");
+        (sim.trace().unwrap().fingerprint(), snap)
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_the_campus_topology() {
+        for seed in [1, 7, 42] {
+            let serial = fingerprint_and_metrics(campus_sim(seed), EngineMode::Serial);
+            for shards in [2, 4] {
+                let sharded =
+                    fingerprint_and_metrics(campus_sim(seed), EngineMode::Sharded { shards });
+                assert_eq!(serial.0, sharded.0, "trace diverged (seed {seed}, {shards} shards)");
+                assert_eq!(serial.1, sharded.1, "metrics diverged (seed {seed}, {shards} shards)");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_under_faults() {
+        let gateway_a = NodeId::from_index(0);
+        let gateway_b = NodeId::from_index(4);
+        let plan = || {
+            FaultPlan::new()
+                .link_flap(
+                    gateway_a,
+                    gateway_b,
+                    SimTime::from_millis(60),
+                    SimTime::from_millis(120),
+                )
+                .crash(gateway_b, SimTime::from_millis(150), Some(SimTime::from_millis(230)))
+                .latency_spike(
+                    gateway_a,
+                    gateway_b,
+                    SimTime::from_millis(250),
+                    SimTime::from_millis(320),
+                    SimDuration::from_millis(15),
+                )
+        };
+        let run = |mode: EngineMode| {
+            let mut sim = campus_sim(9);
+            sim.set_engine(mode);
+            sim.enable_trace(1 << 20);
+            sim.apply_fault_plan(plan());
+            sim.run_until(SimTime::from_millis(400));
+            let snap = sim.metrics().snapshot().without_prefix("engine.");
+            (sim.trace().unwrap().fingerprint(), snap, sim.events_processed(), sim.time())
+        };
+        let serial = run(EngineMode::Serial);
+        let sharded = run(EngineMode::Sharded { shards: 2 });
+        assert_eq!(serial, sharded);
+        assert!(serial.1.counters.contains_key("fault.injected"));
+    }
+
+    /// An observer that fingerprints the event stream it sees, including the
+    /// view clock and crash flags, so replay order and view integrity are
+    /// both checked.
+    struct HashingObserver(StdArc<AtomicU64>);
+
+    impl SimObserver for HashingObserver {
+        fn on_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>) {
+            let mut h = self.0.load(Ordering::Relaxed);
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x100000001b3);
+            };
+            mix(view.time().as_nanos());
+            let crashed =
+                (0..view.node_count()).filter(|&i| view.is_crashed(NodeId::from_index(i))).count();
+            mix(crashed as u64);
+            let code = match event {
+                SimEvent::Sent { src, dst, .. } => {
+                    1 ^ (src.index() as u64) << 8 ^ (dst.index() as u64) << 16
+                }
+                SimEvent::Delivered { src, dst, sent_at, .. } => {
+                    2 ^ (src.index() as u64) << 8
+                        ^ (dst.index() as u64) << 16
+                        ^ sent_at.as_nanos() << 24
+                }
+                SimEvent::Dropped { src, dst, .. } => {
+                    3 ^ (src.index() as u64) << 8 ^ (dst.index() as u64) << 16
+                }
+                SimEvent::NoRoute { .. } => 4,
+                SimEvent::TimerFired { node, tag } => 5 ^ (node.index() as u64) << 8 ^ tag << 16,
+                SimEvent::Injected { .. } => 6,
+                SimEvent::Fault { .. } => 7,
+            };
+            mix(code);
+            self.0.store(h, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_stream_is_replayed_in_serial_order() {
+        let run = |mode: EngineMode| {
+            let mut sim = campus_sim(3);
+            sim.set_engine(mode);
+            let hash = StdArc::new(AtomicU64::new(0xcbf29ce484222325));
+            sim.set_observer(HashingObserver(StdArc::clone(&hash)));
+            let p = FaultPlan::new().crash(
+                NodeId::from_index(5),
+                SimTime::from_millis(80),
+                Some(SimTime::from_millis(160)),
+            );
+            sim.apply_fault_plan(p);
+            sim.run_until(SimTime::from_millis(300));
+            hash.load(Ordering::Relaxed)
+        };
+        assert_eq!(run(EngineMode::Serial), run(EngineMode::Sharded { shards: 2 }));
+        assert_eq!(run(EngineMode::Serial), run(EngineMode::Sharded { shards: 4 }));
+    }
+
+    #[test]
+    fn unshardable_topologies_fall_back_to_serial() {
+        // A single zero-latency star cannot be cut with positive lookahead.
+        let mut sim: Simulation<u64> = Simulation::new(1);
+        sim.set_engine(EngineMode::Sharded { shards: 4 });
+        let hub = sim.add_node(
+            "hub",
+            Chatter {
+                peer: NodeId::from_index(1),
+                period: SimDuration::from_millis(1),
+                rounds: 3,
+                fired: 0,
+                received: 0,
+            },
+        );
+        let leaf = sim.add_node(
+            "leaf",
+            Chatter {
+                peer: hub,
+                period: SimDuration::from_millis(1),
+                rounds: 3,
+                fired: 0,
+                received: 0,
+            },
+        );
+        sim.connect(hub, leaf, LinkConfig::new(SimDuration::ZERO));
+        sim.run_until_idle();
+        assert!(sim.metrics().counter_value("net.delivered") > 0);
+        assert_eq!(sim.metrics().counter_value("engine.shard.windows"), 0);
+    }
+
+    #[test]
+    fn sharded_run_reports_window_metrics() {
+        let mut sim = campus_sim(11);
+        sim.set_engine(EngineMode::Sharded { shards: 2 });
+        sim.run_until(SimTime::from_millis(200));
+        assert!(sim.metrics().counter_value("engine.shard.windows") > 0);
+        assert!(sim.metrics().counter_value("engine.shard.s0.events") > 0);
+        assert!(sim.metrics().counter_value("engine.shard.s1.events") > 0);
+        let hist = sim.metrics().snapshot().histograms;
+        assert!(hist.contains_key("engine.shard.events_per_window"));
+        assert!(sim.metrics().counter_value("engine.ops_pool.hit") > 0);
+    }
+
+    #[test]
+    fn capped_runs_and_stepping_work_across_engines() {
+        let mut sim = campus_sim(5);
+        sim.set_engine(EngineMode::Sharded { shards: 2 });
+        let n = sim.run_until_idle_capped(50);
+        assert!(n >= 50, "cap is enforced at window granularity, but work must happen");
+        // The world recomposes cleanly: serial stepping continues the run.
+        sim.set_engine(EngineMode::Serial);
+        assert!(sim.step().is_some());
+        sim.run_until_idle();
+    }
+}

@@ -1,8 +1,16 @@
 //! The discrete-event simulation engine.
+//!
+//! Two executors share one event-processing core: the serial reference
+//! engine and the conservative shard-parallel engine in [`crate::shard`].
+//! Event order is total — `(SimTime, causal stamp)` — and the stamp of every
+//! event is computable from the state of the node that scheduled it, so both
+//! executors produce byte-identical traces, metrics, and node states.
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::link::{DropReason, Link, LinkConfig, LinkId, Transmit};
@@ -11,431 +19,304 @@ use crate::node::{Context, Envelope, Node, NodeId, Op, Timer};
 use crate::observe::{SimEvent, SimObserver, SimView};
 use crate::rng::DetRng;
 use crate::sched::{EventQueue, TimerWheel};
+use crate::shard::OwnedSimEvent;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 
-enum EventKind<M> {
+/// Which executor a [`Simulation`] uses to process events.
+///
+/// Both modes are byte-identical: same trace fingerprint, same metrics,
+/// same node states. `Sharded` partitions the node graph and runs
+/// lookahead-bounded event windows on worker threads; when the topology
+/// cannot be partitioned with a positive lookahead it silently falls back
+/// to serial execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Single-threaded reference executor: one global event loop.
+    Serial,
+    /// Conservative shard-parallel executor (see [`crate::shard`]).
+    Sharded {
+        /// Number of shards (worker threads) to partition the node graph
+        /// into. Values below 2 behave like `Serial`.
+        shards: usize,
+    },
+}
+
+/// Default shard count when the caller asks for `sharded` without a number.
+pub const DEFAULT_SHARDS: usize = 4;
+
+const ENGINE_UNSET: u64 = u64::MAX;
+static DEFAULT_ENGINE: AtomicU64 = AtomicU64::new(ENGINE_UNSET);
+
+fn encode_engine(mode: EngineMode) -> u64 {
+    match mode {
+        EngineMode::Serial => 0,
+        EngineMode::Sharded { shards } => shards.max(1) as u64,
+    }
+}
+
+fn decode_engine(raw: u64) -> EngineMode {
+    if raw == 0 {
+        EngineMode::Serial
+    } else {
+        EngineMode::Sharded { shards: raw as usize }
+    }
+}
+
+/// Parses an engine name: `serial`, `sharded`, or `sharded:<n>`.
+pub fn parse_engine(s: &str) -> Option<EngineMode> {
+    match s {
+        "serial" => Some(EngineMode::Serial),
+        "sharded" => Some(EngineMode::Sharded { shards: DEFAULT_SHARDS }),
+        _ => {
+            let n: usize = s.strip_prefix("sharded:")?.parse().ok()?;
+            (n >= 1).then_some(EngineMode::Sharded { shards: n })
+        }
+    }
+}
+
+/// The process-wide default engine used by [`Simulation::new`].
+///
+/// Resolved once: an explicit [`set_default_engine`] call wins; otherwise
+/// the `METACLASS_ENGINE` environment variable (`serial`, `sharded`,
+/// `sharded:<n>`) is consulted, defaulting to [`EngineMode::Serial`].
+///
+/// # Panics
+///
+/// Panics if `METACLASS_ENGINE` is set to an unrecognized value.
+pub fn default_engine() -> EngineMode {
+    let raw = DEFAULT_ENGINE.load(Ordering::Relaxed);
+    if raw != ENGINE_UNSET {
+        return decode_engine(raw);
+    }
+    let mode = match std::env::var("METACLASS_ENGINE") {
+        Err(_) => EngineMode::Serial,
+        Ok(v) => parse_engine(&v).unwrap_or_else(|| {
+            panic!("METACLASS_ENGINE: unrecognized engine '{v}' (serial | sharded | sharded:<n>)")
+        }),
+    };
+    DEFAULT_ENGINE.store(encode_engine(mode), Ordering::Relaxed);
+    mode
+}
+
+/// Sets the process-wide default engine for simulations created after this
+/// call. Intended for CLI entry points; tests and libraries should prefer
+/// the per-simulation [`Simulation::set_engine`].
+pub fn set_default_engine(mode: EngineMode) {
+    DEFAULT_ENGINE.store(encode_engine(mode), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Causal event stamps.
+//
+// Events are keyed by `(SimTime, stamp)` where the 128-bit stamp packs
+// `(depth: u16, origin: u32, counter: u64)`:
+//
+//   * `depth`   — same-instant causal depth: an event scheduled at the very
+//     instant that is currently executing gets `current depth + 1`, an event
+//     scheduled for a later instant gets 0. Within one instant, everything
+//     already popped has a strictly smaller depth than anything a handler can
+//     still push, so pop order equals stamp order — the property that lets
+//     shard-local streams be merged back into the serial total order.
+//   * `origin`  — the node whose handler (or forwarding hop) scheduled the
+//     event; two reserved origins order engine-scheduled events after all
+//     node-scheduled ones at the same depth.
+//   * `counter` — per-origin push counter.
+//
+// All three components are derivable from the scheduling node's own state,
+// so a shard computes exactly the stamps the serial engine would.
+// ---------------------------------------------------------------------------
+
+pub(crate) const INJECT_ORIGIN: u32 = u32::MAX;
+pub(crate) const FAULT_ORIGIN: u32 = u32::MAX - 1;
+
+pub(crate) fn pack_stamp(depth: u16, origin: u32, counter: u64) -> u128 {
+    ((depth as u128) << 96) | ((origin as u128) << 64) | counter as u128
+}
+
+pub(crate) fn stamp_depth(stamp: u128) -> u16 {
+    (stamp >> 96) as u16
+}
+
+pub(crate) enum EventKind<M> {
     /// Arrival of a message at `hop` (which may forward it further).
-    Deliver { hop: NodeId, env: Envelope<M> },
+    Deliver {
+        /// The node the message arrives at next.
+        hop: NodeId,
+        /// The message in flight.
+        env: Envelope<M>,
+    },
     /// A timer firing at `node`. Timers armed before a crash carry a stale
     /// `epoch` and are swallowed after restart.
-    Timer { node: NodeId, id: u64, tag: u64, epoch: u64 },
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Timer id minted by [`Context::set_timer`].
+        id: u64,
+        /// Caller-chosen tag.
+        tag: u64,
+        /// Node incarnation the timer was armed in.
+        epoch: u64,
+    },
     /// Execution of a scripted fault action (index into `fault_actions`).
+    Fault {
+        /// Index into the simulation's fault-action table.
+        index: usize,
+    },
+}
+
+/// Outcome of [`Core::step_inner`]: fault events bubble up to the
+/// [`Simulation`], which owns the fault-action table.
+pub(crate) enum Stepped {
+    Idle,
+    Events(u64),
     Fault { index: usize },
 }
 
-/// A deterministic discrete-event simulation of nodes connected by links.
-///
-/// The engine owns all nodes, links, the event queue, per-node RNG streams,
-/// and a metrics registry. Event order is total — (time, insertion sequence)
-/// — so a run is a pure function of configuration and seed.
-///
-/// # Examples
-///
-/// ```
-/// use metaclass_netsim::{Context, LinkConfig, Node, NodeId, SimDuration, SimTime, Simulation};
-///
-/// struct Ping;
-/// struct Pong(u32);
-/// impl Node<u32> for Ping {
-///     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
-///         ctx.send(NodeId::from_index(1), 7, 64);
-///     }
-///     fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
-/// }
-/// impl Node<u32> for Pong {
-///     fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, msg: u32) {
-///         self.0 = msg;
-///     }
-/// }
-///
-/// let mut sim = Simulation::new(42);
-/// let a = sim.add_node("ping", Ping);
-/// let b = sim.add_node("pong", Pong(0));
-/// sim.connect(a, b, LinkConfig::new(SimDuration::from_millis(1)));
-/// sim.run_until_idle();
-/// assert_eq!(sim.node_as::<Pong>(b).unwrap().0, 7);
-/// assert_eq!(sim.time(), SimTime::from_millis(1));
-/// ```
-pub struct Simulation<M> {
-    time: SimTime,
-    seq: u64,
-    timer_counter: u64,
-    nodes: Vec<Option<Box<dyn Node<M> + Send>>>,
-    names: Vec<String>,
-    rngs: Vec<DetRng>,
+/// The event-processing core shared by the serial engine and every shard
+/// lane. Holds exactly the state one event needs to execute; all vectors are
+/// indexed by global node/link id in both modes (a lane simply leaves the
+/// slots it does not own empty), so the processing code is the same bytes
+/// for both executors.
+pub(crate) struct Core<M> {
+    pub(crate) time: SimTime,
+    /// Depth component of the stamp of the event currently executing.
+    pub(crate) cur_depth: u16,
+    /// Full stamp of the event currently executing (buffer sort key).
+    pub(crate) cur_stamp: u128,
+    pub(crate) nodes: Vec<Option<Box<dyn Node<M> + Send>>>,
+    pub(crate) rngs: Vec<DetRng>,
+    /// Per-node event push counters (stamp `counter` component).
+    pub(crate) push_counters: Vec<u64>,
+    /// Per-node timer-id counters (see [`Context::set_timer`]).
+    pub(crate) timer_counters: Vec<u64>,
     /// Whether each node is currently crashed (blackholed, timers voided).
-    crashed: Vec<bool>,
+    pub(crate) crashed: Vec<bool>,
     /// Incarnation counter per node; bumped at crash to void stale timers.
-    epochs: Vec<u64>,
-    /// Scripted fault actions, indexed by `EventKind::Fault` events.
-    fault_actions: Vec<FaultAction>,
-    links: Vec<Link>,
-    link_ends: Vec<(NodeId, NodeId)>,
+    pub(crate) epochs: Vec<u64>,
+    pub(crate) links: Vec<Link>,
+    /// Per-link RNG streams (loss draws, jitter), derived from the master
+    /// seed by link id — independent of which executor runs the transmit.
+    pub(crate) link_rngs: Vec<DetRng>,
+    pub(crate) link_ends: Arc<Vec<(NodeId, NodeId)>>,
     /// adjacency[src] -> (dst -> link), deterministic order.
-    adjacency: Vec<std::collections::BTreeMap<u32, LinkId>>,
+    pub(crate) adjacency: Arc<Vec<BTreeMap<u32, LinkId>>>,
+    /// Static propagation delay per link in ns (routing weights). Shared so
+    /// lanes can route across links they do not own.
+    pub(crate) static_delays: Arc<Vec<u64>>,
     /// Per-source next-hop tables, computed lazily, cleared on topology change.
-    route_cache: HashMap<u32, Vec<Option<(u32, LinkId)>>>,
-    queue: TimerWheel<EventKind<M>>,
-    cancelled_timers: HashSet<u64>,
+    pub(crate) route_cache: HashMap<u32, Vec<Option<(u32, LinkId)>>>,
+    pub(crate) queue: TimerWheel<EventKind<M>, u128>,
+    pub(crate) cancelled_timers: HashSet<u64>,
     /// Recycled op buffers handed to [`Context`] during dispatch.
-    ops_pool: Vec<Vec<Op<M>>>,
-    net_rng: DetRng,
-    master_rng: DetRng,
-    metrics: MetricsRegistry,
-    trace: Option<Trace>,
+    pub(crate) ops_pool: Vec<Vec<Op<M>>>,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) events_processed: u64,
+    /// Op-pool reuse counters, flushed to `engine.ops_pool.*` at run end.
+    pub(crate) pool_hits: u64,
+    pub(crate) pool_misses: u64,
+    pub(crate) trace: Option<Trace>,
     /// Passive engine-boundary observer (see [`crate::observe`]).
-    observer: Option<Box<dyn SimObserver>>,
-    started: bool,
-    events_processed: u64,
+    pub(crate) observer: Option<Box<dyn SimObserver>>,
+    // --- shard-lane state; inert under the serial executor ---
+    /// Lane mode: trace entries and observer events are buffered with their
+    /// stamps instead of being emitted directly, for merge at the barrier.
+    pub(crate) buffered: bool,
+    pub(crate) trace_on: bool,
+    pub(crate) observing: bool,
+    pub(crate) trace_buf: Vec<(u128, TraceEvent)>,
+    pub(crate) obs_buf: Vec<(SimTime, u128, OwnedSimEvent)>,
+    /// Shard owning each node (lane mode only).
+    pub(crate) shard_of: Option<Arc<Vec<u32>>>,
+    pub(crate) my_shard: u32,
+    /// Cross-shard deliveries produced this window, per destination shard.
+    pub(crate) outboxes: Vec<Outbox<M>>,
 }
 
-impl<M: 'static> Simulation<M> {
-    /// Creates an empty simulation with the given master seed.
-    pub fn new(seed: u64) -> Self {
-        let master_rng = DetRng::new(seed);
-        let net_rng = master_rng.derive(u64::MAX);
-        Simulation {
+/// One shard-pair outbox: stamped cross-shard deliveries awaiting exchange.
+pub(crate) type Outbox<M> = Vec<(SimTime, u128, NodeId, Envelope<M>)>;
+
+impl<M> Core<M> {
+    pub(crate) fn new_serial() -> Self {
+        Core {
             time: SimTime::ZERO,
-            seq: 0,
-            timer_counter: 0,
+            cur_depth: 0,
+            cur_stamp: 0,
             nodes: Vec::new(),
-            names: Vec::new(),
             rngs: Vec::new(),
+            push_counters: Vec::new(),
+            timer_counters: Vec::new(),
             crashed: Vec::new(),
             epochs: Vec::new(),
-            fault_actions: Vec::new(),
             links: Vec::new(),
-            link_ends: Vec::new(),
-            adjacency: Vec::new(),
+            link_rngs: Vec::new(),
+            link_ends: Arc::new(Vec::new()),
+            adjacency: Arc::new(Vec::new()),
+            static_delays: Arc::new(Vec::new()),
             route_cache: HashMap::new(),
             queue: TimerWheel::new(),
             cancelled_timers: HashSet::new(),
             ops_pool: Vec::new(),
-            net_rng,
-            master_rng,
             metrics: MetricsRegistry::new(),
+            events_processed: 0,
+            pool_hits: 0,
+            pool_misses: 0,
             trace: None,
             observer: None,
-            started: false,
-            events_processed: 0,
+            buffered: false,
+            trace_on: false,
+            observing: false,
+            trace_buf: Vec::new(),
+            obs_buf: Vec::new(),
+            shard_of: None,
+            my_shard: 0,
+            outboxes: Vec::new(),
         }
     }
 
-    /// Registers a node and returns its id. Nodes receive `on_start` in id
-    /// order when the simulation first runs.
-    pub fn add_node(&mut self, name: impl Into<String>, node: impl Node<M> + Send) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(Box::new(node)));
-        self.names.push(name.into());
-        self.rngs.push(self.master_rng.derive(id.0 as u64));
-        self.crashed.push(false);
-        self.epochs.push(0);
-        self.adjacency.push(std::collections::BTreeMap::new());
-        id
+    /// Stamp for a child event scheduled at `at` by `origin`'s handler.
+    fn child_stamp(&mut self, at: SimTime, origin: NodeId) -> u128 {
+        let depth = if at == self.time { self.cur_depth.saturating_add(1) } else { 0 };
+        let counter = &mut self.push_counters[origin.index()];
+        *counter += 1;
+        pack_stamp(depth, origin.0, *counter)
     }
 
-    /// Connects `a` and `b` with symmetric directed links of configuration
-    /// `cfg`, returning `(a→b, b→a)` link ids.
-    pub fn connect(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
-        (self.connect_directed(a, b, cfg), self.connect_directed(b, a, cfg))
-    }
-
-    /// Adds a single directed link `from → to`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either node id is unknown or a `from → to` link already exists.
-    pub fn connect_directed(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
-        assert!(from.index() < self.nodes.len(), "unknown source node");
-        assert!(to.index() < self.nodes.len(), "unknown destination node");
-        assert!(
-            !self.adjacency[from.index()].contains_key(&to.0),
-            "link {from} -> {to} already exists"
-        );
-        let id = LinkId(self.links.len() as u32);
-        self.links.push(Link::new(cfg));
-        self.link_ends.push((from, to));
-        self.adjacency[from.index()].insert(to.0, id);
-        self.route_cache.clear();
-        id
-    }
-
-    /// Number of registered nodes.
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Name given to `id` at registration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is unknown.
-    pub fn node_name(&self, id: NodeId) -> &str {
-        &self.names[id.index()]
-    }
-
-    /// Borrows a node, downcast to its concrete type; `None` if the type does
-    /// not match.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is unknown or the node is currently being dispatched.
-    pub fn node_as<T: Node<M>>(&self, id: NodeId) -> Option<&T> {
-        let node = self.nodes[id.index()].as_ref().expect("node is being dispatched");
-        (node.as_ref() as &dyn Any).downcast_ref::<T>()
-    }
-
-    /// Mutably borrows a node, downcast to its concrete type.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is unknown or the node is currently being dispatched.
-    pub fn node_as_mut<T: Node<M>>(&mut self, id: NodeId) -> Option<&mut T> {
-        let node = self.nodes[id.index()].as_mut().expect("node is being dispatched");
-        (node.as_mut() as &mut dyn Any).downcast_mut::<T>()
-    }
-
-    /// Borrows a link's state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is unknown.
-    pub fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.index()]
-    }
-
-    /// Mutably borrows a link (e.g. for failure injection via
-    /// [`Link::set_up`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is unknown.
-    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
-        &mut self.links[id.index()]
-    }
-
-    /// The directed link `from → to`, if one exists.
-    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
-        self.adjacency.get(from.index())?.get(&to.0).copied()
-    }
-
-    /// Brings both directions between `a` and `b` up or down, maintaining
-    /// flap accounting and the `net.link.flaps` counter.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either directed link does not exist.
-    pub fn set_connection_up(&mut self, a: NodeId, b: NodeId, up: bool) {
-        let ab = self.link_between(a, b).expect("no a->b link");
-        let ba = self.link_between(b, a).expect("no b->a link");
-        self.with_flap_metric(ab, |link, now| link.set_up_at(now, up));
-        self.with_flap_metric(ba, |link, now| link.set_up_at(now, up));
-    }
-
-    /// Applies a state change to a link and mirrors any new availability
-    /// flaps into the `net.link.flaps` counter.
-    fn with_flap_metric(&mut self, id: LinkId, apply: impl FnOnce(&mut Link, SimTime)) {
-        let now = self.time;
-        let link = &mut self.links[id.index()];
-        let before = link.stats().flaps;
-        apply(link, now);
-        let delta = link.stats().flaps - before;
-        if delta > 0 {
-            self.metrics.add("net.link.flaps", delta);
-        }
-    }
-
-    /// Severs every link whose endpoints fall in different `groups`,
-    /// emulating a network partition. Nodes not listed in any group keep all
-    /// their links. Partition state is tracked separately from admin state:
-    /// [`Simulation::heal_partition`] restores exactly the links severed
-    /// here, never administratively downed ones.
-    pub fn partition(&mut self, groups: &[&[NodeId]]) {
-        let owned: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
-        self.partition_groups(&owned);
-    }
-
-    fn partition_groups(&mut self, groups: &[Vec<NodeId>]) {
-        let mut membership: Vec<Option<usize>> = vec![None; self.nodes.len()];
-        for (gi, group) in groups.iter().enumerate() {
-            for node in group {
-                membership[node.index()] = Some(gi);
+    /// Enqueues a delivery, diverting it to the destination shard's outbox
+    /// when it crosses a shard boundary (lane mode only).
+    fn push_deliver(&mut self, at: SimTime, stamp: u128, hop: NodeId, env: Envelope<M>) {
+        if let Some(map) = &self.shard_of {
+            let dest = map[hop.index()];
+            if dest != self.my_shard {
+                self.outboxes[dest as usize].push((at, stamp, hop, env));
+                return;
             }
         }
-        for i in 0..self.links.len() {
-            let (from, to) = self.link_ends[i];
-            if let (Some(ga), Some(gb)) = (membership[from.index()], membership[to.index()]) {
-                if ga != gb {
-                    self.with_flap_metric(LinkId(i as u32), |link, now| {
-                        link.set_partitioned_at(now, true)
-                    });
-                }
+        self.queue.push(at, stamp, EventKind::Deliver { hop, env });
+    }
+
+    fn record_trace(&mut self, kind: TraceKind, src: NodeId, dst: NodeId, size_bytes: u32) {
+        if self.buffered {
+            if self.trace_on {
+                let ev = TraceEvent { at: self.time, kind, src, dst, size_bytes };
+                self.trace_buf.push((self.cur_stamp, ev));
             }
+        } else if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent { at: self.time, kind, src, dst, size_bytes });
         }
     }
 
-    /// Heals all partition-severed links.
-    pub fn heal_partition(&mut self) {
-        for i in 0..self.links.len() {
-            if self.links[i].is_partitioned() {
-                self.with_flap_metric(LinkId(i as u32), |link, now| {
-                    link.set_partitioned_at(now, false)
-                });
-            }
-        }
-    }
-
-    /// Crashes `node`: its volatile state is reset via
-    /// [`Node::on_crash`], all pending timers are voided, and traffic
-    /// addressed to (or forwarded through) it is blackholed until
-    /// [`Simulation::restart_node`]. Idempotent.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is unknown or currently being dispatched.
-    pub fn crash_node(&mut self, node: NodeId) {
-        let idx = node.index();
-        if self.crashed[idx] {
-            return;
-        }
-        self.crashed[idx] = true;
-        self.epochs[idx] += 1;
-        self.metrics.inc("net.node.crashes");
-        let n = self.nodes[idx].as_mut().expect("node is being dispatched");
-        n.on_crash();
-    }
-
-    /// Restarts a crashed node: `on_start` runs again (re-arming timers) and
-    /// traffic flows to it once more. No-op if the node is not crashed.
-    pub fn restart_node(&mut self, node: NodeId) {
-        let idx = node.index();
-        if !self.crashed[idx] {
-            return;
-        }
-        self.crashed[idx] = false;
-        self.metrics.inc("net.node.restarts");
-        if self.started {
-            self.dispatch(node, Dispatch::Start);
-        }
-    }
-
-    /// Whether `node` is currently crashed.
-    pub fn is_node_crashed(&self, node: NodeId) -> bool {
-        self.crashed[node.index()]
-    }
-
-    /// Installs a fault plan: each scripted action becomes an engine event
-    /// executed at its scheduled time, recorded in metrics
-    /// (`fault.injected` plus a per-action counter) and, when tracing is
-    /// enabled, in the trace as [`TraceKind::Fault`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if any action is scheduled before the current time.
-    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
-        for (at, action) in plan.into_sorted_events() {
-            assert!(at >= self.time, "fault scheduled in the past");
-            let index = self.fault_actions.len();
-            self.fault_actions.push(action);
-            self.push_event(at, EventKind::Fault { index });
-        }
-    }
-
-    fn execute_fault(&mut self, index: usize) {
-        let action = self.fault_actions[index].clone();
-        self.metrics.inc("fault.injected");
-        self.metrics.inc(action.metric());
-        let (src, dst) = match &action {
-            FaultAction::LinkDown { a, b }
-            | FaultAction::LinkUp { a, b }
-            | FaultAction::LossBurstStart { a, b, .. }
-            | FaultAction::LossBurstEnd { a, b }
-            | FaultAction::LatencySpikeStart { a, b, .. }
-            | FaultAction::LatencySpikeEnd { a, b } => (*a, *b),
-            FaultAction::CrashNode { node } | FaultAction::RestartNode { node } => (*node, *node),
-            FaultAction::Partition { .. } | FaultAction::Heal => (NodeId(0), NodeId(0)),
-        };
-        self.record_trace(TraceKind::Fault { code: action.code() }, src, dst, 0);
-        match action {
-            FaultAction::LinkDown { a, b } => self.set_connection_up(a, b, false),
-            FaultAction::LinkUp { a, b } => self.set_connection_up(a, b, true),
-            FaultAction::LossBurstStart { a, b, loss } => {
-                self.for_both_directions(a, b, |link| link.set_loss_override(Some(loss)));
-            }
-            FaultAction::LossBurstEnd { a, b } => {
-                self.for_both_directions(a, b, |link| link.set_loss_override(None));
-            }
-            FaultAction::LatencySpikeStart { a, b, extra } => {
-                self.for_both_directions(a, b, |link| link.set_extra_delay(extra));
-            }
-            FaultAction::LatencySpikeEnd { a, b } => {
-                self.for_both_directions(a, b, |link| {
-                    link.set_extra_delay(crate::time::SimDuration::ZERO)
-                });
-            }
-            FaultAction::Partition { groups } => self.partition_groups(&groups),
-            FaultAction::Heal => self.heal_partition(),
-            FaultAction::CrashNode { node } => self.crash_node(node),
-            FaultAction::RestartNode { node } => self.restart_node(node),
-        }
-        if self.observer.is_some() {
-            let action = self.fault_actions[index].clone();
-            self.notify(SimEvent::Fault { action: &action });
-        }
-    }
-
-    fn for_both_directions(&mut self, a: NodeId, b: NodeId, mut apply: impl FnMut(&mut Link)) {
-        let ab = self.link_between(a, b).expect("no a->b link");
-        let ba = self.link_between(b, a).expect("no b->a link");
-        apply(&mut self.links[ab.index()]);
-        apply(&mut self.links[ba.index()]);
-    }
-
-    /// Current simulated time.
-    pub fn time(&self) -> SimTime {
-        self.time
-    }
-
-    /// Total events processed so far.
-    pub fn events_processed(&self) -> u64 {
-        self.events_processed
-    }
-
-    /// The simulation-wide metrics registry.
-    pub fn metrics(&self) -> &MetricsRegistry {
-        &self.metrics
-    }
-
-    /// Mutable access to the metrics registry.
-    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
-        &mut self.metrics
-    }
-
-    /// Installs a passive observer invoked at every engine boundary
-    /// (send/inject/delivery/drop/no-route/timer/fault). Replaces any
-    /// previously installed observer. Observation never perturbs the run:
-    /// event order, metrics, and trace fingerprints are identical with or
-    /// without one.
-    pub fn set_observer(&mut self, observer: impl SimObserver + 'static) {
-        self.observer = Some(Box::new(observer));
-    }
-
-    /// Removes and returns the installed observer, if any.
-    pub fn take_observer(&mut self) -> Option<Box<dyn SimObserver>> {
-        self.observer.take()
-    }
-
-    /// Whether an observer is currently installed.
-    pub fn has_observer(&self) -> bool {
-        self.observer.is_some()
-    }
-
-    /// Hands `event` to the observer (if any) with a post-event view.
-    ///
-    /// The box is taken out for the duration of the call so the observer can
-    /// be `&mut` while the view borrows the rest of the engine immutably.
+    /// Hands `event` to the observer (if any) with a post-event view; in
+    /// lane mode the event is buffered for in-order replay at the barrier.
     fn notify(&mut self, event: SimEvent<'_>) {
+        if self.buffered {
+            if self.observing {
+                let owned = OwnedSimEvent::from_event(&event)
+                    .expect("fault/inject events never occur inside a shard window");
+                self.obs_buf.push((self.time, self.cur_stamp, owned));
+            }
+            return;
+        }
         let Some(mut observer) = self.observer.take() else { return };
         let view = SimView {
             time: self.time,
@@ -446,124 +327,36 @@ impl<M: 'static> Simulation<M> {
         observer.on_event(&view, &event);
         self.observer = Some(observer);
     }
+}
 
-    /// Enables event tracing, keeping at most `capacity` events.
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
-    }
-
-    /// The recorded trace, if tracing was enabled.
-    pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
-    }
-
-    /// Schedules a message to arrive at `dst` at absolute time `at`,
-    /// bypassing the network. Intended for tests and workload injection.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `at` is in the past.
-    pub fn inject(&mut self, at: SimTime, src: NodeId, dst: NodeId, payload: M, size_bytes: u32) {
-        assert!(at >= self.time, "cannot inject into the past");
-        let env = Envelope { src, dst, payload, size_bytes, sent_at: self.time };
-        self.push_event(at, EventKind::Deliver { hop: dst, env });
-        self.notify(SimEvent::Injected { src, dst, size_bytes });
-    }
-
-    fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
-        self.seq += 1;
-        self.queue.push(at, self.seq, kind);
-    }
-
-    fn record_trace(&mut self, kind: TraceKind, src: NodeId, dst: NodeId, size_bytes: u32) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent { at: self.time, kind, src, dst, size_bytes });
-        }
-    }
-
-    fn ensure_started(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for i in 0..self.nodes.len() {
-            if self.crashed[i] {
-                continue;
-            }
-            self.dispatch(NodeId(i as u32), Dispatch::Start);
-        }
-    }
-
-    /// Runs until the event queue is empty or `limit` events were processed
-    /// in this call. Returns the number of events processed.
-    pub fn run_until_idle_capped(&mut self, limit: u64) -> u64 {
-        self.ensure_started();
-        let mut n = 0;
-        while n < limit {
-            let processed = self.step_inner(limit - n);
-            if processed == 0 {
-                break;
-            }
-            n += processed;
-        }
-        n
-    }
-
-    /// Runs until the event queue is empty.
-    pub fn run_until_idle(&mut self) {
-        self.run_until_idle_capped(u64::MAX);
-    }
-
-    /// Runs until simulated time reaches `until` (events at exactly `until`
-    /// are processed) or the queue empties. The clock is left at `until` if
-    /// the queue emptied earlier than that.
-    pub fn run_until(&mut self, until: SimTime) {
-        self.ensure_started();
-        while let Some((at, _)) = self.queue.peek_key() {
-            if at > until {
-                break;
-            }
-            self.step_inner(u64::MAX);
-        }
-        if self.time < until {
-            self.time = until;
-        }
-    }
-
-    /// Processes a single event; returns its time, or `None` if idle.
-    pub fn step(&mut self) -> Option<SimTime> {
-        self.ensure_started();
-        if self.step_inner(1) > 0 {
-            Some(self.time)
-        } else {
-            None
-        }
-    }
-
+impl<M: 'static> Core<M> {
     /// Processes the next event plus — within `budget` — any immediately
     /// following same-instant deliveries to the same node, which share one
-    /// node borrow. Returns the number of events consumed (0 when idle).
-    fn step_inner(&mut self, budget: u64) -> u64 {
-        let (at, _seq, kind) = match self.queue.pop() {
+    /// node borrow. Fault events advance the clock and bubble up for the
+    /// owner of the fault table to execute.
+    pub(crate) fn step_inner(&mut self, budget: u64) -> Stepped {
+        let (at, stamp, kind) = match self.queue.pop() {
             Some(e) => e,
-            None => return 0,
+            None => return Stepped::Idle,
         };
         debug_assert!(at >= self.time, "time went backwards");
         self.time = at;
+        self.cur_depth = stamp_depth(stamp);
+        self.cur_stamp = stamp;
         self.events_processed += 1;
         let mut processed = 1;
         match kind {
             EventKind::Fault { index } => {
-                self.execute_fault(index);
+                return Stepped::Fault { index };
             }
             EventKind::Timer { node, id, tag, epoch } => {
                 if self.cancelled_timers.remove(&id) {
-                    return processed;
+                    return Stepped::Events(processed);
                 }
                 // Timers armed before a crash are voided: the stale epoch (or
                 // the crashed flag, while down) swallows them.
                 if self.crashed[node.index()] || epoch != self.epochs[node.index()] {
-                    return processed;
+                    return Stepped::Events(processed);
                 }
                 self.record_trace(TraceKind::TimerFired { tag }, node, node, 0);
                 self.notify(SimEvent::TimerFired { node, tag });
@@ -609,9 +402,11 @@ impl<M: 'static> Simulation<M> {
                                 )
                         });
                         match next {
-                            Some((_, _, EventKind::Deliver { env, .. })) => {
+                            Some((_, stamp, EventKind::Deliver { env, .. })) => {
                                 self.events_processed += 1;
                                 processed += 1;
+                                self.cur_depth = stamp_depth(stamp);
+                                self.cur_stamp = stamp;
                                 self.record_delivery(&env);
                                 let from = env.src;
                                 self.dispatch_node(
@@ -631,7 +426,7 @@ impl<M: 'static> Simulation<M> {
                 }
             }
         }
-        processed
+        Stepped::Events(processed)
     }
 
     /// Counters, latency histogram, and trace entry for one final delivery.
@@ -649,7 +444,7 @@ impl<M: 'static> Simulation<M> {
         });
     }
 
-    fn dispatch(&mut self, node_id: NodeId, what: Dispatch<M>) {
+    pub(crate) fn dispatch(&mut self, node_id: NodeId, what: Dispatch<M>) {
         let idx = node_id.index();
         let mut node = self.nodes[idx].take().expect("re-entrant dispatch");
         self.dispatch_node(&mut node, node_id, what);
@@ -665,7 +460,16 @@ impl<M: 'static> Simulation<M> {
         what: Dispatch<M>,
     ) {
         let idx = node_id.index();
-        let mut ops: Vec<Op<M>> = self.ops_pool.pop().unwrap_or_default();
+        let mut ops: Vec<Op<M>> = match self.ops_pool.pop() {
+            Some(buf) => {
+                self.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
+        };
         {
             let mut ctx = Context {
                 now: self.time,
@@ -673,7 +477,7 @@ impl<M: 'static> Simulation<M> {
                 ops: &mut ops,
                 rng: &mut self.rngs[idx],
                 metrics: &mut self.metrics,
-                timer_counter: &mut self.timer_counter,
+                timer_counter: &mut self.timer_counters[idx],
             };
             match what {
                 Dispatch::Start => node.on_start(&mut ctx),
@@ -691,7 +495,8 @@ impl<M: 'static> Simulation<M> {
                     self.notify(SimEvent::Sent { src: node_id, dst, size_bytes });
                     if dst == node_id {
                         // Loopback: deliver immediately (next event).
-                        self.push_event(self.time, EventKind::Deliver { hop: dst, env });
+                        let stamp = self.child_stamp(self.time, node_id);
+                        self.queue.push(self.time, stamp, EventKind::Deliver { hop: dst, env });
                     } else {
                         self.route_and_transmit(node_id, env);
                     }
@@ -699,7 +504,8 @@ impl<M: 'static> Simulation<M> {
                 Op::SetTimer { id, after, tag } => {
                     let at = self.time.saturating_add(after);
                     let epoch = self.epochs[node_id.index()];
-                    self.push_event(at, EventKind::Timer { node: node_id, id, tag, epoch });
+                    let stamp = self.child_stamp(at, node_id);
+                    self.queue.push(at, stamp, EventKind::Timer { node: node_id, id, tag, epoch });
                 }
                 Op::CancelTimer { id } => {
                     self.cancelled_timers.insert(id);
@@ -729,10 +535,11 @@ impl<M: 'static> Simulation<M> {
                 return;
             }
         };
-        let link = &mut self.links[link_id.index()];
-        match link.transmit(self.time, env.size_bytes, &mut self.net_rng) {
+        let li = link_id.index();
+        match self.links[li].transmit(self.time, env.size_bytes, &mut self.link_rngs[li]) {
             Transmit::Deliver { at } => {
-                self.push_event(at, EventKind::Deliver { hop: NodeId(next_node), env });
+                let stamp = self.child_stamp(at, at_node);
+                self.push_deliver(at, stamp, NodeId(next_node), env);
             }
             Transmit::Drop(reason) => {
                 let metric = match reason {
@@ -754,7 +561,7 @@ impl<M: 'static> Simulation<M> {
     }
 
     /// Computes (and caches) the next hop from `src` toward `dst` by
-    /// Dijkstra over link propagation delays.
+    /// Dijkstra over static link propagation delays.
     fn next_hop(&mut self, src: NodeId, dst: NodeId) -> Option<(u32, LinkId)> {
         if !self.route_cache.contains_key(&src.0) {
             let table = self.dijkstra_from(src);
@@ -775,7 +582,7 @@ impl<M: 'static> Simulation<M> {
                 continue;
             }
             for (&v, &link) in &self.adjacency[u as usize] {
-                let w = self.links[link.index()].config().delay().as_nanos().max(1);
+                let w = self.static_delays[link.index()].max(1);
                 let nd = d.saturating_add(w);
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
@@ -789,7 +596,535 @@ impl<M: 'static> Simulation<M> {
     }
 }
 
-enum Dispatch<M> {
+/// A deterministic discrete-event simulation of nodes connected by links.
+///
+/// The engine owns all nodes, links, the event queue, per-node RNG streams,
+/// and a metrics registry. Event order is total — (time, causal stamp) —
+/// so a run is a pure function of configuration and seed, regardless of the
+/// selected [`EngineMode`].
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::{Context, LinkConfig, Node, NodeId, SimDuration, SimTime, Simulation};
+///
+/// struct Ping;
+/// struct Pong(u32);
+/// impl Node<u32> for Ping {
+///     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+///         ctx.send(NodeId::from_index(1), 7, 64);
+///     }
+///     fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
+/// }
+/// impl Node<u32> for Pong {
+///     fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, msg: u32) {
+///         self.0 = msg;
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(42);
+/// let a = sim.add_node("ping", Ping);
+/// let b = sim.add_node("pong", Pong(0));
+/// sim.connect(a, b, LinkConfig::new(SimDuration::from_millis(1)));
+/// sim.run_until_idle();
+/// assert_eq!(sim.node_as::<Pong>(b).unwrap().0, 7);
+/// assert_eq!(sim.time(), SimTime::from_millis(1));
+/// ```
+pub struct Simulation<M> {
+    pub(crate) core: Core<M>,
+    names: Vec<String>,
+    /// Scripted fault actions, indexed by `EventKind::Fault` events.
+    fault_actions: Vec<FaultAction>,
+    master_rng: DetRng,
+    started: bool,
+    inject_counter: u64,
+    pub(crate) engine: EngineMode,
+    /// Bumped on every topology change; invalidates the shard plan.
+    pub(crate) topo_version: u64,
+    pub(crate) shard_cache: Option<crate::shard::ShardCache>,
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation with the given master seed, using the
+    /// process-wide [`default_engine`].
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            core: Core::new_serial(),
+            names: Vec::new(),
+            fault_actions: Vec::new(),
+            master_rng: DetRng::new(seed),
+            started: false,
+            inject_counter: 0,
+            engine: default_engine(),
+            topo_version: 0,
+            shard_cache: None,
+        }
+    }
+
+    /// Selects the executor for subsequent runs. Safe to change between
+    /// runs; the produced traces, metrics, and node states are identical
+    /// either way.
+    pub fn set_engine(&mut self, mode: EngineMode) {
+        self.engine = mode;
+        self.shard_cache = None;
+    }
+
+    /// The currently selected executor.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// Registers a node and returns its id. Nodes receive `on_start` in id
+    /// order when the simulation first runs.
+    pub fn add_node(&mut self, name: impl Into<String>, node: impl Node<M> + Send) -> NodeId {
+        let id = NodeId(self.core.nodes.len() as u32);
+        self.core.nodes.push(Some(Box::new(node)));
+        self.names.push(name.into());
+        self.core.rngs.push(self.master_rng.derive(id.0 as u64));
+        self.core.push_counters.push(0);
+        self.core.timer_counters.push(0);
+        self.core.crashed.push(false);
+        self.core.epochs.push(0);
+        Arc::make_mut(&mut self.core.adjacency).push(BTreeMap::new());
+        self.topo_version += 1;
+        id
+    }
+
+    /// Connects `a` and `b` with symmetric directed links of configuration
+    /// `cfg`, returning `(a→b, b→a)` link ids.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        (self.connect_directed(a, b, cfg), self.connect_directed(b, a, cfg))
+    }
+
+    /// Adds a single directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown or a `from → to` link already exists.
+    pub fn connect_directed(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
+        assert!(from.index() < self.core.nodes.len(), "unknown source node");
+        assert!(to.index() < self.core.nodes.len(), "unknown destination node");
+        assert!(
+            !self.core.adjacency[from.index()].contains_key(&to.0),
+            "link {from} -> {to} already exists"
+        );
+        let id = LinkId(self.core.links.len() as u32);
+        self.core.links.push(Link::new(cfg));
+        // Link RNG streams live in a namespace disjoint from node streams
+        // (node ids are < 2^32).
+        const LINK_STREAM: u64 = 0x4C49_4E4B_0000_0000; // "LINK"
+        self.core.link_rngs.push(self.master_rng.derive(LINK_STREAM | id.0 as u64));
+        Arc::make_mut(&mut self.core.link_ends).push((from, to));
+        Arc::make_mut(&mut self.core.static_delays).push(cfg.delay().as_nanos());
+        Arc::make_mut(&mut self.core.adjacency)[from.index()].insert(to.0, id);
+        self.core.route_cache.clear();
+        self.topo_version += 1;
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.core.nodes.len()
+    }
+
+    /// Name given to `id` at registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Borrows a node, downcast to its concrete type; `None` if the type does
+    /// not match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the node is currently being dispatched.
+    pub fn node_as<T: Node<M>>(&self, id: NodeId) -> Option<&T> {
+        let node = self.core.nodes[id.index()].as_ref().expect("node is being dispatched");
+        (node.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the node is currently being dispatched.
+    pub fn node_as_mut<T: Node<M>>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.core.nodes[id.index()].as_mut().expect("node is being dispatched");
+        (node.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Borrows a link's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.core.links[id.index()]
+    }
+
+    /// Mutably borrows a link (e.g. for failure injection via
+    /// [`Link::set_up`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.core.links[id.index()]
+    }
+
+    /// The directed link `from → to`, if one exists.
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.core.adjacency.get(from.index())?.get(&to.0).copied()
+    }
+
+    /// Brings both directions between `a` and `b` up or down, maintaining
+    /// flap accounting and the `net.link.flaps` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either directed link does not exist.
+    pub fn set_connection_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        let ab = self.link_between(a, b).expect("no a->b link");
+        let ba = self.link_between(b, a).expect("no b->a link");
+        self.with_flap_metric(ab, |link, now| link.set_up_at(now, up));
+        self.with_flap_metric(ba, |link, now| link.set_up_at(now, up));
+    }
+
+    /// Applies a state change to a link and mirrors any new availability
+    /// flaps into the `net.link.flaps` counter.
+    fn with_flap_metric(&mut self, id: LinkId, apply: impl FnOnce(&mut Link, SimTime)) {
+        let now = self.core.time;
+        let link = &mut self.core.links[id.index()];
+        let before = link.stats().flaps;
+        apply(link, now);
+        let delta = link.stats().flaps - before;
+        if delta > 0 {
+            self.core.metrics.add("net.link.flaps", delta);
+        }
+    }
+
+    /// Severs every link whose endpoints fall in different `groups`,
+    /// emulating a network partition. Nodes not listed in any group keep all
+    /// their links. Partition state is tracked separately from admin state:
+    /// [`Simulation::heal_partition`] restores exactly the links severed
+    /// here, never administratively downed ones.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        let owned: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
+        self.partition_groups(&owned);
+    }
+
+    fn partition_groups(&mut self, groups: &[Vec<NodeId>]) {
+        let mut membership: Vec<Option<usize>> = vec![None; self.core.nodes.len()];
+        for (gi, group) in groups.iter().enumerate() {
+            for node in group {
+                membership[node.index()] = Some(gi);
+            }
+        }
+        for i in 0..self.core.links.len() {
+            let (from, to) = self.core.link_ends[i];
+            if let (Some(ga), Some(gb)) = (membership[from.index()], membership[to.index()]) {
+                if ga != gb {
+                    self.with_flap_metric(LinkId(i as u32), |link, now| {
+                        link.set_partitioned_at(now, true)
+                    });
+                }
+            }
+        }
+    }
+
+    /// Heals all partition-severed links.
+    pub fn heal_partition(&mut self) {
+        for i in 0..self.core.links.len() {
+            if self.core.links[i].is_partitioned() {
+                self.with_flap_metric(LinkId(i as u32), |link, now| {
+                    link.set_partitioned_at(now, false)
+                });
+            }
+        }
+    }
+
+    /// Crashes `node`: its volatile state is reset via
+    /// [`Node::on_crash`], all pending timers are voided, and traffic
+    /// addressed to (or forwarded through) it is blackholed until
+    /// [`Simulation::restart_node`]. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown or currently being dispatched.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let idx = node.index();
+        if self.core.crashed[idx] {
+            return;
+        }
+        self.core.crashed[idx] = true;
+        self.core.epochs[idx] += 1;
+        self.core.metrics.inc("net.node.crashes");
+        let n = self.core.nodes[idx].as_mut().expect("node is being dispatched");
+        n.on_crash();
+    }
+
+    /// Restarts a crashed node: `on_start` runs again (re-arming timers) and
+    /// traffic flows to it once more. No-op if the node is not crashed.
+    pub fn restart_node(&mut self, node: NodeId) {
+        let idx = node.index();
+        if !self.core.crashed[idx] {
+            return;
+        }
+        self.core.crashed[idx] = false;
+        self.core.metrics.inc("net.node.restarts");
+        if self.started {
+            self.core.dispatch(node, Dispatch::Start);
+        }
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_node_crashed(&self, node: NodeId) -> bool {
+        self.core.crashed[node.index()]
+    }
+
+    /// Installs a fault plan: each scripted action becomes an engine event
+    /// executed at its scheduled time, recorded in metrics
+    /// (`fault.injected` plus a per-action counter) and, when tracing is
+    /// enabled, in the trace as [`TraceKind::Fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any action is scheduled before the current time.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        for (at, action) in plan.into_sorted_events() {
+            assert!(at >= self.core.time, "fault scheduled in the past");
+            let index = self.fault_actions.len();
+            self.fault_actions.push(action);
+            let stamp = pack_stamp(0, FAULT_ORIGIN, index as u64);
+            self.core.queue.push(at, stamp, EventKind::Fault { index });
+        }
+    }
+
+    pub(crate) fn execute_fault(&mut self, index: usize) {
+        let action = self.fault_actions[index].clone();
+        self.core.metrics.inc("fault.injected");
+        self.core.metrics.inc(action.metric());
+        let (src, dst) = match &action {
+            FaultAction::LinkDown { a, b }
+            | FaultAction::LinkUp { a, b }
+            | FaultAction::LossBurstStart { a, b, .. }
+            | FaultAction::LossBurstEnd { a, b }
+            | FaultAction::LatencySpikeStart { a, b, .. }
+            | FaultAction::LatencySpikeEnd { a, b } => (*a, *b),
+            FaultAction::CrashNode { node } | FaultAction::RestartNode { node } => (*node, *node),
+            FaultAction::Partition { .. } | FaultAction::Heal => (NodeId(0), NodeId(0)),
+        };
+        self.core.record_trace(TraceKind::Fault { code: action.code() }, src, dst, 0);
+        match action {
+            FaultAction::LinkDown { a, b } => self.set_connection_up(a, b, false),
+            FaultAction::LinkUp { a, b } => self.set_connection_up(a, b, true),
+            FaultAction::LossBurstStart { a, b, loss } => {
+                self.for_both_directions(a, b, |link| link.set_loss_override(Some(loss)));
+            }
+            FaultAction::LossBurstEnd { a, b } => {
+                self.for_both_directions(a, b, |link| link.set_loss_override(None));
+            }
+            FaultAction::LatencySpikeStart { a, b, extra } => {
+                self.for_both_directions(a, b, |link| link.set_extra_delay(extra));
+            }
+            FaultAction::LatencySpikeEnd { a, b } => {
+                self.for_both_directions(a, b, |link| {
+                    link.set_extra_delay(crate::time::SimDuration::ZERO)
+                });
+            }
+            FaultAction::Partition { groups } => self.partition_groups(&groups),
+            FaultAction::Heal => self.heal_partition(),
+            FaultAction::CrashNode { node } => self.crash_node(node),
+            FaultAction::RestartNode { node } => self.restart_node(node),
+        }
+        if self.core.observer.is_some() {
+            let action = self.fault_actions[index].clone();
+            self.core.notify(SimEvent::Fault { action: &action });
+        }
+    }
+
+    fn for_both_directions(&mut self, a: NodeId, b: NodeId, mut apply: impl FnMut(&mut Link)) {
+        let ab = self.link_between(a, b).expect("no a->b link");
+        let ba = self.link_between(b, a).expect("no b->a link");
+        apply(&mut self.core.links[ab.index()]);
+        apply(&mut self.core.links[ba.index()]);
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// The simulation-wide metrics registry.
+    ///
+    /// Engine self-observation counters (the `engine.` namespace: op-pool
+    /// hit rates, shard window counts) are flushed here at the end of each
+    /// `run_*` call; they describe the executor, not the simulated world,
+    /// and are the one part of the registry allowed to differ between
+    /// [`EngineMode`]s.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.core.metrics
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.core.metrics
+    }
+
+    /// Installs a passive observer invoked at every engine boundary
+    /// (send/inject/delivery/drop/no-route/timer/fault). Replaces any
+    /// previously installed observer. Observation never perturbs the run:
+    /// event order, metrics, and trace fingerprints are identical with or
+    /// without one, under either engine.
+    pub fn set_observer(&mut self, observer: impl SimObserver + 'static) {
+        self.core.observer = Some(Box::new(observer));
+    }
+
+    /// Removes and returns the installed observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn SimObserver>> {
+        self.core.observer.take()
+    }
+
+    /// Whether an observer is currently installed.
+    pub fn has_observer(&self) -> bool {
+        self.core.observer.is_some()
+    }
+
+    /// Enables event tracing, keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.core.trace.as_ref()
+    }
+
+    /// Schedules a message to arrive at `dst` at absolute time `at`,
+    /// bypassing the network. Intended for tests and workload injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject(&mut self, at: SimTime, src: NodeId, dst: NodeId, payload: M, size_bytes: u32) {
+        assert!(at >= self.core.time, "cannot inject into the past");
+        let env = Envelope { src, dst, payload, size_bytes, sent_at: self.core.time };
+        self.inject_counter += 1;
+        let stamp = pack_stamp(0, INJECT_ORIGIN, self.inject_counter);
+        self.core.queue.push(at, stamp, EventKind::Deliver { hop: dst, env });
+        self.core.notify(SimEvent::Injected { src, dst, size_bytes });
+    }
+
+    pub(crate) fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.core.nodes.len() {
+            if self.core.crashed[i] {
+                continue;
+            }
+            self.core.dispatch(NodeId(i as u32), Dispatch::Start);
+        }
+    }
+
+    /// One serial step: processes up to `budget` events (fault actions
+    /// included), returning how many were consumed. Shared by the serial
+    /// run loops and the sharded engine's serialized fault instants.
+    pub(crate) fn step_budget(&mut self, budget: u64) -> u64 {
+        match self.core.step_inner(budget) {
+            Stepped::Idle => 0,
+            Stepped::Events(n) => n,
+            Stepped::Fault { index } => {
+                self.execute_fault(index);
+                1
+            }
+        }
+    }
+
+    /// Moves `engine.` counters accumulated as plain fields (kept off the
+    /// hot path) into the metrics registry.
+    pub(crate) fn flush_engine_metrics(&mut self) {
+        if self.core.pool_hits > 0 {
+            let v = std::mem::take(&mut self.core.pool_hits);
+            self.core.metrics.add("engine.ops_pool.hit", v);
+        }
+        if self.core.pool_misses > 0 {
+            let v = std::mem::take(&mut self.core.pool_misses);
+            self.core.metrics.add("engine.ops_pool.miss", v);
+        }
+    }
+
+    /// Processes a single event; returns its time, or `None` if idle.
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        if self.step_budget(1) > 0 {
+            Some(self.core.time)
+        } else {
+            None
+        }
+    }
+}
+
+impl<M: Send + 'static> Simulation<M> {
+    /// Runs until the event queue is empty or `limit` events were processed
+    /// in this call. Returns the number of events processed.
+    ///
+    /// Under [`EngineMode::Sharded`] the cap is enforced at window
+    /// granularity: the run stops at the first barrier at or past `limit`.
+    pub fn run_until_idle_capped(&mut self, limit: u64) -> u64 {
+        self.ensure_started();
+        if let Some(n) = crate::shard::try_run_sharded(self, SimTime::MAX, limit) {
+            self.flush_engine_metrics();
+            return n;
+        }
+        let mut n = 0;
+        while n < limit {
+            let processed = self.step_budget(limit - n);
+            if processed == 0 {
+                break;
+            }
+            n += processed;
+        }
+        self.flush_engine_metrics();
+        n
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_until_idle(&mut self) {
+        self.run_until_idle_capped(u64::MAX);
+    }
+
+    /// Runs until simulated time reaches `until` (events at exactly `until`
+    /// are processed) or the queue empties. The clock is left at `until` if
+    /// the queue emptied earlier than that.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.ensure_started();
+        if crate::shard::try_run_sharded(self, until, u64::MAX).is_none() {
+            while let Some((at, _)) = self.core.queue.peek_key() {
+                if at > until {
+                    break;
+                }
+                self.step_budget(u64::MAX);
+            }
+        }
+        if self.core.time < until {
+            self.core.time = until;
+        }
+        self.flush_engine_metrics();
+    }
+}
+
+pub(crate) enum Dispatch<M> {
     Start,
     Message(NodeId, M),
     Timer(Timer),
@@ -798,11 +1133,11 @@ enum Dispatch<M> {
 impl<M> std::fmt::Debug for Simulation<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("time", &self.time)
-            .field("nodes", &self.nodes.len())
-            .field("links", &self.links.len())
-            .field("pending_events", &self.queue.len())
-            .field("events_processed", &self.events_processed)
+            .field("time", &self.core.time)
+            .field("nodes", &self.core.nodes.len())
+            .field("links", &self.core.links.len())
+            .field("pending_events", &self.core.queue.len())
+            .field("events_processed", &self.core.events_processed)
             .finish()
     }
 }
@@ -1253,5 +1588,23 @@ mod tests {
         let n = sim.add_node("self", SelfSender { got: 0 });
         sim.run_until_idle();
         assert_eq!(sim.node_as::<SelfSender>(n).unwrap().got, 1);
+    }
+
+    #[test]
+    fn engine_names_parse() {
+        assert_eq!(parse_engine("serial"), Some(EngineMode::Serial));
+        assert_eq!(parse_engine("sharded"), Some(EngineMode::Sharded { shards: DEFAULT_SHARDS }));
+        assert_eq!(parse_engine("sharded:2"), Some(EngineMode::Sharded { shards: 2 }));
+        assert_eq!(parse_engine("sharded:0"), None);
+        assert_eq!(parse_engine("bogus"), None);
+    }
+
+    #[test]
+    fn stamps_pack_and_unpack() {
+        let s = pack_stamp(3, 7, 42);
+        assert_eq!(stamp_depth(s), 3);
+        assert!(pack_stamp(0, u32::MAX, 0) < pack_stamp(1, 0, 0), "depth dominates origin");
+        assert!(pack_stamp(0, 1, u64::MAX) < pack_stamp(0, 2, 0), "origin dominates counter");
+        assert!(pack_stamp(0, FAULT_ORIGIN, 9) < pack_stamp(0, INJECT_ORIGIN, 0));
     }
 }

@@ -1,0 +1,221 @@
+//! Property test: the serial and sharded executors are byte-identical on
+//! random topologies, fault plans, and seeds.
+//!
+//! Each case builds a random multi-campus topology (stars of varying size
+//! joined by a chain of slow WAN links — the shape the partitioner is meant
+//! to cut), loads it with chatty timer-driven nodes, overlays a random fault
+//! plan (link flaps, latency spikes, partitions, crash/restart), and runs it
+//! to a deadline under the serial engine and under sharded engines at 2 and
+//! 4 shards. Trace fingerprints, the full metrics snapshot (minus the
+//! `engine.` namespace, which describes the executor itself), the event
+//! count, and the final clock must all agree exactly.
+
+use metaclass_netsim::{
+    Context, EngineMode, FaultPlan, LinkConfig, LossModel, MetricsSnapshot, Node, NodeId,
+    SimDuration, SimTime, Simulation, Timer,
+};
+use proptest::prelude::*;
+
+/// A timer-driven node: every period it sends a burst toward its peer, and
+/// echoes shrinking replies to whatever it hears. Exercises sends, multi-hop
+/// routing, timers, RNG draws, and crash resets.
+struct Chatter {
+    peer: NodeId,
+    period: SimDuration,
+    rounds: u32,
+    fired: u32,
+    received: u64,
+}
+
+impl Node<u64> for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        self.fired = 0;
+        ctx.set_timer(self.period, 1);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+        self.received = self.received.wrapping_add(msg);
+        if msg > 1 {
+            ctx.send(from, msg - 1, 150);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _t: Timer) {
+        self.fired += 1;
+        let burst = ctx.rng().range_u64(1, 4);
+        ctx.send(self.peer, burst, 300);
+        if self.fired < self.rounds {
+            ctx.set_timer(self.period, 1);
+        }
+    }
+    fn on_crash(&mut self) {
+        self.received = 0;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Topo {
+    /// Nodes per campus; length = campus count.
+    campuses: Vec<u8>,
+    /// Intra-campus one-way delay in microseconds.
+    lan_us: u64,
+    /// Inter-campus one-way delay in milliseconds (the lookahead source).
+    wan_ms: u64,
+    /// Per-link i.i.d. loss probability.
+    loss: f64,
+    /// Jitter as a fraction of the WAN delay.
+    jitter_us: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Faults {
+    flap_wan: bool,
+    spike_wan: bool,
+    partition: bool,
+    crash_node: bool,
+}
+
+fn build(seed: u64, topo: &Topo) -> (Simulation<u64>, Vec<NodeId>, Vec<NodeId>) {
+    let mut sim = Simulation::new(seed);
+    sim.set_engine(EngineMode::Serial);
+    let mut gateways = Vec::new();
+    let mut all = Vec::new();
+    for (c, &size) in topo.campuses.iter().enumerate() {
+        let first = all.len();
+        for i in 0..size as usize {
+            // Every node initially points at its campus gateway; gateways
+            // are re-pointed at the next campus below.
+            let peer = first;
+            let id = sim.add_node(
+                format!("c{c}n{i}"),
+                Chatter {
+                    peer: NodeId::from_index(peer),
+                    period: SimDuration::from_millis(2 + (i as u64 % 5)),
+                    rounds: 10,
+                    fired: 0,
+                    received: 0,
+                },
+            );
+            all.push(id);
+        }
+        gateways.push(all[first]);
+    }
+    // Point each gateway at the next gateway (ring-free chain) so traffic
+    // actually crosses the WAN cut.
+    for c in 0..gateways.len() {
+        let peer = gateways[(c + 1) % gateways.len()];
+        let gw = gateways[c];
+        sim.node_as_mut::<Chatter>(gw).unwrap().peer = peer;
+    }
+    let lan = LinkConfig::new(SimDuration::from_micros(topo.lan_us))
+        .with_jitter(SimDuration::from_micros(topo.lan_us / 4))
+        .with_loss(LossModel::Iid { p: topo.loss });
+    let mut idx = 0;
+    for &size in &topo.campuses {
+        let gw = all[idx];
+        for i in 1..size as usize {
+            sim.connect(gw, all[idx + i], lan);
+        }
+        idx += size as usize;
+    }
+    let wan = LinkConfig::new(SimDuration::from_millis(topo.wan_ms))
+        .with_jitter(SimDuration::from_micros(topo.jitter_us))
+        .with_loss(LossModel::Iid { p: topo.loss * 2.0 });
+    for c in 0..gateways.len() - 1 {
+        sim.connect(gateways[c], gateways[c + 1], wan);
+    }
+    (sim, gateways, all)
+}
+
+fn fault_plan(f: &Faults, gateways: &[NodeId], all: &[NodeId], campuses: &[u8]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let (a, b) = (gateways[0], gateways[1]);
+    if f.flap_wan {
+        plan = plan.link_flap(a, b, SimTime::from_millis(40), SimTime::from_millis(90));
+    }
+    if f.spike_wan {
+        plan = plan.latency_spike(
+            a,
+            b,
+            SimTime::from_millis(100),
+            SimTime::from_millis(160),
+            SimDuration::from_millis(7),
+        );
+    }
+    if f.partition {
+        let first: Vec<NodeId> = all[..campuses[0] as usize].to_vec();
+        let rest: Vec<NodeId> = all[campuses[0] as usize..].to_vec();
+        plan = plan.partition_window(
+            &[&first, &rest],
+            SimTime::from_millis(170),
+            SimTime::from_millis(220),
+        );
+    }
+    if f.crash_node {
+        // Crash the second campus's gateway: mid-run restart re-arms timers.
+        plan = plan.crash(gateways[1], SimTime::from_millis(60), Some(SimTime::from_millis(140)));
+    }
+    plan
+}
+
+fn run(
+    seed: u64,
+    topo: &Topo,
+    faults: &Faults,
+    mode: EngineMode,
+) -> (u64, MetricsSnapshot, u64, SimTime) {
+    let (mut sim, gateways, all) = build(seed, topo);
+    sim.set_engine(mode);
+    sim.enable_trace(1 << 20);
+    sim.apply_fault_plan(fault_plan(faults, &gateways, &all, &topo.campuses));
+    sim.run_until(SimTime::from_millis(260));
+    (
+        sim.trace().unwrap().fingerprint(),
+        sim.metrics().snapshot().without_prefix("engine."),
+        sim.events_processed(),
+        sim.time(),
+    )
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topo> {
+    (
+        (proptest::collection::vec(2u8..5, 2..4), 50u64..2_000),
+        (10u64..60, 0.0f64..0.08, 0u64..3_000),
+    )
+        .prop_map(|((campuses, lan_us), (wan_ms, loss, jitter_us))| Topo {
+            campuses,
+            lan_us,
+            wan_ms,
+            loss,
+            jitter_us,
+        })
+}
+
+fn faults_strategy() -> impl Strategy<Value = Faults> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(flap_wan, spike_wan, partition, crash_node)| Faults {
+            flap_wan,
+            spike_wan,
+            partition,
+            crash_node,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_equals_serial(
+        seed in 0u64..1_000_000,
+        topo in topo_strategy(),
+        faults in faults_strategy(),
+    ) {
+        let serial = run(seed, &topo, &faults, EngineMode::Serial);
+        for shards in [2usize, 4] {
+            let sharded = run(seed, &topo, &faults, EngineMode::Sharded { shards });
+            prop_assert_eq!(serial.0, sharded.0, "trace fingerprint ({} shards)", shards);
+            prop_assert_eq!(&serial.1, &sharded.1, "metrics ({} shards)", shards);
+            prop_assert_eq!(serial.2, sharded.2, "event count ({} shards)", shards);
+            prop_assert_eq!(serial.3, sharded.3, "final clock ({} shards)", shards);
+        }
+    }
+}

@@ -20,6 +20,8 @@ options:
   --cases N     number of random schedules to run (default 200)
   --full        full-sized scenario (default is quick)
   --write DIR   save shrunk violations as regression JSON under DIR
+  --engine E    execution engine: serial | sharded | sharded:<n>
+                (results are byte-identical either way; default serial)
   --help        show this help
 ";
 
@@ -54,6 +56,14 @@ fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
             }
             "--write" => {
                 cfg.write_dir = Some(args.get(i + 1).ok_or("--write needs a directory")?.clone());
+                i += 2;
+            }
+            "--engine" => {
+                let raw = args.get(i + 1).ok_or("--engine needs a value")?;
+                let mode = metaclass_netsim::parse_engine(raw).ok_or_else(|| {
+                    format!("--engine: unknown engine '{raw}' (serial | sharded | sharded:<n>)")
+                })?;
+                metaclass_netsim::set_default_engine(mode);
                 i += 2;
             }
             other => return Err(format!("unknown flag '{other}'")),

@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
 # Performance + determinism gate for CI.
 #
-# Regenerates the quick benchmark sweeps and fails if either
-#   1. the emitted BENCH documents drift byte-for-byte from the committed
-#      baselines in results/baselines/ (determinism regression: the sweep
-#      output must be a pure function of experiment, scale, and seeds), or
-#   2. the sweep wall time regresses more than PERF_GATE_TOLERANCE percent
-#      (default 25) against the committed timing baseline, or
+# Regenerates the quick benchmark sweeps and fails if any of:
+#   1. the emitted BENCH documents (all registered experiments) drift
+#      byte-for-byte from the committed baselines in results/baselines/
+#      (determinism regression: the sweep output must be a pure function of
+#      experiment, scale, and seeds), or
+#   2. the e2/e5 quick sweep wall time regresses more than
+#      PERF_GATE_TOLERANCE percent (default 25) against the committed timing
+#      baseline, or
 #   3. the timer-wheel scheduler loses its throughput edge over the
 #      binary-heap baseline on the fan-out microbench (ratio below
-#      PERF_GATE_MIN_SPEEDUP, default 1.1).
+#      PERF_GATE_MIN_SPEEDUP, default 1.1), or
+#   4. the sharded execution engine fails to reproduce any BENCH document
+#      byte-for-byte (the committed baselines double as the correctness
+#      oracle for the parallel engine), or
+#   5. the engine_shard criterion bench shows the sharded engine off its
+#      budget on the E3 topology: on hosts with >= 4 cores, serial/sharded_4
+#      must reach PERF_GATE_SHARD_SPEEDUP (default 1.5); on smaller hosts a
+#      real speedup is physically impossible, so the gate instead bounds the
+#      coordination overhead at PERF_GATE_SHARD_OVERHEAD (default 2.0) times
+#      the serial wall time.
 #
 # Wall-clock numbers are recorded in results/TIMING_current.json — kept
 # strictly outside the BENCH documents so those stay byte-reproducible.
@@ -24,7 +35,10 @@ cd "$(dirname "$0")/.."
 
 TOLERANCE="${PERF_GATE_TOLERANCE:-25}"
 MIN_SPEEDUP="${PERF_GATE_MIN_SPEEDUP:-1.1}"
+SHARD_SPEEDUP="${PERF_GATE_SHARD_SPEEDUP:-1.5}"
+SHARD_OVERHEAD="${PERF_GATE_SHARD_OVERHEAD:-2.0}"
 BASELINES=results/baselines
+ALL_EXPS="e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14"
 UPDATE=0
 for arg in "$@"; do
     case "$arg" in
@@ -49,10 +63,7 @@ run cargo build --release --offline -q -p metaclass-bench --bin bench
 BENCH=target/release/bench
 mkdir -p results "$BASELINES"
 
-# --- fresh quick sweeps (the determinism source of truth) -------------------
-rm -f results/BENCH_e2.json results/BENCH_e5.json
-
-# Wall time: best of three runs per experiment, to shrug off scheduler noise.
+# --- wall time: best of three e2/e5 runs, to shrug off scheduler noise ------
 e2_ms=""
 e5_ms=""
 for _ in 1 2 3; do
@@ -67,11 +78,24 @@ for _ in 1 2 3; do
     if [ -z "$e2_ms" ] || [ "$d2" -lt "$e2_ms" ]; then e2_ms=$d2; fi
     if [ -z "$e5_ms" ] || [ "$d5" -lt "$e5_ms" ]; then e5_ms=$d5; fi
 done
-run "$BENCH" --validate results/BENCH_e2.json results/BENCH_e5.json
-
-printf '{\n  "e2_quick_ms": %s,\n  "e5_quick_ms": %s\n}\n' "$e2_ms" "$e5_ms" \
-    > results/TIMING_current.json
 echo "==> sweep wall time: e2=${e2_ms}ms e5=${e5_ms}ms"
+
+# --- fresh quick sweeps, both engines (the determinism source of truth) -----
+bench_files=""
+for exp in $ALL_EXPS; do
+    bench_files="$bench_files results/BENCH_$exp.json"
+done
+# shellcheck disable=SC2086  # word-splitting the file list is intentional
+rm -f $bench_files
+run "$BENCH" --exp all --seeds 4 --quick --json > /dev/null
+# shellcheck disable=SC2086
+run "$BENCH" --validate $bench_files
+
+serial_tmp=$(mktemp -d results/.serial.XXXXXX)
+trap 'rm -rf "$serial_tmp"' EXIT
+# shellcheck disable=SC2086
+cp $bench_files "$serial_tmp/"
+run "$BENCH" --exp all --seeds 4 --quick --json --engine sharded > /dev/null
 
 # --- scheduler microbench: wheel must beat the heap baseline ----------------
 run cargo bench --offline -p metaclass-netsim --bench sched -- sched_fanout
@@ -81,16 +105,43 @@ median_ns() {
 wheel_ns=$(median_ns target/criterion/sched_fanout/wheel/stream_100x100/estimates.json)
 heap_ns=$(median_ns target/criterion/sched_fanout/heap/stream_100x100/estimates.json)
 
+# --- engine microbench: serial vs sharded on the E3 topology ----------------
+run cargo bench --offline -p metaclass-bench --bench engine_shard -- engine_shard
+eng_serial_ns=$(median_ns target/criterion/engine_shard/e3_one_second_serial/estimates.json)
+eng_shard4_ns=$(median_ns target/criterion/engine_shard/e3_one_second_sharded_4/estimates.json)
+
+printf '{\n  "e2_quick_ms": %s,\n  "e5_quick_ms": %s,\n  "engine_shard_serial_ns": %s,\n  "engine_shard_sharded4_ns": %s\n}\n' \
+    "$e2_ms" "$e5_ms" "${eng_serial_ns:-0}" "${eng_shard4_ns:-0}" \
+    > results/TIMING_current.json
+
 if [ "$UPDATE" -eq 1 ]; then
-    cp results/BENCH_e2.json results/BENCH_e5.json "$BASELINES/"
+    # shellcheck disable=SC2086
+    cp $bench_files "$BASELINES/"
     cp results/TIMING_current.json "$BASELINES/TIMING_baseline.json"
     echo "==> baselines updated in $BASELINES/"
     exit 0
 fi
 
-# --- gate 1: byte-identical sweep documents ---------------------------------
 fail=0
-for exp in e2 e5; do
+
+# --- gate 4: the sharded engine reproduces every document byte-for-byte -----
+for exp in $ALL_EXPS; do
+    if ! cmp -s "$serial_tmp/BENCH_$exp.json" "results/BENCH_$exp.json"; then
+        echo "FAIL: BENCH_$exp.json differs between --engine serial and sharded" >&2
+        echo "      (the parallel engine broke byte-identical replay)" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -eq 0 ]; then
+    echo "==> sharded engine reproduced all $(echo "$ALL_EXPS" | wc -w) documents byte-for-byte"
+fi
+# Leave the serial output in results/ (identical when the gate holds, and the
+# unambiguous source of truth when it does not).
+# shellcheck disable=SC2086
+cp "$serial_tmp"/BENCH_*.json results/
+
+# --- gate 1: byte-identical sweep documents ---------------------------------
+for exp in $ALL_EXPS; do
     if ! cmp -s "$BASELINES/BENCH_$exp.json" "results/BENCH_$exp.json"; then
         echo "FAIL: results/BENCH_$exp.json drifted from $BASELINES/BENCH_$exp.json" >&2
         echo "      (determinism regression, or an intentional change needing" >&2
@@ -135,6 +186,38 @@ else
         fail=1
     else
         echo "==> wheel beats heap ${ratio}x on fan-out (>= ${MIN_SPEEDUP}x)"
+    fi
+fi
+
+# --- gate 5: sharded engine speedup (or overhead bound on small hosts) ------
+if [ -z "$eng_serial_ns" ] || [ -z "$eng_shard4_ns" ]; then
+    echo "FAIL: missing criterion estimates for the engine_shard benches" >&2
+    fail=1
+else
+    cores=$(nproc 2>/dev/null || echo 1)
+    eratio=$(awk -v s="$eng_serial_ns" -v p="$eng_shard4_ns" 'BEGIN { printf "%.2f", s / p }')
+    if [ "$cores" -ge 4 ]; then
+        ok=$(awk -v r="$eratio" -v m="$SHARD_SPEEDUP" 'BEGIN { print (r >= m) ? 1 : 0 }')
+        if [ "$ok" -ne 1 ]; then
+            echo "FAIL: sharded_4/serial E3 speedup ${eratio}x < required" \
+                "${SHARD_SPEEDUP}x on a ${cores}-core host" >&2
+            fail=1
+        else
+            echo "==> sharded engine ${eratio}x over serial on E3 (>= ${SHARD_SPEEDUP}x, ${cores} cores)"
+        fi
+    else
+        # Fewer worker cores than shards: the parallel engine cannot win, so
+        # hold the line on coordination overhead instead.
+        bound=$(awk -v s="$eng_serial_ns" -v o="$SHARD_OVERHEAD" 'BEGIN { printf "%.0f", s * o }')
+        ok=$(awk -v p="$eng_shard4_ns" -v b="$bound" 'BEGIN { print (p <= b) ? 1 : 0 }')
+        if [ "$ok" -ne 1 ]; then
+            echo "FAIL: sharded_4 E3 run ${eng_shard4_ns}ns exceeds" \
+                "${SHARD_OVERHEAD}x serial (${eng_serial_ns}ns) on a ${cores}-core host" >&2
+            fail=1
+        else
+            echo "==> sharded overhead within ${SHARD_OVERHEAD}x serial" \
+                "(${cores}-core host; speedup ratio ${eratio}x)"
+        fi
     fi
 fi
 
