@@ -36,7 +36,7 @@ fn usage() -> ! {
          \x20      bench --validate FILE...\n\
          \x20      bench simcheck [--seed N] [--cases N] [--full] [--write DIR] [--engine E]\n\
          \n\
-         \x20 --exp <id|all>   experiment to sweep (e1..e14), or every one\n\
+         \x20 --exp <id|all>   experiment to sweep (e1..e15), or every one\n\
          \x20 --seeds N        number of independent seeds (default 8)\n\
          \x20 --jobs N         worker threads (default: available cores)\n\
          \x20 --quick          reduced scale (same path cargo tests use)\n\

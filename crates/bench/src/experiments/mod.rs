@@ -7,6 +7,7 @@ pub mod e11_input_throughput;
 pub mod e12_vs_videoconf;
 pub mod e13_sync_ablation;
 pub mod e14_fault_recovery;
+pub mod e15_flash_crowd;
 pub mod e1_architecture;
 pub mod e2_latency_threshold;
 pub mod e3_scalability;
@@ -19,7 +20,7 @@ pub mod e9_seat_allocation;
 
 use crate::Experiment;
 
-/// Every experiment, in E1..E14 order.
+/// Every experiment, in E1..E15 order.
 pub fn all() -> &'static [&'static dyn Experiment] {
     &[
         &e1_architecture::E1Architecture,
@@ -36,6 +37,7 @@ pub fn all() -> &'static [&'static dyn Experiment] {
         &e12_vs_videoconf::E12VsVideoconf,
         &e13_sync_ablation::E13SyncAblation,
         &e14_fault_recovery::E14FaultRecovery,
+        &e15_flash_crowd::E15FlashCrowd,
     ]
 }
 
@@ -50,10 +52,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_e1_through_e14_with_unique_ids() {
+    fn registry_covers_e1_through_e15_with_unique_ids() {
         let ids: Vec<&str> = all().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 14);
-        for i in 1..=14 {
+        assert_eq!(ids.len(), 15);
+        for i in 1..=15 {
             assert!(ids.contains(&format!("e{i}").as_str()), "missing e{i}");
         }
         let mut unique = ids.clone();
@@ -66,7 +68,7 @@ mod tests {
     fn lookup_is_case_insensitive_and_rejects_unknown_ids() {
         assert_eq!(by_id("e3").unwrap().id(), "e3");
         assert_eq!(by_id("E14").unwrap().id(), "e14");
-        assert!(by_id("e15").is_none());
+        assert!(by_id("e16").is_none());
         assert!(by_id("").is_none());
     }
 
@@ -76,6 +78,6 @@ mod tests {
         assert!(titles.iter().all(|t| !t.is_empty()));
         titles.sort_unstable();
         titles.dedup();
-        assert_eq!(titles.len(), 14);
+        assert_eq!(titles.len(), 15);
     }
 }

@@ -51,6 +51,14 @@ pub struct CohortSpec {
     pub learners: u32,
     /// Their last-mile access class.
     pub access: LinkClass,
+    /// When the cohort starts joining (session time). Zero means at class
+    /// start; a later instant models a flash crowd arriving mid-session.
+    #[serde(default)]
+    pub joins_at: SimDuration,
+    /// Spacing between consecutive joins within the cohort (zero = everyone
+    /// at once).
+    #[serde(default)]
+    pub join_stagger: SimDuration,
 }
 
 /// Who a participant is.
@@ -211,9 +219,23 @@ impl SessionBuilder {
         self
     }
 
-    /// Adds a cohort of remote VR learners.
-    pub fn remote_cohort(mut self, region: Region, learners: u32, access: LinkClass) -> Self {
-        self.cohorts.push(CohortSpec { region, learners, access });
+    /// Adds a cohort of remote VR learners joining at class start.
+    pub fn remote_cohort(self, region: Region, learners: u32, access: LinkClass) -> Self {
+        self.remote_cohort_joining(region, learners, access, SimDuration::ZERO, SimDuration::ZERO)
+    }
+
+    /// Adds a cohort of remote VR learners that starts joining at
+    /// `joins_at`, one learner every `stagger` (zero = all at once) — the
+    /// flash-crowd shape of the overload experiments.
+    pub fn remote_cohort_joining(
+        mut self,
+        region: Region,
+        learners: u32,
+        access: LinkClass,
+        joins_at: SimDuration,
+        stagger: SimDuration,
+    ) -> Self {
+        self.cohorts.push(CohortSpec { region, learners, access, joins_at, join_stagger: stagger });
         self
     }
 
@@ -398,19 +420,24 @@ impl SessionBuilder {
         {
             let mut j = 0usize;
             for cohort in &self.cohorts {
-                for _ in 0..cohort.learners {
+                for i in 0..cohort.learners {
                     let avatar = AvatarId(10_000 + j as u32);
                     // Remote learners "sit" near the origin of their own
                     // home space; the cloud reseats them in the auditorium.
                     let script = MotionScript::SeatedLecture {
                         seat: Vec3::new(1.0 + (j % 5) as f64 * 0.8, 0.0, 1.0 + (j / 5 % 8) as f64),
                     };
+                    let mut ccfg = cfg.client;
+                    ccfg.join_delay =
+                        SimDuration::from_nanos(cohort.joins_at.as_nanos().saturating_add(
+                            cohort.join_stagger.as_nanos().saturating_mul(i as u64),
+                        ));
                     let node = sim.add_node(
                         format!("client-{avatar}"),
                         RemoteClientNode::new(
                             avatar,
                             cloud_id,
-                            cfg.client,
+                            ccfg,
                             script,
                             cfg.seed ^ ((avatar.0 as u64) << 16),
                         ),

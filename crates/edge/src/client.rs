@@ -1,5 +1,14 @@
 //! The remote VR client ("Digital Metaverse Classroom Online in VR", §3.2):
 //! a learner joining from home through a VR headset or computer.
+//!
+//! Joining is gated by the cloud's admission controller: the client sends
+//! [`ClassMsg::JoinRequest`] and retries with jittered exponential backoff
+//! (reusing the RFC 6298 [`RtoEstimator`] machinery) until admitted. Pose
+//! upload and interactions stay silent until then; clock probes always run,
+//! doubling as liveness probes — when they reveal that the serving cloud
+//! restarted (heartbeat-detected [`PeerEvent::Returned`]), the client
+//! re-joins from scratch with a reset backoff, so a join racing a server
+//! crash can never wedge.
 
 use std::collections::BTreeMap;
 
@@ -8,17 +17,24 @@ use metaclass_netsim::{Context, Node, NodeId, SimDuration, SimTime, Timer};
 use metaclass_sensors::{MotionScript, Trajectory};
 use metaclass_sync::{
     DeadReckoningConfig, DeadReckoningSender, InteractionEvent, JitterBuffer, JitterBufferConfig,
-    OffsetEstimator, ReliableSender, SnapshotSender,
+    OffsetEstimator, ReliableSender, RtoEstimator, SnapshotSender,
 };
 
+use crate::health::{HeartbeatConfig, PeerEvent, PeerHealth};
 use crate::messages::ClassMsg;
 
 const TAG_POSE: u64 = 30;
 const TAG_CLOCK: u64 = 31;
 const TAG_INTERACT: u64 = 32;
+const TAG_JOIN: u64 = 33;
 
 /// Retransmission timeout for the reliable interaction stream.
 const INTERACTION_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Initial/min/max timeout for join-request retries.
+const JOIN_RTO_INITIAL: SimDuration = SimDuration::from_millis(500);
+const JOIN_RTO_MIN: SimDuration = SimDuration::from_millis(250);
+const JOIN_RTO_MAX: SimDuration = SimDuration::from_secs(8);
 
 /// Tuning of a remote client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +49,12 @@ pub struct ClientConfig {
     pub jitter: JitterBufferConfig,
     /// Avatar codec configuration — must match the serving cloud's.
     pub codec: CodecConfig,
+    /// Failure detection toward the serving cloud, fed by clock-probe
+    /// replies (which double as liveness probes).
+    pub heartbeat: HeartbeatConfig,
+    /// How long after start the first join request goes out (cohorts use
+    /// this to stagger a flash crowd).
+    pub join_delay: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -43,8 +65,27 @@ impl Default for ClientConfig {
             dead_reckoning: DeadReckoningConfig::default(),
             jitter: JitterBufferConfig::default(),
             codec: CodecConfig::default(),
+            heartbeat: HeartbeatConfig {
+                interval: SimDuration::from_millis(500),
+                degraded_after: SimDuration::from_secs(2),
+                timeout: SimDuration::from_secs(5),
+                hold: SimDuration::from_secs(1),
+                degraded_stride: 4,
+            },
+            join_delay: SimDuration::ZERO,
         }
     }
+}
+
+/// Where the client stands with the cloud's admission controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinPhase {
+    /// `join_delay` has not elapsed; nothing sent yet.
+    Waiting,
+    /// A join request is in flight (or being retried with backoff).
+    Joining,
+    /// Admitted: pose upload and interactions are live.
+    Admitted,
 }
 
 /// A remote learner's VR client.
@@ -61,6 +102,18 @@ pub struct RemoteClientNode {
     interactions: ReliableSender<InteractionEvent>,
     interact_rng: metaclass_netsim::DetRng,
     hand_raised: bool,
+    join: JoinPhase,
+    join_rto: RtoEstimator,
+    join_rng: metaclass_netsim::DetRng,
+    join_attempt: u32,
+    join_started_at: Option<SimTime>,
+    /// Server-hinted earliest next join attempt (from a deferral).
+    earliest_rejoin: SimTime,
+    server_health: PeerHealth,
+    joins_sent: u64,
+    joins_deferred: u64,
+    joins_rejected: u64,
+    updates_received: u64,
 }
 
 impl RemoteClientNode {
@@ -86,6 +139,17 @@ impl RemoteClientNode {
             interactions: ReliableSender::new(INTERACTION_RTO),
             interact_rng: metaclass_netsim::DetRng::new(seed).derive(0x4942),
             hand_raised: false,
+            join: JoinPhase::Waiting,
+            join_rto: RtoEstimator::new(JOIN_RTO_INITIAL, JOIN_RTO_MIN, JOIN_RTO_MAX),
+            join_rng: metaclass_netsim::DetRng::new(seed).derive(0x4A4F),
+            join_attempt: 0,
+            join_started_at: None,
+            earliest_rejoin: SimTime::ZERO,
+            server_health: PeerHealth::new(cfg.heartbeat, SimTime::ZERO),
+            joins_sent: 0,
+            joins_deferred: 0,
+            joins_rejected: 0,
+            updates_received: 0,
         }
     }
 
@@ -108,6 +172,56 @@ impl RemoteClientNode {
     pub fn clock(&self) -> &OffsetEstimator {
         &self.clock
     }
+
+    /// Whether the cloud has admitted this client.
+    pub fn is_admitted(&self) -> bool {
+        self.join == JoinPhase::Admitted
+    }
+
+    /// Display updates received so far (the client-side goodput counter).
+    pub fn updates_received(&self) -> u64 {
+        self.updates_received
+    }
+
+    /// Join-protocol totals: (requests sent, deferrals seen, rejections
+    /// seen).
+    pub fn join_stats(&self) -> (u64, u64, u64) {
+        (self.joins_sent, self.joins_deferred, self.joins_rejected)
+    }
+
+    /// Sends one join request and arms the jittered-backoff retry timer.
+    fn send_join(&mut self, ctx: &mut Context<'_, ClassMsg>, now: SimTime) {
+        self.join = JoinPhase::Joining;
+        self.join_attempt += 1;
+        self.joins_sent += 1;
+        self.join_started_at.get_or_insert(now);
+        let msg = ClassMsg::JoinRequest { avatar: self.avatar, attempt: self.join_attempt };
+        let size = msg.wire_bytes();
+        ctx.metrics().inc("client.joins_sent");
+        ctx.send(self.server, msg, size);
+        let retry = self.jittered(self.join_rto.rto());
+        self.join_rto.backoff();
+        ctx.set_timer(retry, TAG_JOIN);
+    }
+
+    /// ±15% deterministic jitter so a flash crowd's retries decorrelate.
+    fn jittered(&mut self, base: SimDuration) -> SimDuration {
+        base.mul_f64(self.join_rng.range_f64(0.85, 1.15))
+    }
+
+    /// The serving cloud returned from an outage (or crash-restarted): its
+    /// admission state is gone, so re-join from scratch with fresh backoff.
+    /// Idempotent admission means this is safe even if the cloud never
+    /// actually lost us — it simply re-answers `JoinAccepted`.
+    fn rejoin_after_return(&mut self, ctx: &mut Context<'_, ClassMsg>, now: SimTime) {
+        if self.join == JoinPhase::Waiting {
+            return;
+        }
+        ctx.metrics().inc("client.rejoins_after_server_return");
+        self.join_rto = RtoEstimator::new(JOIN_RTO_INITIAL, JOIN_RTO_MIN, JOIN_RTO_MAX);
+        self.earliest_rejoin = now;
+        self.send_join(ctx, now);
+    }
 }
 
 impl Node<ClassMsg> for RemoteClientNode {
@@ -116,33 +230,44 @@ impl Node<ClassMsg> for RemoteClientNode {
         ctx.set_timer(SimDuration::from_millis(1), TAG_CLOCK);
         let first = SimDuration::from_secs_f64(self.interact_rng.range_f64(5.0, 30.0));
         ctx.set_timer(first, TAG_INTERACT);
+        ctx.set_timer(self.cfg.join_delay, TAG_JOIN);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ClassMsg>, timer: Timer) {
         let now = ctx.now();
         match timer.tag {
             TAG_POSE => {
-                let truth = self.trajectory.state_at(now.as_secs_f64());
-                if self.dead_reckoner.should_send(now, &truth) {
-                    self.dead_reckoner.mark_sent(now, truth);
-                    let frame = self.uplink.encode(&truth);
-                    let msg = ClassMsg::ClientPose { avatar: self.avatar, frame, captured_at: now };
-                    let size = msg.wire_bytes();
-                    ctx.metrics().inc("client.poses_sent");
-                    ctx.metrics().add("client.pose_bytes", size as u64);
-                    ctx.send(self.server, msg, size);
-                } else {
-                    self.dead_reckoner.mark_suppressed();
-                }
-                for (seq, event) in self.interactions.due_retransmits(now) {
-                    let msg =
-                        ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
-                    let size = msg.wire_bytes();
-                    ctx.send(self.server, msg, size);
+                if self.join == JoinPhase::Admitted {
+                    let truth = self.trajectory.state_at(now.as_secs_f64());
+                    if self.dead_reckoner.should_send(now, &truth) {
+                        self.dead_reckoner.mark_sent(now, truth);
+                        let frame = self.uplink.encode(&truth);
+                        let msg =
+                            ClassMsg::ClientPose { avatar: self.avatar, frame, captured_at: now };
+                        let size = msg.wire_bytes();
+                        ctx.metrics().inc("client.poses_sent");
+                        ctx.metrics().add("client.pose_bytes", size as u64);
+                        ctx.send(self.server, msg, size);
+                    } else {
+                        self.dead_reckoner.mark_suppressed();
+                    }
+                    for (seq, event) in self.interactions.due_retransmits(now) {
+                        let msg = ClassMsg::Interaction {
+                            avatar: self.avatar,
+                            seq,
+                            event,
+                            captured_at: now,
+                        };
+                        let size = msg.wire_bytes();
+                        ctx.send(self.server, msg, size);
+                    }
                 }
                 ctx.set_timer(self.cfg.pose_rate, TAG_POSE);
             }
             TAG_CLOCK => {
+                if self.server_health.poll(now) == Some(PeerEvent::Down) {
+                    ctx.metrics().inc("client.server_outages_seen");
+                }
                 self.next_nonce += 1;
                 let msg = ClassMsg::ClockProbe { nonce: self.next_nonce, client_send: now };
                 let size = msg.wire_bytes();
@@ -150,19 +275,36 @@ impl Node<ClassMsg> for RemoteClientNode {
                 ctx.set_timer(self.cfg.clock_probe_interval, TAG_CLOCK);
             }
             TAG_INTERACT => {
-                self.hand_raised = !self.hand_raised;
-                let (seq, wire) = self
-                    .interactions
-                    .send(InteractionEvent::RaiseHand { raised: self.hand_raised }, now);
-                if let Some(event) = wire {
-                    let msg =
-                        ClassMsg::Interaction { avatar: self.avatar, seq, event, captured_at: now };
-                    let size = msg.wire_bytes();
-                    ctx.send(self.server, msg, size);
+                if self.join == JoinPhase::Admitted {
+                    self.hand_raised = !self.hand_raised;
+                    let (seq, wire) = self
+                        .interactions
+                        .send(InteractionEvent::RaiseHand { raised: self.hand_raised }, now);
+                    if let Some(event) = wire {
+                        let msg = ClassMsg::Interaction {
+                            avatar: self.avatar,
+                            seq,
+                            event,
+                            captured_at: now,
+                        };
+                        let size = msg.wire_bytes();
+                        ctx.send(self.server, msg, size);
+                    }
+                    ctx.metrics().inc("client.interactions_sent");
                 }
-                ctx.metrics().inc("client.interactions_sent");
                 let next = SimDuration::from_secs_f64(self.interact_rng.range_f64(15.0, 60.0));
                 ctx.set_timer(next, TAG_INTERACT);
+            }
+            TAG_JOIN => {
+                if self.join == JoinPhase::Admitted {
+                    return;
+                }
+                if now < self.earliest_rejoin {
+                    // A deferral hinted at a later retry: honor it.
+                    ctx.set_timer(self.earliest_rejoin.duration_since(now), TAG_JOIN);
+                    return;
+                }
+                self.send_join(ctx, now);
             }
             _ => {}
         }
@@ -170,8 +312,14 @@ impl Node<ClassMsg> for RemoteClientNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, ClassMsg>, _from: NodeId, msg: ClassMsg) {
         let now = ctx.now();
+        // Any inbound traffic proves the server alive; a Down → Up flip
+        // means it was silent past the timeout — assume restart and re-join.
+        if self.server_health.on_heard(now) == Some(PeerEvent::Returned) {
+            self.rejoin_after_return(ctx, now);
+        }
         match msg {
             ClassMsg::DisplayUpdate { avatar, state, captured_at } => {
+                self.updates_received += 1;
                 ctx.metrics()
                     .histogram("client.display_latency_ns")
                     .record(now.duration_since(captured_at).as_nanos());
@@ -180,6 +328,40 @@ impl Node<ClassMsg> for RemoteClientNode {
                     .or_insert_with(|| JitterBuffer::new(self.cfg.jitter))
                     .push(captured_at, now, state);
             }
+            ClassMsg::JoinAccepted { .. } if self.join != JoinPhase::Admitted => {
+                self.join = JoinPhase::Admitted;
+                ctx.metrics().inc("client.joins_admitted");
+                if let Some(started) = self.join_started_at {
+                    ctx.metrics()
+                        .histogram("client.join_wait_ns")
+                        .record(now.duration_since(started).as_nanos());
+                }
+            }
+            ClassMsg::JoinAccepted { .. } => {}
+            ClassMsg::JoinDeferred { retry_after, .. } if self.join == JoinPhase::Joining => {
+                self.joins_deferred += 1;
+                ctx.metrics().inc("client.joins_deferred");
+                self.earliest_rejoin = now.saturating_add(retry_after);
+            }
+            ClassMsg::JoinDeferred { .. } => {}
+            ClassMsg::JoinRejected { .. } => match self.join {
+                JoinPhase::Joining => {
+                    self.joins_rejected += 1;
+                    ctx.metrics().inc("client.joins_rejected");
+                    // Rejection is stronger than deferral: back off extra.
+                    self.join_rto.backoff();
+                    self.earliest_rejoin = now.saturating_add(self.join_rto.rto());
+                }
+                JoinPhase::Admitted => {
+                    // The server no longer knows us (it restarted and wiped
+                    // its admission set): re-join from scratch.
+                    ctx.metrics().inc("client.rejoins_after_eviction");
+                    self.join_rto = RtoEstimator::new(JOIN_RTO_INITIAL, JOIN_RTO_MIN, JOIN_RTO_MAX);
+                    self.earliest_rejoin = now;
+                    self.send_join(ctx, now);
+                }
+                JoinPhase::Waiting => {}
+            },
             ClassMsg::AvatarAck { seq, .. } => {
                 self.uplink.on_ack(seq);
             }

@@ -13,8 +13,9 @@ use metaclass_avatar::{retarget, AnchorFrame, AvatarCodec, AvatarId, AvatarState
 use metaclass_netsim::SimDuration;
 use metaclass_netsim::{Context, Node, NodeId, SimTime, Timer};
 use metaclass_sync::{
-    DeadReckoningSender, InteractionEvent, InterestConfig, InterestManager, PoseFrame,
-    ReliableReceiver, ReliableSender, SnapshotReceiver, SnapshotSender, SubscriberId, Viewpoint,
+    BoundedQueue, DeadReckoningSender, InteractionEvent, InterestConfig, InterestManager,
+    OverflowPolicy, PoseFrame, ReliableReceiver, ReliableSender, SnapshotReceiver, SnapshotSender,
+    SubscriberId, Viewpoint,
 };
 
 /// Retransmission timeout for relayed interaction streams.
@@ -23,6 +24,7 @@ const INTERACTION_RTO: SimDuration = SimDuration::from_millis(150);
 use crate::edge_server::ServerConfig;
 use crate::health::{PeerEvent, PeerHealth, RemoteAvatarPresentation};
 use crate::messages::ClassMsg;
+use crate::overload::{AdmissionController, AdmissionOutcome, LoadShedder, ShedLevel};
 use crate::seat::{ClassroomLayout, SeatAllocator};
 
 const TAG_FANOUT: u64 = 20;
@@ -69,14 +71,24 @@ pub struct CloudServerNode {
     interaction_rx: BTreeMap<AvatarId, ReliableReceiver<InteractionEvent>>,
     /// Outbound relays of client interactions toward the edges.
     interaction_tx: BTreeMap<(NodeId, AvatarId), ReliableSender<InteractionEvent>>,
-    /// Every interaction observed in the VR classroom, in delivery order.
-    interaction_log: Vec<(AvatarId, InteractionEvent)>,
+    /// Every interaction observed in the VR classroom, in delivery order
+    /// (bounded, drop-new: under overload old evidence beats new noise).
+    interaction_log: BoundedQueue<(AvatarId, InteractionEvent)>,
     /// Which node fed each avatar's inbound stream (for health attribution).
     sources: BTreeMap<AvatarId, NodeId>,
     /// Failure detector per edge server.
     edge_health: BTreeMap<NodeId, PeerHealth>,
     /// Fan-out tick counter (drives degraded-stride sending).
     tick_count: u64,
+    /// Join admission gate for remote clients.
+    admission: AdmissionController,
+    /// Fidelity ladder driven by fan-out pressure.
+    shedder: LoadShedder,
+    /// Per-client refresh intents deferred past the egress budget
+    /// (drop-oldest: a newer refresh supersedes a stale one).
+    fanout_backlog: BTreeMap<AvatarId, BoundedQueue<AvatarId>>,
+    /// Clients already hinted to re-join this tick (rate-limits the hint).
+    rejoin_hinted: std::collections::BTreeSet<AvatarId>,
 }
 
 impl CloudServerNode {
@@ -107,11 +119,53 @@ impl CloudServerNode {
             sent_marks: BTreeMap::new(),
             interaction_rx: BTreeMap::new(),
             interaction_tx: BTreeMap::new(),
-            interaction_log: Vec::new(),
+            interaction_log: BoundedQueue::new(
+                cfg.overload.interaction_log_capacity,
+                OverflowPolicy::DropNewest,
+            ),
             sources: BTreeMap::new(),
             edge_health,
             tick_count: 0,
+            admission: AdmissionController::new(cfg.overload.admission, SimTime::ZERO),
+            shedder: LoadShedder::new(cfg.overload.shed),
+            fanout_backlog: BTreeMap::new(),
+            rejoin_hinted: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// The join admission gate (for tests and invariant oracles).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The load-shedding ladder (for tests and invariant oracles).
+    pub fn shedder(&self) -> &LoadShedder {
+        &self.shedder
+    }
+
+    /// Every bounded queue this server owns, as `(name, max depth ever,
+    /// capacity)` — invariant oracles assert depth never exceeds capacity.
+    pub fn overload_queues(&self) -> Vec<(String, usize, usize)> {
+        let mut out = vec![
+            (
+                "cloud.interaction_log".to_string(),
+                self.interaction_log.max_depth(),
+                self.interaction_log.capacity(),
+            ),
+            (
+                "cloud.admission_waiting".to_string(),
+                self.admission.waiting_max_depth(),
+                self.admission.waiting_capacity(),
+            ),
+        ];
+        for (client, backlog) in &self.fanout_backlog {
+            out.push((
+                format!("cloud.fanout_backlog[{}]", client.0),
+                backlog.max_depth(),
+                backlog.capacity(),
+            ));
+        }
+        out
     }
 
     /// The failure detector tracking `edge`, if it is one of ours.
@@ -186,9 +240,10 @@ impl CloudServerNode {
         self.latest.get(&avatar).map(|(s, _)| s)
     }
 
-    /// Every interaction event observed in the VR classroom.
-    pub fn interaction_log(&self) -> &[(AvatarId, InteractionEvent)] {
-        &self.interaction_log
+    /// Every interaction event observed in the VR classroom (the retained
+    /// bounded window, oldest first).
+    pub fn interaction_log(&self) -> Vec<(AvatarId, InteractionEvent)> {
+        self.interaction_log.iter().cloned().collect()
     }
 
     fn on_interaction(
@@ -231,7 +286,9 @@ impl CloudServerNode {
                     }
                 }
             }
-            self.interaction_log.push((avatar, ev));
+            if self.interaction_log.push((avatar, ev)).is_some() {
+                ctx.metrics().inc("overload.interaction_log_dropped");
+            }
         }
     }
 
@@ -305,8 +362,46 @@ impl CloudServerNode {
         }
     }
 
-    fn fan_out(&mut self, ctx: &mut Context<'_, ClassMsg>) {
-        let clients: Vec<(AvatarId, NodeId)> = self.clients.iter().map(|(a, n)| (*a, *n)).collect();
+    /// One budgeted, interest-managed fan-out pass; returns the number of
+    /// fresh updates *demanded* this tick (sent or deferred), the shedder's
+    /// pressure signal.
+    fn fan_out(&mut self, ctx: &mut Context<'_, ClassMsg>) -> usize {
+        let level = self.shedder.level();
+        if !level.sends_on_tick(self.tick_count) {
+            ctx.metrics().inc("overload.fanout_ticks_shed");
+            // A frozen spectator tick sends nothing, so deferred refreshes
+            // would otherwise sit in the backlog forever, pinning the
+            // pressure signal high and wedging the ladder at Spectator.
+            // Discarding them is safe: they are only service-order hints,
+            // and interest selection re-picks any still-stale pair once
+            // fan-out resumes.
+            if level == ShedLevel::Spectator {
+                let discarded: usize = self.fanout_backlog.values().map(|q| q.len()).sum();
+                if discarded > 0 {
+                    for q in self.fanout_backlog.values_mut() {
+                        q.clear();
+                    }
+                    ctx.metrics().add("overload.spectator_backlog_discarded", discarded as u64);
+                }
+            }
+            return 0;
+        }
+        let mut clients: Vec<(AvatarId, NodeId)> = self
+            .clients
+            .iter()
+            .filter(|(a, _)| self.admission.is_admitted(a.0 as u64))
+            .map(|(a, n)| (*a, *n))
+            .collect();
+        if clients.is_empty() {
+            return 0;
+        }
+        // Fairness under budget exhaustion: rotate the service order so the
+        // budget does not starve the same tail of clients every tick.
+        let offset = (self.tick_count as usize) % clients.len();
+        clients.rotate_left(offset);
+        let budget_total = self.cfg.overload.egress_budget_per_tick.max(1);
+        let mut sent_this_tick = 0usize;
+        let mut demand = 0usize;
         for (client_avatar, client_node) in clients {
             let viewpoint = match self.latest.get(&client_avatar) {
                 Some((st, _)) => {
@@ -314,15 +409,27 @@ impl CloudServerNode {
                 }
                 None => continue, // client has not joined with a pose yet
             };
-            let selected = self.interest.select(
-                SubscriberId(client_avatar.0),
-                viewpoint,
-                self.fanout.budget_per_client + 1, // the client itself may be selected
-            );
-            for avatar in selected {
-                if avatar == client_avatar {
+            // Refreshes deferred by an earlier budget crunch go first, then
+            // this tick's interest selection.
+            let mut wanted: Vec<AvatarId> = Vec::new();
+            if let Some(backlog) = self.fanout_backlog.get_mut(&client_avatar) {
+                while let Some(avatar) = backlog.pop() {
+                    wanted.push(avatar);
+                }
+            }
+            let sub = SubscriberId(client_avatar.0);
+            let budget = self.fanout.budget_per_client + 1; // self may be selected
+            let selected = match level.min_importance() {
+                Some(min) => self.interest.select_with_min_importance(sub, viewpoint, budget, min),
+                None => self.interest.select(sub, viewpoint, budget),
+            };
+            wanted.extend(selected);
+            let mut considered: Vec<AvatarId> = Vec::new();
+            for avatar in wanted {
+                if avatar == client_avatar || considered.contains(&avatar) {
                     continue;
                 }
+                considered.push(avatar);
                 if let Some((state, captured_at)) = self.latest.get(&avatar) {
                     // Skip states the client already has.
                     let mark =
@@ -330,7 +437,24 @@ impl CloudServerNode {
                     if *captured_at <= *mark {
                         continue;
                     }
+                    demand += 1;
+                    if sent_this_tick >= budget_total {
+                        // Egress budget exhausted: defer the refresh.
+                        let backlog =
+                            self.fanout_backlog.entry(client_avatar).or_insert_with(|| {
+                                BoundedQueue::new(
+                                    self.cfg.overload.backlog_capacity,
+                                    OverflowPolicy::DropOldest,
+                                )
+                            });
+                        if backlog.push(avatar).is_some() {
+                            ctx.metrics().inc("overload.backlog_dropped");
+                        }
+                        ctx.metrics().inc("overload.fanout_deferred");
+                        continue;
+                    }
                     *mark = *captured_at;
+                    sent_this_tick += 1;
                     let msg = ClassMsg::DisplayUpdate {
                         avatar,
                         state: *state,
@@ -343,6 +467,19 @@ impl CloudServerNode {
                 }
             }
         }
+        demand
+    }
+
+    /// Smoothed-pressure input for the ladder: whichever is worse of this
+    /// tick's demand-to-budget ratio and the backlog fill fraction.
+    fn utilization(&self, demand: usize) -> f64 {
+        let budget = self.cfg.overload.egress_budget_per_tick.max(1);
+        let demand_ratio = demand as f64 / budget as f64;
+        let backlog_len: usize = self.fanout_backlog.values().map(|q| q.len()).sum();
+        let backlog_cap: usize = self.fanout_backlog.values().map(|q| q.capacity()).sum();
+        let backlog_ratio =
+            if backlog_cap == 0 { 0.0 } else { backlog_len as f64 / backlog_cap as f64 };
+        demand_ratio.max(backlog_ratio)
     }
 }
 
@@ -367,9 +504,28 @@ impl Node<ClassMsg> for CloudServerNode {
         }
         if timer.tag == TAG_FANOUT {
             self.tick_count += 1;
+            self.rejoin_hinted.clear();
             self.poll_edges(ctx);
-            self.fan_out(ctx);
+            // Admit parked joiners as admission tokens refill.
+            for key in self.admission.poll(ctx.now()) {
+                let avatar = AvatarId(key as u32);
+                if let Some(&node) = self.clients.get(&avatar) {
+                    ctx.metrics().inc("overload.joins_admitted");
+                    let msg = ClassMsg::JoinAccepted { avatar };
+                    let size = msg.wire_bytes();
+                    ctx.send(node, msg, size);
+                }
+            }
+            let demand = self.fan_out(ctx);
             let now = ctx.now();
+            let utilization = self.utilization(demand);
+            ctx.metrics()
+                .histogram("overload.utilization_milli")
+                .record((utilization * 1000.0) as u64);
+            if let Some(t) = self.shedder.observe(now, utilization) {
+                ctx.metrics().inc("overload.shed_transitions");
+                ctx.metrics().add("overload.shed_level", t.to.rung() as u64);
+            }
             for ((peer, avatar), tx) in self.interaction_tx.iter_mut() {
                 for (seq, event) in tx.due_retransmits(now) {
                     let msg =
@@ -393,7 +549,51 @@ impl Node<ClassMsg> for CloudServerNode {
             }
         }
         match msg {
+            ClassMsg::JoinRequest { avatar, .. } => {
+                let now = ctx.now();
+                let reply = if self.clients.contains_key(&avatar) {
+                    match self.admission.request(avatar.0 as u64, now) {
+                        AdmissionOutcome::Admitted => {
+                            ctx.metrics().inc("overload.joins_admitted");
+                            ClassMsg::JoinAccepted { avatar }
+                        }
+                        AdmissionOutcome::Deferred { position, retry_after } => {
+                            ctx.metrics().inc("overload.joins_deferred");
+                            ClassMsg::JoinDeferred {
+                                avatar,
+                                retry_after,
+                                position: position as u32,
+                            }
+                        }
+                        AdmissionOutcome::Rejected => {
+                            ctx.metrics().inc("overload.joins_rejected");
+                            ClassMsg::JoinRejected { avatar }
+                        }
+                    }
+                } else {
+                    // Not in the deployment roster: never admissible.
+                    ctx.metrics().inc("overload.joins_unknown");
+                    ClassMsg::JoinRejected { avatar }
+                };
+                let size = reply.wire_bytes();
+                ctx.send(from, reply, size);
+            }
             ClassMsg::ClientPose { avatar, frame, captured_at } => {
+                if self.clients.contains_key(&avatar)
+                    && !self.admission.is_admitted(avatar.0 as u64)
+                {
+                    // Not (or no longer — e.g. after a crash-restart that
+                    // wiped the admission set) admitted: drop the pose and
+                    // hint the client to re-join, once per fan-out tick.
+                    ctx.metrics().inc("overload.unadmitted_poses_dropped");
+                    if self.rejoin_hinted.insert(avatar) {
+                        ctx.metrics().inc("overload.rejoin_hints");
+                        let hint = ClassMsg::JoinRejected { avatar };
+                        let size = hint.wire_bytes();
+                        ctx.send(from, hint, size);
+                    }
+                    return;
+                }
                 self.handle_stream(ctx, from, avatar, frame, captured_at, None);
             }
             ClassMsg::AvatarUpdate { avatar, frame, captured_at, anchor } => {
@@ -415,6 +615,18 @@ impl Node<ClassMsg> for CloudServerNode {
                 ctx.send(from, reply, size);
             }
             ClassMsg::Interaction { avatar, seq, event, captured_at } => {
+                if self.clients.contains_key(&avatar)
+                    && !self.admission.is_admitted(avatar.0 as u64)
+                {
+                    ctx.metrics().inc("overload.unadmitted_interactions_dropped");
+                    if self.rejoin_hinted.insert(avatar) {
+                        ctx.metrics().inc("overload.rejoin_hints");
+                        let hint = ClassMsg::JoinRejected { avatar };
+                        let size = hint.wire_bytes();
+                        ctx.send(from, hint, size);
+                    }
+                    return;
+                }
                 self.on_interaction(ctx, from, avatar, seq, event, captured_at);
             }
             ClassMsg::InteractionAck { avatar, seq } => {
@@ -447,6 +659,12 @@ impl Node<ClassMsg> for CloudServerNode {
             health.reset();
         }
         self.tick_count = 0;
+        // The admission set is volatile: restarted clouds re-admit returning
+        // clients (whose un-admitted traffic triggers a re-join hint).
+        self.admission.reset(SimTime::ZERO);
+        self.shedder.reset();
+        self.fanout_backlog.clear();
+        self.rejoin_hinted.clear();
     }
 }
 

@@ -16,8 +16,8 @@ use metaclass_avatar::{
 use metaclass_netsim::{Context, Node, NodeId, SimDuration, SimTime, Timer};
 use metaclass_sensors::PoseFusion;
 use metaclass_sync::{
-    DeadReckoningConfig, DeadReckoningSender, InteractionEvent, ReliableReceiver, ReliableSender,
-    SnapshotReceiver, SnapshotSender,
+    BoundedQueue, DeadReckoningConfig, DeadReckoningSender, InteractionEvent, OverflowPolicy,
+    ReliableReceiver, ReliableSender, SnapshotReceiver, SnapshotSender,
 };
 
 /// Retransmission timeout for relayed interaction streams.
@@ -25,6 +25,7 @@ const INTERACTION_RTO: SimDuration = SimDuration::from_millis(150);
 
 use crate::health::{HeartbeatConfig, PeerEvent, PeerHealth, RemoteAvatarPresentation};
 use crate::messages::ClassMsg;
+use crate::overload::{LoadShedder, OverloadConfig, ShedLevel};
 use crate::seat::{ClassroomLayout, SeatAllocator};
 
 const TAG_TICK: u64 = 10;
@@ -43,6 +44,8 @@ pub struct ServerConfig {
     pub codec: CodecConfig,
     /// Heartbeat failure detection and degradation tuning.
     pub heartbeat: HeartbeatConfig,
+    /// Flash-crowd overload control (admission, bounded queues, shedding).
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +56,7 @@ impl Default for ServerConfig {
             keyframe_interval: 60,
             codec: CodecConfig::default(),
             heartbeat: HeartbeatConfig::default(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -77,14 +81,20 @@ pub struct EdgeServerNode {
     interaction_rx: BTreeMap<AvatarId, ReliableReceiver<InteractionEvent>>,
     /// Outbound relays of local avatars' interactions, per (peer, avatar).
     interaction_tx: BTreeMap<(NodeId, AvatarId), ReliableSender<InteractionEvent>>,
-    /// Every interaction observed by this classroom, in arrival order.
-    interaction_log: Vec<(AvatarId, InteractionEvent)>,
+    /// Every interaction observed by this classroom, in arrival order
+    /// (bounded, drop-new: under overload old evidence beats new noise).
+    interaction_log: BoundedQueue<(AvatarId, InteractionEvent)>,
     /// Failure detector per peer server.
     peer_health: BTreeMap<NodeId, PeerHealth>,
     /// Replication tick counter (drives degraded-stride sending).
     tick_count: u64,
     /// Remote avatars currently pinned by a frozen source peer.
     frozen: BTreeMap<AvatarId, bool>,
+    /// Fidelity ladder driven by replication pressure.
+    shedder: LoadShedder,
+    /// Per-peer avatar refreshes deferred past the egress budget
+    /// (drop-oldest: a newer refresh supersedes a stale one).
+    egress_backlog: BTreeMap<NodeId, BoundedQueue<AvatarId>>,
 }
 
 impl EdgeServerNode {
@@ -120,11 +130,39 @@ impl EdgeServerNode {
             remote_latest: BTreeMap::new(),
             interaction_rx: BTreeMap::new(),
             interaction_tx: BTreeMap::new(),
-            interaction_log: Vec::new(),
+            interaction_log: BoundedQueue::new(
+                cfg.overload.interaction_log_capacity,
+                OverflowPolicy::DropNewest,
+            ),
             peer_health,
             tick_count: 0,
             frozen: BTreeMap::new(),
+            shedder: LoadShedder::new(cfg.overload.shed),
+            egress_backlog: BTreeMap::new(),
         }
+    }
+
+    /// The load-shedding ladder (for tests and invariant oracles).
+    pub fn shedder(&self) -> &LoadShedder {
+        &self.shedder
+    }
+
+    /// Every bounded queue this server owns, as `(name, max depth ever,
+    /// capacity)` — invariant oracles assert depth never exceeds capacity.
+    pub fn overload_queues(&self) -> Vec<(String, usize, usize)> {
+        let mut out = vec![(
+            "edge.interaction_log".to_string(),
+            self.interaction_log.max_depth(),
+            self.interaction_log.capacity(),
+        )];
+        for (peer, backlog) in &self.egress_backlog {
+            out.push((
+                format!("edge.egress_backlog[{}]", peer.index()),
+                backlog.max_depth(),
+                backlog.capacity(),
+            ));
+        }
+        out
     }
 
     /// Latest retargeted state of a remote avatar, if any.
@@ -154,9 +192,9 @@ impl EdgeServerNode {
     }
 
     /// Every interaction event observed in this classroom, in order of
-    /// in-sequence delivery.
-    pub fn interaction_log(&self) -> &[(AvatarId, InteractionEvent)] {
-        &self.interaction_log
+    /// in-sequence delivery (the retained bounded window, oldest first).
+    pub fn interaction_log(&self) -> Vec<(AvatarId, InteractionEvent)> {
+        self.interaction_log.iter().cloned().collect()
     }
 
     /// The failure detector tracking `peer`, if it is one of this server's
@@ -289,12 +327,84 @@ impl EdgeServerNode {
                     }
                 }
             }
-            self.interaction_log.push((avatar, ev));
+            if self.interaction_log.push((avatar, ev)).is_some() {
+                ctx.metrics().inc("overload.interaction_log_dropped");
+            }
         }
     }
 
-    fn replicate_local(&mut self, ctx: &mut Context<'_, ClassMsg>) {
+    /// Sends one avatar update toward `peer`, creating the stream on demand.
+    fn send_update(
+        &mut self,
+        ctx: &mut Context<'_, ClassMsg>,
+        peer: NodeId,
+        avatar: AvatarId,
+        estimate: AvatarState,
+        now: SimTime,
+    ) {
+        let anchor = self
+            .local_anchors
+            .get(&avatar)
+            .copied()
+            .unwrap_or_else(|| AnchorFrame::seat(Default::default()));
+        let sender = self.senders.entry((peer, avatar)).or_insert_with(|| {
+            SnapshotSender::new(AvatarCodec::new(self.cfg.codec), self.cfg.keyframe_interval)
+        });
+        let frame = sender.encode(&estimate);
+        let msg = ClassMsg::AvatarUpdate { avatar, frame, captured_at: now, anchor };
+        let size = msg.wire_bytes();
+        ctx.metrics().inc("edge.updates_sent");
+        ctx.metrics().add("edge.update_bytes", size as u64);
+        ctx.send(peer, msg, size);
+    }
+
+    /// One budgeted replication pass; returns the number of (peer, avatar)
+    /// sends *demanded* this tick, the shedder's pressure signal.
+    fn replicate_local(&mut self, ctx: &mut Context<'_, ClassMsg>) -> usize {
+        let level = self.shedder.level();
+        if !level.sends_on_tick(self.tick_count) {
+            ctx.metrics().inc("overload.replicate_ticks_shed");
+            // See the cloud's fan-out: a Spectator tick must not leave the
+            // backlog pinning utilization high, or the ladder never
+            // recovers. Deferred refreshes are re-selected by the
+            // dead-reckoning check once replication resumes.
+            if level == ShedLevel::Spectator {
+                let discarded: usize = self.egress_backlog.values().map(|q| q.len()).sum();
+                if discarded > 0 {
+                    for q in self.egress_backlog.values_mut() {
+                        q.clear();
+                    }
+                    ctx.metrics().add("overload.spectator_backlog_discarded", discarded as u64);
+                }
+            }
+            return 0;
+        }
         let now = ctx.now();
+        let budget = self.cfg.overload.egress_budget_per_tick.max(1);
+        let mut sent_per_peer: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut flushed: Vec<(NodeId, AvatarId)> = Vec::new();
+        let mut demand = 0usize;
+        // Refreshes deferred by an earlier budget crunch go out first, from
+        // the avatar's *current* estimate, bypassing dead-reckoning
+        // suppression — so no peer is starved of an update it was owed.
+        for peer in self.peers.clone() {
+            loop {
+                if *sent_per_peer.entry(peer).or_insert(0) >= budget {
+                    break;
+                }
+                let Some(avatar) = self.egress_backlog.get_mut(&peer).and_then(|q| q.pop()) else {
+                    break;
+                };
+                let estimate = match self.fusion.get_mut(&avatar) {
+                    Some(f) if f.is_initialized() => f.estimate_at(now),
+                    _ => continue,
+                };
+                demand += 1;
+                self.send_update(ctx, peer, avatar, estimate, now);
+                *sent_per_peer.entry(peer).or_insert(0) += 1;
+                flushed.push((peer, avatar));
+            }
+        }
         let avatars: Vec<AvatarId> = self.fusion.keys().copied().collect();
         for avatar in avatars {
             let fusion = self.fusion.get_mut(&avatar).expect("present");
@@ -312,31 +422,48 @@ impl EdgeServerNode {
                 continue;
             }
             dr.mark_sent(now, estimate);
-            let anchor = self
-                .local_anchors
-                .get(&avatar)
-                .copied()
-                .unwrap_or_else(|| AnchorFrame::seat(Default::default()));
             for peer in self.peers.clone() {
+                if flushed.contains(&(peer, avatar)) {
+                    continue; // already refreshed from the backlog this tick
+                }
                 if self.peer_health.get(&peer).is_some_and(|h| h.should_skip_send(self.tick_count))
                 {
                     ctx.metrics().inc("edge.updates_skipped_unhealthy_peer");
                     continue;
                 }
-                let sender = self.senders.entry((peer, avatar)).or_insert_with(|| {
-                    SnapshotSender::new(
-                        AvatarCodec::new(self.cfg.codec),
-                        self.cfg.keyframe_interval,
-                    )
-                });
-                let frame = sender.encode(&estimate);
-                let msg = ClassMsg::AvatarUpdate { avatar, frame, captured_at: now, anchor };
-                let size = msg.wire_bytes();
-                ctx.metrics().inc("edge.updates_sent");
-                ctx.metrics().add("edge.update_bytes", size as u64);
-                ctx.send(peer, msg, size);
+                demand += 1;
+                let sent = sent_per_peer.entry(peer).or_insert(0);
+                if *sent >= budget {
+                    // Egress budget exhausted toward this peer: defer.
+                    let backlog = self.egress_backlog.entry(peer).or_insert_with(|| {
+                        BoundedQueue::new(
+                            self.cfg.overload.backlog_capacity,
+                            OverflowPolicy::DropOldest,
+                        )
+                    });
+                    if backlog.push(avatar).is_some() {
+                        ctx.metrics().inc("overload.backlog_dropped");
+                    }
+                    ctx.metrics().inc("overload.egress_deferred");
+                    continue;
+                }
+                *sent += 1;
+                self.send_update(ctx, peer, avatar, estimate, now);
             }
         }
+        demand
+    }
+
+    /// Smoothed-pressure input for the ladder: whichever is worse of this
+    /// tick's demand-to-budget ratio and the backlog fill fraction.
+    fn utilization(&self, demand: usize) -> f64 {
+        let budget = self.cfg.overload.egress_budget_per_tick.max(1) * self.peers.len().max(1);
+        let demand_ratio = demand as f64 / budget as f64;
+        let backlog_len: usize = self.egress_backlog.values().map(|q| q.len()).sum();
+        let backlog_cap: usize = self.egress_backlog.values().map(|q| q.capacity()).sum();
+        let backlog_ratio =
+            if backlog_cap == 0 { 0.0 } else { backlog_len as f64 / backlog_cap as f64 };
+        demand_ratio.max(backlog_ratio)
     }
 
     fn on_remote_update(
@@ -418,9 +545,17 @@ impl Node<ClassMsg> for EdgeServerNode {
         if timer.tag == TAG_TICK {
             self.tick_count += 1;
             self.poll_peers(ctx);
-            self.replicate_local(ctx);
-            // Pump reliable retransmissions of relayed interactions.
+            let demand = self.replicate_local(ctx);
             let now = ctx.now();
+            let utilization = self.utilization(demand);
+            ctx.metrics()
+                .histogram("overload.utilization_milli")
+                .record((utilization * 1000.0) as u64);
+            if let Some(t) = self.shedder.observe(now, utilization) {
+                ctx.metrics().inc("overload.shed_transitions");
+                ctx.metrics().add("overload.shed_level", t.to.rung() as u64);
+            }
+            // Pump reliable retransmissions of relayed interactions.
             for ((peer, avatar), tx) in self.interaction_tx.iter_mut() {
                 for (seq, event) in tx.due_retransmits(now) {
                     let msg =
@@ -505,5 +640,7 @@ impl Node<ClassMsg> for EdgeServerNode {
         }
         self.tick_count = 0;
         self.frozen.clear();
+        self.shedder.reset();
+        self.egress_backlog.clear();
     }
 }

@@ -267,6 +267,62 @@ mod tests {
     }
 
     #[test]
+    fn boundaries_are_inclusive_at_the_exact_instant() {
+        // silence >= degraded_after and silence >= timeout: a poll landing
+        // exactly on the threshold crosses it.
+        let mut h = PeerHealth::new(cfg(), SimTime::ZERO);
+        assert_eq!(h.poll(SimTime::from_millis(200)), Some(PeerEvent::Degraded));
+        assert_eq!(h.state(), PeerState::Degraded);
+        assert_eq!(h.poll(SimTime::from_millis(500)), Some(PeerEvent::Down));
+        assert_eq!(h.state(), PeerState::Down);
+
+        // One nanosecond earlier stays on the near side of each threshold.
+        let mut h = PeerHealth::new(cfg(), SimTime::ZERO);
+        assert_eq!(h.poll(SimTime::from_nanos(200 * 1_000_000 - 1)), None);
+        assert_eq!(h.state(), PeerState::Up);
+        h.poll(SimTime::from_millis(200));
+        assert_eq!(h.poll(SimTime::from_nanos(500 * 1_000_000 - 1)), None);
+        assert_eq!(h.state(), PeerState::Degraded);
+    }
+
+    #[test]
+    fn heartbeat_exactly_at_timeout_races_the_poll() {
+        // Traffic and a poll at the same instant: whichever runs first wins
+        // deterministically. Heard-then-poll keeps the peer up (silence is
+        // zero); poll-then-heard dips Down and immediately Returns.
+        let mut a = PeerHealth::new(cfg(), SimTime::ZERO);
+        let t = SimTime::from_millis(500);
+        assert_eq!(a.on_heard(t), None);
+        assert_eq!(a.poll(t), None);
+        assert_eq!(a.state(), PeerState::Up);
+        assert_eq!(a.outages(), 0);
+
+        let mut b = PeerHealth::new(cfg(), SimTime::ZERO);
+        assert_eq!(b.poll(t), Some(PeerEvent::Down));
+        assert_eq!(b.on_heard(t), Some(PeerEvent::Returned));
+        assert_eq!(b.state(), PeerState::Up);
+        assert_eq!(b.outages(), 1);
+    }
+
+    #[test]
+    fn restart_inside_hold_window_goes_live_without_freezing() {
+        let mut h = PeerHealth::new(cfg(), SimTime::ZERO);
+        h.poll(SimTime::from_millis(600));
+        assert_eq!(h.presentation(SimTime::from_millis(900)), RemoteAvatarPresentation::Hold);
+        // The peer restarts inside the hold window (hold = 1000ms, so the
+        // freeze would land at 1600ms): display returns to live and the
+        // freeze never happens.
+        assert_eq!(h.on_heard(SimTime::from_millis(1100)), Some(PeerEvent::Returned));
+        assert_eq!(h.presentation(SimTime::from_millis(1100)), RemoteAvatarPresentation::Live);
+        assert_eq!(h.presentation(SimTime::from_millis(1700)), RemoteAvatarPresentation::Live);
+        assert_eq!(h.down_since(), None);
+        assert_eq!(h.outages(), 1);
+        // A second outage counts separately.
+        h.poll(SimTime::from_millis(1700));
+        assert_eq!(h.outages(), 2);
+    }
+
+    #[test]
     fn degraded_peers_send_on_stride_only() {
         let mut h = PeerHealth::new(cfg(), SimTime::ZERO);
         assert!(!h.should_skip_send(1), "up peers always send");
@@ -275,5 +331,44 @@ mod tests {
         assert_eq!(sent, vec![0, 4, 8], "stride-4 under degradation");
         h.poll(SimTime::from_millis(600));
         assert!(h.should_skip_send(8), "down peers never send");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Under any interleaving of traffic and polls at nondecreasing
+            /// times, the outage counter never decreases and equals the
+            /// number of `Down` events observed.
+            #[test]
+            fn outages_are_monotone_and_count_down_events(
+                ops in proptest::collection::vec(
+                    (any::<bool>(), 0u64..1500),
+                    1..64,
+                )
+            ) {
+                let mut h = PeerHealth::new(cfg(), SimTime::ZERO);
+                let mut now_ms = 0u64;
+                let mut prev_outages = 0u64;
+                let mut down_events = 0u64;
+                for (is_heard, advance_ms) in ops {
+                    now_ms += advance_ms;
+                    let t = SimTime::from_millis(now_ms);
+                    let ev = if is_heard { h.on_heard(t) } else { h.poll(t) };
+                    if ev == Some(PeerEvent::Down) {
+                        down_events += 1;
+                    }
+                    prop_assert!(
+                        h.outages() >= prev_outages,
+                        "outages went backwards: {} -> {}",
+                        prev_outages,
+                        h.outages()
+                    );
+                    prop_assert_eq!(h.outages(), down_events);
+                    prev_outages = h.outages();
+                }
+            }
+        }
     }
 }

@@ -19,7 +19,11 @@
 //!   seats" mechanic of §3.2;
 //! - [`PeerHealth`] / [`HeartbeatConfig`] — heartbeat failure detection
 //!   between servers, with hold-then-freeze display degradation
-//!   ([`RemoteAvatarPresentation`]) and full-snapshot resync on peer return.
+//!   ([`RemoteAvatarPresentation`]) and full-snapshot resync on peer return;
+//! - [`AdmissionController`] / [`LoadShedder`] — flash-crowd overload
+//!   control: token-bucket join admission with a bounded waiting room, and a
+//!   hysteretic fidelity ladder (full → reduced-rate → expression-only →
+//!   spectator) driven by smoothed utilization.
 //!
 //! The full unit case (two campuses + cloud) is assembled by
 //! `metaclass-core`; this crate's integration tests exercise each pairing in
@@ -34,6 +38,7 @@ mod devices;
 mod edge_server;
 mod health;
 mod messages;
+mod overload;
 mod seat;
 
 pub use client::{ClientConfig, RemoteClientNode};
@@ -42,4 +47,8 @@ pub use devices::{HeadsetNode, RoomArrayNode};
 pub use edge_server::{EdgeServerNode, ServerConfig};
 pub use health::{HeartbeatConfig, PeerEvent, PeerHealth, PeerState, RemoteAvatarPresentation};
 pub use messages::ClassMsg;
+pub use overload::{
+    AdmissionConfig, AdmissionController, AdmissionOutcome, LoadShedder, OverloadConfig,
+    ShedConfig, ShedLevel, ShedTransition,
+};
 pub use seat::{ClassroomFullError, ClassroomLayout, SeatAllocator};

@@ -6,7 +6,7 @@
 
 use metaclass_avatar::{AnchorFrame, AvatarId, AvatarState, ExpressionFrame};
 use metaclass_media::FrameShard;
-use metaclass_netsim::SimTime;
+use metaclass_netsim::{SimDuration, SimTime};
 use metaclass_sensors::PoseMeasurement;
 use metaclass_sync::{InteractionEvent, PoseFrame};
 
@@ -70,6 +70,33 @@ pub enum ClassMsg {
         /// When the state was captured at its origin (for latency metrics
         /// and playout buffering).
         captured_at: SimTime,
+    },
+    /// VR client → cloud: request admission to the session.
+    JoinRequest {
+        /// The joining client's avatar.
+        avatar: AvatarId,
+        /// Retry attempt number, starting at 1 (for diagnostics).
+        attempt: u32,
+    },
+    /// Cloud → client: admitted; pose upload and interactions may start.
+    JoinAccepted {
+        /// The admitted client's avatar.
+        avatar: AvatarId,
+    },
+    /// Cloud → client: parked in the admission waiting room.
+    JoinDeferred {
+        /// The deferred client's avatar.
+        avatar: AvatarId,
+        /// Earliest sensible retry (the client may also simply wait to be
+        /// admitted from the waiting room).
+        retry_after: SimDuration,
+        /// Zero-based waiting-room position at the time of the reply.
+        position: u32,
+    },
+    /// Cloud → client: waiting room full; back off and retry later.
+    JoinRejected {
+        /// The rejected client's avatar.
+        avatar: AvatarId,
     },
     /// VR client → cloud: the client's own avatar frame.
     ClientPose {
@@ -144,6 +171,12 @@ impl ClassMsg {
             ClassMsg::KeyframeRequest { .. } => 4,
             // id(4) + full quantized state(38) + t(8)
             ClassMsg::DisplayUpdate { .. } => 50,
+            // id(4) + attempt(4)
+            ClassMsg::JoinRequest { .. } => 8,
+            ClassMsg::JoinAccepted { .. } => 4,
+            // id(4) + retry_after(8) + position(4)
+            ClassMsg::JoinDeferred { .. } => 16,
+            ClassMsg::JoinRejected { .. } => 4,
             ClassMsg::ClientPose { frame, .. } => frame.wire_bytes() as u32 + 8,
             ClassMsg::ClockProbe { .. } => 16,
             ClassMsg::ClockReply { .. } => 24,
@@ -173,6 +206,14 @@ mod tests {
             captured_at: SimTime::ZERO,
         };
         assert_eq!(disp.wire_bytes(), 78);
+        let join = ClassMsg::JoinRequest { avatar: AvatarId(1), attempt: 1 };
+        assert_eq!(join.wire_bytes(), 36);
+        let deferred = ClassMsg::JoinDeferred {
+            avatar: AvatarId(1),
+            retry_after: SimDuration::from_millis(50),
+            position: 3,
+        };
+        assert_eq!(deferred.wire_bytes(), 44);
     }
 
     #[test]

@@ -438,7 +438,10 @@ pub(crate) fn try_run_sharded<M: Send + 'static>(
     limit: u64,
 ) -> Option<u64> {
     let EngineMode::Sharded { shards } = sim.engine else { return None };
-    let plan = plan_for(sim, shards)?;
+    let Some(plan) = plan_for(sim, shards) else {
+        sim.note_serial_fallback();
+        return None;
+    };
     let k = plan.shards;
 
     let (mut lanes, mut faults) = deal_out(sim, &plan);
@@ -778,9 +781,30 @@ mod tests {
             },
         );
         sim.connect(hub, leaf, LinkConfig::new(SimDuration::ZERO));
+        sim.enable_trace(64);
         sim.run_until_idle();
         assert!(sim.metrics().counter_value("net.delivered") > 0);
         assert_eq!(sim.metrics().counter_value("engine.shard.windows"), 0);
+        // The fallback is signalled, not silent: one counted fallback per
+        // attempted sharded run, with a matching trace record.
+        assert_eq!(sim.metrics().counter_value("engine.fallback_serial"), 1);
+        let fallbacks = sim
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| e.kind == crate::TraceKind::EngineFallback)
+            .count();
+        assert_eq!(fallbacks, 1);
+    }
+
+    #[test]
+    fn feasible_plans_do_not_count_serial_fallbacks() {
+        let mut sim = campus_sim(9);
+        sim.set_engine(EngineMode::Sharded { shards: 2 });
+        sim.run_until(SimTime::from_millis(200));
+        assert!(sim.metrics().counter_value("engine.shard.windows") > 0);
+        assert_eq!(sim.metrics().counter_value("engine.fallback_serial"), 0);
     }
 
     #[test]

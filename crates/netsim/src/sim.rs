@@ -215,6 +215,9 @@ pub(crate) struct Core<M> {
     /// Op-pool reuse counters, flushed to `engine.ops_pool.*` at run end.
     pub(crate) pool_hits: u64,
     pub(crate) pool_misses: u64,
+    /// Sharded-mode runs that found no feasible plan and ran serially,
+    /// flushed to `engine.fallback_serial` at run end.
+    pub(crate) fallback_serial: u64,
     pub(crate) trace: Option<Trace>,
     /// Passive engine-boundary observer (see [`crate::observe`]).
     pub(crate) observer: Option<Box<dyn SimObserver>>,
@@ -261,6 +264,7 @@ impl<M> Core<M> {
             events_processed: 0,
             pool_hits: 0,
             pool_misses: 0,
+            fallback_serial: 0,
             trace: None,
             observer: None,
             buffered: false,
@@ -1061,6 +1065,27 @@ impl<M: 'static> Simulation<M> {
         if self.core.pool_misses > 0 {
             let v = std::mem::take(&mut self.core.pool_misses);
             self.core.metrics.add("engine.ops_pool.miss", v);
+        }
+        if self.core.fallback_serial > 0 {
+            let v = std::mem::take(&mut self.core.fallback_serial);
+            self.core.metrics.add("engine.fallback_serial", v);
+        }
+    }
+
+    /// Records that a sharded run could not be planned and fell back to the
+    /// serial executor: bumps the `engine.fallback_serial` counter and, when
+    /// tracing is enabled, appends an [`TraceKind::EngineFallback`] record —
+    /// the fallback is an explicit signal, never silent.
+    pub(crate) fn note_serial_fallback(&mut self) {
+        self.core.fallback_serial += 1;
+        if let Some(trace) = &mut self.core.trace {
+            trace.push(TraceEvent {
+                at: self.core.time,
+                kind: TraceKind::EngineFallback,
+                src: NodeId(0),
+                dst: NodeId(0),
+                size_bytes: 0,
+            });
         }
     }
 

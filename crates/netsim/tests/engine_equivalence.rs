@@ -161,7 +161,7 @@ fn run(
     topo: &Topo,
     faults: &Faults,
     mode: EngineMode,
-) -> (u64, MetricsSnapshot, u64, SimTime) {
+) -> (u64, MetricsSnapshot, u64, SimTime, u64) {
     let (mut sim, gateways, all) = build(seed, topo);
     sim.set_engine(mode);
     sim.enable_trace(1 << 20);
@@ -172,6 +172,7 @@ fn run(
         sim.metrics().snapshot().without_prefix("engine."),
         sim.events_processed(),
         sim.time(),
+        sim.metrics().counter_value("engine.fallback_serial"),
     )
 }
 
@@ -210,12 +211,71 @@ proptest! {
         faults in faults_strategy(),
     ) {
         let serial = run(seed, &topo, &faults, EngineMode::Serial);
+        prop_assert_eq!(serial.4, 0, "serial runs never count a fallback");
         for shards in [2usize, 4] {
             let sharded = run(seed, &topo, &faults, EngineMode::Sharded { shards });
             prop_assert_eq!(serial.0, sharded.0, "trace fingerprint ({} shards)", shards);
             prop_assert_eq!(&serial.1, &sharded.1, "metrics ({} shards)", shards);
             prop_assert_eq!(serial.2, sharded.2, "event count ({} shards)", shards);
             prop_assert_eq!(serial.3, sharded.3, "final clock ({} shards)", shards);
+            // Identity must come from genuinely sharded execution, not from
+            // a silent serial fallback masquerading as agreement.
+            prop_assert_eq!(sharded.4, 0, "unexpected serial fallback ({} shards)", shards);
         }
     }
+}
+
+/// A topology the partitioner cannot cut (one campus, zero-lookahead
+/// links): the sharded engine must fall back to serial — *visibly* — and
+/// still agree with the serial engine on everything except the fallback
+/// record itself.
+#[test]
+fn fallback_is_announced_and_otherwise_byte_identical() {
+    let topo = Topo { campuses: vec![4], lan_us: 0, wan_ms: 0, loss: 0.0, jitter_us: 0 };
+
+    let build_one = |mode: EngineMode| {
+        let (mut sim, _gw, _all) = build(7, &topo);
+        sim.set_engine(mode);
+        sim.enable_trace(1 << 16);
+        sim.run_until(SimTime::from_millis(260));
+        sim
+    };
+    let serial = build_one(EngineMode::Serial);
+    let sharded = build_one(EngineMode::Sharded { shards: 2 });
+
+    // The fallback is signalled in both the metric and the trace.
+    assert_eq!(serial.metrics().counter_value("engine.fallback_serial"), 0);
+    assert!(sharded.metrics().counter_value("engine.fallback_serial") > 0);
+    let fallback_records = |sim: &Simulation<u64>| {
+        sim.trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| e.kind == metaclass_netsim::TraceKind::EngineFallback)
+            .count()
+    };
+    assert_eq!(fallback_records(&serial), 0);
+    assert_eq!(
+        fallback_records(&sharded) as u64,
+        sharded.metrics().counter_value("engine.fallback_serial"),
+        "every counted fallback leaves a trace record"
+    );
+
+    // Everything but the executor's own namespace and trace records agrees.
+    assert_eq!(
+        serial.metrics().snapshot().without_prefix("engine."),
+        sharded.metrics().snapshot().without_prefix("engine."),
+    );
+    assert_eq!(serial.events_processed(), sharded.events_processed());
+    assert_eq!(serial.time(), sharded.time());
+    let world_events = |sim: &Simulation<u64>| {
+        sim.trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| e.kind != metaclass_netsim::TraceKind::EngineFallback)
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(world_events(&serial), world_events(&sharded));
 }

@@ -6,8 +6,11 @@
 //! session between run slices. [`standard_oracles`] assembles the default
 //! set the explorer and the `bench simcheck` CLI run.
 
-use metaclass_edge::{EdgeServerNode, PeerState, RemoteAvatarPresentation};
-use metaclass_netsim::{FaultAction, NodeId, SimEvent, SimTime, SimView};
+use metaclass_edge::{
+    CloudServerNode, EdgeServerNode, PeerState, RemoteAvatarPresentation, RemoteClientNode,
+    ShedTransition,
+};
+use metaclass_netsim::{FaultAction, NodeId, SimDuration, SimEvent, SimTime, SimView};
 
 use crate::oracle::{Oracle, Probe};
 use crate::scenario::Scenario;
@@ -278,6 +281,177 @@ impl Oracle for ResyncConvergence {
     }
 }
 
+/// No bounded queue ever exceeds its capacity: the whole point of the
+/// backpressure design is that overload shows up as *counted drops and
+/// deferrals*, never as unbounded memory. Checked at every probe against
+/// the high-water marks, so a transient overshoot between probes is still
+/// caught.
+#[derive(Debug, Default)]
+pub struct QueueBounds;
+
+impl QueueBounds {
+    fn check(probe: &Probe<'_>) -> Result<(), String> {
+        let mut audit: Vec<(String, usize, usize)> = Vec::new();
+        let cloud = probe
+            .session
+            .sim()
+            .node_as::<CloudServerNode>(probe.topology.cloud)
+            .ok_or("cloud node is not a CloudServerNode")?;
+        audit.extend(cloud.overload_queues());
+        for &edge_id in &probe.topology.edges {
+            let edge = probe
+                .session
+                .sim()
+                .node_as::<EdgeServerNode>(edge_id)
+                .ok_or_else(|| format!("node {edge_id} is not an edge server"))?;
+            audit.extend(edge.overload_queues());
+        }
+        for (name, max_depth, capacity) in audit {
+            if max_depth > capacity {
+                return Err(format!("queue {name} reached depth {max_depth}, capacity {capacity}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Oracle for QueueBounds {
+    fn name(&self) -> &'static str {
+        "queue-bounds"
+    }
+
+    fn on_probe(&mut self, probe: &Probe<'_>) -> Result<(), String> {
+        QueueBounds::check(probe)
+    }
+
+    fn on_end(&mut self, probe: &Probe<'_>) -> Result<(), String> {
+        QueueBounds::check(probe)
+    }
+}
+
+/// No admitted client starves: by the end of the settle window every remote
+/// client — steady cohort and flash crowd alike, across any composition of
+/// deferrals, rejections, and server crash/restarts — is admitted at the
+/// cloud and has received fan-out. A client wedged in join retry or
+/// admitted-but-never-served is exactly the overload failure mode this
+/// catches.
+#[derive(Debug, Default)]
+pub struct AdmittedLiveness;
+
+impl Oracle for AdmittedLiveness {
+    fn name(&self) -> &'static str {
+        "admitted-liveness"
+    }
+
+    fn on_end(&mut self, probe: &Probe<'_>) -> Result<(), String> {
+        let cloud = probe
+            .session
+            .sim()
+            .node_as::<CloudServerNode>(probe.topology.cloud)
+            .ok_or("cloud node is not a CloudServerNode")?;
+        let expected = probe.topology.remote_clients.len();
+        let admitted = cloud.admission().admitted_count();
+        if admitted != expected {
+            return Err(format!("end: cloud admitted {admitted} of {expected} remote clients"));
+        }
+        for &(avatar, node) in &probe.topology.remote_clients {
+            let client = probe
+                .session
+                .sim()
+                .node_as::<RemoteClientNode>(node)
+                .ok_or_else(|| format!("node {node} is not a remote client"))?;
+            if !client.is_admitted() {
+                return Err(format!("end: client {avatar:?} never completed its join"));
+            }
+            if client.updates_received() == 0 {
+                return Err(format!("end: client {avatar:?} was admitted but received no fan-out"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fidelity ladder moves with discipline: every recorded transition is
+/// exactly one rung, and two consecutive transitions are at least one
+/// hysteresis window apart — except across a crash/restart, which resets
+/// the shedder's clock.
+pub struct ShedLadderDiscipline {
+    hysteresis: SimDuration,
+    /// Times of executed node crashes (a restart resets shedder state, so
+    /// gap checks don't span them).
+    crashes: Vec<SimTime>,
+}
+
+impl ShedLadderDiscipline {
+    /// Creates the oracle with the scenario's hysteresis window.
+    pub fn new(scn: &Scenario) -> Self {
+        ShedLadderDiscipline { hysteresis: scn.overload().shed.hysteresis, crashes: Vec::new() }
+    }
+
+    fn check_transitions(&self, owner: &str, transitions: &[ShedTransition]) -> Result<(), String> {
+        for t in transitions {
+            let diff = i16::from(t.to.rung()) - i16::from(t.from.rung());
+            if diff.abs() != 1 {
+                return Err(format!(
+                    "{owner}: ladder jumped {:?} -> {:?} in one transition",
+                    t.from, t.to
+                ));
+            }
+        }
+        for pair in transitions.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let crossed_crash = self.crashes.iter().any(|&c| c > a.at && c <= b.at);
+            if crossed_crash {
+                continue;
+            }
+            let gap = b.at.duration_since(a.at);
+            if gap < self.hysteresis {
+                return Err(format!(
+                    "{owner}: ladder moved twice within one hysteresis window \
+                     ({} ms apart, window {} ms)",
+                    gap.as_nanos() / 1_000_000,
+                    self.hysteresis.as_nanos() / 1_000_000
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Oracle for ShedLadderDiscipline {
+    fn name(&self) -> &'static str {
+        "shed-ladder-discipline"
+    }
+
+    fn on_sim_event(&mut self, view: &SimView<'_>, event: &SimEvent<'_>) -> Result<(), String> {
+        if let SimEvent::Fault { action: FaultAction::CrashNode { .. } } = event {
+            self.crashes.push(view.time());
+        }
+        Ok(())
+    }
+
+    fn on_end(&mut self, probe: &Probe<'_>) -> Result<(), String> {
+        let cloud = probe
+            .session
+            .sim()
+            .node_as::<CloudServerNode>(probe.topology.cloud)
+            .ok_or("cloud node is not a CloudServerNode")?;
+        let cloud_transitions: Vec<ShedTransition> =
+            cloud.shedder().transitions().copied().collect();
+        self.check_transitions("cloud", &cloud_transitions)?;
+        for &edge_id in &probe.topology.edges {
+            let edge = probe
+                .session
+                .sim()
+                .node_as::<EdgeServerNode>(edge_id)
+                .ok_or_else(|| format!("node {edge_id} is not an edge server"))?;
+            let transitions: Vec<ShedTransition> = edge.shedder().transitions().copied().collect();
+            self.check_transitions(&format!("edge {edge_id}"), &transitions)?;
+        }
+        Ok(())
+    }
+}
+
 /// Test instrument: trips on any executed fault action with the given code
 /// (see [`FaultAction::code`]). Used to prove the explorer catches a broken
 /// invariant and shrinks its schedule to a minimal plan.
@@ -312,5 +486,36 @@ pub fn standard_oracles(scn: &Scenario) -> Vec<Box<dyn Oracle>> {
         Box::new(CrashedSilence),
         Box::new(StalenessBound::new(scn)),
         Box::new(ResyncConvergence::new(scn)),
+        Box::new(QueueBounds),
+        Box::new(AdmittedLiveness),
+        Box::new(ShedLadderDiscipline::new(scn)),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use metaclass_netsim::SimTime;
+
+    /// The overload oracles must not be vacuous: the quick scenario's flash
+    /// crowd really does engage admission control (deferrals happen), and
+    /// still every client ends up admitted and served.
+    #[test]
+    fn quick_flash_crowd_engages_admission_and_everyone_is_served() {
+        let scn = Scenario::quick(3);
+        let (mut session, topo) = scn.build();
+        session.run_for(scn.end().duration_since(SimTime::ZERO));
+        let cloud =
+            session.sim().node_as::<CloudServerNode>(topo.cloud).expect("cloud server node");
+        let (_admitted, deferred, _rejected) = cloud.admission().totals();
+        assert!(deferred > 0, "the flash crowd never pressured the admission gate");
+        assert_eq!(cloud.admission().admitted_count(), topo.remote_clients.len());
+        for &(avatar, node) in &topo.remote_clients {
+            let client =
+                session.sim().node_as::<RemoteClientNode>(node).expect("remote client node");
+            assert!(client.is_admitted(), "client {avatar:?} not admitted");
+            assert!(client.updates_received() > 0, "client {avatar:?} starved");
+        }
+    }
 }

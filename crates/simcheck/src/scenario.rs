@@ -8,8 +8,8 @@
 
 use metaclass_avatar::AvatarId;
 use metaclass_core::{Activity, ClassroomSession, SessionBuilder, SessionConfig};
-use metaclass_edge::HeartbeatConfig;
-use metaclass_netsim::{NodeId, Region, SimDuration, SimTime};
+use metaclass_edge::{HeartbeatConfig, OverloadConfig};
+use metaclass_netsim::{LinkClass, NodeId, Region, SimDuration, SimTime};
 
 use crate::plan::PlanSpace;
 
@@ -20,6 +20,13 @@ pub struct Scenario {
     pub session_seed: u64,
     /// Students per campus (campus 0 additionally hosts the presenter).
     pub students_per_campus: u32,
+    /// Remote VR learners joining at class start (the steady cohort).
+    pub remote_learners: u32,
+    /// Remote VR learners arriving all at once at `burst_at` (the flash
+    /// crowd the fuzzer composes with its fault schedules).
+    pub burst_learners: u32,
+    /// When the flash crowd lands (seed-derived, inside the fault horizon).
+    pub burst_at: SimTime,
     /// Fault windows must end by this time.
     pub horizon: SimTime,
     /// Quiet tail after the horizon for convergence checks.
@@ -35,12 +42,18 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Test-sized scenario: 1 student per campus, 3 s fault horizon + 3 s
-    /// settle, tight heartbeats. One case runs in tens of milliseconds.
+    /// Test-sized scenario: 1 student per campus, a 2+6 remote cohort with
+    /// a seed-placed flash crowd, 3 s fault horizon + 3 s settle, tight
+    /// heartbeats. One case runs in tens of milliseconds.
     pub fn quick(session_seed: u64) -> Self {
         Scenario {
             session_seed,
             students_per_campus: 1,
+            remote_learners: 2,
+            burst_learners: 6,
+            // The burst lands somewhere inside the fault horizon so the
+            // explorer composes it with outages in seed-varied phases.
+            burst_at: SimTime::from_millis(700 + (session_seed % 5) * 300),
             horizon: SimTime::from_secs(3),
             settle: SimDuration::from_secs(3),
             probe_every: SimDuration::from_millis(100),
@@ -62,6 +75,9 @@ impl Scenario {
         Scenario {
             session_seed,
             students_per_campus: 4,
+            remote_learners: 4,
+            burst_learners: 12,
+            burst_at: SimTime::from_secs(2) + SimDuration::from_secs(session_seed % 4),
             horizon: SimTime::from_secs(8),
             settle: SimDuration::from_secs(6),
             probe_every: SimDuration::from_millis(200),
@@ -71,16 +87,47 @@ impl Scenario {
         }
     }
 
+    /// The overload tuning the checked session runs under: tight enough
+    /// that the flash crowd actually engages admission control and the
+    /// shedding ladder, generous enough that every client is admitted well
+    /// before the settle window closes.
+    pub fn overload(&self) -> OverloadConfig {
+        let mut cfg = OverloadConfig::default();
+        cfg.admission.burst = 4;
+        cfg.admission.refill_every = SimDuration::from_millis(25);
+        cfg.admission.waiting_room = 16;
+        cfg.egress_budget_per_tick = 48;
+        cfg.backlog_capacity = 16;
+        cfg
+    }
+
     /// Builds the session and its precomputed layout.
     pub fn build(&self) -> (ClassroomSession, Topology) {
         let mut cfg = SessionConfig::default();
         cfg.server.heartbeat = self.heartbeat;
+        cfg.server.overload = self.overload();
+        cfg.client.heartbeat = self.heartbeat;
+        cfg.client.clock_probe_interval = if self.heartbeat.interval < SimDuration::from_millis(100)
+        {
+            self.heartbeat.interval
+        } else {
+            SimDuration::from_millis(100)
+        };
         let session = SessionBuilder::new()
             .seed(self.session_seed)
             .activity(Activity::Lecture)
             .server_config(cfg.server)
+            .client_config(cfg.client)
             .campus("CWB", Region::EastAsia, self.students_per_campus, true)
             .campus("GZ", Region::EastAsia, self.students_per_campus, false)
+            .remote_cohort(Region::EastAsia, self.remote_learners, LinkClass::ResidentialAccess)
+            .remote_cohort_joining(
+                Region::EastAsia,
+                self.burst_learners,
+                LinkClass::ResidentialAccess,
+                SimDuration::from_nanos(self.burst_at.as_nanos()),
+                SimDuration::ZERO,
+            )
             .build();
         let topology = Topology::of(&session);
         (session, topology)
@@ -130,6 +177,10 @@ pub struct Topology {
     pub campus_nodes: Vec<Vec<NodeId>>,
     /// Avatars physically present at each campus.
     pub campus_avatars: Vec<Vec<AvatarId>>,
+    /// Remote VR clients (steady cohort and flash crowd alike), in avatar
+    /// order. They attach to the cloud, so partition splits keep them on
+    /// the cloud's side.
+    pub remote_clients: Vec<(AvatarId, NodeId)>,
 }
 
 impl Topology {
@@ -164,13 +215,20 @@ impl Topology {
             campus_nodes.push(nodes);
             campus_avatars.push(avatars);
         }
-        let covered: usize = 1 + campus_nodes.iter().map(Vec::len).sum::<usize>();
+        let remote_clients: Vec<(AvatarId, NodeId)> = session
+            .participants()
+            .iter()
+            .filter(|p| matches!(p.role, metaclass_core::Role::RemoteLearner { .. }))
+            .map(|p| (p.avatar, p.node))
+            .collect();
+        let covered: usize =
+            1 + campus_nodes.iter().map(Vec::len).sum::<usize>() + remote_clients.len();
         debug_assert_eq!(
             covered,
             session.sim().node_count(),
-            "campus groups + cloud must cover every node"
+            "campus groups + cloud + remote clients must cover every node"
         );
-        Topology { cloud, edges, campus_nodes, campus_avatars }
+        Topology { cloud, edges, campus_nodes, campus_avatars, remote_clients }
     }
 
     /// All server nodes: every edge, then the cloud.
@@ -193,15 +251,18 @@ impl Topology {
     }
 
     /// Full-coverage partition splits: campus 0 vs campus 1, with the cloud
-    /// on either side.
+    /// (and the remote clients attached to it) on either side.
     pub fn splits(&self) -> Vec<Vec<Vec<NodeId>>> {
         if self.campus_nodes.len() < 2 {
             return Vec::new();
         }
+        let cloud_side: Vec<NodeId> = std::iter::once(self.cloud)
+            .chain(self.remote_clients.iter().map(|&(_, n)| n))
+            .collect();
         let mut with_first = self.campus_nodes[0].clone();
-        with_first.push(self.cloud);
+        with_first.extend(&cloud_side);
         let mut with_second = self.campus_nodes[1].clone();
-        with_second.push(self.cloud);
+        with_second.extend(&cloud_side);
         vec![
             vec![with_first, self.campus_nodes[1].clone()],
             vec![self.campus_nodes[0].clone(), with_second],
@@ -229,12 +290,28 @@ mod tests {
         let scn = Scenario::quick(42);
         let (session, topo) = scn.build();
         assert_eq!(topo.edges.len(), 2);
-        let covered: usize = 1 + topo.campus_nodes.iter().map(Vec::len).sum::<usize>();
+        let covered: usize =
+            1 + topo.campus_nodes.iter().map(Vec::len).sum::<usize>() + topo.remote_clients.len();
         assert_eq!(covered, session.sim().node_count());
         // Campus 0: student 0 + presenter 1; campus 1: student 1000.
         assert_eq!(topo.campus_avatars[0], vec![AvatarId(0), AvatarId(1)]);
         assert_eq!(topo.campus_avatars[1], vec![AvatarId(1000)]);
         assert_eq!(topo.remote_avatars_for(1), vec![AvatarId(0), AvatarId(1)]);
+        // Steady cohort + flash crowd, numbered from 10_000.
+        assert_eq!(topo.remote_clients.len() as u32, scn.remote_learners + scn.burst_learners);
+        assert_eq!(topo.remote_clients[0].0, AvatarId(10_000));
+    }
+
+    #[test]
+    fn burst_phase_is_seed_varied_but_inside_the_fault_horizon() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..10 {
+            let scn = Scenario::quick(seed);
+            assert!(scn.burst_at >= scn.warmup);
+            assert!(scn.burst_at < scn.horizon);
+            seen.insert(scn.burst_at.as_nanos());
+        }
+        assert!(seen.len() > 1, "burst phase must vary with the seed");
     }
 
     #[test]

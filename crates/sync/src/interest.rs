@@ -208,7 +208,22 @@ impl InterestManager {
     /// id (equal numeric id) is *not* excluded — exclude it at the call site
     /// if subscribers are also entities.
     pub fn select(&mut self, sub: SubscriberId, view: Viewpoint, budget: usize) -> Vec<AvatarId> {
-        let candidates = self.entities_near(view.position);
+        self.select_with_min_importance(sub, view, budget, f64::NEG_INFINITY)
+    }
+
+    /// Like [`select`](Self::select), but only entities whose importance is
+    /// at least `min_importance` are candidates. The expression-only rung of
+    /// an overload-shedding ladder uses this to keep showing the speaker
+    /// (importance 1.0) while suppressing the crowd.
+    pub fn select_with_min_importance(
+        &mut self,
+        sub: SubscriberId,
+        view: Viewpoint,
+        budget: usize,
+        min_importance: f64,
+    ) -> Vec<AvatarId> {
+        let mut candidates = self.entities_near(view.position);
+        candidates.retain(|id| self.entities[id].importance >= min_importance);
         let stale_map = self.staleness.entry(sub).or_default();
 
         let fov_cos = (self.cfg.fov_half_angle_deg.to_radians()).cos();
@@ -392,5 +407,17 @@ mod tests {
             all
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn min_importance_filter_keeps_only_the_speaker() {
+        let mut im = manager();
+        im.update_entity(AvatarId(1), Vec3::new(1.0, 0.0, 1.0), 0.0);
+        im.update_entity(AvatarId(2), Vec3::new(2.0, 0.0, 1.0), 0.0);
+        im.update_entity(AvatarId(7), Vec3::new(6.0, 0.0, 6.0), 1.0); // speaker
+        let sel = im.select_with_min_importance(SubscriberId(0), vp(0.0, 0.0, 0.0), 8, 0.5);
+        assert_eq!(sel, vec![AvatarId(7)], "only the speaker passes the filter");
+        let all = im.select(SubscriberId(0), vp(0.0, 0.0, 0.0), 8);
+        assert_eq!(all.len(), 3, "unfiltered selection still sees everyone");
     }
 }

@@ -19,6 +19,9 @@
 //! - [`ReliableSender`] / [`ReliableReceiver`] — exactly-once in-order
 //!   interaction replication with an RFC 6298-style adaptive RTO
 //!   ([`RtoEstimator`]), bounded in-flight window, and give-up signalling;
+//! - [`TokenBucket`] / [`BoundedQueue`] — deterministic rate limiting and
+//!   fixed-capacity drop-policy queues, the backpressure primitives under
+//!   the edge/cloud overload-control layer;
 //! - [`JitterBuffer`] — adaptive playout delay with interpolation;
 //! - [`ActionClass`] — the latency → user-performance model behind the
 //!   paper's 100 ms interactivity rule.
@@ -61,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backpressure;
 mod clock;
 mod deadreckon;
 mod interactivity;
@@ -69,6 +73,7 @@ mod jitterbuf;
 mod reliable;
 mod snapshot;
 
+pub use backpressure::{BoundedQueue, OverflowPolicy, TokenBucket};
 pub use clock::{ClockSample, OffsetEstimator};
 pub use deadreckon::{DeadReckoningConfig, DeadReckoningReceiver, DeadReckoningSender};
 pub use interactivity::{

@@ -38,7 +38,7 @@ MIN_SPEEDUP="${PERF_GATE_MIN_SPEEDUP:-1.1}"
 SHARD_SPEEDUP="${PERF_GATE_SHARD_SPEEDUP:-1.5}"
 SHARD_OVERHEAD="${PERF_GATE_SHARD_OVERHEAD:-2.0}"
 BASELINES=results/baselines
-ALL_EXPS="e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14"
+ALL_EXPS="e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15"
 UPDATE=0
 for arg in "$@"; do
     case "$arg" in
