@@ -7,15 +7,16 @@
 //! scheduler microbenches stay flat.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use metaclass_bench::{experiments, Experiment, Scale};
+use metaclass_bench::{experiments, Experiment, RunCtx, Scale};
 
 fn e2_quick(c: &mut Criterion) {
     let e2: &dyn Experiment =
         *experiments::all().iter().find(|e| e.id() == "e2").expect("experiment e2 is registered");
+    let ctx = RunCtx::new(Scale::Quick, 0);
     let mut g = c.benchmark_group("e2");
     g.sample_size(10);
     g.throughput(Throughput::Elements(1));
-    g.bench_function("quick_seed0", |b| b.iter(|| e2.run(Scale::Quick, 0)));
+    g.bench_function("quick_seed0", |b| b.iter(|| e2.run(&ctx)));
     g.finish();
 }
 

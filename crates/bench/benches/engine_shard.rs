@@ -11,27 +11,26 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use metaclass_core::{Activity, ClassroomSession, SessionBuilder};
-use metaclass_netsim::{EngineMode, LinkClass, Region, SimDuration};
+use metaclass_netsim::{EngineConfig, LinkClass, Region, SimDuration};
 
-fn e3_session(engine: EngineMode) -> ClassroomSession {
-    let mut session = SessionBuilder::new()
+fn e3_session(engine: EngineConfig) -> ClassroomSession {
+    SessionBuilder::new()
         .seed(1)
+        .engine_config(engine)
         .activity(Activity::Seminar)
         .campus("CWB", Region::EastAsia, 4, true)
         .remote_cohort(Region::EastAsia, 40, LinkClass::ResidentialAccess)
-        .build();
-    session.sim_mut().set_engine(engine);
-    session
+        .build()
 }
 
 fn engine_shard(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_shard");
     g.sample_size(10);
     let modes = [
-        ("serial", EngineMode::Serial),
-        ("sharded_1", EngineMode::Sharded { shards: 1 }),
-        ("sharded_2", EngineMode::Sharded { shards: 2 }),
-        ("sharded_4", EngineMode::Sharded { shards: 4 }),
+        ("serial", EngineConfig::serial()),
+        ("sharded_1", EngineConfig::sharded(1)),
+        ("sharded_2", EngineConfig::sharded(2)),
+        ("sharded_4", EngineConfig::sharded(4)),
     ];
     for (label, mode) in modes {
         g.bench_function(format!("e3_one_second_{label}"), |b| {

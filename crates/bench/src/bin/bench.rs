@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use metaclass_bench::sweep::{run_sweep, validate_json, SweepConfig};
 use metaclass_bench::{default_jobs, experiments, quick_requested, Scale};
+use metaclass_netsim::EngineConfig;
 
 struct Args {
     exp: Option<String>,
@@ -26,6 +27,7 @@ struct Args {
     jobs: usize,
     json: bool,
     list: bool,
+    engine: EngineConfig,
     validate: Vec<String>,
 }
 
@@ -56,6 +58,7 @@ fn parse_args() -> Args {
         jobs: default_jobs(),
         json: false,
         list: false,
+        engine: EngineConfig::default(),
         validate: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -82,7 +85,7 @@ fn parse_args() -> Args {
             "--engine" => {
                 let raw = it.next().unwrap_or_else(|| usage());
                 match metaclass_netsim::parse_engine(&raw) {
-                    Some(mode) => metaclass_netsim::set_default_engine(mode),
+                    Some(mode) => args.engine = EngineConfig::from(mode),
                     None => {
                         eprintln!(
                             "--engine: unknown engine {raw:?} (serial | sharded | sharded:<n>)"
@@ -165,7 +168,7 @@ fn main() -> ExitCode {
         };
 
     for exp in targets {
-        let cfg = SweepConfig::first_n(args.seeds, args.jobs, scale);
+        let cfg = SweepConfig::first_n(args.seeds, args.jobs, scale).with_engine(args.engine);
         println!(
             "== {} — {} ({} seeds, {} scale, {} jobs)",
             exp.id(),

@@ -8,11 +8,12 @@
 //! RTT) actually holds.
 
 use metaclass_netsim::{
-    Context, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation, Timer,
+    Context, EngineConfig, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation,
+    Timer,
 };
 use metaclass_sync::OffsetEstimator;
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 #[derive(Debug, Clone)]
 enum Msg {
@@ -84,8 +85,15 @@ pub struct Outcome {
     pub table: Table,
 }
 
-fn measure(one_way_ms: u64, jitter_ms: f64, skew_ms: u64, probes: u32, seed: u64) -> Row {
-    let mut sim: Simulation<Msg> = Simulation::new(seed);
+fn measure(
+    one_way_ms: u64,
+    jitter_ms: f64,
+    skew_ms: u64,
+    probes: u32,
+    seed: u64,
+    engine: EngineConfig,
+) -> Row {
+    let mut sim: Simulation<Msg> = Simulation::builder().seed(seed).engine_config(engine).build();
     let server = sim.add_node("server", SkewedServer { skew: SimDuration::from_millis(skew_ms) });
     let client = sim.add_node(
         "client",
@@ -109,15 +117,23 @@ fn measure(one_way_ms: u64, jitter_ms: f64, skew_ms: u64, probes: u32, seed: u64
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
     let probes = if quick { 30 } else { 120 };
     let jitters: &[f64] = if quick { &[0.5, 5.0] } else { &[0.1, 0.5, 1.0, 5.0, 20.0] };
     let one_ways: &[u64] = if quick { &[8] } else { &[2, 8, 60] };
     let mut rows = Vec::new();
     for &ow in one_ways {
         for &j in jitters {
-            rows.push(measure(ow, j, 40, probes, mix_seed(seed, 0xE10 ^ ow ^ (j * 10.0) as u64)));
+            rows.push(measure(
+                ow,
+                j,
+                40,
+                probes,
+                mix_seed(seed, 0xE10 ^ ow ^ (j * 10.0) as u64),
+                ctx.engine,
+            ));
         }
     }
     let mut table = Table::new(
@@ -148,8 +164,8 @@ impl Experiment for E10ClockSync {
         "clock-sync error vs network jitter"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             let key = format!("ow{}_j{}", row.one_way_ms, (row.jitter_ms * 10.0).round() as u64);
@@ -164,11 +180,11 @@ impl Experiment for E10ClockSync {
 
 #[cfg(test)]
 mod tests {
-    use crate::Scale;
+    use crate::{RunCtx, Scale};
 
     #[test]
     fn skew_is_recovered_within_the_uncertainty_bound() {
-        let out = super::run(Scale::Quick, 0);
+        let out = super::run(&RunCtx::new(Scale::Quick, 0));
         for r in &out.rows {
             assert!(
                 r.error_us <= r.bound_us,

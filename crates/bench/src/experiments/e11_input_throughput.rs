@@ -8,7 +8,7 @@
 use metaclass_netsim::{DetRng, Region, SimDuration};
 use metaclass_xrinput::{presence_score, simulate_text_entry, FeedbackCue, InputChannel};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Per-channel measured throughput.
 #[derive(Debug, Clone)]
@@ -48,10 +48,10 @@ pub struct Outcome {
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
     let trials = if quick { 30 } else { 300 };
-    let mut rng = DetRng::new(mix_seed(seed, 0xE11));
+    let mut rng = DetRng::new(mix_seed(ctx.seed, 0xE11));
 
     let mut channels = Vec::new();
     let mut t1 = Table::new(
@@ -133,8 +133,8 @@ impl Experiment for E11InputThroughput {
         "headset input throughput and feedback presence"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.channels {
             let key = crate::slug(&row.channel.to_string());
@@ -157,11 +157,11 @@ impl Experiment for E11InputThroughput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Scale;
+    use crate::{RunCtx, Scale};
 
     #[test]
     fn throughput_ordering_matches_the_literature() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         let wpm =
             |c: InputChannel| out.channels.iter().find(|r| r.channel == c).unwrap().achieved_wpm;
         // Keyboard > speech > every other headset channel.
@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn presence_collapses_over_transcontinental_haptics() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         assert!(out.presence[0].presence > 0.95);
         assert!(out.presence[0].haptics_coherent);
         let far = out.presence.last().unwrap();

@@ -10,7 +10,7 @@ use metaclass_core::{Activity, SessionBuilder, TeachingModality};
 use metaclass_media::VideoConfig;
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// One class-size row.
 #[derive(Debug, Clone)]
@@ -40,10 +40,11 @@ fn sfu_egress_bps(class_size: u32, grid: u32) -> f64 {
     class_size as f64 * (class_size.saturating_sub(1).min(grid)) as f64 * tile
 }
 
-fn measure(class_size: u32, secs: u64, seed: u64) -> Row {
+fn measure(class_size: u32, secs: u64, ctx: &RunCtx) -> Row {
     // All participants remote (the honest comparison with a Zoom class).
     let mut session = SessionBuilder::new()
-        .seed(mix_seed(seed, 0xE12 ^ class_size as u64))
+        .seed(mix_seed(ctx.seed, 0xE12 ^ class_size as u64))
+        .engine_config(ctx.engine)
         .activity(Activity::Seminar)
         .campus("studio", Region::EastAsia, 1, true) // the instructor's studio
         .remote_cohort(Region::EastAsia, class_size - 2, LinkClass::ResidentialAccess)
@@ -64,11 +65,11 @@ fn measure(class_size: u32, secs: u64, seed: u64) -> Row {
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
     let (sizes, secs): (&[u32], u64) =
         if quick { (&[10, 40], 3) } else { (&[10, 30, 100, 300], 10) };
-    let rows: Vec<Row> = sizes.iter().map(|&n| measure(n, secs, seed)).collect();
+    let rows: Vec<Row> = sizes.iter().map(|&n| measure(n, secs, ctx)).collect();
 
     let mut t1 = Table::new(
         "E12a: server egress — SFU video conference vs Metaverse classroom",
@@ -119,8 +120,8 @@ impl Experiment for E12VsVideoconf {
         "server egress: SFU video conference vs metaverse classroom"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             let key = format!("class_{}", row.class_size);
@@ -140,11 +141,11 @@ impl Experiment for E12VsVideoconf {
 
 #[cfg(test)]
 mod tests {
-    use crate::Scale;
+    use crate::{RunCtx, Scale};
 
     #[test]
     fn avatar_sync_is_orders_of_magnitude_cheaper_than_per_user_video() {
-        let out = super::run(Scale::Quick, 0);
+        let out = super::run(&RunCtx::new(Scale::Quick, 0));
         for r in &out.rows {
             // Avatar traffic per user is far below a single webcam tile.
             assert!(

@@ -10,7 +10,7 @@ use metaclass_edge::FanoutConfig;
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 use metaclass_sync::{DeadReckoningConfig, InterestConfig};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Which mechanism is removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +87,7 @@ fn no_interest() -> InterestConfig {
     InterestConfig { radius: 10_000.0, ..InterestConfig::default() }
 }
 
-fn measure(variant: Variant, clients: u32, secs: u64, seed: u64) -> (f64, f64) {
+fn measure(variant: Variant, clients: u32, secs: u64, ctx: &RunCtx) -> (f64, f64) {
     let mut cfg = SessionConfig::default();
     cfg.server.codec = protocol_codec();
     cfg.client.codec = protocol_codec();
@@ -113,7 +113,8 @@ fn measure(variant: Variant, clients: u32, secs: u64, seed: u64) -> (f64, f64) {
         }
     }
     let mut session = SessionBuilder::new()
-        .seed(mix_seed(seed, 0xE13))
+        .seed(mix_seed(ctx.seed, 0xE13))
+        .engine_config(ctx.engine)
         .activity(Activity::Seminar)
         .server_config(cfg.server)
         .client_config(cfg.client)
@@ -127,13 +128,13 @@ fn measure(variant: Variant, clients: u32, secs: u64, seed: u64) -> (f64, f64) {
 }
 
 /// Runs the ablation.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
     let (clients, secs) = if quick { (20, 3) } else { (100, 10) };
     let mut rows = Vec::new();
     let mut full_per_client = 0.0;
     for variant in Variant::ALL {
-        let (replication_kbps, per_client_kbps) = measure(variant, clients, secs, seed);
+        let (replication_kbps, per_client_kbps) = measure(variant, clients, secs, ctx);
         if variant == Variant::Full {
             full_per_client = per_client_kbps;
         }
@@ -171,8 +172,8 @@ impl Experiment for E13SyncAblation {
         "sync-mechanism ablation: what each mechanism buys"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             let key = crate::slug(&row.variant.to_string());
@@ -192,7 +193,7 @@ mod tests {
 
     #[test]
     fn mechanism_contributions_match_their_roles() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         let by = |v: Variant| out.rows.iter().find(|r| r.variant == v).expect("present");
         let full = by(Variant::Full);
         // Dead reckoning is the big lever: removing it roughly doubles

@@ -25,7 +25,7 @@ use metaclass_edge::{EdgeServerNode, HeartbeatConfig, PeerState, RemoteAvatarPre
 use metaclass_netsim::{DetRng, FaultPlan, Region, SimDuration, SimTime};
 use metaclass_sync::{ReliableConfig, ReliableReceiver, ReliableSender};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Measurements from the crash/restart scenario.
 #[derive(Debug, Clone)]
@@ -89,14 +89,15 @@ fn heartbeat(quick: bool) -> HeartbeatConfig {
     }
 }
 
-fn measure_fault(quick: bool, seed: u64) -> FaultRow {
+fn measure_fault(quick: bool, ctx: &RunCtx) -> FaultRow {
     let hb = heartbeat(quick);
     let mut cfg = SessionConfig::default();
     cfg.server.heartbeat = hb;
     let (students, warmup) =
         if quick { (2, SimDuration::from_secs(2)) } else { (5, SimDuration::from_secs(3)) };
     let mut session = SessionBuilder::new()
-        .seed(mix_seed(seed, 0xE14))
+        .seed(mix_seed(ctx.seed, 0xE14))
+        .engine_config(ctx.engine)
         .activity(Activity::Lecture)
         .server_config(cfg.server)
         .campus("CWB", Region::EastAsia, students, true)
@@ -263,9 +264,10 @@ fn measure_rto(cfg: ReliableConfig, events: u64, seed: u64) -> (u64, u64) {
 }
 
 /// Runs both scenarios.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
-    let fault = measure_fault(quick, seed);
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
+    let fault = measure_fault(quick, ctx);
 
     let events = if quick { 200 } else { 1000 };
     let rto_ms = SimDuration::from_millis(100);
@@ -327,8 +329,8 @@ impl Experiment for E14FaultRecovery {
         "fault recovery: crash detection, degradation, resync"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         let f = &out.fault;
         // Timings are NaN when the corresponding event never happened; a
@@ -365,7 +367,7 @@ mod tests {
 
     #[test]
     fn crash_is_detected_degraded_and_resynced() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         let hb = heartbeat(true);
         let f = &out.fault;
         // Detection within the heartbeat timeout plus polling slack.
@@ -393,7 +395,7 @@ mod tests {
 
     #[test]
     fn adaptive_rto_retransmits_strictly_less_than_fixed() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         let adaptive = &out.rto[0];
         let fixed = &out.rto[1];
         assert_eq!(adaptive.variant, "adaptive");

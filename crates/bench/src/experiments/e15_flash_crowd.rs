@@ -25,7 +25,7 @@ use metaclass_core::{Activity, SessionBuilder, SessionConfig};
 use metaclass_edge::{CloudServerNode, OverloadConfig, RemoteClientNode};
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// One burst-size measurement.
 #[derive(Debug, Clone)]
@@ -122,11 +122,12 @@ struct RunResult {
 /// Runs one session: the steady cohort always, plus `burst` clients joining
 /// all at once at `shape.burst_at`. Goodput is counted over the post-burst
 /// window `[burst_at, horizon]` for the *steady* clients only.
-fn run_once(seed: u64, sh: &RunShape, burst: u32) -> RunResult {
+fn run_once(ctx: &RunCtx, sh: &RunShape, burst: u32) -> RunResult {
     let mut cfg = SessionConfig::default();
     cfg.server.overload = overload_config();
     let mut builder = SessionBuilder::new()
-        .seed(mix_seed(seed, 0xE15))
+        .seed(mix_seed(ctx.seed, 0xE15))
+        .engine_config(ctx.engine)
         .activity(Activity::Lecture)
         .server_config(cfg.server)
         .campus("CWB", Region::EastAsia, sh.students, true)
@@ -215,16 +216,16 @@ fn burst_sizes(quick: bool) -> &'static [u32] {
 }
 
 /// Runs the sweep.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
     let sh = shape(quick);
 
-    let baseline = run_once(seed, &sh, 0);
+    let baseline = run_once(ctx, &sh, 0);
     let baseline_goodput_hz = baseline.steady_goodput_hz;
 
     let mut rows = Vec::new();
     for &burst in burst_sizes(quick) {
-        let r = run_once(seed, &sh, burst);
+        let r = run_once(ctx, &sh, burst);
         rows.push(BurstRow {
             burst,
             admitted: r.admitted,
@@ -290,8 +291,8 @@ impl Experiment for E15FlashCrowd {
         "flash crowd: admission control and goodput under join bursts"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         r.scalar("baseline_goodput_hz", out.baseline_goodput_hz);
         for row in &out.rows {
@@ -320,7 +321,7 @@ mod tests {
 
     #[test]
     fn burst_defers_joins_but_goodput_holds_and_everyone_gets_in() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         assert!(out.baseline_goodput_hz > 1.0, "baseline goodput {}", out.baseline_goodput_hz);
         let row = &out.rows[0];
         assert_eq!(row.burst, 16);

@@ -11,7 +11,7 @@ use metaclass_core::{
 };
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Outcome of E1.
 #[derive(Debug, Clone)]
@@ -22,14 +22,16 @@ pub struct Outcome {
     pub tables: Vec<Table>,
 }
 
-/// Runs the experiment. [`Scale::Quick`] shrinks the roster and duration
-/// for tests; `seed` perturbs every random stream (seed 0 reproduces the
-/// historical single-run numbers exactly).
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+/// Runs the experiment. [`crate::Scale::Quick`] shrinks the roster and
+/// duration for tests; `ctx.seed` perturbs every random stream (seed 0
+/// reproduces the historical single-run numbers exactly).
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
     let (students, secs) = if quick { (4, 5) } else { (16, 60) };
     let mut session = SessionBuilder::new()
         .seed(mix_seed(seed, 2022))
+        .engine_config(ctx.engine)
         .activity(Activity::Lecture)
         .cloud_region(Region::EastAsia)
         .campus("HKUST-CWB", Region::EastAsia, students, true)
@@ -114,8 +116,8 @@ impl Experiment for E1Architecture {
         "Figure-3 architecture end to end (unit case lecture)"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         let rep = &out.report;
         r.scalar("updates_sent", rep.updates_sent as f64);
@@ -141,11 +143,11 @@ impl Experiment for E1Architecture {
 
 #[cfg(test)]
 mod tests {
-    use crate::Scale;
+    use crate::{RunCtx, Scale};
 
     #[test]
     fn quick_run_produces_sane_numbers() {
-        let out = super::run(Scale::Quick, 0);
+        let out = super::run(&RunCtx::new(Scale::Quick, 0));
         assert!(out.report.updates_sent > 0);
         assert!(out.report.mr_display_latency.count > 0);
         assert!(out.report.vr_display_latency.count > 0);

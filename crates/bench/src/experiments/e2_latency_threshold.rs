@@ -7,11 +7,11 @@
 //! column comes from real round trips over composed simulated links.
 
 use metaclass_netsim::{
-    Context, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation,
+    Context, EngineConfig, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation,
 };
 use metaclass_sync::{activity, blended_performance, is_noticeable, ActionClass};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -63,8 +63,8 @@ impl Node<u32> for Prober {
     }
 }
 
-fn measure_rtt(one_way: SimDuration, probes: u32, seed: u64) -> f64 {
-    let mut sim: Simulation<u32> = Simulation::new(seed);
+fn measure_rtt(one_way: SimDuration, probes: u32, seed: u64, engine: EngineConfig) -> f64 {
+    let mut sim: Simulation<u32> = Simulation::builder().seed(seed).engine_config(engine).build();
     let server = sim.add_node("server", Echo);
     let client = sim
         .add_node("client", Prober { server, pending: None, rtts: Vec::new(), remaining: probes });
@@ -78,8 +78,9 @@ fn measure_rtt(one_way: SimDuration, probes: u32, seed: u64) -> f64 {
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
     let sweep: &[u64] =
         if quick { &[10, 50, 100, 200] } else { &[5, 10, 25, 50, 75, 100, 150, 200, 300, 400] };
     let probes = if quick { 20 } else { 200 };
@@ -104,7 +105,12 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
 
     let mut points = Vec::new();
     for &ms in sweep {
-        let rtt = measure_rtt(SimDuration::from_millis(ms), probes, mix_seed(seed, 0xE2 ^ ms));
+        let rtt = measure_rtt(
+            SimDuration::from_millis(ms),
+            probes,
+            mix_seed(seed, 0xE2 ^ ms),
+            ctx.engine,
+        );
         let lat = SimDuration::from_millis_f64(rtt);
         let perf: Vec<(ActionClass, f64)> =
             ActionClass::ALL.iter().map(|&a| (a, a.performance(lat))).collect();
@@ -142,8 +148,8 @@ impl Experiment for E2LatencyThreshold {
         "user performance vs end-to-end latency (100 ms rule)"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for p in &out.points {
             let key = format!("rtt_ms_at_{}ms", p.one_way_ms);
@@ -169,7 +175,7 @@ mod tests {
 
     #[test]
     fn performance_degrades_across_the_sweep() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         assert_eq!(out.points.len(), 4);
         // Measured RTT tracks 2x the nominal one-way latency.
         for p in &out.points {

@@ -12,7 +12,7 @@ use metaclass_edge::FanoutConfig;
 use metaclass_netsim::{LinkClass, Region, SimDuration};
 use metaclass_sync::DeadReckoningConfig;
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Which protocol stack a row measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,9 +56,10 @@ pub struct Outcome {
     pub table: Table,
 }
 
-fn measure(clients: u32, mode: Mode, secs: u64, seed: u64) -> Row {
+fn measure(clients: u32, mode: Mode, secs: u64, ctx: &RunCtx) -> Row {
     let mut builder = SessionBuilder::new()
-        .seed(mix_seed(seed, 0xE3 ^ clients as u64))
+        .seed(mix_seed(ctx.seed, 0xE3 ^ clients as u64))
+        .engine_config(ctx.engine)
         .activity(Activity::Seminar)
         .campus("CWB", Region::EastAsia, 4, true)
         .remote_cohort(Region::EastAsia, clients, LinkClass::ResidentialAccess);
@@ -101,16 +102,16 @@ fn measure(clients: u32, mode: Mode, secs: u64, seed: u64) -> Row {
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
     let (populations, naive_cap, secs): (&[u32], u32, u64) =
         if quick { (&[10, 40], 40, 3) } else { (&[10, 50, 100, 250, 500, 1000], 250, 10) };
 
     let mut rows = Vec::new();
     for &n in populations {
-        rows.push(measure(n, Mode::Full, secs, seed));
+        rows.push(measure(n, Mode::Full, secs, ctx));
         if n <= naive_cap {
-            rows.push(measure(n, Mode::Naive, secs, seed));
+            rows.push(measure(n, Mode::Naive, secs, ctx));
         }
     }
 
@@ -142,8 +143,8 @@ impl Experiment for E3Scalability {
         "per-client bandwidth and cloud egress vs population"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             let prefix = format!("{}_{}", crate::slug(&row.mode.to_string()), row.clients);
@@ -172,7 +173,7 @@ mod tests {
         let seeds = [0u64, 1, 2];
         let (mut full_growth, mut naive_growth) = (0.0, 0.0);
         for &seed in &seeds {
-            let out = run(Scale::Quick, seed);
+            let out = run(&RunCtx::new(Scale::Quick, seed));
             let full: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Full).collect();
             let naive: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Naive).collect();
             assert_eq!(full.len(), 2);

@@ -6,11 +6,11 @@
 //! with real probe exchanges over simulated access + backbone links.
 
 use metaclass_netsim::{
-    Context, DetRng, Histogram, LinkClass, LinkConfig, Node, NodeId, Region, SimDuration, SimTime,
-    Simulation,
+    Context, DetRng, EngineConfig, Histogram, LinkClass, LinkConfig, Node, NodeId, Region,
+    SimDuration, SimTime, Simulation,
 };
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Server placement strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,9 +109,9 @@ fn access_link(learner: Region, server_region: Region) -> LinkConfig {
         .with_bandwidth_bps(100_000_000)
 }
 
-fn measure(placement: Placement, learners: u32, seed: u64) -> Row {
+fn measure(placement: Placement, learners: u32, seed: u64, engine: EngineConfig) -> Row {
     let mut rng = DetRng::new(seed);
-    let mut sim: Simulation<u64> = Simulation::new(seed);
+    let mut sim: Simulation<u64> = Simulation::builder().seed(seed).engine_config(engine).build();
 
     // Servers.
     let server_regions: Vec<Region> = match placement {
@@ -167,12 +167,12 @@ fn measure(placement: Placement, learners: u32, seed: u64) -> Row {
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
     let learners = if quick { 200 } else { 2000 };
     let rows = vec![
-        measure(Placement::Central, learners, mix_seed(seed, 0xE4)),
-        measure(Placement::Regional, learners, mix_seed(seed, 0xE4)),
+        measure(Placement::Central, learners, mix_seed(ctx.seed, 0xE4), ctx.engine),
+        measure(Placement::Regional, learners, mix_seed(ctx.seed, 0xE4), ctx.engine),
     ];
     let mut table = Table::new(
         "E4: worldwide learner RTT — central cloud vs regional servers",
@@ -202,8 +202,8 @@ impl Experiment for E4RegionalServers {
         "worldwide learner RTT: central cloud vs regional servers"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             let prefix = crate::slug(&row.placement.to_string());
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn regional_placement_cuts_tail_latency() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         let central = &out.rows[0];
         let regional = &out.rows[1];
         assert!(

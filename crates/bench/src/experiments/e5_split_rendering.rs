@@ -11,7 +11,7 @@ use metaclass_render::{
     evaluate_mode, DeviceProfile, RenderMode, RenderOutcome, RenderRequest, SplitConfig,
 };
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// One measured row.
 #[derive(Debug, Clone)]
@@ -50,8 +50,9 @@ fn crowd(n: u32, seed: u64) -> Vec<RenderRequest> {
 const SCENE_TRIANGLES: u64 = 250_000;
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
     let crowds: &[u32] = if quick { &[10, 40] } else { &[5, 10, 20, 40, 80, 160] };
     let devices =
         [DeviceProfile::mr_headset(), DeviceProfile::laptop_webgl(), DeviceProfile::desktop()];
@@ -99,8 +100,8 @@ impl Experiment for E5SplitRendering {
         "avatar rendering: device vs cloud vs split"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             for o in &row.outcomes {
@@ -135,7 +136,7 @@ mod tests {
         let seeds = [0u64, 1, 2];
         let (mut split_fid, mut device_fid, mut desktop_fid) = (0.0, 0.0, 0.0);
         for &seed in &seeds {
-            let out = run(Scale::Quick, seed);
+            let out = run(&RunCtx::new(Scale::Quick, seed));
             let headset_40 = out
                 .rows
                 .iter()

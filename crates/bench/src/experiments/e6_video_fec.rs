@@ -14,10 +14,11 @@ use metaclass_media::{
     ArqFrameSender, FecConfig, FrameAssembler, FrameShard, VideoConfig, VideoSource,
 };
 use metaclass_netsim::{
-    Context, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation, Timer,
+    Context, EngineConfig, LinkConfig, LossModel, Node, NodeId, SimDuration, SimTime, Simulation,
+    Timer,
 };
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// The transport scheme under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,7 +256,14 @@ pub struct Outcome {
 
 const DEADLINE: SimDuration = SimDuration::from_millis(100);
 
-fn measure(scheme: Scheme, loss: LossModel, one_way_ms: u64, frames: u32, seed: u64) -> Row {
+fn measure(
+    scheme: Scheme,
+    loss: LossModel,
+    one_way_ms: u64,
+    frames: u32,
+    seed: u64,
+    engine: EngineConfig,
+) -> Row {
     let video = VideoConfig::lecture_camera();
     let link = LinkConfig::new(SimDuration::from_millis(one_way_ms))
         .with_jitter(SimDuration::from_millis_f64(one_way_ms as f64 * 0.05))
@@ -263,7 +271,8 @@ fn measure(scheme: Scheme, loss: LossModel, one_way_ms: u64, frames: u32, seed: 
         .with_bandwidth_bps(1_000_000_000)
         .with_queue_capacity_bytes(16 * 1024 * 1024);
 
-    let mut sim: Simulation<VideoMsg> = Simulation::new(seed);
+    let mut sim: Simulation<VideoMsg> =
+        Simulation::builder().seed(seed).engine_config(engine).build();
     let raw_bytes_estimate = frames as f64 * video.mean_frame_bytes();
 
     let (delivered, captures, bytes_sent): (BTreeMap<u64, (SimTime, SimTime)>, usize, u64) =
@@ -361,8 +370,9 @@ fn measure(scheme: Scheme, loss: LossModel, one_way_ms: u64, frames: u32, seed: 
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
     let (losses, one_ways, frames): (&[f64], &[u64], u32) = if quick {
         (&[0.0, 0.05], &[10, 50], 90)
     } else {
@@ -385,6 +395,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
                     ow,
                     frames,
                     mix_seed(seed, 0xE6 ^ ow ^ (loss_p * 1000.0) as u64),
+                    ctx.engine,
                 );
                 table.row_strings(vec![
                     row.scheme.to_string(),
@@ -408,7 +419,7 @@ pub fn run(scale: Scale, seed: u64) -> Outcome {
         loss_bad: 0.5,
     };
     for scheme in schemes {
-        let row = measure(scheme, burst, 50, frames, mix_seed(seed, 0xE6BB));
+        let row = measure(scheme, burst, 50, frames, mix_seed(seed, 0xE6BB), ctx.engine);
         table.row_strings(vec![
             format!("{} (burst)", row.scheme),
             format!("{:.0}%", row.loss * 100.0),
@@ -436,8 +447,8 @@ impl Experiment for E6VideoFec {
         "lecture video over loss: FEC vs ARQ vs plain UDP"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             let prefix = format!(
@@ -470,7 +481,7 @@ mod tests {
 
     #[test]
     fn fec_beats_arq_at_wan_distance_under_loss() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         let fec = find(&out.rows, Scheme::Fec { parity: 4 }, 0.05, 50);
         let arq = find(&out.rows, Scheme::Arq, 0.05, 50);
         let udp = find(&out.rows, Scheme::None, 0.05, 50);
@@ -486,7 +497,7 @@ mod tests {
 
     #[test]
     fn clean_short_links_need_nothing() {
-        let out = run(Scale::Quick, 0);
+        let out = run(&RunCtx::new(Scale::Quick, 0));
         let udp = find(&out.rows, Scheme::None, 0.0, 10);
         assert!(udp.on_time > 0.99);
         assert!(udp.p50_latency_ms < 30.0);

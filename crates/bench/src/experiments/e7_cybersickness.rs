@@ -10,7 +10,7 @@ use metaclass_comfort::{
 };
 use metaclass_netsim::SimDuration;
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// One study cell.
 #[derive(Debug, Clone)]
@@ -69,10 +69,10 @@ fn push_rows(table: &mut Table, cells: &[Cell]) {
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
     let (secs, dt) = if quick { (120.0, 0.1) } else { (900.0, 0.05) };
-    let trace = classroom_navigation_trace(secs, dt, mix_seed(seed, 0xE7));
+    let trace = classroom_navigation_trace(secs, dt, mix_seed(ctx.seed, 0xE7));
     let avg = UserProfile::average();
     let headers: &[&str] =
         &["condition", "raw score", "raw severity", "protected", "severity", "reduction"];
@@ -153,8 +153,8 @@ impl Experiment for E7Cybersickness {
         "cybersickness factors and the speed protector"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         let groups = [
             (&out.latency_cells, ""),
@@ -178,11 +178,11 @@ impl Experiment for E7Cybersickness {
 
 #[cfg(test)]
 mod tests {
-    use crate::Scale;
+    use crate::{RunCtx, Scale};
 
     #[test]
     fn factor_directions_match_the_literature() {
-        let out = super::run(Scale::Quick, 0);
+        let out = super::run(&RunCtx::new(Scale::Quick, 0));
         // Latency increases sickness.
         assert!(out.latency_cells[0].raw.final_score < out.latency_cells[2].raw.final_score);
         // Low frame rate increases sickness.

@@ -12,7 +12,7 @@ use metaclass_sensors::{
     RoomSensorConfig, TrackingError, Trajectory,
 };
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Which sensors feed the filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,8 +98,9 @@ fn track(
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
     let secs = if quick { 20.0 } else { 120.0 };
     let motions = [
         ("seated student", MotionScript::SeatedLecture { seat: Vec3::new(6.0, 0.0, 8.0) }),
@@ -172,8 +173,8 @@ impl Experiment for E8PoseFusion {
         "edge pose fusion: headset vs room sensors vs fused"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             let key = format!(
@@ -194,7 +195,7 @@ impl Experiment for E8PoseFusion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Scale;
+    use crate::{RunCtx, Scale};
 
     fn rmse(out: &Outcome, motion: &str, sources: Sources, condition: &str) -> f64 {
         out.rows
@@ -207,7 +208,7 @@ mod tests {
 
     #[test]
     fn fusion_beats_both_single_sources_under_failures() {
-        let out = super::run(Scale::Quick, 0);
+        let out = super::run(&RunCtx::new(Scale::Quick, 0));
         for motion in ["seated student", "walking presenter"] {
             // Under heavy drift, fusion beats the drifting headset.
             let fused = rmse(&out, motion, Sources::Fused, "heavy drift");

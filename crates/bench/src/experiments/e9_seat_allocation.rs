@@ -10,7 +10,7 @@ use metaclass_avatar::{retarget, AnchorFrame, AvatarId, AvatarState, Pose, Quat,
 use metaclass_edge::{ClassroomLayout, SeatAllocator};
 use metaclass_netsim::{DetRng, Histogram};
 
-use crate::{mix_seed, Experiment, Report, Scale, Table};
+use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// One churn scenario's results.
 #[derive(Debug, Clone)]
@@ -123,8 +123,9 @@ fn churn(
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale, seed: u64) -> Outcome {
-    let quick = scale.is_quick();
+pub fn run(ctx: &RunCtx) -> Outcome {
+    let quick = ctx.scale.is_quick();
+    let seed = ctx.seed;
     let steps = if quick { 200 } else { 2000 };
     let rows = vec![
         churn("light churn (40 seats, 20 users)", 5, 20, 0.02, 0.01, steps, mix_seed(seed, 0xE9)),
@@ -168,8 +169,8 @@ impl Experiment for E9SeatAllocation {
         "vacant-seat allocation under churn"
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> Report {
-        let out = run(scale, seed);
+    fn run(&self, ctx: &RunCtx) -> Report {
+        let out = run(ctx);
         let mut r = Report::new();
         for row in &out.rows {
             // The parenthetical sizing is part of the label; slug() folds it
@@ -188,11 +189,11 @@ impl Experiment for E9SeatAllocation {
 
 #[cfg(test)]
 mod tests {
-    use crate::Scale;
+    use crate::{RunCtx, Scale};
 
     #[test]
     fn allocation_is_stable_and_overload_rejects() {
-        let out = super::run(Scale::Quick, 0);
+        let out = super::run(&RunCtx::new(Scale::Quick, 0));
         for r in &out.rows {
             assert_eq!(r.reassignments, 0, "{}: seats must be stable", r.scenario);
             assert!(r.joins > 0);

@@ -3,7 +3,7 @@
 //! The experiment harness of the `metaclassroom` reproduction: one module per
 //! experiment in DESIGN.md's index (E1–E14), each regenerating a table the
 //! blueprint's claims predict. Every experiment implements the [`Experiment`]
-//! trait — `run(Scale, seed)` returning a structured [`Report`] — and is
+//! trait — `run(&RunCtx)` returning a structured [`Report`] — and is
 //! registered in [`experiments::all`], so one generic `bench` binary drives
 //! them all; every experiment also runs in the reduced [`Scale::Quick`]
 //! configuration inside `cargo test` so the harness can never rot.
@@ -31,7 +31,7 @@ use std::fmt::Display;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use metaclass_netsim::MetricsRegistry;
+use metaclass_netsim::{EngineConfig, MetricsRegistry};
 
 /// How big a configuration an experiment should run.
 ///
@@ -153,12 +153,44 @@ impl Report {
     }
 }
 
+/// Everything one seeded experiment run needs: scale, sweep seed, and the
+/// engine configuration the run's simulations should execute under.
+///
+/// The engine travels with the run context — not through process-global
+/// state — so sweeps under different engines can share one process and run
+/// in parallel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCtx {
+    /// Problem size tier.
+    pub scale: Scale,
+    /// Sweep seed; experiments derive component seeds via [`mix_seed`].
+    pub seed: u64,
+    /// Engine configuration for every simulation the run builds. Must not
+    /// affect the report: traces and metrics are byte-identical across
+    /// engines.
+    pub engine: EngineConfig,
+}
+
+impl RunCtx {
+    /// A run context with the default (serial) engine.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        RunCtx { scale, seed, engine: EngineConfig::default() }
+    }
+
+    /// Returns the context with a different engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
 /// A runnable experiment: the uniform interface every `eN` module exposes.
 ///
 /// Implementations must be deterministic: the same `(scale, seed)` pair must
-/// yield an identical [`Report`] on every invocation, which is what makes
-/// parallel sweeps ([`sweep::run_sweep`]) reproducible and their JSON output
-/// independent of worker count.
+/// yield an identical [`Report`] on every invocation — regardless of the
+/// engine in `ctx` — which is what makes parallel sweeps
+/// ([`sweep::run_sweep`]) reproducible and their JSON output independent of
+/// worker count and executor.
 pub trait Experiment: Sync {
     /// Short stable identifier (`"e3"`), used for CLI selection and file
     /// names.
@@ -167,8 +199,8 @@ pub trait Experiment: Sync {
     /// One-line human title.
     fn title(&self) -> &'static str;
 
-    /// Runs the experiment at the given scale with the given sweep seed.
-    fn run(&self, scale: Scale, seed: u64) -> Report;
+    /// Runs the experiment under the given run context.
+    fn run(&self, ctx: &RunCtx) -> Report;
 }
 
 /// A printable results table with aligned columns.

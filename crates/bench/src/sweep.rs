@@ -23,10 +23,10 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use metaclass_netsim::{MetricsRegistry, MetricsSnapshot};
+use metaclass_netsim::{EngineConfig, MetricsRegistry, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 
-use crate::{parallel_trials, Experiment, Report, Scale, Table};
+use crate::{parallel_trials, Experiment, Report, RunCtx, Scale, Table};
 
 /// Version of the `BENCH_*.json` schema. Bump on any breaking change to
 /// [`SweepDoc`] or its children.
@@ -41,13 +41,23 @@ pub struct SweepConfig {
     pub jobs: usize,
     /// Scale every run uses.
     pub scale: Scale,
+    /// Simulation engine every run uses. Per-run state, so sweeps with
+    /// different engines can execute concurrently in one process.
+    pub engine: EngineConfig,
 }
 
 impl SweepConfig {
     /// Sweeps seeds `1..=n` (seed 0 is reserved for the legacy single-run
-    /// behaviour) with the given worker count and scale.
+    /// behaviour) with the given worker count and scale, on the default
+    /// serial engine.
     pub fn first_n(n: u64, jobs: usize, scale: Scale) -> Self {
-        SweepConfig { seeds: (1..=n).collect(), jobs, scale }
+        SweepConfig { seeds: (1..=n).collect(), jobs, scale, engine: EngineConfig::default() }
+    }
+
+    /// Replaces the engine configuration every run uses.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -141,7 +151,9 @@ pub struct SweepOutcome {
 /// the results. See the module docs for the determinism contract.
 pub fn run_sweep(exp: &dyn Experiment, cfg: &SweepConfig) -> SweepOutcome {
     assert!(!cfg.seeds.is_empty(), "sweep needs at least one seed");
-    let reports = parallel_trials(&cfg.seeds, cfg.jobs, |seed| exp.run(cfg.scale, seed));
+    let reports = parallel_trials(&cfg.seeds, cfg.jobs, |seed| {
+        exp.run(&RunCtx { scale: cfg.scale, seed, engine: cfg.engine })
+    });
 
     // Fold in seed order — never in completion order.
     let mut values: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
@@ -464,11 +476,11 @@ mod tests {
         fn title(&self) -> &'static str {
             "seed-affine toy experiment"
         }
-        fn run(&self, _scale: Scale, seed: u64) -> Report {
+        fn run(&self, ctx: &RunCtx) -> Report {
             let mut r = Report::new();
-            r.scalar("value", seed as f64 * 2.0 + 1.0);
+            r.scalar("value", ctx.seed as f64 * 2.0 + 1.0);
             r.metrics.add("runs", 1);
-            r.metrics.histogram("seed").record(seed);
+            r.metrics.histogram("seed").record(ctx.seed);
             r
         }
     }
@@ -503,7 +515,12 @@ mod tests {
 
     #[test]
     fn canonical_json_has_fixed_shape() {
-        let cfg = SweepConfig { seeds: vec![1, 2], jobs: 1, scale: Scale::Quick };
+        let cfg = SweepConfig {
+            seeds: vec![1, 2],
+            jobs: 1,
+            scale: Scale::Quick,
+            engine: EngineConfig::default(),
+        };
         let json = run_sweep(&Affine, &cfg).doc.to_json_string();
         assert!(json.starts_with("{\n  \"schema_version\": 1,"));
         assert!(json.contains("\"experiment\": \"affine\""));

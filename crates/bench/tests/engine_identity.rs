@@ -2,24 +2,27 @@
 //! reproduce the serial engine's BENCH documents byte-for-byte, and a real
 //! classroom session must actually shard (no silent serial fallback) while
 //! producing identical world-facing metrics.
+//!
+//! Engine selection is per-run state ([`EngineConfig`] threaded through
+//! [`SweepConfig::with_engine`] and [`SessionBuilder::engine_config`]), so
+//! these comparisons are parallel-safe — no process-global ordering needed.
 
 use metaclass_bench::experiments::{e14_fault_recovery, e3_scalability};
 use metaclass_bench::sweep::{run_sweep, SweepConfig};
 use metaclass_bench::{Experiment, Scale};
 use metaclass_core::{Activity, SessionBuilder};
-use metaclass_netsim::{set_default_engine, EngineMode, LinkClass, Region, SimDuration};
+use metaclass_netsim::{EngineConfig, LinkClass, Region, SimDuration};
 
 /// One quick E3 session: campus + remote cohort behind the cloud relay —
 /// the topology the partitioner is expected to cut at the WAN.
-fn e3_session(engine: EngineMode) -> metaclass_core::ClassroomSession {
-    let mut session = SessionBuilder::new()
+fn e3_session(engine: EngineConfig) -> metaclass_core::ClassroomSession {
+    SessionBuilder::new()
         .seed(3)
+        .engine_config(engine)
         .activity(Activity::Seminar)
         .campus("CWB", Region::EastAsia, 4, true)
         .remote_cohort(Region::EastAsia, 10, LinkClass::ResidentialAccess)
-        .build();
-    session.sim_mut().set_engine(engine);
-    session
+        .build()
 }
 
 #[test]
@@ -30,27 +33,23 @@ fn e3_session_shards_and_matches_serial() {
         let windows = s.sim().metrics().counter_value("engine.shard.windows");
         (s.sim().metrics().snapshot().without_prefix("engine."), windows)
     };
-    let (serial_metrics, serial_windows) = run(EngineMode::Serial);
-    let (sharded_metrics, sharded_windows) = run(EngineMode::Sharded { shards: 4 });
+    let (serial_metrics, serial_windows) = run(EngineConfig::serial());
+    let (sharded_metrics, sharded_windows) = run(EngineConfig::sharded(4));
     assert_eq!(serial_windows, 0, "serial engine must not report shard windows");
     assert!(sharded_windows > 0, "the E3 topology must actually shard, not fall back");
     assert_eq!(serial_metrics, sharded_metrics, "world-facing metrics diverged");
 }
 
-/// `set_default_engine` is process-global, so every sweep comparison lives
-/// in this single test — the other tests in this binary only use the
-/// per-simulation engine override and cannot race with it.
 #[test]
 fn sweep_documents_are_engine_invariant() {
     let cases: [(&dyn Experiment, &str); 2] =
         [(&e3_scalability::E3Scalability, "e3"), (&e14_fault_recovery::E14FaultRecovery, "e14")];
     for (exp, id) in cases {
-        let cfg = SweepConfig::first_n(2, 2, Scale::Quick);
-        set_default_engine(EngineMode::Serial);
-        let serial = run_sweep(exp, &cfg).doc.to_json_string();
-        set_default_engine(EngineMode::Sharded { shards: 4 });
-        let sharded = run_sweep(exp, &cfg).doc.to_json_string();
-        set_default_engine(EngineMode::Serial);
+        let base = SweepConfig::first_n(2, 2, Scale::Quick);
+        let serial =
+            run_sweep(exp, &base.clone().with_engine(EngineConfig::serial())).doc.to_json_string();
+        let sharded =
+            run_sweep(exp, &base.with_engine(EngineConfig::sharded(4))).doc.to_json_string();
         assert_eq!(serial, sharded, "{id}: BENCH document changed under --engine sharded");
     }
 }

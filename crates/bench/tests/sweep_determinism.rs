@@ -6,7 +6,7 @@ use metaclass_bench::experiments::{
     e14_fault_recovery, e2_latency_threshold, e4_regional_servers, e5_split_rendering,
 };
 use metaclass_bench::sweep::{run_sweep, validate_json, SweepConfig, SCHEMA_VERSION};
-use metaclass_bench::{Experiment, Scale};
+use metaclass_bench::{Experiment, RunCtx, Scale};
 
 #[test]
 fn sixteen_seed_sweep_is_byte_identical_across_job_counts() {
@@ -90,7 +90,7 @@ fn merged_metrics_pool_histograms_across_runs() {
     let seeds = 2;
     let cfg = SweepConfig::first_n(seeds, 2, Scale::Quick);
     let out = run_sweep(&exp, &cfg);
-    let single = exp.run(Scale::Quick, 1);
+    let single = exp.run(&RunCtx::new(Scale::Quick, 1));
     let single_count = single.metrics.histogram_if_present("central_rtt_ns").expect("hist").count();
     let merged = &out.doc.merged.histograms["central_rtt_ns"];
     assert_eq!(merged.count, single_count * seeds, "merged count pools all runs");

@@ -12,7 +12,10 @@ use metaclass_edge::{
     ClassMsg, ClassroomLayout, ClientConfig, CloudServerNode, EdgeServerNode, FanoutConfig,
     HeadsetNode, RemoteClientNode, RoomArrayNode, ServerConfig,
 };
-use metaclass_netsim::{LinkClass, LinkConfig, NodeId, Region, SimDuration, SimTime, Simulation};
+use metaclass_netsim::{
+    EngineConfig, EngineMode, LinkClass, LinkConfig, NodeId, Region, SimDuration, SimTime,
+    Simulation,
+};
 use metaclass_sensors::MotionScript;
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +110,9 @@ pub struct SessionConfig {
     pub fanout: FanoutConfig,
     /// Remote-client tuning.
     pub client: ClientConfig,
+    /// Engine configuration for the underlying simulation (executor plus
+    /// tuning knobs), carried per session — nothing process-global.
+    pub engine: EngineConfig,
 }
 
 /// The codec agreement used across the whole session: auditorium-sized
@@ -126,6 +132,7 @@ impl Default for SessionConfig {
             server: ServerConfig { codec, ..ServerConfig::default() },
             fanout: FanoutConfig::default(),
             client: ClientConfig { codec, ..ClientConfig::default() },
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -207,6 +214,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the simulation executor for this session, keeping the other
+    /// engine knobs (traces and metrics are byte-identical across engines).
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.cfg.engine.mode = mode;
+        self
+    }
+
+    /// Replaces the whole engine configuration for this session.
+    pub fn engine_config(mut self, engine: EngineConfig) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
     /// Adds a physical campus classroom.
     pub fn campus(
         mut self,
@@ -265,7 +285,8 @@ impl SessionBuilder {
             "a session needs at least one campus or cohort"
         );
         let cfg = self.cfg;
-        let mut sim: Simulation<ClassMsg> = Simulation::new(cfg.seed);
+        let mut sim: Simulation<ClassMsg> =
+            Simulation::builder().seed(cfg.seed).engine_config(cfg.engine).build();
 
         // ---- Precompute node indices (nodes are added in this order). ----
         let cloud_id = NodeId::from_index(0);

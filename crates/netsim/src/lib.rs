@@ -77,8 +77,10 @@ pub use node::{Context, Envelope, Node, NodeId, Timer};
 pub use observe::{SimEvent, SimObserver, SimView};
 pub use rng::DetRng;
 pub use sched::{BinaryHeapQueue, EventQueue, TimerWheel};
+#[allow(deprecated)]
+pub use sim::{default_engine, set_default_engine};
 pub use sim::{
-    default_engine, parse_engine, set_default_engine, EngineMode, Simulation, DEFAULT_SHARDS,
+    parse_engine, EngineConfig, EngineMode, Simulation, SimulationBuilder, DEFAULT_SHARDS,
 };
 pub use time::{SimDuration, SimTime};
 pub use topology::{min_cut_partition, LinkClass, Partition, Region};

@@ -145,6 +145,16 @@ impl Histogram {
         self.max
     }
 
+    /// Resets the histogram to empty while keeping its bucket allocation,
+    /// so accumulate-then-flush loops stay allocation-free.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -243,8 +253,15 @@ impl MetricsRegistry {
     }
 
     /// Adds `delta` to the named counter, creating it at zero if absent.
+    ///
+    /// Steady-state increments are allocation-free: the owned key `String`
+    /// is only built the first time a name is seen.
     pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
     }
 
     /// Increments the named counter by one.
@@ -258,8 +275,14 @@ impl MetricsRegistry {
     }
 
     /// The named histogram, created empty on first access.
+    ///
+    /// Repeat access is allocation-free: the owned key `String` is only
+    /// built the first time a name is seen.
     pub fn histogram(&mut self, name: &str) -> &mut Histogram {
-        self.histograms.entry(name.to_owned()).or_default()
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_owned(), Histogram::default());
+        }
+        self.histograms.get_mut(name).expect("just inserted")
     }
 
     /// The named histogram if it has been created.

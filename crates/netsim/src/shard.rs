@@ -23,6 +23,17 @@
 //!    events back into the global `(time, stamp)` total order, and replays
 //!    them.
 //!
+//! Two optimizations preserve this schedule bit-for-bit while cutting its
+//! cost. *Batched outbox exchange* moves each nonempty outbox across the
+//! barrier as one buffer handoff per shard pair — buffers are pooled and
+//! recycled — instead of pushing entries one by one. *Adaptive lookahead*
+//! (on by default; see [`EngineConfig`](crate::EngineConfig)) detects
+//! windows where exactly one lane has pending work before every other
+//! lane's horizon: the busy lane then leaps past the classic window in a
+//! single inline dispatch, bounded by the runner-up instant and self-clamped
+//! at its first cross-shard send, eliding the barriers a classic run would
+//! have synchronized at (counted in `engine.barriers_elided`).
+//!
 //! Scripted faults mutate global state (links, crash flags), so an instant
 //! containing a fault is executed serially: the lanes are recomposed into the
 //! full simulation, the instant is stepped through the ordinary serial path,
@@ -196,6 +207,7 @@ fn deal_out<M: 'static>(sim: &mut Simulation<M>, plan: &Plan) -> (Vec<Core<M>>, 
             lane.shard_of = Some(Arc::clone(&plan.shard_of));
             lane.my_shard = i as u32;
             lane.outboxes = (0..k).map(|_| Vec::new()).collect();
+            lane.outbox_mins = vec![u64::MAX; k];
             lane
         })
         .collect();
@@ -222,6 +234,10 @@ fn deal_out<M: 'static>(sim: &mut Simulation<M>, plan: &Plan) -> (Vec<Core<M>>, 
     let pooled: Vec<_> = sim.core.ops_pool.drain(..).collect();
     for (j, buf) in pooled.into_iter().enumerate() {
         lanes[j % k].ops_pool.push(buf);
+    }
+    let spares: Vec<_> = sim.core.spare_boxes.drain(..).collect();
+    for (j, buf) in spares.into_iter().enumerate() {
+        lanes[j % k].spare_boxes.push(buf);
     }
     let mut faults = FaultQueue::new();
     let mut old = std::mem::take(&mut sim.core.queue);
@@ -276,6 +292,21 @@ fn reassemble<M: 'static>(sim: &mut Simulation<M>, lanes: Vec<Core<M>>, faults: 
         sim.core.events_processed += lane.events_processed;
         sim.core.pool_hits += lane.pool_hits;
         sim.core.pool_misses += lane.pool_misses;
+        sim.core.sent_count += lane.sent_count;
+        sim.core.delivered_count += lane.delivered_count;
+        if !lane.delivery_hist.is_empty() {
+            sim.core.delivery_hist.merge(&lane.delivery_hist);
+        }
+        // Cross-shard deliveries exchanged at the last barrier but not yet
+        // executed flow back into the global queue; their buffers are kept
+        // for reuse.
+        for mut buf in std::mem::take(&mut lane.inboxes) {
+            for (at, stamp, hop, env) in buf.drain(..) {
+                sim.core.queue.push(at, stamp, EventKind::Deliver { hop, env });
+            }
+            sim.core.spare_boxes.push(buf);
+        }
+        sim.core.spare_boxes.append(&mut lane.spare_boxes);
         while let Some((at, stamp, kind)) = lane.queue.pop() {
             sim.core.queue.push(at, stamp, kind);
         }
@@ -296,11 +327,22 @@ impl<M> Core<M> {
 
 /// Runs one lane to the (exclusive) window end; `None` means unbounded.
 /// Returns the number of events the lane consumed.
-fn lane_window<M: 'static>(core: &mut Core<M>, w_end: Option<SimTime>) -> u64 {
+///
+/// When `clamp_sends` is set (adaptive solo windows) the lane additionally
+/// stops before executing any event at or past the arrival of its own
+/// earliest cross-shard send: past that instant the silence of the other
+/// shards is no longer provable, so the leap ends there and the send is
+/// exchanged at an ordinary barrier.
+fn lane_window<M: 'static>(core: &mut Core<M>, w_end: Option<SimTime>, clamp_sends: bool) -> u64 {
+    core.drain_inboxes();
     let mut n = 0;
     loop {
+        let mut end = w_end;
+        if clamp_sends && core.outbox_min_ns != u64::MAX {
+            end = min_opt(end, Some(SimTime::from_nanos(core.outbox_min_ns)));
+        }
         match core.queue.peek_key() {
-            Some((at, _)) if w_end.is_none_or(|e| at < e) => {}
+            Some((at, _)) if end.is_none_or(|e| at < e) => {}
             _ => break,
         }
         match core.step_inner(u64::MAX) {
@@ -403,25 +445,47 @@ fn replay_barrier<M: 'static>(sim: &mut Simulation<M>, lanes: &mut [Option<Core<
     }
 }
 
-/// Exchanges cross-shard deliveries produced this window: every outbox entry
-/// lands at or past the window end (guaranteed by the lookahead), so pushing
-/// them after the lanes finished never reorders a lane's past.
-fn exchange_outboxes<M: 'static>(lanes: &mut [Option<Core<M>>], w_end: Option<SimTime>) {
+/// Exchanges cross-shard deliveries produced this window in one buffer
+/// handoff per shard pair: each nonempty outbox is moved wholesale into the
+/// destination lane's inbox list (drained at that lane's next dispatch) and
+/// replaced by a recycled spare, so no per-event push crosses threads at the
+/// barrier. Every entry lands at or past the window end — guaranteed by the
+/// lookahead, or by the send clamp in solo windows (`clamped`) — so no lane
+/// ever sees its past change.
+fn exchange_outboxes<M: 'static>(
+    lanes: &mut [Option<Core<M>>],
+    w_end: Option<SimTime>,
+    clamped: bool,
+) {
     let k = lanes.len();
     for i in 0..k {
-        let mut boxes = std::mem::take(&mut lanes[i].as_mut().expect("lane checked in").outboxes);
-        for (dst, items) in boxes.iter_mut().enumerate() {
-            if items.is_empty() {
+        if lanes[i].as_mut().expect("lane checked in").outbox_min_ns == u64::MAX {
+            continue; // nothing crossed a boundary from this lane
+        }
+        let mut boxes = {
+            let src = lanes[i].as_mut().expect("lane checked in");
+            src.outbox_min_ns = u64::MAX;
+            std::mem::take(&mut src.outboxes)
+        };
+        for (dst, slot) in boxes.iter_mut().enumerate() {
+            if slot.is_empty() {
                 continue;
             }
+            let (min_ns, buf) = {
+                let src = lanes[i].as_mut().expect("lane checked in");
+                let spare = src.spare_boxes.pop().unwrap_or_default();
+                let min_ns = std::mem::replace(&mut src.outbox_mins[dst], u64::MAX);
+                (min_ns, std::mem::replace(slot, spare))
+            };
+            debug_assert!(
+                clamped || w_end.is_none_or(|e| min_ns >= e.as_nanos()),
+                "cross-shard delivery inside its own window"
+            );
             let target = lanes[dst].as_mut().expect("lane checked in");
-            for (at, stamp, hop, env) in items.drain(..) {
-                debug_assert!(
-                    w_end.is_none_or(|e| at >= e),
-                    "cross-shard delivery inside its own window"
-                );
-                target.queue.push(at, stamp, EventKind::Deliver { hop, env });
+            if min_ns < target.inbox_min_ns {
+                target.inbox_min_ns = min_ns;
             }
+            target.inboxes.push(buf);
         }
         lanes[i].as_mut().expect("lane checked in").outboxes = boxes;
     }
@@ -437,31 +501,34 @@ pub(crate) fn try_run_sharded<M: Send + 'static>(
     until: SimTime,
     limit: u64,
 ) -> Option<u64> {
-    let EngineMode::Sharded { shards } = sim.engine else { return None };
+    let EngineMode::Sharded { shards } = sim.engine.mode else { return None };
     let Some(plan) = plan_for(sim, shards) else {
         sim.note_serial_fallback();
         return None;
     };
+    let adaptive = sim.engine.adaptive_lookahead;
     let k = plan.shards;
 
     let (mut lanes, mut faults) = deal_out(sim, &plan);
     let mut total: u64 = 0;
     let mut windows: u64 = 0;
+    let mut elided: u64 = 0;
     let mut shard_events = vec![0u64; k];
+    let mut window_hist = crate::metrics::Histogram::new();
 
     std::thread::scope(|scope| {
         let (done_tx, done_rx) = mpsc::channel::<(usize, Core<M>, u64)>();
         let mut work_txs = Vec::with_capacity(k);
         for _ in 0..k {
-            let (tx, rx) = mpsc::channel::<(Core<M>, Option<SimTime>)>();
+            let (tx, rx) = mpsc::channel::<(Core<M>, Option<SimTime>, bool)>();
             work_txs.push(tx);
             let done = done_tx.clone();
             scope.spawn(move || {
                 let worker_rx = rx;
                 let mut lane_index = None;
-                while let Ok((mut core, w_end)) = worker_rx.recv() {
+                while let Ok((mut core, w_end, clamp_sends)) = worker_rx.recv() {
                     let i = *lane_index.get_or_insert(core.my_shard as usize);
-                    let n = lane_window(&mut core, w_end);
+                    let n = lane_window(&mut core, w_end, clamp_sends);
                     if done.send((i, core, n)).is_err() {
                         break;
                     }
@@ -471,17 +538,28 @@ pub(crate) fn try_run_sharded<M: Send + 'static>(
         drop(done_tx);
 
         let mut slots: Vec<Option<Core<M>>> = lanes.drain(..).map(Some).collect();
+        let mut busy: Vec<usize> = Vec::with_capacity(k);
         loop {
             if total >= limit {
                 break;
             }
-            // Next pending instant across all lanes and scripted faults.
-            let mut w_start = faults.front().map(|f| f.0);
+            // Next pending instant across all lanes (local queues plus
+            // undrained inboxes) and scripted faults; the runner-up instant
+            // detects solo windows for barrier elision. A lane tying the
+            // minimum counts as the runner-up.
+            let mut min1 = u64::MAX;
+            let mut min2 = u64::MAX;
             for slot in slots.iter_mut() {
-                if let Some((at, _)) = slot.as_mut().expect("lane checked in").queue.peek_key() {
-                    w_start = Some(w_start.map_or(at, |w| w.min(at)));
+                let e = slot.as_mut().expect("lane checked in").earliest_pending_ns();
+                if e < min1 {
+                    min2 = min1;
+                    min1 = e;
+                } else if e < min2 {
+                    min2 = e;
                 }
             }
+            let lane_min = (min1 != u64::MAX).then(|| SimTime::from_nanos(min1));
+            let w_start = min_opt(lane_min, faults.front().map(|f| f.0));
             let Some(w_start) = w_start else { break };
             if w_start > until {
                 break;
@@ -502,34 +580,68 @@ pub(crate) fn try_run_sharded<M: Send + 'static>(
                 continue;
             }
             let mut w_end = window_end(w_start, plan.lookahead_ns);
+            // Adaptive lookahead: when exactly one lane has pending work
+            // before every other lane's horizon, the other shards are
+            // provably silent until the runner-up instant, so the busy lane
+            // may leap past the classic window in one dispatch. The leap
+            // self-clamps at the lane's first cross-shard send (see
+            // `lane_window`); scripted faults and the caller's deadline
+            // still bound it below.
+            let mut clamp_sends = false;
+            if adaptive {
+                if min2 == u64::MAX {
+                    if min1 != u64::MAX {
+                        w_end = None;
+                        clamp_sends = true;
+                    }
+                } else if w_end.is_some_and(|e| min2 > e.as_nanos()) {
+                    w_end = Some(SimTime::from_nanos(min2));
+                    clamp_sends = true;
+                }
+            }
             w_end = min_opt(w_end, faults.front().map(|f| f.0));
             if until < SimTime::MAX {
                 w_end = min_opt(w_end, Some(SimTime::from_nanos(until.as_nanos() + 1)));
             }
             // Dispatch only lanes with work inside the window.
-            let mut in_flight = 0;
+            busy.clear();
             for (i, slot) in slots.iter_mut().enumerate() {
-                let busy = matches!(
-                    slot.as_mut().expect("lane checked in").queue.peek_key(),
-                    Some((at, _)) if w_end.is_none_or(|e| at < e)
-                );
-                if busy {
-                    let core = slot.take().expect("lane checked in");
-                    work_txs[i].send((core, w_end)).expect("worker alive");
-                    in_flight += 1;
+                let e = slot.as_mut().expect("lane checked in").earliest_pending_ns();
+                if e != u64::MAX && w_end.is_none_or(|end| e < end.as_nanos()) {
+                    busy.push(i);
                 }
             }
+            debug_assert!(!clamp_sends || busy.len() == 1, "send clamp outside a solo window");
             let mut window_events = 0;
-            for _ in 0..in_flight {
-                let (i, core, n) = done_rx.recv().expect("worker alive");
+            if let [i] = busy[..] {
+                // A lone busy lane runs inline on the coordinator thread: no
+                // channel round-trip, no worker wakeup.
+                let core = slots[i].as_mut().expect("lane checked in");
+                let n = lane_window(core, w_end, clamp_sends);
+                if clamp_sends && plan.lookahead_ns != u64::MAX {
+                    // Barriers a classic run would have synchronized at
+                    // while this lane covered the same span.
+                    elided +=
+                        core.time.as_nanos().saturating_sub(w_start.as_nanos()) / plan.lookahead_ns;
+                }
                 shard_events[i] += n;
                 window_events += n;
-                slots[i] = Some(core);
+            } else {
+                for &i in &busy {
+                    let core = slots[i].take().expect("lane checked in");
+                    work_txs[i].send((core, w_end, clamp_sends)).expect("worker alive");
+                }
+                for _ in 0..busy.len() {
+                    let (i, core, n) = done_rx.recv().expect("worker alive");
+                    shard_events[i] += n;
+                    window_events += n;
+                    slots[i] = Some(core);
+                }
             }
             total += window_events;
             windows += 1;
-            sim.core.metrics.histogram("engine.shard.events_per_window").record(window_events);
-            exchange_outboxes(&mut slots, w_end);
+            window_hist.record(window_events);
+            exchange_outboxes(&mut slots, w_end, clamp_sends);
             replay_barrier(sim, &mut slots);
         }
         let taken: Vec<Core<M>> =
@@ -539,6 +651,10 @@ pub(crate) fn try_run_sharded<M: Send + 'static>(
 
     if windows > 0 {
         sim.core.metrics.add("engine.shard.windows", windows);
+        sim.core.metrics.histogram("engine.shard.events_per_window").merge(&window_hist);
+        if elided > 0 {
+            sim.core.metrics.add("engine.barriers_elided", elided);
+        }
         for (i, n) in shard_events.iter().enumerate() {
             if *n > 0 {
                 sim.core.metrics.add(&format!("engine.shard.s{i}.events"), *n);
@@ -818,6 +934,75 @@ mod tests {
         let hist = sim.metrics().snapshot().histograms;
         assert!(hist.contains_key("engine.shard.events_per_window"));
         assert!(sim.metrics().counter_value("engine.ops_pool.hit") > 0);
+    }
+
+    /// A node with no behavior at all: its campus generates zero traffic.
+    struct Quiet;
+
+    impl Node<u64> for Quiet {
+        fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: NodeId, _msg: u64) {}
+    }
+
+    /// All chatter confined to campus 0; campus 1 is silent. The WAN link
+    /// still makes the topology shardable, so one lane carries every event
+    /// while the other stays idle — the barrier-elision sweet spot.
+    fn sparse_sim(seed: u64) -> Simulation<u64> {
+        let mut sim: Simulation<u64> = Simulation::new(seed);
+        let mut nodes = Vec::new();
+        for i in 0..4 {
+            let peer_index = if i == 0 { 1 } else { 0 };
+            nodes.push(sim.add_node(
+                format!("c0n{i}"),
+                Chatter {
+                    peer: NodeId::from_index(peer_index),
+                    period: SimDuration::from_millis(3 + i as u64),
+                    rounds: 12,
+                    fired: 0,
+                    received: 0,
+                },
+            ));
+        }
+        for _ in 0..2 {
+            nodes.push(sim.add_node("quiet", Quiet));
+        }
+        let lan = LinkConfig::new(SimDuration::from_millis(1))
+            .with_jitter(SimDuration::from_micros(200))
+            .with_loss(LossModel::Iid { p: 0.02 });
+        for i in 1..4 {
+            sim.connect(nodes[0], nodes[i], lan);
+        }
+        sim.connect(nodes[4], nodes[5], lan);
+        let wan = LinkConfig::new(SimDuration::from_millis(40));
+        sim.connect(nodes[0], nodes[4], wan);
+        sim
+    }
+
+    #[test]
+    fn adaptive_lookahead_elides_barriers_and_stays_byte_identical() {
+        let run = |cfg: crate::sim::EngineConfig| {
+            let mut sim = sparse_sim(13);
+            sim.set_engine_config(cfg);
+            sim.enable_trace(1 << 18);
+            sim.run_until(SimTime::from_millis(500));
+            let snap = sim.metrics().snapshot();
+            (sim.trace().unwrap().fingerprint(), snap)
+        };
+        let serial = run(crate::sim::EngineConfig::serial());
+        let on = run(crate::sim::EngineConfig::sharded(2));
+        let off = run(crate::sim::EngineConfig::sharded(2).with_adaptive_lookahead(false));
+        assert_eq!(serial.0, on.0, "adaptive sharded trace diverged from serial");
+        assert_eq!(serial.0, off.0, "classic sharded trace diverged from serial");
+        assert_eq!(
+            on.1.without_prefix("engine."),
+            off.1.without_prefix("engine."),
+            "world metrics must not depend on barrier elision"
+        );
+        let elided = on.1.counters.get("engine.barriers_elided").copied().unwrap_or(0);
+        assert!(elided > 0, "solo-lane traffic must elide barriers, got {elided}");
+        assert!(
+            !off.1.counters.contains_key("engine.barriers_elided"),
+            "elision disabled must not count elided barriers"
+        );
     }
 
     #[test]

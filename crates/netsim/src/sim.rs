@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::link::{DropReason, Link, LinkConfig, LinkId, Transmit};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::node::{Context, Envelope, Node, NodeId, Op, Timer};
 use crate::observe::{SimEvent, SimObserver, SimView};
 use crate::rng::DetRng;
@@ -28,13 +28,15 @@ use crate::trace::{Trace, TraceEvent, TraceKind};
 /// Both modes are byte-identical: same trace fingerprint, same metrics,
 /// same node states. `Sharded` partitions the node graph and runs
 /// lookahead-bounded event windows on worker threads; when the topology
-/// cannot be partitioned with a positive lookahead it silently falls back
-/// to serial execution.
+/// cannot be partitioned with a positive lookahead the run falls back to
+/// serial execution *loudly* — each fallback bumps the
+/// `engine.fallback_serial` counter and, when tracing is enabled, appends a
+/// [`TraceKind::EngineFallback`] record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineMode {
     /// Single-threaded reference executor: one global event loop.
     Serial,
-    /// Conservative shard-parallel executor (see [`crate::shard`]).
+    /// Conservative shard-parallel executor (see the `shard` module docs).
     Sharded {
         /// Number of shards (worker threads) to partition the node graph
         /// into. Values below 2 behave like `Serial`.
@@ -45,8 +47,160 @@ pub enum EngineMode {
 /// Default shard count when the caller asks for `sharded` without a number.
 pub const DEFAULT_SHARDS: usize = 4;
 
+/// Per-simulation engine configuration: the executor plus its tuning knobs.
+///
+/// Every [`Simulation`] carries its own `EngineConfig` (set it with
+/// [`Simulation::builder`] or [`Simulation::set_engine_config`]); there is
+/// no process-global engine state on the supported path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Which executor processes events.
+    pub mode: EngineMode,
+    /// Enables adaptive lookahead (barrier elision) under
+    /// [`EngineMode::Sharded`]: while all shards but one are quiescent and
+    /// no cross-shard message is pending, the busy shard advances in
+    /// multi-window leaps bounded by its next cross-shard send instead of
+    /// synchronizing at every lookahead window. Results are byte-identical
+    /// either way (property-tested); elided barriers are counted in
+    /// `engine.barriers_elided`. `true` by default; inert under
+    /// [`EngineMode::Serial`].
+    pub adaptive_lookahead: bool,
+}
+
+impl Default for EngineConfig {
+    /// Serial execution, adaptive lookahead enabled (inert until a sharded
+    /// mode is selected).
+    fn default() -> Self {
+        EngineConfig { mode: EngineMode::Serial, adaptive_lookahead: true }
+    }
+}
+
+impl EngineConfig {
+    /// The serial reference executor.
+    pub fn serial() -> Self {
+        EngineConfig::default()
+    }
+
+    /// The sharded executor with `shards` worker lanes.
+    pub fn sharded(shards: usize) -> Self {
+        EngineConfig { mode: EngineMode::Sharded { shards }, ..EngineConfig::default() }
+    }
+
+    /// Returns the configuration with adaptive lookahead switched on or off.
+    pub fn with_adaptive_lookahead(mut self, on: bool) -> Self {
+        self.adaptive_lookahead = on;
+        self
+    }
+}
+
+impl From<EngineMode> for EngineConfig {
+    fn from(mode: EngineMode) -> Self {
+        EngineConfig { mode, ..EngineConfig::default() }
+    }
+}
+
+/// Builder for a [`Simulation`]: master seed plus per-run [`EngineConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use metaclass_netsim::{EngineMode, Simulation};
+///
+/// let sim: Simulation<u64> =
+///     Simulation::builder().seed(7).engine(EngineMode::Sharded { shards: 4 }).build();
+/// assert_eq!(sim.engine(), EngineMode::Sharded { shards: 4 });
+/// ```
+pub struct SimulationBuilder<M> {
+    seed: u64,
+    config: EngineConfig,
+    _msg: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M> SimulationBuilder<M> {
+    /// Creates a builder with seed 0 and the default engine configuration.
+    pub fn new() -> Self {
+        SimulationBuilder {
+            seed: 0,
+            config: EngineConfig::default(),
+            _msg: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the executor, keeping the other engine knobs.
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Replaces the whole engine configuration.
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Switches adaptive lookahead on or off
+    /// (see [`EngineConfig::adaptive_lookahead`]).
+    pub fn adaptive_lookahead(mut self, on: bool) -> Self {
+        self.config.adaptive_lookahead = on;
+        self
+    }
+}
+
+impl<M: 'static> SimulationBuilder<M> {
+    /// Builds the (empty) simulation.
+    pub fn build(self) -> Simulation<M> {
+        Simulation::with_config(self.seed, self.config)
+    }
+}
+
+impl<M> Default for SimulationBuilder<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 const ENGINE_UNSET: u64 = u64::MAX;
 static DEFAULT_ENGINE: AtomicU64 = AtomicU64::new(ENGINE_UNSET);
+static GLOBAL_ENGINE_WARNED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// One-time stderr warning for users of the deprecated process-global
+/// engine shim.
+fn warn_global_engine(source: &str) {
+    if !GLOBAL_ENGINE_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: {source} is deprecated; configure the engine per run with \
+             Simulation::builder().engine(..) or EngineConfig (the process-global \
+             shim will be removed in the next release)"
+        );
+    }
+}
+
+/// The process-global engine override, if one was explicitly installed via
+/// the deprecated [`set_default_engine`] or the `METACLASS_ENGINE`
+/// environment variable. `None` on the supported per-run path.
+///
+/// # Panics
+///
+/// Panics if `METACLASS_ENGINE` is set to an unrecognized value.
+fn global_engine_override() -> Option<EngineMode> {
+    let raw = DEFAULT_ENGINE.load(Ordering::Relaxed);
+    if raw != ENGINE_UNSET {
+        return Some(decode_engine(raw));
+    }
+    let v = std::env::var("METACLASS_ENGINE").ok()?;
+    let mode = parse_engine(&v).unwrap_or_else(|| {
+        panic!("METACLASS_ENGINE: unrecognized engine '{v}' (serial | sharded | sharded:<n>)")
+    });
+    DEFAULT_ENGINE.store(encode_engine(mode), Ordering::Relaxed);
+    Some(mode)
+}
 
 fn encode_engine(mode: EngineMode) -> u64 {
     match mode {
@@ -75,34 +229,37 @@ pub fn parse_engine(s: &str) -> Option<EngineMode> {
     }
 }
 
-/// The process-wide default engine used by [`Simulation::new`].
+/// The process-wide default engine consulted by [`Simulation::new`].
 ///
-/// Resolved once: an explicit [`set_default_engine`] call wins; otherwise
-/// the `METACLASS_ENGINE` environment variable (`serial`, `sharded`,
-/// `sharded:<n>`) is consulted, defaulting to [`EngineMode::Serial`].
+/// Deprecated compatibility shim, kept for one release: an explicit
+/// [`set_default_engine`] call wins; otherwise the `METACLASS_ENGINE`
+/// environment variable (`serial`, `sharded`, `sharded:<n>`) is consulted,
+/// defaulting to [`EngineMode::Serial`]. Configure engines per run with
+/// [`Simulation::builder`] instead.
 ///
 /// # Panics
 ///
 /// Panics if `METACLASS_ENGINE` is set to an unrecognized value.
+#[deprecated(
+    since = "0.7.0",
+    note = "configure the engine per run: Simulation::builder().engine(..) or EngineConfig"
+)]
 pub fn default_engine() -> EngineMode {
-    let raw = DEFAULT_ENGINE.load(Ordering::Relaxed);
-    if raw != ENGINE_UNSET {
-        return decode_engine(raw);
-    }
-    let mode = match std::env::var("METACLASS_ENGINE") {
-        Err(_) => EngineMode::Serial,
-        Ok(v) => parse_engine(&v).unwrap_or_else(|| {
-            panic!("METACLASS_ENGINE: unrecognized engine '{v}' (serial | sharded | sharded:<n>)")
-        }),
-    };
-    DEFAULT_ENGINE.store(encode_engine(mode), Ordering::Relaxed);
-    mode
+    global_engine_override().unwrap_or(EngineMode::Serial)
 }
 
 /// Sets the process-wide default engine for simulations created after this
-/// call. Intended for CLI entry points; tests and libraries should prefer
-/// the per-simulation [`Simulation::set_engine`].
+/// call.
+///
+/// Deprecated compatibility shim, kept for one release; the first use logs
+/// a warning to stderr. Pass the engine per run instead:
+/// `Simulation::builder().engine(mode)` or [`Simulation::set_engine_config`].
+#[deprecated(
+    since = "0.7.0",
+    note = "configure the engine per run: Simulation::builder().engine(..) or EngineConfig"
+)]
 pub fn set_default_engine(mode: EngineMode) {
+    warn_global_engine("set_default_engine");
     DEFAULT_ENGINE.store(encode_engine(mode), Ordering::Relaxed);
 }
 
@@ -234,6 +391,27 @@ pub(crate) struct Core<M> {
     pub(crate) my_shard: u32,
     /// Cross-shard deliveries produced this window, per destination shard.
     pub(crate) outboxes: Vec<Outbox<M>>,
+    /// Cross-shard deliveries received at a barrier, awaiting drain into the
+    /// local queue on the lane's next dispatch (one buffer per exchange).
+    pub(crate) inboxes: Vec<Outbox<M>>,
+    /// Earliest arrival across `inboxes` in ns (`u64::MAX` when empty).
+    pub(crate) inbox_min_ns: u64,
+    /// Earliest arrival queued per destination outbox this window
+    /// (`u64::MAX` where that outbox is empty).
+    pub(crate) outbox_mins: Vec<u64>,
+    /// Earliest arrival across all outboxes this window (`u64::MAX` when no
+    /// cross-shard send happened). Bounds adaptive solo windows.
+    pub(crate) outbox_min_ns: u64,
+    /// Recycled cross-shard exchange buffers.
+    pub(crate) spare_boxes: Vec<Outbox<M>>,
+    /// `net.sent` kept as a plain field on the hot path, flushed to the
+    /// metrics registry at run end.
+    pub(crate) sent_count: u64,
+    /// `net.delivered` kept as a plain field, flushed at run end.
+    pub(crate) delivered_count: u64,
+    /// `net.delivery_latency_ns` samples kept as a plain histogram, merged
+    /// into the registry at run end.
+    pub(crate) delivery_hist: Histogram,
 }
 
 /// One shard-pair outbox: stamped cross-shard deliveries awaiting exchange.
@@ -275,6 +453,14 @@ impl<M> Core<M> {
             shard_of: None,
             my_shard: 0,
             outboxes: Vec::new(),
+            inboxes: Vec::new(),
+            inbox_min_ns: u64::MAX,
+            outbox_mins: Vec::new(),
+            outbox_min_ns: u64::MAX,
+            spare_boxes: Vec::new(),
+            sent_count: 0,
+            delivered_count: 0,
+            delivery_hist: Histogram::new(),
         }
     }
 
@@ -292,11 +478,44 @@ impl<M> Core<M> {
         if let Some(map) = &self.shard_of {
             let dest = map[hop.index()];
             if dest != self.my_shard {
-                self.outboxes[dest as usize].push((at, stamp, hop, env));
+                let d = dest as usize;
+                let ns = at.as_nanos();
+                if ns < self.outbox_mins[d] {
+                    self.outbox_mins[d] = ns;
+                }
+                if ns < self.outbox_min_ns {
+                    self.outbox_min_ns = ns;
+                }
+                self.outboxes[d].push((at, stamp, hop, env));
                 return;
             }
         }
         self.queue.push(at, stamp, EventKind::Deliver { hop, env });
+    }
+
+    /// Earliest pending instant in this lane — local queue or an undrained
+    /// inbox — in ns (`u64::MAX` when idle).
+    pub(crate) fn earliest_pending_ns(&mut self) -> u64 {
+        let q = self.queue.peek_key().map_or(u64::MAX, |(at, _)| at.as_nanos());
+        q.min(self.inbox_min_ns)
+    }
+
+    /// Drains barrier-received cross-shard buffers into the local queue,
+    /// recycling the buffers. Runs before any event of a lane window.
+    pub(crate) fn drain_inboxes(&mut self) {
+        if self.inboxes.is_empty() {
+            return;
+        }
+        let mut bufs = std::mem::take(&mut self.inboxes);
+        for buf in &mut bufs {
+            for (at, stamp, hop, env) in buf.drain(..) {
+                debug_assert!(at >= self.time, "cross-shard delivery in a lane's past");
+                self.queue.push(at, stamp, EventKind::Deliver { hop, env });
+            }
+        }
+        self.spare_boxes.append(&mut bufs);
+        self.inboxes = bufs;
+        self.inbox_min_ns = u64::MAX;
     }
 
     fn record_trace(&mut self, kind: TraceKind, src: NodeId, dst: NodeId, size_bytes: u32) {
@@ -435,10 +654,8 @@ impl<M: 'static> Core<M> {
 
     /// Counters, latency histogram, and trace entry for one final delivery.
     fn record_delivery(&mut self, env: &Envelope<M>) {
-        self.metrics.inc("net.delivered");
-        self.metrics
-            .histogram("net.delivery_latency_ns")
-            .record(self.time.duration_since(env.sent_at).as_nanos());
+        self.delivered_count += 1;
+        self.delivery_hist.record(self.time.duration_since(env.sent_at).as_nanos());
         self.record_trace(TraceKind::Delivered, env.src, env.dst, env.size_bytes);
         self.notify(SimEvent::Delivered {
             src: env.src,
@@ -492,7 +709,7 @@ impl<M: 'static> Core<M> {
         for op in ops.drain(..) {
             match op {
                 Op::Send { dst, payload, size_bytes } => {
-                    self.metrics.inc("net.sent");
+                    self.sent_count += 1;
                     let env =
                         Envelope { src: node_id, dst, payload, size_bytes, sent_at: self.time };
                     self.record_trace(TraceKind::Sent, node_id, dst, size_bytes);
@@ -642,16 +859,37 @@ pub struct Simulation<M> {
     master_rng: DetRng,
     started: bool,
     inject_counter: u64,
-    pub(crate) engine: EngineMode,
+    pub(crate) engine: EngineConfig,
     /// Bumped on every topology change; invalidates the shard plan.
     pub(crate) topo_version: u64,
     pub(crate) shard_cache: Option<crate::shard::ShardCache>,
 }
 
 impl<M: 'static> Simulation<M> {
-    /// Creates an empty simulation with the given master seed, using the
-    /// process-wide [`default_engine`].
+    /// Creates an empty simulation with the given master seed and the
+    /// default [`EngineConfig`] (serial).
+    ///
+    /// Compatibility, for one release: if the deprecated process-global
+    /// engine was explicitly installed — via [`set_default_engine`] or the
+    /// `METACLASS_ENGINE` environment variable — that mode is honored here
+    /// and a one-time warning is printed to stderr. Use
+    /// [`Simulation::builder`] to pick the engine per run.
     pub fn new(seed: u64) -> Self {
+        let config = match global_engine_override() {
+            Some(mode) => {
+                warn_global_engine(
+                    "the process-global engine (METACLASS_ENGINE / set_default_engine)",
+                );
+                EngineConfig::from(mode)
+            }
+            None => EngineConfig::default(),
+        };
+        Self::with_config(seed, config)
+    }
+
+    /// Creates an empty simulation with an explicit engine configuration,
+    /// ignoring the deprecated process-global engine.
+    pub fn with_config(seed: u64, config: EngineConfig) -> Self {
         Simulation {
             core: Core::new_serial(),
             names: Vec::new(),
@@ -659,22 +897,39 @@ impl<M: 'static> Simulation<M> {
             master_rng: DetRng::new(seed),
             started: false,
             inject_counter: 0,
-            engine: default_engine(),
+            engine: config,
             topo_version: 0,
             shard_cache: None,
         }
     }
 
-    /// Selects the executor for subsequent runs. Safe to change between
-    /// runs; the produced traces, metrics, and node states are identical
-    /// either way.
+    /// Starts building a simulation: master seed plus per-run
+    /// [`EngineConfig`].
+    pub fn builder() -> SimulationBuilder<M> {
+        SimulationBuilder::new()
+    }
+
+    /// Selects the executor for subsequent runs, keeping the other engine
+    /// knobs. Safe to change between runs; the produced traces, metrics,
+    /// and node states are identical either way.
     pub fn set_engine(&mut self, mode: EngineMode) {
-        self.engine = mode;
+        self.engine.mode = mode;
         self.shard_cache = None;
     }
 
     /// The currently selected executor.
     pub fn engine(&self) -> EngineMode {
+        self.engine.mode
+    }
+
+    /// Replaces the whole engine configuration for subsequent runs.
+    pub fn set_engine_config(&mut self, config: EngineConfig) {
+        self.engine = config;
+        self.shard_cache = None;
+    }
+
+    /// The engine configuration in effect.
+    pub fn engine_config(&self) -> EngineConfig {
         self.engine
     }
 
@@ -1055,8 +1310,10 @@ impl<M: 'static> Simulation<M> {
         }
     }
 
-    /// Moves `engine.` counters accumulated as plain fields (kept off the
-    /// hot path) into the metrics registry.
+    /// Moves counters accumulated as plain fields (kept off the hot path)
+    /// into the metrics registry: the `engine.` self-observation counters
+    /// plus the per-event `net.sent` / `net.delivered` / delivery-latency
+    /// aggregates.
     pub(crate) fn flush_engine_metrics(&mut self) {
         if self.core.pool_hits > 0 {
             let v = std::mem::take(&mut self.core.pool_hits);
@@ -1069,6 +1326,19 @@ impl<M: 'static> Simulation<M> {
         if self.core.fallback_serial > 0 {
             let v = std::mem::take(&mut self.core.fallback_serial);
             self.core.metrics.add("engine.fallback_serial", v);
+        }
+        if self.core.sent_count > 0 {
+            let v = std::mem::take(&mut self.core.sent_count);
+            self.core.metrics.add("net.sent", v);
+        }
+        if self.core.delivered_count > 0 {
+            let v = std::mem::take(&mut self.core.delivered_count);
+            self.core.metrics.add("net.delivered", v);
+        }
+        if !self.core.delivery_hist.is_empty() {
+            let core = &mut self.core;
+            core.metrics.histogram("net.delivery_latency_ns").merge(&core.delivery_hist);
+            core.delivery_hist.clear();
         }
     }
 
@@ -1093,6 +1363,8 @@ impl<M: 'static> Simulation<M> {
     pub fn step(&mut self) -> Option<SimTime> {
         self.ensure_started();
         if self.step_budget(1) > 0 {
+            // Keep the registry view current for step-at-a-time callers.
+            self.flush_engine_metrics();
             Some(self.core.time)
         } else {
             None
@@ -1631,5 +1903,39 @@ mod tests {
         assert!(pack_stamp(0, u32::MAX, 0) < pack_stamp(1, 0, 0), "depth dominates origin");
         assert!(pack_stamp(0, 1, u64::MAX) < pack_stamp(0, 2, 0), "origin dominates counter");
         assert!(pack_stamp(0, FAULT_ORIGIN, 9) < pack_stamp(0, INJECT_ORIGIN, 0));
+    }
+
+    #[test]
+    fn builder_carries_the_engine_config_per_run() {
+        let sim: Simulation<Msg> = Simulation::builder()
+            .seed(11)
+            .engine(EngineMode::Sharded { shards: 4 })
+            .adaptive_lookahead(false)
+            .build();
+        assert_eq!(sim.engine(), EngineMode::Sharded { shards: 4 });
+        assert!(!sim.engine_config().adaptive_lookahead);
+        // A second simulation is unaffected: nothing process-global moved.
+        let other: Simulation<Msg> = Simulation::new(12);
+        assert_eq!(other.engine(), EngineMode::Serial);
+        assert!(other.engine_config().adaptive_lookahead);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_global_engine_shim_still_steers_new_simulations() {
+        // Kept for one release: `set_default_engine` must still decide the
+        // engine of `Simulation::new`. Runs in one test to avoid interleaving
+        // with other tests' `Simulation::new` calls; ends on Serial, which is
+        // also the unset default, so the transient global state is benign.
+        set_default_engine(EngineMode::Sharded { shards: 3 });
+        let sim: Simulation<Msg> = Simulation::new(1);
+        assert_eq!(sim.engine(), EngineMode::Sharded { shards: 3 });
+        set_default_engine(EngineMode::Serial);
+        let sim: Simulation<Msg> = Simulation::new(2);
+        assert_eq!(sim.engine(), EngineMode::Serial);
+        // Explicit configs ignore the global entirely.
+        set_default_engine(EngineMode::Serial);
+        let sim: Simulation<Msg> = Simulation::with_config(3, EngineConfig::sharded(2));
+        assert_eq!(sim.engine(), EngineMode::Sharded { shards: 2 });
     }
 }

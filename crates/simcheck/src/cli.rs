@@ -8,6 +8,8 @@
 
 use std::path::Path;
 
+use metaclass_netsim::EngineConfig;
+
 use crate::explore::{explore, ExploreConfig, FoundViolation};
 use crate::regress::{RegressionCase, SCHEMA_VERSION};
 
@@ -36,8 +38,15 @@ struct CliConfig {
 }
 
 fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
-    let mut cfg =
-        CliConfig { explore: ExploreConfig { seed: 7, cases: 200, quick: true }, write_dir: None };
+    let mut cfg = CliConfig {
+        explore: ExploreConfig {
+            seed: 7,
+            cases: 200,
+            quick: true,
+            engine: EngineConfig::default(),
+        },
+        write_dir: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,7 +72,7 @@ fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
                 let mode = metaclass_netsim::parse_engine(raw).ok_or_else(|| {
                     format!("--engine: unknown engine '{raw}' (serial | sharded | sharded:<n>)")
                 })?;
-                metaclass_netsim::set_default_engine(mode);
+                cfg.explore.engine = EngineConfig::from(mode);
                 i += 2;
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -168,6 +177,10 @@ mod tests {
         assert_eq!(cfg.explore.seed, 9);
         assert_eq!(cfg.explore.cases, 5);
         assert!(!cfg.explore.quick);
+        assert_eq!(cfg.explore.engine, EngineConfig::default());
+        let cfg = parse(&argv(&["--engine", "sharded:2"])).unwrap().unwrap();
+        assert_eq!(cfg.explore.engine, EngineConfig::sharded(2));
+        assert!(parse(&argv(&["--engine", "warp"])).is_err());
         assert!(parse(&argv(&["--bogus"])).is_err());
         assert!(parse(&argv(&["--seed"])).is_err());
         assert!(parse(&argv(&["--help"])).unwrap().is_none());

@@ -10,7 +10,7 @@
 //! Everything is a pure function of the seed — no wall clock, no ambient
 //! randomness — so `explore` output is byte-identical across reruns.
 
-use metaclass_netsim::{DetRng, SimTime};
+use metaclass_netsim::{DetRng, EngineConfig, SimTime};
 
 use crate::oracle::{observer_for, shared, Oracle, Probe, Violation};
 use crate::plan::{event_count, generate_windows, lower, FaultWindow};
@@ -150,6 +150,9 @@ pub struct ExploreConfig {
     pub cases: u32,
     /// Quick (test-sized) or full scenario.
     pub quick: bool,
+    /// Execution engine each case's session runs on. Per-run state, so
+    /// explorations with different engines can share a process.
+    pub engine: EngineConfig,
 }
 
 /// One caught-and-shrunk violation.
@@ -215,8 +218,9 @@ pub fn explore_with(
     let mut violations = Vec::new();
     for case in 0..cfg.cases {
         let session_seed = mix(cfg.seed, 0x51C4 ^ u64::from(case));
-        let scn =
+        let mut scn =
             if cfg.quick { Scenario::quick(session_seed) } else { Scenario::full(session_seed) };
+        scn.engine = cfg.engine;
         let (_, topo) = scn.build();
         let space = scn.plan_space(&topo);
         let mut rng = DetRng::new(cfg.seed).derive(0xFA17 ^ u64::from(case));
@@ -266,12 +270,17 @@ mod tests {
 
     #[test]
     fn exploration_is_deterministic() {
-        let cfg = ExploreConfig { seed: 7, cases: 3, quick: true };
+        let cfg = ExploreConfig { seed: 7, cases: 3, quick: true, engine: EngineConfig::default() };
         let a = explore(&cfg);
         let b = explore(&cfg);
         assert_eq!(a.fingerprint, b.fingerprint);
         assert_eq!(a.clean, b.clean);
-        let c = explore(&ExploreConfig { seed: 8, cases: 3, quick: true });
+        let c = explore(&ExploreConfig {
+            seed: 8,
+            cases: 3,
+            quick: true,
+            engine: EngineConfig::default(),
+        });
         assert_ne!(a.fingerprint, c.fingerprint, "different seeds explore differently");
     }
 
@@ -285,7 +294,8 @@ mod tests {
             oracles.push(Box::new(CanaryOracle { trip_code: 1 })); // LinkDown
             oracles
         };
-        let cfg = ExploreConfig { seed: 7, cases: 20, quick: true };
+        let cfg =
+            ExploreConfig { seed: 7, cases: 20, quick: true, engine: EngineConfig::default() };
         let out = explore_with(&cfg, &factory);
         let caught: Vec<_> =
             out.violations.iter().filter(|v| v.violation.oracle == "canary").collect();

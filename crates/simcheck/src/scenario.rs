@@ -9,7 +9,7 @@
 use metaclass_avatar::AvatarId;
 use metaclass_core::{Activity, ClassroomSession, SessionBuilder, SessionConfig};
 use metaclass_edge::{HeartbeatConfig, OverloadConfig};
-use metaclass_netsim::{LinkClass, NodeId, Region, SimDuration, SimTime};
+use metaclass_netsim::{EngineConfig, LinkClass, NodeId, Region, SimDuration, SimTime};
 
 use crate::plan::PlanSpace;
 
@@ -39,6 +39,9 @@ pub struct Scenario {
     pub heartbeat: HeartbeatConfig,
     /// Maximum windows per generated schedule.
     pub max_windows: usize,
+    /// Execution engine the checked session runs on (per-run state, so
+    /// explorations with different engines can share a process).
+    pub engine: EngineConfig,
 }
 
 impl Scenario {
@@ -66,6 +69,7 @@ impl Scenario {
                 degraded_stride: 4,
             },
             max_windows: 4,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -84,6 +88,7 @@ impl Scenario {
             warmup: SimTime::from_secs(2),
             heartbeat: HeartbeatConfig::default(),
             max_windows: 6,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -115,6 +120,7 @@ impl Scenario {
         };
         let session = SessionBuilder::new()
             .seed(self.session_seed)
+            .engine_config(self.engine)
             .activity(Activity::Lecture)
             .server_config(cfg.server)
             .client_config(cfg.client)

@@ -4,23 +4,21 @@
 //! the sharded engine. The observer replay at window barriers is what makes
 //! this hold — oracles see the exact serial event stream.
 //!
-//! The engine is selected through the process-wide default (the same path
-//! `bench simcheck --engine sharded` uses), so the whole comparison lives in
-//! one test function.
+//! The engine is per-run state ([`ExploreConfig::engine`], the same path
+//! `bench simcheck --engine sharded` takes), so the serial and sharded
+//! explorations here are independent and could even run concurrently.
 
-use metaclass_netsim::{set_default_engine, EngineMode};
+use metaclass_netsim::EngineConfig;
 use metaclass_simcheck::explore::{explore, ExploreConfig};
 
 #[test]
 fn exploration_fingerprint_is_engine_invariant() {
-    let run = |mode| {
-        set_default_engine(mode);
-        let out = explore(&ExploreConfig { seed: 7, cases: 15, quick: true });
-        set_default_engine(EngineMode::Serial);
+    let run = |engine| {
+        let out = explore(&ExploreConfig { seed: 7, cases: 15, quick: true, engine });
         (out.fingerprint_hex(), out.cases, out.violations.len())
     };
-    let serial = run(EngineMode::Serial);
-    let sharded = run(EngineMode::Sharded { shards: 4 });
+    let serial = run(EngineConfig::serial());
+    let sharded = run(EngineConfig::sharded(4));
     assert_eq!(serial, sharded, "explorer outcomes diverged between engines");
     assert_eq!(serial.2, 0, "the standard scenario should be violation-free");
 }

@@ -16,11 +16,13 @@
 #      byte-for-byte (the committed baselines double as the correctness
 #      oracle for the parallel engine), or
 #   5. the engine_shard criterion bench shows the sharded engine off its
-#      budget on the E3 topology: on hosts with >= 4 cores, serial/sharded_4
-#      must reach PERF_GATE_SHARD_SPEEDUP (default 1.5); on smaller hosts a
-#      real speedup is physically impossible, so the gate instead bounds the
-#      coordination overhead at PERF_GATE_SHARD_OVERHEAD (default 2.0) times
-#      the serial wall time.
+#      budget on the E3 topology: on hosts with >= 4 cores this is an
+#      affirmative speedup gate — serial/sharded_4 must reach
+#      PERF_GATE_SHARD_SPEEDUP (default 1.3) — on smaller hosts a real
+#      speedup is physically impossible, so the speedup gate is skipped
+#      with a visible notice and the gate instead bounds the coordination
+#      overhead at PERF_GATE_SHARD_OVERHEAD (default 2.0) times the serial
+#      wall time.
 #
 # Wall-clock numbers are recorded in results/TIMING_current.json — kept
 # strictly outside the BENCH documents so those stay byte-reproducible.
@@ -35,7 +37,7 @@ cd "$(dirname "$0")/.."
 
 TOLERANCE="${PERF_GATE_TOLERANCE:-25}"
 MIN_SPEEDUP="${PERF_GATE_MIN_SPEEDUP:-1.1}"
-SHARD_SPEEDUP="${PERF_GATE_SHARD_SPEEDUP:-1.5}"
+SHARD_SPEEDUP="${PERF_GATE_SHARD_SPEEDUP:-1.3}"
 SHARD_OVERHEAD="${PERF_GATE_SHARD_OVERHEAD:-2.0}"
 BASELINES=results/baselines
 ALL_EXPS="e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15"
@@ -208,6 +210,8 @@ else
     else
         # Fewer worker cores than shards: the parallel engine cannot win, so
         # hold the line on coordination overhead instead.
+        echo "==> SKIP: sharded speedup gate needs >= 4 cores, host has ${cores};" \
+            "checking the ${SHARD_OVERHEAD}x overhead bound instead"
         bound=$(awk -v s="$eng_serial_ns" -v o="$SHARD_OVERHEAD" 'BEGIN { printf "%.0f", s * o }')
         ok=$(awk -v p="$eng_shard4_ns" -v b="$bound" 'BEGIN { print (p <= b) ? 1 : 0 }')
         if [ "$ok" -ne 1 ]; then
