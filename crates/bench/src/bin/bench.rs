@@ -28,6 +28,7 @@ struct Args {
     json: bool,
     list: bool,
     engine: EngineConfig,
+    population: Option<u64>,
     validate: Vec<String>,
 }
 
@@ -45,6 +46,7 @@ fn usage() -> ! {
          \x20 --json           write results/BENCH_<exp>.json\n\
          \x20 --engine E       simulation executor: serial | sharded | sharded:<n>\n\
          \x20                  (byte-identical results either way; default serial)\n\
+         \x20 --population N   pooled planet-tier population override (E3/E4)\n\
          \x20 --list           list registered experiments\n\
          \x20 --validate       check BENCH_*.json files against the schema"
     );
@@ -59,6 +61,7 @@ fn parse_args() -> Args {
         json: false,
         list: false,
         engine: EngineConfig::default(),
+        population: None,
         validate: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +96,14 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     }
                 }
+            }
+            "--population" => {
+                let n: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if n == 0 {
+                    eprintln!("--population must be at least 1");
+                    std::process::exit(2);
+                }
+                args.population = Some(n);
             }
             "--validate" => {
                 args.validate.extend(it.by_ref());
@@ -168,7 +179,9 @@ fn main() -> ExitCode {
         };
 
     for exp in targets {
-        let cfg = SweepConfig::first_n(args.seeds, args.jobs, scale).with_engine(args.engine);
+        let cfg = SweepConfig::first_n(args.seeds, args.jobs, scale)
+            .with_engine(args.engine)
+            .with_population(args.population);
         println!(
             "== {} — {} ({} seeds, {} scale, {} jobs)",
             exp.id(),

@@ -6,12 +6,19 @@
 //! client). The claim: the full stack keeps per-client bandwidth ~flat while
 //! the naive design grows linearly with the population (and its total egress
 //! quadratically).
+//!
+//! A third, planet-scale tier models 10k–1M learners with per-region
+//! flyweight pools (E4's enrolment mix) instead of individual clients:
+//! aggregate accounting is exact, so the population-vs-egress axis extends
+//! three orders of magnitude beyond what individually simulated clients can
+//! reach, at near-constant simulation cost.
 
 use metaclass_core::{Activity, SessionBuilder};
 use metaclass_edge::FanoutConfig;
-use metaclass_netsim::{LinkClass, Region, SimDuration};
+use metaclass_netsim::{LinkClass, PopulationProfile, Region, SimDuration, SimTime};
 use metaclass_sync::DeadReckoningConfig;
 
+use super::e4_regional_servers::regional_split;
 use crate::{mix_seed, Experiment, Report, RunCtx, Table};
 
 /// Which protocol stack a row measured.
@@ -21,6 +28,9 @@ pub enum Mode {
     Full,
     /// Send everything to everyone, every tick, as full snapshots.
     Naive,
+    /// Full stack with the population modeled as per-region flyweight
+    /// pools plus a tracer subset of fully simulated clients.
+    Pooled,
 }
 
 impl std::fmt::Display for Mode {
@@ -28,6 +38,7 @@ impl std::fmt::Display for Mode {
         f.write_str(match self {
             Mode::Full => "full-stack",
             Mode::Naive => "naive",
+            Mode::Pooled => "pooled",
         })
     }
 }
@@ -35,8 +46,8 @@ impl std::fmt::Display for Mode {
 /// One sweep row.
 #[derive(Debug, Clone)]
 pub struct Row {
-    /// Remote-client population.
-    pub clients: u32,
+    /// Remote-client population (pooled members included).
+    pub clients: u64,
     /// Protocol mode.
     pub mode: Mode,
     /// Mean downstream bandwidth per client, kbit/s.
@@ -93,11 +104,58 @@ fn measure(clients: u32, mode: Mode, secs: u64, ctx: &RunCtx) -> Row {
     let report = session.report();
     let per_client = report.fanout_bandwidth_bps() / clients.max(1) as f64 / 1e3;
     Row {
-        clients,
+        clients: clients as u64,
         mode,
         per_client_kbps: per_client,
         egress_mbps: report.fanout_bandwidth_bps() / 1e6,
         p99_display_ms: report.vr_display_latency.p99 as f64 / 1e6,
+    }
+}
+
+/// The planet-scale tier: `population` learners spread across E4's
+/// worldwide enrolment mix as per-region flyweight pools, each with a
+/// tracer subset of fully simulated clients for p99 fidelity. Aggregate
+/// accounting is exact, so egress is comparable with the per-client rows.
+fn measure_pooled(population: u64, secs: u64, ctx: &RunCtx) -> Row {
+    let tracers_per_pool: u32 = if ctx.scale.is_quick() { 4 } else { 16 };
+    let mut server = metaclass_core::SessionConfig::default().server;
+    server.codec = metaclass_core::protocol_codec();
+    // The flash crowd arrives inside one refill window; provision the
+    // admission bucket for the whole population so accounting (not the
+    // interactive default burst) decides who gets in.
+    server.overload.admission.burst = population.min(u32::MAX as u64) as u32;
+    server.overload.admission.waiting_room =
+        usize::try_from(population).unwrap_or(usize::MAX).max(4096);
+    let mut builder = SessionBuilder::new()
+        .seed(mix_seed(ctx.seed, 0x9003_0000 ^ population))
+        .engine_config(ctx.engine)
+        .activity(Activity::Seminar)
+        .campus("CWB", Region::EastAsia, 4, true)
+        .server_config(server);
+    for (region, members) in regional_split(population) {
+        if members == 0 {
+            continue;
+        }
+        builder = builder.population(
+            region,
+            members,
+            tracers_per_pool.min(members.min(u32::MAX as u64) as u32),
+            LinkClass::ResidentialAccess,
+            PopulationProfile::flash_crowd(
+                SimTime::from_millis(200),
+                SimDuration::from_millis(500),
+            ),
+        );
+    }
+    let mut session = builder.build();
+    session.run_for(SimDuration::from_secs(secs));
+    let report = session.report();
+    Row {
+        clients: population,
+        mode: Mode::Pooled,
+        per_client_kbps: report.fanout_bandwidth_bps() / population.max(1) as f64 / 1e3,
+        egress_mbps: report.fanout_bandwidth_bps() / 1e6,
+        p99_display_ms: report.pool_display_latency.p99 as f64 / 1e6,
     }
 }
 
@@ -113,6 +171,18 @@ pub fn run(ctx: &RunCtx) -> Outcome {
         if n <= naive_cap {
             rows.push(measure(n, Mode::Naive, secs, ctx));
         }
+    }
+
+    // Planet tier: per-region pools instead of individual clients. The
+    // quick grid already reaches 100k so CI exercises the pooled path at
+    // scale; `--population N` pins the tier to a single population.
+    let planet: Vec<u64> = match ctx.population {
+        Some(n) => vec![n],
+        None if quick => vec![10_000, 100_000],
+        None => vec![10_000, 100_000, 1_000_000],
+    };
+    for &n in &planet {
+        rows.push(measure_pooled(n, secs, ctx));
     }
 
     let mut table = Table::new(
@@ -195,5 +265,38 @@ mod tests {
             full_growth < naive_growth - 0.1,
             "full grows {full_growth:.2}x vs naive {naive_growth:.2}x"
         );
+    }
+
+    #[test]
+    fn pooled_planet_tier_reaches_100k_with_exact_egress_scaling() {
+        let ctx = RunCtx::new(Scale::Quick, 0);
+        let small = measure_pooled(10_000, 3, &ctx);
+        let large = measure_pooled(100_000, 3, &ctx);
+        assert!(small.egress_mbps > 0.0, "pools received fan-out");
+        // Aggregate accounting is exact, so egress tracks the population:
+        // 10x the members costs close to 10x the bytes, never less than 4x.
+        assert!(
+            large.egress_mbps > 4.0 * small.egress_mbps,
+            "egress {} -> {} Mbit/s across a 10x population step",
+            small.egress_mbps,
+            large.egress_mbps
+        );
+        // ...while per-member cost stays flat (the full stack's claim,
+        // extended three orders of magnitude past individual clients).
+        assert!(
+            large.per_client_kbps < 3.0 * small.per_client_kbps,
+            "per-member cost {} -> {} kbit/s",
+            small.per_client_kbps,
+            large.per_client_kbps
+        );
+        assert!(small.p99_display_ms > 0.0 && large.p99_display_ms > 0.0);
+    }
+
+    #[test]
+    fn population_override_pins_the_planet_tier() {
+        let out = run(&RunCtx::new(Scale::Quick, 1).with_population(5_000));
+        let pooled: Vec<&Row> = out.rows.iter().filter(|r| r.mode == Mode::Pooled).collect();
+        assert_eq!(pooled.len(), 1);
+        assert_eq!(pooled[0].clients, 5_000);
     }
 }

@@ -5,9 +5,10 @@
 //! cloud against regional points of presence: each learner's RTT is measured
 //! with real probe exchanges over simulated access + backbone links.
 
+use metaclass_core::{Activity, SessionBuilder};
 use metaclass_netsim::{
-    Context, DetRng, EngineConfig, Histogram, LinkClass, LinkConfig, Node, NodeId, Region,
-    SimDuration, SimTime, Simulation,
+    Context, DetRng, EngineConfig, Histogram, LinkClass, LinkConfig, Node, NodeId,
+    PopulationProfile, Region, SimDuration, SimTime, Simulation,
 };
 
 use crate::{mix_seed, Experiment, Report, RunCtx, Table};
@@ -48,18 +49,40 @@ pub struct Row {
     pub rtt_hist: Histogram,
 }
 
+/// One planet-tier row: the same worldwide audience, modeled as flyweight
+/// pools, fanned out from one central cloud vs per-region points of
+/// presence.
+#[derive(Debug, Clone)]
+pub struct PooledRow {
+    /// Placement strategy.
+    pub placement: Placement,
+    /// Pooled population across all regions.
+    pub population: u64,
+    /// Total fan-out egress across every serving cloud, Mbit/s.
+    pub egress_mbps: f64,
+    /// Largest single-cloud egress, Mbit/s (equals the total for the
+    /// central placement; the regional win is spreading this peak).
+    pub max_site_egress_mbps: f64,
+    /// p99 capture→pooled-member display latency, ms, member-weighted
+    /// across every region.
+    pub p99_display_ms: f64,
+}
+
 /// Outcome of E4.
 #[derive(Debug, Clone)]
 pub struct Outcome {
     /// Measured rows.
     pub rows: Vec<Row>,
+    /// Planet-tier rows (pooled populations).
+    pub pooled_rows: Vec<PooledRow>,
     /// Rendered tables.
     pub tables: Vec<Table>,
 }
 
 /// Worldwide enrolment mix (share per region) for an online course taught
-/// from Hong Kong.
-const ENROLMENT: [(Region, f64); 8] = [
+/// from Hong Kong. Shared with E3's pooled planet tier so both experiments
+/// model the same audience.
+pub const ENROLMENT: [(Region, f64); 8] = [
     (Region::EastAsia, 0.30),
     (Region::SoutheastAsia, 0.15),
     (Region::SouthAsia, 0.15),
@@ -69,6 +92,18 @@ const ENROLMENT: [(Region, f64); 8] = [
     (Region::Oceania, 0.05),
     (Region::Africa, 0.05),
 ];
+
+/// Deterministically splits a worldwide population across the enrolment
+/// mix: each region gets the floor of its share and East Asia (the largest
+/// share, hosting the campuses) absorbs the rounding remainder, so the
+/// regional member counts always sum to exactly `population`.
+pub fn regional_split(population: u64) -> Vec<(Region, u64)> {
+    let mut split: Vec<(Region, u64)> =
+        ENROLMENT.iter().map(|&(r, share)| (r, (population as f64 * share) as u64)).collect();
+    let assigned: u64 = split.iter().map(|&(_, n)| n).sum();
+    split[0].1 += population - assigned;
+    split
+}
 
 struct EchoServer;
 impl Node<u64> for EchoServer {
@@ -166,6 +201,99 @@ fn measure(placement: Placement, learners: u32, seed: u64, engine: EngineConfig)
     }
 }
 
+/// One classroom session serving `pools` (region, members) as flyweight
+/// pools from a cloud in `cloud_region`, with the campus content origin in
+/// East Asia. Returns (egress bits/s, member-weighted display histogram).
+fn pooled_session(
+    cloud_region: Region,
+    pools: &[(Region, u64)],
+    secs: u64,
+    seed: u64,
+    ctx: &RunCtx,
+) -> (f64, Histogram) {
+    let total: u64 = pools.iter().map(|&(_, n)| n).sum();
+    let tracers: u32 = if ctx.scale.is_quick() { 2 } else { 8 };
+    let mut server = metaclass_core::SessionConfig::default().server;
+    server.codec = metaclass_core::protocol_codec();
+    // Provision admission for the whole flash crowd; the experiment
+    // measures placement, not admission throttling.
+    server.overload.admission.burst = total.min(u32::MAX as u64) as u32;
+    server.overload.admission.waiting_room = usize::try_from(total).unwrap_or(usize::MAX).max(4096);
+    let mut builder = SessionBuilder::new()
+        .seed(seed)
+        .engine_config(ctx.engine)
+        .activity(Activity::Lecture)
+        .cloud_region(cloud_region)
+        .campus("CWB", Region::EastAsia, 4, true)
+        .server_config(server);
+    for &(region, members) in pools {
+        if members == 0 {
+            continue;
+        }
+        builder = builder.population(
+            region,
+            members,
+            tracers.min(members.min(u32::MAX as u64) as u32),
+            LinkClass::ResidentialAccess,
+            PopulationProfile::flash_crowd(
+                SimTime::from_millis(200),
+                SimDuration::from_millis(500),
+            ),
+        );
+    }
+    let mut session = builder.build();
+    session.run_for(SimDuration::from_secs(secs));
+    let report = session.report();
+    let hist = session
+        .sim()
+        .metrics()
+        .histogram_if_present("pool.display_latency_ns")
+        .cloned()
+        .unwrap_or_default();
+    (report.fanout_bandwidth_bps(), hist)
+}
+
+/// The planet tier: the full enrolment mix as pools, central vs regional.
+fn measure_pooled(placement: Placement, population: u64, secs: u64, ctx: &RunCtx) -> PooledRow {
+    let split = regional_split(population);
+    let seed = mix_seed(ctx.seed, 0x9004_0000 ^ population);
+    let mut total_bps = 0.0;
+    let mut max_site_bps = 0.0f64;
+    let mut hist = Histogram::new();
+    match placement {
+        Placement::Central => {
+            let (bps, h) = pooled_session(Region::EastAsia, &split, secs, seed, ctx);
+            total_bps = bps;
+            max_site_bps = bps;
+            hist = h;
+        }
+        Placement::Regional => {
+            for (i, &(region, members)) in split.iter().enumerate() {
+                if members == 0 {
+                    continue;
+                }
+                let (bps, h) = pooled_session(
+                    region,
+                    &[(region, members)],
+                    secs,
+                    seed ^ (i as u64) << 48,
+                    ctx,
+                );
+                total_bps += bps;
+                max_site_bps = max_site_bps.max(bps);
+                hist.merge(&h);
+            }
+        }
+    }
+    PooledRow {
+        placement,
+        population,
+        egress_mbps: total_bps / 1e6,
+        max_site_egress_mbps: max_site_bps / 1e6,
+        p99_display_ms: hist.percentile(99.0) as f64 / 1e6,
+    }
+}
+
 /// Runs the experiment.
 pub fn run(ctx: &RunCtx) -> Outcome {
     let quick = ctx.scale.is_quick();
@@ -174,6 +302,21 @@ pub fn run(ctx: &RunCtx) -> Outcome {
         measure(Placement::Central, learners, mix_seed(ctx.seed, 0xE4), ctx.engine),
         measure(Placement::Regional, learners, mix_seed(ctx.seed, 0xE4), ctx.engine),
     ];
+
+    // Planet tier: the same worldwide audience as flyweight pools. Quick
+    // scale keeps one population (100k) so CI stays inside its wall-clock
+    // budget while still exercising planet scale on every run.
+    let planet: Vec<u64> = match ctx.population {
+        Some(n) => vec![n],
+        None if quick => vec![100_000],
+        None => vec![10_000, 100_000, 1_000_000],
+    };
+    let secs = if quick { 3 } else { 10 };
+    let mut pooled_rows = Vec::new();
+    for &n in &planet {
+        pooled_rows.push(measure_pooled(Placement::Central, n, secs, ctx));
+        pooled_rows.push(measure_pooled(Placement::Regional, n, secs, ctx));
+    }
     let mut table = Table::new(
         "E4: worldwide learner RTT — central cloud vs regional servers",
         &["placement", "learners", "p50 RTT (ms)", "p99 RTT (ms)", "< 100 ms"],
@@ -187,7 +330,20 @@ pub fn run(ctx: &RunCtx) -> Outcome {
             format!("{:.0}%", r.under_100ms * 100.0),
         ]);
     }
-    Outcome { rows, tables: vec![table] }
+    let mut planet_table = Table::new(
+        "E4 planet tier: pooled worldwide audience — central vs regional egress",
+        &["placement", "population", "egress (Mbit/s)", "max site (Mbit/s)", "p99 display (ms)"],
+    );
+    for r in &pooled_rows {
+        planet_table.row_strings(vec![
+            r.placement.to_string(),
+            r.population.to_string(),
+            format!("{:.2}", r.egress_mbps),
+            format!("{:.2}", r.max_site_egress_mbps),
+            format!("{:.1}", r.p99_display_ms),
+        ]);
+    }
+    Outcome { rows, pooled_rows, tables: vec![table, planet_table] }
 }
 
 /// E4 as a sweepable [`Experiment`].
@@ -214,6 +370,13 @@ impl Experiment for E4RegionalServers {
             // the sweep's merged snapshot holds the pooled population.
             r.metrics.histogram(&format!("{prefix}_rtt_ns")).merge(&row.rtt_hist);
             r.metrics.add(&format!("{prefix}_learners"), row.learners as u64);
+        }
+        for row in &out.pooled_rows {
+            let prefix =
+                format!("{}_pooled_{}", crate::slug(&row.placement.to_string()), row.population);
+            r.scalar(format!("{prefix}_egress_mbps"), row.egress_mbps);
+            r.scalar(format!("{prefix}_max_site_egress_mbps"), row.max_site_egress_mbps);
+            r.scalar(format!("{prefix}_p99_display_ms"), row.p99_display_ms);
         }
         for t in out.tables {
             r.table(t);
@@ -245,5 +408,31 @@ mod tests {
             "regional serves {:.2} under 100 ms",
             regional.under_100ms
         );
+    }
+
+    #[test]
+    fn pooled_planet_tier_spreads_peak_egress_across_sites() {
+        let out = run(&RunCtx::new(Scale::Quick, 0));
+        assert_eq!(out.pooled_rows.len(), 2, "quick runs one planet population, two placements");
+        let central = &out.pooled_rows[0];
+        let regional = &out.pooled_rows[1];
+        assert_eq!(central.population, 100_000);
+        assert_eq!(central.placement, Placement::Central);
+        assert_eq!(regional.placement, Placement::Regional);
+        assert!(central.egress_mbps > 0.0, "central cloud fanned out to the pools");
+        assert!(
+            (central.max_site_egress_mbps - central.egress_mbps).abs() < 1e-9,
+            "one central cloud carries all egress"
+        );
+        // The regional win at planet scale: no single point of presence
+        // carries more than the largest regional share of the egress.
+        assert!(
+            regional.max_site_egress_mbps < 0.6 * central.egress_mbps,
+            "regional peak {} Mbit/s vs central total {} Mbit/s",
+            regional.max_site_egress_mbps,
+            central.egress_mbps
+        );
+        assert!(central.p99_display_ms > 0.0);
+        assert!(regional.p99_display_ms > 0.0);
     }
 }

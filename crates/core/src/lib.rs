@@ -64,6 +64,6 @@ pub use modality::TeachingModality;
 pub use path::{mr_to_mr_budget, mr_to_vr_budget, vr_to_mr_budget, HopLatency, PathBudget};
 pub use report::SessionReport;
 pub use session::{
-    protocol_codec, Activity, CampusSpec, ClassroomSession, CohortSpec, Participant, Role,
-    SessionBuilder, SessionConfig,
+    protocol_codec, Activity, CampusSpec, ClassroomSession, CohortSpec, Participant, PoolInfo,
+    PoolSpec, Role, SessionBuilder, SessionConfig,
 };

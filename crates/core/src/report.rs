@@ -12,8 +12,19 @@ pub struct SessionReport {
     pub duration_secs: f64,
     /// Participants physically present on a campus.
     pub physical_participants: u32,
-    /// Remote VR learners.
+    /// Remote VR learners (tracer clients of pooled populations included).
     pub remote_participants: u32,
+    /// Remote learners modeled in aggregate by flyweight pools (tracers
+    /// excluded — those count as remote participants).
+    #[serde(default)]
+    pub pooled_population: u64,
+    /// Pooled members the cloud has admitted so far (token-bucket exact).
+    #[serde(default)]
+    pub pooled_admitted: u64,
+    /// Capture → pooled-member display latency (nanoseconds,
+    /// member-weighted: one sample per member per fan-out batch).
+    #[serde(default)]
+    pub pool_display_latency: Summary,
     /// Sensor → edge ingestion latency (nanoseconds).
     pub sensor_latency: Summary,
     /// Edge → peer-edge replication latency (nanoseconds).
@@ -52,6 +63,9 @@ impl SessionReport {
             duration_secs: session.time().as_secs_f64(),
             physical_participants: physical,
             remote_participants: remote,
+            pooled_population: session.pooled_population(),
+            pooled_admitted: m.counter_value("overload.pool_joins_admitted"),
+            pool_display_latency: summary("pool.display_latency_ns"),
             sensor_latency: summary("edge.sensor_latency_ns"),
             inter_campus_latency: summary("edge.remote_update_latency_ns"),
             mr_display_latency: summary("display.latency_ns"),
@@ -113,6 +127,15 @@ impl std::fmt::Display for SessionReport {
             "session: {:.1}s, {} physical + {} remote participants",
             self.duration_secs, self.physical_participants, self.remote_participants
         )?;
+        if self.pooled_population > 0 {
+            writeln!(
+                f,
+                "  pooled audience: {} members ({} admitted), display {}",
+                self.pooled_population,
+                self.pooled_admitted,
+                self.pool_display_latency.display_as_millis()
+            )?;
+        }
         writeln!(f, "  sensor->edge     {}", self.sensor_latency.display_as_millis())?;
         writeln!(f, "  edge->peer edge  {}", self.inter_campus_latency.display_as_millis())?;
         writeln!(f, "  ->MR display     {}", self.mr_display_latency.display_as_millis())?;

@@ -9,12 +9,13 @@ use std::collections::BTreeMap;
 
 use metaclass_avatar::{AvatarId, CodecConfig, SpaceBounds, Vec3};
 use metaclass_edge::{
-    ClassMsg, ClassroomLayout, ClientConfig, CloudServerNode, EdgeServerNode, FanoutConfig,
-    HeadsetNode, RemoteClientNode, RoomArrayNode, ServerConfig,
+    pool_avatar, ClassMsg, ClassroomLayout, ClientConfig, ClientPoolNode, CloudServerNode,
+    EdgeServerNode, FanoutConfig, HeadsetNode, PoolConfig, RemoteClientNode, RoomArrayNode,
+    ServerConfig,
 };
 use metaclass_netsim::{
-    EngineConfig, EngineMode, LinkClass, LinkConfig, NodeId, Region, SimDuration, SimTime,
-    Simulation,
+    DetRng, EngineConfig, EngineMode, LinkClass, LinkConfig, NodeId, PopulationProfile,
+    PopulationTimeline, Region, SimDuration, SimTime, Simulation,
 };
 use metaclass_sensors::MotionScript;
 use serde::{Deserialize, Serialize};
@@ -63,6 +64,47 @@ pub struct CohortSpec {
     #[serde(default)]
     pub join_stagger: SimDuration,
 }
+
+/// A pooled remote population in one region: `members` statistically
+/// identical learners modeled by one flyweight [`ClientPoolNode`] with exact
+/// aggregate bandwidth/admission/latency accounting, plus a `tracers` subset
+/// kept as fully simulated [`RemoteClientNode`]s for tail-latency fidelity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// The population's region.
+    pub region: Region,
+    /// Total population this spec models (tracers included).
+    pub members: u64,
+    /// How many members are promoted to fully simulated tracer clients
+    /// (capped at `members`; `tracers >= members` expands everyone and
+    /// creates no pool node).
+    pub tracers: u32,
+    /// The members' last-mile access class. The pool's aggregate link is
+    /// this class scaled by the pooled member count.
+    pub access: LinkClass,
+    /// Deterministic arrival/departure process for the population.
+    pub profile: PopulationProfile,
+}
+
+/// One constructed pool node, as seen from the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolInfo {
+    /// Pool identifier (order of [`SessionBuilder::population`] calls).
+    pub pool: u32,
+    /// The pool's region.
+    pub region: Region,
+    /// Members modeled in aggregate (excludes the tracer subset).
+    pub pooled: u64,
+    /// Fully simulated tracer clients split off this pool.
+    pub tracers: u32,
+    /// The flyweight node standing in for the pooled members.
+    pub node: NodeId,
+}
+
+/// Population timelines are frozen over this horizon; arrivals an
+/// [`ArrivalProcess`](metaclass_netsim::ArrivalProcess) would place later
+/// are clamped to it. One hour comfortably covers a class session.
+const POPULATION_HORIZON: SimTime = SimTime::from_secs(3600);
 
 /// Who a participant is.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -163,6 +205,7 @@ pub struct SessionBuilder {
     cfg: SessionConfig,
     campuses: Vec<CampusSpec>,
     cohorts: Vec<CohortSpec>,
+    pools: Vec<PoolSpec>,
 }
 
 impl Default for SessionBuilder {
@@ -174,7 +217,12 @@ impl Default for SessionBuilder {
 impl SessionBuilder {
     /// Creates a builder with default configuration and no rooms.
     pub fn new() -> Self {
-        SessionBuilder { cfg: SessionConfig::default(), campuses: Vec::new(), cohorts: Vec::new() }
+        SessionBuilder {
+            cfg: SessionConfig::default(),
+            campuses: Vec::new(),
+            cohorts: Vec::new(),
+            pools: Vec::new(),
+        }
     }
 
     /// Sets the master seed.
@@ -259,6 +307,24 @@ impl SessionBuilder {
         self
     }
 
+    /// Adds a pooled remote population: `members` learners in `region`
+    /// arriving per `profile`, modeled by one flyweight pool node with exact
+    /// aggregate accounting, plus `tracers` of them kept as fully simulated
+    /// clients (sampled across the arrival curve) for p99 motion-to-photon
+    /// fidelity. `tracers >= members` expands the whole population into
+    /// individual clients — byte-identical to an equivalent cohort.
+    pub fn population(
+        mut self,
+        region: Region,
+        members: u64,
+        tracers: u32,
+        access: LinkClass,
+        profile: PopulationProfile,
+    ) -> Self {
+        self.pools.push(PoolSpec { region, members, tracers, access, profile });
+        self
+    }
+
     /// A last-mile access link extended by the backbone distance to the
     /// cloud's region.
     fn compose_access(access: LinkClass, from: Region, to: Region) -> LinkConfig {
@@ -273,6 +339,23 @@ impl SessionBuilder {
             .with_queue_capacity_bytes(base.queue_capacity_bytes().unwrap_or(512 * 1024))
     }
 
+    /// A pool's aggregate access link: `members` independent last-miles of
+    /// the composed class, serialized over one link with `members`× the
+    /// bandwidth and queue. An aggregate message carrying N clients' bytes
+    /// then occupies the wire exactly as long as one client's message would
+    /// occupy one last-mile; propagation delay, jitter, and loss stay
+    /// per-message, as they are per-packet on the real paths.
+    fn scale_access_for_pool(base: LinkConfig, members: u64) -> LinkConfig {
+        let m = members.max(1);
+        LinkConfig::new(base.delay())
+            .with_jitter(base.jitter_std())
+            .with_loss(base.loss())
+            .with_bandwidth_bps(base.bandwidth_bps().unwrap_or(100_000_000).saturating_mul(m))
+            .with_queue_capacity_bytes(
+                base.queue_capacity_bytes().unwrap_or(512 * 1024).saturating_mul(m),
+            )
+    }
+
     /// Assembles the deployment.
     ///
     /// # Panics
@@ -281,12 +364,28 @@ impl SessionBuilder {
     /// a campus has more participants than its room has seats.
     pub fn build(self) -> ClassroomSession {
         assert!(
-            !self.campuses.is_empty() || !self.cohorts.is_empty(),
-            "a session needs at least one campus or cohort"
+            !self.campuses.is_empty() || !self.cohorts.is_empty() || !self.pools.is_empty(),
+            "a session needs at least one campus, cohort, or population"
         );
         let cfg = self.cfg;
         let mut sim: Simulation<ClassMsg> =
             Simulation::builder().seed(cfg.seed).engine_config(cfg.engine).build();
+
+        // ---- Freeze each population's timeline; split off its tracers. ----
+        // Every pool draws from its own derived stream, so adding a pool
+        // never perturbs another pool's (or any node's) randomness.
+        let pool_rng = DetRng::new(cfg.seed).derive(0x504f_4f4c); // "POOL"
+        let mut pool_plans: Vec<(PopulationTimeline, Vec<SimTime>)> = Vec::new();
+        for (p, spec) in self.pools.iter().enumerate() {
+            let mut rng = pool_rng.derive(p as u64);
+            let full = PopulationTimeline::generate(
+                &spec.profile,
+                spec.members,
+                POPULATION_HORIZON,
+                &mut rng,
+            );
+            pool_plans.push(full.split_tracers((spec.tracers as u64).min(spec.members)));
+        }
 
         // ---- Precompute node indices (nodes are added in this order). ----
         let cloud_id = NodeId::from_index(0);
@@ -313,6 +412,24 @@ impl SessionBuilder {
                 next += 1;
             }
         }
+        for (_, tracer_joins) in &pool_plans {
+            for _ in 0..tracer_joins.len() {
+                client_ids.push(NodeId::from_index(next));
+                next += 1;
+            }
+        }
+        let pool_node_ids: Vec<Option<NodeId>> = pool_plans
+            .iter()
+            .map(|(pooled, _)| {
+                if pooled.members() > 0 {
+                    let id = NodeId::from_index(next);
+                    next += 1;
+                    Some(id)
+                } else {
+                    None
+                }
+            })
+            .collect();
 
         // ---- Rosters, scripts, anchors. ----
         let mut participants = Vec::new();
@@ -383,13 +500,19 @@ impl SessionBuilder {
         let mut client_map = BTreeMap::new();
         {
             let mut j = 0usize;
-            for cohort in &self.cohorts {
-                for _ in 0..cohort.learners {
+            let cohort_regions = self.cohorts.iter().map(|c| (c.region, c.learners as usize));
+            let tracer_regions = self
+                .pools
+                .iter()
+                .zip(&pool_plans)
+                .map(|(spec, (_, tracer_joins))| (spec.region, tracer_joins.len()));
+            for (region, count) in cohort_regions.chain(tracer_regions) {
+                for _ in 0..count {
                     let avatar = AvatarId(10_000 + j as u32);
                     client_map.insert(avatar, client_ids[j]);
                     participants.push(Participant {
                         avatar,
-                        role: Role::RemoteLearner { region: cohort.region },
+                        role: Role::RemoteLearner { region },
                         node: client_ids[j],
                     });
                     j += 1;
@@ -438,39 +561,82 @@ impl SessionBuilder {
             }
         }
 
+        let mut pool_infos = Vec::new();
         {
-            let mut j = 0usize;
-            for cohort in &self.cohorts {
-                for i in 0..cohort.learners {
-                    let avatar = AvatarId(10_000 + j as u32);
-                    // Remote learners "sit" near the origin of their own
-                    // home space; the cloud reseats them in the auditorium.
-                    let script = MotionScript::SeatedLecture {
-                        seat: Vec3::new(1.0 + (j % 5) as f64 * 0.8, 0.0, 1.0 + (j / 5 % 8) as f64),
-                    };
-                    let mut ccfg = cfg.client;
-                    ccfg.join_delay =
+            // Cohort learners, then pool tracers — a single construction
+            // path, so a fully traced pool is byte-identical to a cohort.
+            let cohort_delays = self.cohorts.iter().flat_map(|cohort| {
+                (0..cohort.learners).map(move |i| {
+                    let delay =
                         SimDuration::from_nanos(cohort.joins_at.as_nanos().saturating_add(
                             cohort.join_stagger.as_nanos().saturating_mul(i as u64),
                         ));
-                    let node = sim.add_node(
-                        format!("client-{avatar}"),
-                        RemoteClientNode::new(
-                            avatar,
-                            cloud_id,
-                            ccfg,
-                            script,
-                            cfg.seed ^ ((avatar.0 as u64) << 16),
-                        ),
-                    );
-                    debug_assert_eq!(node, client_ids[j]);
-                    sim.connect(
-                        node,
+                    (cohort.region, cohort.access, delay)
+                })
+            });
+            let tracer_delays = self.pools.iter().zip(&pool_plans).flat_map(|(spec, plan)| {
+                plan.1.iter().map(move |at| {
+                    (spec.region, spec.access, SimDuration::from_nanos(at.as_nanos()))
+                })
+            });
+            for (j, (region, access, join_delay)) in cohort_delays.chain(tracer_delays).enumerate()
+            {
+                let avatar = AvatarId(10_000 + j as u32);
+                // Remote learners "sit" near the origin of their own
+                // home space; the cloud reseats them in the auditorium.
+                let script = MotionScript::SeatedLecture {
+                    seat: Vec3::new(1.0 + (j % 5) as f64 * 0.8, 0.0, 1.0 + (j / 5 % 8) as f64),
+                };
+                let mut ccfg = cfg.client;
+                ccfg.join_delay = join_delay;
+                let node = sim.add_node(
+                    format!("client-{avatar}"),
+                    RemoteClientNode::new(
+                        avatar,
                         cloud_id,
-                        Self::compose_access(cohort.access, cohort.region, cfg.cloud_region),
-                    );
-                    j += 1;
-                }
+                        ccfg,
+                        script,
+                        cfg.seed ^ ((avatar.0 as u64) << 16),
+                    ),
+                );
+                debug_assert_eq!(node, client_ids[j]);
+                sim.connect(node, cloud_id, Self::compose_access(access, region, cfg.cloud_region));
+            }
+
+            // Flyweight pool nodes, after every individually simulated
+            // client, each over an access link scaled by its member count
+            // (N parallel last-miles, modeled as one wide one).
+            for (p, (spec, plan)) in self.pools.iter().zip(&pool_plans).enumerate() {
+                let Some(expected) = pool_node_ids[p] else { continue };
+                let timeline = plan.0.clone();
+                let pooled = timeline.members();
+                let pool = p as u32;
+                let node = sim.add_node(
+                    format!("pool-{pool}"),
+                    ClientPoolNode::new(
+                        PoolConfig {
+                            pool,
+                            members: pooled,
+                            timeline,
+                            tick: cfg.client.pose_rate,
+                            dead_reckoning: cfg.client.dead_reckoning,
+                            codec: cfg.client.codec,
+                        },
+                        cloud_id,
+                        MotionScript::SeatedLecture { seat: Vec3::new(1.0, 0.0, 1.0) },
+                        cfg.seed ^ ((pool_avatar(pool).0 as u64) << 16),
+                    ),
+                );
+                debug_assert_eq!(node, expected);
+                let base = Self::compose_access(spec.access, spec.region, cfg.cloud_region);
+                sim.connect(node, cloud_id, Self::scale_access_for_pool(base, pooled));
+                pool_infos.push(PoolInfo {
+                    pool,
+                    region: spec.region,
+                    pooled,
+                    tracers: plan.1.len() as u32,
+                    node,
+                });
             }
         }
 
@@ -494,6 +660,11 @@ impl SessionBuilder {
         if let Some(s) = speaker {
             sim.node_as_mut::<CloudServerNode>(cloud_id).expect("cloud node").set_speaker(Some(s));
         }
+        if !pool_infos.is_empty() {
+            sim.node_as_mut::<CloudServerNode>(cloud_id)
+                .expect("cloud node")
+                .set_pools(pool_infos.iter().map(|p| (p.pool, p.node)).collect());
+        }
 
         ClassroomSession {
             sim,
@@ -502,6 +673,7 @@ impl SessionBuilder {
             edges: all_edges,
             campuses: self.campuses,
             participants,
+            pools: pool_infos,
         }
     }
 }
@@ -514,6 +686,7 @@ pub struct ClassroomSession {
     edges: Vec<NodeId>,
     campuses: Vec<CampusSpec>,
     participants: Vec<Participant>,
+    pools: Vec<PoolInfo>,
 }
 
 impl ClassroomSession {
@@ -562,6 +735,18 @@ impl ClassroomSession {
     /// Campus specifications, in campus order.
     pub fn campuses(&self) -> &[CampusSpec] {
         &self.campuses
+    }
+
+    /// Constructed pool nodes, in pool order. A population fully covered by
+    /// tracers creates no pool node and does not appear here.
+    pub fn pools(&self) -> &[PoolInfo] {
+        &self.pools
+    }
+
+    /// Members modeled in aggregate across every pool (tracers excluded —
+    /// those are real participants).
+    pub fn pooled_population(&self) -> u64 {
+        self.pools.iter().map(|p| p.pooled).sum()
     }
 
     /// Builds a report from the metrics accumulated so far.
@@ -641,6 +826,79 @@ mod tests {
     #[should_panic(expected = "at least one campus")]
     fn empty_sessions_are_rejected() {
         let _ = SessionBuilder::new().build();
+    }
+
+    #[test]
+    fn pooled_population_admits_and_receives_displays() {
+        let mut s = SessionBuilder::new()
+            .seed(17)
+            .campus("CWB", Region::EastAsia, 3, true)
+            .population(
+                Region::SouthAsia,
+                500,
+                4,
+                LinkClass::ResidentialAccess,
+                PopulationProfile::flash_crowd(
+                    SimTime::from_millis(200),
+                    SimDuration::from_millis(300),
+                ),
+            )
+            .build();
+        assert_eq!(s.pools().len(), 1);
+        assert_eq!(s.pooled_population(), 496);
+        let tracers = s
+            .participants()
+            .iter()
+            .filter(|p| matches!(p.role, Role::RemoteLearner { .. }))
+            .count();
+        assert_eq!(tracers, 4);
+
+        s.run_for(SimDuration::from_secs(5));
+        let cloud = s.cloud();
+        let active = s.sim().node_as::<CloudServerNode>(cloud).unwrap().pooled_active();
+        assert_eq!(active, 496, "every pooled member admitted");
+        let pool_node = s.pools()[0].node;
+        let pool = s.sim().node_as::<ClientPoolNode>(pool_node).unwrap();
+        assert_eq!(pool.active(), 496, "pool agrees with the cloud");
+        assert!(pool.updates_received() > 0, "crowd saw fan-out updates");
+        let latency = s
+            .sim()
+            .metrics()
+            .histogram_if_present("pool.display_latency_ns")
+            .expect("member-weighted latency recorded")
+            .summary();
+        assert!(latency.count >= 496, "one sample per member per batch");
+    }
+
+    #[test]
+    fn fully_traced_population_is_byte_identical_to_a_cohort() {
+        let run = |pooled: bool| {
+            let builder = SessionBuilder::new().seed(23).campus("CWB", Region::EastAsia, 2, true);
+            let builder = if pooled {
+                builder.population(
+                    Region::Europe,
+                    3,
+                    3,
+                    LinkClass::ResidentialAccess,
+                    PopulationProfile::flash_crowd(SimTime::from_millis(500), SimDuration::ZERO),
+                )
+            } else {
+                builder.remote_cohort_joining(
+                    Region::Europe,
+                    3,
+                    LinkClass::ResidentialAccess,
+                    SimDuration::from_millis(500),
+                    SimDuration::ZERO,
+                )
+            };
+            let mut s = builder.build();
+            s.run_for(SimDuration::from_secs(3));
+            (s.pools().len(), s.sim().metrics().snapshot())
+        };
+        let (pools, pooled_metrics) = run(true);
+        let (_, cohort_metrics) = run(false);
+        assert_eq!(pools, 0, "100% tracers must not create a pool node");
+        assert_eq!(pooled_metrics, cohort_metrics);
     }
 
     #[test]

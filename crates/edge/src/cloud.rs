@@ -25,6 +25,7 @@ use crate::edge_server::ServerConfig;
 use crate::health::{PeerEvent, PeerHealth, RemoteAvatarPresentation};
 use crate::messages::ClassMsg;
 use crate::overload::{AdmissionController, AdmissionOutcome, LoadShedder, ShedLevel};
+use crate::pool::pool_avatar;
 use crate::seat::{ClassroomLayout, SeatAllocator};
 
 const TAG_FANOUT: u64 = 20;
@@ -89,6 +90,16 @@ pub struct CloudServerNode {
     fanout_backlog: BTreeMap<AvatarId, BoundedQueue<AvatarId>>,
     /// Clients already hinted to re-join this tick (rate-limits the hint).
     rejoin_hinted: std::collections::BTreeSet<AvatarId>,
+    /// Flyweight client pools served by this cloud: pool id → entry.
+    pools: BTreeMap<u32, PoolEntry>,
+}
+
+/// The cloud's view of one flyweight client pool.
+struct PoolEntry {
+    /// The pool's node.
+    node: NodeId,
+    /// Pooled clients currently admitted (token-bucket accounted).
+    active: u64,
 }
 
 impl CloudServerNode {
@@ -130,7 +141,21 @@ impl CloudServerNode {
             shedder: LoadShedder::new(cfg.overload.shed),
             fanout_backlog: BTreeMap::new(),
             rejoin_hinted: std::collections::BTreeSet::new(),
+            pools: BTreeMap::new(),
         }
+    }
+
+    /// Registers the flyweight client pools this cloud serves, as
+    /// `(pool id, pool node)` pairs. Call after `add_node`, like
+    /// [`CloudServerNode::set_speaker`].
+    pub fn set_pools(&mut self, pools: Vec<(u32, NodeId)>) {
+        self.pools =
+            pools.into_iter().map(|(id, node)| (id, PoolEntry { node, active: 0 })).collect();
+    }
+
+    /// Pooled clients currently admitted, summed over every pool.
+    pub fn pooled_active(&self) -> u64 {
+        self.pools.values().map(|p| p.active).sum()
     }
 
     /// The join admission gate (for tests and invariant oracles).
@@ -392,13 +417,16 @@ impl CloudServerNode {
             .filter(|(a, _)| self.admission.is_admitted(a.0 as u64))
             .map(|(a, n)| (*a, *n))
             .collect();
-        if clients.is_empty() {
+        let any_pooled = self.pools.values().any(|p| p.active > 0);
+        if clients.is_empty() && !any_pooled {
             return 0;
         }
         // Fairness under budget exhaustion: rotate the service order so the
         // budget does not starve the same tail of clients every tick.
-        let offset = (self.tick_count as usize) % clients.len();
-        clients.rotate_left(offset);
+        if !clients.is_empty() {
+            let offset = (self.tick_count as usize) % clients.len();
+            clients.rotate_left(offset);
+        }
         let budget_total = self.cfg.overload.egress_budget_per_tick.max(1);
         let mut sent_this_tick = 0usize;
         let mut demand = 0usize;
@@ -465,6 +493,66 @@ impl CloudServerNode {
                     ctx.metrics().add("cloud.fanout_bytes", size as u64);
                     ctx.send(client_node, msg, size);
                 }
+            }
+        }
+        // Pooled audiences: one interest selection per pool (its
+        // representative viewpoint), one batched message per tick. Each
+        // representative update counts once against the egress budget and
+        // the demand signal — the replication to the pool's members happens
+        // at the regional distribution layer, whose cost the batch's
+        // member-weighted wire size charges to the pool's scaled link.
+        let pool_ids: Vec<u32> = self.pools.keys().copied().collect();
+        for pool in pool_ids {
+            let (pool_node, active) = {
+                let entry = &self.pools[&pool];
+                (entry.node, entry.active)
+            };
+            if active == 0 {
+                continue;
+            }
+            let rep = pool_avatar(pool);
+            let viewpoint = match self.latest.get(&rep) {
+                Some((st, _)) => {
+                    Viewpoint { position: st.head.position, yaw: st.head.orientation.yaw() }
+                }
+                None => continue, // pool has not uploaded a pose yet
+            };
+            let sub = SubscriberId(rep.0);
+            let budget = self.fanout.budget_per_client + 1;
+            let selected = match level.min_importance() {
+                Some(min) => self.interest.select_with_min_importance(sub, viewpoint, budget, min),
+                None => self.interest.select(sub, viewpoint, budget),
+            };
+            let mut captured: Vec<SimTime> = Vec::new();
+            for avatar in selected {
+                if avatar == rep {
+                    continue;
+                }
+                if let Some((_, captured_at)) = self.latest.get(&avatar) {
+                    let mark = self.sent_marks.entry((rep, avatar)).or_insert(SimTime::ZERO);
+                    if *captured_at <= *mark {
+                        continue;
+                    }
+                    demand += 1;
+                    if sent_this_tick >= budget_total {
+                        // Over budget: leave the mark alone so interest
+                        // selection re-picks the still-stale pair next tick
+                        // (pools carry no backlog queue).
+                        ctx.metrics().inc("overload.fanout_deferred");
+                        continue;
+                    }
+                    *mark = *captured_at;
+                    sent_this_tick += 1;
+                    captured.push(*captured_at);
+                }
+            }
+            if !captured.is_empty() {
+                let updates = captured.len() as u64;
+                let msg = ClassMsg::PoolDisplay { pool, members: active, captured };
+                let size = msg.wire_bytes();
+                ctx.metrics().add("cloud.fanout_updates", updates.saturating_mul(active));
+                ctx.metrics().add("cloud.fanout_bytes", size as u64);
+                ctx.send(pool_node, msg, size);
             }
         }
         demand
@@ -634,6 +722,64 @@ impl Node<ClassMsg> for CloudServerNode {
                     tx.on_ack_at(seq, ctx.now());
                 }
             }
+            ClassMsg::PoolJoin { pool, count, .. } => {
+                let now = ctx.now();
+                if !self.pools.contains_key(&pool) {
+                    ctx.metrics().inc("overload.pool_joins_unknown");
+                    return;
+                }
+                // Exact aggregate admission: one real token per pooled
+                // client, individually parked joiners keep priority, and the
+                // un-admitted remainder stays the pool's problem (it is its
+                // own regional waiting room).
+                let (admitted, retry_after) = self.admission.admit_up_to(count, now);
+                if let Some(entry) = self.pools.get_mut(&pool) {
+                    entry.active += admitted;
+                }
+                ctx.metrics().add("overload.pool_joins_admitted", admitted);
+                let waiting = count - admitted;
+                if waiting > 0 {
+                    ctx.metrics().add("overload.pool_joins_deferred", waiting);
+                }
+                let reply = ClassMsg::PoolJoinReply { pool, admitted, waiting, retry_after };
+                let size = reply.wire_bytes();
+                ctx.send(from, reply, size);
+            }
+            ClassMsg::PoolPose { pool, count, frame, captured_at } => {
+                let Some(entry) = self.pools.get(&pool) else {
+                    return;
+                };
+                let (pool_node, active) = (entry.node, entry.active);
+                let rep = pool_avatar(pool);
+                if active == 0 {
+                    // The pool believes its members are admitted; we do not
+                    // (crash-restart wiped the counts). Hint a full re-join,
+                    // once per fan-out tick.
+                    ctx.metrics().inc("overload.unadmitted_pool_poses_dropped");
+                    if self.rejoin_hinted.insert(rep) {
+                        ctx.metrics().inc("overload.rejoin_hints");
+                        let hint = ClassMsg::PoolEvict { pool };
+                        let size = hint.wire_bytes();
+                        ctx.send(pool_node, hint, size);
+                    }
+                    return;
+                }
+                // The pose's member count is authoritative: the pool owns
+                // its roster, and this reconciles any drift from join
+                // retransmissions whose first delivery we admitted but
+                // whose reply was lost en route.
+                if count != active {
+                    ctx.metrics().inc("overload.pool_count_reconciled");
+                    self.pools.get_mut(&pool).expect("entry exists").active = count;
+                }
+                self.handle_pool_stream(ctx, from, pool, count, frame, captured_at);
+            }
+            ClassMsg::PoolLeave { pool, count } => {
+                if let Some(entry) = self.pools.get_mut(&pool) {
+                    entry.active = entry.active.saturating_sub(count);
+                    ctx.metrics().add("overload.pool_leaves", count);
+                }
+            }
             // Liveness was already recorded above; nothing else to do.
             ClassMsg::Heartbeat { .. } => {}
             _ => {}
@@ -665,10 +811,61 @@ impl Node<ClassMsg> for CloudServerNode {
         self.shedder.reset();
         self.fanout_backlog.clear();
         self.rejoin_hinted.clear();
+        // Pool membership counts are volatile too: the next PoolPose from a
+        // pool we no longer recognize triggers a PoolEvict re-join hint.
+        for entry in self.pools.values_mut() {
+            entry.active = 0;
+        }
     }
 }
 
 impl CloudServerNode {
+    /// Ingests a pool's representative pose: decoded through the shared
+    /// receiver machinery, latency-accounted for all `count` members it
+    /// stands for, and placed in the auditorium without per-member fan-out
+    /// to the edges (physical classrooms render the crowd as one token).
+    fn handle_pool_stream(
+        &mut self,
+        ctx: &mut Context<'_, ClassMsg>,
+        from: NodeId,
+        pool: u32,
+        count: u64,
+        frame: PoseFrame,
+        captured_at: SimTime,
+    ) {
+        let avatar = pool_avatar(pool);
+        let receiver = self
+            .receivers
+            .entry(avatar)
+            .or_insert_with(|| SnapshotReceiver::new(AvatarCodec::new(self.cfg.codec)));
+        match receiver.decode(&frame) {
+            Err(_) => {
+                ctx.metrics().inc("cloud.decode_errors");
+            }
+            Ok(None) => {
+                if receiver.take_keyframe_request() {
+                    let msg = ClassMsg::KeyframeRequest { avatar };
+                    let size = msg.wire_bytes();
+                    ctx.send(from, msg, size);
+                }
+            }
+            Ok(Some(state)) => {
+                if let Some(seq) = receiver.ack_seq() {
+                    let ack = ClassMsg::AvatarAck { avatar, seq };
+                    let size = ack.wire_bytes();
+                    ctx.send(from, ack, size);
+                }
+                self.sources.insert(avatar, from);
+                let inbound = ctx.now().duration_since(captured_at);
+                ctx.metrics()
+                    .histogram("cloud.inbound_latency_ns")
+                    .record_n(inbound.as_nanos(), count);
+                let anchor = AnchorFrame::seat(Default::default());
+                self.place_avatar(ctx, avatar, state, anchor, captured_at, false, from);
+            }
+        }
+    }
+
     fn handle_stream(
         &mut self,
         ctx: &mut Context<'_, ClassMsg>,

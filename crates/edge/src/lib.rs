@@ -23,7 +23,11 @@
 //! - [`AdmissionController`] / [`LoadShedder`] — flash-crowd overload
 //!   control: token-bucket join admission with a bounded waiting room, and a
 //!   hysteretic fidelity ladder (full → reduced-rate → expression-only →
-//!   spectator) driven by smoothed utilization.
+//!   spectator) driven by smoothed utilization;
+//! - [`ClientPoolNode`] — the flyweight population layer: a region's whole
+//!   remote audience as one scheduled entity with exact aggregate
+//!   bandwidth/admission/latency accounting, while a tracer subset of fully
+//!   simulated [`RemoteClientNode`]s preserves tail-latency fidelity.
 //!
 //! The full unit case (two campuses + cloud) is assembled by
 //! `metaclass-core`; this crate's integration tests exercise each pairing in
@@ -39,6 +43,7 @@ mod edge_server;
 mod health;
 mod messages;
 mod overload;
+mod pool;
 mod seat;
 
 pub use client::{ClientConfig, RemoteClientNode};
@@ -51,4 +56,5 @@ pub use overload::{
     AdmissionConfig, AdmissionController, AdmissionOutcome, LoadShedder, OverloadConfig,
     ShedConfig, ShedLevel, ShedTransition,
 };
+pub use pool::{pool_avatar, ClientPoolNode, PoolConfig, POOL_AVATAR_BASE};
 pub use seat::{ClassroomFullError, ClassroomLayout, SeatAllocator};

@@ -153,12 +153,81 @@ pub enum ClassMsg {
         /// Capture instant of the underlying frame.
         captured_at: SimTime,
     },
+    /// Pool → cloud: `count` pooled clients request admission at once.
+    ///
+    /// The flyweight population layer collapses N statistically-identical
+    /// remote clients into one scheduled entity; its aggregate messages are
+    /// charged the exact wire bytes of the N individual messages they stand
+    /// for, so links, token buckets, and egress budgets see the same load.
+    PoolJoin {
+        /// Pool identifier (stable per region).
+        pool: u32,
+        /// Number of pooled clients joining in this batch.
+        count: u64,
+        /// Retry attempt number, starting at 1 (for diagnostics).
+        attempt: u32,
+    },
+    /// Cloud → pool: batch admission outcome.
+    PoolJoinReply {
+        /// Pool identifier.
+        pool: u32,
+        /// Clients admitted from this batch.
+        admitted: u64,
+        /// Clients left waiting (the pool retries after `retry_after`).
+        waiting: u64,
+        /// Earliest sensible retry for the waiting remainder.
+        retry_after: SimDuration,
+    },
+    /// Pool → cloud: the pool's representative avatar frame, uploaded on
+    /// behalf of `count` active pooled clients.
+    PoolPose {
+        /// Pool identifier.
+        pool: u32,
+        /// Active pooled clients this upload stands for.
+        count: u64,
+        /// Encoded snapshot/delta frame of the representative trajectory.
+        frame: PoseFrame,
+        /// Capture instant.
+        captured_at: SimTime,
+    },
+    /// Pool → cloud: `count` pooled clients leave (diurnal churn).
+    PoolLeave {
+        /// Pool identifier.
+        pool: u32,
+        /// Number of pooled clients leaving.
+        count: u64,
+    },
+    /// Cloud → pool: one fan-out tick's display updates for every pooled
+    /// client, batched. Stands for `members × captured.len()` individual
+    /// [`ClassMsg::DisplayUpdate`]s.
+    PoolDisplay {
+        /// Pool identifier.
+        pool: u32,
+        /// Pooled clients this batch fans out to.
+        members: u64,
+        /// Capture instants of the updates selected this tick (one per
+        /// remote avatar update delivered to each pooled client).
+        captured: Vec<SimTime>,
+    },
+    /// Cloud → pool: the cloud no longer knows this pool (post-crash); the
+    /// pool must rejoin from scratch.
+    PoolEvict {
+        /// Pool identifier.
+        pool: u32,
+    },
 }
 
 impl ClassMsg {
     /// Wire size in bytes, including a nominal transport header.
     pub fn wire_bytes(&self) -> u32 {
         const HEADER: u32 = 28; // IP + UDP + session header
+                                // Pool messages stand for N individual messages: their wire size is
+                                // exactly N x the individual size (header included N times), clamped
+                                // to u32. Expressed as a payload so the shared `HEADER +` below
+                                // reconstructs the aggregate total.
+        let aggregate = |total: u64| -> u32 {
+            u32::try_from(total.saturating_sub(HEADER as u64)).unwrap_or(u32::MAX - HEADER)
+        };
         let payload = match self {
             // id(4) + position(12) + quat(8) + hands(12) + noise(2) + t(8)
             ClassMsg::HeadsetPose { .. } => 46,
@@ -184,6 +253,24 @@ impl ClassMsg {
             ClassMsg::InteractionAck { .. } => 12,
             ClassMsg::Heartbeat { .. } => 8,
             ClassMsg::VideoShard { shard, .. } => shard.wire_bytes() as u32 + 8,
+            // count x JoinRequest (36 bytes each).
+            ClassMsg::PoolJoin { count, .. } => aggregate(count * 36),
+            // admitted x JoinAccepted (32) + waiting x JoinDeferred (44);
+            // at least one control reply even when the batch was empty.
+            ClassMsg::PoolJoinReply { admitted, waiting, .. } => {
+                aggregate((admitted * 32 + waiting * 44).max(32))
+            }
+            // count x ClientPose with the same frame.
+            ClassMsg::PoolPose { count, frame, .. } => {
+                aggregate(count * (HEADER as u64 + frame.wire_bytes() as u64 + 8))
+            }
+            // One control message: pool(4) + count(8).
+            ClassMsg::PoolLeave { .. } => 12,
+            // members x captured.len() x DisplayUpdate (78 bytes each).
+            ClassMsg::PoolDisplay { members, captured, .. } => {
+                aggregate(members * captured.len() as u64 * 78)
+            }
+            ClassMsg::PoolEvict { .. } => 4,
         };
         HEADER + payload
     }
@@ -214,6 +301,42 @@ mod tests {
             position: 3,
         };
         assert_eq!(deferred.wire_bytes(), 44);
+    }
+
+    #[test]
+    fn pool_messages_cost_exactly_their_expanded_equivalents() {
+        // k pooled joins weigh the same as k individual JoinRequests.
+        let join = ClassMsg::PoolJoin { pool: 0, count: 1000, attempt: 1 };
+        assert_eq!(join.wire_bytes(), 1000 * 36);
+        // Batch reply: admitted accepts + waiting deferrals.
+        let reply = ClassMsg::PoolJoinReply {
+            pool: 0,
+            admitted: 10,
+            waiting: 3,
+            retry_after: SimDuration::from_millis(50),
+        };
+        assert_eq!(reply.wire_bytes(), 10 * 32 + 3 * 44);
+        // A pooled pose upload is count x the individual ClientPose size.
+        let frame = metaclass_sync::PoseFrame { seq: 0, ref_seq: None, payload: vec![0; 30] };
+        let single = ClassMsg::ClientPose {
+            avatar: AvatarId(1),
+            frame: frame.clone(),
+            captured_at: SimTime::ZERO,
+        }
+        .wire_bytes();
+        let pooled = ClassMsg::PoolPose { pool: 0, count: 500, frame, captured_at: SimTime::ZERO };
+        assert_eq!(pooled.wire_bytes(), 500 * single);
+        // A pooled display batch is members x updates x DisplayUpdate(78).
+        let disp =
+            ClassMsg::PoolDisplay { pool: 0, members: 125_000, captured: vec![SimTime::ZERO; 4] };
+        assert_eq!(disp.wire_bytes(), 125_000 * 4 * 78);
+        // Planet scale saturates instead of overflowing the u32 wire size.
+        let huge = ClassMsg::PoolDisplay {
+            pool: 0,
+            members: 1_000_000_000,
+            captured: vec![SimTime::ZERO; 64],
+        };
+        assert_eq!(huge.wire_bytes(), u32::MAX);
     }
 
     #[test]

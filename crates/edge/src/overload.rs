@@ -119,6 +119,34 @@ impl AdmissionController {
         }
     }
 
+    /// Batch admission for the flyweight population layer: admits up to
+    /// `count` anonymous pooled clients at `now`, spending one bucket token
+    /// per admission, and returns `(admitted, retry_after)` where
+    /// `retry_after` is the earliest sensible retry for the remainder
+    /// ([`SimDuration::ZERO`] when everyone got in).
+    ///
+    /// Pooled clients are counted in `admitted_total`/`deferred_total` but
+    /// are *not* inserted into the per-key admitted set — the pool is its
+    /// own regional waiting room and tracks its members by count, so the
+    /// keyed set stays in one-to-one correspondence with individually
+    /// simulated clients (the property the `AdmittedLiveness` oracle
+    /// checks). Individually parked joiners keep strict priority: while the
+    /// waiting room is non-empty, no pooled client is admitted.
+    pub fn admit_up_to(&mut self, count: u64, now: SimTime) -> (u64, SimDuration) {
+        let mut admitted = 0;
+        while admitted < count && self.waiting.is_empty() && self.bucket.try_take(now) {
+            admitted += 1;
+        }
+        self.admitted_total += admitted;
+        let remainder = count - admitted;
+        if remainder == 0 {
+            return (admitted, SimDuration::ZERO);
+        }
+        self.deferred_total += remainder;
+        let position = self.waiting.len();
+        (admitted, self.eta(position, now))
+    }
+
     /// Earliest duration until a token could reach waiting-room `position`.
     fn eta(&mut self, position: usize, now: SimTime) -> SimDuration {
         let head = self.bucket.next_available(now);
@@ -462,6 +490,25 @@ mod tests {
             o => panic!("{o:?}"),
         };
         assert!(b > a, "later arrivals wait longer: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn batch_admission_spends_tokens_without_touching_the_keyed_set() {
+        let mut ac = AdmissionController::new(tight(), SimTime::ZERO);
+        let (admitted, retry) = ac.admit_up_to(5, SimTime::ZERO);
+        assert_eq!(admitted, 2, "burst of 2 tokens");
+        assert!(retry > SimDuration::ZERO, "remainder gets a retry hint");
+        assert_eq!(ac.admitted_count(), 0, "pooled clients are counted, not keyed");
+        assert_eq!(ac.totals(), (2, 3, 0));
+        // Tokens refill: the retry drains the remainder two per 200ms.
+        let (more, _) = ac.admit_up_to(3, SimTime::from_millis(200));
+        assert_eq!(more, 2);
+        // Individually parked joiners outrank pooled batches.
+        ac.request(9, SimTime::from_millis(250));
+        let (none, retry) = ac.admit_up_to(4, SimTime::from_millis(400));
+        assert_eq!(none, 0, "waiting room has priority");
+        assert!(retry > SimDuration::ZERO);
+        assert_eq!(ac.poll(SimTime::from_millis(400)), vec![9]);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   tests;
 //! - [`FaultPlan`] / [`FaultAction`] — seeded, replayable fault scripts
 //!   (link flaps, loss bursts, latency spikes, partitions, node
-//!   crash/restart) executed by the engine as ordinary events.
+//!   crash/restart) executed by the engine as ordinary events;
+//! - [`PopulationProfile`] / [`PopulationTimeline`] — deterministic
+//!   arrival/churn schedules (flash crowds, Poisson, MMPP) that drive the
+//!   flyweight client pools of the million-user population layer.
 //!
 //! # Examples
 //!
@@ -62,6 +65,7 @@ mod link;
 mod metrics;
 mod node;
 mod observe;
+mod population;
 mod rng;
 pub mod sched;
 mod shard;
@@ -75,10 +79,11 @@ pub use link::{DropReason, Link, LinkConfig, LinkId, LinkStats, LossModel, Trans
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, Summary};
 pub use node::{Context, Envelope, Node, NodeId, Timer};
 pub use observe::{SimEvent, SimObserver, SimView};
+pub use population::{
+    ArrivalProcess, ChurnModel, PopulationEvent, PopulationProfile, PopulationTimeline,
+};
 pub use rng::DetRng;
 pub use sched::{BinaryHeapQueue, EventQueue, TimerWheel};
-#[allow(deprecated)]
-pub use sim::{default_engine, set_default_engine};
 pub use sim::{
     parse_engine, EngineConfig, EngineMode, Simulation, SimulationBuilder, DEFAULT_SHARDS,
 };

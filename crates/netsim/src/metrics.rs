@@ -84,6 +84,22 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records `n` identical samples in one step.
+    ///
+    /// Equivalent to calling [`Histogram::record`] `n` times; the flyweight
+    /// population layer uses this to account for every pooled client without
+    /// iterating over them. Recording zero samples is a no-op.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
     /// Records a duration, in nanoseconds.
     pub fn record_duration(&mut self, d: SimDuration) {
         self.record(d.as_nanos());

@@ -9,7 +9,6 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::fault::{FaultAction, FaultPlan};
@@ -165,58 +164,6 @@ impl<M> Default for SimulationBuilder<M> {
     }
 }
 
-const ENGINE_UNSET: u64 = u64::MAX;
-static DEFAULT_ENGINE: AtomicU64 = AtomicU64::new(ENGINE_UNSET);
-static GLOBAL_ENGINE_WARNED: std::sync::atomic::AtomicBool =
-    std::sync::atomic::AtomicBool::new(false);
-
-/// One-time stderr warning for users of the deprecated process-global
-/// engine shim.
-fn warn_global_engine(source: &str) {
-    if !GLOBAL_ENGINE_WARNED.swap(true, Ordering::Relaxed) {
-        eprintln!(
-            "warning: {source} is deprecated; configure the engine per run with \
-             Simulation::builder().engine(..) or EngineConfig (the process-global \
-             shim will be removed in the next release)"
-        );
-    }
-}
-
-/// The process-global engine override, if one was explicitly installed via
-/// the deprecated [`set_default_engine`] or the `METACLASS_ENGINE`
-/// environment variable. `None` on the supported per-run path.
-///
-/// # Panics
-///
-/// Panics if `METACLASS_ENGINE` is set to an unrecognized value.
-fn global_engine_override() -> Option<EngineMode> {
-    let raw = DEFAULT_ENGINE.load(Ordering::Relaxed);
-    if raw != ENGINE_UNSET {
-        return Some(decode_engine(raw));
-    }
-    let v = std::env::var("METACLASS_ENGINE").ok()?;
-    let mode = parse_engine(&v).unwrap_or_else(|| {
-        panic!("METACLASS_ENGINE: unrecognized engine '{v}' (serial | sharded | sharded:<n>)")
-    });
-    DEFAULT_ENGINE.store(encode_engine(mode), Ordering::Relaxed);
-    Some(mode)
-}
-
-fn encode_engine(mode: EngineMode) -> u64 {
-    match mode {
-        EngineMode::Serial => 0,
-        EngineMode::Sharded { shards } => shards.max(1) as u64,
-    }
-}
-
-fn decode_engine(raw: u64) -> EngineMode {
-    if raw == 0 {
-        EngineMode::Serial
-    } else {
-        EngineMode::Sharded { shards: raw as usize }
-    }
-}
-
 /// Parses an engine name: `serial`, `sharded`, or `sharded:<n>`.
 pub fn parse_engine(s: &str) -> Option<EngineMode> {
     match s {
@@ -227,40 +174,6 @@ pub fn parse_engine(s: &str) -> Option<EngineMode> {
             (n >= 1).then_some(EngineMode::Sharded { shards: n })
         }
     }
-}
-
-/// The process-wide default engine consulted by [`Simulation::new`].
-///
-/// Deprecated compatibility shim, kept for one release: an explicit
-/// [`set_default_engine`] call wins; otherwise the `METACLASS_ENGINE`
-/// environment variable (`serial`, `sharded`, `sharded:<n>`) is consulted,
-/// defaulting to [`EngineMode::Serial`]. Configure engines per run with
-/// [`Simulation::builder`] instead.
-///
-/// # Panics
-///
-/// Panics if `METACLASS_ENGINE` is set to an unrecognized value.
-#[deprecated(
-    since = "0.7.0",
-    note = "configure the engine per run: Simulation::builder().engine(..) or EngineConfig"
-)]
-pub fn default_engine() -> EngineMode {
-    global_engine_override().unwrap_or(EngineMode::Serial)
-}
-
-/// Sets the process-wide default engine for simulations created after this
-/// call.
-///
-/// Deprecated compatibility shim, kept for one release; the first use logs
-/// a warning to stderr. Pass the engine per run instead:
-/// `Simulation::builder().engine(mode)` or [`Simulation::set_engine_config`].
-#[deprecated(
-    since = "0.7.0",
-    note = "configure the engine per run: Simulation::builder().engine(..) or EngineConfig"
-)]
-pub fn set_default_engine(mode: EngineMode) {
-    warn_global_engine("set_default_engine");
-    DEFAULT_ENGINE.store(encode_engine(mode), Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -867,28 +780,13 @@ pub struct Simulation<M> {
 
 impl<M: 'static> Simulation<M> {
     /// Creates an empty simulation with the given master seed and the
-    /// default [`EngineConfig`] (serial).
-    ///
-    /// Compatibility, for one release: if the deprecated process-global
-    /// engine was explicitly installed — via [`set_default_engine`] or the
-    /// `METACLASS_ENGINE` environment variable — that mode is honored here
-    /// and a one-time warning is printed to stderr. Use
-    /// [`Simulation::builder`] to pick the engine per run.
+    /// default [`EngineConfig`] (serial). Use [`Simulation::builder`] to
+    /// pick the engine per run.
     pub fn new(seed: u64) -> Self {
-        let config = match global_engine_override() {
-            Some(mode) => {
-                warn_global_engine(
-                    "the process-global engine (METACLASS_ENGINE / set_default_engine)",
-                );
-                EngineConfig::from(mode)
-            }
-            None => EngineConfig::default(),
-        };
-        Self::with_config(seed, config)
+        Self::with_config(seed, EngineConfig::default())
     }
 
-    /// Creates an empty simulation with an explicit engine configuration,
-    /// ignoring the deprecated process-global engine.
+    /// Creates an empty simulation with an explicit engine configuration.
     pub fn with_config(seed: u64, config: EngineConfig) -> Self {
         Simulation {
             core: Core::new_serial(),
@@ -1918,23 +1816,7 @@ mod tests {
         let other: Simulation<Msg> = Simulation::new(12);
         assert_eq!(other.engine(), EngineMode::Serial);
         assert!(other.engine_config().adaptive_lookahead);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_global_engine_shim_still_steers_new_simulations() {
-        // Kept for one release: `set_default_engine` must still decide the
-        // engine of `Simulation::new`. Runs in one test to avoid interleaving
-        // with other tests' `Simulation::new` calls; ends on Serial, which is
-        // also the unset default, so the transient global state is benign.
-        set_default_engine(EngineMode::Sharded { shards: 3 });
-        let sim: Simulation<Msg> = Simulation::new(1);
-        assert_eq!(sim.engine(), EngineMode::Sharded { shards: 3 });
-        set_default_engine(EngineMode::Serial);
-        let sim: Simulation<Msg> = Simulation::new(2);
-        assert_eq!(sim.engine(), EngineMode::Serial);
-        // Explicit configs ignore the global entirely.
-        set_default_engine(EngineMode::Serial);
+        // Explicit configs stand on their own too.
         let sim: Simulation<Msg> = Simulation::with_config(3, EngineConfig::sharded(2));
         assert_eq!(sim.engine(), EngineMode::Sharded { shards: 2 });
     }

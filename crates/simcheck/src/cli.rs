@@ -21,6 +21,8 @@ options:
   --seed N      master seed for schedule generation (default 7)
   --cases N     number of random schedules to run (default 200)
   --full        full-sized scenario (default is quick)
+  --pooled N    add a flyweight pooled audience of N members to every
+                case's session (default 0 = population layer off)
   --write DIR   save shrunk violations as regression JSON under DIR
   --engine E    execution engine: serial | sharded | sharded:<n>
                 (results are byte-identical either way; default serial)
@@ -43,6 +45,7 @@ fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
             seed: 7,
             cases: 200,
             quick: true,
+            pooled: 0,
             engine: EngineConfig::default(),
         },
         write_dir: None,
@@ -62,6 +65,10 @@ fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
             "--full" => {
                 cfg.explore.quick = false;
                 i += 1;
+            }
+            "--pooled" => {
+                cfg.explore.pooled = parse_u64("--pooled", args.get(i + 1))?;
+                i += 2;
             }
             "--write" => {
                 cfg.write_dir = Some(args.get(i + 1).ok_or("--write needs a directory")?.clone());
@@ -122,7 +129,15 @@ pub fn run_cli(args: &[String]) -> i32 {
     };
 
     let scale = if cfg.explore.quick { "quick" } else { "full" };
-    println!("simcheck: seed {} cases {} scale {scale}", cfg.explore.seed, cfg.explore.cases);
+    let pooled = if cfg.explore.pooled > 0 {
+        format!(" pooled {}", cfg.explore.pooled)
+    } else {
+        String::new()
+    };
+    println!(
+        "simcheck: seed {} cases {} scale {scale}{pooled}",
+        cfg.explore.seed, cfg.explore.cases
+    );
     let outcome = explore(&cfg.explore);
     println!(
         "simcheck: {} clean / {} cases, fingerprint {}",
@@ -173,10 +188,13 @@ mod tests {
 
     #[test]
     fn parse_reads_flags_and_rejects_junk() {
-        let cfg = parse(&argv(&["--seed", "9", "--cases", "5", "--full"])).unwrap().unwrap();
+        let cfg = parse(&argv(&["--seed", "9", "--cases", "5", "--full", "--pooled", "32"]))
+            .unwrap()
+            .unwrap();
         assert_eq!(cfg.explore.seed, 9);
         assert_eq!(cfg.explore.cases, 5);
         assert!(!cfg.explore.quick);
+        assert_eq!(cfg.explore.pooled, 32);
         assert_eq!(cfg.explore.engine, EngineConfig::default());
         let cfg = parse(&argv(&["--engine", "sharded:2"])).unwrap().unwrap();
         assert_eq!(cfg.explore.engine, EngineConfig::sharded(2));

@@ -150,6 +150,9 @@ pub struct ExploreConfig {
     pub cases: u32,
     /// Quick (test-sized) or full scenario.
     pub quick: bool,
+    /// Flyweight pooled audience added to every case's session (0, the
+    /// default, keeps the classic pool-free scenario).
+    pub pooled: u64,
     /// Execution engine each case's session runs on. Per-run state, so
     /// explorations with different engines can share a process.
     pub engine: EngineConfig,
@@ -220,6 +223,7 @@ pub fn explore_with(
         let session_seed = mix(cfg.seed, 0x51C4 ^ u64::from(case));
         let mut scn =
             if cfg.quick { Scenario::quick(session_seed) } else { Scenario::full(session_seed) };
+        scn.pooled_members = cfg.pooled;
         scn.engine = cfg.engine;
         let (_, topo) = scn.build();
         let space = scn.plan_space(&topo);
@@ -270,7 +274,13 @@ mod tests {
 
     #[test]
     fn exploration_is_deterministic() {
-        let cfg = ExploreConfig { seed: 7, cases: 3, quick: true, engine: EngineConfig::default() };
+        let cfg = ExploreConfig {
+            seed: 7,
+            cases: 3,
+            quick: true,
+            pooled: 0,
+            engine: EngineConfig::default(),
+        };
         let a = explore(&cfg);
         let b = explore(&cfg);
         assert_eq!(a.fingerprint, b.fingerprint);
@@ -279,6 +289,7 @@ mod tests {
             seed: 8,
             cases: 3,
             quick: true,
+            pooled: 0,
             engine: EngineConfig::default(),
         });
         assert_ne!(a.fingerprint, c.fingerprint, "different seeds explore differently");
@@ -294,8 +305,13 @@ mod tests {
             oracles.push(Box::new(CanaryOracle { trip_code: 1 })); // LinkDown
             oracles
         };
-        let cfg =
-            ExploreConfig { seed: 7, cases: 20, quick: true, engine: EngineConfig::default() };
+        let cfg = ExploreConfig {
+            seed: 7,
+            cases: 20,
+            quick: true,
+            pooled: 0,
+            engine: EngineConfig::default(),
+        };
         let out = explore_with(&cfg, &factory);
         let caught: Vec<_> =
             out.violations.iter().filter(|v| v.violation.oracle == "canary").collect();

@@ -7,8 +7,8 @@
 //! set the explorer and the `bench simcheck` CLI run.
 
 use metaclass_edge::{
-    CloudServerNode, EdgeServerNode, PeerState, RemoteAvatarPresentation, RemoteClientNode,
-    ShedTransition,
+    ClientPoolNode, CloudServerNode, EdgeServerNode, PeerState, RemoteAvatarPresentation,
+    RemoteClientNode, ShedTransition,
 };
 use metaclass_netsim::{FaultAction, NodeId, SimDuration, SimEvent, SimTime, SimView};
 
@@ -365,6 +365,36 @@ impl Oracle for AdmittedLiveness {
             }
             if client.updates_received() == 0 {
                 return Err(format!("end: client {avatar:?} was admitted but received no fan-out"));
+            }
+        }
+        // The pooled audience converges too: by the end of the settle
+        // window the cloud and every pool agree on the exact (churn-free)
+        // admitted population, and no pool is starved of fan-out.
+        if probe.topology.pooled_members > 0 {
+            let pooled = cloud.pooled_active();
+            if pooled != probe.topology.pooled_members {
+                return Err(format!(
+                    "end: cloud carries {pooled} pooled members of {}",
+                    probe.topology.pooled_members
+                ));
+            }
+            let mut active = 0u64;
+            for &node in &probe.topology.pool_nodes {
+                let pool = probe
+                    .session
+                    .sim()
+                    .node_as::<ClientPoolNode>(node)
+                    .ok_or_else(|| format!("node {node} is not a client pool"))?;
+                active += pool.active();
+                if pool.updates_received() == 0 {
+                    return Err(format!("end: pool {node} was admitted but received no fan-out"));
+                }
+            }
+            if active != probe.topology.pooled_members {
+                return Err(format!(
+                    "end: pools carry {active} active members of {}",
+                    probe.topology.pooled_members
+                ));
             }
         }
         Ok(())

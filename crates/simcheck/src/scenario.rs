@@ -9,7 +9,9 @@
 use metaclass_avatar::AvatarId;
 use metaclass_core::{Activity, ClassroomSession, SessionBuilder, SessionConfig};
 use metaclass_edge::{HeartbeatConfig, OverloadConfig};
-use metaclass_netsim::{EngineConfig, LinkClass, NodeId, Region, SimDuration, SimTime};
+use metaclass_netsim::{
+    EngineConfig, LinkClass, NodeId, PopulationProfile, Region, SimDuration, SimTime,
+};
 
 use crate::plan::PlanSpace;
 
@@ -39,6 +41,11 @@ pub struct Scenario {
     pub heartbeat: HeartbeatConfig,
     /// Maximum windows per generated schedule.
     pub max_windows: usize,
+    /// Flyweight pooled audience joining as a flash crowd at `burst_at`
+    /// (one tracer promoted to a fully simulated client). 0 — the default
+    /// for both scenario sizes — disables the population layer entirely, so
+    /// standard explorations are unchanged.
+    pub pooled_members: u64,
     /// Execution engine the checked session runs on (per-run state, so
     /// explorations with different engines can share a process).
     pub engine: EngineConfig,
@@ -69,6 +76,7 @@ impl Scenario {
                 degraded_stride: 4,
             },
             max_windows: 4,
+            pooled_members: 0,
             engine: EngineConfig::default(),
         }
     }
@@ -88,6 +96,7 @@ impl Scenario {
             warmup: SimTime::from_secs(2),
             heartbeat: HeartbeatConfig::default(),
             max_windows: 6,
+            pooled_members: 0,
             engine: EngineConfig::default(),
         }
     }
@@ -118,7 +127,7 @@ impl Scenario {
         } else {
             SimDuration::from_millis(100)
         };
-        let session = SessionBuilder::new()
+        let mut builder = SessionBuilder::new()
             .seed(self.session_seed)
             .engine_config(self.engine)
             .activity(Activity::Lecture)
@@ -133,8 +142,21 @@ impl Scenario {
                 LinkClass::ResidentialAccess,
                 SimDuration::from_nanos(self.burst_at.as_nanos()),
                 SimDuration::ZERO,
-            )
-            .build();
+            );
+        if self.pooled_members > 0 {
+            // The pool's flash crowd lands with the individual burst, so
+            // fault schedules compose with aggregate admission the same way
+            // they do with individual joins. One tracer keeps the fully
+            // simulated path (and the AdmittedLiveness oracle) engaged.
+            builder = builder.population(
+                Region::EastAsia,
+                self.pooled_members,
+                1,
+                LinkClass::ResidentialAccess,
+                PopulationProfile::flash_crowd(self.burst_at, SimDuration::from_millis(300)),
+            );
+        }
+        let session = builder.build();
         let topology = Topology::of(&session);
         (session, topology)
     }
@@ -183,10 +205,15 @@ pub struct Topology {
     pub campus_nodes: Vec<Vec<NodeId>>,
     /// Avatars physically present at each campus.
     pub campus_avatars: Vec<Vec<AvatarId>>,
-    /// Remote VR clients (steady cohort and flash crowd alike), in avatar
-    /// order. They attach to the cloud, so partition splits keep them on
-    /// the cloud's side.
+    /// Remote VR clients (steady cohort, flash crowd, and pool tracers
+    /// alike), in avatar order. They attach to the cloud, so partition
+    /// splits keep them on the cloud's side.
     pub remote_clients: Vec<(AvatarId, NodeId)>,
+    /// Flyweight pool nodes (empty unless the scenario enables a pooled
+    /// audience). Cloud-attached, like the remote clients.
+    pub pool_nodes: Vec<NodeId>,
+    /// Members modeled in aggregate by those pools (tracers excluded).
+    pub pooled_members: u64,
 }
 
 impl Topology {
@@ -227,14 +254,26 @@ impl Topology {
             .filter(|p| matches!(p.role, metaclass_core::Role::RemoteLearner { .. }))
             .map(|p| (p.avatar, p.node))
             .collect();
-        let covered: usize =
-            1 + campus_nodes.iter().map(Vec::len).sum::<usize>() + remote_clients.len();
+        let pool_nodes: Vec<NodeId> = session.pools().iter().map(|p| p.node).collect();
+        let pooled_members = session.pooled_population();
+        let covered: usize = 1
+            + campus_nodes.iter().map(Vec::len).sum::<usize>()
+            + remote_clients.len()
+            + pool_nodes.len();
         debug_assert_eq!(
             covered,
             session.sim().node_count(),
-            "campus groups + cloud + remote clients must cover every node"
+            "campus groups + cloud + remote clients + pools must cover every node"
         );
-        Topology { cloud, edges, campus_nodes, campus_avatars, remote_clients }
+        Topology {
+            cloud,
+            edges,
+            campus_nodes,
+            campus_avatars,
+            remote_clients,
+            pool_nodes,
+            pooled_members,
+        }
     }
 
     /// All server nodes: every edge, then the cloud.
@@ -264,6 +303,7 @@ impl Topology {
         }
         let cloud_side: Vec<NodeId> = std::iter::once(self.cloud)
             .chain(self.remote_clients.iter().map(|&(_, n)| n))
+            .chain(self.pool_nodes.iter().copied())
             .collect();
         let mut with_first = self.campus_nodes[0].clone();
         with_first.extend(&cloud_side);
@@ -318,6 +358,24 @@ mod tests {
             seen.insert(scn.burst_at.as_nanos());
         }
         assert!(seen.len() > 1, "burst phase must vary with the seed");
+    }
+
+    #[test]
+    fn pooled_scenario_covers_pool_nodes_and_keeps_splits_full() {
+        let mut scn = Scenario::quick(4);
+        scn.pooled_members = 12;
+        let (session, topo) = scn.build();
+        assert_eq!(topo.pool_nodes.len(), 1);
+        assert_eq!(topo.pooled_members, 11, "one member is promoted to a tracer");
+        assert_eq!(
+            topo.remote_clients.len() as u32,
+            scn.remote_learners + scn.burst_learners + 1,
+            "the tracer counts as a remote client"
+        );
+        let n = session.sim().node_count();
+        for split in topo.splits() {
+            assert_eq!(split.iter().map(Vec::len).sum::<usize>(), n, "split must cover every node");
+        }
     }
 
     #[test]

@@ -14,11 +14,27 @@ use metaclass_simcheck::explore::{explore, ExploreConfig};
 #[test]
 fn exploration_fingerprint_is_engine_invariant() {
     let run = |engine| {
-        let out = explore(&ExploreConfig { seed: 7, cases: 15, quick: true, engine });
+        let out = explore(&ExploreConfig { seed: 7, cases: 15, quick: true, pooled: 0, engine });
         (out.fingerprint_hex(), out.cases, out.violations.len())
     };
     let serial = run(EngineConfig::serial());
     let sharded = run(EngineConfig::sharded(4));
     assert_eq!(serial, sharded, "explorer outcomes diverged between engines");
     assert_eq!(serial.2, 0, "the standard scenario should be violation-free");
+}
+
+/// The pooled scenario holds the same bar: with a flyweight audience riding
+/// on every case, the exploration stays violation-free (the oracle set now
+/// also checks pool convergence) and its fingerprint stays byte-identical
+/// across engines.
+#[test]
+fn pooled_exploration_is_engine_invariant_and_clean() {
+    let run = |engine| {
+        let out = explore(&ExploreConfig { seed: 11, cases: 8, quick: true, pooled: 12, engine });
+        (out.fingerprint_hex(), out.cases, out.violations.len())
+    };
+    let serial = run(EngineConfig::serial());
+    let sharded = run(EngineConfig::sharded(4));
+    assert_eq!(serial, sharded, "pooled explorer outcomes diverged between engines");
+    assert_eq!(serial.2, 0, "the pooled scenario should be violation-free");
 }
