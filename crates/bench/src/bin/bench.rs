@@ -17,9 +17,14 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use metaclass_bench::experiments::scenario::{scenarios_in, ScenarioExperiment};
 use metaclass_bench::sweep::{run_sweep, validate_json, SweepConfig};
-use metaclass_bench::{default_jobs, experiments, quick_requested, Scale};
+use metaclass_bench::{default_jobs, experiments, quick_requested, Experiment, Scale};
+use metaclass_core::ScenarioSpec;
 use metaclass_netsim::EngineConfig;
+
+/// The repository's scenario registry directory.
+const SCENARIO_DIR: &str = "scenarios";
 
 struct Args {
     exp: Option<String>,
@@ -30,16 +35,20 @@ struct Args {
     engine: EngineConfig,
     population: Option<u64>,
     validate: Vec<String>,
+    scenarios: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench --exp <id|all> [--seeds N] [--jobs N] [--quick] [--json] [--engine E]\n\
+         \x20      bench --scenario FILE [--scenario FILE ...]\n\
          \x20      bench --list\n\
          \x20      bench --validate FILE...\n\
          \x20      bench simcheck [--seed N] [--cases N] [--full] [--write DIR] [--engine E]\n\
+         \x20                     [--scenario FILE]\n\
          \n\
          \x20 --exp <id|all>   experiment to sweep (e1..e15), or every one\n\
+         \x20 --scenario FILE  sweep a workload spec (repeatable; TOML or JSON)\n\
          \x20 --seeds N        number of independent seeds (default 8)\n\
          \x20 --jobs N         worker threads (default: available cores)\n\
          \x20 --quick          reduced scale (same path cargo tests use)\n\
@@ -47,8 +56,9 @@ fn usage() -> ! {
          \x20 --engine E       simulation executor: serial | sharded | sharded:<n>\n\
          \x20                  (byte-identical results either way; default serial)\n\
          \x20 --population N   pooled planet-tier population override (E3/E4)\n\
-         \x20 --list           list registered experiments\n\
-         \x20 --validate       check BENCH_*.json files against the schema"
+         \x20 --list           list registered experiments + scenarios/ specs\n\
+         \x20 --validate       check BENCH_*.json documents and *.toml scenario\n\
+         \x20                  specs (dispatched by extension)"
     );
     std::process::exit(2)
 }
@@ -63,6 +73,7 @@ fn parse_args() -> Args {
         engine: EngineConfig::default(),
         population: None,
         validate: Vec::new(),
+        scenarios: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -105,6 +116,7 @@ fn parse_args() -> Args {
                 }
                 args.population = Some(n);
             }
+            "--scenario" => args.scenarios.push(it.next().unwrap_or_else(|| usage())),
             "--validate" => {
                 args.validate.extend(it.by_ref());
                 if args.validate.is_empty() {
@@ -132,6 +144,17 @@ fn main() -> ExitCode {
         for e in experiments::all() {
             println!("{:<6} {}", e.id(), e.title());
         }
+        match scenarios_in(std::path::Path::new(SCENARIO_DIR)) {
+            Ok(scenarios) => {
+                for s in scenarios {
+                    println!("{:<6} {}", s.id(), s.title());
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -146,6 +169,24 @@ fn main() -> ExitCode {
                     continue;
                 }
             };
+            if path.ends_with(".toml") {
+                // Scenario specs validate through the DSL loader, which
+                // reports the offending path and line.
+                match ScenarioSpec::load(std::path::Path::new(path)) {
+                    Ok(spec) => println!(
+                        "{path}: ok (scenario `{}`, {:?} pattern, {} campuses, {} cohorts)",
+                        spec.name,
+                        spec.pattern,
+                        spec.campuses.len(),
+                        spec.cohorts.len()
+                    ),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        failed = true;
+                    }
+                }
+                continue;
+            }
             match validate_json(&text) {
                 Ok(doc) => println!(
                     "{path}: ok ({} over {} seeds, {} metrics, fingerprint {})",
@@ -163,20 +204,40 @@ fn main() -> ExitCode {
         return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
 
-    let Some(exp_arg) = args.exp else { usage() };
+    if args.exp.is_none() && args.scenarios.is_empty() {
+        usage()
+    }
     let scale = Scale::from_quick_flag(quick_requested());
-    let targets: Vec<&'static dyn metaclass_bench::Experiment> =
+    let mut targets: Vec<&'static dyn metaclass_bench::Experiment> = Vec::new();
+    if let Some(exp_arg) = &args.exp {
         if exp_arg.eq_ignore_ascii_case("all") {
-            experiments::all().to_vec()
-        } else {
-            match experiments::by_id(&exp_arg) {
-                Some(e) => vec![e],
-                None => {
-                    eprintln!("unknown experiment {exp_arg:?}; try --list");
+            targets.extend(experiments::all());
+        } else if let Some(e) = experiments::by_id(exp_arg) {
+            targets.push(e);
+        } else if let Some(name) = exp_arg.strip_prefix("scenario_") {
+            // File-registered scenarios are addressable by their sweep id.
+            let path = std::path::Path::new(SCENARIO_DIR).join(format!("{name}.toml"));
+            match ScenarioExperiment::from_file(&path) {
+                Ok(s) => targets.push(Box::leak(Box::new(s))),
+                Err(e) => {
+                    eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             }
-        };
+        } else {
+            eprintln!("unknown experiment {exp_arg:?}; try --list");
+            return ExitCode::FAILURE;
+        }
+    }
+    for path in &args.scenarios {
+        match ScenarioExperiment::from_file(std::path::Path::new(path)) {
+            Ok(s) => targets.push(Box::leak(Box::new(s))),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     for exp in targets {
         let cfg = SweepConfig::first_n(args.seeds, args.jobs, scale)

@@ -17,6 +17,7 @@ pub mod e6_video_fec;
 pub mod e7_cybersickness;
 pub mod e8_pose_fusion;
 pub mod e9_seat_allocation;
+pub mod scenario;
 
 use crate::Experiment;
 

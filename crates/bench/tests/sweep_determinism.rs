@@ -2,11 +2,13 @@
 //! a pure function of `(experiment, scale, seeds)` — worker count and
 //! repetition never change a byte.
 
+use metaclass_bench::experiments::scenario::ScenarioExperiment;
 use metaclass_bench::experiments::{
     e14_fault_recovery, e2_latency_threshold, e4_regional_servers, e5_split_rendering,
 };
 use metaclass_bench::sweep::{run_sweep, validate_json, SweepConfig, SCHEMA_VERSION};
 use metaclass_bench::{Experiment, RunCtx, Scale};
+use metaclass_netsim::EngineConfig;
 
 #[test]
 fn sixteen_seed_sweep_is_byte_identical_across_job_counts() {
@@ -49,6 +51,26 @@ fn crash_restart_mid_sweep_preserves_jobs_invariance() {
     let serial = sweep(1);
     assert_eq!(serial, sweep(4), "--jobs 1 and --jobs 4 must write identical JSON");
     assert_eq!(serial, sweep(1), "re-running must reproduce the document");
+}
+
+#[test]
+fn scenario_sweeps_are_jobs_and_engine_invariant() {
+    // The file-registered canonical lab scenario (mobility script, mixed
+    // cohorts) must hold the same bar as E1..E15: its merged document is a
+    // pure function of (experiment, scale, seeds) — never of worker count
+    // or execution engine.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/lab.toml");
+    let exp = ScenarioExperiment::from_file(&path).expect("canonical lab spec loads");
+    assert_eq!(exp.id(), "scenario_lab");
+    let sweep = |jobs, engine| {
+        let cfg = SweepConfig::first_n(4, jobs, Scale::Quick).with_engine(engine);
+        run_sweep(&exp, &cfg).doc.to_json_string()
+    };
+    let serial = sweep(1, EngineConfig::serial());
+    assert_eq!(serial, sweep(4, EngineConfig::serial()), "--jobs must not change a byte");
+    assert_eq!(serial, sweep(4, EngineConfig::sharded(4)), "engine must not change a byte");
+    let doc = validate_json(&serial).expect("scenario sweep document validates");
+    assert_eq!(doc.experiment, "scenario_lab");
 }
 
 #[test]

@@ -16,7 +16,9 @@
 //!   suppression statistics;
 //! - [`PathBudget`] — analytic per-hop motion-to-photon budgets for each
 //!   Figure-3 path;
-//! - [`TeachingModality`] — the survey taxonomy of Figure 1.
+//! - [`TeachingModality`] — the survey taxonomy of Figure 1;
+//! - [`ScenarioSpec`] — the declarative workload DSL (TOML/JSON specs under
+//!   `scenarios/`) and its deterministic expander into a [`SessionBuilder`].
 //!
 //! # Examples
 //!
@@ -51,6 +53,7 @@ mod content;
 mod modality;
 mod path;
 mod report;
+mod scenario;
 mod session;
 
 pub use activities::{
@@ -63,6 +66,10 @@ pub use content::{
 pub use modality::TeachingModality;
 pub use path::{mr_to_mr_budget, mr_to_vr_budget, vr_to_mr_budget, HopLatency, PathBudget};
 pub use report::SessionReport;
+pub use scenario::{
+    FaultKind, FaultSpec, FlashCrowdSpec, MobilityEvent, PopulationSpec, ScenarioCampus,
+    ScenarioCohort, ScenarioError, ScenarioPattern, ScenarioSpec, StressSpec,
+};
 pub use session::{
     protocol_codec, Activity, CampusSpec, ClassroomSession, CohortSpec, Participant, PoolInfo,
     PoolSpec, Role, SessionBuilder, SessionConfig,

@@ -1,0 +1,1008 @@
+//! The declarative classroom-workload DSL and its deterministic expander.
+//!
+//! A [`ScenarioSpec`] describes a whole blended-classroom workload — the
+//! interaction pattern (§3.1's lecture / lab / exam plus MOOC-style
+//! broadcast), the campus topology, the remote cohorts with their device
+//! platforms, scripted inter-room mobility, and optional composed stress
+//! (fault plan + flash crowd + pooled population) — as data, in TOML or
+//! JSON. The expander ([`ScenarioSpec::session_builder`]) turns a spec plus
+//! a seed into a [`SessionBuilder`] program, deterministically: the same
+//! spec and seed always produce the same byte-identical session on either
+//! engine.
+//!
+//! Specs live under `scenarios/` in the repository root and are registered
+//! with the bench experiment registry with zero per-scenario code. The TOML
+//! dialect is deliberately small (scalars, `[table]` sections, and flat
+//! `[[array-of-table]]` elements — exactly what the schema needs) and is
+//! parsed with line tracking so malformed files report the offending path
+//! and line instead of panicking.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use metaclass_edge::DevicePlatform;
+use metaclass_netsim::{
+    EngineConfig, FaultPlan, LinkClass, LossModel, NodeId, PopulationProfile, Region, SimDuration,
+    SimTime,
+};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::session::{Activity, ClassroomSession, CohortSpec, SessionBuilder};
+
+/// Packet loss applied by a [`FaultKind::LossBurst`] window.
+const FAULT_LOSS: f64 = 0.5;
+/// Extra one-way latency applied by a [`FaultKind::LatencySpike`] window.
+const FAULT_EXTRA_LATENCY: SimDuration = SimDuration::from_millis(80);
+
+// --------------------------------------------------------------- the schema
+
+/// The interaction pattern a scenario runs (§3.1's scenarios plus
+/// MOOC-style broadcast teaching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioPattern {
+    /// A lecture: presenter at the podium, students seated.
+    Lecture,
+    /// A lab: group work, students walking between tables.
+    Lab,
+    /// An exam: seated, seminar kinematics, invigilated.
+    Exam,
+    /// MOOC broadcast: one presenter, a mostly spectating audience.
+    Broadcast,
+}
+
+impl ScenarioPattern {
+    /// Every pattern, in declaration order.
+    pub const ALL: [ScenarioPattern; 4] = [
+        ScenarioPattern::Lecture,
+        ScenarioPattern::Lab,
+        ScenarioPattern::Exam,
+        ScenarioPattern::Broadcast,
+    ];
+
+    /// The campus activity the pattern maps onto.
+    pub fn activity(self) -> Activity {
+        match self {
+            ScenarioPattern::Lecture | ScenarioPattern::Broadcast => Activity::Lecture,
+            ScenarioPattern::Lab => Activity::GroupWork,
+            ScenarioPattern::Exam => Activity::Seminar,
+        }
+    }
+
+    /// Default device platform for cohorts that do not pin one: broadcast
+    /// audiences spectate from desktops, everyone else wears a headset.
+    pub fn default_platform(self) -> DevicePlatform {
+        match self {
+            ScenarioPattern::Broadcast => DevicePlatform::DesktopSpectator,
+            _ => DevicePlatform::VrHeadset,
+        }
+    }
+}
+
+/// One physical campus in a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCampus {
+    /// Campus name (e.g. "HKUST-CWB").
+    pub name: String,
+    /// Where the campus sits.
+    pub region: Region,
+    /// Seated students in the room.
+    pub students: u32,
+    /// Whether a presenter teaches from this campus's podium.
+    pub presenter: bool,
+}
+
+/// One remote cohort in a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCohort {
+    /// The learners' region.
+    pub region: Region,
+    /// Cohort size.
+    pub learners: u32,
+    /// Hardware class (defaults to the pattern's platform when absent).
+    pub platform: Option<DevicePlatform>,
+    /// Last-mile access class.
+    pub access: LinkClass,
+    /// When the cohort starts joining, ms of session time (default 0).
+    pub joins_at_ms: Option<u64>,
+    /// Spacing between consecutive joins, ms (default 0 = all at once).
+    pub stagger_ms: Option<u64>,
+}
+
+/// A scripted inter-room move by one remote learner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MobilityEvent {
+    /// Global remote-learner index across every cohort, declaration order.
+    pub learner: u32,
+    /// Session time of the move, ms.
+    pub at_ms: u64,
+    /// Destination virtual room (0 = the auditorium).
+    pub room: u32,
+}
+
+/// The kind of network/process fault a [`FaultSpec`] injects on the
+/// affected campus's uplink (or the campus's edge server itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The campus↔cloud link goes fully down, then returns.
+    LinkFlap,
+    /// The campus↔cloud link drops half its packets.
+    LossBurst,
+    /// The campus↔cloud link gains 80 ms of one-way latency.
+    LatencySpike,
+    /// The whole campus is partitioned from everyone else.
+    Partition,
+    /// The campus's edge server crashes, then restarts.
+    CrashEdge,
+}
+
+/// One timed fault window against a campus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// What happens.
+    pub kind: FaultKind,
+    /// Which campus (index into the scenario's campus list).
+    pub campus: u32,
+    /// Window start, ms of session time.
+    pub at_ms: u64,
+    /// Window length, ms.
+    pub for_ms: u64,
+}
+
+/// A flash crowd arriving mid-session (an extra all-at-once cohort).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdSpec {
+    /// Where the crowd connects from.
+    pub region: Region,
+    /// Crowd size.
+    pub learners: u32,
+    /// Their last-mile access class.
+    pub access: LinkClass,
+    /// When everyone arrives, ms of session time.
+    pub at_ms: u64,
+}
+
+/// A pooled remote population overlay (the PR-8 flyweight machinery).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// The population's region.
+    pub region: Region,
+    /// Total population modeled.
+    pub members: u64,
+    /// Members promoted to fully simulated tracer clients.
+    pub tracers: u32,
+    /// Last-mile access class.
+    pub access: LinkClass,
+    /// Flash-crowd arrival center, ms of session time.
+    pub at_ms: u64,
+    /// Arrival spread around the center, ms.
+    pub spread_ms: u64,
+}
+
+/// Optional composed stress riding on top of the base workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StressSpec {
+    /// A flash crowd arriving mid-session.
+    pub flash_crowd: Option<FlashCrowdSpec>,
+    /// A pooled population overlay.
+    pub population: Option<PopulationSpec>,
+    /// Timed fault windows against campuses.
+    pub faults: Option<Vec<FaultSpec>>,
+}
+
+/// A complete declarative classroom workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name: lowercase `[a-z0-9_]+`, used as the experiment id
+    /// suffix (`scenario_<name>`) and in artifact file names.
+    pub name: String,
+    /// The interaction pattern.
+    pub pattern: ScenarioPattern,
+    /// How long a bench/test run simulates, ms.
+    pub duration_ms: u64,
+    /// Optional longer horizon for full sweeps, ms.
+    pub full_duration_ms: Option<u64>,
+    /// Region hosting the cloud VR classroom.
+    pub cloud_region: Region,
+    /// Physical campuses.
+    pub campuses: Vec<ScenarioCampus>,
+    /// Remote cohorts.
+    pub cohorts: Vec<ScenarioCohort>,
+    /// Scripted inter-room moves (omit rather than empty).
+    pub mobility: Option<Vec<MobilityEvent>>,
+    /// Composed stress (omit for a clean run).
+    pub stress: Option<StressSpec>,
+}
+
+// ---------------------------------------------------------------- the error
+
+/// A scenario parse/validation error, pointing at the offending file
+/// location when one is known.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// The file the spec came from, when loaded from disk.
+    pub path: Option<String>,
+    /// 1-based line of the offending construct, when known.
+    pub line: Option<u32>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ScenarioError {
+    fn new(message: impl Into<String>) -> Self {
+        ScenarioError { path: None, line: None, message: message.into() }
+    }
+
+    fn at_line(message: impl Into<String>, line: u32) -> Self {
+        ScenarioError { path: None, line: Some(line), message: message.into() }
+    }
+
+    fn with_path(mut self, path: &Path) -> Self {
+        self.path = Some(path.display().to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.path, self.line) {
+            (Some(p), Some(l)) => write!(f, "{p}:{l}: {}", self.message),
+            (Some(p), None) => write!(f, "{p}: {}", self.message),
+            (None, Some(l)) => write!(f, "line {l}: {}", self.message),
+            (None, None) => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+// ------------------------------------------------------------- the expander
+
+impl ScenarioSpec {
+    /// The bench/test run horizon.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_millis(self.duration_ms)
+    }
+
+    /// The full-sweep horizon (falls back to [`ScenarioSpec::duration`]).
+    pub fn full_duration(&self) -> SimDuration {
+        SimDuration::from_millis(self.full_duration_ms.unwrap_or(self.duration_ms))
+    }
+
+    /// Total remote learners across the declared cohorts (the index space
+    /// [`MobilityEvent::learner`] addresses; stress overlays come after).
+    pub fn cohort_learners(&self) -> u32 {
+        self.cohorts.iter().map(|c| c.learners).sum()
+    }
+
+    /// Expands the spec into a [`SessionBuilder`] program. Deterministic:
+    /// the same spec and seed produce the same session, byte-identical on
+    /// either engine.
+    pub fn session_builder(&self, seed: u64) -> SessionBuilder {
+        let mut b = SessionBuilder::new()
+            .seed(seed)
+            .activity(self.pattern.activity())
+            .cloud_region(self.cloud_region);
+        for c in &self.campuses {
+            b = b.campus(c.name.clone(), c.region, c.students, c.presenter);
+        }
+        for c in &self.cohorts {
+            b = b.cohort(CohortSpec {
+                region: c.region,
+                learners: c.learners,
+                access: c.access,
+                joins_at: SimDuration::from_millis(c.joins_at_ms.unwrap_or(0)),
+                join_stagger: SimDuration::from_millis(c.stagger_ms.unwrap_or(0)),
+                platform: c.platform.unwrap_or_else(|| self.pattern.default_platform()),
+            });
+        }
+        for e in self.mobility.iter().flatten() {
+            b = b.mobility(e.learner, SimDuration::from_millis(e.at_ms), e.room);
+        }
+        if let Some(stress) = &self.stress {
+            if let Some(fc) = &stress.flash_crowd {
+                b = b.cohort(CohortSpec {
+                    region: fc.region,
+                    learners: fc.learners,
+                    access: fc.access,
+                    joins_at: SimDuration::from_millis(fc.at_ms),
+                    join_stagger: SimDuration::ZERO,
+                    platform: self.pattern.default_platform(),
+                });
+            }
+            if let Some(p) = &stress.population {
+                b = b.population(
+                    p.region,
+                    p.members,
+                    p.tracers,
+                    p.access,
+                    PopulationProfile::flash_crowd(
+                        SimTime::from_millis(p.at_ms),
+                        SimDuration::from_millis(p.spread_ms),
+                    ),
+                );
+            }
+        }
+        b
+    }
+
+    /// The fault plan the spec's stress section lowers to, if any. Node ids
+    /// mirror the [`SessionBuilder`] layout (cloud first, then per-campus
+    /// edge/array/headsets).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        let faults = self.stress.as_ref()?.faults.as_ref()?;
+        if faults.is_empty() {
+            return None;
+        }
+        let cloud = NodeId::from_index(0);
+        let mut campus_nodes: Vec<Vec<NodeId>> = Vec::new();
+        let mut next = 1usize;
+        for c in &self.campuses {
+            let count = 2 + (c.students + u32::from(c.presenter)) as usize;
+            campus_nodes.push((0..count).map(|i| NodeId::from_index(next + i)).collect());
+            next += count;
+        }
+        let mut plan = FaultPlan::new();
+        for f in faults {
+            let k = f.campus as usize;
+            let edge = campus_nodes[k][0];
+            let from = SimTime::from_millis(f.at_ms);
+            let until = SimTime::from_millis(f.at_ms.saturating_add(f.for_ms));
+            plan = match f.kind {
+                FaultKind::LinkFlap => plan.link_flap(edge, cloud, from, until),
+                FaultKind::LossBurst => {
+                    plan.loss_burst(edge, cloud, from, until, LossModel::Iid { p: FAULT_LOSS })
+                }
+                FaultKind::LatencySpike => {
+                    plan.latency_spike(edge, cloud, from, until, FAULT_EXTRA_LATENCY)
+                }
+                FaultKind::Partition => {
+                    let isolated = campus_nodes[k].clone();
+                    let rest: Vec<NodeId> = std::iter::once(cloud)
+                        .chain(
+                            campus_nodes
+                                .iter()
+                                .enumerate()
+                                .filter(|(m, _)| *m != k)
+                                .flat_map(|(_, ns)| ns.iter().copied()),
+                        )
+                        .collect();
+                    plan.partition_window(&[&isolated, &rest], from, until)
+                }
+                FaultKind::CrashEdge => plan.crash(edge, from, Some(until)),
+            };
+        }
+        Some(plan)
+    }
+
+    /// Builds the runnable session: expands the spec at `seed` on `engine`
+    /// and applies the stress fault plan, if any.
+    pub fn build_session(&self, seed: u64, engine: EngineConfig) -> ClassroomSession {
+        let mut session = self.session_builder(seed).engine_config(engine).build();
+        if let Some(plan) = self.fault_plan() {
+            session.sim_mut().apply_fault_plan(plan);
+        }
+        session
+    }
+
+    // ------------------------------------------------------------ validation
+
+    /// Checks the spec's semantic invariants. Every load path calls this;
+    /// direct constructions should too before building.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let err = |m: String| Err(ScenarioError::new(m));
+        if self.name.is_empty()
+            || self.name.len() > 64
+            || !self.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return err(format!(
+                "name: `{}` must be non-empty lowercase [a-z0-9_], at most 64 chars",
+                self.name
+            ));
+        }
+        if self.duration_ms == 0 {
+            return err("duration_ms: must be positive".into());
+        }
+        if let Some(full) = self.full_duration_ms {
+            if full < self.duration_ms {
+                return err("full_duration_ms: must be >= duration_ms".into());
+            }
+        }
+        if self.campuses.is_empty() && self.cohorts.is_empty() {
+            return err("a scenario needs at least one campus or cohort".into());
+        }
+        if self.campuses.len() > 8 {
+            return err(format!("campuses: {} declared, at most 8 supported", self.campuses.len()));
+        }
+        for (k, c) in self.campuses.iter().enumerate() {
+            let participants = c.students + u32::from(c.presenter);
+            if participants == 0 {
+                return err(format!("campuses.{k}: campus `{}` is empty", c.name));
+            }
+            if participants > 48 {
+                return err(format!(
+                    "campuses.{k}.students: {participants} participants, the room seats 48",
+                ));
+            }
+        }
+        for (i, c) in self.cohorts.iter().enumerate() {
+            if c.learners == 0 {
+                return err(format!("cohorts.{i}.learners: must be positive"));
+            }
+            if c.learners > 512 {
+                return err(format!("cohorts.{i}.learners: {} exceeds the 512 cap", c.learners));
+            }
+        }
+        let total_learners = self.cohort_learners();
+        if let Some(moves) = &self.mobility {
+            if moves.is_empty() {
+                return err("mobility: empty list — omit the key instead".into());
+            }
+            for (i, e) in moves.iter().enumerate() {
+                if e.learner >= total_learners {
+                    return err(format!(
+                        "mobility.{i}.learner: index {} out of range ({} cohort learners)",
+                        e.learner, total_learners
+                    ));
+                }
+            }
+        }
+        if let Some(stress) = &self.stress {
+            if let Some(fc) = &stress.flash_crowd {
+                if fc.learners == 0 || fc.learners > 512 {
+                    return err(format!(
+                        "stress.flash_crowd.learners: {} outside 1..=512",
+                        fc.learners
+                    ));
+                }
+            }
+            if let Some(p) = &stress.population {
+                if p.members == 0 {
+                    return err("stress.population.members: must be positive".into());
+                }
+            }
+            if let Some(faults) = &stress.faults {
+                if faults.is_empty() {
+                    return err("stress.faults: empty list — omit the key instead".into());
+                }
+                for (i, f) in faults.iter().enumerate() {
+                    if f.campus as usize >= self.campuses.len() {
+                        return err(format!(
+                            "stress.faults.{i}.campus: index {} out of range ({} campuses)",
+                            f.campus,
+                            self.campuses.len()
+                        ));
+                    }
+                    if f.for_ms == 0 {
+                        return err(format!("stress.faults.{i}.for_ms: must be positive"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- I/O paths
+
+    /// Parses and validates a spec from our small TOML dialect.
+    pub fn from_toml_str(text: &str) -> Result<Self, ScenarioError> {
+        let (mut value, lines) = parse_toml(text)?;
+        // TOML has no syntax for an empty array-of-tables, so an absent
+        // `[[campuses]]` / `[[cohorts]]` section means "none" (the validator
+        // still requires at least one participant source overall).
+        if let Value::Object(map) = &mut value {
+            for key in ["campuses", "cohorts"] {
+                map.entry(key.to_string()).or_insert_with(|| Value::Array(Vec::new()));
+            }
+        }
+        let spec =
+            Self::from_value(&value).map_err(|e| locate_serde_error(&e.to_string(), &lines))?;
+        spec.validate().map_err(|mut e| {
+            e.line = e.line.or_else(|| locate_path(&e.message, &lines));
+            e
+        })?;
+        Ok(spec)
+    }
+
+    /// Renders the spec as deterministic TOML (alphabetical keys; scalars,
+    /// then sub-tables, then array-of-tables).
+    pub fn to_toml_string(&self) -> String {
+        emit_toml(&self.to_value()).expect("ScenarioSpec always renders to the TOML subset")
+    }
+
+    /// Parses and validates a spec from JSON.
+    pub fn from_json_str(text: &str) -> Result<Self, ScenarioError> {
+        let spec: ScenarioSpec =
+            serde_json::from_str(text).map_err(|e| ScenarioError::new(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Renders the spec as JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(self).expect("ScenarioSpec always serializes")
+    }
+
+    /// Loads and validates a spec file (`.toml` or `.json` by extension),
+    /// attaching the path to any error.
+    pub fn load(path: &Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::new(format!("cannot read: {e}")).with_path(path))?;
+        let parsed = match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Self::from_json_str(&text),
+            _ => Self::from_toml_str(&text),
+        };
+        parsed.map_err(|e| e.with_path(path))
+    }
+}
+
+/// Finds the line of the construct a serde error message points at, by the
+/// backticked field name it mentions.
+fn locate_serde_error(message: &str, lines: &BTreeMap<String, u32>) -> ScenarioError {
+    let mut err = ScenarioError::new(message);
+    if let Some(field) = message.split('`').nth(1) {
+        err.line =
+            lines.iter().find(|(path, _)| path.rsplit('.').next() == Some(field)).map(|(_, &l)| l);
+    }
+    err
+}
+
+/// Finds the line of a dotted path mentioned at the start of a validation
+/// message (e.g. `stress.faults.1.campus: ...`).
+fn locate_path(message: &str, lines: &BTreeMap<String, u32>) -> Option<u32> {
+    let path = message.split(':').next()?;
+    lines.get(path).copied().or_else(|| {
+        // Fall back to the nearest recorded ancestor of the path.
+        let mut p = path;
+        while let Some((parent, _)) = p.rsplit_once('.') {
+            if let Some(&l) = lines.get(parent) {
+                return Some(l);
+            }
+            p = parent;
+        }
+        None
+    })
+}
+
+// ----------------------------------------------------- the tiny TOML dialect
+
+/// Parses the TOML subset into a [`Value`] tree plus a dotted-path → line
+/// map (1-based) for error reporting.
+fn parse_toml(text: &str) -> Result<(Value, BTreeMap<String, u32>), ScenarioError> {
+    enum Seg {
+        Key(String),
+        Idx(usize),
+    }
+    fn path_string(path: &[Seg]) -> String {
+        path.iter()
+            .map(|s| match s {
+                Seg::Key(k) => k.clone(),
+                Seg::Idx(i) => i.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+    fn node_mut<'a>(root: &'a mut Value, path: &[Seg]) -> &'a mut Value {
+        let mut cur = root;
+        for seg in path {
+            cur = match seg {
+                Seg::Key(k) => match cur {
+                    Value::Object(m) => m.get_mut(k).expect("path was materialized"),
+                    _ => unreachable!("path segments are tables"),
+                },
+                Seg::Idx(i) => match cur {
+                    Value::Array(a) => &mut a[*i],
+                    _ => unreachable!("indexed segments are arrays"),
+                },
+            };
+        }
+        cur
+    }
+
+    let mut root = Value::Object(BTreeMap::new());
+    let mut lines: BTreeMap<String, u32> = BTreeMap::new();
+    let mut current: Vec<Seg> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            // Array-of-tables: append a fresh element.
+            let keys = split_header(header, lineno)?;
+            let mut path: Vec<Seg> = Vec::new();
+            for (i, key) in keys.iter().enumerate() {
+                let table = node_mut(&mut root, &path);
+                let map = match table {
+                    Value::Object(m) => m,
+                    _ => {
+                        return Err(ScenarioError::at_line(
+                            format!("`{}` is not a table", path_string(&path)),
+                            lineno,
+                        ))
+                    }
+                };
+                if i + 1 == keys.len() {
+                    let arr = map.entry(key.clone()).or_insert_with(|| Value::Array(Vec::new()));
+                    let Value::Array(items) = arr else {
+                        return Err(ScenarioError::at_line(
+                            format!("`{key}` already defined as a non-array"),
+                            lineno,
+                        ));
+                    };
+                    items.push(Value::Object(BTreeMap::new()));
+                    path.push(Seg::Key(key.clone()));
+                    path.push(Seg::Idx(items.len() - 1));
+                } else {
+                    map.entry(key.clone()).or_insert_with(|| Value::Object(BTreeMap::new()));
+                    path.push(Seg::Key(key.clone()));
+                }
+            }
+            lines.insert(path_string(&path), lineno);
+            current = path;
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let keys = split_header(header, lineno)?;
+            let mut path: Vec<Seg> = Vec::new();
+            for key in &keys {
+                let table = node_mut(&mut root, &path);
+                let map = match table {
+                    Value::Object(m) => m,
+                    _ => {
+                        return Err(ScenarioError::at_line(
+                            format!("`{}` is not a table", path_string(&path)),
+                            lineno,
+                        ))
+                    }
+                };
+                match map.entry(key.clone()).or_insert_with(|| Value::Object(BTreeMap::new())) {
+                    Value::Object(_) => {}
+                    _ => {
+                        return Err(ScenarioError::at_line(
+                            format!("`{key}` already defined as a non-table"),
+                            lineno,
+                        ))
+                    }
+                }
+                path.push(Seg::Key(key.clone()));
+            }
+            lines.insert(path_string(&path), lineno);
+            current = path;
+            continue;
+        }
+        let Some((key_part, value_part)) = line.split_once('=') else {
+            return Err(ScenarioError::at_line(
+                format!("expected `key = value`: `{line}`"),
+                lineno,
+            ));
+        };
+        let key = key_part.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(ScenarioError::at_line(format!("invalid key `{key}`"), lineno));
+        }
+        let value = parse_scalar(value_part.trim(), lineno)?;
+        let table = node_mut(&mut root, &current);
+        let Value::Object(map) = table else { unreachable!("current path is a table") };
+        if map.contains_key(key) {
+            return Err(ScenarioError::at_line(format!("duplicate key `{key}`"), lineno));
+        }
+        map.insert(key.to_string(), value);
+        let mut path = path_string(&current);
+        if !path.is_empty() {
+            path.push('.');
+        }
+        path.push_str(key);
+        lines.insert(path, lineno);
+    }
+    Ok((root, lines))
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Splits a `[a.b]` header into its dotted keys.
+fn split_header(header: &str, lineno: u32) -> Result<Vec<String>, ScenarioError> {
+    let keys: Vec<String> = header.split('.').map(|k| k.trim().to_string()).collect();
+    if keys.iter().any(|k| {
+        k.is_empty() || !k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }) {
+        return Err(ScenarioError::at_line(format!("invalid table header `[{header}]`"), lineno));
+    }
+    Ok(keys)
+}
+
+/// Parses one scalar: string, boolean, integer, or float.
+fn parse_scalar(text: &str, lineno: u32) -> Result<Value, ScenarioError> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err(ScenarioError::at_line(format!("unterminated string: {text}"), lineno));
+        };
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(ScenarioError::at_line(
+                        format!("unsupported escape `\\{}`", other.unwrap_or(' ')),
+                        lineno,
+                    ))
+                }
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits: String = text.chars().filter(|&c| c != '_').collect();
+    if digits.contains('.') {
+        if let Ok(f) = digits.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    } else if let Some(neg) = digits.strip_prefix('-') {
+        if let Ok(n) = neg.parse::<u128>() {
+            return Ok(Value::Int(-(n as i128)));
+        }
+    } else if let Ok(n) = digits.parse::<u128>() {
+        return Ok(Value::UInt(n));
+    }
+    Err(ScenarioError::at_line(format!("expected a string, boolean, or number: `{text}`"), lineno))
+}
+
+/// Renders a [`Value`] object tree as deterministic TOML. `None` fields
+/// (`Null`) and empty arrays are omitted; array-of-table elements must be
+/// flat scalar tables (which the scenario schema guarantees).
+fn emit_toml(value: &Value) -> Result<String, ScenarioError> {
+    fn scalar_literal(v: &Value) -> Option<String> {
+        match v {
+            Value::Bool(b) => Some(b.to_string()),
+            Value::UInt(n) => Some(n.to_string()),
+            Value::Int(n) => Some(n.to_string()),
+            Value::Float(f) => Some(format!("{f:?}")),
+            Value::Str(s) => {
+                let escaped = s
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' => vec!['\\', '"'],
+                        '\\' => vec!['\\', '\\'],
+                        '\n' => vec!['\\', 'n'],
+                        '\t' => vec!['\\', 't'],
+                        other => vec![other],
+                    })
+                    .collect::<String>();
+                Some(format!("\"{escaped}\""))
+            }
+            _ => None,
+        }
+    }
+    fn emit_table(
+        out: &mut String,
+        prefix: &str,
+        map: &BTreeMap<String, Value>,
+    ) -> Result<(), ScenarioError> {
+        for (k, v) in map {
+            if let Some(lit) = scalar_literal(v) {
+                out.push_str(k);
+                out.push_str(" = ");
+                out.push_str(&lit);
+                out.push('\n');
+            }
+        }
+        for (k, v) in map {
+            if let Value::Object(inner) = v {
+                let path = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                out.push_str(&format!("\n[{path}]\n"));
+                emit_table(out, &path, inner)?;
+            }
+        }
+        for (k, v) in map {
+            if let Value::Array(items) = v {
+                let path = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                for item in items {
+                    let Value::Object(inner) = item else {
+                        return Err(ScenarioError::new(format!(
+                            "`{path}`: only arrays of tables render to TOML"
+                        )));
+                    };
+                    out.push_str(&format!("\n[[{path}]]\n"));
+                    for (ik, iv) in inner {
+                        match scalar_literal(iv) {
+                            Some(lit) => {
+                                out.push_str(ik);
+                                out.push_str(" = ");
+                                out.push_str(&lit);
+                                out.push('\n');
+                            }
+                            None if matches!(iv, Value::Null) => {}
+                            None => {
+                                return Err(ScenarioError::new(format!(
+                                    "`{path}.{ik}`: array-of-table elements must be flat"
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+    let Value::Object(map) = value else {
+        return Err(ScenarioError::new("top-level TOML value must be a table"));
+    };
+    let mut out = String::new();
+    emit_table(&mut out, "", map)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaclass_netsim::EngineConfig;
+
+    fn lab_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "lab_unit".into(),
+            pattern: ScenarioPattern::Lab,
+            duration_ms: 2_000,
+            full_duration_ms: Some(10_000),
+            cloud_region: Region::EastAsia,
+            campuses: vec![
+                ScenarioCampus {
+                    name: "CWB".into(),
+                    region: Region::EastAsia,
+                    students: 4,
+                    presenter: true,
+                },
+                ScenarioCampus {
+                    name: "GZ".into(),
+                    region: Region::EastAsia,
+                    students: 3,
+                    presenter: false,
+                },
+            ],
+            cohorts: vec![
+                ScenarioCohort {
+                    region: Region::Europe,
+                    learners: 2,
+                    platform: Some(DevicePlatform::MobileAr),
+                    access: LinkClass::ResidentialAccess,
+                    joins_at_ms: None,
+                    stagger_ms: None,
+                },
+                ScenarioCohort {
+                    region: Region::NorthAmerica,
+                    learners: 1,
+                    platform: None,
+                    access: LinkClass::CellularAccess,
+                    joins_at_ms: Some(300),
+                    stagger_ms: Some(50),
+                },
+            ],
+            mobility: Some(vec![MobilityEvent { learner: 0, at_ms: 900, room: 2 }]),
+            stress: Some(StressSpec {
+                flash_crowd: Some(FlashCrowdSpec {
+                    region: Region::SouthAsia,
+                    learners: 3,
+                    access: LinkClass::CellularAccess,
+                    at_ms: 700,
+                }),
+                population: None,
+                faults: Some(vec![FaultSpec {
+                    kind: FaultKind::LossBurst,
+                    campus: 1,
+                    at_ms: 500,
+                    for_ms: 400,
+                }]),
+            }),
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_preserves_the_spec() {
+        let spec = lab_spec();
+        let toml = spec.to_toml_string();
+        let back = ScenarioSpec::from_toml_str(&toml).expect("round-trip parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_spec() {
+        let spec = lab_spec();
+        let back = ScenarioSpec::from_json_str(&spec.to_json_string()).expect("parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn malformed_toml_reports_the_line() {
+        let text = "name = \"x\"\npattern = Lecture\n";
+        let err = ScenarioSpec::from_toml_str(text).unwrap_err();
+        assert_eq!(err.line, Some(2), "{err}");
+        assert!(err.message.contains("string, boolean, or number"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_located() {
+        let mut toml = lab_spec().to_toml_string();
+        toml.push_str("\nbogus_knob = 3\n");
+        let err = ScenarioSpec::from_toml_str(&toml).unwrap_err();
+        assert!(err.message.contains("bogus_knob"), "{err}");
+        assert!(err.line.is_some(), "{err}");
+    }
+
+    #[test]
+    fn semantic_validation_points_at_the_offending_entry() {
+        let mut spec = lab_spec();
+        spec.stress.as_mut().unwrap().faults.as_mut().unwrap()[0].campus = 9;
+        let err = ScenarioSpec::from_toml_str(&spec.to_toml_string()).unwrap_err();
+        assert!(err.message.contains("stress.faults.0.campus"), "{err}");
+        assert!(err.line.is_some(), "{err}");
+    }
+
+    #[test]
+    fn expansion_is_deterministic_across_engines() {
+        let spec = lab_spec();
+        let fingerprint = |engine: EngineConfig| {
+            let mut s = spec.build_session(7, engine);
+            s.sim_mut().enable_trace(1 << 14);
+            s.run_for(spec.duration());
+            s.sim().trace().expect("trace enabled").fingerprint_hex()
+        };
+        let serial = fingerprint(EngineConfig::serial());
+        let sharded = fingerprint(EngineConfig::sharded(4));
+        assert_eq!(serial, sharded);
+        assert_eq!(serial, fingerprint(EngineConfig::serial()), "rerun identical");
+    }
+
+    #[test]
+    fn absent_array_of_tables_sections_mean_empty() {
+        let campuses_only = "name = \"onsite\"\npattern = \"Lecture\"\nduration_ms = 1000\n\
+                             cloud_region = \"EastAsia\"\n\n[[campuses]]\nname = \"CWB\"\n\
+                             region = \"EastAsia\"\nstudents = 2\npresenter = true\n";
+        let spec = ScenarioSpec::from_toml_str(campuses_only).expect("campus-only spec parses");
+        assert!(spec.cohorts.is_empty());
+        let cohorts_only = "name = \"remote\"\npattern = \"Broadcast\"\nduration_ms = 1000\n\
+                            cloud_region = \"EastAsia\"\n\n[[cohorts]]\nregion = \"Europe\"\n\
+                            learners = 2\naccess = \"ResidentialAccess\"\n";
+        let spec = ScenarioSpec::from_toml_str(cohorts_only).expect("cohort-only spec parses");
+        assert!(spec.campuses.is_empty());
+        // Round-trip: the emitter omits the empty section, the parser
+        // restores it.
+        assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn broadcast_cohorts_default_to_spectators() {
+        assert_eq!(ScenarioPattern::Broadcast.default_platform(), DevicePlatform::DesktopSpectator);
+        assert_eq!(ScenarioPattern::Exam.default_platform(), DevicePlatform::VrHeadset);
+        assert_eq!(ScenarioPattern::Lab.activity(), Activity::GroupWork);
+    }
+}

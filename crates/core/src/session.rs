@@ -10,8 +10,8 @@ use std::collections::BTreeMap;
 use metaclass_avatar::{AvatarId, CodecConfig, SpaceBounds, Vec3};
 use metaclass_edge::{
     pool_avatar, ClassMsg, ClassroomLayout, ClientConfig, ClientPoolNode, CloudServerNode,
-    EdgeServerNode, FanoutConfig, HeadsetNode, PoolConfig, RemoteClientNode, RoomArrayNode,
-    ServerConfig,
+    DevicePlatform, EdgeServerNode, FanoutConfig, HeadsetNode, PoolConfig, RemoteClientNode,
+    RoomArrayNode, ServerConfig,
 };
 use metaclass_netsim::{
     DetRng, EngineConfig, EngineMode, LinkClass, LinkConfig, NodeId, PopulationProfile,
@@ -63,6 +63,8 @@ pub struct CohortSpec {
     /// at once).
     #[serde(default)]
     pub join_stagger: SimDuration,
+    /// The hardware class every learner in this cohort attends through.
+    pub platform: DevicePlatform,
 }
 
 /// A pooled remote population in one region: `members` statistically
@@ -206,6 +208,8 @@ pub struct SessionBuilder {
     campuses: Vec<CampusSpec>,
     cohorts: Vec<CohortSpec>,
     pools: Vec<PoolSpec>,
+    /// Scripted inter-room moves: `(remote learner index, at, room)`.
+    mobility: Vec<(u32, SimDuration, u32)>,
 }
 
 impl Default for SessionBuilder {
@@ -222,6 +226,7 @@ impl SessionBuilder {
             campuses: Vec::new(),
             cohorts: Vec::new(),
             pools: Vec::new(),
+            mobility: Vec::new(),
         }
     }
 
@@ -287,6 +292,13 @@ impl SessionBuilder {
         self
     }
 
+    /// Adds a fully specified remote cohort (the expander's entry point —
+    /// platform, join time, and stagger all in one spec).
+    pub fn cohort(mut self, spec: CohortSpec) -> Self {
+        self.cohorts.push(spec);
+        self
+    }
+
     /// Adds a cohort of remote VR learners joining at class start.
     pub fn remote_cohort(self, region: Region, learners: u32, access: LinkClass) -> Self {
         self.remote_cohort_joining(region, learners, access, SimDuration::ZERO, SimDuration::ZERO)
@@ -303,7 +315,44 @@ impl SessionBuilder {
         joins_at: SimDuration,
         stagger: SimDuration,
     ) -> Self {
-        self.cohorts.push(CohortSpec { region, learners, access, joins_at, join_stagger: stagger });
+        self.cohorts.push(CohortSpec {
+            region,
+            learners,
+            access,
+            joins_at,
+            join_stagger: stagger,
+            platform: DevicePlatform::VrHeadset,
+        });
+        self
+    }
+
+    /// Adds a cohort of remote learners attending through `platform`
+    /// hardware (pose rate, dead reckoning, playout buffering, and input
+    /// cadence per [`DevicePlatform`]), joining at class start.
+    pub fn remote_cohort_platform(
+        mut self,
+        region: Region,
+        learners: u32,
+        access: LinkClass,
+        platform: DevicePlatform,
+    ) -> Self {
+        self.cohorts.push(CohortSpec {
+            region,
+            learners,
+            access,
+            joins_at: SimDuration::ZERO,
+            join_stagger: SimDuration::ZERO,
+            platform,
+        });
+        self
+    }
+
+    /// Schedules an inter-room move: remote learner `learner` (global index
+    /// across every cohort, in declaration order) announces a move to
+    /// virtual room `room` at session time `at`. Moves queue behind
+    /// admission: a learner not yet admitted retries until it is.
+    pub fn mobility(mut self, learner: u32, at: SimDuration, room: u32) -> Self {
+        self.mobility.push((learner, at, room));
         self
     }
 
@@ -571,15 +620,21 @@ impl SessionBuilder {
                         SimDuration::from_nanos(cohort.joins_at.as_nanos().saturating_add(
                             cohort.join_stagger.as_nanos().saturating_mul(i as u64),
                         ));
-                    (cohort.region, cohort.access, delay)
+                    (cohort.region, cohort.access, delay, cohort.platform)
                 })
             });
             let tracer_delays = self.pools.iter().zip(&pool_plans).flat_map(|(spec, plan)| {
                 plan.1.iter().map(move |at| {
-                    (spec.region, spec.access, SimDuration::from_nanos(at.as_nanos()))
+                    (
+                        spec.region,
+                        spec.access,
+                        SimDuration::from_nanos(at.as_nanos()),
+                        DevicePlatform::VrHeadset,
+                    )
                 })
             });
-            for (j, (region, access, join_delay)) in cohort_delays.chain(tracer_delays).enumerate()
+            for (j, (region, access, join_delay, platform)) in
+                cohort_delays.chain(tracer_delays).enumerate()
             {
                 let avatar = AvatarId(10_000 + j as u32);
                 // Remote learners "sit" near the origin of their own
@@ -587,18 +642,25 @@ impl SessionBuilder {
                 let script = MotionScript::SeatedLecture {
                     seat: Vec3::new(1.0 + (j % 5) as f64 * 0.8, 0.0, 1.0 + (j / 5 % 8) as f64),
                 };
-                let mut ccfg = cfg.client;
+                let mut ccfg = platform.apply(cfg.client);
                 ccfg.join_delay = join_delay;
-                let node = sim.add_node(
-                    format!("client-{avatar}"),
-                    RemoteClientNode::new(
-                        avatar,
-                        cloud_id,
-                        ccfg,
-                        script,
-                        cfg.seed ^ ((avatar.0 as u64) << 16),
-                    ),
+                let mut client = RemoteClientNode::new(
+                    avatar,
+                    cloud_id,
+                    ccfg,
+                    script,
+                    cfg.seed ^ ((avatar.0 as u64) << 16),
                 );
+                let moves: Vec<(SimDuration, u32)> = self
+                    .mobility
+                    .iter()
+                    .filter(|(l, _, _)| *l as usize == j)
+                    .map(|&(_, at, room)| (at, room))
+                    .collect();
+                if !moves.is_empty() {
+                    client = client.with_mobility(moves);
+                }
+                let node = sim.add_node(format!("client-{avatar}"), client);
                 debug_assert_eq!(node, client_ids[j]);
                 sim.connect(node, cloud_id, Self::compose_access(access, region, cfg.cloud_region));
             }

@@ -1,0 +1,216 @@
+//! Property tests for the scenario DSL: any valid spec survives the
+//! TOML and JSON round trips byte-exactly, and the expander is fully
+//! deterministic — the same spec and seed produce byte-identical sessions
+//! (trace fingerprints) on the serial and sharded engines and across
+//! reruns.
+
+use metaclass_core::{
+    FaultKind, FaultSpec, FlashCrowdSpec, MobilityEvent, PopulationSpec, ScenarioCampus,
+    ScenarioCohort, ScenarioPattern, ScenarioSpec, StressSpec,
+};
+use metaclass_edge::DevicePlatform;
+use metaclass_netsim::{EngineConfig, LinkClass, Region};
+use proptest::prelude::*;
+
+/// SplitMix64 step: a tiny deterministic generator so one sampled `u64`
+/// fans out into a whole structured spec.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick(state: &mut u64, bound: u64) -> u64 {
+    next(state) % bound.max(1)
+}
+
+const REGIONS: [Region; 8] = [
+    Region::EastAsia,
+    Region::SoutheastAsia,
+    Region::SouthAsia,
+    Region::Europe,
+    Region::NorthAmerica,
+    Region::SouthAmerica,
+    Region::Oceania,
+    Region::Africa,
+];
+
+const ACCESS: [LinkClass; 3] =
+    [LinkClass::ResidentialAccess, LinkClass::CellularAccess, LinkClass::WiredLan];
+
+const PLATFORMS: [DevicePlatform; 3] =
+    [DevicePlatform::VrHeadset, DevicePlatform::MobileAr, DevicePlatform::DesktopSpectator];
+
+/// Derives a structurally valid spec from one seed, covering every
+/// optional section with nonzero probability.
+fn spec_from_seed(seed: u64) -> ScenarioSpec {
+    let mut st = seed;
+    let pattern = ScenarioPattern::ALL[pick(&mut st, 4) as usize];
+    let duration_ms = 500 + pick(&mut st, 1500);
+    let n_campuses = 1 + pick(&mut st, 3) as usize;
+    let campuses: Vec<ScenarioCampus> = (0..n_campuses)
+        .map(|k| ScenarioCampus {
+            name: format!("campus{k}"),
+            region: REGIONS[pick(&mut st, 8) as usize],
+            students: 1 + pick(&mut st, 4) as u32,
+            presenter: k == 0,
+        })
+        .collect();
+    let n_cohorts = pick(&mut st, 3) as usize;
+    let cohorts: Vec<ScenarioCohort> = (0..n_cohorts)
+        .map(|_| ScenarioCohort {
+            region: REGIONS[pick(&mut st, 8) as usize],
+            learners: 1 + pick(&mut st, 4) as u32,
+            platform: if pick(&mut st, 2) == 0 {
+                None
+            } else {
+                Some(PLATFORMS[pick(&mut st, 3) as usize])
+            },
+            access: ACCESS[pick(&mut st, 3) as usize],
+            joins_at_ms: if pick(&mut st, 2) == 0 { None } else { Some(pick(&mut st, 400)) },
+            stagger_ms: if pick(&mut st, 2) == 0 { None } else { Some(pick(&mut st, 100)) },
+        })
+        .collect();
+    let total_learners: u32 = cohorts.iter().map(|c| c.learners).sum();
+    let mobility = if total_learners > 0 && pick(&mut st, 2) == 0 {
+        let n = 1 + pick(&mut st, 3);
+        Some(
+            (0..n)
+                .map(|_| MobilityEvent {
+                    learner: pick(&mut st, u64::from(total_learners)) as u32,
+                    at_ms: pick(&mut st, duration_ms),
+                    room: pick(&mut st, 3) as u32,
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let stress = if pick(&mut st, 2) == 0 {
+        let flash_crowd = if pick(&mut st, 2) == 0 {
+            Some(FlashCrowdSpec {
+                region: REGIONS[pick(&mut st, 8) as usize],
+                learners: 1 + pick(&mut st, 6) as u32,
+                access: ACCESS[pick(&mut st, 3) as usize],
+                at_ms: pick(&mut st, duration_ms),
+            })
+        } else {
+            None
+        };
+        let population = if pick(&mut st, 2) == 0 {
+            Some(PopulationSpec {
+                region: REGIONS[pick(&mut st, 8) as usize],
+                members: 1 + pick(&mut st, 300),
+                tracers: pick(&mut st, 3) as u32,
+                access: ACCESS[pick(&mut st, 3) as usize],
+                at_ms: pick(&mut st, duration_ms),
+                spread_ms: pick(&mut st, 300),
+            })
+        } else {
+            None
+        };
+        let faults = if pick(&mut st, 2) == 0 {
+            let kinds = [
+                FaultKind::LinkFlap,
+                FaultKind::LossBurst,
+                FaultKind::LatencySpike,
+                FaultKind::Partition,
+                FaultKind::CrashEdge,
+            ];
+            let n = 1 + pick(&mut st, 2);
+            Some(
+                (0..n)
+                    .map(|_| FaultSpec {
+                        kind: kinds[pick(&mut st, 5) as usize],
+                        campus: pick(&mut st, n_campuses as u64) as u32,
+                        at_ms: pick(&mut st, duration_ms),
+                        for_ms: 50 + pick(&mut st, 400),
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        if flash_crowd.is_none() && population.is_none() && faults.is_none() {
+            None
+        } else {
+            Some(StressSpec { flash_crowd, population, faults })
+        }
+    } else {
+        None
+    };
+    ScenarioSpec {
+        name: format!("prop{}", seed % 1000),
+        pattern,
+        duration_ms,
+        full_duration_ms: if pick(&mut st, 2) == 0 { None } else { Some(duration_ms * 4) },
+        cloud_region: REGIONS[pick(&mut st, 8) as usize],
+        campuses,
+        cohorts,
+        mobility,
+        stress,
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+    /// parse(emit(spec)) == spec through the hand-rolled TOML dialect.
+    #[test]
+    fn prop_toml_round_trip_preserves_any_valid_spec(seed in any::<u64>()) {
+        let spec = spec_from_seed(seed);
+        spec.validate().expect("generated specs are valid");
+        let toml = spec.to_toml_string();
+        let back = ScenarioSpec::from_toml_str(&toml)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n---\n{toml}"));
+        prop_assert_eq!(back, spec);
+    }
+
+    /// parse(emit(spec)) == spec through JSON, and the two encodings agree.
+    #[test]
+    fn prop_json_round_trip_preserves_any_valid_spec(seed in any::<u64>()) {
+        let spec = spec_from_seed(seed);
+        let back = ScenarioSpec::from_json_str(&spec.to_json_string()).expect("json parses");
+        prop_assert_eq!(&back, &spec);
+        let via_toml = ScenarioSpec::from_toml_str(&spec.to_toml_string()).expect("toml parses");
+        prop_assert_eq!(via_toml, back);
+    }
+
+    /// Emitting is a pure function of the spec: two emissions are
+    /// byte-identical (the emitter sorts keys, never iterates hash order).
+    #[test]
+    fn prop_emission_is_byte_stable(seed in any::<u64>()) {
+        let spec = spec_from_seed(seed);
+        prop_assert_eq!(spec.to_toml_string(), spec.to_toml_string());
+        prop_assert_eq!(spec.to_json_string(), spec.to_json_string());
+    }
+}
+
+proptest! {
+    // Each case runs real simulations three times; keep the count small.
+    #![proptest_config(proptest::test_runner::Config::with_cases(4))]
+
+    /// The expander is deterministic end to end: same spec + seed gives
+    /// byte-identical event traces on the serial engine, the sharded
+    /// engine, and a serial rerun.
+    #[test]
+    fn prop_expansion_is_byte_identical_across_engines_and_reruns(seed in any::<u64>()) {
+        let mut spec = spec_from_seed(seed);
+        // Bound the horizon so four cases stay test-sized.
+        spec.duration_ms = spec.duration_ms.min(900);
+        let fingerprint = |engine: EngineConfig| {
+            let mut session = spec.build_session(seed ^ 0xD5, engine);
+            session.sim_mut().enable_trace(1 << 15);
+            session.run_for(spec.duration());
+            let events = session.sim().events_processed();
+            (session.sim().trace().expect("trace enabled").fingerprint_hex(), events)
+        };
+        let serial = fingerprint(EngineConfig::serial());
+        let sharded = fingerprint(EngineConfig::sharded(4));
+        prop_assert_eq!(&serial, &sharded, "serial vs sharded diverged");
+        prop_assert_eq!(&serial, &fingerprint(EngineConfig::serial()), "rerun diverged");
+        prop_assert!(serial.1 > 0, "the session must actually run");
+    }
+}

@@ -22,11 +22,17 @@ use metaclass_sync::{
 
 use crate::health::{HeartbeatConfig, PeerEvent, PeerHealth};
 use crate::messages::ClassMsg;
+use crate::platform::DevicePlatform;
 
 const TAG_POSE: u64 = 30;
 const TAG_CLOCK: u64 = 31;
 const TAG_INTERACT: u64 = 32;
 const TAG_JOIN: u64 = 33;
+const TAG_MOVE: u64 = 34;
+
+/// Retry interval for a room move that fires before the client is admitted
+/// (the move waits for admission rather than being dropped).
+const MOVE_RETRY: SimDuration = SimDuration::from_millis(500);
 
 /// Retransmission timeout for the reliable interaction stream.
 const INTERACTION_RTO: SimDuration = SimDuration::from_millis(200);
@@ -55,6 +61,11 @@ pub struct ClientConfig {
     /// How long after start the first join request goes out (cohorts use
     /// this to stagger a flash crowd).
     pub join_delay: SimDuration,
+    /// The hardware class this client attends through. Drives the
+    /// interaction-channel cadence directly; pose rate, dead reckoning, and
+    /// playout buffering are derived from it by
+    /// [`DevicePlatform::apply`](crate::DevicePlatform::apply).
+    pub platform: DevicePlatform,
 }
 
 impl Default for ClientConfig {
@@ -73,6 +84,7 @@ impl Default for ClientConfig {
                 degraded_stride: 4,
             },
             join_delay: SimDuration::ZERO,
+            platform: DevicePlatform::VrHeadset,
         }
     }
 }
@@ -114,6 +126,13 @@ pub struct RemoteClientNode {
     joins_deferred: u64,
     joins_rejected: u64,
     updates_received: u64,
+    /// Scheduled inter-room moves, `(session time, target room)`, sorted.
+    mobility: Vec<(SimDuration, u32)>,
+    /// Next pending entry of `mobility`.
+    mobility_idx: usize,
+    /// The virtual room this client believes it occupies (0 at start).
+    current_room: u32,
+    room_moves_sent: u64,
 }
 
 impl RemoteClientNode {
@@ -150,7 +169,32 @@ impl RemoteClientNode {
             joins_deferred: 0,
             joins_rejected: 0,
             updates_received: 0,
+            mobility: Vec::new(),
+            mobility_idx: 0,
+            current_room: 0,
+            room_moves_sent: 0,
         }
+    }
+
+    /// Schedules inter-room moves for this client: at each `(when, room)`
+    /// the client announces a [`ClassMsg::RoomChange`] to the cloud (waiting
+    /// for admission first if necessary). Entries are sorted by time; call
+    /// before the node is added to the simulation.
+    pub fn with_mobility(mut self, mut plan: Vec<(SimDuration, u32)>) -> Self {
+        plan.sort_by_key(|&(at, _)| at);
+        self.mobility = plan;
+        self.mobility_idx = 0;
+        self
+    }
+
+    /// The virtual room this client last announced (0 before any move).
+    pub fn current_room(&self) -> u32 {
+        self.current_room
+    }
+
+    /// Room-change announcements actually sent so far.
+    pub fn room_moves_sent(&self) -> u64 {
+        self.room_moves_sent
     }
 
     /// This client's avatar id.
@@ -228,9 +272,15 @@ impl Node<ClassMsg> for RemoteClientNode {
     fn on_start(&mut self, ctx: &mut Context<'_, ClassMsg>) {
         ctx.set_timer(self.cfg.pose_rate, TAG_POSE);
         ctx.set_timer(SimDuration::from_millis(1), TAG_CLOCK);
-        let first = SimDuration::from_secs_f64(self.interact_rng.range_f64(5.0, 30.0));
-        ctx.set_timer(first, TAG_INTERACT);
+        if let Some(((first_min, first_max), _)) = self.cfg.platform.interaction_bounds() {
+            let first =
+                SimDuration::from_secs_f64(self.interact_rng.range_f64(first_min, first_max));
+            ctx.set_timer(first, TAG_INTERACT);
+        }
         ctx.set_timer(self.cfg.join_delay, TAG_JOIN);
+        if let Some(&(at, _)) = self.mobility.first() {
+            ctx.set_timer(at, TAG_MOVE);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ClassMsg>, timer: Timer) {
@@ -292,7 +342,11 @@ impl Node<ClassMsg> for RemoteClientNode {
                     }
                     ctx.metrics().inc("client.interactions_sent");
                 }
-                let next = SimDuration::from_secs_f64(self.interact_rng.range_f64(15.0, 60.0));
+                // Only platforms with an input channel ever arm this timer.
+                let (_, (steady_min, steady_max)) =
+                    self.cfg.platform.interaction_bounds().expect("input channel present");
+                let next =
+                    SimDuration::from_secs_f64(self.interact_rng.range_f64(steady_min, steady_max));
                 ctx.set_timer(next, TAG_INTERACT);
             }
             TAG_JOIN => {
@@ -305,6 +359,27 @@ impl Node<ClassMsg> for RemoteClientNode {
                     return;
                 }
                 self.send_join(ctx, now);
+            }
+            TAG_MOVE => {
+                let Some(&(_, room)) = self.mobility.get(self.mobility_idx) else {
+                    return;
+                };
+                if self.join != JoinPhase::Admitted {
+                    // Not seated yet: a move before admission waits for it.
+                    ctx.set_timer(MOVE_RETRY, TAG_MOVE);
+                    return;
+                }
+                self.mobility_idx += 1;
+                self.current_room = room;
+                self.room_moves_sent += 1;
+                let msg = ClassMsg::RoomChange { avatar: self.avatar, room };
+                let size = msg.wire_bytes();
+                ctx.metrics().inc("client.room_moves_sent");
+                ctx.send(self.server, msg, size);
+                if let Some(&(at, _)) = self.mobility.get(self.mobility_idx) {
+                    let delay = at.saturating_sub(SimDuration::from_nanos(now.as_nanos()));
+                    ctx.set_timer(delay, TAG_MOVE);
+                }
             }
             _ => {}
         }

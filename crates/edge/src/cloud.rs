@@ -31,6 +31,11 @@ use crate::seat::{ClassroomLayout, SeatAllocator};
 const TAG_FANOUT: u64 = 20;
 const TAG_HEARTBEAT: u64 = 21;
 
+/// Seats per virtual room: each room's seating block starts this many seats
+/// after the previous one, so reseating on a room change is observable in
+/// the retargeted avatar stream.
+const ROOM_SEAT_STRIDE: usize = 40;
+
 /// Fan-out policy of the cloud classroom.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FanoutConfig {
@@ -92,6 +97,10 @@ pub struct CloudServerNode {
     rejoin_hinted: std::collections::BTreeSet<AvatarId>,
     /// Flyweight client pools served by this cloud: pool id → entry.
     pools: BTreeMap<u32, PoolEntry>,
+    /// Virtual-room membership of every seated avatar (room 0 = auditorium).
+    rooms: BTreeMap<AvatarId, u32>,
+    /// Avatars per virtual room (exact census; empty rooms are dropped).
+    room_counts: BTreeMap<u32, u64>,
 }
 
 /// The cloud's view of one flyweight client pool.
@@ -142,6 +151,8 @@ impl CloudServerNode {
             fanout_backlog: BTreeMap::new(),
             rejoin_hinted: std::collections::BTreeSet::new(),
             pools: BTreeMap::new(),
+            rooms: BTreeMap::new(),
+            room_counts: BTreeMap::new(),
         }
     }
 
@@ -161,6 +172,32 @@ impl CloudServerNode {
     /// The join admission gate (for tests and invariant oracles).
     pub fn admission(&self) -> &AdmissionController {
         &self.admission
+    }
+
+    /// The seat allocator (for tests and invariant oracles).
+    pub fn seats(&self) -> &SeatAllocator {
+        &self.seats
+    }
+
+    /// The virtual room `avatar` currently occupies, if seated.
+    pub fn room_of(&self, avatar: AvatarId) -> Option<u32> {
+        self.rooms.get(&avatar).copied()
+    }
+
+    /// Exact per-room avatar census (empty rooms omitted).
+    pub fn room_census(&self) -> &BTreeMap<u32, u64> {
+        &self.room_counts
+    }
+
+    /// Checks the room-accounting invariant: per-room counts sum to the
+    /// number of tracked avatars, every tracked avatar holds exactly one
+    /// seat, and the allocator itself is consistent.
+    pub fn rooms_are_consistent(&self) -> bool {
+        let census_total: u64 = self.room_counts.values().sum();
+        let counts_match = census_total == self.rooms.len() as u64;
+        let all_seated = self.rooms.keys().all(|&a| self.seats.anchor_of(a).is_some());
+        let no_empty_rooms = self.room_counts.values().all(|&c| c > 0);
+        counts_match && all_seated && no_empty_rooms && self.seats.is_consistent()
     }
 
     /// The load-shedding ladder (for tests and invariant oracles).
@@ -339,7 +376,15 @@ impl CloudServerNode {
         from: NodeId,
     ) {
         let seat = match self.seats.assign(avatar) {
-            Ok(_) => *self.seats.anchor_of(avatar).expect("just assigned"),
+            Ok(_) => {
+                // A freshly seated avatar starts in the auditorium (room 0)
+                // until it announces a move.
+                if let std::collections::btree_map::Entry::Vacant(e) = self.rooms.entry(avatar) {
+                    e.insert(0);
+                    *self.room_counts.entry(0).or_insert(0) += 1;
+                }
+                *self.seats.anchor_of(avatar).expect("just assigned")
+            }
             Err(_) => {
                 ctx.metrics().inc("cloud.seat_rejects");
                 return;
@@ -780,6 +825,31 @@ impl Node<ClassMsg> for CloudServerNode {
                     ctx.metrics().add("overload.pool_leaves", count);
                 }
             }
+            ClassMsg::RoomChange { avatar, room } => {
+                if !self.clients.contains_key(&avatar)
+                    || !self.admission.is_admitted(avatar.0 as u64)
+                {
+                    ctx.metrics().inc("cloud.room_moves_ignored");
+                    return;
+                }
+                let old = self.rooms.insert(avatar, room).unwrap_or(0);
+                if let Some(c) = self.room_counts.get_mut(&old) {
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        self.room_counts.remove(&old);
+                    }
+                }
+                *self.room_counts.entry(room).or_insert(0) += 1;
+                // Reseat into the new room's seating block. The release
+                // guarantees at least one vacancy, so the circular scan in
+                // `assign_from` cannot fail.
+                self.seats.release(avatar);
+                let start = room as usize * ROOM_SEAT_STRIDE;
+                if self.seats.assign_from(avatar, start).is_err() {
+                    ctx.metrics().inc("cloud.seat_rejects");
+                }
+                ctx.metrics().inc("cloud.room_moves");
+            }
             // Liveness was already recorded above; nothing else to do.
             ClassMsg::Heartbeat { .. } => {}
             _ => {}
@@ -816,6 +886,9 @@ impl Node<ClassMsg> for CloudServerNode {
         for entry in self.pools.values_mut() {
             entry.active = 0;
         }
+        // Room membership follows the seats it annotates.
+        self.rooms.clear();
+        self.room_counts.clear();
     }
 }
 

@@ -14,7 +14,8 @@
 //! - [`CloudServerNode`] — the VR auditorium: ingest from edges and clients,
 //!   budgeted interest-managed fan-out, re-encoding toward the classrooms;
 //! - [`RemoteClientNode`] — pose upload, jitter-buffered display, NTP-style
-//!   clock probing;
+//!   clock probing, per-[`DevicePlatform`] rate/buffer/input profiles, and
+//!   scripted inter-room mobility;
 //! - [`SeatAllocator`] / [`ClassroomLayout`] — the "identify the vacant
 //!   seats" mechanic of §3.2;
 //! - [`PeerHealth`] / [`HeartbeatConfig`] — heartbeat failure detection
@@ -43,6 +44,7 @@ mod edge_server;
 mod health;
 mod messages;
 mod overload;
+mod platform;
 mod pool;
 mod seat;
 
@@ -56,5 +58,6 @@ pub use overload::{
     AdmissionConfig, AdmissionController, AdmissionOutcome, LoadShedder, OverloadConfig,
     ShedConfig, ShedLevel, ShedTransition,
 };
+pub use platform::DevicePlatform;
 pub use pool::{pool_avatar, ClientPoolNode, PoolConfig, POOL_AVATAR_BASE};
 pub use seat::{ClassroomFullError, ClassroomLayout, SeatAllocator};

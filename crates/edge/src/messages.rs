@@ -98,6 +98,15 @@ pub enum ClassMsg {
         /// The rejected client's avatar.
         avatar: AvatarId,
     },
+    /// VR client → cloud: the client migrates to another virtual room
+    /// mid-session (cross-reality mobility). The cloud reseats the avatar
+    /// in the target room's seating block and updates its room census.
+    RoomChange {
+        /// The moving client's avatar.
+        avatar: AvatarId,
+        /// Target virtual room index.
+        room: u32,
+    },
     /// VR client → cloud: the client's own avatar frame.
     ClientPose {
         /// The client's avatar.
@@ -246,6 +255,8 @@ impl ClassMsg {
             // id(4) + retry_after(8) + position(4)
             ClassMsg::JoinDeferred { .. } => 16,
             ClassMsg::JoinRejected { .. } => 4,
+            // id(4) + room(4)
+            ClassMsg::RoomChange { .. } => 8,
             ClassMsg::ClientPose { frame, .. } => frame.wire_bytes() as u32 + 8,
             ClassMsg::ClockProbe { .. } => 16,
             ClassMsg::ClockReply { .. } => 24,
@@ -295,6 +306,8 @@ mod tests {
         assert_eq!(disp.wire_bytes(), 78);
         let join = ClassMsg::JoinRequest { avatar: AvatarId(1), attempt: 1 };
         assert_eq!(join.wire_bytes(), 36);
+        let mv = ClassMsg::RoomChange { avatar: AvatarId(1), room: 2 };
+        assert_eq!(mv.wire_bytes(), 36);
         let deferred = ClassMsg::JoinDeferred {
             avatar: AvatarId(1),
             retry_after: SimDuration::from_millis(50),

@@ -114,10 +114,30 @@ impl SeatAllocator {
     ///
     /// [`ClassroomFullError`] when no vacant seat remains.
     pub fn assign(&mut self, avatar: AvatarId) -> Result<usize, ClassroomFullError> {
+        self.assign_from(avatar, 0)
+    }
+
+    /// Assigns (or returns the existing) seat for `avatar`, preferring the
+    /// first vacant seat at or after `start` (wrapping around) — the seating
+    /// block of a virtual room. Stable like [`SeatAllocator::assign`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClassroomFullError`] when no vacant seat remains.
+    pub fn assign_from(
+        &mut self,
+        avatar: AvatarId,
+        start: usize,
+    ) -> Result<usize, ClassroomFullError> {
         if let Some(&seat) = self.by_avatar.get(&avatar) {
             return Ok(seat);
         }
-        match self.occupied.iter().position(|s| s.is_none()) {
+        let n = self.occupied.len();
+        if n == 0 {
+            return Err(ClassroomFullError { capacity: 0 });
+        }
+        let start = start % n;
+        match (0..n).map(|k| (start + k) % n).find(|&i| self.occupied[i].is_none()) {
             Some(seat) => {
                 self.occupied[seat] = Some(avatar);
                 self.by_avatar.insert(avatar, seat);

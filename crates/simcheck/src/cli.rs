@@ -8,6 +8,7 @@
 
 use std::path::Path;
 
+use metaclass_core::ScenarioSpec;
 use metaclass_netsim::EngineConfig;
 
 use crate::explore::{explore, ExploreConfig, FoundViolation};
@@ -26,6 +27,9 @@ options:
   --write DIR   save shrunk violations as regression JSON under DIR
   --engine E    execution engine: serial | sharded | sharded:<n>
                 (results are byte-identical either way; default serial)
+  --scenario F  explore a workload spec (TOML or JSON) instead of the
+                classic two-campus session; the spec's own stress faults
+                ride along as fixed windows in every case
   --help        show this help
 ";
 
@@ -34,6 +38,7 @@ fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, String> {
     raw.parse().map_err(|_| format!("{flag}: '{raw}' is not a number"))
 }
 
+#[derive(Debug)]
 struct CliConfig {
     explore: ExploreConfig,
     write_dir: Option<String>,
@@ -47,6 +52,7 @@ fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
             quick: true,
             pooled: 0,
             engine: EngineConfig::default(),
+            scenario: None,
         },
         write_dir: None,
     };
@@ -80,6 +86,19 @@ fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
                     format!("--engine: unknown engine '{raw}' (serial | sharded | sharded:<n>)")
                 })?;
                 cfg.explore.engine = EngineConfig::from(mode);
+                i += 2;
+            }
+            "--scenario" => {
+                let path = args.get(i + 1).ok_or("--scenario needs a file")?;
+                let spec = ScenarioSpec::load(Path::new(path)).map_err(|e| e.to_string())?;
+                if spec.campuses.is_empty() {
+                    return Err(format!(
+                        "--scenario: `{}` has no campuses; simcheck needs at least one \
+                         edge–cloud link to fault",
+                        spec.name
+                    ));
+                }
+                cfg.explore.scenario = Some(spec);
                 i += 2;
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -134,8 +153,12 @@ pub fn run_cli(args: &[String]) -> i32 {
     } else {
         String::new()
     };
+    let scenario = match &cfg.explore.scenario {
+        Some(spec) => format!(" scenario {}", spec.name),
+        None => String::new(),
+    };
     println!(
-        "simcheck: seed {} cases {} scale {scale}{pooled}",
+        "simcheck: seed {} cases {} scale {scale}{pooled}{scenario}",
         cfg.explore.seed, cfg.explore.cases
     );
     let outcome = explore(&cfg.explore);
@@ -207,5 +230,36 @@ mod tests {
     #[test]
     fn a_small_clean_run_exits_zero() {
         assert_eq!(run_cli(&argv(&["--seed", "7", "--cases", "2"])), 0);
+    }
+
+    #[test]
+    fn scenario_flag_loads_specs_and_rejects_campusless_ones() {
+        let dir = std::env::temp_dir().join(format!("simcheck_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ok = dir.join("mini.toml");
+        std::fs::write(
+            &ok,
+            "name = \"mini\"\npattern = \"Lecture\"\nduration_ms = 1000\n\
+             cloud_region = \"EastAsia\"\n\n[[campuses]]\nname = \"CWB\"\n\
+             region = \"EastAsia\"\nstudents = 1\npresenter = true\n",
+        )
+        .unwrap();
+        let cfg = parse(&argv(&["--scenario", ok.to_str().unwrap()])).unwrap().unwrap();
+        assert_eq!(cfg.explore.scenario.as_ref().unwrap().name, "mini");
+
+        let campusless = dir.join("remote_only.toml");
+        std::fs::write(
+            &campusless,
+            "name = \"remote_only\"\npattern = \"Broadcast\"\nduration_ms = 1000\n\
+             cloud_region = \"EastAsia\"\n\n[[cohorts]]\nregion = \"Europe\"\n\
+             learners = 2\naccess = \"ResidentialAccess\"\n",
+        )
+        .unwrap();
+        let err = parse(&argv(&["--scenario", campusless.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no campuses"), "{err}");
+
+        let missing = dir.join("nope.toml");
+        assert!(parse(&argv(&["--scenario", missing.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -10,6 +10,7 @@
 //! Everything is a pure function of the seed — no wall clock, no ambient
 //! randomness — so `explore` output is byte-identical across reruns.
 
+use metaclass_core::ScenarioSpec;
 use metaclass_netsim::{DetRng, EngineConfig, SimTime};
 
 use crate::oracle::{observer_for, shared, Oracle, Probe, Violation};
@@ -156,6 +157,11 @@ pub struct ExploreConfig {
     /// Execution engine each case's session runs on. Per-run state, so
     /// explorations with different engines can share a process.
     pub engine: EngineConfig,
+    /// Workload spec every case's session is built from instead of the
+    /// classic two-campus deployment (`--scenario FILE`). The spec's own
+    /// stress faults become fixed windows prepended to each generated
+    /// schedule.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 /// One caught-and-shrunk violation.
@@ -225,10 +231,12 @@ pub fn explore_with(
             if cfg.quick { Scenario::quick(session_seed) } else { Scenario::full(session_seed) };
         scn.pooled_members = cfg.pooled;
         scn.engine = cfg.engine;
+        scn.spec = cfg.scenario.clone();
         let (_, topo) = scn.build();
         let space = scn.plan_space(&topo);
         let mut rng = DetRng::new(cfg.seed).derive(0xFA17 ^ u64::from(case));
-        let windows = generate_windows(&space, &mut rng, scn.max_windows);
+        let mut windows = scn.fixed_windows(&topo);
+        windows.extend(generate_windows(&space, &mut rng, scn.max_windows));
         let outcome = run_plan(&scn, &windows, factory(&scn));
 
         fnv1a(&mut fingerprint, &u64::from(case).to_le_bytes());
@@ -280,6 +288,7 @@ mod tests {
             quick: true,
             pooled: 0,
             engine: EngineConfig::default(),
+            scenario: None,
         };
         let a = explore(&cfg);
         let b = explore(&cfg);
@@ -291,6 +300,7 @@ mod tests {
             quick: true,
             pooled: 0,
             engine: EngineConfig::default(),
+            scenario: None,
         });
         assert_ne!(a.fingerprint, c.fingerprint, "different seeds explore differently");
     }
@@ -311,6 +321,7 @@ mod tests {
             quick: true,
             pooled: 0,
             engine: EngineConfig::default(),
+            scenario: None,
         };
         let out = explore_with(&cfg, &factory);
         let caught: Vec<_> =

@@ -7,13 +7,23 @@
 //! hold/freeze, and resync all fit inside a seconds-long run.
 
 use metaclass_avatar::AvatarId;
-use metaclass_core::{Activity, ClassroomSession, SessionBuilder, SessionConfig};
+use metaclass_core::{
+    Activity, ClassroomSession, FaultKind, ScenarioSpec, SessionBuilder, SessionConfig,
+};
 use metaclass_edge::{HeartbeatConfig, OverloadConfig};
 use metaclass_netsim::{
-    EngineConfig, LinkClass, NodeId, PopulationProfile, Region, SimDuration, SimTime,
+    EngineConfig, LinkClass, LossModel, NodeId, PopulationProfile, Region, SimDuration, SimTime,
 };
 
-use crate::plan::PlanSpace;
+use crate::plan::{FaultWindow, PlanSpace};
+
+/// Loss probability a spec's [`FaultKind::LossBurst`] lowers to (mirrors the
+/// core scenario expander, so replaying a spec under simcheck disturbs the
+/// session exactly the way `bench --scenario` does).
+const SPEC_FAULT_LOSS: f64 = 0.5;
+/// Extra one-way latency a spec's [`FaultKind::LatencySpike`] lowers to
+/// (mirrors the core scenario expander).
+const SPEC_FAULT_EXTRA_LATENCY: SimDuration = SimDuration::from_millis(80);
 
 /// Parameters of one checked session run.
 #[derive(Debug, Clone)]
@@ -49,6 +59,12 @@ pub struct Scenario {
     /// Execution engine the checked session runs on (per-run state, so
     /// explorations with different engines can share a process).
     pub engine: EngineConfig,
+    /// Workload spec the checked session is built from instead of the
+    /// classic two-campus Figure-3 deployment (`bench simcheck --scenario`).
+    /// The spec supplies campuses, cohorts, mobility, and stress overlays;
+    /// the scenario keeps its tight heartbeat/overload tuning, time bounds,
+    /// and engine so exploration throughput is unchanged.
+    pub spec: Option<ScenarioSpec>,
 }
 
 impl Scenario {
@@ -78,6 +94,7 @@ impl Scenario {
             max_windows: 4,
             pooled_members: 0,
             engine: EngineConfig::default(),
+            spec: None,
         }
     }
 
@@ -98,6 +115,7 @@ impl Scenario {
             max_windows: 6,
             pooled_members: 0,
             engine: EngineConfig::default(),
+            spec: None,
         }
     }
 
@@ -127,22 +145,35 @@ impl Scenario {
         } else {
             SimDuration::from_millis(100)
         };
-        let mut builder = SessionBuilder::new()
-            .seed(self.session_seed)
-            .engine_config(self.engine)
-            .activity(Activity::Lecture)
-            .server_config(cfg.server)
-            .client_config(cfg.client)
-            .campus("CWB", Region::EastAsia, self.students_per_campus, true)
-            .campus("GZ", Region::EastAsia, self.students_per_campus, false)
-            .remote_cohort(Region::EastAsia, self.remote_learners, LinkClass::ResidentialAccess)
-            .remote_cohort_joining(
-                Region::EastAsia,
-                self.burst_learners,
-                LinkClass::ResidentialAccess,
-                SimDuration::from_nanos(self.burst_at.as_nanos()),
-                SimDuration::ZERO,
-            );
+        // A workload spec replaces the classic deployment wholesale (its
+        // campuses, cohorts, mobility, and flash-crowd/population overlays);
+        // the tight tuning above still applies so detection and resync fit
+        // the exploration time bounds. Spec stress faults are NOT applied
+        // here — `fixed_windows` lowers them so the explorer composes them
+        // with its generated schedules (and the shrinker sees them).
+        let mut builder = match &self.spec {
+            Some(spec) => spec
+                .session_builder(self.session_seed)
+                .engine_config(self.engine)
+                .server_config(cfg.server)
+                .client_config(cfg.client),
+            None => SessionBuilder::new()
+                .seed(self.session_seed)
+                .engine_config(self.engine)
+                .activity(Activity::Lecture)
+                .server_config(cfg.server)
+                .client_config(cfg.client)
+                .campus("CWB", Region::EastAsia, self.students_per_campus, true)
+                .campus("GZ", Region::EastAsia, self.students_per_campus, false)
+                .remote_cohort(Region::EastAsia, self.remote_learners, LinkClass::ResidentialAccess)
+                .remote_cohort_joining(
+                    Region::EastAsia,
+                    self.burst_learners,
+                    LinkClass::ResidentialAccess,
+                    SimDuration::from_nanos(self.burst_at.as_nanos()),
+                    SimDuration::ZERO,
+                ),
+        };
         if self.pooled_members > 0 {
             // The pool's flash crowd lands with the individual burst, so
             // fault schedules compose with aggregate admission the same way
@@ -172,6 +203,64 @@ impl Scenario {
             earliest: self.warmup,
             horizon: self.horizon,
         }
+    }
+
+    /// The spec's declarative stress faults lowered to fixed
+    /// [`FaultWindow`]s over the built topology (empty without a spec).
+    /// The explorer prepends these to every generated schedule, so each
+    /// case carries the scenario's scripted disturbances; lowering matches
+    /// the core expander (edge–cloud link for link faults, campus-isolating
+    /// full-coverage partitions, edge crash/restart).
+    pub fn fixed_windows(&self, topo: &Topology) -> Vec<FaultWindow> {
+        let Some(faults) =
+            self.spec.as_ref().and_then(|s| s.stress.as_ref()).and_then(|s| s.faults.as_ref())
+        else {
+            return Vec::new();
+        };
+        faults
+            .iter()
+            .map(|f| {
+                let k = f.campus as usize;
+                let edge = topo.edges[k];
+                let from = SimTime::from_millis(f.at_ms);
+                let until = SimTime::from_millis(f.at_ms.saturating_add(f.for_ms));
+                match f.kind {
+                    FaultKind::LinkFlap => {
+                        FaultWindow::LinkFlap { a: edge, b: topo.cloud, from, until }
+                    }
+                    FaultKind::LossBurst => FaultWindow::LossBurst {
+                        a: edge,
+                        b: topo.cloud,
+                        from,
+                        until,
+                        loss: LossModel::Iid { p: SPEC_FAULT_LOSS },
+                    },
+                    FaultKind::LatencySpike => FaultWindow::LatencySpike {
+                        a: edge,
+                        b: topo.cloud,
+                        from,
+                        until,
+                        extra: SPEC_FAULT_EXTRA_LATENCY,
+                    },
+                    FaultKind::Partition => {
+                        let isolated = topo.campus_nodes[k].clone();
+                        let rest: Vec<NodeId> = std::iter::once(topo.cloud)
+                            .chain(
+                                topo.campus_nodes
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(m, _)| *m != k)
+                                    .flat_map(|(_, ns)| ns.iter().copied()),
+                            )
+                            .chain(topo.remote_clients.iter().map(|&(_, n)| n))
+                            .chain(topo.pool_nodes.iter().copied())
+                            .collect();
+                        FaultWindow::Partition { groups: vec![isolated, rest], from, until }
+                    }
+                    FaultKind::CrashEdge => FaultWindow::CrashRestart { node: edge, from, until },
+                }
+            })
+            .collect()
     }
 
     /// End of the run (horizon + settle).
@@ -295,24 +384,39 @@ impl Topology {
         pairs
     }
 
-    /// Full-coverage partition splits: campus 0 vs campus 1, with the cloud
-    /// (and the remote clients attached to it) on either side.
+    /// Full-coverage partition splits, one per campus: campus `k` isolated
+    /// from every other campus plus the cloud (and the remote clients and
+    /// pools attached to it). The group containing campus 0 is listed
+    /// first, and campuses are isolated in descending order — for the
+    /// classic two-campus deployment this reproduces the historical
+    /// campus-0-with-cloud / campus-1-with-cloud pair byte for byte.
     pub fn splits(&self) -> Vec<Vec<Vec<NodeId>>> {
-        if self.campus_nodes.len() < 2 {
+        let n = self.campus_nodes.len();
+        if n < 2 {
             return Vec::new();
         }
         let cloud_side: Vec<NodeId> = std::iter::once(self.cloud)
             .chain(self.remote_clients.iter().map(|&(_, n)| n))
             .chain(self.pool_nodes.iter().copied())
             .collect();
-        let mut with_first = self.campus_nodes[0].clone();
-        with_first.extend(&cloud_side);
-        let mut with_second = self.campus_nodes[1].clone();
-        with_second.extend(&cloud_side);
-        vec![
-            vec![with_first, self.campus_nodes[1].clone()],
-            vec![self.campus_nodes[0].clone(), with_second],
-        ]
+        (0..n)
+            .rev()
+            .map(|k| {
+                let isolated = self.campus_nodes[k].clone();
+                let mut rest: Vec<NodeId> = Vec::new();
+                for (j, nodes) in self.campus_nodes.iter().enumerate() {
+                    if j != k {
+                        rest.extend(nodes);
+                    }
+                }
+                rest.extend(&cloud_side);
+                if k == 0 {
+                    vec![isolated, rest]
+                } else {
+                    vec![rest, isolated]
+                }
+            })
+            .collect()
     }
 
     /// Avatars hosted on any campus other than `campus` (what that campus's
@@ -376,6 +480,80 @@ mod tests {
         for split in topo.splits() {
             assert_eq!(split.iter().map(Vec::len).sum::<usize>(), n, "split must cover every node");
         }
+    }
+
+    const THREE_CAMPUS: &str = r#"
+name = "tri"
+pattern = "Lab"
+duration_ms = 2000
+cloud_region = "EastAsia"
+
+[[campuses]]
+name = "CWB"
+region = "EastAsia"
+students = 1
+presenter = true
+
+[[campuses]]
+name = "GZ"
+region = "EastAsia"
+students = 1
+presenter = false
+
+[[campuses]]
+name = "MEL"
+region = "Oceania"
+students = 1
+presenter = false
+
+[[cohorts]]
+region = "Europe"
+learners = 2
+access = "ResidentialAccess"
+
+[[stress.faults]]
+kind = "LossBurst"
+campus = 1
+at_ms = 1000
+for_ms = 400
+
+[[stress.faults]]
+kind = "Partition"
+campus = 2
+at_ms = 1200
+for_ms = 300
+"#;
+
+    #[test]
+    fn spec_driven_scenario_generalizes_topology_splits_and_fixed_windows() {
+        let mut scn = Scenario::quick(5);
+        scn.spec = Some(ScenarioSpec::from_toml_str(THREE_CAMPUS).unwrap());
+        let (session, topo) = scn.build();
+        assert_eq!(topo.edges.len(), 3);
+        let n = session.sim().node_count();
+        let splits = topo.splits();
+        assert_eq!(splits.len(), 3, "one isolating split per campus");
+        for split in &splits {
+            assert_eq!(split.iter().map(Vec::len).sum::<usize>(), n, "split must cover all nodes");
+        }
+        assert_eq!(topo.server_pairs().len(), 6, "3 edge-edge + 3 edge-cloud");
+        let fixed = scn.fixed_windows(&topo);
+        assert_eq!(fixed.len(), 2);
+        assert_eq!(fixed[0].kind(), "loss_burst");
+        assert_eq!(fixed[1].kind(), "partition");
+        assert_eq!(fixed[0].from(), SimTime::from_millis(1000));
+        assert_eq!(fixed[0].until(), SimTime::from_millis(1400));
+        let FaultWindow::Partition { groups, .. } = &fixed[1] else {
+            panic!("expected a partition window");
+        };
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), n, "fixed partition covers all");
+    }
+
+    #[test]
+    fn specless_scenarios_have_no_fixed_windows() {
+        let scn = Scenario::quick(3);
+        let (_, topo) = scn.build();
+        assert!(scn.fixed_windows(&topo).is_empty());
     }
 
     #[test]

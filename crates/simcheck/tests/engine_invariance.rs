@@ -8,13 +8,21 @@
 //! `bench simcheck --engine sharded` takes), so the serial and sharded
 //! explorations here are independent and could even run concurrently.
 
+use metaclass_core::ScenarioSpec;
 use metaclass_netsim::EngineConfig;
 use metaclass_simcheck::explore::{explore, ExploreConfig};
 
 #[test]
 fn exploration_fingerprint_is_engine_invariant() {
     let run = |engine| {
-        let out = explore(&ExploreConfig { seed: 7, cases: 15, quick: true, pooled: 0, engine });
+        let out = explore(&ExploreConfig {
+            seed: 7,
+            cases: 15,
+            quick: true,
+            pooled: 0,
+            engine,
+            scenario: None,
+        });
         (out.fingerprint_hex(), out.cases, out.violations.len())
     };
     let serial = run(EngineConfig::serial());
@@ -30,11 +38,70 @@ fn exploration_fingerprint_is_engine_invariant() {
 #[test]
 fn pooled_exploration_is_engine_invariant_and_clean() {
     let run = |engine| {
-        let out = explore(&ExploreConfig { seed: 11, cases: 8, quick: true, pooled: 12, engine });
+        let out = explore(&ExploreConfig {
+            seed: 11,
+            cases: 8,
+            quick: true,
+            pooled: 12,
+            engine,
+            scenario: None,
+        });
         (out.fingerprint_hex(), out.cases, out.violations.len())
     };
     let serial = run(EngineConfig::serial());
     let sharded = run(EngineConfig::sharded(4));
     assert_eq!(serial, sharded, "pooled explorer outcomes diverged between engines");
     assert_eq!(serial.2, 0, "the pooled scenario should be violation-free");
+}
+
+/// A workload spec (with its own scripted loss burst riding along as a
+/// fixed window in every case) explores clean and engine-invariantly, the
+/// same bar the classic deployment holds.
+#[test]
+fn spec_driven_exploration_is_engine_invariant_and_clean() {
+    const SPEC: &str = r#"
+name = "invariance_lab"
+pattern = "Lab"
+duration_ms = 2000
+cloud_region = "EastAsia"
+
+[[campuses]]
+name = "CWB"
+region = "EastAsia"
+students = 1
+presenter = true
+
+[[campuses]]
+name = "GZ"
+region = "EastAsia"
+students = 1
+presenter = false
+
+[[cohorts]]
+region = "Europe"
+learners = 2
+access = "ResidentialAccess"
+
+[[stress.faults]]
+kind = "LossBurst"
+campus = 1
+at_ms = 1000
+for_ms = 400
+"#;
+    let spec = ScenarioSpec::from_toml_str(SPEC).unwrap();
+    let run = |engine| {
+        let out = explore(&ExploreConfig {
+            seed: 5,
+            cases: 6,
+            quick: true,
+            pooled: 0,
+            engine,
+            scenario: Some(spec.clone()),
+        });
+        (out.fingerprint_hex(), out.cases, out.violations.len())
+    };
+    let serial = run(EngineConfig::serial());
+    let sharded = run(EngineConfig::sharded(4));
+    assert_eq!(serial, sharded, "spec-driven explorer outcomes diverged between engines");
+    assert_eq!(serial.2, 0, "the spec scenario should be violation-free");
 }

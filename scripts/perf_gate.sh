@@ -2,7 +2,8 @@
 # Performance + determinism gate for CI.
 #
 # Regenerates the quick benchmark sweeps and fails if any of:
-#   1. the emitted BENCH documents (all registered experiments) drift
+#   1. the emitted BENCH documents (all registered experiments plus every
+#      scenarios/*.toml workload spec) drift
 #      byte-for-byte from the committed baselines in results/baselines/
 #      (determinism regression: the sweep output must be a pure function of
 #      experiment, scale, and seeds), or
@@ -41,6 +42,17 @@ SHARD_SPEEDUP="${PERF_GATE_SHARD_SPEEDUP:-1.3}"
 SHARD_OVERHEAD="${PERF_GATE_SHARD_OVERHEAD:-2.0}"
 BASELINES=results/baselines
 ALL_EXPS="e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15"
+# File-registered scenario specs ride the same determinism gates: every
+# scenarios/<name>.toml sweeps to results/BENCH_scenario_<name>.json and is
+# held to the byte-identity bar of the eN experiments.
+SCENARIOS=""
+SCENARIO_ARGS=()
+for f in scenarios/*.toml; do
+    [ -e "$f" ] || continue
+    name=$(basename "$f" .toml)
+    SCENARIOS="$SCENARIOS scenario_$name"
+    SCENARIO_ARGS+=(--scenario "$f")
+done
 UPDATE=0
 for arg in "$@"; do
     case "$arg" in
@@ -84,20 +96,26 @@ echo "==> sweep wall time: e2=${e2_ms}ms e5=${e5_ms}ms"
 
 # --- fresh quick sweeps, both engines (the determinism source of truth) -----
 bench_files=""
-for exp in $ALL_EXPS; do
+for exp in $ALL_EXPS $SCENARIOS; do
     bench_files="$bench_files results/BENCH_$exp.json"
 done
 # shellcheck disable=SC2086  # word-splitting the file list is intentional
 rm -f $bench_files
 run "$BENCH" --exp all --seeds 4 --quick --json > /dev/null
+if [ "${#SCENARIO_ARGS[@]}" -gt 0 ]; then
+    run "$BENCH" "${SCENARIO_ARGS[@]}" --seeds 4 --quick --json > /dev/null
+fi
 # shellcheck disable=SC2086
-run "$BENCH" --validate $bench_files
+run "$BENCH" --validate $bench_files scenarios/*.toml
 
 serial_tmp=$(mktemp -d results/.serial.XXXXXX)
 trap 'rm -rf "$serial_tmp"' EXIT
 # shellcheck disable=SC2086
 cp $bench_files "$serial_tmp/"
 run "$BENCH" --exp all --seeds 4 --quick --json --engine sharded > /dev/null
+if [ "${#SCENARIO_ARGS[@]}" -gt 0 ]; then
+    run "$BENCH" "${SCENARIO_ARGS[@]}" --seeds 4 --quick --json --engine sharded > /dev/null
+fi
 
 # --- scheduler microbench: wheel must beat the heap baseline ----------------
 run cargo bench --offline -p metaclass-netsim --bench sched -- sched_fanout
@@ -127,7 +145,7 @@ fi
 fail=0
 
 # --- gate 4: the sharded engine reproduces every document byte-for-byte -----
-for exp in $ALL_EXPS; do
+for exp in $ALL_EXPS $SCENARIOS; do
     if ! cmp -s "$serial_tmp/BENCH_$exp.json" "results/BENCH_$exp.json"; then
         echo "FAIL: BENCH_$exp.json differs between --engine serial and sharded" >&2
         echo "      (the parallel engine broke byte-identical replay)" >&2
@@ -135,7 +153,7 @@ for exp in $ALL_EXPS; do
     fi
 done
 if [ "$fail" -eq 0 ]; then
-    echo "==> sharded engine reproduced all $(echo "$ALL_EXPS" | wc -w) documents byte-for-byte"
+    echo "==> sharded engine reproduced all $(echo "$ALL_EXPS $SCENARIOS" | wc -w) documents byte-for-byte"
 fi
 # Leave the serial output in results/ (identical when the gate holds, and the
 # unambiguous source of truth when it does not).
@@ -143,7 +161,7 @@ fi
 cp "$serial_tmp"/BENCH_*.json results/
 
 # --- gate 1: byte-identical sweep documents ---------------------------------
-for exp in $ALL_EXPS; do
+for exp in $ALL_EXPS $SCENARIOS; do
     if ! cmp -s "$BASELINES/BENCH_$exp.json" "results/BENCH_$exp.json"; then
         echo "FAIL: results/BENCH_$exp.json drifted from $BASELINES/BENCH_$exp.json" >&2
         echo "      (determinism regression, or an intentional change needing" >&2
