@@ -1,13 +1,16 @@
 //! Criterion benchmark: serial vs. sharded executor on the E3 scalability
 //! topology (one MR campus plus a remote cohort behind the cloud relay).
 //!
-//! Measures one simulated session second at 1, 2, and 4 shards against the
-//! serial baseline. `sharded:1` exercises the infeasibility fallback (a
-//! single shard is rejected at planning time and runs serially), so its cost
-//! should be indistinguishable from `serial`. On a multi-core host the 2-
-//! and 4-shard rows show the conservative-window speedup; on a single core
-//! they bound the coordination overhead instead. `scripts/perf_gate.sh`
-//! consumes these numbers with a core-count-aware threshold.
+//! Measures one simulated session second at 1, 2, 4, and 8 shards against
+//! the serial baseline — a shard-count sweep whose crossover point (first
+//! shard count that beats serial) is reported by `scripts/perf_gate.sh` and
+//! tracked nightly by `scripts/shard_sweep.sh`. `sharded:1` exercises the
+//! infeasibility fallback (a single shard is rejected at planning time and
+//! runs serially), so its cost should be indistinguishable from `serial`.
+//! On a multi-core host the 2/4/8-shard rows show the conservative-window
+//! speedup; on a single core they bound the coordination overhead instead.
+//! `scripts/perf_gate.sh` consumes these numbers with a core-count-aware
+//! threshold.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use metaclass_core::{Activity, ClassroomSession, SessionBuilder};
@@ -31,6 +34,7 @@ fn engine_shard(c: &mut Criterion) {
         ("sharded_1", EngineConfig::sharded(1)),
         ("sharded_2", EngineConfig::sharded(2)),
         ("sharded_4", EngineConfig::sharded(4)),
+        ("sharded_8", EngineConfig::sharded(8)),
     ];
     for (label, mode) in modes {
         g.bench_function(format!("e3_one_second_{label}"), |b| {

@@ -2,7 +2,7 @@
 //! becomes an [`Experiment`] with zero per-scenario code.
 //!
 //! A [`ScenarioExperiment`] wraps a validated
-//! [`ScenarioSpec`](metaclass_core::ScenarioSpec) and runs it through the
+//! [`metaclass_core::ScenarioSpec`] and runs it through the
 //! standard deterministic expander: seed → session → report. The experiment
 //! id is `scenario_<name>`, so sweeps write
 //! `results/BENCH_scenario_<name>.json` through the unchanged sweep writer

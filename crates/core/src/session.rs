@@ -728,6 +728,17 @@ impl SessionBuilder {
                 .set_pools(pool_infos.iter().map(|p| (p.pool, p.node)).collect());
         }
 
+        // ---- Rate hints for the shard planner. ----
+        // A flyweight pool node carries the aggregate traffic of all its
+        // pooled members, but topologically it is a degree-1 leaf — without
+        // a hint the weighted partitioner would pack it like a single client
+        // and pile whole populations onto one shard. Hints only steer shard
+        // packing; the event order (and therefore every result byte) is
+        // identical under any partition.
+        for p in &pool_infos {
+            sim.set_rate_hint(p.node, 4 + p.pooled);
+        }
+
         ClassroomSession {
             sim,
             cfg,

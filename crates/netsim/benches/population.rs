@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks for [`PopulationTimeline`] expansion: timeline
+//! generation across the three arrival processes, tracer splitting, and the
+//! drain cursor. The flyweight-pool path expands these timelines for every
+//! pooled region at session build time, so generation cost is start-up
+//! latency for million-user scenario runs and is tracked in isolation here
+//! rather than only through the end-to-end engine benches.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use metaclass_netsim::{
+    ChurnModel, DetRng, PopulationProfile, PopulationTimeline, SimDuration, SimTime,
+};
+
+const HORIZON: SimTime = SimTime::from_secs(2_700); // a 45-minute class
+
+fn profiles() -> Vec<(&'static str, PopulationProfile)> {
+    let churn = ChurnModel { leave_chance: 0.25, min_stay: SimDuration::from_secs(60) };
+    vec![
+        (
+            "flash_crowd",
+            PopulationProfile::flash_crowd(SimTime::from_secs(10), SimDuration::from_secs(120)),
+        ),
+        (
+            "poisson_churn",
+            PopulationProfile::poisson(SimTime::ZERO, SimDuration::from_millis(25))
+                .with_churn(churn),
+        ),
+    ]
+}
+
+fn population_generate(c: &mut Criterion) {
+    for members in [10_000u64, 100_000] {
+        let mut g = c.benchmark_group(format!("population_generate_{members}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(members));
+        for (label, profile) in profiles() {
+            g.bench_function(label, |b| {
+                b.iter_batched(
+                    || DetRng::new(42),
+                    |mut rng| PopulationTimeline::generate(&profile, members, HORIZON, &mut rng),
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+        g.finish();
+    }
+}
+
+fn population_split_and_drain(c: &mut Criterion) {
+    let profile = profiles().remove(1).1;
+    let mut rng = DetRng::new(42);
+    let full = PopulationTimeline::generate(&profile, 100_000, HORIZON, &mut rng);
+
+    let mut g = c.benchmark_group("population_expand");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(full.members()));
+    g.bench_function("split_tracers_1k_of_100k", |b| b.iter(|| full.split_tracers(1_000)));
+    g.bench_function("drain_full_session_100k", |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut t| {
+                // One drain per simulated second — the pool node's cadence.
+                let mut acc = (0u64, 0u64);
+                for s in 0..=HORIZON.as_nanos() / 1_000_000_000 {
+                    let (j, l) = t.drain_until(SimTime::from_secs(s));
+                    acc.0 += j;
+                    acc.1 += l;
+                }
+                acc
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, population_generate, population_split_and_drain);
+criterion_main!(benches);

@@ -76,6 +76,30 @@ fn fanout_stream<Q: EventQueue<u64>>(mut queue: Q, bursts: usize, width: usize) 
     acc
 }
 
+/// Active-batch churn: all events stay inside the live wheel slot, so every
+/// push after warm-up takes the sorted-active insert (a binary search over
+/// the dense `(time, seq)` key lane) and every pop walks the key/item deques
+/// in lockstep — exactly the paths the struct-of-arrays split optimizes.
+/// The heap row is the AoS baseline for the same workload.
+fn soa_active_churn<Q: EventQueue<u64>>(mut queue: Q, pending: usize, ops: usize) -> u64 {
+    let mut rng = DetRng::new(11);
+    let mut seq = 0u64;
+    for _ in 0..pending {
+        queue.push(SimTime::from_nanos(rng.range_u64(0, 1 << 14)), seq, seq);
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (at, _, v) = queue.pop().expect("queue stays non-empty");
+        acc = acc.wrapping_add(v);
+        // Follow-ups land within ~16 µs of the popped instant, far inside
+        // the ~1 ms slot width, so they join the already-sorted batch.
+        queue.push(SimTime::from_nanos(at.as_nanos() + rng.range_u64(1, 1 << 14)), seq, seq);
+        seq += 1;
+    }
+    acc
+}
+
 fn sched_throughput(c: &mut Criterion) {
     let mut rng = DetRng::new(42);
     let mixed: Vec<u64> = (0..10_000).map(|i| delay_pattern(&mut rng, i)).collect();
@@ -93,6 +117,16 @@ fn sched_throughput(c: &mut Criterion) {
     });
     g.bench_function("heap/stream_100x100", |b| {
         b.iter(|| fanout_stream(BinaryHeapQueue::new(), 100, 100))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sched_soa_active");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("wheel/in_slot_churn_20k", |b| {
+        b.iter(|| soa_active_churn(TimerWheel::new(), 256, 20_000))
+    });
+    g.bench_function("heap/in_slot_churn_20k", |b| {
+        b.iter(|| soa_active_churn(BinaryHeapQueue::new(), 256, 20_000))
     });
     g.finish();
 

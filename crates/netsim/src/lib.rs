@@ -88,5 +88,5 @@ pub use sim::{
     parse_engine, EngineConfig, EngineMode, Simulation, SimulationBuilder, DEFAULT_SHARDS,
 };
 pub use time::{SimDuration, SimTime};
-pub use topology::{min_cut_partition, LinkClass, Partition, Region};
+pub use topology::{min_cut_partition, min_cut_partition_weighted, LinkClass, Partition, Region};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -19,6 +19,14 @@
 //! Buffers are recycled: draining a slot moves its (sorted) contents into
 //! the active batch and keeps both allocations, so steady-state scheduling
 //! performs no allocation.
+//!
+//! The wheel's active batch is stored struct-of-arrays: `(time, seq)` keys
+//! live in one dense deque and payloads in a parallel one, so the hot
+//! read-mostly operations — `peek_key` (the sharded engine's
+//! earliest-pending scan runs it once per lane per window), the binary
+//! search for mid-drain inserts, and the pop-order merge against the
+//! overflow heap — touch only the packed key lane and never pull payload
+//! bytes into cache.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -157,13 +165,17 @@ pub struct TimerWheel<T, S = u64> {
     slots: Vec<Vec<Entry<T, S>>>,
     /// One bit per slot index: slot vector is non-empty.
     occupied: [u64; BITMAP_WORDS],
-    /// Sorted contents of the cursor slot; the front is the wheel minimum.
-    active: VecDeque<Entry<T, S>>,
-    /// Scratch buffer for sorting a slot before it enters `active`.
+    /// Sorted keys of the cursor slot (struct-of-arrays lane); the front is
+    /// the wheel minimum. `peek_key`, mid-drain binary searches, and the
+    /// wheel-vs-overflow merge read only this dense lane.
+    active_keys: VecDeque<(SimTime, S)>,
+    /// Payloads parallel to `active_keys`, index for index.
+    active_items: VecDeque<T>,
+    /// Scratch buffer for sorting a slot before it enters the active lanes.
     sort_buf: Vec<Entry<T, S>>,
     /// Events scheduled past the wheel horizon.
     overflow: BinaryHeap<Reverse<Entry<T, S>>>,
-    /// Events in `slots` plus `active` (excludes `overflow`).
+    /// Events in `slots` plus the active lanes (excludes `overflow`).
     wheel_len: usize,
     /// Time of the most recently popped event, for contract checking.
     #[cfg(debug_assertions)]
@@ -177,7 +189,8 @@ impl<T, S: Copy + Ord> TimerWheel<T, S> {
             cursor: 0,
             slots: (0..SLOTS).map(|_| Vec::new()).collect(),
             occupied: [0; BITMAP_WORDS],
-            active: VecDeque::new(),
+            active_keys: VecDeque::new(),
+            active_items: VecDeque::new(),
             sort_buf: Vec::new(),
             overflow: BinaryHeap::new(),
             wheel_len: 0,
@@ -215,10 +228,10 @@ impl<T, S: Copy + Ord> TimerWheel<T, S> {
         None
     }
 
-    /// Advances the cursor until the active batch is non-empty or the wheel
+    /// Advances the cursor until the active lanes are non-empty or the wheel
     /// is exhausted.
     fn ensure_front(&mut self) {
-        while self.active.is_empty() {
+        while self.active_keys.is_empty() {
             if self.wheel_len == 0 {
                 return;
             }
@@ -231,18 +244,22 @@ impl<T, S: Copy + Ord> TimerWheel<T, S> {
             self.sort_buf.append(&mut self.slots[idx]);
             self.clear_occupied(idx);
             self.sort_buf.sort_unstable_by_key(Entry::key);
-            self.active.extend(self.sort_buf.drain(..));
+            for e in self.sort_buf.drain(..) {
+                self.active_keys.push_back((e.at, e.seq));
+                self.active_items.push_back(e.item);
+            }
         }
     }
 
     fn pop_active(&mut self) -> (SimTime, S, T) {
-        let e = self.active.pop_front().expect("active checked non-empty");
+        let (at, seq) = self.active_keys.pop_front().expect("active checked non-empty");
+        let item = self.active_items.pop_front().expect("active lanes in lockstep");
         self.wheel_len -= 1;
         #[cfg(debug_assertions)]
         {
-            self.last_popped = Some(e.at);
+            self.last_popped = Some(at);
         }
-        (e.at, e.seq, e.item)
+        (at, seq, item)
     }
 
     fn pop_overflow(&mut self) -> (SimTime, S, T) {
@@ -265,7 +282,7 @@ impl<T, S: Copy + Ord> TimerWheel<T, S> {
     /// Which substream holds the global minimum, and its key.
     fn front_source(&mut self) -> Option<(bool, SimTime, S)> {
         self.ensure_front();
-        let wheel = self.active.front().map(Entry::key);
+        let wheel = self.active_keys.front().copied();
         let heap = self.overflow.peek().map(|Reverse(e)| e.key());
         match (wheel, heap) {
             (None, None) => None,
@@ -291,37 +308,36 @@ impl<T, S: Copy + Ord> Default for TimerWheel<T, S> {
 impl<T, S: Copy + Ord> EventQueue<T, S> for TimerWheel<T, S> {
     fn push(&mut self, at: SimTime, seq: S, item: T) {
         let slot = Self::abs_slot(at);
-        let entry = Entry { at, seq, item };
         // Time must never move backwards. Key inversions *at* the current
         // instant are legal (causal stamps of fault cascades and late injects
         // can sort below already-popped stamps); the sorted insert below
         // keeps the remaining pop order exact.
         #[cfg(debug_assertions)]
         if let Some(last) = self.last_popped {
-            debug_assert!(entry.at >= last, "scheduled before the last popped event");
+            debug_assert!(at >= last, "scheduled before the last popped event");
         }
-        if slot < self.cursor || (slot == self.cursor && !self.active.is_empty()) {
+        if slot < self.cursor || (slot == self.cursor && !self.active_keys.is_empty()) {
             // Behind the cursor (it may have skipped ahead of `at` while
             // scanning for the next occupied slot — every event already in
             // a slot is strictly later than `at`, so a sorted insert keeps
             // global order), or into the cursor slot mid-drain. New events
             // carry the largest seq so far, so the common case appends or
-            // front-inserts, both cheap on a `VecDeque`.
-            let pos = self
-                .active
-                .binary_search_by_key(&entry.key(), Entry::key)
-                .expect_err("duplicate (time, seq) key");
-            self.active.insert(pos, entry);
+            // front-inserts, both cheap on a `VecDeque`. The search touches
+            // only the key lane.
+            let pos =
+                self.active_keys.binary_search(&(at, seq)).expect_err("duplicate (time, seq) key");
+            self.active_keys.insert(pos, (at, seq));
+            self.active_items.insert(pos, item);
             self.wheel_len += 1;
         } else if slot - self.cursor < SLOTS as u64 {
             // Cursor-slot pushes while the active batch is empty also land
             // here: unsorted O(1) append, sorted once on drain.
             let idx = (slot & SLOT_MASK) as usize;
-            self.slots[idx].push(entry);
+            self.slots[idx].push(Entry { at, seq, item });
             self.set_occupied(idx);
             self.wheel_len += 1;
         } else {
-            self.overflow.push(Reverse(entry));
+            self.overflow.push(Reverse(Entry { at, seq, item }));
         }
     }
 
@@ -337,8 +353,9 @@ impl<T, S: Copy + Ord> EventQueue<T, S> for TimerWheel<T, S> {
     fn pop_if(&mut self, pred: impl FnOnce(SimTime, S, &T) -> bool) -> Option<(SimTime, S, T)> {
         let (from_wheel, _, _) = self.front_source()?;
         let accept = if from_wheel {
-            let e = self.active.front().expect("front_source saw the wheel");
-            pred(e.at, e.seq, &e.item)
+            let &(at, seq) = self.active_keys.front().expect("front_source saw the wheel");
+            let item = self.active_items.front().expect("active lanes in lockstep");
+            pred(at, seq, item)
         } else {
             let Reverse(e) = self.overflow.peek().expect("front_source saw overflow");
             pred(e.at, e.seq, &e.item)

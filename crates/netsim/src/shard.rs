@@ -124,7 +124,24 @@ pub(crate) struct Plan {
 pub(crate) struct ShardCache {
     topo_version: u64,
     shards_requested: usize,
+    /// `events_processed` when the plan was computed. A plan made before any
+    /// event ran (`0`) was balanced on static estimates only; it is replanned
+    /// once observed per-node rates exist (the "warm-up pass").
+    planned_at_events: u64,
     plan: Option<Plan>,
+}
+
+/// Relative per-node event-rate weights for the partitioner. Observed counts
+/// from earlier runs of this simulation win; otherwise caller hints (see
+/// [`Simulation::set_rate_hint`]); otherwise node degree as a structural
+/// proxy for fan-out load. Only ratios matter, and the choice never affects
+/// results — just which shard executes a node.
+fn rate_weights<M: 'static>(sim: &Simulation<M>) -> Vec<u64> {
+    let n = sim.core.nodes.len();
+    if sim.core.node_events.iter().any(|&c| c > 0) {
+        return sim.core.node_events.iter().map(|&c| c + 1).collect();
+    }
+    (0..n).map(|i| sim.rate_hints[i].max(1 + sim.core.adjacency[i].len() as u64)).collect()
 }
 
 fn compute_plan<M: 'static>(sim: &Simulation<M>, shards: usize) -> Option<Plan> {
@@ -139,7 +156,8 @@ fn compute_plan<M: 'static>(sim: &Simulation<M>, shards: usize) -> Option<Plan> 
         .zip(sim.core.static_delays.iter())
         .map(|(&(a, b), &d)| (a.0, b.0, d))
         .collect();
-    let part = crate::topology::min_cut_partition(n, &edges, shards);
+    let weights = rate_weights(sim);
+    let part = crate::topology::min_cut_partition_weighted(n, &edges, shards, &weights);
     // A zero-latency cross-shard link would make windows empty; a single
     // populated shard would make them pointless. Both fall back to serial.
     if part.shards < 2 || part.lookahead_ns == 0 {
@@ -154,7 +172,11 @@ fn compute_plan<M: 'static>(sim: &Simulation<M>, shards: usize) -> Option<Plan> 
 
 fn plan_for<M: 'static>(sim: &mut Simulation<M>, shards: usize) -> Option<Plan> {
     if let Some(cache) = &sim.shard_cache {
-        if cache.topo_version == sim.topo_version && cache.shards_requested == shards {
+        let stale_estimates = cache.planned_at_events == 0 && sim.core.events_processed > 0;
+        if cache.topo_version == sim.topo_version
+            && cache.shards_requested == shards
+            && !stale_estimates
+        {
             return cache.plan.clone();
         }
     }
@@ -162,6 +184,7 @@ fn plan_for<M: 'static>(sim: &mut Simulation<M>, shards: usize) -> Option<Plan> 
     sim.shard_cache = Some(ShardCache {
         topo_version: sim.topo_version,
         shards_requested: shards,
+        planned_at_events: sim.core.events_processed,
         plan: plan.clone(),
     });
     plan
@@ -192,6 +215,7 @@ fn deal_out<M: 'static>(sim: &mut Simulation<M>, plan: &Plan) -> (Vec<Core<M>>, 
             lane.cur_stamp = sim.core.cur_stamp;
             lane.nodes = (0..n).map(|_| None).collect();
             lane.rngs = vec![DetRng::new(0); n];
+            lane.node_events = vec![0; n];
             lane.push_counters = sim.core.push_counters.clone();
             lane.timer_counters = sim.core.timer_counters.clone();
             lane.crashed = sim.core.crashed.clone();
@@ -231,10 +255,9 @@ fn deal_out<M: 'static>(sim: &mut Simulation<M>, plan: &Plan) -> (Vec<Core<M>>, 
         let owner = (id >> 32) as usize;
         lanes[plan.shard_of[owner] as usize].cancelled_timers.insert(id);
     }
-    let pooled: Vec<_> = sim.core.ops_pool.drain(..).collect();
-    for (j, buf) in pooled.into_iter().enumerate() {
-        lanes[j % k].ops_pool.push(buf);
-    }
+    // The serial world's warm op arena seeds lane 0; the other lanes grow
+    // their own on first use and hand the widest one back at reassembly.
+    lanes[0].ops_arena = std::mem::take(&mut sim.core.ops_arena);
     let spares: Vec<_> = sim.core.spare_boxes.drain(..).collect();
     for (j, buf) in spares.into_iter().enumerate() {
         lanes[j % k].spare_boxes.push(buf);
@@ -242,12 +265,19 @@ fn deal_out<M: 'static>(sim: &mut Simulation<M>, plan: &Plan) -> (Vec<Core<M>>, 
     let mut faults = FaultQueue::new();
     let mut old = std::mem::take(&mut sim.core.queue);
     while let Some((at, stamp, kind)) = old.pop() {
-        let shard = match &kind {
+        let shard = match kind {
             EventKind::Fault { index } => {
-                faults.push_back((at, stamp, *index));
+                faults.push_back((at, stamp, index));
                 continue;
             }
-            EventKind::Deliver { hop, .. } => plan.shard_of[hop.index()],
+            EventKind::Deliver { hop, env } => {
+                // Envelopes move between the global slab and the owning
+                // lane's slab; the queue entry is re-indexed in place.
+                let s = plan.shard_of[hop.index()] as usize;
+                let env = lanes[s].env_slab.insert(sim.core.env_slab.take(env));
+                lanes[s].queue.push(at, stamp, EventKind::Deliver { hop, env });
+                continue;
+            }
             EventKind::Timer { node, .. } => plan.shard_of[node.index()],
         };
         lanes[shard as usize].queue.push(at, stamp, kind);
@@ -267,7 +297,7 @@ fn reassemble<M: 'static>(sim: &mut Simulation<M>, lanes: Vec<Core<M>>, faults: 
     }
     (sim.core.time, sim.core.cur_stamp, sim.core.cur_depth) = (best.0, best.1, best.2);
     for mut lane in lanes {
-        debug_assert!(lane.trace_buf.is_empty() && lane.obs_buf.is_empty());
+        debug_assert!(lane.trace_keys.is_empty() && lane.obs_keys.is_empty());
         debug_assert!(lane.outboxes.iter().all(Vec::is_empty));
         for idx in 0..lane.nodes.len() {
             if let Some(node) = lane.nodes[idx].take() {
@@ -287,9 +317,19 @@ fn reassemble<M: 'static>(sim: &mut Simulation<M>, lanes: Vec<Core<M>>, faults: 
             sim.core.route_cache.insert(src, table);
         }
         sim.core.cancelled_timers.extend(lane.cancelled_timers.drain());
-        sim.core.ops_pool.append(&mut lane.ops_pool);
+        // Keep the widest warm arena; fold memory-pressure high waters.
+        if lane.ops_arena.capacity() > sim.core.ops_arena.capacity() {
+            sim.core.ops_arena = std::mem::take(&mut lane.ops_arena);
+        }
+        if lane.ops_high_water > sim.core.ops_high_water {
+            sim.core.ops_high_water = lane.ops_high_water;
+        }
+        sim.core.env_slab.raise_high_water(lane.env_slab.high_water());
         sim.core.metrics.merge(&lane.metrics);
         sim.core.events_processed += lane.events_processed;
+        for (dst, src) in sim.core.node_events.iter_mut().zip(&lane.node_events) {
+            *dst += *src;
+        }
         sim.core.pool_hits += lane.pool_hits;
         sim.core.pool_misses += lane.pool_misses;
         sim.core.sent_count += lane.sent_count;
@@ -302,12 +342,20 @@ fn reassemble<M: 'static>(sim: &mut Simulation<M>, lanes: Vec<Core<M>>, faults: 
         // for reuse.
         for mut buf in std::mem::take(&mut lane.inboxes) {
             for (at, stamp, hop, env) in buf.drain(..) {
+                let env = sim.core.env_slab.insert(env);
                 sim.core.queue.push(at, stamp, EventKind::Deliver { hop, env });
             }
             sim.core.spare_boxes.push(buf);
         }
         sim.core.spare_boxes.append(&mut lane.spare_boxes);
         while let Some((at, stamp, kind)) = lane.queue.pop() {
+            let kind = match kind {
+                EventKind::Deliver { hop, env } => {
+                    let env = sim.core.env_slab.insert(lane.env_slab.take(env));
+                    EventKind::Deliver { hop, env }
+                }
+                other => other,
+            };
             sim.core.queue.push(at, stamp, kind);
         }
     }
@@ -380,26 +428,27 @@ fn lane<M>(lanes: &mut [Option<Core<M>>], i: usize) -> &mut Core<M> {
 fn replay_barrier<M: 'static>(sim: &mut Simulation<M>, lanes: &mut [Option<Core<M>>]) {
     let k = lanes.len();
     if sim.core.trace.is_some() {
+        // The k-way merge touches only the dense key lanes; payloads are
+        // fetched once per emitted event.
         let mut cursors = vec![0usize; k];
         loop {
             let mut min: Option<((SimTime, u128), usize)> = None;
             for (i, &cur) in cursors.iter().enumerate() {
-                if let Some((stamp, ev)) = lane(lanes, i).trace_buf.get(cur) {
-                    let key = (ev.at, *stamp);
+                if let Some(&key) = lane(lanes, i).trace_keys.get(cur) {
                     if min.is_none_or(|(m, _)| key < m) {
                         min = Some((key, i));
                     }
                 }
             }
             let Some((_, i)) = min else { break };
-            let (_, ev) = lane(lanes, i).trace_buf[cursors[i]];
+            let ev = lane(lanes, i).trace_items[cursors[i]];
             cursors[i] += 1;
             if let Some(trace) = &mut sim.core.trace {
                 trace.push(ev);
             }
         }
     }
-    if sim.core.observer.is_some() && (0..k).any(|i| !lane(lanes, i).obs_buf.is_empty()) {
+    if sim.core.observer.is_some() && (0..k).any(|i| !lane(lanes, i).obs_keys.is_empty()) {
         // Observers see link state at barrier granularity: within a window
         // links only evolve inside their owning lane, so the merged view
         // reflects the end-of-window state. Crash flags and the clock are
@@ -418,15 +467,14 @@ fn replay_barrier<M: 'static>(sim: &mut Simulation<M>, lanes: &mut [Option<Core<
         loop {
             let mut min: Option<((SimTime, u128), usize)> = None;
             for (i, &cur) in cursors.iter().enumerate() {
-                if let Some((at, stamp, _)) = lane(lanes, i).obs_buf.get(cur) {
-                    let key = (*at, *stamp);
+                if let Some(&key) = lane(lanes, i).obs_keys.get(cur) {
                     if min.is_none_or(|(m, _)| key < m) {
                         min = Some((key, i));
                     }
                 }
             }
-            let Some((_, i)) = min else { break };
-            let (at, _, owned) = lane(lanes, i).obs_buf[cursors[i]];
+            let Some(((at, _), i)) = min else { break };
+            let owned = lane(lanes, i).obs_items[cursors[i]];
             cursors[i] += 1;
             let view = SimView {
                 time: at,
@@ -440,8 +488,10 @@ fn replay_barrier<M: 'static>(sim: &mut Simulation<M>, lanes: &mut [Option<Core<
     }
     for i in 0..k {
         let l = lane(lanes, i);
-        l.trace_buf.clear();
-        l.obs_buf.clear();
+        l.trace_keys.clear();
+        l.trace_items.clear();
+        l.obs_keys.clear();
+        l.obs_items.clear();
     }
 }
 

@@ -208,13 +208,82 @@ pub(crate) fn stamp_depth(stamp: u128) -> u16 {
     (stamp >> 96) as u16
 }
 
-pub(crate) enum EventKind<M> {
+/// Slab storage for in-flight [`Envelope`]s.
+///
+/// Queue entries reference envelopes by `u32` slab index instead of carrying
+/// them inline, which keeps [`EventKind`] small, fixed-size, and independent
+/// of the message type: the timer wheel moves 24-byte payloads around while
+/// the (potentially fat) envelopes stay put. Freed slots are recycled LIFO,
+/// so steady-state traffic performs no allocation once the slab has grown to
+/// its high-water mark.
+pub(crate) struct EnvSlab<M> {
+    slots: Vec<Option<Envelope<M>>>,
+    free: Vec<u32>,
+    live: u32,
+    high_water: u32,
+}
+
+impl<M> EnvSlab<M> {
+    pub(crate) fn new() -> Self {
+        EnvSlab { slots: Vec::new(), free: Vec::new(), live: 0, high_water: 0 }
+    }
+
+    pub(crate) fn insert(&mut self, env: Envelope<M>) -> u32 {
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(env);
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Some(env));
+                idx
+            }
+        }
+    }
+
+    pub(crate) fn take(&mut self, idx: u32) -> Envelope<M> {
+        let env = self.slots[idx as usize].take().expect("envelope already taken");
+        self.free.push(idx);
+        self.live -= 1;
+        env
+    }
+
+    pub(crate) fn get(&self, idx: u32) -> &Envelope<M> {
+        self.slots[idx as usize].as_ref().expect("envelope already taken")
+    }
+
+    /// Highest number of envelopes ever live at once.
+    pub(crate) fn high_water(&self) -> u32 {
+        self.high_water
+    }
+
+    /// Folds in another slab's high water (largest per-executor-lane
+    /// population wins).
+    pub(crate) fn raise_high_water(&mut self, hw: u32) {
+        if hw > self.high_water {
+            self.high_water = hw;
+        }
+    }
+
+    /// Committed heap footprint of the slab's own storage in bytes.
+    pub(crate) fn arena_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<Option<Envelope<M>>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+pub(crate) enum EventKind {
     /// Arrival of a message at `hop` (which may forward it further).
     Deliver {
         /// The node the message arrives at next.
         hop: NodeId,
-        /// The message in flight.
-        env: Envelope<M>,
+        /// Slab index of the message in flight (see [`EnvSlab`]).
+        env: u32,
     },
     /// A timer firing at `node`. Timers armed before a crash carry a stale
     /// `epoch` and are swallowed after restart.
@@ -276,13 +345,24 @@ pub(crate) struct Core<M> {
     pub(crate) static_delays: Arc<Vec<u64>>,
     /// Per-source next-hop tables, computed lazily, cleared on topology change.
     pub(crate) route_cache: HashMap<u32, Vec<Option<(u32, LinkId)>>>,
-    pub(crate) queue: TimerWheel<EventKind<M>, u128>,
+    pub(crate) queue: TimerWheel<EventKind, u128>,
+    /// In-flight envelopes referenced by queue entries (see [`EnvSlab`]).
+    pub(crate) env_slab: EnvSlab<M>,
     pub(crate) cancelled_timers: HashSet<u64>,
-    /// Recycled op buffers handed to [`Context`] during dispatch.
-    pub(crate) ops_pool: Vec<Vec<Op<M>>>,
+    /// The recycled op arena handed to [`Context`] during dispatch. Dispatch
+    /// is never re-entrant, so one buffer serves every handler; it grows to
+    /// the widest op burst and is then reused allocation-free.
+    pub(crate) ops_arena: Vec<Op<M>>,
+    /// Widest op burst a single dispatch ever produced.
+    pub(crate) ops_high_water: u64,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) events_processed: u64,
-    /// Op-pool reuse counters, flushed to `engine.ops_pool.*` at run end.
+    /// Per-node processed-event counts; feeds the rate-weighted shard
+    /// partitioner (observed rates beat static estimates on replans).
+    pub(crate) node_events: Vec<u64>,
+    /// Op-arena reuse counters, flushed to `engine.ops_pool.*` at run end.
+    /// A hit is a dispatch served entirely from committed capacity; a miss
+    /// is one that had to grow the arena.
     pub(crate) pool_hits: u64,
     pub(crate) pool_misses: u64,
     /// Sharded-mode runs that found no feasible plan and ran serially,
@@ -297,8 +377,16 @@ pub(crate) struct Core<M> {
     pub(crate) buffered: bool,
     pub(crate) trace_on: bool,
     pub(crate) observing: bool,
-    pub(crate) trace_buf: Vec<(u128, TraceEvent)>,
-    pub(crate) obs_buf: Vec<(SimTime, u128, OwnedSimEvent)>,
+    /// Buffered trace entries, struct-of-arrays: the `(time, stamp)` merge
+    /// keys live apart from the payloads so the k-way barrier merge scans a
+    /// dense key lane per shard.
+    pub(crate) trace_keys: Vec<(SimTime, u128)>,
+    /// Payloads parallel to `trace_keys`.
+    pub(crate) trace_items: Vec<TraceEvent>,
+    /// Buffered observer-event merge keys (same layout as `trace_keys`).
+    pub(crate) obs_keys: Vec<(SimTime, u128)>,
+    /// Payloads parallel to `obs_keys`.
+    pub(crate) obs_items: Vec<OwnedSimEvent>,
     /// Shard owning each node (lane mode only).
     pub(crate) shard_of: Option<Arc<Vec<u32>>>,
     pub(crate) my_shard: u32,
@@ -349,10 +437,13 @@ impl<M> Core<M> {
             static_delays: Arc::new(Vec::new()),
             route_cache: HashMap::new(),
             queue: TimerWheel::new(),
+            env_slab: EnvSlab::new(),
             cancelled_timers: HashSet::new(),
-            ops_pool: Vec::new(),
+            ops_arena: Vec::new(),
+            ops_high_water: 0,
             metrics: MetricsRegistry::new(),
             events_processed: 0,
+            node_events: Vec::new(),
             pool_hits: 0,
             pool_misses: 0,
             fallback_serial: 0,
@@ -361,8 +452,10 @@ impl<M> Core<M> {
             buffered: false,
             trace_on: false,
             observing: false,
-            trace_buf: Vec::new(),
-            obs_buf: Vec::new(),
+            trace_keys: Vec::new(),
+            trace_items: Vec::new(),
+            obs_keys: Vec::new(),
+            obs_items: Vec::new(),
             shard_of: None,
             my_shard: 0,
             outboxes: Vec::new(),
@@ -403,6 +496,7 @@ impl<M> Core<M> {
                 return;
             }
         }
+        let env = self.env_slab.insert(env);
         self.queue.push(at, stamp, EventKind::Deliver { hop, env });
     }
 
@@ -423,6 +517,7 @@ impl<M> Core<M> {
         for buf in &mut bufs {
             for (at, stamp, hop, env) in buf.drain(..) {
                 debug_assert!(at >= self.time, "cross-shard delivery in a lane's past");
+                let env = self.env_slab.insert(env);
                 self.queue.push(at, stamp, EventKind::Deliver { hop, env });
             }
         }
@@ -434,8 +529,8 @@ impl<M> Core<M> {
     fn record_trace(&mut self, kind: TraceKind, src: NodeId, dst: NodeId, size_bytes: u32) {
         if self.buffered {
             if self.trace_on {
-                let ev = TraceEvent { at: self.time, kind, src, dst, size_bytes };
-                self.trace_buf.push((self.cur_stamp, ev));
+                self.trace_keys.push((self.time, self.cur_stamp));
+                self.trace_items.push(TraceEvent { at: self.time, kind, src, dst, size_bytes });
             }
         } else if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent { at: self.time, kind, src, dst, size_bytes });
@@ -449,7 +544,8 @@ impl<M> Core<M> {
             if self.observing {
                 let owned = OwnedSimEvent::from_event(&event)
                     .expect("fault/inject events never occur inside a shard window");
-                self.obs_buf.push((self.time, self.cur_stamp, owned));
+                self.obs_keys.push((self.time, self.cur_stamp));
+                self.obs_items.push(owned);
             }
             return;
         }
@@ -486,6 +582,7 @@ impl<M: 'static> Core<M> {
                 return Stepped::Fault { index };
             }
             EventKind::Timer { node, id, tag, epoch } => {
+                self.node_events[node.index()] += 1;
                 if self.cancelled_timers.remove(&id) {
                     return Stepped::Events(processed);
                 }
@@ -499,6 +596,8 @@ impl<M: 'static> Core<M> {
                 self.dispatch(node, Dispatch::Timer(Timer { id, tag }));
             }
             EventKind::Deliver { hop, env } => {
+                let env = self.env_slab.take(env);
+                self.node_events[hop.index()] += 1;
                 if self.crashed[hop.index()] {
                     // Crashed nodes blackhole traffic addressed to or
                     // forwarded through them.
@@ -529,16 +628,19 @@ impl<M: 'static> Core<M> {
                     // byte-for-byte those of the unbatched path.
                     while processed < budget {
                         let now = self.time;
+                        let slab = &self.env_slab;
                         let next = self.queue.pop_if(|ev_at, _, k| {
                             ev_at == now
                                 && matches!(
                                     k,
                                     EventKind::Deliver { hop, env }
-                                        if *hop == dst && env.dst == dst
+                                        if *hop == dst && slab.get(*env).dst == dst
                                 )
                         });
                         match next {
                             Some((_, stamp, EventKind::Deliver { env, .. })) => {
+                                let env = self.env_slab.take(env);
+                                self.node_events[dst.index()] += 1;
                                 self.events_processed += 1;
                                 processed += 1;
                                 self.cur_depth = stamp_depth(stamp);
@@ -594,16 +696,11 @@ impl<M: 'static> Core<M> {
         what: Dispatch<M>,
     ) {
         let idx = node_id.index();
-        let mut ops: Vec<Op<M>> = match self.ops_pool.pop() {
-            Some(buf) => {
-                self.pool_hits += 1;
-                buf
-            }
-            None => {
-                self.pool_misses += 1;
-                Vec::new()
-            }
-        };
+        // Dispatch is never nested (handlers cannot dispatch), so the single
+        // recycled arena buffer serves every call; a nested call would merely
+        // see an empty buffer and count a miss.
+        let mut ops: Vec<Op<M>> = std::mem::take(&mut self.ops_arena);
+        let cap_before = ops.capacity();
         {
             let mut ctx = Context {
                 now: self.time,
@@ -619,6 +716,14 @@ impl<M: 'static> Core<M> {
                 Dispatch::Timer(t) => node.on_timer(&mut ctx, t),
             }
         }
+        if ops.capacity() > cap_before {
+            self.pool_misses += 1;
+        } else {
+            self.pool_hits += 1;
+        }
+        if ops.len() as u64 > self.ops_high_water {
+            self.ops_high_water = ops.len() as u64;
+        }
         for op in ops.drain(..) {
             match op {
                 Op::Send { dst, payload, size_bytes } => {
@@ -630,6 +735,7 @@ impl<M: 'static> Core<M> {
                     if dst == node_id {
                         // Loopback: deliver immediately (next event).
                         let stamp = self.child_stamp(self.time, node_id);
+                        let env = self.env_slab.insert(env);
                         self.queue.push(self.time, stamp, EventKind::Deliver { hop: dst, env });
                     } else {
                         self.route_and_transmit(node_id, env);
@@ -646,7 +752,7 @@ impl<M: 'static> Core<M> {
                 }
             }
         }
-        self.ops_pool.push(ops);
+        self.ops_arena = ops;
     }
 
     fn route_and_transmit(&mut self, at_node: NodeId, env: Envelope<M>) {
@@ -776,6 +882,9 @@ pub struct Simulation<M> {
     /// Bumped on every topology change; invalidates the shard plan.
     pub(crate) topo_version: u64,
     pub(crate) shard_cache: Option<crate::shard::ShardCache>,
+    /// Caller-supplied relative event-rate estimates per node
+    /// (see [`Simulation::set_rate_hint`]); 0 = no estimate.
+    pub(crate) rate_hints: Vec<u64>,
 }
 
 impl<M: 'static> Simulation<M> {
@@ -798,6 +907,7 @@ impl<M: 'static> Simulation<M> {
             engine: config,
             topo_version: 0,
             shard_cache: None,
+            rate_hints: Vec::new(),
         }
     }
 
@@ -842,9 +952,23 @@ impl<M: 'static> Simulation<M> {
         self.core.timer_counters.push(0);
         self.core.crashed.push(false);
         self.core.epochs.push(0);
+        self.core.node_events.push(0);
+        self.rate_hints.push(0);
         Arc::make_mut(&mut self.core.adjacency).push(BTreeMap::new());
         self.topo_version += 1;
         id
+    }
+
+    /// Supplies a relative event-rate estimate for `node`, used by the
+    /// sharded engine's partitioner to balance shards by expected work
+    /// instead of node count. Only ratios matter; 0 (the default) means
+    /// "no estimate" and falls back to a structural guess (node degree).
+    /// Observed per-node event counts from earlier runs of the same
+    /// simulation take precedence over hints when the plan is recomputed.
+    /// Never affects results — only which shard executes a node.
+    pub fn set_rate_hint(&mut self, node: NodeId, weight: u64) {
+        self.rate_hints[node.index()] = weight;
+        self.shard_cache = None;
     }
 
     /// Connects `a` and `b` with symmetric directed links of configuration
@@ -1177,6 +1301,7 @@ impl<M: 'static> Simulation<M> {
         let env = Envelope { src, dst, payload, size_bytes, sent_at: self.core.time };
         self.inject_counter += 1;
         let stamp = pack_stamp(0, INJECT_ORIGIN, self.inject_counter);
+        let env = self.core.env_slab.insert(env);
         self.core.queue.push(at, stamp, EventKind::Deliver { hop: dst, env });
         self.core.notify(SimEvent::Injected { src, dst, size_bytes });
     }
@@ -1225,6 +1350,16 @@ impl<M: 'static> Simulation<M> {
             let v = std::mem::take(&mut self.core.fallback_serial);
             self.core.metrics.add("engine.fallback_serial", v);
         }
+        // Memory-pressure gauges (max semantics: the counter is raised to the
+        // observed high-water, never lowered), so overload runs expose their
+        // arena growth instead of hiding it.
+        let ops_hw = self.core.ops_high_water;
+        self.raise_engine_gauge("engine.ops_pool.high_water", ops_hw);
+        let env_hw = self.core.env_slab.high_water() as u64;
+        self.raise_engine_gauge("engine.env_slab.high_water", env_hw);
+        let arena_bytes = (self.core.ops_arena.capacity() * std::mem::size_of::<Op<M>>()) as u64
+            + self.core.env_slab.arena_bytes();
+        self.raise_engine_gauge("engine.ops_pool.arena_bytes", arena_bytes);
         if self.core.sent_count > 0 {
             let v = std::mem::take(&mut self.core.sent_count);
             self.core.metrics.add("net.sent", v);
@@ -1237,6 +1372,14 @@ impl<M: 'static> Simulation<M> {
             let core = &mut self.core;
             core.metrics.histogram("net.delivery_latency_ns").merge(&core.delivery_hist);
             core.delivery_hist.clear();
+        }
+    }
+
+    /// Raises a gauge-like engine counter to `v` if it is below it.
+    fn raise_engine_gauge(&mut self, name: &'static str, v: u64) {
+        let cur = self.core.metrics.counter_value(name);
+        if v > cur {
+            self.core.metrics.add(name, v - cur);
         }
     }
 

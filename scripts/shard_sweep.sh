@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Nightly shard-count sweep: runs the engine_shard criterion bench at
+# serial and 1/2/4/8 shards, prints the sweep table with the crossover
+# point, and holds each shard count to the committed speedup envelope in
+# results/baselines/SHARD_ENVELOPE.json.
+#
+# Envelope semantics (core-count aware):
+#   - On hosts with >= min_cores cores, every config listed in min_speedup
+#     must reach its serial/sharded wall-time ratio.
+#   - On smaller hosts a real speedup is physically impossible, so every
+#     sharded config is instead bounded at max_overhead x serial.
+#   - sharded_1 (the planner's serial fallback) is always held to the
+#     overhead bound: it must track serial, not beat it.
+#
+# Results land in results/SHARD_SWEEP.txt for CI artifact upload.
+#
+# Usage: scripts/shard_sweep.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ENVELOPE=results/baselines/SHARD_ENVELOPE.json
+OUT=results/SHARD_SWEEP.txt
+
+envelope_val() {
+    sed -n "s/.*\"$1\": \([0-9.]*\).*/\1/p" "$ENVELOPE"
+}
+MIN_CORES=$(envelope_val min_cores)
+MAX_OVERHEAD=$(envelope_val max_overhead)
+cores=$(nproc 2>/dev/null || echo 1)
+
+echo "==> shard sweep on a ${cores}-core host (envelope needs >= ${MIN_CORES} for speedup floors)"
+cargo bench --offline -p metaclass-bench --bench engine_shard -- engine_shard
+
+median_ns() {
+    sed -n 's/.*"median_ns": \([0-9.]*\).*/\1/p' \
+        "target/criterion/engine_shard/e3_one_second_$1/estimates.json"
+}
+serial_ns=$(median_ns serial)
+if [ -z "$serial_ns" ]; then
+    echo "FAIL: no criterion estimate for the serial engine_shard bench" >&2
+    exit 1
+fi
+
+fail=0
+crossover=""
+{
+    echo "engine_shard shard-count sweep (E3, one simulated second, ${cores} cores)"
+    printf '%-12s %10s %9s %9s %8s\n' "config" "median" "vs serial" "floor" "verdict"
+    printf '%-12s %10s %9s %9s %8s\n' "serial" \
+        "$(awk -v n="$serial_ns" 'BEGIN { printf "%.1fms", n / 1e6 }')" "1.00x" "-" "-"
+    for cfg in sharded_1 sharded_2 sharded_4 sharded_8; do
+        ns=$(median_ns "$cfg")
+        if [ -z "$ns" ]; then
+            printf '%-12s %10s %9s %9s %8s\n' "$cfg" "missing" "-" "-" "FAIL"
+            fail=1
+            continue
+        fi
+        ms=$(awk -v n="$ns" 'BEGIN { printf "%.1fms", n / 1e6 }')
+        sp=$(awk -v s="$serial_ns" -v p="$ns" 'BEGIN { printf "%.2f", s / p }')
+        if [ -z "$crossover" ] && awk -v r="$sp" 'BEGIN { exit !(r > 1.0) }'; then
+            crossover=$cfg
+        fi
+        floor=$(envelope_val "$cfg")
+        if [ "$cfg" != sharded_1 ] && [ "$cores" -ge "$MIN_CORES" ] && [ -n "$floor" ]; then
+            # Affirmative speedup floor.
+            if awk -v r="$sp" -v f="$floor" 'BEGIN { exit !(r >= f) }'; then
+                verdict=ok
+            else
+                verdict=FAIL
+                fail=1
+            fi
+            printf '%-12s %10s %8sx %8sx %8s\n' "$cfg" "$ms" "$sp" "$floor" "$verdict"
+        else
+            # Overhead bound: sharded run must stay under MAX_OVERHEAD x serial.
+            if awk -v s="$serial_ns" -v p="$ns" -v o="$MAX_OVERHEAD" 'BEGIN { exit !(p <= s * o) }'; then
+                verdict=ok
+            else
+                verdict=FAIL
+                fail=1
+            fi
+            printf '%-12s %10s %8sx %9s %8s\n' "$cfg" "$ms" "$sp" "<=${MAX_OVERHEAD}x" "$verdict"
+        fi
+    done
+    if [ -n "$crossover" ]; then
+        echo "crossover: $crossover is the first shard count to beat serial"
+    else
+        echo "crossover: none — no shard count beat serial on this host"
+    fi
+} | tee "$OUT"
+
+if [ "$fail" -ne 0 ]; then
+    echo "==> shard sweep FAILED the committed envelope" >&2
+    exit 1
+fi
+echo "==> shard sweep within the committed envelope"
